@@ -1,0 +1,260 @@
+//! Fluent builder for logical plans, used by tests, examples and the parser's planner.
+
+use decorr_common::{Schema, Value};
+
+use crate::expr::{AggCall, ScalarExpr};
+use crate::plan::{
+    ApplyKind, JoinKind, MergeAssignment, ParamBinding, ProjectItem, RelExpr, SortKey,
+};
+
+/// A small fluent API over [`RelExpr`], e.g.
+///
+/// ```
+/// use decorr_algebra::{PlanBuilder, ScalarExpr};
+///
+/// let plan = PlanBuilder::scan("orders")
+///     .select(ScalarExpr::gt(ScalarExpr::column("totalprice"), ScalarExpr::literal(100)))
+///     .project(vec![(ScalarExpr::column("orderkey"), None)])
+///     .build();
+/// assert_eq!(plan.name(), "Project");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: RelExpr,
+}
+
+impl PlanBuilder {
+    pub fn from_plan(plan: RelExpr) -> PlanBuilder {
+        PlanBuilder { plan }
+    }
+
+    /// The Single relation `S`.
+    pub fn single() -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Single,
+        }
+    }
+
+    pub fn scan(table: impl Into<String>) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::scan(table),
+        }
+    }
+
+    pub fn scan_as(table: impl Into<String>, alias: impl Into<String>) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::scan_as(table, alias),
+        }
+    }
+
+    pub fn values(schema: Schema, rows: Vec<Vec<Value>>) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Values { schema, rows },
+        }
+    }
+
+    pub fn select(self, predicate: ScalarExpr) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Select {
+                input: Box::new(self.plan),
+                predicate,
+            },
+        }
+    }
+
+    /// Generalized projection without duplicate elimination (Πd).
+    pub fn project(self, items: Vec<(ScalarExpr, Option<&str>)>) -> PlanBuilder {
+        let items = items
+            .into_iter()
+            .map(|(e, a)| match a {
+                Some(alias) => ProjectItem::aliased(e, alias),
+                None => ProjectItem::new(e),
+            })
+            .collect();
+        PlanBuilder {
+            plan: RelExpr::Project {
+                input: Box::new(self.plan),
+                items,
+                distinct: false,
+            },
+        }
+    }
+
+    /// Projection with duplicate elimination (Π).
+    pub fn project_distinct(self, items: Vec<(ScalarExpr, Option<&str>)>) -> PlanBuilder {
+        match self.project(items).plan {
+            RelExpr::Project { input, items, .. } => PlanBuilder {
+                plan: RelExpr::Project {
+                    input,
+                    items,
+                    distinct: true,
+                },
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn aggregate(self, group_by: Vec<ScalarExpr>, aggregates: Vec<AggCall>) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Aggregate {
+                input: Box::new(self.plan),
+                group_by,
+                aggregates,
+            },
+        }
+    }
+
+    pub fn join(self, right: PlanBuilder, kind: JoinKind, condition: Option<ScalarExpr>) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Join {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                kind,
+                condition,
+            },
+        }
+    }
+
+    pub fn union(self, right: PlanBuilder, all: bool) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Union {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                all,
+            },
+        }
+    }
+
+    pub fn sort(self, keys: Vec<(ScalarExpr, bool)>) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Sort {
+                input: Box::new(self.plan),
+                keys: keys
+                    .into_iter()
+                    .map(|(expr, ascending)| SortKey { expr, ascending })
+                    .collect(),
+            },
+        }
+    }
+
+    pub fn limit(self, limit: usize) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Limit {
+                input: Box::new(self.plan),
+                limit,
+            },
+        }
+    }
+
+    pub fn rename(self, alias: impl Into<String>) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Rename {
+                input: Box::new(self.plan),
+                alias: alias.into(),
+            },
+        }
+    }
+
+    /// The Apply operator with optional bind extension.
+    pub fn apply(
+        self,
+        right: PlanBuilder,
+        kind: ApplyKind,
+        bindings: Vec<ParamBinding>,
+    ) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::Apply {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                kind,
+                bindings,
+            },
+        }
+    }
+
+    /// Apply-Merge (AM).
+    pub fn apply_merge(self, right: PlanBuilder, assignments: Vec<MergeAssignment>) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::ApplyMerge {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                assignments,
+            },
+        }
+    }
+
+    /// Conditional Apply-Merge (AMC).
+    pub fn conditional_apply_merge(
+        self,
+        predicate: ScalarExpr,
+        then_branch: PlanBuilder,
+        else_branch: PlanBuilder,
+        assignments: Vec<MergeAssignment>,
+    ) -> PlanBuilder {
+        PlanBuilder {
+            plan: RelExpr::ConditionalApplyMerge {
+                left: Box::new(self.plan),
+                predicate,
+                then_branch: Box::new(then_branch.plan),
+                else_branch: Box::new(else_branch.plan),
+                assignments,
+            },
+        }
+    }
+
+    pub fn build(self) -> RelExpr {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggFunc, ScalarExpr as E};
+
+    #[test]
+    fn builds_min_cost_supplier_query() {
+        // The Figure 1 expression: partsupp A× (G_min(σ_partkey=p1.partkey(partsupp)))
+        let inner = PlanBuilder::scan_as("partsupp", "p2")
+            .select(E::eq(
+                E::qualified_column("p2", "partkey"),
+                E::qualified_column("p1", "partkey"),
+            ))
+            .aggregate(
+                vec![],
+                vec![AggCall::new(AggFunc::Min, vec![E::column("supplycost")], "c")],
+            );
+        let plan = PlanBuilder::scan_as("partsupp", "p1")
+            .apply(inner, ApplyKind::Cross, vec![])
+            .select(E::eq(E::column("supplycost"), E::column("c")))
+            .project(vec![
+                (E::column("suppkey"), None),
+                (E::qualified_column("p1", "partkey"), None),
+            ])
+            .build();
+        assert_eq!(plan.node_count(), 7);
+        assert!(plan.contains_apply());
+    }
+
+    #[test]
+    fn builder_covers_every_operator() {
+        let plan = PlanBuilder::single()
+            .project(vec![(E::literal(1), Some("x"))])
+            .apply_merge(
+                PlanBuilder::single().project(vec![(E::literal(2), Some("x"))]),
+                vec![MergeAssignment::new("x", "x")],
+            )
+            .conditional_apply_merge(
+                E::gt(E::column("x"), E::literal(0)),
+                PlanBuilder::single().project(vec![(E::literal("pos"), Some("lbl"))]),
+                PlanBuilder::single().project(vec![(E::literal("neg"), Some("lbl"))]),
+                vec![],
+            )
+            .union(PlanBuilder::single().project(vec![(E::literal(9), Some("x"))]), true)
+            .sort(vec![(E::column("x"), true)])
+            .limit(10)
+            .rename("t")
+            .build();
+        assert!(plan.node_count() >= 8);
+    }
+}

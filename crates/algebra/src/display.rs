@@ -1,0 +1,190 @@
+//! EXPLAIN-style rendering of logical plans.
+//!
+//! The output mirrors the expression trees drawn in the paper's Figures 1–8: one line
+//! per operator, indented by depth, with the operator's own expressions inline.
+
+use std::fmt::Write as _;
+
+use crate::plan::RelExpr;
+
+/// Renders a plan as an indented operator tree.
+pub fn explain(plan: &RelExpr) -> String {
+    let mut out = String::new();
+    write_node(plan, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_node(plan: &RelExpr, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match plan {
+        RelExpr::Single => {
+            let _ = writeln!(out, "Single");
+        }
+        RelExpr::Scan { table, alias } => {
+            let _ = match alias {
+                Some(a) if a != table => writeln!(out, "Scan {table} as {a}"),
+                _ => writeln!(out, "Scan {table}"),
+            };
+        }
+        RelExpr::Values { rows, .. } => {
+            let _ = writeln!(out, "Values ({} rows)", rows.len());
+        }
+        RelExpr::Select { predicate, .. } => {
+            let _ = writeln!(out, "Select [{predicate}]");
+        }
+        RelExpr::Project {
+            items, distinct, ..
+        } => {
+            let items_s: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+            let pi = if *distinct { "Project(distinct)" } else { "Project" };
+            let _ = writeln!(out, "{pi} [{}]", items_s.join(", "));
+        }
+        RelExpr::Aggregate {
+            group_by,
+            aggregates,
+            ..
+        } => {
+            let groups: Vec<String> = group_by.iter().map(|g| g.to_string()).collect();
+            let aggs: Vec<String> = aggregates.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "Aggregate group_by=[{}] aggs=[{}]",
+                groups.join(", "),
+                aggs.join(", ")
+            );
+        }
+        RelExpr::Join {
+            kind, condition, ..
+        } => {
+            let cond = condition
+                .as_ref()
+                .map(|c| format!(" on {c}"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "Join({kind}){cond}");
+        }
+        RelExpr::Union { all, .. } => {
+            let _ = writeln!(out, "Union{}", if *all { " all" } else { "" });
+        }
+        RelExpr::Sort { keys, .. } => {
+            let keys_s: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{} {}", k.expr, if k.ascending { "asc" } else { "desc" }))
+                .collect();
+            let _ = writeln!(out, "Sort [{}]", keys_s.join(", "));
+        }
+        RelExpr::Limit { limit, .. } => {
+            let _ = writeln!(out, "Limit {limit}");
+        }
+        RelExpr::Rename { alias, .. } => {
+            let _ = writeln!(out, "Rename as {alias}");
+        }
+        RelExpr::Apply { kind, bindings, .. } => {
+            let binds = if bindings.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> = bindings.iter().map(|b| b.to_string()).collect();
+                format!(" bind:{}", parts.join(", "))
+            };
+            let _ = writeln!(out, "Apply({kind}){binds}");
+        }
+        RelExpr::ApplyMerge { assignments, .. } => {
+            let assign = if assignments.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> = assignments.iter().map(|a| a.to_string()).collect();
+                format!(" [{}]", parts.join(", "))
+            };
+            let _ = writeln!(out, "ApplyMerge{assign}");
+        }
+        RelExpr::ConditionalApplyMerge {
+            predicate,
+            assignments,
+            ..
+        } => {
+            let assign = if assignments.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> = assignments.iter().map(|a| a.to_string()).collect();
+                format!(" [{}]", parts.join(", "))
+            };
+            let _ = writeln!(out, "ConditionalApplyMerge if {predicate}{assign}");
+        }
+    }
+    for child in plan.children() {
+        write_node(child, depth + 1, out);
+    }
+    // Also show subquery plans nested inside this node's expressions.
+    for e in plan.expressions() {
+        for sub in collect_subqueries(e) {
+            indent(depth + 1, out);
+            let _ = writeln!(out, "[subquery]");
+            write_node(sub, depth + 2, out);
+        }
+    }
+}
+
+fn collect_subqueries(expr: &crate::expr::ScalarExpr) -> Vec<&RelExpr> {
+    use crate::expr::ScalarExpr as E;
+    let mut out = vec![];
+    match expr {
+        E::ScalarSubquery(q) | E::Exists(q) => out.push(q.as_ref()),
+        E::InSubquery { expr, subquery, .. } => {
+            out.extend(collect_subqueries(expr));
+            out.push(subquery.as_ref());
+        }
+        other => {
+            for c in other.children() {
+                out.extend(collect_subqueries(c));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ScalarExpr as E;
+    use crate::plan::{ApplyKind, ParamBinding, ProjectItem};
+
+    #[test]
+    fn explain_shows_tree_structure() {
+        let plan = RelExpr::Project {
+            input: Box::new(RelExpr::Apply {
+                left: Box::new(RelExpr::scan_as("customer", "c")),
+                right: Box::new(RelExpr::Select {
+                    input: Box::new(RelExpr::scan("orders")),
+                    predicate: E::eq(E::column("custkey"), E::param("ckey")),
+                }),
+                kind: ApplyKind::LeftOuter,
+                bindings: vec![ParamBinding::new("ckey", E::qualified_column("c", "custkey"))],
+            }),
+            items: vec![ProjectItem::new(E::qualified_column("c", "custkey"))],
+            distinct: false,
+        };
+        let text = explain(&plan);
+        assert!(text.contains("Project [c.custkey]"));
+        assert!(text.contains("Apply(left outer) bind:ckey=c.custkey"));
+        assert!(text.contains("  Scan customer as c"));
+        assert!(text.contains("Select [(custkey = :ckey)]"));
+    }
+
+    #[test]
+    fn explain_shows_subqueries() {
+        let plan = RelExpr::Select {
+            input: Box::new(RelExpr::scan("partsupp")),
+            predicate: E::eq(
+                E::column("supplycost"),
+                E::ScalarSubquery(Box::new(RelExpr::scan("partsupp"))),
+            ),
+        };
+        let text = explain(&plan);
+        assert!(text.contains("[subquery]"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Relational algebra with the paper's extended `Apply` operators.
+//!
+//! This crate defines the *logical* representation everything else works on:
+//!
+//! * [`expr::ScalarExpr`] — scalar expressions: literals, column references, parameters
+//!   (the paper's correlation variables / UDF formal parameters), arithmetic,
+//!   comparisons, `CASE` (the paper's conditional expressions `(p1?e1 : … : en)`),
+//!   scalar subqueries, UDF invocations and aggregate calls.
+//! * [`plan::RelExpr`] — relational operators: the `Single` relation, scans, selection,
+//!   generalized projection (with and without duplicate elimination), group-by, joins,
+//!   unions, sorting, limit, rename, **and the Apply family**: `Apply` with the *bind*
+//!   extension, `ApplyMerge` (AM) and `ConditionalApplyMerge` (AMC) from Section III of
+//!   the paper.
+//! * [`schema::SchemaProvider`] and schema inference for every operator.
+//! * [`visit`] — recursive traversal / rewrite helpers, free-variable analysis and
+//!   parameter substitution used by the transformation rules.
+//! * [`display`] — indented EXPLAIN-style rendering of plans (the expression trees shown
+//!   in the paper's Figures 1–8).
+
+pub mod builder;
+pub mod display;
+pub mod expr;
+pub mod plan;
+pub mod schema;
+pub mod visit;
+
+pub use builder::PlanBuilder;
+pub use expr::{AggCall, AggFunc, BinaryOp, ColumnRef, ScalarExpr, UnaryOp};
+pub use plan::{ApplyKind, JoinKind, ProjectItem, RelExpr, SortKey};
+pub use schema::{EmptyProvider, MapProvider, SchemaProvider};

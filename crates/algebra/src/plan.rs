@@ -1,0 +1,553 @@
+//! Logical relational operators, including the paper's extended Apply operators.
+
+use std::fmt;
+
+use decorr_common::{normalize_ident, Schema, Value};
+
+use crate::expr::{AggCall, ColumnRef, ScalarExpr};
+
+/// Join types. `LeftSemi` / `LeftAnti` correspond to the paper's semijoin (⋉) and
+/// antijoin annotations of the Apply operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    LeftSemi,
+    LeftAnti,
+    Cross,
+}
+
+impl JoinKind {
+    /// True if the join only returns columns of its left input.
+    pub fn left_only(&self) -> bool {
+        matches!(self, JoinKind::LeftSemi | JoinKind::LeftAnti)
+    }
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinKind::Inner => "inner",
+            JoinKind::LeftOuter => "left outer",
+            JoinKind::LeftSemi => "left semi",
+            JoinKind::LeftAnti => "left anti",
+            JoinKind::Cross => "cross",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The join annotation of an Apply operator: one of cross product (the default), left
+/// outer join, left semijoin and left antijoin — exactly the four variants of
+/// Galindo-Legaria & Joshi used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyKind {
+    Cross,
+    LeftOuter,
+    LeftSemi,
+    LeftAnti,
+}
+
+impl ApplyKind {
+    /// The join kind this Apply turns into when the inner expression is uncorrelated
+    /// (rule K1).
+    pub fn to_join_kind(&self) -> JoinKind {
+        match self {
+            ApplyKind::Cross => JoinKind::Cross,
+            ApplyKind::LeftOuter => JoinKind::LeftOuter,
+            ApplyKind::LeftSemi => JoinKind::LeftSemi,
+            ApplyKind::LeftAnti => JoinKind::LeftAnti,
+        }
+    }
+
+    pub fn left_only(&self) -> bool {
+        matches!(self, ApplyKind::LeftSemi | ApplyKind::LeftAnti)
+    }
+}
+
+impl fmt::Display for ApplyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ApplyKind::Cross => "cross",
+            ApplyKind::LeftOuter => "left outer",
+            ApplyKind::LeftSemi => "left semi",
+            ApplyKind::LeftAnti => "left anti",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One item of a generalized projection: an expression with an optional output alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectItem {
+    pub expr: ScalarExpr,
+    pub alias: Option<String>,
+}
+
+impl ProjectItem {
+    pub fn new(expr: ScalarExpr) -> ProjectItem {
+        ProjectItem { expr, alias: None }
+    }
+
+    pub fn aliased(expr: ScalarExpr, alias: impl Into<String>) -> ProjectItem {
+        ProjectItem {
+            expr,
+            alias: Some(normalize_ident(&alias.into())),
+        }
+    }
+
+    /// The output column name of this item: the alias if given, otherwise the column
+    /// name for plain column references, otherwise a positional name.
+    pub fn output_name(&self, position: usize) -> String {
+        if let Some(a) = &self.alias {
+            return a.clone();
+        }
+        match &self.expr {
+            ScalarExpr::Column(c) => c.name.clone(),
+            ScalarExpr::Param(p) => p.clone(),
+            _ => format!("col{position}"),
+        }
+    }
+}
+
+impl fmt::Display for ProjectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} as {a}", self.expr),
+            None => write!(f, "{}", self.expr),
+        }
+    }
+}
+
+/// A sort key: expression plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub expr: ScalarExpr,
+    pub ascending: bool,
+}
+
+/// A parameter binding of the Apply *bind* extension: formal parameter name and the
+/// actual-argument expression evaluated against the outer (left) input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamBinding {
+    pub param: String,
+    pub value: ScalarExpr,
+}
+
+impl ParamBinding {
+    pub fn new(param: impl Into<String>, value: ScalarExpr) -> ParamBinding {
+        ParamBinding {
+            param: normalize_ident(&param.into()),
+            value,
+        }
+    }
+}
+
+impl fmt::Display for ParamBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.param, self.value)
+    }
+}
+
+/// An assignment `left_attr = right_attr` of the Apply-Merge extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeAssignment {
+    /// Attribute of the left (outer) input being assigned to.
+    pub target: String,
+    /// Attribute of the right (inner) result providing the value.
+    pub source: String,
+}
+
+impl MergeAssignment {
+    pub fn new(target: impl Into<String>, source: impl Into<String>) -> MergeAssignment {
+        MergeAssignment {
+            target: normalize_ident(&target.into()),
+            source: normalize_ident(&source.into()),
+        }
+    }
+}
+
+impl fmt::Display for MergeAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.target, self.source)
+    }
+}
+
+/// A logical relational expression (plan tree).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelExpr {
+    /// The Single relation `S`: one empty tuple and no attributes (Section III). Used to
+    /// return scalar constants or computed values as relations.
+    Single,
+    /// Base table scan, optionally aliased.
+    Scan {
+        table: String,
+        alias: Option<String>,
+    },
+    /// An inline relation of literal rows (used for VALUES lists and unit tests).
+    Values { schema: Schema, rows: Vec<Vec<Value>> },
+    /// Selection σ.
+    Select {
+        input: Box<RelExpr>,
+        predicate: ScalarExpr,
+    },
+    /// Generalized projection Π (`distinct = true`) / Πd (`distinct = false`,
+    /// "projection without duplicate removal", Section III).
+    Project {
+        input: Box<RelExpr>,
+        items: Vec<ProjectItem>,
+        distinct: bool,
+    },
+    /// Group-by / aggregation  `a1,…,an G f1(),…,fm()`.
+    Aggregate {
+        input: Box<RelExpr>,
+        group_by: Vec<ScalarExpr>,
+        aggregates: Vec<AggCall>,
+    },
+    /// Join of two independent inputs.
+    Join {
+        left: Box<RelExpr>,
+        right: Box<RelExpr>,
+        kind: JoinKind,
+        /// Join predicate; `None` for a pure cross product.
+        condition: Option<ScalarExpr>,
+    },
+    /// Bag or set union.
+    Union {
+        left: Box<RelExpr>,
+        right: Box<RelExpr>,
+        all: bool,
+    },
+    /// Sort.
+    Sort {
+        input: Box<RelExpr>,
+        keys: Vec<SortKey>,
+    },
+    /// Row limit (SQL `TOP n` / `LIMIT n`) — used by the experiments to vary the number
+    /// of UDF invocations.
+    Limit { input: Box<RelExpr>, limit: usize },
+    /// Rename operator ρ: re-qualifies every output column with a new relation alias.
+    Rename { input: Box<RelExpr>, alias: String },
+    /// The Apply operator `E0 A⊗ E1` with the *bind* extension (Section III). For every
+    /// tuple of `left` the `right` expression is evaluated with the tuple's attributes in
+    /// scope and with each bind parameter set to its actual-argument value.
+    Apply {
+        left: Box<RelExpr>,
+        right: Box<RelExpr>,
+        kind: ApplyKind,
+        /// Parameter bindings (`bind: p1=a1, …, pn=an`); empty for a plain Apply.
+        bindings: Vec<ParamBinding>,
+    },
+    /// Apply-Merge `r AM(L) e(r)` (Section III): evaluates the single-tuple expression
+    /// `right` per outer tuple and assigns selected result attributes back into the
+    /// outer tuple. An empty assignment list means "merge all common attributes".
+    ApplyMerge {
+        left: Box<RelExpr>,
+        right: Box<RelExpr>,
+        assignments: Vec<MergeAssignment>,
+    },
+    /// Conditional Apply-Merge `r AMC(p, et, ef)` (Section III): models assignments
+    /// inside if-then-else blocks. Evaluates `predicate` per outer tuple and merges the
+    /// result of `then_branch` or `else_branch` accordingly.
+    ConditionalApplyMerge {
+        left: Box<RelExpr>,
+        predicate: ScalarExpr,
+        then_branch: Box<RelExpr>,
+        else_branch: Box<RelExpr>,
+        /// Explicit assignment list; empty means "merge all common attributes".
+        assignments: Vec<MergeAssignment>,
+    },
+}
+
+impl RelExpr {
+    pub fn scan(table: impl Into<String>) -> RelExpr {
+        RelExpr::Scan {
+            table: normalize_ident(&table.into()),
+            alias: None,
+        }
+    }
+
+    pub fn scan_as(table: impl Into<String>, alias: impl Into<String>) -> RelExpr {
+        RelExpr::Scan {
+            table: normalize_ident(&table.into()),
+            alias: Some(normalize_ident(&alias.into())),
+        }
+    }
+
+    /// The operator's immediate relational children (subqueries inside scalar
+    /// expressions are *not* included; see [`crate::visit`]).
+    pub fn children(&self) -> Vec<&RelExpr> {
+        match self {
+            RelExpr::Single | RelExpr::Scan { .. } | RelExpr::Values { .. } => vec![],
+            RelExpr::Select { input, .. }
+            | RelExpr::Project { input, .. }
+            | RelExpr::Aggregate { input, .. }
+            | RelExpr::Sort { input, .. }
+            | RelExpr::Limit { input, .. }
+            | RelExpr::Rename { input, .. } => vec![input],
+            RelExpr::Join { left, right, .. }
+            | RelExpr::Union { left, right, .. }
+            | RelExpr::Apply { left, right, .. }
+            | RelExpr::ApplyMerge { left, right, .. } => vec![left, right],
+            RelExpr::ConditionalApplyMerge {
+                left,
+                then_branch,
+                else_branch,
+                ..
+            } => vec![left, then_branch, else_branch],
+        }
+    }
+
+    /// Rebuilds the operator with new children (in the same order as
+    /// [`RelExpr::children`]). Panics if the number of children does not match.
+    pub fn with_new_children(&self, mut children: Vec<RelExpr>) -> RelExpr {
+        let expected = self.children().len();
+        assert_eq!(
+            children.len(),
+            expected,
+            "with_new_children: expected {expected} children"
+        );
+        let mut next = || Box::new(children.remove(0));
+        match self {
+            RelExpr::Single | RelExpr::Scan { .. } | RelExpr::Values { .. } => self.clone(),
+            RelExpr::Select { predicate, .. } => RelExpr::Select {
+                input: next(),
+                predicate: predicate.clone(),
+            },
+            RelExpr::Project {
+                items, distinct, ..
+            } => RelExpr::Project {
+                input: next(),
+                items: items.clone(),
+                distinct: *distinct,
+            },
+            RelExpr::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => RelExpr::Aggregate {
+                input: next(),
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+            },
+            RelExpr::Sort { keys, .. } => RelExpr::Sort {
+                input: next(),
+                keys: keys.clone(),
+            },
+            RelExpr::Limit { limit, .. } => RelExpr::Limit {
+                input: next(),
+                limit: *limit,
+            },
+            RelExpr::Rename { alias, .. } => RelExpr::Rename {
+                input: next(),
+                alias: alias.clone(),
+            },
+            RelExpr::Join {
+                kind, condition, ..
+            } => RelExpr::Join {
+                left: next(),
+                right: next(),
+                kind: *kind,
+                condition: condition.clone(),
+            },
+            RelExpr::Union { all, .. } => RelExpr::Union {
+                left: next(),
+                right: next(),
+                all: *all,
+            },
+            RelExpr::Apply { kind, bindings, .. } => RelExpr::Apply {
+                left: next(),
+                right: next(),
+                kind: *kind,
+                bindings: bindings.clone(),
+            },
+            RelExpr::ApplyMerge { assignments, .. } => RelExpr::ApplyMerge {
+                left: next(),
+                right: next(),
+                assignments: assignments.clone(),
+            },
+            RelExpr::ConditionalApplyMerge {
+                predicate,
+                assignments,
+                ..
+            } => RelExpr::ConditionalApplyMerge {
+                left: next(),
+                predicate: predicate.clone(),
+                then_branch: next(),
+                else_branch: next(),
+                assignments: assignments.clone(),
+            },
+        }
+    }
+
+    /// Scalar expressions owned directly by this operator (predicates, projection items,
+    /// bindings, …).
+    pub fn expressions(&self) -> Vec<&ScalarExpr> {
+        match self {
+            RelExpr::Select { predicate, .. } => vec![predicate],
+            RelExpr::Project { items, .. } => items.iter().map(|i| &i.expr).collect(),
+            RelExpr::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let mut v: Vec<&ScalarExpr> = group_by.iter().collect();
+                for a in aggregates {
+                    v.extend(a.args.iter());
+                }
+                v
+            }
+            RelExpr::Join { condition, .. } => condition.iter().collect(),
+            RelExpr::Sort { keys, .. } => keys.iter().map(|k| &k.expr).collect(),
+            RelExpr::Apply { bindings, .. } => bindings.iter().map(|b| &b.value).collect(),
+            RelExpr::ConditionalApplyMerge { predicate, .. } => vec![predicate],
+            _ => vec![],
+        }
+    }
+
+    /// A short name for the operator, used in plan display and debugging.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RelExpr::Single => "Single",
+            RelExpr::Scan { .. } => "Scan",
+            RelExpr::Values { .. } => "Values",
+            RelExpr::Select { .. } => "Select",
+            RelExpr::Project { .. } => "Project",
+            RelExpr::Aggregate { .. } => "Aggregate",
+            RelExpr::Join { .. } => "Join",
+            RelExpr::Union { .. } => "Union",
+            RelExpr::Sort { .. } => "Sort",
+            RelExpr::Limit { .. } => "Limit",
+            RelExpr::Rename { .. } => "Rename",
+            RelExpr::Apply { .. } => "Apply",
+            RelExpr::ApplyMerge { .. } => "ApplyMerge",
+            RelExpr::ConditionalApplyMerge { .. } => "ConditionalApplyMerge",
+        }
+    }
+
+    /// True if the plan (recursively, including scalar subqueries) contains any of the
+    /// extended or plain Apply operators — i.e. decorrelation has not (fully) succeeded.
+    pub fn contains_apply(&self) -> bool {
+        if matches!(
+            self,
+            RelExpr::Apply { .. } | RelExpr::ApplyMerge { .. } | RelExpr::ConditionalApplyMerge { .. }
+        ) {
+            return true;
+        }
+        if self.children().iter().any(|c| c.contains_apply()) {
+            return true;
+        }
+        // Descend into subqueries held by scalar expressions.
+        fn expr_has_apply(e: &ScalarExpr) -> bool {
+            match e {
+                ScalarExpr::ScalarSubquery(q) | ScalarExpr::Exists(q) => q.contains_apply(),
+                ScalarExpr::InSubquery { subquery, expr, .. } => {
+                    subquery.contains_apply() || expr_has_apply(expr)
+                }
+                other => other.children().iter().any(|c| expr_has_apply(c)),
+            }
+        }
+        self.expressions().iter().any(|e| expr_has_apply(e))
+    }
+
+    /// True if the plan contains any UDF invocation in its scalar expressions.
+    pub fn contains_udf_call(&self) -> bool {
+        if self.expressions().iter().any(|e| e.contains_udf_call()) {
+            return true;
+        }
+        self.children().iter().any(|c| c.contains_udf_call())
+    }
+
+    /// Counts operators in the plan tree (not descending into scalar subqueries).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Collects the column references appearing in this operator's own expressions.
+    pub fn own_column_refs(&self) -> Vec<ColumnRef> {
+        let mut cols = vec![];
+        for e in self.expressions() {
+            e.collect_columns(&mut cols);
+        }
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ScalarExpr as E;
+
+    fn sample_apply() -> RelExpr {
+        RelExpr::Apply {
+            left: Box::new(RelExpr::scan("customer")),
+            right: Box::new(RelExpr::Select {
+                input: Box::new(RelExpr::scan("orders")),
+                predicate: E::eq(E::column("custkey"), E::param("ckey")),
+            }),
+            kind: ApplyKind::Cross,
+            bindings: vec![ParamBinding::new("ckey", E::column("custkey"))],
+        }
+    }
+
+    #[test]
+    fn children_and_rebuild() {
+        let plan = sample_apply();
+        let children = plan.children();
+        assert_eq!(children.len(), 2);
+        let rebuilt = plan.with_new_children(vec![children[0].clone(), children[1].clone()]);
+        assert_eq!(rebuilt, plan);
+    }
+
+    #[test]
+    fn contains_apply_detection() {
+        assert!(sample_apply().contains_apply());
+        assert!(!RelExpr::scan("customer").contains_apply());
+        // Apply hidden inside a scalar subquery is also detected.
+        let hidden = RelExpr::Select {
+            input: Box::new(RelExpr::scan("t")),
+            predicate: E::eq(
+                ScalarExpr::ScalarSubquery(Box::new(sample_apply())),
+                E::literal(1),
+            ),
+        };
+        assert!(hidden.contains_apply());
+    }
+
+    #[test]
+    fn node_count_counts_operators() {
+        assert_eq!(sample_apply().node_count(), 4);
+        assert_eq!(RelExpr::Single.node_count(), 1);
+    }
+
+    #[test]
+    fn project_item_output_names() {
+        assert_eq!(
+            ProjectItem::aliased(E::literal(1), "One").output_name(0),
+            "one"
+        );
+        assert_eq!(ProjectItem::new(E::column("custkey")).output_name(3), "custkey");
+        assert_eq!(ProjectItem::new(E::literal(5)).output_name(3), "col3");
+    }
+
+    #[test]
+    fn apply_kind_join_mapping() {
+        assert_eq!(ApplyKind::Cross.to_join_kind(), JoinKind::Cross);
+        assert_eq!(ApplyKind::LeftOuter.to_join_kind(), JoinKind::LeftOuter);
+        assert!(ApplyKind::LeftSemi.left_only());
+    }
+
+    #[test]
+    fn udf_call_detection_in_plan() {
+        let plan = RelExpr::Project {
+            input: Box::new(RelExpr::scan("orders")),
+            items: vec![ProjectItem::new(E::udf(
+                "discount",
+                vec![E::column("totalprice")],
+            ))],
+            distinct: false,
+        };
+        assert!(plan.contains_udf_call());
+        assert!(!RelExpr::scan("orders").contains_udf_call());
+    }
+}

@@ -1,0 +1,669 @@
+//! Plan and expression traversal, substitution and free-variable analysis.
+//!
+//! The transformation rules of Section VI need three pieces of static analysis:
+//!
+//! 1. *parameter substitution* — rule R9 (Apply-bind removal) replaces every occurrence
+//!    of a formal parameter in the inner expression with the corresponding actual
+//!    argument;
+//! 2. *free parameters* — a plan whose free parameters are all bound by an Apply-bind can
+//!    be checked for correlation;
+//! 3. *free (outer) column references* — rules K1/K2 require that the inner expression
+//!    "uses no parameters from r", i.e. references no attribute produced by the outer
+//!    expression and no bind parameter.
+
+use std::collections::{HashMap, HashSet};
+
+use decorr_common::Schema;
+
+use crate::expr::{ColumnRef, ScalarExpr};
+use crate::plan::RelExpr;
+use crate::schema::{infer_schema, SchemaProvider};
+
+/// Applies `f` bottom-up to every operator in the plan (children first, then the parent
+/// built from the rewritten children).
+pub fn transform_plan_up(plan: &RelExpr, f: &mut dyn FnMut(RelExpr) -> RelExpr) -> RelExpr {
+    let new_children: Vec<RelExpr> = plan
+        .children()
+        .into_iter()
+        .map(|c| transform_plan_up(c, f))
+        .collect();
+    let rebuilt = if new_children.is_empty() {
+        plan.clone()
+    } else {
+        plan.with_new_children(new_children)
+    };
+    f(rebuilt)
+}
+
+/// Applies `f` bottom-up to every node of a scalar expression. Does not descend into
+/// subquery plans (use [`map_plan_exprs`] / [`transform_expr_with_subqueries`] for that).
+pub fn transform_expr_up(expr: &ScalarExpr, f: &mut dyn FnMut(ScalarExpr) -> ScalarExpr) -> ScalarExpr {
+    let rebuilt = match expr {
+        ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
+            op: *op,
+            left: Box::new(transform_expr_up(left, f)),
+            right: Box::new(transform_expr_up(right, f)),
+        },
+        ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+            op: *op,
+            expr: Box::new(transform_expr_up(expr, f)),
+        },
+        ScalarExpr::Case {
+            branches,
+            else_expr,
+        } => ScalarExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(p, e)| (transform_expr_up(p, f), transform_expr_up(e, f)))
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(transform_expr_up(e, f))),
+        },
+        ScalarExpr::Cast { expr, data_type } => ScalarExpr::Cast {
+            expr: Box::new(transform_expr_up(expr, f)),
+            data_type: *data_type,
+        },
+        ScalarExpr::Coalesce(args) => {
+            ScalarExpr::Coalesce(args.iter().map(|a| transform_expr_up(a, f)).collect())
+        }
+        ScalarExpr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => ScalarExpr::InSubquery {
+            expr: Box::new(transform_expr_up(expr, f)),
+            subquery: subquery.clone(),
+            negated: *negated,
+        },
+        ScalarExpr::UdfCall { name, args } => ScalarExpr::UdfCall {
+            name: name.clone(),
+            args: args.iter().map(|a| transform_expr_up(a, f)).collect(),
+        },
+        leaf => leaf.clone(),
+    };
+    f(rebuilt)
+}
+
+/// Rewrites every scalar expression owned by any operator in the plan (recursively
+/// through the whole tree, including the plans of scalar subqueries) by applying `f`
+/// bottom-up to the expression nodes.
+pub fn map_plan_exprs(plan: &RelExpr, f: &mut dyn FnMut(ScalarExpr) -> ScalarExpr) -> RelExpr {
+    // First rewrite the children.
+    let new_children: Vec<RelExpr> = plan
+        .children()
+        .into_iter()
+        .map(|c| map_plan_exprs(c, f))
+        .collect();
+    let node = if new_children.is_empty() {
+        plan.clone()
+    } else {
+        plan.with_new_children(new_children)
+    };
+    // Then rewrite this node's own expressions, descending into subquery plans.
+    let mut rewrite = |e: &ScalarExpr| -> ScalarExpr {
+        let with_subqueries = transform_expr_with_subqueries(e, f);
+        transform_expr_up(&with_subqueries, f)
+    };
+    map_own_exprs(&node, &mut rewrite)
+}
+
+/// Rewrites subquery plans nested inside a scalar expression using [`map_plan_exprs`].
+fn transform_expr_with_subqueries(
+    expr: &ScalarExpr,
+    f: &mut dyn FnMut(ScalarExpr) -> ScalarExpr,
+) -> ScalarExpr {
+    match expr {
+        ScalarExpr::ScalarSubquery(q) => ScalarExpr::ScalarSubquery(Box::new(map_plan_exprs(q, f))),
+        ScalarExpr::Exists(q) => ScalarExpr::Exists(Box::new(map_plan_exprs(q, f))),
+        ScalarExpr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => ScalarExpr::InSubquery {
+            expr: Box::new(transform_expr_with_subqueries(expr, f)),
+            subquery: Box::new(map_plan_exprs(subquery, f)),
+            negated: *negated,
+        },
+        ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
+            op: *op,
+            left: Box::new(transform_expr_with_subqueries(left, f)),
+            right: Box::new(transform_expr_with_subqueries(right, f)),
+        },
+        ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+            op: *op,
+            expr: Box::new(transform_expr_with_subqueries(expr, f)),
+        },
+        ScalarExpr::Case {
+            branches,
+            else_expr,
+        } => ScalarExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(p, e)| {
+                    (
+                        transform_expr_with_subqueries(p, f),
+                        transform_expr_with_subqueries(e, f),
+                    )
+                })
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(transform_expr_with_subqueries(e, f))),
+        },
+        ScalarExpr::Coalesce(args) => ScalarExpr::Coalesce(
+            args.iter()
+                .map(|a| transform_expr_with_subqueries(a, f))
+                .collect(),
+        ),
+        ScalarExpr::Cast { expr, data_type } => ScalarExpr::Cast {
+            expr: Box::new(transform_expr_with_subqueries(expr, f)),
+            data_type: *data_type,
+        },
+        ScalarExpr::UdfCall { name, args } => ScalarExpr::UdfCall {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| transform_expr_with_subqueries(a, f))
+                .collect(),
+        },
+        leaf => leaf.clone(),
+    }
+}
+
+/// Rewrites the scalar expressions directly owned by one operator (not its children).
+pub fn map_own_exprs(plan: &RelExpr, f: &mut dyn FnMut(&ScalarExpr) -> ScalarExpr) -> RelExpr {
+    use crate::plan::RelExpr as P;
+    match plan {
+        P::Select { input, predicate } => P::Select {
+            input: input.clone(),
+            predicate: f(predicate),
+        },
+        P::Project {
+            input,
+            items,
+            distinct,
+        } => P::Project {
+            input: input.clone(),
+            items: items
+                .iter()
+                .map(|i| crate::plan::ProjectItem {
+                    expr: f(&i.expr),
+                    alias: i.alias.clone(),
+                })
+                .collect(),
+            distinct: *distinct,
+        },
+        P::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => P::Aggregate {
+            input: input.clone(),
+            group_by: group_by.iter().map(|g| f(g)).collect(),
+            aggregates: aggregates
+                .iter()
+                .map(|a| crate::expr::AggCall {
+                    func: a.func.clone(),
+                    args: a.args.iter().map(|x| f(x)).collect(),
+                    distinct: a.distinct,
+                    alias: a.alias.clone(),
+                })
+                .collect(),
+        },
+        P::Join {
+            left,
+            right,
+            kind,
+            condition,
+        } => P::Join {
+            left: left.clone(),
+            right: right.clone(),
+            kind: *kind,
+            condition: condition.as_ref().map(|c| f(c)),
+        },
+        P::Sort { input, keys } => P::Sort {
+            input: input.clone(),
+            keys: keys
+                .iter()
+                .map(|k| crate::plan::SortKey {
+                    expr: f(&k.expr),
+                    ascending: k.ascending,
+                })
+                .collect(),
+        },
+        P::Apply {
+            left,
+            right,
+            kind,
+            bindings,
+        } => P::Apply {
+            left: left.clone(),
+            right: right.clone(),
+            kind: *kind,
+            bindings: bindings
+                .iter()
+                .map(|b| crate::plan::ParamBinding {
+                    param: b.param.clone(),
+                    value: f(&b.value),
+                })
+                .collect(),
+        },
+        P::ConditionalApplyMerge {
+            left,
+            predicate,
+            then_branch,
+            else_branch,
+            assignments,
+        } => P::ConditionalApplyMerge {
+            left: left.clone(),
+            predicate: f(predicate),
+            then_branch: then_branch.clone(),
+            else_branch: else_branch.clone(),
+            assignments: assignments.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Substitutes parameters in a scalar expression using `bindings` (descending into
+/// subquery plans).
+pub fn substitute_params_in_expr(
+    expr: &ScalarExpr,
+    bindings: &HashMap<String, ScalarExpr>,
+) -> ScalarExpr {
+    let subst = |e: ScalarExpr| -> ScalarExpr {
+        if let ScalarExpr::Param(p) = &e {
+            if let Some(replacement) = bindings.get(p) {
+                return replacement.clone();
+            }
+        }
+        e
+    };
+    let mut subst_boxed: Box<dyn FnMut(ScalarExpr) -> ScalarExpr> = Box::new(subst);
+    let with_sub = transform_expr_with_subqueries(expr, &mut subst_boxed);
+    transform_expr_up(&with_sub, &mut subst_boxed)
+}
+
+/// Substitutes parameters throughout a plan. Parameters that are re-bound by a nested
+/// Apply-bind with the same name are *shadowed* and left untouched below that Apply.
+pub fn substitute_params_in_plan(
+    plan: &RelExpr,
+    bindings: &HashMap<String, ScalarExpr>,
+) -> RelExpr {
+    if bindings.is_empty() {
+        return plan.clone();
+    }
+    match plan {
+        RelExpr::Apply {
+            left,
+            right,
+            kind,
+            bindings: apply_bindings,
+        } => {
+            // Binding values are evaluated against the outer scope: substitute in them.
+            let new_bindings: Vec<crate::plan::ParamBinding> = apply_bindings
+                .iter()
+                .map(|b| crate::plan::ParamBinding {
+                    param: b.param.clone(),
+                    value: substitute_params_in_expr(&b.value, bindings),
+                })
+                .collect();
+            // Parameters re-bound here are shadowed in the right child.
+            let mut inner_bindings = bindings.clone();
+            for b in apply_bindings {
+                inner_bindings.remove(&b.param);
+            }
+            RelExpr::Apply {
+                left: Box::new(substitute_params_in_plan(left, bindings)),
+                right: Box::new(substitute_params_in_plan(right, &inner_bindings)),
+                kind: *kind,
+                bindings: new_bindings,
+            }
+        }
+        other => {
+            let new_children: Vec<RelExpr> = other
+                .children()
+                .into_iter()
+                .map(|c| substitute_params_in_plan(c, bindings))
+                .collect();
+            let node = if new_children.is_empty() {
+                other.clone()
+            } else {
+                other.with_new_children(new_children)
+            };
+            map_own_exprs(&node, &mut |e| substitute_params_in_expr(e, bindings))
+        }
+    }
+}
+
+/// Collects the free parameters of a plan: parameters referenced anywhere in the tree
+/// that are not bound by an enclosing Apply-bind inside the plan itself.
+pub fn free_params(plan: &RelExpr) -> Vec<String> {
+    let mut out = vec![];
+    collect_free_params(plan, &HashSet::new(), &mut out);
+    out
+}
+
+fn collect_free_params(plan: &RelExpr, bound: &HashSet<String>, out: &mut Vec<String>) {
+    // Parameters in this node's own expressions.
+    for e in plan.expressions() {
+        collect_expr_free_params(e, bound, out);
+    }
+    match plan {
+        RelExpr::Apply {
+            left,
+            right,
+            bindings,
+            ..
+        } => {
+            collect_free_params(left, bound, out);
+            let mut inner = bound.clone();
+            for b in bindings {
+                inner.insert(b.param.clone());
+            }
+            collect_free_params(right, &inner, out);
+        }
+        other => {
+            for c in other.children() {
+                collect_free_params(c, bound, out);
+            }
+        }
+    }
+}
+
+fn collect_expr_free_params(expr: &ScalarExpr, bound: &HashSet<String>, out: &mut Vec<String>) {
+    match expr {
+        ScalarExpr::Param(p) => {
+            if !bound.contains(p) && !out.contains(p) {
+                out.push(p.clone());
+            }
+        }
+        ScalarExpr::ScalarSubquery(q) | ScalarExpr::Exists(q) => {
+            collect_free_params(q, bound, out)
+        }
+        ScalarExpr::InSubquery { expr, subquery, .. } => {
+            collect_expr_free_params(expr, bound, out);
+            collect_free_params(subquery, bound, out);
+        }
+        other => {
+            for c in other.children() {
+                collect_expr_free_params(c, bound, out);
+            }
+        }
+    }
+}
+
+/// Collects the free column references of a plan: references used anywhere in the tree
+/// that are not produced by the plan's own inputs (they must therefore refer to an outer
+/// query block — the correlation the decorrelation rules try to remove).
+pub fn free_column_refs(plan: &RelExpr, provider: &dyn SchemaProvider) -> Vec<ColumnRef> {
+    let mut out = vec![];
+    collect_free_columns(plan, provider, &mut out);
+    out
+}
+
+fn schema_or_empty(plan: &RelExpr, provider: &dyn SchemaProvider) -> Schema {
+    infer_schema(plan, provider).unwrap_or_else(|_| Schema::empty())
+}
+
+fn collect_free_columns(plan: &RelExpr, provider: &dyn SchemaProvider, out: &mut Vec<ColumnRef>) {
+    // Which relations are visible to this node's own expressions?
+    let visible: Schema = match plan {
+        RelExpr::Join { left, right, .. }
+        | RelExpr::Union { left, right, .. }
+        | RelExpr::Apply { left, right, .. }
+        | RelExpr::ApplyMerge { left, right, .. } => {
+            schema_or_empty(left, provider).join(&schema_or_empty(right, provider))
+        }
+        RelExpr::ConditionalApplyMerge { left, .. } => schema_or_empty(left, provider),
+        other => other
+            .children()
+            .first()
+            .map(|c| schema_or_empty(c, provider))
+            .unwrap_or_else(Schema::empty),
+    };
+    let push_if_free = |c: &ColumnRef, visible: &Schema, out: &mut Vec<ColumnRef>| {
+        if visible.find(c.qualifier.as_deref(), &c.name).is_none() && !out.contains(c) {
+            out.push(c.clone());
+        }
+    };
+    for e in plan.expressions() {
+        let mut subquery_free = vec![];
+        collect_expr_free_columns(e, provider, &mut subquery_free);
+        for c in &subquery_free {
+            push_if_free(c, &visible, out);
+        }
+    }
+    // Children: a child's free columns stay free unless this node is an Apply-family
+    // operator and the left child's schema resolves them (correlation bound here).
+    match plan {
+        RelExpr::Apply { left, right, .. }
+        | RelExpr::ApplyMerge { left, right, .. } => {
+            collect_free_columns(left, provider, out);
+            let mut right_free = vec![];
+            collect_free_columns(right, provider, &mut right_free);
+            let left_schema = schema_or_empty(left, provider);
+            for c in right_free {
+                if left_schema.find(c.qualifier.as_deref(), &c.name).is_none() && !out.contains(&c)
+                {
+                    out.push(c);
+                }
+            }
+        }
+        RelExpr::ConditionalApplyMerge {
+            left,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_free_columns(left, provider, out);
+            let left_schema = schema_or_empty(left, provider);
+            for branch in [then_branch, else_branch] {
+                let mut branch_free = vec![];
+                collect_free_columns(branch, provider, &mut branch_free);
+                for c in branch_free {
+                    if left_schema.find(c.qualifier.as_deref(), &c.name).is_none()
+                        && !out.contains(&c)
+                    {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        other => {
+            for c in other.children() {
+                collect_free_columns(c, provider, out);
+            }
+        }
+    }
+}
+
+fn collect_expr_free_columns(
+    expr: &ScalarExpr,
+    provider: &dyn SchemaProvider,
+    out: &mut Vec<ColumnRef>,
+) {
+    match expr {
+        ScalarExpr::Column(c) => {
+            if !out.contains(c) {
+                out.push(c.clone());
+            }
+        }
+        ScalarExpr::ScalarSubquery(q) | ScalarExpr::Exists(q) => {
+            // Free columns of the nested subquery are free here too.
+            let nested = free_column_refs(q, provider);
+            for c in nested {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        ScalarExpr::InSubquery { expr, subquery, .. } => {
+            collect_expr_free_columns(expr, provider, out);
+            let nested = free_column_refs(subquery, provider);
+            for c in nested {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        other => {
+            for c in other.children() {
+                collect_expr_free_columns(c, provider, out);
+            }
+        }
+    }
+}
+
+/// True if the inner (right) expression of an Apply is *uncorrelated* with respect to the
+/// outer schema and bind parameters: it references no outer column and no parameter bound
+/// by `bound_params`. This is the "e uses no parameters from r" side condition of rules
+/// K1 and K2.
+pub fn is_uncorrelated(
+    inner: &RelExpr,
+    outer_schema: &Schema,
+    bound_params: &[String],
+    provider: &dyn SchemaProvider,
+) -> bool {
+    let params = free_params(inner);
+    if params.iter().any(|p| bound_params.contains(p)) {
+        return false;
+    }
+    let free_cols = free_column_refs(inner, provider);
+    !free_cols
+        .iter()
+        .any(|c| outer_schema.find(c.qualifier.as_deref(), &c.name).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ScalarExpr as E;
+    use crate::plan::{ApplyKind, ParamBinding, ProjectItem};
+    use crate::schema::MapProvider;
+    use decorr_common::{Column, DataType};
+
+    fn provider() -> MapProvider {
+        MapProvider::new()
+            .with_table(
+                "customer",
+                Schema::new(vec![Column::new("custkey", DataType::Int)]),
+            )
+            .with_table(
+                "orders",
+                Schema::new(vec![
+                    Column::new("orderkey", DataType::Int),
+                    Column::new("custkey", DataType::Int),
+                    Column::new("totalprice", DataType::Float),
+                ]),
+            )
+    }
+
+    fn correlated_inner() -> RelExpr {
+        RelExpr::Select {
+            input: Box::new(RelExpr::scan("orders")),
+            predicate: E::eq(E::column("custkey"), E::param("ckey")),
+        }
+    }
+
+    #[test]
+    fn substitute_params_replaces_free_only() {
+        let mut bindings = HashMap::new();
+        bindings.insert("ckey".to_string(), E::qualified_column("c", "custkey"));
+        let plan = correlated_inner();
+        let rewritten = substitute_params_in_plan(&plan, &bindings);
+        assert!(free_params(&rewritten).is_empty());
+        // A nested apply that rebinds ckey shadows the substitution.
+        let nested = RelExpr::Apply {
+            left: Box::new(RelExpr::scan("customer")),
+            right: Box::new(correlated_inner()),
+            kind: ApplyKind::Cross,
+            bindings: vec![ParamBinding::new("ckey", E::column("custkey"))],
+        };
+        let rewritten = substitute_params_in_plan(&nested, &bindings);
+        assert!(free_params(&rewritten).is_empty());
+        match rewritten {
+            RelExpr::Apply { right, .. } => {
+                // The inner param is still :ckey (shadowed), not c.custkey.
+                assert_eq!(free_params(&right), vec!["ckey".to_string()]);
+            }
+            other => panic!("expected Apply, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn free_params_bound_by_apply_bind_are_not_free() {
+        let plan = RelExpr::Apply {
+            left: Box::new(RelExpr::scan("customer")),
+            right: Box::new(correlated_inner()),
+            kind: ApplyKind::Cross,
+            bindings: vec![ParamBinding::new("ckey", E::column("custkey"))],
+        };
+        assert!(free_params(&plan).is_empty());
+        assert_eq!(free_params(&correlated_inner()), vec!["ckey".to_string()]);
+    }
+
+    #[test]
+    fn free_columns_detect_correlation() {
+        // orders-side select referencing c.custkey (outer) is correlated.
+        let inner = RelExpr::Select {
+            input: Box::new(RelExpr::scan("orders")),
+            predicate: E::eq(E::column("custkey"), E::qualified_column("c", "custkey")),
+        };
+        let free = free_column_refs(&inner, &provider());
+        assert_eq!(free.len(), 1);
+        assert_eq!(free[0].qualifier.as_deref(), Some("c"));
+
+        let outer_schema = provider()
+            .table_schema("customer")
+            .unwrap()
+            .with_qualifier("c");
+        assert!(!is_uncorrelated(&inner, &outer_schema, &[], &provider()));
+
+        let uncorrelated = RelExpr::Select {
+            input: Box::new(RelExpr::scan("orders")),
+            predicate: E::gt(E::column("totalprice"), E::literal(100)),
+        };
+        assert!(is_uncorrelated(
+            &uncorrelated,
+            &outer_schema,
+            &[],
+            &provider()
+        ));
+    }
+
+    #[test]
+    fn transform_plan_up_rewrites_nodes() {
+        let plan = RelExpr::Select {
+            input: Box::new(RelExpr::scan("orders")),
+            predicate: E::literal(true),
+        };
+        // Remove trivially-true selections.
+        let rewritten = transform_plan_up(&plan, &mut |node| match node {
+            RelExpr::Select { input, predicate } if predicate.is_true_literal() => *input,
+            other => other,
+        });
+        assert_eq!(rewritten, RelExpr::scan("orders"));
+    }
+
+    #[test]
+    fn map_plan_exprs_descends_into_subqueries() {
+        let plan = RelExpr::Project {
+            input: Box::new(RelExpr::scan("customer")),
+            items: vec![ProjectItem::aliased(
+                ScalarExpr::ScalarSubquery(Box::new(correlated_inner())),
+                "tb",
+            )],
+            distinct: false,
+        };
+        let mut saw_param = false;
+        map_plan_exprs(&plan, &mut |e| {
+            if matches!(e, ScalarExpr::Param(_)) {
+                saw_param = true;
+            }
+            e
+        });
+        assert!(saw_param, "expected traversal to reach params inside subquery plans");
+    }
+}

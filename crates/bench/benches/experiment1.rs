@@ -1,0 +1,27 @@
+//! Experiment 1 (Figure 10): discount(totalprice, custkey) over orders — original
+//! (iterative) vs rewritten (decorrelated), varying the number of UDF invocations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decorr_bench::setup;
+use decorr_engine::QueryOptions;
+use decorr_tpch::experiment1;
+
+fn bench(c: &mut Criterion) {
+    let workload = experiment1();
+    let db = setup(&workload, 1_000);
+    let mut group = c.benchmark_group("experiment1_figure10");
+    group.sample_size(10);
+    for invocations in [100usize, 1_000, 10_000] {
+        let sql = (workload.query)(invocations);
+        group.bench_with_input(BenchmarkId::new("original", invocations), &sql, |b, sql| {
+            b.iter(|| db.query_with(sql, &QueryOptions::iterative()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rewritten", invocations), &sql, |b, sql| {
+            b.iter(|| db.query_with(sql, &QueryOptions::decorrelated()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Micro-benchmark of the rewrite pipeline itself (Tables I & II): how long the
+//! algebraize → merge → rule-application pipeline takes for each experiment's query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decorr_bench::setup;
+use decorr_exec::CatalogProvider;
+use decorr_parser::parse_and_plan;
+use decorr_rewrite::{rewrite_query, RewriteOptions};
+use decorr_tpch::{experiment1, experiment2, experiment3};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite_pipeline");
+    group.sample_size(20);
+    for workload in [experiment1(), experiment2(), experiment3()] {
+        let db = setup(&workload, 100);
+        let plan = parse_and_plan(&(workload.query)(100)).unwrap();
+        group.bench_with_input(BenchmarkId::new("rewrite", workload.name), &plan, |b, plan| {
+            b.iter(|| {
+                let provider = CatalogProvider::new(db.catalog(), db.registry());
+                let outcome = rewrite_query(
+                    plan,
+                    db.registry(),
+                    &provider,
+                    &RewriteOptions::default(),
+                )
+                .unwrap();
+                assert!(outcome.decorrelated);
+                outcome
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

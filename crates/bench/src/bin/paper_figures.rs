@@ -1,0 +1,64 @@
+//! Regenerates the series behind the paper's evaluation figures (Figures 10, 11, 12).
+//!
+//! ```text
+//! cargo run --release -p decorr-bench --bin paper_figures            # all experiments
+//! cargo run --release -p decorr-bench --bin paper_figures -- --experiment 2
+//! cargo run --release -p decorr-bench --bin paper_figures -- --scale 5000
+//! ```
+//!
+//! For every experiment the harness prints the same two series the paper plots: elapsed
+//! time of the original (iterative UDF invocation) query and of the rewritten
+//! (decorrelated) query as the number of UDF invocations grows. Absolute numbers differ
+//! from the paper (this engine is an in-memory simulator, not a commercial DBMS on a
+//! 10 GB TPC-H database); the *shape* — who wins and by how much as invocations grow —
+//! is the reproduction target.
+
+use decorr_bench::{format_sweep, run_sweep};
+use decorr_tpch::{experiment1, experiment2, experiment3};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let experiment = arg_value(&args, "--experiment");
+    let scale: usize = arg_value(&args, "--scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+
+    let run_1 = experiment.as_deref().map(|e| e == "1").unwrap_or(true);
+    let run_2 = experiment.as_deref().map(|e| e == "2").unwrap_or(true);
+    let run_3 = experiment.as_deref().map(|e| e == "3").unwrap_or(true);
+
+    if run_1 {
+        // Figure 10: invocations = orders touched (10 … all orders).
+        let workload = experiment1();
+        let max_orders = scale * 10;
+        let sweep: Vec<usize> = [10, 50, 100, 500, 1_000, 5_000, 10_000, 20_000]
+            .into_iter()
+            .filter(|&n| n <= max_orders)
+            .collect();
+        let points = run_sweep(&workload, scale, &sweep);
+        println!("{}", format_sweep(workload.name, &points));
+    }
+    if run_2 {
+        // Figure 11: invocations = customers touched.
+        let workload = experiment2();
+        let sweep: Vec<usize> = [10, 50, 100, 500, 1_000, 2_000, 5_000]
+            .into_iter()
+            .filter(|&n| n <= scale)
+            .collect();
+        let points = run_sweep(&workload, scale, &sweep);
+        println!("{}", format_sweep(workload.name, &points));
+    }
+    if run_3 {
+        // Figure 12: invocations = categories touched (5 … 200 by default).
+        let workload = experiment3();
+        let sweep = [5usize, 10, 50, 100, 200];
+        let points = run_sweep(&workload, scale, &sweep);
+        println!("{}", format_sweep(workload.name, &points));
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,108 @@
+//! Shared helpers for the benchmark harness and the Criterion benches.
+//!
+//! Every experiment compares the same two strategies the paper compares:
+//! the **original** query (iterative UDF invocation per tuple) and the **rewritten**
+//! (decorrelated) query, over the same generated data, while sweeping the number of UDF
+//! invocations.
+
+use std::time::{Duration, Instant};
+
+use decorr_engine::{Database, QueryOptions};
+use decorr_tpch::{generate, TpchConfig, Workload};
+
+/// One measured point of an experiment sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    pub invocations: usize,
+    pub original: Duration,
+    pub rewritten: Duration,
+    pub original_rows: usize,
+    pub rewritten_rows: usize,
+}
+
+impl SweepPoint {
+    pub fn speedup(&self) -> f64 {
+        let rewritten = self.rewritten.as_secs_f64().max(1e-9);
+        self.original.as_secs_f64() / rewritten
+    }
+}
+
+/// Builds the benchmark database at the given customer scale and installs a workload.
+pub fn setup(workload: &Workload, customers: usize) -> Database {
+    let config = TpchConfig::default().with_customers(customers);
+    let mut db = generate(&config).expect("data generation");
+    workload.install(&mut db).expect("workload install");
+    db
+}
+
+/// Times one execution of the workload query under both strategies.
+pub fn measure_point(db: &Database, workload: &Workload, invocations: usize) -> SweepPoint {
+    let sql = (workload.query)(invocations);
+    let start = Instant::now();
+    let original = db
+        .query_with(&sql, &QueryOptions::iterative())
+        .expect("iterative execution");
+    let original_time = start.elapsed();
+    let start = Instant::now();
+    let rewritten = db
+        .query_with(&sql, &QueryOptions::decorrelated())
+        .expect("decorrelated execution");
+    let rewritten_time = start.elapsed();
+    assert_eq!(
+        original.rows.len(),
+        rewritten.rows.len(),
+        "strategies disagree on row count for {invocations} invocations"
+    );
+    SweepPoint {
+        invocations,
+        original: original_time,
+        rewritten: rewritten_time,
+        original_rows: original.rows.len(),
+        rewritten_rows: rewritten.rows.len(),
+    }
+}
+
+/// Runs a full sweep and returns the points (used by the `paper_figures` binary and the
+/// EXPERIMENTS.md numbers).
+pub fn run_sweep(workload: &Workload, customers: usize, invocations: &[usize]) -> Vec<SweepPoint> {
+    let db = setup(workload, customers);
+    invocations
+        .iter()
+        .map(|&n| measure_point(&db, workload, n))
+        .collect()
+}
+
+/// Formats a sweep as the fixed-width table printed by `paper_figures`.
+pub fn format_sweep(name: &str, points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{name}\n"));
+    out.push_str(&format!(
+        "{:>12} {:>16} {:>16} {:>10}\n",
+        "invocations", "original (ms)", "rewritten (ms)", "speedup"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>12} {:>16.2} {:>16.2} {:>9.1}x\n",
+            p.invocations,
+            p.original.as_secs_f64() * 1e3,
+            p.rewritten.as_secs_f64() * 1e3,
+            p.speedup()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_tpch::experiment2;
+
+    #[test]
+    fn sweep_produces_consistent_row_counts() {
+        let points = run_sweep(&experiment2(), 60, &[5, 20]);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].original_rows <= points[1].original_rows);
+        let table = format_sweep("test", &points);
+        assert!(table.contains("invocations"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Every error the engine can produce, from parsing through rewriting to execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Lexing / parsing errors: the offending text and a message.
+    Parse(String),
+    /// Catalog errors: unknown table, duplicate table, unknown column, unknown function.
+    Catalog(String),
+    /// Name resolution / binding errors.
+    Binding(String),
+    /// Static or dynamic type errors.
+    TypeError(String),
+    /// Errors raised while rewriting / decorrelating (e.g. an Apply operator that cannot
+    /// be removed when the caller demanded full decorrelation).
+    Rewrite(String),
+    /// Runtime execution errors (division by zero, scalar subquery returning more than
+    /// one row, uninitialised cursor, ...).
+    Execution(String),
+    /// Feature that the engine intentionally does not support (mirrors the paper's
+    /// listed limitations, e.g. decorrelating UDFs with side effects).
+    Unsupported(String),
+    /// Internal invariant violation — indicates a bug in the engine itself.
+    Internal(String),
+}
+
+impl Error {
+    /// Short machine-readable category name, useful in tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Catalog(_) => "catalog",
+            Error::Binding(_) => "binding",
+            Error::TypeError(_) => "type",
+            Error::Rewrite(_) => "rewrite",
+            Error::Execution(_) => "execution",
+            Error::Unsupported(_) => "unsupported",
+            Error::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Binding(m) => write!(f, "binding error: {m}"),
+            Error::TypeError(m) => write!(f, "type error: {m}"),
+            Error::Rewrite(m) => write!(f, "rewrite error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind() {
+        let e = Error::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(Error::Unsupported("x".into()).kind(), "unsupported");
+    }
+}

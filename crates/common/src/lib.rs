@@ -1,0 +1,34 @@
+//! Common data model shared by every crate in the UDF-decorrelation workspace.
+//!
+//! This crate defines the dynamically typed [`Value`], the [`DataType`] lattice used for
+//! (light-weight) type checking, relation [`Schema`]s, [`Row`]s and the workspace-wide
+//! [`Error`] type. It deliberately has no dependencies so that every other crate —
+//! storage, algebra, parser, rewrite engine, executor — can share one vocabulary.
+
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use value::{DataType, Value};
+
+/// Normalises an identifier the way the engine treats all identifiers: SQL identifiers
+/// are case-insensitive, so everything is folded to lower case.
+pub fn normalize_ident(s: &str) -> String {
+    s.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_folds_case() {
+        assert_eq!(normalize_ident("CustKey"), "custkey");
+        assert_eq!(normalize_ident("ORDERS"), "orders");
+        assert_eq!(normalize_ident("already_lower"), "already_lower");
+    }
+}

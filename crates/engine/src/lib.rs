@@ -1,0 +1,581 @@
+//! The engine facade: an embeddable in-memory SQL database with UDF decorrelation.
+//!
+//! [`Database`] wires every subsystem together: the parser front end, the storage
+//! catalog, the function registry, the decorrelation rewriter, the cost-based strategy
+//! choice and the executor. A query submitted through [`Database::query`] goes through
+//! exactly the paper's pipeline: parse → algebraize & merge UDFs → remove Apply
+//! operators → (cost-based) choice between the iterative and the decorrelated plan →
+//! execute.
+
+use decorr_algebra::display::explain;
+use decorr_algebra::RelExpr;
+use decorr_common::{Error, Result, Row, Schema, Value};
+use decorr_exec::{CatalogProvider, Env, ExecConfig, Executor};
+use decorr_optimizer::{choose_strategy, StrategyChoice};
+use decorr_parser::{parse_statements, plan_select, SqlStatement};
+use decorr_rewrite::rules::{apply_rules_to_fixpoint, RuleSet};
+use decorr_rewrite::{plan_to_sql, rewrite_query, RewriteOptions};
+use decorr_storage::Catalog;
+use decorr_udf::FunctionRegistry;
+
+/// How the engine should execute a query that invokes UDFs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionStrategy {
+    /// Decorrelate when possible and let the cost model pick between the iterative and
+    /// the rewritten plan (the paper's intended deployment).
+    #[default]
+    Auto,
+    /// Always execute the original plan, invoking UDFs tuple-at-a-time (the baseline of
+    /// every experiment in the paper).
+    Iterative,
+    /// Always execute the decorrelated plan; fails if decorrelation is not possible.
+    Decorrelated,
+}
+
+/// Per-query options.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    pub strategy: ExecutionStrategy,
+    /// Override the executor configuration (hash-join threshold etc.).
+    pub exec_config: Option<ExecConfig>,
+}
+
+impl QueryOptions {
+    pub fn iterative() -> QueryOptions {
+        QueryOptions {
+            strategy: ExecutionStrategy::Iterative,
+            ..QueryOptions::default()
+        }
+    }
+
+    pub fn decorrelated() -> QueryOptions {
+        QueryOptions {
+            strategy: ExecutionStrategy::Decorrelated,
+            ..QueryOptions::default()
+        }
+    }
+}
+
+/// The result of a query, together with how it was obtained.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    /// The strategy that was requested.
+    pub strategy: ExecutionStrategy,
+    /// True if the executed plan was the decorrelated one.
+    pub used_decorrelated_plan: bool,
+    /// Notes from the rewriter (skipped UDFs, reasons decorrelation was abandoned).
+    pub rewrite_notes: Vec<String>,
+    /// Rules that fired during rewriting.
+    pub applied_rules: Vec<String>,
+    /// Executor counters (UDF invocations performed, index lookups, joins, …).
+    pub exec_stats: decorr_exec::executor::ExecStats,
+}
+
+impl QueryResult {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Values of a named output column.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of(None, name)?;
+        Ok(self.rows.iter().map(|r| r.get(idx).clone()).collect())
+    }
+
+    /// Order-insensitive canonical form restricted to the given columns (for comparing
+    /// the iterative and decorrelated executions in tests).
+    pub fn canonical_projection(&self, columns: &[&str]) -> Result<Vec<String>> {
+        let indices: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.index_of(None, c))
+            .collect::<Result<Vec<_>>>()?;
+        let mut out: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let projected: Vec<String> =
+                    indices.iter().map(|&i| r.get(i).to_string()).collect();
+                format!("({})", projected.join(", "))
+            })
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Report produced by [`Database::rewrite_sql`] — the output of the paper's standalone
+/// rewrite tool: the rewritten SQL text plus any auxiliary aggregate definitions.
+#[derive(Debug, Clone)]
+pub struct RewriteReport {
+    pub decorrelated: bool,
+    pub rewritten_sql: String,
+    pub auxiliary_functions: Vec<String>,
+    pub applied_rules: Vec<String>,
+    pub notes: Vec<String>,
+}
+
+/// Summary of a non-query statement execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutionSummary {
+    TableCreated(String),
+    TableDropped(String),
+    IndexCreated { table: String, column: String },
+    RowsInserted(usize),
+    FunctionCreated(String),
+    /// A SELECT executed through [`Database::execute`]; holds the number of rows.
+    QueryRows(usize),
+}
+
+/// An embeddable in-memory SQL engine with UDF decorrelation.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    registry: FunctionRegistry,
+    exec_config: ExecConfig,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database {
+            catalog: Catalog::new(),
+            registry: FunctionRegistry::new(),
+            exec_config: ExecConfig::default(),
+        }
+    }
+
+    pub fn with_exec_config(exec_config: ExecConfig) -> Database {
+        Database {
+            catalog: Catalog::new(),
+            registry: FunctionRegistry::new(),
+            exec_config,
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    pub fn registry_mut(&mut self) -> &mut FunctionRegistry {
+        &mut self.registry
+    }
+
+    /// Executes one or more statements (DDL, DML, `CREATE FUNCTION`, or queries) and
+    /// returns a summary per statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Vec<ExecutionSummary>> {
+        let statements = parse_statements(sql)?;
+        let mut out = vec![];
+        for stmt in statements {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    fn execute_statement(&mut self, stmt: SqlStatement) -> Result<ExecutionSummary> {
+        match stmt {
+            SqlStatement::CreateTable { name, columns } => {
+                self.catalog.create_table(&name, Schema::new(columns))?;
+                Ok(ExecutionSummary::TableCreated(name))
+            }
+            SqlStatement::DropTable { name } => {
+                self.catalog.drop_table(&name)?;
+                Ok(ExecutionSummary::TableDropped(name))
+            }
+            SqlStatement::CreateIndex { table, column } => {
+                self.catalog.create_index(&table, &column)?;
+                Ok(ExecutionSummary::IndexCreated { table, column })
+            }
+            SqlStatement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let n = self.insert_parsed_rows(&table, columns.as_deref(), &rows)?;
+                Ok(ExecutionSummary::RowsInserted(n))
+            }
+            SqlStatement::CreateFunction(udf) => {
+                let name = udf.name.clone();
+                let normalized = self.normalize_udf(udf);
+                self.registry.register_udf(normalized);
+                Ok(ExecutionSummary::FunctionCreated(name))
+            }
+            SqlStatement::Query(select) => {
+                let plan = plan_select(&select)?;
+                let result = self.run_plan(&plan, &QueryOptions::default())?;
+                Ok(ExecutionSummary::QueryRows(result.rows.len()))
+            }
+        }
+    }
+
+    fn insert_parsed_rows(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<decorr_algebra::ScalarExpr>],
+    ) -> Result<usize> {
+        let schema = self.catalog.table_schema(table)?;
+        let mut materialized = vec![];
+        {
+            // Evaluate the value expressions (constants and constant arithmetic).
+            let executor =
+                Executor::with_config(&self.catalog, &self.registry, self.exec_config.clone());
+            let env = Env::root();
+            for row in rows {
+                let values: Result<Vec<Value>> =
+                    row.iter().map(|e| executor.eval_expr(e, &env)).collect();
+                let values = values?;
+                let full_row = match columns {
+                    None => Row::new(values),
+                    Some(cols) => {
+                        if cols.len() != values.len() {
+                            return Err(Error::Execution(format!(
+                                "INSERT provides {} values for {} columns",
+                                values.len(),
+                                cols.len()
+                            )));
+                        }
+                        let mut full = vec![Value::Null; schema.len()];
+                        for (c, v) in cols.iter().zip(values) {
+                            let idx = schema.index_of(None, c)?;
+                            full[idx] = v;
+                        }
+                        Row::new(full)
+                    }
+                };
+                materialized.push(full_row);
+            }
+        }
+        self.catalog.insert_rows(table, materialized)
+    }
+
+    /// Registers a UDF from its `CREATE FUNCTION` source. The queries inside the body
+    /// are normalised (predicate pushdown etc.) so that iterative invocation executes
+    /// them with reasonable plans, just like a commercial system would.
+    pub fn register_function(&mut self, sql: &str) -> Result<()> {
+        let udf = decorr_parser::parse_function(sql)?;
+        let normalized = self.normalize_udf(udf);
+        self.registry.register_udf(normalized);
+        Ok(())
+    }
+
+    /// Applies the cleanup/normalisation rules to a query plan.
+    fn normalize_plan(&self, plan: &RelExpr) -> RelExpr {
+        let provider = CatalogProvider::new(&self.catalog, &self.registry);
+        let (normalized, _) =
+            apply_rules_to_fixpoint(plan, &RuleSet::cleanup_only(), &provider, 10);
+        normalized
+    }
+
+    /// Normalises every query embedded in a UDF body.
+    fn normalize_udf(&self, mut udf: decorr_udf::UdfDefinition) -> decorr_udf::UdfDefinition {
+        fn walk(stmts: &mut [decorr_udf::Statement], normalize: &dyn Fn(&RelExpr) -> RelExpr) {
+            for stmt in stmts {
+                match stmt {
+                    decorr_udf::Statement::SelectInto { query, .. } => *query = normalize(query),
+                    decorr_udf::Statement::CursorLoop { query, body, .. } => {
+                        *query = normalize(query);
+                        walk(body, normalize);
+                    }
+                    decorr_udf::Statement::While { body, .. } => walk(body, normalize),
+                    decorr_udf::Statement::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        walk(then_branch, normalize);
+                        walk(else_branch, normalize);
+                    }
+                    decorr_udf::Statement::Return {
+                        expr: Some(decorr_algebra::ScalarExpr::ScalarSubquery(q)),
+                    } => *q = Box::new(normalize(q)),
+                    decorr_udf::Statement::Assign {
+                        expr: decorr_algebra::ScalarExpr::ScalarSubquery(q),
+                        ..
+                    } => *q = Box::new(normalize(q)),
+                    _ => {}
+                }
+            }
+        }
+        let normalize = |plan: &RelExpr| self.normalize_plan(plan);
+        walk(&mut udf.body, &normalize);
+        udf
+    }
+
+    /// Runs a `SELECT` query with the default (cost-based) strategy.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.query_with(sql, &QueryOptions::default())
+    }
+
+    /// Runs a `SELECT` query with explicit options.
+    pub fn query_with(&self, sql: &str, options: &QueryOptions) -> Result<QueryResult> {
+        let select = decorr_parser::parse_query(sql)?;
+        let plan = plan_select(&select)?;
+        self.run_plan(&plan, options)
+    }
+
+    /// Runs an already-planned query.
+    pub fn run_plan(&self, plan: &RelExpr, options: &QueryOptions) -> Result<QueryResult> {
+        // Normalise the plan first (predicate pushdown, projection merging) so that even
+        // the iterative baseline executes comma-syntax joins as proper joins.
+        let plan = &self.normalize_plan(plan);
+        let provider = CatalogProvider::new(&self.catalog, &self.registry);
+        let rewrite_options = RewriteOptions::default();
+        let outcome = match options.strategy {
+            ExecutionStrategy::Iterative => None,
+            _ => Some(rewrite_query(plan, &self.registry, &provider, &rewrite_options)?),
+        };
+        // Register auxiliary aggregates in a per-query copy of the registry.
+        let mut effective_registry = self.registry.clone();
+        if let Some(o) = &outcome {
+            for agg in &o.aux_aggregates {
+                effective_registry.register_aggregate(agg.clone());
+            }
+        }
+        let (chosen_plan, used_decorrelated) = match (&options.strategy, &outcome) {
+            (ExecutionStrategy::Iterative, _) => (plan.clone(), false),
+            (ExecutionStrategy::Decorrelated, Some(o)) => {
+                if !o.decorrelated {
+                    return Err(Error::Rewrite(format!(
+                        "query could not be decorrelated: {}",
+                        o.notes.join("; ")
+                    )));
+                }
+                (o.plan.clone(), true)
+            }
+            (ExecutionStrategy::Auto, Some(o)) => {
+                if o.decorrelated {
+                    let decision = choose_strategy(plan, &o.plan, &self.catalog, &self.registry);
+                    match decision.choice {
+                        StrategyChoice::Decorrelated => (o.plan.clone(), true),
+                        StrategyChoice::Iterative => (plan.clone(), false),
+                    }
+                } else {
+                    (plan.clone(), false)
+                }
+            }
+            (_, None) => (plan.clone(), false),
+        };
+        let config = options
+            .exec_config
+            .clone()
+            .unwrap_or_else(|| self.exec_config.clone());
+        let executor = Executor::with_config(&self.catalog, &effective_registry, config);
+        let result_set = executor.execute(&chosen_plan)?;
+        Ok(QueryResult {
+            schema: result_set.schema,
+            rows: result_set.rows,
+            strategy: options.strategy,
+            used_decorrelated_plan: used_decorrelated,
+            rewrite_notes: outcome.as_ref().map(|o| o.notes.clone()).unwrap_or_default(),
+            applied_rules: outcome
+                .as_ref()
+                .map(|o| o.applied_rules.clone())
+                .unwrap_or_default(),
+            exec_stats: executor.stats_snapshot(),
+        })
+    }
+
+    /// Returns an EXPLAIN-style report: the original plan, the rewritten plan (if any),
+    /// the rules that fired, and the cost-based decision.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let select = decorr_parser::parse_query(sql)?;
+        let plan = plan_select(&select)?;
+        let provider = CatalogProvider::new(&self.catalog, &self.registry);
+        let outcome = rewrite_query(&plan, &self.registry, &provider, &RewriteOptions::default())?;
+        let mut out = String::new();
+        out.push_str("== original (iterative) plan ==\n");
+        out.push_str(&explain(&plan));
+        if outcome.decorrelated {
+            out.push_str("\n== decorrelated plan ==\n");
+            out.push_str(&explain(&outcome.plan));
+            out.push_str("\n== rules applied ==\n");
+            out.push_str(&outcome.applied_rules.join(", "));
+            out.push('\n');
+            let decision = choose_strategy(&plan, &outcome.plan, &self.catalog, &self.registry);
+            out.push_str("\n== cost-based decision ==\n");
+            out.push_str(&decision.summary());
+            out.push('\n');
+        } else {
+            out.push_str("\n== decorrelation ==\nnot performed: ");
+            out.push_str(&outcome.notes.join("; "));
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// The standalone rewrite-tool entry point (Figure 9): returns the rewritten SQL text
+    /// and the auxiliary aggregate definitions, without executing anything.
+    pub fn rewrite_sql(&self, sql: &str) -> Result<RewriteReport> {
+        let select = decorr_parser::parse_query(sql)?;
+        let plan = plan_select(&select)?;
+        let provider = CatalogProvider::new(&self.catalog, &self.registry);
+        let outcome = rewrite_query(&plan, &self.registry, &provider, &RewriteOptions::default())?;
+        Ok(RewriteReport {
+            decorrelated: outcome.decorrelated,
+            rewritten_sql: plan_to_sql(&outcome.plan),
+            auxiliary_functions: outcome
+                .aux_aggregates
+                .iter()
+                .map(|a| a.to_string())
+                .collect(),
+            applied_rules: outcome.applied_rules,
+            notes: outcome.notes,
+        })
+    }
+
+    /// Bulk-loads rows built programmatically (used by the TPC-H style generator).
+    pub fn load_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        self.catalog.insert_rows(table, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.execute(
+            "create table customer(custkey int not null, name varchar(25)); \
+             create table orders(orderkey int not null, custkey int, totalprice float); \
+             create index on orders(custkey);",
+        )
+        .unwrap();
+        let customers: Vec<Row> = (1..=20i64)
+            .map(|i| Row::new(vec![Value::Int(i), Value::str(format!("Customer#{i}"))]))
+            .collect();
+        db.load_rows("customer", customers).unwrap();
+        let mut orders = vec![];
+        let mut ok = 0i64;
+        for i in 1..=20i64 {
+            for _ in 0..i {
+                ok += 1;
+                orders.push(Row::new(vec![
+                    Value::Int(ok),
+                    Value::Int(i),
+                    Value::Float(1000.0 * i as f64),
+                ]));
+            }
+        }
+        db.load_rows("orders", orders).unwrap();
+        db.register_function(
+            "create function service_level(int ckey) returns varchar(10) as \
+             begin \
+               float totalbusiness; string level; \
+               select sum(totalprice) into :totalbusiness from orders where custkey = :ckey; \
+               if (totalbusiness > 200000) level = 'Platinum'; \
+               else if (totalbusiness > 50000) level = 'Gold'; \
+               else level = 'Regular'; \
+               return level; \
+             end",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn ddl_dml_and_simple_query() {
+        let mut db = Database::new();
+        let summaries = db
+            .execute("create table t(x int, y varchar(5)); insert into t values (1, 'a'), (2, 'b')")
+            .unwrap();
+        assert_eq!(summaries[1], ExecutionSummary::RowsInserted(2));
+        let result = db.query("select x from t where y = 'b'").unwrap();
+        assert_eq!(result.column("x").unwrap(), vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn iterative_and_decorrelated_strategies_agree() {
+        let db = sample_db();
+        let sql = "select custkey, service_level(custkey) as level from customer";
+        let iterative = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+        let decorrelated = db.query_with(sql, &QueryOptions::decorrelated()).unwrap();
+        assert!(!iterative.used_decorrelated_plan);
+        assert!(decorrelated.used_decorrelated_plan);
+        assert!(iterative.exec_stats.udf_invocations >= 20);
+        assert_eq!(decorrelated.exec_stats.udf_invocations, 0);
+        assert_eq!(
+            iterative.canonical_projection(&["custkey", "level"]).unwrap(),
+            decorrelated
+                .canonical_projection(&["custkey", "level"])
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn auto_strategy_runs_and_matches_iterative() {
+        let db = sample_db();
+        let sql = "select custkey, service_level(custkey) as level from customer";
+        let auto = db.query(sql).unwrap();
+        let iterative = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+        assert_eq!(
+            auto.canonical_projection(&["custkey", "level"]).unwrap(),
+            iterative.canonical_projection(&["custkey", "level"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn explain_reports_both_plans_and_decision() {
+        let db = sample_db();
+        let text = db
+            .explain("select custkey, service_level(custkey) as level from customer")
+            .unwrap();
+        assert!(text.contains("original (iterative) plan"));
+        assert!(text.contains("decorrelated plan"));
+        assert!(text.contains("Join(left outer)"));
+        assert!(text.contains("cost-based decision"));
+    }
+
+    #[test]
+    fn rewrite_sql_produces_flat_query_text() {
+        let db = sample_db();
+        let report = db
+            .rewrite_sql("select custkey, service_level(custkey) as level from customer")
+            .unwrap();
+        assert!(report.decorrelated);
+        let sql = report.rewritten_sql.to_lowercase();
+        assert!(sql.contains("left outer join"), "sql: {sql}");
+        assert!(sql.contains("group by"), "sql: {sql}");
+        assert!(sql.contains("case when"), "sql: {sql}");
+    }
+
+    #[test]
+    fn decorrelated_strategy_fails_for_non_decorrelatable_udf() {
+        let mut db = sample_db();
+        db.register_function(
+            "create function spin(int n) returns int as \
+             begin int i = 0; while (i < n) begin i = i + 1; end return i; end",
+        )
+        .unwrap();
+        let err = db
+            .query_with(
+                "select spin(custkey) from customer",
+                &QueryOptions::decorrelated(),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "rewrite");
+        // But the Auto and Iterative strategies still execute it.
+        let auto = db.query("select custkey, spin(custkey) as s from customer where custkey = 3").unwrap();
+        assert_eq!(auto.column("s").unwrap(), vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn errors_surface_cleanly() {
+        let mut db = Database::new();
+        assert_eq!(db.execute("create tabel t(x int)").unwrap_err().kind(), "parse");
+        assert_eq!(db.query("select * from missing").unwrap_err().kind(), "catalog");
+    }
+}

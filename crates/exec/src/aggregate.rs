@@ -1,0 +1,158 @@
+//! Accumulators for the built-in aggregate functions.
+//!
+//! User-defined aggregates (including the auxiliary aggregates synthesised from cursor
+//! loops) are executed by the interpreter — see `Executor::accumulate_user_aggregate`.
+
+use decorr_algebra::AggFunc;
+use decorr_common::Value;
+
+/// Running state for one built-in aggregate over one group.
+#[derive(Debug, Clone)]
+pub enum BuiltinAccumulator {
+    Count(i64),
+    CountStar(i64),
+    Sum(Option<Value>),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: i64 },
+}
+
+impl BuiltinAccumulator {
+    pub fn new(func: &AggFunc) -> BuiltinAccumulator {
+        match func {
+            AggFunc::Count => BuiltinAccumulator::Count(0),
+            AggFunc::CountStar => BuiltinAccumulator::CountStar(0),
+            AggFunc::Sum => BuiltinAccumulator::Sum(None),
+            AggFunc::Min => BuiltinAccumulator::Min(None),
+            AggFunc::Max => BuiltinAccumulator::Max(None),
+            AggFunc::Avg => BuiltinAccumulator::Avg { sum: 0.0, count: 0 },
+            AggFunc::UserDefined(name) => {
+                unreachable!("user-defined aggregate '{name}' must not use BuiltinAccumulator")
+            }
+        }
+    }
+
+    /// Feeds one input row's argument values. NULL arguments are ignored by every
+    /// aggregate except `count(*)`, per SQL semantics.
+    pub fn update(&mut self, args: &[Value]) {
+        let arg = args.first();
+        match self {
+            BuiltinAccumulator::CountStar(n) => *n += 1,
+            BuiltinAccumulator::Count(n) => {
+                if matches!(arg, Some(v) if !v.is_null()) {
+                    *n += 1;
+                }
+            }
+            BuiltinAccumulator::Sum(acc) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        *acc = Some(match acc.take() {
+                            None => v.clone(),
+                            Some(current) => current.add(v).unwrap_or(Value::Null),
+                        });
+                    }
+                }
+            }
+            BuiltinAccumulator::Min(acc) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        let replace = match acc {
+                            None => true,
+                            Some(current) => v.total_cmp(current) == std::cmp::Ordering::Less,
+                        };
+                        if replace {
+                            *acc = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            BuiltinAccumulator::Max(acc) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        let replace = match acc {
+                            None => true,
+                            Some(current) => v.total_cmp(current) == std::cmp::Ordering::Greater,
+                        };
+                        if replace {
+                            *acc = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            BuiltinAccumulator::Avg { sum, count } => {
+                if let Some(v) = arg {
+                    if let Ok(f) = v.as_float() {
+                        *sum += f;
+                        *count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Produces the final aggregate value. Empty groups yield 0 for counts and NULL for
+    /// everything else.
+    pub fn finalize(self) -> Value {
+        match self {
+            BuiltinAccumulator::Count(n) | BuiltinAccumulator::CountStar(n) => Value::Int(n),
+            BuiltinAccumulator::Sum(acc)
+            | BuiltinAccumulator::Min(acc)
+            | BuiltinAccumulator::Max(acc) => acc.unwrap_or(Value::Null),
+            BuiltinAccumulator::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, inputs: &[Value]) -> Value {
+        let mut acc = BuiltinAccumulator::new(&func);
+        for v in inputs {
+            acc.update(std::slice::from_ref(v));
+        }
+        acc.finalize()
+    }
+
+    #[test]
+    fn sum_skips_nulls() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Null, Value::Int(2)]),
+            Value::Int(3)
+        );
+        assert_eq!(run(AggFunc::Sum, &[Value::Null]), Value::Null);
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+    }
+
+    #[test]
+    fn count_vs_count_star() {
+        let inputs = [Value::Int(1), Value::Null, Value::Int(2)];
+        assert_eq!(run(AggFunc::Count, &inputs), Value::Int(2));
+        assert_eq!(run(AggFunc::CountStar, &inputs), Value::Int(3));
+        assert_eq!(run(AggFunc::CountStar, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let inputs = [Value::Int(5), Value::Int(1), Value::Float(3.5), Value::Null];
+        assert_eq!(run(AggFunc::Min, &inputs), Value::Int(1));
+        assert_eq!(run(AggFunc::Max, &inputs), Value::Int(5));
+        assert_eq!(run(AggFunc::Avg, &inputs), Value::Float((5.0 + 1.0 + 3.5) / 3.0));
+        assert_eq!(run(AggFunc::Avg, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn mixed_numeric_sum_promotes() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+    }
+}

@@ -1,0 +1,919 @@
+//! Row-at-a-time execution of logical plans.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+use decorr_algebra::schema::{expr_type, infer_schema};
+use decorr_algebra::{
+    AggCall, AggFunc, ApplyKind, BinaryOp, ColumnRef, JoinKind, ProjectItem, RelExpr, ScalarExpr,
+};
+use decorr_common::{value::GroupKey, Column, DataType, Error, Result, Row, Schema, Value};
+use decorr_storage::Catalog;
+use decorr_udf::FunctionRegistry;
+
+use crate::aggregate::BuiltinAccumulator;
+use crate::env::Env;
+use crate::CatalogProvider;
+
+/// Execution-time configuration knobs.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Minimum combined input size (rows) before an equi-join is executed as a hash join
+    /// instead of a nested-loop join. This mirrors the plan switches the paper observes
+    /// between 1K and 10K invocations in Experiment 2.
+    pub hash_join_threshold: usize,
+    /// Safety bound on `WHILE` loop iterations inside UDFs.
+    pub max_loop_iterations: usize,
+    /// Whether the executor may use hash indexes for equality lookups (the paper's
+    /// "default indices on primary and foreign keys").
+    pub use_indexes: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            hash_join_threshold: 64,
+            max_loop_iterations: 10_000_000,
+            use_indexes: true,
+        }
+    }
+}
+
+/// Runtime counters, useful for tests, EXPLAIN ANALYZE-style reporting and the
+/// experiment harness (e.g. the number of UDF invocations actually performed).
+#[derive(Debug, Default, Clone)]
+pub struct ExecStats {
+    pub rows_scanned: u64,
+    pub index_lookups: u64,
+    pub udf_invocations: u64,
+    pub subqueries_executed: u64,
+    pub hash_joins: u64,
+    pub nested_loop_joins: u64,
+}
+
+/// A fully materialised query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    pub fn empty(schema: Schema) -> ResultSet {
+        ResultSet {
+            schema,
+            rows: vec![],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a 1×1 result (scalar queries).
+    pub fn scalar(&self) -> Result<Value> {
+        match self.rows.len() {
+            0 => Ok(Value::Null),
+            1 => Ok(self.rows[0].values.first().cloned().unwrap_or(Value::Null)),
+            n => Err(Error::Execution(format!(
+                "scalar query returned {n} rows"
+            ))),
+        }
+    }
+
+    /// Values of the named column, in row order.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of(None, name)?;
+        Ok(self.rows.iter().map(|r| r.get(idx).clone()).collect())
+    }
+
+    /// A canonical representation for order-insensitive comparisons in tests: rows
+    /// rendered as strings and sorted.
+    pub fn canonical(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.rows.iter().map(|r| r.to_string()).collect();
+        out.sort();
+        out
+    }
+
+    /// Like [`ResultSet::canonical`], but projecting only the named columns (used to
+    /// compare results of plans whose column order differs).
+    pub fn canonical_projection(&self, columns: &[&str]) -> Result<Vec<String>> {
+        let indices: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.index_of(None, c))
+            .collect::<Result<Vec<_>>>()?;
+        let mut out: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let projected: Vec<String> =
+                    indices.iter().map(|&i| r.get(i).to_string()).collect();
+                format!("({})", projected.join(", "))
+            })
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// The executor: evaluates logical plans against a catalog and function registry.
+pub struct Executor<'a> {
+    pub catalog: &'a Catalog,
+    pub registry: &'a FunctionRegistry,
+    pub config: ExecConfig,
+    pub stats: RefCell<ExecStats>,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(catalog: &'a Catalog, registry: &'a FunctionRegistry) -> Executor<'a> {
+        Executor {
+            catalog,
+            registry,
+            config: ExecConfig::default(),
+            stats: RefCell::new(ExecStats::default()),
+        }
+    }
+
+    pub fn with_config(
+        catalog: &'a Catalog,
+        registry: &'a FunctionRegistry,
+        config: ExecConfig,
+    ) -> Executor<'a> {
+        Executor {
+            catalog,
+            registry,
+            config,
+            stats: RefCell::new(ExecStats::default()),
+        }
+    }
+
+    pub fn provider(&self) -> CatalogProvider<'_> {
+        CatalogProvider::new(self.catalog, self.registry)
+    }
+
+    /// A snapshot of the runtime counters.
+    pub fn stats_snapshot(&self) -> ExecStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Executes a plan with no outer context.
+    pub fn execute(&self, plan: &RelExpr) -> Result<ResultSet> {
+        self.execute_with_env(plan, &Env::root())
+    }
+
+    /// Executes a plan in the scope of `outer` (correlated execution).
+    pub fn execute_with_env(&self, plan: &RelExpr, outer: &Env) -> Result<ResultSet> {
+        match plan {
+            RelExpr::Single => Ok(ResultSet {
+                schema: Schema::empty(),
+                rows: vec![Row::empty()],
+            }),
+            RelExpr::Scan { table, alias } => self.execute_scan(table, alias.as_deref()),
+            RelExpr::Values { schema, rows } => Ok(ResultSet {
+                schema: schema.clone(),
+                rows: rows.iter().map(|r| Row::new(r.clone())).collect(),
+            }),
+            RelExpr::Select { input, predicate } => self.execute_select(input, predicate, outer),
+            RelExpr::Project {
+                input,
+                items,
+                distinct,
+            } => self.execute_project(input, items, *distinct, outer),
+            RelExpr::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => self.execute_aggregate(input, group_by, aggregates, outer),
+            RelExpr::Join {
+                left,
+                right,
+                kind,
+                condition,
+            } => self.execute_join(left, right, *kind, condition.as_ref(), outer),
+            RelExpr::Union { left, right, all } => {
+                let l = self.execute_with_env(left, outer)?;
+                let r = self.execute_with_env(right, outer)?;
+                let mut rows = l.rows;
+                rows.extend(r.rows);
+                if !all {
+                    rows = dedupe_rows(rows);
+                }
+                Ok(ResultSet {
+                    schema: l.schema,
+                    rows,
+                })
+            }
+            RelExpr::Sort { input, keys } => {
+                let input_rs = self.execute_with_env(input, outer)?;
+                let mut keyed: Vec<(Vec<Value>, Row)> = input_rs
+                    .rows
+                    .into_iter()
+                    .map(|row| {
+                        let env = Env::with_row(input_rs.schema.clone(), row.clone())
+                            .nested_in(outer);
+                        let key_values: Result<Vec<Value>> =
+                            keys.iter().map(|k| self.eval_expr(&k.expr, &env)).collect();
+                        key_values.map(|kv| (kv, row))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                keyed.sort_by(|(ka, _), (kb, _)| {
+                    for (i, key) in keys.iter().enumerate() {
+                        let ord = ka[i].total_cmp(&kb[i]);
+                        let ord = if key.ascending { ord } else { ord.reverse() };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(ResultSet {
+                    schema: input_rs.schema,
+                    rows: keyed.into_iter().map(|(_, r)| r).collect(),
+                })
+            }
+            RelExpr::Limit { input, limit } => {
+                let mut rs = self.execute_with_env(input, outer)?;
+                rs.rows.truncate(*limit);
+                Ok(rs)
+            }
+            RelExpr::Rename { input, alias } => {
+                let rs = self.execute_with_env(input, outer)?;
+                Ok(ResultSet {
+                    schema: rs.schema.with_qualifier(alias),
+                    rows: rs.rows,
+                })
+            }
+            RelExpr::Apply {
+                left,
+                right,
+                kind,
+                bindings,
+            } => self.execute_apply(left, right, *kind, bindings, outer),
+            RelExpr::ApplyMerge {
+                left,
+                right,
+                assignments,
+            } => self.execute_apply_merge(left, right, assignments, outer),
+            RelExpr::ConditionalApplyMerge {
+                left,
+                predicate,
+                then_branch,
+                else_branch,
+                assignments,
+            } => self.execute_conditional_apply_merge(
+                left,
+                predicate,
+                then_branch,
+                else_branch,
+                assignments,
+                outer,
+            ),
+        }
+    }
+
+    fn execute_scan(&self, table: &str, alias: Option<&str>) -> Result<ResultSet> {
+        let t = self.catalog.table(table)?;
+        self.stats.borrow_mut().rows_scanned += t.row_count() as u64;
+        let schema = match alias {
+            Some(a) => t.schema().with_qualifier(a),
+            None => t.schema().clone(),
+        };
+        Ok(ResultSet {
+            schema,
+            rows: t.rows().to_vec(),
+        })
+    }
+
+    fn execute_select(
+        &self,
+        input: &RelExpr,
+        predicate: &ScalarExpr,
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        // Index access path: σ over a base-table scan with an equality conjunct on an
+        // indexed column whose comparison value is computable from the outer scope alone
+        // (a constant, a parameter, or an outer correlation variable). This is how the
+        // iterative baseline avoids a full scan per UDF invocation, matching the paper's
+        // "default indices" setup.
+        if self.config.use_indexes {
+            if let RelExpr::Scan { table, alias } = input {
+                if let Some(result) = self.try_index_scan(table, alias.as_deref(), predicate, outer)? {
+                    return Ok(result);
+                }
+            }
+        }
+        let input_rs = self.execute_with_env(input, outer)?;
+        let mut rows = vec![];
+        for row in input_rs.rows {
+            let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
+            if self.eval_predicate(predicate, &env)? {
+                rows.push(row);
+            }
+        }
+        Ok(ResultSet {
+            schema: input_rs.schema,
+            rows,
+        })
+    }
+
+    /// Attempts to answer `σ_predicate(scan)` with a hash-index lookup. Returns
+    /// `Ok(None)` when no usable index/conjunct exists.
+    fn try_index_scan(
+        &self,
+        table: &str,
+        alias: Option<&str>,
+        predicate: &ScalarExpr,
+        outer: &Env,
+    ) -> Result<Option<ResultSet>> {
+        let t = self.catalog.table(table)?;
+        let schema = match alias {
+            Some(a) => t.schema().with_qualifier(a),
+            None => t.schema().clone(),
+        };
+        let conjuncts = predicate.split_conjuncts();
+        for (i, conjunct) in conjuncts.iter().enumerate() {
+            let ScalarExpr::Binary {
+                op: BinaryOp::Eq,
+                left,
+                right,
+            } = conjunct
+            else {
+                continue;
+            };
+            // Identify (column-of-this-table, value-expression) in either order.
+            for (col_side, val_side) in [(left, right), (right, left)] {
+                let ScalarExpr::Column(c) = col_side.as_ref() else {
+                    continue;
+                };
+                if schema.find(c.qualifier.as_deref(), &c.name).is_none() {
+                    continue;
+                }
+                if t.index_on(&c.name).is_none() {
+                    continue;
+                }
+                // The probe value must be computable without this table's row.
+                let Ok(key) = self.eval_expr(val_side, outer) else {
+                    continue;
+                };
+                let hits = t
+                    .index_lookup(&c.name, &key)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .cloned()
+                    .collect::<Vec<Row>>();
+                self.stats.borrow_mut().index_lookups += 1;
+                // Apply the remaining conjuncts.
+                let mut rows = vec![];
+                let residual: Vec<ScalarExpr> = conjuncts
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, c)| c.clone())
+                    .collect();
+                let residual_pred = ScalarExpr::conjunction(residual);
+                for row in hits {
+                    let env = Env::with_row(schema.clone(), row.clone()).nested_in(outer);
+                    if self.eval_predicate(&residual_pred, &env)? {
+                        rows.push(row);
+                    }
+                }
+                return Ok(Some(ResultSet { schema, rows }));
+            }
+        }
+        Ok(None)
+    }
+
+    fn execute_project(
+        &self,
+        input: &RelExpr,
+        items: &[ProjectItem],
+        distinct: bool,
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        let input_rs = self.execute_with_env(input, outer)?;
+        let provider = self.provider();
+        let schema = Schema::new(
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let name = item.output_name(i);
+                    let data_type = expr_type(&item.expr, &input_rs.schema, &provider);
+                    let qualifier = match (&item.alias, &item.expr) {
+                        (None, ScalarExpr::Column(c)) => c.qualifier.clone().or_else(|| {
+                            input_rs
+                                .schema
+                                .find(None, &c.name)
+                                .and_then(|i| input_rs.schema.column(i).qualifier.clone())
+                        }),
+                        _ => None,
+                    };
+                    Column {
+                        qualifier,
+                        name,
+                        data_type,
+                        nullable: true,
+                    }
+                })
+                .collect(),
+        );
+        let mut rows = vec![];
+        for row in input_rs.rows {
+            let env = Env::with_row(input_rs.schema.clone(), row).nested_in(outer);
+            let values: Result<Vec<Value>> =
+                items.iter().map(|item| self.eval_expr(&item.expr, &env)).collect();
+            rows.push(Row::new(values?));
+        }
+        if distinct {
+            rows = dedupe_rows(rows);
+        }
+        Ok(ResultSet { schema, rows })
+    }
+
+    fn aggregate_output_schema(
+        &self,
+        group_by: &[ScalarExpr],
+        aggregates: &[AggCall],
+        input_schema: &Schema,
+    ) -> Schema {
+        let provider = self.provider();
+        let mut columns = vec![];
+        for (i, g) in group_by.iter().enumerate() {
+            let (qualifier, name) = match g {
+                ScalarExpr::Column(c) => (c.qualifier.clone(), c.name.clone()),
+                _ => (None, format!("group{i}")),
+            };
+            columns.push(Column {
+                qualifier,
+                name,
+                data_type: expr_type(g, input_schema, &provider),
+                nullable: true,
+            });
+        }
+        for a in aggregates {
+            let data_type = match &a.func {
+                AggFunc::Count | AggFunc::CountStar => DataType::Int,
+                AggFunc::Avg => DataType::Float,
+                AggFunc::Sum | AggFunc::Min | AggFunc::Max => a
+                    .args
+                    .first()
+                    .map(|e| expr_type(e, input_schema, &provider))
+                    .unwrap_or(DataType::Null),
+                AggFunc::UserDefined(name) => {
+                    self.registry.return_type(name).unwrap_or(DataType::Null)
+                }
+            };
+            columns.push(Column {
+                qualifier: None,
+                name: a.alias.clone(),
+                data_type,
+                nullable: true,
+            });
+        }
+        Schema::new(columns)
+    }
+
+    fn execute_aggregate(
+        &self,
+        input: &RelExpr,
+        group_by: &[ScalarExpr],
+        aggregates: &[AggCall],
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        let input_rs = self.execute_with_env(input, outer)?;
+        let schema = self.aggregate_output_schema(group_by, aggregates, &input_rs.schema);
+
+        enum AccState {
+            Builtin(BuiltinAccumulator),
+            User {
+                name: String,
+                state: HashMap<String, Value>,
+            },
+        }
+        let make_accs = |this: &Executor| -> Result<Vec<AccState>> {
+            aggregates
+                .iter()
+                .map(|a| match &a.func {
+                    AggFunc::UserDefined(name) => {
+                        let def = this.registry.aggregate(name)?;
+                        let mut state = HashMap::new();
+                        for (var, _, init) in &def.state {
+                            state.insert(var.clone(), init.clone());
+                        }
+                        Ok(AccState::User {
+                            name: name.clone(),
+                            state,
+                        })
+                    }
+                    builtin => Ok(AccState::Builtin(BuiltinAccumulator::new(builtin))),
+                })
+                .collect()
+        };
+
+        // Group rows.
+        let mut groups: Vec<(Vec<Value>, Vec<AccState>)> = vec![];
+        let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        for row in &input_rs.rows {
+            let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
+            let group_values: Result<Vec<Value>> =
+                group_by.iter().map(|g| self.eval_expr(g, &env)).collect();
+            let group_values = group_values?;
+            let key: Vec<GroupKey> = group_values.iter().map(|v| v.group_key()).collect();
+            let idx = match group_index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    groups.push((group_values, make_accs(self)?));
+                    group_index.insert(key, groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            // Accumulate.
+            for (acc, call) in groups[idx].1.iter_mut().zip(aggregates.iter()) {
+                let args: Result<Vec<Value>> =
+                    call.args.iter().map(|a| self.eval_expr(a, &env)).collect();
+                let args = args?;
+                match acc {
+                    AccState::Builtin(b) => b.update(&args),
+                    AccState::User { name, state } => {
+                        self.accumulate_user_aggregate(name, state, &args)?;
+                    }
+                }
+            }
+        }
+        // A scalar aggregate (no GROUP BY) over an empty input still produces one row.
+        if groups.is_empty() && group_by.is_empty() {
+            groups.push((vec![], make_accs(self)?));
+        }
+        let mut rows = vec![];
+        for (group_values, accs) in groups {
+            let mut values = group_values;
+            for acc in accs {
+                let v = match acc {
+                    AccState::Builtin(b) => b.finalize(),
+                    AccState::User { name, state } => {
+                        self.terminate_user_aggregate(&name, &state)?
+                    }
+                };
+                values.push(v);
+            }
+            rows.push(Row::new(values));
+        }
+        Ok(ResultSet { schema, rows })
+    }
+
+    fn execute_join(
+        &self,
+        left: &RelExpr,
+        right: &RelExpr,
+        kind: JoinKind,
+        condition: Option<&ScalarExpr>,
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        let left_rs = self.execute_with_env(left, outer)?;
+        let right_rs = self.execute_with_env(right, outer)?;
+        let out_schema = match kind {
+            JoinKind::LeftSemi | JoinKind::LeftAnti => left_rs.schema.clone(),
+            JoinKind::LeftOuter => left_rs.schema.join(&right_rs.schema.as_nullable()),
+            _ => left_rs.schema.join(&right_rs.schema),
+        };
+        let combined_schema = left_rs.schema.join(&right_rs.schema);
+
+        // Try to extract hash-join keys from the condition.
+        let (equi_keys, residual) = condition
+            .map(|c| split_equi_conjuncts(c, &left_rs.schema, &right_rs.schema))
+            .unwrap_or((vec![], vec![]));
+        let residual_pred = ScalarExpr::conjunction(residual);
+        let big_enough =
+            left_rs.rows.len() + right_rs.rows.len() >= self.config.hash_join_threshold;
+
+        let use_hash = !equi_keys.is_empty() && big_enough;
+        if use_hash {
+            self.stats.borrow_mut().hash_joins += 1;
+        } else {
+            self.stats.borrow_mut().nested_loop_joins += 1;
+        }
+
+        let mut rows = vec![];
+        if use_hash {
+            // Build on the right input.
+            let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+            for (i, rrow) in right_rs.rows.iter().enumerate() {
+                let env = Env::with_row(right_rs.schema.clone(), rrow.clone()).nested_in(outer);
+                let mut key = vec![];
+                let mut has_null = false;
+                for (_, rk) in &equi_keys {
+                    let v = self.eval_expr(rk, &env)?;
+                    if v.is_null() {
+                        has_null = true;
+                        break;
+                    }
+                    key.push(v.group_key());
+                }
+                if !has_null {
+                    table.entry(key).or_default().push(i);
+                }
+            }
+            for lrow in &left_rs.rows {
+                let lenv = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
+                let mut key = vec![];
+                let mut has_null = false;
+                for (lk, _) in &equi_keys {
+                    let v = self.eval_expr(lk, &lenv)?;
+                    if v.is_null() {
+                        has_null = true;
+                        break;
+                    }
+                    key.push(v.group_key());
+                }
+                let matches: &[usize] = if has_null {
+                    &[]
+                } else {
+                    table.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+                };
+                let mut matched = false;
+                for &ri in matches {
+                    let combined = lrow.concat(&right_rs.rows[ri]);
+                    let env = Env::with_row(combined_schema.clone(), combined.clone())
+                        .nested_in(outer);
+                    if self.eval_predicate(&residual_pred, &env)? {
+                        matched = true;
+                        match kind {
+                            JoinKind::LeftSemi => break,
+                            JoinKind::LeftAnti => break,
+                            _ => rows.push(combined),
+                        }
+                    }
+                }
+                self.finish_left_row(kind, matched, lrow, right_rs.schema.len(), &mut rows);
+            }
+        } else {
+            for lrow in &left_rs.rows {
+                let mut matched = false;
+                for rrow in &right_rs.rows {
+                    let combined = lrow.concat(rrow);
+                    let env = Env::with_row(combined_schema.clone(), combined.clone())
+                        .nested_in(outer);
+                    let pass = match condition {
+                        Some(c) => self.eval_predicate(c, &env)?,
+                        None => true,
+                    };
+                    if pass {
+                        matched = true;
+                        match kind {
+                            JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                            _ => rows.push(combined),
+                        }
+                    }
+                }
+                self.finish_left_row(kind, matched, lrow, right_rs.schema.len(), &mut rows);
+            }
+        }
+        Ok(ResultSet {
+            schema: out_schema,
+            rows,
+        })
+    }
+
+    /// Emits the left-only / null-extended outputs for outer, semi and anti joins.
+    fn finish_left_row(
+        &self,
+        kind: JoinKind,
+        matched: bool,
+        lrow: &Row,
+        right_width: usize,
+        rows: &mut Vec<Row>,
+    ) {
+        match kind {
+            JoinKind::LeftOuter if !matched => rows.push(lrow.concat(&Row::nulls(right_width))),
+            JoinKind::LeftSemi if matched => rows.push(lrow.clone()),
+            JoinKind::LeftAnti if !matched => rows.push(lrow.clone()),
+            _ => {}
+        }
+    }
+
+    fn execute_apply(
+        &self,
+        left: &RelExpr,
+        right: &RelExpr,
+        kind: ApplyKind,
+        bindings: &[decorr_algebra::plan::ParamBinding],
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        let left_rs = self.execute_with_env(left, outer)?;
+        let provider = self.provider();
+        let right_schema = infer_schema(right, &provider).unwrap_or_else(|_| Schema::empty());
+        let out_schema = match kind {
+            ApplyKind::LeftSemi | ApplyKind::LeftAnti => left_rs.schema.clone(),
+            ApplyKind::LeftOuter => left_rs.schema.join(&right_schema.as_nullable()),
+            ApplyKind::Cross => left_rs.schema.join(&right_schema),
+        };
+        let mut rows = vec![];
+        for lrow in &left_rs.rows {
+            let mut env = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
+            for b in bindings {
+                let v = self.eval_expr(&b.value, &env)?;
+                env.set_param(&b.param, v);
+            }
+            let inner = self.execute_with_env(right, &env)?;
+            match kind {
+                ApplyKind::Cross => {
+                    for rrow in inner.rows {
+                        rows.push(lrow.concat(&rrow));
+                    }
+                }
+                ApplyKind::LeftOuter => {
+                    if inner.rows.is_empty() {
+                        rows.push(lrow.concat(&Row::nulls(right_schema.len())));
+                    } else {
+                        for rrow in inner.rows {
+                            rows.push(lrow.concat(&rrow));
+                        }
+                    }
+                }
+                ApplyKind::LeftSemi => {
+                    if !inner.rows.is_empty() {
+                        rows.push(lrow.clone());
+                    }
+                }
+                ApplyKind::LeftAnti => {
+                    if inner.rows.is_empty() {
+                        rows.push(lrow.clone());
+                    }
+                }
+            }
+        }
+        Ok(ResultSet {
+            schema: out_schema,
+            rows,
+        })
+    }
+
+    fn execute_apply_merge(
+        &self,
+        left: &RelExpr,
+        right: &RelExpr,
+        assignments: &[decorr_algebra::plan::MergeAssignment],
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        let left_rs = self.execute_with_env(left, outer)?;
+        let mut rows = vec![];
+        for lrow in &left_rs.rows {
+            let env = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
+            let inner = self.execute_with_env(right, &env)?;
+            rows.push(self.merge_row(lrow, &left_rs.schema, &inner, assignments)?);
+        }
+        Ok(ResultSet {
+            schema: left_rs.schema,
+            rows,
+        })
+    }
+
+    fn execute_conditional_apply_merge(
+        &self,
+        left: &RelExpr,
+        predicate: &ScalarExpr,
+        then_branch: &RelExpr,
+        else_branch: &RelExpr,
+        assignments: &[decorr_algebra::plan::MergeAssignment],
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        let left_rs = self.execute_with_env(left, outer)?;
+        let mut rows = vec![];
+        for lrow in &left_rs.rows {
+            let env = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
+            let branch = if self.eval_predicate(predicate, &env)? {
+                then_branch
+            } else {
+                else_branch
+            };
+            let inner = self.execute_with_env(branch, &env)?;
+            rows.push(self.merge_row(lrow, &left_rs.schema, &inner, assignments)?);
+        }
+        Ok(ResultSet {
+            schema: left_rs.schema,
+            rows,
+        })
+    }
+
+    /// Implements the Apply-Merge assignment semantics: the inner result must have at
+    /// most one tuple; its attributes are assigned into the outer tuple. An empty inner
+    /// result retains the existing values (the paper notes this behaviour is
+    /// system-specific; we follow the "no assignment" interpretation).
+    fn merge_row(
+        &self,
+        lrow: &Row,
+        left_schema: &Schema,
+        inner: &ResultSet,
+        assignments: &[decorr_algebra::plan::MergeAssignment],
+    ) -> Result<Row> {
+        if inner.rows.len() > 1 {
+            return Err(Error::Execution(format!(
+                "assignment source returned {} rows (expected at most one)",
+                inner.rows.len()
+            )));
+        }
+        let mut out = lrow.clone();
+        if let Some(inner_row) = inner.rows.first() {
+            if assignments.is_empty() {
+                // Default: merge all common attributes.
+                for (ri, rcol) in inner.schema.columns.iter().enumerate() {
+                    if let Some(li) = left_schema.find(None, &rcol.name) {
+                        out.values[li] = inner_row.get(ri).clone();
+                    }
+                }
+            } else {
+                for a in assignments {
+                    let li = left_schema.index_of(None, &a.target)?;
+                    let ri = inner.schema.index_of(None, &a.source)?;
+                    out.values[li] = inner_row.get(ri).clone();
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Splits a join condition into hash-join key pairs `(left_key, right_key)` and residual
+/// conjuncts. A conjunct qualifies as a key pair when it is an equality whose two sides
+/// reference columns of exactly one (different) input each.
+fn split_equi_conjuncts(
+    condition: &ScalarExpr,
+    left: &Schema,
+    right: &Schema,
+) -> (Vec<(ScalarExpr, ScalarExpr)>, Vec<ScalarExpr>) {
+    let mut keys = vec![];
+    let mut residual = vec![];
+    for conjunct in condition.split_conjuncts() {
+        if let ScalarExpr::Binary {
+            op: BinaryOp::Eq,
+            left: a,
+            right: b,
+        } = &conjunct
+        {
+            let a_side = side_of(a, left, right);
+            let b_side = side_of(b, left, right);
+            match (a_side, b_side) {
+                (Side::Left, Side::Right) => {
+                    keys.push((a.as_ref().clone(), b.as_ref().clone()));
+                    continue;
+                }
+                (Side::Right, Side::Left) => {
+                    keys.push((b.as_ref().clone(), a.as_ref().clone()));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        residual.push(conjunct);
+    }
+    (keys, residual)
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Side {
+    Left,
+    Right,
+    Neither,
+}
+
+/// Which input's columns an expression references (exclusively).
+fn side_of(expr: &ScalarExpr, left: &Schema, right: &Schema) -> Side {
+    let mut cols: Vec<ColumnRef> = vec![];
+    expr.collect_columns(&mut cols);
+    if cols.is_empty() {
+        return Side::Neither;
+    }
+    let mut params = vec![];
+    expr.collect_params(&mut params);
+    if !params.is_empty() || expr.contains_subquery() {
+        return Side::Neither;
+    }
+    let all_left = cols
+        .iter()
+        .all(|c| left.find(c.qualifier.as_deref(), &c.name).is_some());
+    let all_right = cols
+        .iter()
+        .all(|c| right.find(c.qualifier.as_deref(), &c.name).is_some());
+    match (all_left, all_right) {
+        (true, false) => Side::Left,
+        (false, true) => Side::Right,
+        _ => Side::Neither,
+    }
+}
+
+/// Removes duplicate rows (used by UNION and DISTINCT) preserving first-seen order.
+fn dedupe_rows(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen: HashSet<Vec<GroupKey>> = HashSet::new();
+    let mut out = vec![];
+    for row in rows {
+        let key: Vec<GroupKey> = row.values.iter().map(|v| v.group_key()).collect();
+        if seen.insert(key) {
+            out.push(row);
+        }
+    }
+    out
+}

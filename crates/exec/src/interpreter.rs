@@ -1,0 +1,274 @@
+//! The procedural UDF interpreter — the paper's *iterative invocation* baseline.
+//!
+//! When the engine executes a query without decorrelation, every UDF call in the select
+//! list or WHERE clause lands here: the function body is executed statement by
+//! statement, and every embedded SQL query runs as a fresh (index-assisted) query
+//! against the catalog — once per outer tuple, exactly the behaviour whose cost the
+//! paper sets out to eliminate.
+//!
+//! The interpreter also provides the initialize/accumulate/terminate protocol for
+//! user-defined aggregates (Section VII / Example 6), which the hash-aggregation
+//! operator invokes per input row.
+
+use std::collections::HashMap;
+
+use decorr_common::{Error, Result, Row, Value};
+use decorr_udf::{Statement, UdfDefinition};
+
+use crate::env::Env;
+use crate::executor::{Executor, ResultSet};
+
+/// Result of executing a list of statements: either control flow ran off the end, or a
+/// `RETURN` was executed with the given value.
+enum Flow {
+    Continue,
+    Return(Value),
+}
+
+impl Executor<'_> {
+    /// Invokes a scalar UDF with already-evaluated argument values.
+    pub fn call_udf(&self, name: &str, args: Vec<Value>) -> Result<Value> {
+        let udf = self.registry.udf(name)?;
+        if udf.is_table_valued() {
+            return Err(Error::Unsupported(format!(
+                "table-valued function '{name}' used in a scalar context"
+            )));
+        }
+        self.stats.borrow_mut().udf_invocations += 1;
+        let mut env = self.udf_env(udf, &args)?;
+        match self.exec_statements(&udf.body, &mut env, &mut None)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Continue => Ok(Value::Null),
+        }
+    }
+
+    /// Invokes a table-valued UDF, returning the rows inserted into its result table.
+    pub fn call_table_udf(&self, name: &str, args: Vec<Value>) -> Result<ResultSet> {
+        let udf = self.registry.udf(name)?;
+        let schema = udf
+            .returns_table
+            .clone()
+            .ok_or_else(|| Error::TypeError(format!("function '{name}' is not table-valued")))?;
+        self.stats.borrow_mut().udf_invocations += 1;
+        let mut env = self.udf_env(udf, &args)?;
+        let mut buffer = Some(vec![]);
+        self.exec_statements(&udf.body, &mut env, &mut buffer)?;
+        Ok(ResultSet {
+            schema,
+            rows: buffer.unwrap_or_default(),
+        })
+    }
+
+    fn udf_env(&self, udf: &UdfDefinition, args: &[Value]) -> Result<Env> {
+        if udf.params.len() != args.len() {
+            return Err(Error::Execution(format!(
+                "function '{}' expects {} arguments, got {}",
+                udf.name,
+                udf.params.len(),
+                args.len()
+            )));
+        }
+        let mut params = HashMap::new();
+        for (p, v) in udf.params.iter().zip(args.iter()) {
+            if !v.is_null() && !p.data_type.is_compatible_with(v.data_type()) {
+                return Err(Error::TypeError(format!(
+                    "argument '{}' of '{}' expects {}, got {}",
+                    p.name,
+                    udf.name,
+                    p.data_type,
+                    v.data_type()
+                )));
+            }
+            params.insert(p.name.clone(), v.clone());
+        }
+        Ok(Env::with_params(params))
+    }
+
+    /// Feeds one input row into a user-defined aggregate's accumulate method.
+    pub fn accumulate_user_aggregate(
+        &self,
+        name: &str,
+        state: &mut HashMap<String, Value>,
+        args: &[Value],
+    ) -> Result<()> {
+        let def = self.registry.aggregate(name)?;
+        if def.params.len() != args.len() {
+            return Err(Error::Execution(format!(
+                "aggregate '{name}' expects {} arguments, got {}",
+                def.params.len(),
+                args.len()
+            )));
+        }
+        let mut env = Env::with_params(state.clone());
+        for (p, v) in def.params.iter().zip(args.iter()) {
+            env.set_param(&p.name, v.clone());
+        }
+        self.exec_statements(&def.accumulate, &mut env, &mut None)?;
+        // Copy the (possibly updated) state variables back out.
+        for (var, _, _) in &def.state {
+            if let Some(v) = env.param(var) {
+                state.insert(var.clone(), v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the final value of a user-defined aggregate from its state.
+    pub fn terminate_user_aggregate(
+        &self,
+        name: &str,
+        state: &HashMap<String, Value>,
+    ) -> Result<Value> {
+        let def = self.registry.aggregate(name)?;
+        let env = Env::with_params(state.clone());
+        self.eval_expr(&def.terminate, &env)
+    }
+
+    /// Executes a statement list. `result_buffer` collects `INSERT INTO <result table>`
+    /// rows for table-valued UDFs.
+    fn exec_statements(
+        &self,
+        stmts: &[Statement],
+        env: &mut Env,
+        result_buffer: &mut Option<Vec<Row>>,
+    ) -> Result<Flow> {
+        for stmt in stmts {
+            match self.exec_statement(stmt, env, result_buffer)? {
+                Flow::Return(v) => return Ok(Flow::Return(v)),
+                Flow::Continue => {}
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn exec_statement(
+        &self,
+        stmt: &Statement,
+        env: &mut Env,
+        result_buffer: &mut Option<Vec<Row>>,
+    ) -> Result<Flow> {
+        match stmt {
+            Statement::Declare {
+                name,
+                data_type,
+                init,
+            } => {
+                let value = match init {
+                    Some(e) => self.eval_expr(e, env)?,
+                    None => data_type.uninitialized(),
+                };
+                env.set_param(name, value);
+                Ok(Flow::Continue)
+            }
+            Statement::Assign { name, expr } => {
+                let value = self.eval_expr(expr, env)?;
+                env.set_param(name, value);
+                Ok(Flow::Continue)
+            }
+            Statement::SelectInto { query, targets } => {
+                let rs = self.execute_with_env(query, env)?;
+                match rs.rows.len() {
+                    0 => {
+                        // No row: retain existing values (system-specific behaviour; see
+                        // Section III). Uninitialised targets stay NULL.
+                        for t in targets {
+                            if env.param(t).is_none() {
+                                env.set_param(t, Value::Null);
+                            }
+                        }
+                    }
+                    1 => {
+                        let row = &rs.rows[0];
+                        if row.len() < targets.len() {
+                            return Err(Error::Execution(format!(
+                                "SELECT INTO provides {} columns for {} targets",
+                                row.len(),
+                                targets.len()
+                            )));
+                        }
+                        for (i, t) in targets.iter().enumerate() {
+                            env.set_param(t, row.get(i).clone());
+                        }
+                    }
+                    n => {
+                        return Err(Error::Execution(format!(
+                            "SELECT INTO returned {n} rows (expected at most one)"
+                        )))
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => {
+                let branch = if self.eval_predicate(condition, env)? {
+                    then_branch
+                } else {
+                    else_branch
+                };
+                self.exec_statements(branch, env, result_buffer)
+            }
+            Statement::CursorLoop {
+                query,
+                fetch_vars,
+                body,
+            } => {
+                let rs = self.execute_with_env(query, env)?;
+                for row in &rs.rows {
+                    if row.len() < fetch_vars.len() {
+                        return Err(Error::Execution(format!(
+                            "cursor provides {} columns for {} fetch variables",
+                            row.len(),
+                            fetch_vars.len()
+                        )));
+                    }
+                    for (i, var) in fetch_vars.iter().enumerate() {
+                        env.set_param(var, row.get(i).clone());
+                    }
+                    if let Flow::Return(v) = self.exec_statements(body, env, result_buffer)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Statement::While { condition, body } => {
+                let mut iterations = 0usize;
+                while self.eval_predicate(condition, env)? {
+                    iterations += 1;
+                    if iterations > self.config.max_loop_iterations {
+                        return Err(Error::Execution(format!(
+                            "WHILE loop exceeded {} iterations",
+                            self.config.max_loop_iterations
+                        )));
+                    }
+                    if let Flow::Return(v) = self.exec_statements(body, env, result_buffer)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Statement::InsertIntoResult { values } => {
+                let row_values: Result<Vec<Value>> =
+                    values.iter().map(|v| self.eval_expr(v, env)).collect();
+                match result_buffer {
+                    Some(buffer) => buffer.push(Row::new(row_values?)),
+                    None => {
+                        return Err(Error::Unsupported(
+                            "INSERT into a result table outside a table-valued function".into(),
+                        ))
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Statement::Return { expr } => {
+                let value = match expr {
+                    Some(e) => self.eval_expr(e, env)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(value))
+            }
+        }
+    }
+}

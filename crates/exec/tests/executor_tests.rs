@@ -1,0 +1,449 @@
+//! End-to-end tests of the executor and interpreter: SQL text is parsed, lowered to the
+//! logical algebra and executed against an in-memory catalog.
+
+use decorr_common::{Column, DataType, Row, Schema, Value};
+use decorr_exec::{ExecConfig, Executor};
+use decorr_parser::{parse_and_plan, parse_function};
+use decorr_storage::Catalog;
+use decorr_udf::FunctionRegistry;
+
+/// Builds a small TPC-H-flavoured catalog used throughout these tests.
+fn setup() -> (Catalog, FunctionRegistry) {
+    let mut catalog = Catalog::new();
+    catalog
+        .create_table(
+            "customer",
+            Schema::new(vec![
+                Column::new("custkey", DataType::Int).not_null(),
+                Column::new("name", DataType::Str),
+                Column::new("nationkey", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    catalog
+        .create_table(
+            "orders",
+            Schema::new(vec![
+                Column::new("orderkey", DataType::Int).not_null(),
+                Column::new("custkey", DataType::Int),
+                Column::new("totalprice", DataType::Float),
+            ]),
+        )
+        .unwrap();
+    // 10 customers; customer i has i orders each worth 100*i.
+    for i in 1..=10i64 {
+        catalog
+            .insert_rows(
+                "customer",
+                vec![Row::new(vec![
+                    Value::Int(i),
+                    Value::str(format!("Customer#{i}")),
+                    Value::Int(i % 3),
+                ])],
+            )
+            .unwrap();
+    }
+    let mut orderkey = 0i64;
+    for i in 1..=10i64 {
+        for _ in 0..i {
+            orderkey += 1;
+            catalog
+                .insert_rows(
+                    "orders",
+                    vec![Row::new(vec![
+                        Value::Int(orderkey),
+                        Value::Int(i),
+                        Value::Float(100.0 * i as f64),
+                    ])],
+                )
+                .unwrap();
+        }
+    }
+    catalog.create_index("orders", "custkey").unwrap();
+    catalog.create_index("customer", "custkey").unwrap();
+    (catalog, FunctionRegistry::new())
+}
+
+fn run(catalog: &Catalog, registry: &FunctionRegistry, sql: &str) -> decorr_exec::ResultSet {
+    let plan = parse_and_plan(sql).unwrap();
+    Executor::new(catalog, registry).execute(&plan).unwrap()
+}
+
+#[test]
+fn scan_filter_project() {
+    let (catalog, registry) = setup();
+    let rs = run(
+        &catalog,
+        &registry,
+        "select name from customer where custkey > 8",
+    );
+    assert_eq!(rs.canonical(), vec!["('Customer#10')", "('Customer#9')"]);
+}
+
+#[test]
+fn arithmetic_and_case_in_projection() {
+    let (catalog, registry) = setup();
+    let rs = run(
+        &catalog,
+        &registry,
+        "select custkey, case when custkey > 5 then 'big' else 'small' end as size \
+         from customer where custkey = 1 or custkey = 9",
+    );
+    assert_eq!(rs.canonical(), vec!["(1, 'small')", "(9, 'big')"]);
+}
+
+#[test]
+fn group_by_aggregation() {
+    let (catalog, registry) = setup();
+    let rs = run(
+        &catalog,
+        &registry,
+        "select custkey, sum(totalprice) as total, count(*) as n from orders group by custkey",
+    );
+    assert_eq!(rs.len(), 10);
+    let idx = rs.schema.index_of(None, "custkey").unwrap();
+    for row in &rs.rows {
+        let k = row.get(idx).as_int().unwrap();
+        assert_eq!(row.get(1), &Value::Float(100.0 * k as f64 * k as f64));
+        assert_eq!(row.get(2), &Value::Int(k));
+    }
+}
+
+#[test]
+fn scalar_aggregate_over_empty_input_returns_one_row() {
+    let (catalog, registry) = setup();
+    let rs = run(
+        &catalog,
+        &registry,
+        "select count(*) as n, sum(totalprice) as s from orders where custkey = 999",
+    );
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0].get(0), &Value::Int(0));
+    assert!(rs.rows[0].get(1).is_null());
+}
+
+#[test]
+fn joins_inner_and_left_outer() {
+    let (catalog, registry) = setup();
+    // Inner join: every order matches its customer.
+    let rs = run(
+        &catalog,
+        &registry,
+        "select c.custkey, o.totalprice from customer c, orders o where c.custkey = o.custkey",
+    );
+    assert_eq!(rs.len(), 55); // 1+2+…+10 orders
+    // Left outer join against a selective right side: customers without expensive orders
+    // still appear with NULL.
+    let rs = run(
+        &catalog,
+        &registry,
+        "select c.custkey, o.orderkey from customer c \
+         left outer join orders o on c.custkey = o.custkey and o.totalprice > 900",
+    );
+    let nulls = rs.rows.iter().filter(|r| r.get(1).is_null()).count();
+    assert_eq!(nulls, 9); // only customer 10 has orders over 900
+    assert_eq!(rs.len(), 9 + 10); // 9 null-extended + 10 orders of customer 10
+}
+
+#[test]
+fn hash_join_and_nested_loop_agree() {
+    let (catalog, registry) = setup();
+    let plan = parse_and_plan(
+        "select c.custkey, o.orderkey from customer c join orders o on c.custkey = o.custkey",
+    )
+    .unwrap();
+    let hash_exec = Executor::with_config(
+        &catalog,
+        &registry,
+        ExecConfig {
+            hash_join_threshold: 0,
+            ..ExecConfig::default()
+        },
+    );
+    let nlj_exec = Executor::with_config(
+        &catalog,
+        &registry,
+        ExecConfig {
+            hash_join_threshold: usize::MAX,
+            ..ExecConfig::default()
+        },
+    );
+    let a = hash_exec.execute(&plan).unwrap();
+    let b = nlj_exec.execute(&plan).unwrap();
+    assert_eq!(a.canonical(), b.canonical());
+    assert_eq!(hash_exec.stats_snapshot().hash_joins, 1);
+    assert_eq!(nlj_exec.stats_snapshot().nested_loop_joins, 1);
+}
+
+#[test]
+fn order_by_and_limit() {
+    let (catalog, registry) = setup();
+    let rs = run(
+        &catalog,
+        &registry,
+        "select top 3 custkey from customer order by custkey desc",
+    );
+    assert_eq!(
+        rs.column("custkey").unwrap(),
+        vec![Value::Int(10), Value::Int(9), Value::Int(8)]
+    );
+}
+
+#[test]
+fn distinct_projection() {
+    let (catalog, registry) = setup();
+    let rs = run(&catalog, &registry, "select distinct nationkey from customer");
+    assert_eq!(rs.len(), 3);
+}
+
+#[test]
+fn correlated_scalar_subquery() {
+    let (catalog, registry) = setup();
+    let rs = run(
+        &catalog,
+        &registry,
+        "select custkey, (select sum(totalprice) from orders where custkey = c.custkey) as total \
+         from customer c where custkey <= 3",
+    );
+    assert_eq!(
+        rs.canonical(),
+        vec!["(1, 100.0)", "(2, 400.0)", "(3, 900.0)"]
+    );
+}
+
+#[test]
+fn exists_and_in_subqueries() {
+    let (catalog, registry) = setup();
+    let rs = run(
+        &catalog,
+        &registry,
+        "select custkey from customer c where exists \
+         (select orderkey from orders o where o.custkey = c.custkey and o.totalprice > 900)",
+    );
+    assert_eq!(rs.canonical(), vec!["(10)"]);
+    let rs = run(
+        &catalog,
+        &registry,
+        "select orderkey from orders where custkey in (select custkey from customer where custkey < 2)",
+    );
+    assert_eq!(rs.len(), 1);
+}
+
+#[test]
+fn index_assisted_selection_is_used() {
+    let (catalog, registry) = setup();
+    let plan = parse_and_plan("select orderkey from orders where custkey = 7").unwrap();
+    let exec = Executor::new(&catalog, &registry);
+    let rs = exec.execute(&plan).unwrap();
+    assert_eq!(rs.len(), 7);
+    let stats = exec.stats_snapshot();
+    assert_eq!(stats.index_lookups, 1);
+    assert_eq!(stats.rows_scanned, 0, "index path must not scan the table");
+}
+
+#[test]
+fn scalar_udf_iterative_invocation() {
+    let (catalog, mut registry) = setup();
+    registry.register_udf(
+        parse_function(
+            "create function totalbusiness(int ckey) returns float as \
+             begin \
+               return select sum(totalprice) from orders where custkey = :ckey; \
+             end",
+        )
+        .unwrap(),
+    );
+    let plan = parse_and_plan("select custkey, totalbusiness(custkey) as tb from customer").unwrap();
+    let exec = Executor::new(&catalog, &registry);
+    let rs = exec.execute(&plan).unwrap();
+    assert_eq!(rs.len(), 10);
+    let tb = rs.column("tb").unwrap();
+    assert_eq!(tb[0], Value::Float(100.0));
+    assert_eq!(tb[9], Value::Float(10_000.0));
+    // Iterative execution: one UDF invocation per customer row.
+    assert_eq!(exec.stats_snapshot().udf_invocations, 10);
+}
+
+#[test]
+fn service_level_udf_with_branching() {
+    let (catalog, mut registry) = setup();
+    registry.register_udf(
+        parse_function(
+            "create function service_level(int ckey) returns varchar(10) as \
+             begin \
+               float totalbusiness; string level; \
+               select sum(totalprice) into :totalbusiness from orders where custkey = :ckey; \
+               if (totalbusiness > 5000) level = 'Platinum'; \
+               else if (totalbusiness > 1000) level = 'Gold'; \
+               else level = 'Regular'; \
+               return level; \
+             end",
+        )
+        .unwrap(),
+    );
+    let rs = run(
+        &catalog,
+        &registry,
+        "select custkey, service_level(custkey) as lvl from customer where custkey in (1, 5, 10)",
+    );
+    assert_eq!(
+        rs.canonical(),
+        vec!["(1, 'Regular')", "(10, 'Platinum')", "(5, 'Gold')"]
+    );
+}
+
+#[test]
+fn udf_in_where_clause() {
+    let (catalog, mut registry) = setup();
+    registry.register_udf(
+        parse_function(
+            "create function discount(float amount) returns float as \
+             begin return amount * 0.15; end",
+        )
+        .unwrap(),
+    );
+    let rs = run(
+        &catalog,
+        &registry,
+        "select orderkey from orders where discount(totalprice) > 140",
+    );
+    // totalprice > 933.3… → only customer 10's orders (1000.0): 10 orders.
+    assert_eq!(rs.len(), 10);
+}
+
+#[test]
+fn udf_with_cursor_loop_interpreted() {
+    let (catalog, mut registry) = setup();
+    registry.register_udf(
+        parse_function(
+            "create function order_count_above(int ckey, float threshold) returns int as \
+             begin \
+               int n = 0; \
+               declare c cursor for select totalprice from orders where custkey = :ckey; \
+               open c; \
+               fetch next from c into @tp; \
+               while @@fetch_status = 0 \
+               begin \
+                 if (@tp > threshold) n = n + 1; \
+                 fetch next from c into @tp; \
+               end \
+               close c; deallocate c; \
+               return n; \
+             end",
+        )
+        .unwrap(),
+    );
+    let rs = run(
+        &catalog,
+        &registry,
+        "select custkey, order_count_above(custkey, 500.0) as n from customer where custkey in (3, 7)",
+    );
+    assert_eq!(rs.canonical(), vec!["(3, 0)", "(7, 7)"]);
+}
+
+#[test]
+fn udf_with_while_loop_interpreted() {
+    let (catalog, mut registry) = setup();
+    registry.register_udf(
+        parse_function(
+            "create function sum_to(int n) returns int as \
+             begin \
+               int total = 0; int i = 1; \
+               while (i <= n) \
+               begin \
+                 total = total + i; \
+                 i = i + 1; \
+               end \
+               return total; \
+             end",
+        )
+        .unwrap(),
+    );
+    let rs = run(&catalog, &registry, "select sum_to(10) as s");
+    assert_eq!(rs.rows[0].get(0), &Value::Int(55));
+}
+
+#[test]
+fn table_valued_udf_execution() {
+    let (catalog, mut registry) = setup();
+    registry.register_udf(
+        parse_function(
+            "create function big_orders(float threshold) returns tt table(orderkey int, price float) as \
+             begin \
+               declare c cursor for select orderkey, totalprice from orders; \
+               open c; \
+               fetch next from c into @ok, @tp; \
+               while @@fetch_status = 0 \
+               begin \
+                 if (@tp > threshold) insert into tt values (@ok, @tp); \
+                 fetch next from c into @ok, @tp; \
+               end \
+               close c; deallocate c; \
+               return tt; \
+             end",
+        )
+        .unwrap(),
+    );
+    let exec = Executor::new(&catalog, &registry);
+    let rs = exec.call_table_udf("big_orders", vec![Value::Float(900.0)]).unwrap();
+    assert_eq!(rs.len(), 10);
+    assert_eq!(rs.schema.names(), vec!["orderkey", "price"]);
+}
+
+#[test]
+fn nested_udf_calls() {
+    let (catalog, mut registry) = setup();
+    registry.register_udf(
+        parse_function(
+            "create function double_it(float x) returns float as begin return x * 2; end",
+        )
+        .unwrap(),
+    );
+    registry.register_udf(
+        parse_function(
+            "create function quadruple(float x) returns float as \
+             begin return double_it(double_it(x)); end",
+        )
+        .unwrap(),
+    );
+    let rs = run(&catalog, &registry, "select quadruple(2.5) as q");
+    assert_eq!(rs.rows[0].get(0), &Value::Float(10.0));
+}
+
+#[test]
+fn runtime_errors_are_reported() {
+    let (catalog, registry) = setup();
+    let exec = Executor::new(&catalog, &registry);
+    // Unknown table.
+    let plan = parse_and_plan("select x from nosuchtable").unwrap();
+    assert_eq!(exec.execute(&plan).unwrap_err().kind(), "catalog");
+    // Unknown function.
+    let plan = parse_and_plan("select nosuchfn(custkey) from customer").unwrap();
+    assert_eq!(exec.execute(&plan).unwrap_err().kind(), "catalog");
+    // Unknown column.
+    let plan = parse_and_plan("select nosuchcolumn from customer").unwrap();
+    assert_eq!(exec.execute(&plan).unwrap_err().kind(), "binding");
+    // Division by zero.
+    let plan = parse_and_plan("select 1 / 0").unwrap();
+    assert_eq!(exec.execute(&plan).unwrap_err().kind(), "execution");
+}
+
+#[test]
+fn union_and_union_all() {
+    let (catalog, registry) = setup();
+    let a = parse_and_plan("select nationkey from customer where custkey <= 3").unwrap();
+    let b = parse_and_plan("select nationkey from customer where custkey <= 3").unwrap();
+    let union_all = decorr_algebra::RelExpr::Union {
+        left: Box::new(a.clone()),
+        right: Box::new(b.clone()),
+        all: true,
+    };
+    let union_distinct = decorr_algebra::RelExpr::Union {
+        left: Box::new(a),
+        right: Box::new(b),
+        all: false,
+    };
+    let exec = Executor::new(&catalog, &registry);
+    assert_eq!(exec.execute(&union_all).unwrap().len(), 6);
+    assert_eq!(exec.execute(&union_distinct).unwrap().len(), 3);
+}

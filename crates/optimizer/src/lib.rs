@@ -1,0 +1,18 @@
+//! Cost model and cost-based strategy selection.
+//!
+//! The paper argues that its transformation rules should live inside a cost-based
+//! optimizer so that *iterative invocation remains an alternative* — Experiment 3 shows a
+//! regime (few invocations, scan-dominated rewritten form) where the original plan is the
+//! better choice. This crate provides that layer for the engine:
+//!
+//! * [`cost`] — cardinality estimation and a simple cost model over logical plans,
+//!   including the cost of iterative UDF invocation (outer cardinality × cost of the
+//!   queries inside the UDF body);
+//! * [`strategy`] — the cost-based choice between the original (iterative) plan and the
+//!   decorrelated plan produced by `decorr-rewrite`.
+
+pub mod cost;
+pub mod strategy;
+
+pub use cost::{estimate_cardinality, estimate_cost, CostEstimate};
+pub use strategy::{choose_strategy, StrategyChoice, StrategyDecision};

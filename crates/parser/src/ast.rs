@@ -1,0 +1,106 @@
+//! Statement-level AST produced by the parser.
+
+use decorr_algebra::{JoinKind, ScalarExpr};
+use decorr_common::Column;
+use decorr_udf::UdfDefinition;
+
+/// One item of a SELECT list: an expression with an optional alias, or `*`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column of the FROM result.
+    Wildcard,
+    /// `t.*` — every column of one relation.
+    QualifiedWildcard(String),
+    /// `expr [as alias]`.
+    Expr {
+        expr: ScalarExpr,
+        alias: Option<String>,
+    },
+}
+
+/// A base table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+/// One explicit `JOIN` clause attached to a FROM item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: Option<ScalarExpr>,
+}
+
+/// One comma-separated element of the FROM clause together with its chained joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    pub base: TableRef,
+    pub joins: Vec<JoinClause>,
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: ScalarExpr,
+    pub ascending: bool,
+}
+
+/// A parsed `SELECT` statement (before lowering to the algebra).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStatement {
+    pub distinct: bool,
+    /// `SELECT TOP n …` / `… LIMIT n` — the experiments use this to vary the number of
+    /// UDF invocations.
+    pub limit: Option<usize>,
+    pub items: Vec<SelectItem>,
+    /// `INTO :v1, :v2` targets (only valid inside UDF bodies).
+    pub into_targets: Vec<String>,
+    pub from: Vec<FromItem>,
+    pub where_clause: Option<ScalarExpr>,
+    pub group_by: Vec<ScalarExpr>,
+    pub having: Option<ScalarExpr>,
+    pub order_by: Vec<OrderByItem>,
+}
+
+impl Default for SelectItem {
+    fn default() -> Self {
+        SelectItem::Wildcard
+    }
+}
+
+/// Any top-level statement accepted by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlStatement {
+    /// `CREATE TABLE name (col type [not null], …)`
+    CreateTable { name: String, columns: Vec<Column> },
+    /// `DROP TABLE name`
+    DropTable { name: String },
+    /// `CREATE INDEX [idxname] ON table(column)`
+    CreateIndex { table: String, column: String },
+    /// `INSERT INTO table [(columns)] VALUES (…), (…)`
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<ScalarExpr>>,
+    },
+    /// `CREATE FUNCTION …` — a scalar or table-valued UDF definition.
+    CreateFunction(UdfDefinition),
+    /// A `SELECT` query.
+    Query(SelectStatement),
+}
+
+impl SqlStatement {
+    /// Short name for diagnostics and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SqlStatement::CreateTable { .. } => "create-table",
+            SqlStatement::DropTable { .. } => "drop-table",
+            SqlStatement::CreateIndex { .. } => "create-index",
+            SqlStatement::Insert { .. } => "insert",
+            SqlStatement::CreateFunction(_) => "create-function",
+            SqlStatement::Query(_) => "query",
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! SQL and procedural-UDF parser.
+//!
+//! The paper's rewrite tool (Figure 9) "accepts a database schema, an SQL query, and
+//! definitions of UDFs used by the query, written in the syntax of a commercial database
+//! system". This crate provides that front end:
+//!
+//! * [`lexer`] — a hand-written tokenizer for the SQL dialect used by the paper's
+//!   examples (identifiers, numbers, strings, `:param` / `@var` / `?` parameters,
+//!   operators).
+//! * [`ast`] — the statement-level AST: `SELECT` queries, DDL (`CREATE TABLE`,
+//!   `CREATE INDEX`), DML (`INSERT`), and `CREATE FUNCTION` definitions.
+//! * [`parser`] — the recursive-descent parser for queries *and* for the procedural
+//!   function bodies (declarations, assignments, `SELECT … INTO`, `IF`/`ELSE`,
+//!   cursor loops in the paper's Example 5 style, `WHILE`, `RETURN`, `INSERT` into a
+//!   table-valued result).
+//! * [`planner`] — lowering of the parsed `SELECT` AST into the logical algebra of
+//!   [`decorr_algebra`] (scans, joins, selections, projections, group-by, sort, limit)
+//!   with UDF calls left in place as [`decorr_algebra::ScalarExpr::UdfCall`] for the
+//!   rewriter to pick up.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::{SelectStatement, SqlStatement};
+pub use parser::{parse_expression, parse_function, parse_query, parse_statement, parse_statements};
+pub use planner::plan_select;
+
+use decorr_algebra::RelExpr;
+use decorr_common::Result;
+
+/// Convenience: parse a `SELECT` query and lower it to a logical plan in one step.
+pub fn parse_and_plan(sql: &str) -> Result<RelExpr> {
+    let select = parse_query(sql)?;
+    plan_select(&select)
+}

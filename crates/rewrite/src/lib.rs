@@ -1,0 +1,31 @@
+//! Decorrelation of UDF invocations — the paper's primary contribution.
+//!
+//! The pipeline mirrors Figure 9 of the paper:
+//!
+//! 1. [`algebraize`] — build a *parameterized algebraic expression* for each UDF used by
+//!    the query (Section IV), handling assignments, scalar queries, conditional
+//!    branching, and cursor loops via auxiliary aggregates (Section VII).
+//! 2. [`merge`] — merge the UDF expression with the calling query block using the Apply
+//!    operator with the *bind* extension (Section V, rule K6).
+//! 3. [`rules`] — remove the Apply operators using the known rules K1–K6 of
+//!    Galindo-Legaria & Joshi and the paper's new rules R1–R9, plus the standard
+//!    correlated-scalar-aggregate decorrelation and cleanup rules
+//!    (predicate pushdown, projection merging).
+//! 4. [`rewriter`] — the driver: orchestrates the above, reports which rules fired, and —
+//!    exactly like the paper's tool — refuses to transform the query if some Apply
+//!    operator cannot be removed (the iterative plan then remains the executed
+//!    alternative).
+//! 5. [`sql_gen`] — renders the rewritten plan back to SQL text, for use as an external
+//!    preprocessor in front of a database system.
+
+pub mod algebraize;
+pub mod merge;
+pub mod rewriter;
+pub mod rules;
+pub mod sql_gen;
+
+pub use algebraize::{algebraize_udf, AlgebraizedUdf};
+pub use merge::merge_udf_calls;
+pub use rewriter::{rewrite_query, RewriteOptions, RewriteOutcome};
+pub use rules::{apply_rules_to_fixpoint, RuleSet};
+pub use sql_gen::plan_to_sql;

@@ -1,0 +1,313 @@
+//! Expression tree merging (Section V).
+//!
+//! For every UDF invocation in a SELECT list or WHERE clause, the invocation is replaced
+//! by a reference to the `retval` column of the UDF's algebraic form, and the calling
+//! block's input is wrapped in an Apply operator with the *bind* extension that maps the
+//! formal parameters to the actual-argument expressions (rule K6 + the bind extension of
+//! Section III).
+
+use decorr_algebra::plan::ParamBinding;
+use decorr_algebra::{ApplyKind, ProjectItem, RelExpr, ScalarExpr, SchemaProvider};
+use decorr_common::{Error, Result};
+use decorr_udf::{AggregateDefinition, FunctionRegistry};
+
+use crate::algebraize::algebraize_udf;
+
+/// The result of merging UDF invocations into a query plan.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    pub plan: RelExpr,
+    /// Number of UDF invocations that were replaced by algebraic forms.
+    pub merged_calls: usize,
+    /// UDF invocations that could not be algebraized (name and reason); they remain as
+    /// iterative calls in the plan.
+    pub skipped: Vec<(String, String)>,
+    /// Auxiliary aggregates synthesised while algebraizing cursor loops.
+    pub aux_aggregates: Vec<AggregateDefinition>,
+}
+
+/// Merges every algebraizable UDF invocation found in SELECT lists (projections) and
+/// WHERE clauses (selections) of the plan.
+pub fn merge_udf_calls(
+    plan: &RelExpr,
+    registry: &FunctionRegistry,
+    provider: &dyn SchemaProvider,
+) -> Result<MergeOutcome> {
+    let mut state = MergeState {
+        registry,
+        provider,
+        counter: 0,
+        merged_calls: 0,
+        skipped: vec![],
+        aux_aggregates: vec![],
+    };
+    let plan = merge_in_plan(plan, &mut state)?;
+    Ok(MergeOutcome {
+        plan,
+        merged_calls: state.merged_calls,
+        skipped: state.skipped,
+        aux_aggregates: state.aux_aggregates,
+    })
+}
+
+struct MergeState<'a> {
+    registry: &'a FunctionRegistry,
+    provider: &'a dyn SchemaProvider,
+    counter: usize,
+    merged_calls: usize,
+    skipped: Vec<(String, String)>,
+    aux_aggregates: Vec<AggregateDefinition>,
+}
+
+fn merge_in_plan(plan: &RelExpr, state: &mut MergeState) -> Result<RelExpr> {
+    // Recurse into children first.
+    let children: Vec<RelExpr> = plan
+        .children()
+        .into_iter()
+        .map(|c| merge_in_plan(c, state))
+        .collect::<Result<Vec<_>>>()?;
+    let node = if children.is_empty() {
+        plan.clone()
+    } else {
+        plan.with_new_children(children)
+    };
+    match node {
+        RelExpr::Project {
+            input,
+            items,
+            distinct,
+        } => {
+            let mut new_input = *input;
+            let new_items = items
+                .iter()
+                .map(|item| {
+                    let expr = replace_udf_calls(&item.expr, &mut new_input, state)?;
+                    Ok(ProjectItem {
+                        expr,
+                        alias: item.alias.clone(),
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok(RelExpr::Project {
+                input: Box::new(new_input),
+                items: new_items,
+                distinct,
+            })
+        }
+        RelExpr::Select { input, predicate } => {
+            let mut new_input = *input;
+            let new_predicate = replace_udf_calls(&predicate, &mut new_input, state)?;
+            Ok(RelExpr::Select {
+                input: Box::new(new_input),
+                predicate: new_predicate,
+            })
+        }
+        other => Ok(other),
+    }
+}
+
+/// Replaces UDF invocations inside `expr`, wrapping `input` with one Apply (bind) per
+/// replaced call. Nested calls are replaced innermost-first, so an outer call's argument
+/// list can reference the inner call's output column.
+fn replace_udf_calls(
+    expr: &ScalarExpr,
+    input: &mut RelExpr,
+    state: &mut MergeState,
+) -> Result<ScalarExpr> {
+    let rewritten = match expr {
+        ScalarExpr::UdfCall { name, args } => {
+            // Arguments first (innermost calls first).
+            let new_args: Vec<ScalarExpr> = args
+                .iter()
+                .map(|a| replace_udf_calls(a, input, state))
+                .collect::<Result<Vec<_>>>()?;
+            if !state.registry.has_udf(name) {
+                return Ok(ScalarExpr::UdfCall {
+                    name: name.clone(),
+                    args: new_args,
+                });
+            }
+            let udf = state.registry.udf(name)?;
+            if udf.is_table_valued() {
+                state.skipped.push((
+                    name.clone(),
+                    "table-valued function used in a scalar context".into(),
+                ));
+                return Ok(ScalarExpr::UdfCall {
+                    name: name.clone(),
+                    args: new_args,
+                });
+            }
+            if udf.params.len() != new_args.len() {
+                return Err(Error::Binding(format!(
+                    "function '{name}' expects {} arguments, got {}",
+                    udf.params.len(),
+                    new_args.len()
+                )));
+            }
+            match algebraize_udf(udf, state.registry, state.provider) {
+                Ok(algebraized) => {
+                    state.merged_calls += 1;
+                    state.aux_aggregates.extend(algebraized.aux_aggregates);
+                    let alias = format!("__udf{}", state.counter);
+                    state.counter += 1;
+                    // Π_{retval as __udfN}(E_udf): keeps each invocation's output name
+                    // unique when a query invokes several UDFs.
+                    let right = RelExpr::Project {
+                        input: Box::new(algebraized.plan),
+                        items: vec![ProjectItem::aliased(
+                            ScalarExpr::column("retval"),
+                            alias.clone(),
+                        )],
+                        distinct: false,
+                    };
+                    let bindings = udf
+                        .params
+                        .iter()
+                        .zip(new_args.iter())
+                        .map(|(p, a)| ParamBinding::new(p.name.clone(), a.clone()))
+                        .collect();
+                    let previous = std::mem::replace(input, RelExpr::Single);
+                    *input = RelExpr::Apply {
+                        left: Box::new(previous),
+                        right: Box::new(right),
+                        kind: ApplyKind::Cross,
+                        bindings,
+                    };
+                    ScalarExpr::column(alias)
+                }
+                Err(e) => {
+                    state.skipped.push((name.clone(), e.to_string()));
+                    ScalarExpr::UdfCall {
+                        name: name.clone(),
+                        args: new_args,
+                    }
+                }
+            }
+        }
+        ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
+            op: *op,
+            left: Box::new(replace_udf_calls(left, input, state)?),
+            right: Box::new(replace_udf_calls(right, input, state)?),
+        },
+        ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+            op: *op,
+            expr: Box::new(replace_udf_calls(expr, input, state)?),
+        },
+        ScalarExpr::Case {
+            branches,
+            else_expr,
+        } => ScalarExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(p, e)| {
+                    Ok((
+                        replace_udf_calls(p, input, state)?,
+                        replace_udf_calls(e, input, state)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(replace_udf_calls(e, input, state)?)),
+                None => None,
+            },
+        },
+        ScalarExpr::Coalesce(args) => ScalarExpr::Coalesce(
+            args.iter()
+                .map(|a| replace_udf_calls(a, input, state))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        ScalarExpr::Cast { expr, data_type } => ScalarExpr::Cast {
+            expr: Box::new(replace_udf_calls(expr, input, state)?),
+            data_type: *data_type,
+        },
+        other => other.clone(),
+    };
+    Ok(rewritten)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_algebra::display::explain;
+    use decorr_parser::{parse_and_plan, parse_function};
+
+    fn registry_with_discount() -> FunctionRegistry {
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function discount(float amount) returns float as \
+                 begin return amount * 0.15; end",
+            )
+            .unwrap(),
+        );
+        registry
+    }
+
+    #[test]
+    fn merges_select_list_invocation() {
+        let registry = registry_with_discount();
+        let plan =
+            parse_and_plan("select orderkey, discount(totalprice) as d from orders").unwrap();
+        let outcome = merge_udf_calls(&plan, &registry, &decorr_algebra::EmptyProvider).unwrap();
+        assert_eq!(outcome.merged_calls, 1);
+        assert!(outcome.skipped.is_empty());
+        let text = explain(&outcome.plan);
+        assert!(text.contains("Apply(cross) bind:amount=totalprice"));
+        assert!(text.contains("Project [retval as __udf0]"));
+        assert!(!outcome.plan.contains_udf_call());
+    }
+
+    #[test]
+    fn merges_where_clause_invocation() {
+        let registry = registry_with_discount();
+        let plan =
+            parse_and_plan("select orderkey from orders where discount(totalprice) > 100").unwrap();
+        let outcome = merge_udf_calls(&plan, &registry, &decorr_algebra::EmptyProvider).unwrap();
+        assert_eq!(outcome.merged_calls, 1);
+        let text = explain(&outcome.plan);
+        assert!(text.contains("Select [(__udf0 > 100)]"));
+        assert!(text.contains("Apply(cross) bind:amount=totalprice"));
+    }
+
+    #[test]
+    fn unknown_functions_are_left_alone() {
+        let registry = FunctionRegistry::new();
+        let plan = parse_and_plan("select mystery(totalprice) from orders").unwrap();
+        let outcome = merge_udf_calls(&plan, &registry, &decorr_algebra::EmptyProvider).unwrap();
+        assert_eq!(outcome.merged_calls, 0);
+        assert!(outcome.plan.contains_udf_call());
+    }
+
+    #[test]
+    fn non_algebraizable_udf_is_skipped_with_reason() {
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function spin(int n) returns int as \
+                 begin int i = 0; while (i < n) begin i = i + 1; end return i; end",
+            )
+            .unwrap(),
+        );
+        let plan = parse_and_plan("select spin(custkey) from customer").unwrap();
+        let outcome = merge_udf_calls(&plan, &registry, &decorr_algebra::EmptyProvider).unwrap();
+        assert_eq!(outcome.merged_calls, 0);
+        assert_eq!(outcome.skipped.len(), 1);
+        assert!(outcome.skipped[0].1.contains("WHILE"));
+        assert!(outcome.plan.contains_udf_call());
+    }
+
+    #[test]
+    fn multiple_invocations_get_distinct_aliases() {
+        let registry = registry_with_discount();
+        let plan = parse_and_plan(
+            "select discount(totalprice) as d1, discount(totalprice * 2) as d2 from orders",
+        )
+        .unwrap();
+        let outcome = merge_udf_calls(&plan, &registry, &decorr_algebra::EmptyProvider).unwrap();
+        assert_eq!(outcome.merged_calls, 2);
+        let text = explain(&outcome.plan);
+        assert!(text.contains("retval as __udf0"));
+        assert!(text.contains("retval as __udf1"));
+    }
+}

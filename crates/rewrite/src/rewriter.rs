@@ -1,0 +1,291 @@
+//! The rewrite driver (the paper's Figure 9 pipeline).
+
+use decorr_algebra::{RelExpr, SchemaProvider};
+use decorr_common::Result;
+use decorr_udf::{AggregateDefinition, FunctionRegistry};
+
+use crate::merge::merge_udf_calls;
+use crate::rules::{apply_rules_to_fixpoint, RuleSet};
+
+/// Options controlling the rewrite.
+#[derive(Debug, Clone)]
+pub struct RewriteOptions {
+    /// Maximum number of full rule passes over the tree.
+    pub max_iterations: usize,
+    /// If true (the default, matching the paper's tool), the query is returned
+    /// *untransformed* when some Apply operator cannot be removed; if false, the
+    /// partially rewritten plan is returned and remaining Apply operators are executed
+    /// as correlated evaluation.
+    pub require_full_decorrelation: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            max_iterations: 50,
+            require_full_decorrelation: true,
+        }
+    }
+}
+
+/// The result of attempting to decorrelate a query.
+#[derive(Debug, Clone)]
+pub struct RewriteOutcome {
+    /// The plan to execute (rewritten if decorrelation succeeded, otherwise the
+    /// original).
+    pub plan: RelExpr,
+    /// True if every merged UDF invocation was decorrelated (no Apply operators remain).
+    pub decorrelated: bool,
+    /// Number of UDF invocations replaced by algebraic forms.
+    pub merged_calls: usize,
+    /// Auxiliary aggregates that must be registered before executing the rewritten plan.
+    pub aux_aggregates: Vec<AggregateDefinition>,
+    /// Names of the transformation rules that fired, in order.
+    pub applied_rules: Vec<String>,
+    /// Human-readable notes: UDFs that could not be algebraized, why decorrelation was
+    /// abandoned, etc.
+    pub notes: Vec<String>,
+}
+
+/// Runs the full rewrite pipeline on a query plan:
+/// algebraize + merge UDF invocations (Sections IV, V, VII), then remove Apply operators
+/// with the transformation rules (Section VI).
+pub fn rewrite_query(
+    plan: &RelExpr,
+    registry: &FunctionRegistry,
+    provider: &dyn SchemaProvider,
+    options: &RewriteOptions,
+) -> Result<RewriteOutcome> {
+    let mut notes = vec![];
+    if !plan.contains_udf_call() {
+        return Ok(RewriteOutcome {
+            plan: plan.clone(),
+            decorrelated: false,
+            merged_calls: 0,
+            aux_aggregates: vec![],
+            applied_rules: vec![],
+            notes: vec!["query invokes no user-defined functions".into()],
+        });
+    }
+    let merged = merge_udf_calls(plan, registry, provider)?;
+    for (name, reason) in &merged.skipped {
+        notes.push(format!(
+            "UDF '{name}' kept as an iterative invocation: {reason}"
+        ));
+    }
+    if merged.merged_calls == 0 {
+        return Ok(RewriteOutcome {
+            plan: plan.clone(),
+            decorrelated: false,
+            merged_calls: 0,
+            aux_aggregates: vec![],
+            applied_rules: vec![],
+            notes,
+        });
+    }
+    let rules = RuleSet::default_pipeline();
+    // The rules must also see the auxiliary aggregates synthesised during merging (their
+    // return types and empty-input values), even though they are only registered with the
+    // engine when the rewritten plan is executed.
+    let provider_with_aux = AuxAggregateProvider {
+        inner: provider,
+        aggregates: &merged.aux_aggregates,
+    };
+    let (rewritten, applied_rules) = apply_rules_to_fixpoint(
+        &merged.plan,
+        &rules,
+        &provider_with_aux,
+        options.max_iterations,
+    );
+    let decorrelated = !rewritten.contains_apply();
+    if !decorrelated && options.require_full_decorrelation {
+        notes.push(
+            "some Apply operators could not be removed; the query was left untransformed \
+             (iterative invocation remains the execution strategy)"
+                .into(),
+        );
+        return Ok(RewriteOutcome {
+            plan: plan.clone(),
+            decorrelated: false,
+            merged_calls: merged.merged_calls,
+            aux_aggregates: vec![],
+            applied_rules,
+            notes,
+        });
+    }
+    Ok(RewriteOutcome {
+        plan: rewritten,
+        decorrelated,
+        merged_calls: merged.merged_calls,
+        aux_aggregates: merged.aux_aggregates,
+        applied_rules,
+        notes,
+    })
+}
+
+/// A [`SchemaProvider`] that layers the auxiliary aggregates synthesised by the current
+/// rewrite on top of the engine-provided catalog view.
+struct AuxAggregateProvider<'a> {
+    inner: &'a dyn SchemaProvider,
+    aggregates: &'a [AggregateDefinition],
+}
+
+impl SchemaProvider for AuxAggregateProvider<'_> {
+    fn table_schema(&self, table: &str) -> Result<decorr_common::Schema> {
+        self.inner.table_schema(table)
+    }
+
+    fn udf_return_type(&self, name: &str) -> Option<decorr_common::DataType> {
+        self.aggregates
+            .iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name))
+            .map(|a| a.return_type)
+            .or_else(|| self.inner.udf_return_type(name))
+    }
+
+    fn aggregate_empty_value(&self, name: &str) -> Option<decorr_common::Value> {
+        if let Some(agg) = self
+            .aggregates
+            .iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name))
+        {
+            return match &agg.terminate {
+                decorr_algebra::ScalarExpr::Param(p) => agg
+                    .state
+                    .iter()
+                    .find(|(var, _, _)| var == p)
+                    .map(|(_, _, init)| init.clone()),
+                decorr_algebra::ScalarExpr::Literal(v) => Some(v.clone()),
+                _ => None,
+            };
+        }
+        self.inner.aggregate_empty_value(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_algebra::display::explain;
+    use decorr_algebra::schema::MapProvider;
+    use decorr_common::{Column, DataType, Schema};
+    use decorr_parser::{parse_and_plan, parse_function};
+
+    fn provider() -> MapProvider {
+        MapProvider::new()
+            .with_table(
+                "customer",
+                Schema::new(vec![
+                    Column::new("custkey", DataType::Int),
+                    Column::new("name", DataType::Str),
+                ]),
+            )
+            .with_table(
+                "orders",
+                Schema::new(vec![
+                    Column::new("orderkey", DataType::Int),
+                    Column::new("custkey", DataType::Int),
+                    Column::new("totalprice", DataType::Float),
+                ]),
+            )
+    }
+
+    #[test]
+    fn decorrelates_example3_discount() {
+        // Example 3: after rewriting, no Apply and no UDF call remain and the arithmetic
+        // is inlined into the projection (Π_{orderkey, totalprice*0.15}(orders)).
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function discount(float amount) returns float as \
+                 begin return amount * 0.15; end",
+            )
+            .unwrap(),
+        );
+        let plan =
+            parse_and_plan("select orderkey, discount(totalprice) as d from orders").unwrap();
+        let outcome =
+            rewrite_query(&plan, &registry, &provider(), &RewriteOptions::default()).unwrap();
+        assert!(outcome.decorrelated);
+        assert!(!outcome.plan.contains_apply());
+        assert!(!outcome.plan.contains_udf_call());
+        let text = explain(&outcome.plan);
+        assert!(text.contains("totalprice * 0.15) as d"), "plan:\n{text}");
+        assert!(text.contains("Scan orders"));
+        // The whole plan collapses to a single projection over the scan.
+        assert!(outcome.plan.node_count() <= 3, "plan:\n{text}");
+    }
+
+    #[test]
+    fn decorrelates_example1_service_level_into_outer_join() {
+        // Example 1 → Example 2: the rewritten form is a left outer join between
+        // customer and a grouped aggregation over orders, with a CASE projection.
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function service_level(int ckey) returns char(10) as \
+                 begin \
+                   float totalbusiness; string level; \
+                   select sum(totalprice) into :totalbusiness from orders where custkey = :ckey; \
+                   if (totalbusiness > 1000000) level = 'Platinum'; \
+                   else if (totalbusiness > 500000) level = 'Gold'; \
+                   else level = 'Regular'; \
+                   return level; \
+                 end",
+            )
+            .unwrap(),
+        );
+        let plan =
+            parse_and_plan("select custkey, service_level(custkey) as level from customer")
+                .unwrap();
+        let outcome =
+            rewrite_query(&plan, &registry, &provider(), &RewriteOptions::default()).unwrap();
+        let text = explain(&outcome.plan);
+        assert!(outcome.decorrelated, "rules: {:?}\nnotes: {:?}\nplan:\n{text}",
+            outcome.applied_rules, outcome.notes);
+        assert!(text.contains("Join(left outer)"), "plan:\n{text}");
+        assert!(text.contains("Aggregate group_by=[orders.custkey]"), "plan:\n{text}");
+        assert!(text.contains("'Platinum'"), "plan:\n{text}");
+        assert!(!outcome.plan.contains_udf_call());
+        // R9, R2, R8, R4 and the scalar-aggregate decorrelation must all have fired.
+        for expected in [
+            "R9-apply-bind-removal",
+            "R8-conditional-merge-to-case",
+            "decorrelate-scalar-aggregate",
+        ] {
+            assert!(
+                outcome.applied_rules.iter().any(|r| r == expected),
+                "expected rule {expected} to fire; fired: {:?}",
+                outcome.applied_rules
+            );
+        }
+    }
+
+    #[test]
+    fn query_without_udfs_is_untouched() {
+        let registry = FunctionRegistry::new();
+        let plan = parse_and_plan("select custkey from customer").unwrap();
+        let outcome =
+            rewrite_query(&plan, &registry, &provider(), &RewriteOptions::default()).unwrap();
+        assert!(!outcome.decorrelated);
+        assert_eq!(outcome.plan, plan);
+    }
+
+    #[test]
+    fn non_decorrelatable_udf_keeps_original_plan() {
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function spin(int n) returns int as \
+                 begin int i = 0; while (i < n) begin i = i + 1; end return i; end",
+            )
+            .unwrap(),
+        );
+        let plan = parse_and_plan("select spin(custkey) from customer").unwrap();
+        let outcome =
+            rewrite_query(&plan, &registry, &provider(), &RewriteOptions::default()).unwrap();
+        assert!(!outcome.decorrelated);
+        assert_eq!(outcome.plan, plan);
+        assert!(outcome.notes.iter().any(|n| n.contains("WHILE")));
+    }
+}

@@ -1,0 +1,301 @@
+//! SQL text generation for rewritten plans.
+//!
+//! The paper's tool is a preprocessor: it emits a rewritten SQL query (plus auxiliary
+//! function definitions) that is then submitted to the database system. This module
+//! renders a logical plan back into SQL. Plans produced by the decorrelation pipeline
+//! (projections, selections, joins, group-by, sort, limit over base tables) render into
+//! idiomatic SQL with derived tables where necessary; operators that have no SQL
+//! equivalent (the Apply family) are rendered as comments so partially rewritten plans
+//! remain inspectable.
+
+use decorr_algebra::{AggFunc, JoinKind, RelExpr, ScalarExpr};
+
+/// Renders a plan as a SQL query string.
+pub fn plan_to_sql(plan: &RelExpr) -> String {
+    render(plan, &mut 0)
+}
+
+fn fresh_alias(counter: &mut usize) -> String {
+    *counter += 1;
+    format!("d{counter}")
+}
+
+fn render(plan: &RelExpr, counter: &mut usize) -> String {
+    match plan {
+        RelExpr::Project {
+            input,
+            items,
+            distinct,
+        } => {
+            let list: Vec<String> = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| match &item.alias {
+                    Some(a) => format!("{} as {a}", render_expr(&item.expr)),
+                    None => {
+                        let rendered = render_expr(&item.expr);
+                        if matches!(item.expr, ScalarExpr::Column(_)) {
+                            rendered
+                        } else {
+                            format!("{rendered} as {}", item.output_name(i))
+                        }
+                    }
+                })
+                .collect();
+            let distinct_kw = if *distinct { "distinct " } else { "" };
+            format!(
+                "select {distinct_kw}{} from {}",
+                list.join(", "),
+                render_from(input, counter)
+            )
+        }
+        RelExpr::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let mut list: Vec<String> = group_by.iter().map(render_expr).collect();
+            for a in aggregates {
+                let args = if matches!(a.func, AggFunc::CountStar) {
+                    "*".to_string()
+                } else {
+                    a.args.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+                };
+                list.push(format!("{}({args}) as {}", a.func.name(), a.alias));
+            }
+            let group_clause = if group_by.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " group by {}",
+                    group_by.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+                )
+            };
+            format!(
+                "select {} from {}{}",
+                list.join(", "),
+                render_from(input, counter),
+                group_clause
+            )
+        }
+        RelExpr::Select { input, predicate } => match input.as_ref() {
+            // σ over something that renders as FROM-able: emit WHERE.
+            RelExpr::Scan { .. } | RelExpr::Join { .. } | RelExpr::Rename { .. } => format!(
+                "select * from {} where {}",
+                render_from(input, counter),
+                render_expr(predicate)
+            ),
+            _ => format!(
+                "select * from ({}) {} where {}",
+                render(input, counter),
+                fresh_alias(counter),
+                render_expr(predicate)
+            ),
+        },
+        RelExpr::Sort { input, keys } => {
+            let keys_s: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    format!(
+                        "{}{}",
+                        render_expr(&k.expr),
+                        if k.ascending { "" } else { " desc" }
+                    )
+                })
+                .collect();
+            format!("{} order by {}", render(input, counter), keys_s.join(", "))
+        }
+        RelExpr::Limit { input, limit } => format!("{} limit {limit}", render(input, counter)),
+        RelExpr::Union { left, right, all } => format!(
+            "({}) union{} ({})",
+            render(left, counter),
+            if *all { " all" } else { "" },
+            render(right, counter)
+        ),
+        RelExpr::Single => "select 1".to_string(),
+        RelExpr::Values { rows, .. } => format!("/* VALUES ({} rows) */ select 1", rows.len()),
+        other => format!("select * from {}", render_from(other, counter)),
+    }
+}
+
+/// Renders a plan as something that can appear in a FROM clause.
+fn render_from(plan: &RelExpr, counter: &mut usize) -> String {
+    match plan {
+        RelExpr::Scan { table, alias } => match alias {
+            Some(a) if a != table => format!("{table} {a}"),
+            _ => table.clone(),
+        },
+        RelExpr::Rename { input, alias } => {
+            format!("({}) {alias}", render(input, counter))
+        }
+        RelExpr::Join {
+            left,
+            right,
+            kind,
+            condition,
+        } => {
+            let join_kw = match kind {
+                JoinKind::Inner => "join",
+                JoinKind::LeftOuter => "left outer join",
+                JoinKind::LeftSemi => "/* semi */ join",
+                JoinKind::LeftAnti => "/* anti */ join",
+                JoinKind::Cross => "cross join",
+            };
+            let on = condition
+                .as_ref()
+                .map(|c| format!(" on {}", render_expr(c)))
+                .unwrap_or_default();
+            format!(
+                "{} {join_kw} {}{on}",
+                render_from(left, counter),
+                render_from(right, counter)
+            )
+        }
+        RelExpr::Select { input, predicate } => {
+            // A filtered base table inside a FROM clause becomes a derived table.
+            let alias = fresh_alias(counter);
+            format!(
+                "(select * from {} where {}) {alias}",
+                render_from(input, counter),
+                render_expr(predicate)
+            )
+        }
+        RelExpr::Single => "(select 1) single_row".to_string(),
+        RelExpr::Apply { .. } | RelExpr::ApplyMerge { .. } | RelExpr::ConditionalApplyMerge { .. } => {
+            format!(
+                "(/* correlated apply operator — not expressible in SQL */ {}) {}",
+                plan.name(),
+                fresh_alias(counter)
+            )
+        }
+        other => {
+            let alias = fresh_alias(counter);
+            format!("({}) {alias}", render(other, counter))
+        }
+    }
+}
+
+fn render_expr(expr: &ScalarExpr) -> String {
+    // The Display implementation of ScalarExpr is already SQL-flavoured; subqueries are
+    // the only construct that needs recursion into plans.
+    match expr {
+        ScalarExpr::ScalarSubquery(q) => format!("({})", plan_to_sql(q)),
+        ScalarExpr::Exists(q) => format!("exists ({})", plan_to_sql(q)),
+        ScalarExpr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => format!(
+            "{} {}in ({})",
+            render_expr(expr),
+            if *negated { "not " } else { "" },
+            plan_to_sql(subquery)
+        ),
+        ScalarExpr::Binary { op, left, right } => {
+            format!("({} {} {})", render_expr(left), op.sql(), render_expr(right))
+        }
+        ScalarExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            let mut s = String::from("case");
+            for (p, e) in branches {
+                s.push_str(&format!(" when {} then {}", render_expr(p), render_expr(e)));
+            }
+            if let Some(e) = else_expr {
+                s.push_str(&format!(" else {}", render_expr(e)));
+            }
+            s.push_str(" end");
+            s
+        }
+        ScalarExpr::Coalesce(args) => format!(
+            "coalesce({})",
+            args.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+        ),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_algebra::{AggCall, PlanBuilder, ScalarExpr as E};
+
+    #[test]
+    fn renders_flat_select() {
+        let plan = PlanBuilder::scan("orders")
+            .select(E::gt(E::column("totalprice"), E::literal(100)))
+            .project(vec![(E::column("orderkey"), None)])
+            .build();
+        let sql = plan_to_sql(&plan);
+        assert!(sql.starts_with("select orderkey from"));
+        assert!(sql.contains("where (totalprice > 100)"));
+    }
+
+    #[test]
+    fn renders_example2_shape() {
+        // customer ⟕ (custkey G sum(totalprice)) with a CASE projection — the paper's
+        // Example 2.
+        let grouped = PlanBuilder::scan("orders").aggregate(
+            vec![E::column("custkey")],
+            vec![AggCall::new(
+                decorr_algebra::AggFunc::Sum,
+                vec![E::column("totalprice")],
+                "totalbusiness",
+            )],
+        );
+        let plan = PlanBuilder::scan_as("customer", "c")
+            .join(
+                grouped,
+                decorr_algebra::JoinKind::LeftOuter,
+                Some(E::eq(
+                    E::qualified_column("c", "custkey"),
+                    E::column("custkey"),
+                )),
+            )
+            .project(vec![
+                (E::qualified_column("c", "custkey"), None),
+                (
+                    E::Case {
+                        branches: vec![(
+                            E::gt(E::column("totalbusiness"), E::literal(1_000_000)),
+                            E::literal("Platinum"),
+                        )],
+                        else_expr: Some(Box::new(E::literal("Regular"))),
+                    },
+                    Some("level"),
+                ),
+            ])
+            .build();
+        let sql = plan_to_sql(&plan);
+        assert!(sql.contains("left outer join"));
+        assert!(sql.contains("group by custkey"));
+        assert!(sql.contains("case when (totalbusiness > 1000000) then 'Platinum'"));
+    }
+
+    #[test]
+    fn renders_apply_as_comment() {
+        let plan = PlanBuilder::scan("customer")
+            .apply(
+                PlanBuilder::scan("orders"),
+                decorr_algebra::ApplyKind::Cross,
+                vec![],
+            )
+            .project(vec![(E::column("custkey"), None)])
+            .build();
+        let sql = plan_to_sql(&plan);
+        assert!(sql.contains("correlated apply operator"));
+    }
+
+    #[test]
+    fn renders_limit_and_order_by() {
+        let plan = PlanBuilder::scan("orders")
+            .project(vec![(E::column("orderkey"), None)])
+            .sort(vec![(E::column("orderkey"), false)])
+            .limit(10)
+            .build();
+        let sql = plan_to_sql(&plan);
+        assert!(sql.contains("order by orderkey desc"));
+        assert!(sql.ends_with("limit 10"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The catalog: a named collection of tables.
+
+use std::collections::BTreeMap;
+
+use decorr_common::{normalize_ident, Error, Result, Row, Schema};
+
+use crate::table::Table;
+
+/// The database catalog. Owns every table; the executor reads through shared references
+/// while DDL/DML goes through `&mut` methods on the owning engine.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Creates a table. Fails if a table with the same name already exists.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let key = normalize_ident(name);
+        if self.tables.contains_key(&key) {
+            return Err(Error::Catalog(format!("table '{name}' already exists")));
+        }
+        self.tables.insert(key.clone(), Table::new(key, schema));
+        Ok(())
+    }
+
+    /// Drops a table. Fails if it does not exist.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let key = normalize_ident(name);
+        if self.tables.remove(&key).is_none() {
+            return Err(Error::Catalog(format!("table '{name}' does not exist")));
+        }
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&normalize_ident(name))
+            .ok_or_else(|| Error::Catalog(format!("unknown table '{name}'")))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&normalize_ident(name))
+            .ok_or_else(|| Error::Catalog(format!("unknown table '{name}'")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&normalize_ident(name))
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Convenience: schema of a table (unqualified error if missing).
+    pub fn table_schema(&self, name: &str) -> Result<Schema> {
+        Ok(self.table(name)?.schema().clone())
+    }
+
+    /// Convenience: inserts rows into a table.
+    pub fn insert_rows(&mut self, name: &str, rows: Vec<Row>) -> Result<usize> {
+        let n = rows.len();
+        self.table_mut(name)?.insert_all(rows)?;
+        Ok(n)
+    }
+
+    /// Convenience: creates a hash index.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
+        self.table_mut(table)?.create_index(column)
+    }
+
+    /// Total number of rows across all tables (used in tests and diagnostics).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.row_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::{Column, DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn create_insert_lookup() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        assert!(c.has_table("T"));
+        c.insert_rows("t", vec![Row::new(vec![1.into(), "a".into()])]).unwrap();
+        assert_eq!(c.table("t").unwrap().row_count(), 1);
+        assert_eq!(c.total_rows(), 1);
+        assert_eq!(c.table_names(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_and_missing_tables_error() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        assert_eq!(c.create_table("T", schema()).unwrap_err().kind(), "catalog");
+        assert_eq!(c.table("nosuch").unwrap_err().kind(), "catalog");
+        assert_eq!(c.drop_table("nosuch").unwrap_err().kind(), "catalog");
+        c.drop_table("t").unwrap();
+        assert!(!c.has_table("t"));
+    }
+
+    #[test]
+    fn index_via_catalog() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        c.insert_rows(
+            "t",
+            vec![
+                Row::new(vec![1.into(), "a".into()]),
+                Row::new(vec![1.into(), "b".into()]),
+            ],
+        )
+        .unwrap();
+        c.create_index("t", "k").unwrap();
+        let hits = c.table("t").unwrap().index_lookup("k", &Value::Int(1)).unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Hash indexes over a single column.
+
+use std::collections::HashMap;
+
+use decorr_common::{value::GroupKey, Row, Value};
+
+/// An equality hash index: maps a column value to the ids of the rows holding it.
+///
+/// NULL keys are not indexed (SQL equality never matches NULL), so lookups for NULL
+/// return no rows, matching predicate semantics.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    column_name: String,
+    column_idx: usize,
+    map: HashMap<GroupKey, Vec<usize>>,
+}
+
+impl HashIndex {
+    pub fn new(column_name: &str, column_idx: usize) -> HashIndex {
+        HashIndex {
+            column_name: column_name.to_string(),
+            column_idx,
+            map: HashMap::new(),
+        }
+    }
+
+    pub fn column_name(&self) -> &str {
+        &self.column_name
+    }
+
+    pub fn column_idx(&self) -> usize {
+        self.column_idx
+    }
+
+    /// Number of distinct (non-NULL) keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Adds a row (by id) to the index.
+    pub fn insert(&mut self, row: &Row, row_id: usize) {
+        let key = &row.values[self.column_idx];
+        if key.is_null() {
+            return;
+        }
+        self.map.entry(key.group_key()).or_default().push(row_id);
+    }
+
+    /// Row ids whose indexed column equals `value`.
+    pub fn lookup(&self, value: &Value) -> &[usize] {
+        if value.is_null() {
+            return &[];
+        }
+        self.map
+            .get(&value.group_key())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_key() {
+        let mut idx = HashIndex::new("k", 0);
+        idx.insert(&Row::new(vec![Value::Int(1), "a".into()]), 0);
+        idx.insert(&Row::new(vec![Value::Int(2), "b".into()]), 1);
+        idx.insert(&Row::new(vec![Value::Int(1), "c".into()]), 2);
+        assert_eq!(idx.lookup(&Value::Int(1)), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Int(3)), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn null_keys_are_not_indexed() {
+        let mut idx = HashIndex::new("k", 0);
+        idx.insert(&Row::new(vec![Value::Null]), 0);
+        assert_eq!(idx.lookup(&Value::Null), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn int_and_float_keys_unify() {
+        let mut idx = HashIndex::new("k", 0);
+        idx.insert(&Row::new(vec![Value::Int(2)]), 0);
+        assert_eq!(idx.lookup(&Value::Float(2.0)), &[0]);
+    }
+}

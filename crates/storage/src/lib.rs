@@ -1,0 +1,17 @@
+//! In-memory storage: tables, hash indexes, catalog and statistics.
+//!
+//! The paper runs its experiments on commercial systems over TPC-H with "default indices
+//! on primary and foreign keys". This crate provides the equivalent substrate: an
+//! in-memory row store with hash indexes that the executor uses both for the iterative
+//! baseline (the per-invocation lookups inside UDF bodies) and for index-nested-loop
+//! joins, plus simple per-table statistics for the cost model.
+
+pub mod catalog;
+pub mod index;
+pub mod stats;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use index::HashIndex;
+pub use stats::TableStats;
+pub use table::Table;

@@ -1,0 +1,96 @@
+//! Per-table statistics for the cost model.
+
+use std::collections::HashSet;
+
+use decorr_common::{value::GroupKey, Row, Schema};
+
+/// Statistics the optimizer's cardinality estimator consumes: total row count and the
+/// number of distinct values per column.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    pub row_count: usize,
+    /// Distinct (non-NULL) value count per column, in schema order.
+    pub distinct_counts: Vec<usize>,
+    /// Column names, in schema order (for lookups by name).
+    pub column_names: Vec<String>,
+}
+
+impl TableStats {
+    /// Computes statistics over the full table contents.
+    pub fn compute(schema: &Schema, rows: &[Row]) -> TableStats {
+        let ncols = schema.len();
+        let mut sets: Vec<HashSet<GroupKey>> = vec![HashSet::new(); ncols];
+        for row in rows {
+            for (i, v) in row.values.iter().enumerate() {
+                if !v.is_null() {
+                    sets[i].insert(v.group_key());
+                }
+            }
+        }
+        TableStats {
+            row_count: rows.len(),
+            distinct_counts: sets.iter().map(|s| s.len()).collect(),
+            column_names: schema.columns.iter().map(|c| c.name.clone()).collect(),
+        }
+    }
+
+    /// Distinct value count for a column by name; falls back to the row count (i.e. the
+    /// "all distinct" pessimistic assumption) when the column is unknown.
+    pub fn distinct_count(&self, column: &str) -> usize {
+        self.column_names
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(column))
+            .map(|i| self.distinct_counts[i])
+            .unwrap_or(self.row_count)
+            .max(1)
+    }
+
+    /// Estimated selectivity of an equality predicate on `column` (1 / distinct count).
+    pub fn equality_selectivity(&self, column: &str) -> f64 {
+        1.0 / self.distinct_count(column) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::{Column, DataType, Value};
+
+    #[test]
+    fn compute_counts_and_selectivity() {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("grp", DataType::Int),
+        ]);
+        let rows: Vec<Row> = (0..100i64)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 4)]))
+            .collect();
+        let stats = TableStats::compute(&schema, &rows);
+        assert_eq!(stats.row_count, 100);
+        assert_eq!(stats.distinct_count("k"), 100);
+        assert_eq!(stats.distinct_count("grp"), 4);
+        assert!((stats.equality_selectivity("grp") - 0.25).abs() < 1e-9);
+        // Unknown column: pessimistic fallback.
+        assert_eq!(stats.distinct_count("nosuch"), 100);
+    }
+
+    #[test]
+    fn nulls_do_not_count_as_distinct() {
+        let schema = Schema::new(vec![Column::new("k", DataType::Int)]);
+        let rows = vec![
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Null]),
+        ];
+        let stats = TableStats::compute(&schema, &rows);
+        assert_eq!(stats.distinct_count("k"), 1);
+    }
+
+    #[test]
+    fn empty_table_has_min_distinct_one() {
+        let schema = Schema::new(vec![Column::new("k", DataType::Int)]);
+        let stats = TableStats::compute(&schema, &[]);
+        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.distinct_count("k"), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! In-memory row-store table with optional hash indexes.
+
+use std::collections::HashMap;
+
+use decorr_common::{normalize_ident, Error, Result, Row, Schema, Value};
+
+use crate::index::HashIndex;
+use crate::stats::TableStats;
+
+/// An in-memory table: a schema, a vector of rows, and hash indexes keyed by column name.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    indexes: HashMap<String, HashIndex>,
+}
+
+impl Table {
+    /// Creates an empty table. Column qualifiers in the supplied schema are replaced by
+    /// the table name so that scans produce properly qualified columns.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        let name = normalize_ident(&name.into());
+        let schema = schema.with_qualifier(&name);
+        Table {
+            name,
+            schema,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Validates and appends a row, maintaining all indexes.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(Error::Execution(format!(
+                "insert into '{}': expected {} values, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (i, v) in row.values.iter().enumerate() {
+            let col = self.schema.column(i);
+            if !v.is_null() && !col.data_type.is_compatible_with(v.data_type()) {
+                return Err(Error::TypeError(format!(
+                    "insert into '{}': column '{}' expects {}, got {} ({v})",
+                    self.name, col.name, col.data_type, v.data_type()
+                )));
+            }
+            if v.is_null() && !col.nullable {
+                return Err(Error::Execution(format!(
+                    "insert into '{}': column '{}' is NOT NULL",
+                    self.name, col.name
+                )));
+            }
+        }
+        let row_id = self.rows.len();
+        for index in self.indexes.values_mut() {
+            index.insert(&row, row_id);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk insert (used by the data generator). Rows are validated like [`Table::insert`].
+    pub fn insert_all(&mut self, rows: Vec<Row>) -> Result<()> {
+        self.rows.reserve(rows.len());
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Creates a hash index on `column` (no-op if one already exists). Existing rows are
+    /// indexed immediately.
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        let column = normalize_ident(column);
+        if self.indexes.contains_key(&column) {
+            return Ok(());
+        }
+        let col_idx = self.schema.index_of(None, &column)?;
+        let mut index = HashIndex::new(&column, col_idx);
+        for (row_id, row) in self.rows.iter().enumerate() {
+            index.insert(row, row_id);
+        }
+        self.indexes.insert(column, index);
+        Ok(())
+    }
+
+    /// Returns the hash index on `column` if one exists.
+    pub fn index_on(&self, column: &str) -> Option<&HashIndex> {
+        self.indexes.get(&normalize_ident(column))
+    }
+
+    /// Names of all indexed columns.
+    pub fn indexed_columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = self.indexes.keys().cloned().collect();
+        cols.sort();
+        cols
+    }
+
+    /// Looks up rows whose indexed `column` equals `value` using the hash index. Returns
+    /// `None` when no index exists on the column (caller should fall back to a scan).
+    pub fn index_lookup(&self, column: &str, value: &Value) -> Option<Vec<&Row>> {
+        self.index_on(column)
+            .map(|idx| idx.lookup(value).iter().map(|&i| &self.rows[i]).collect())
+    }
+
+    /// Computes statistics for the cost model.
+    pub fn stats(&self) -> TableStats {
+        TableStats::compute(&self.schema, &self.rows)
+    }
+
+    /// Removes all rows (keeps schema and index definitions).
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::{Column, DataType};
+
+    fn orders_table() -> Table {
+        Table::new(
+            "orders",
+            Schema::new(vec![
+                Column::new("orderkey", DataType::Int).not_null(),
+                Column::new("custkey", DataType::Int),
+                Column::new("totalprice", DataType::Float),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = orders_table();
+        t.insert(Row::new(vec![1.into(), 10.into(), 100.5.into()])).unwrap();
+        t.insert(Row::new(vec![2.into(), 10.into(), 2.5.into()])).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.rows()[1].get(2), &Value::Float(2.5));
+        assert_eq!(t.schema().column(0).qualifier.as_deref(), Some("orders"));
+    }
+
+    #[test]
+    fn insert_validates_arity_and_types() {
+        let mut t = orders_table();
+        assert!(t.insert(Row::new(vec![1.into()])).is_err());
+        assert!(t
+            .insert(Row::new(vec!["x".into(), 10.into(), 1.0.into()]))
+            .is_err());
+        // NOT NULL violation
+        assert!(t
+            .insert(Row::new(vec![Value::Null, 10.into(), 1.0.into()]))
+            .is_err());
+        // Int accepted where Float expected (numeric compatibility)
+        assert!(t.insert(Row::new(vec![1.into(), 10.into(), 7.into()])).is_ok());
+    }
+
+    #[test]
+    fn index_lookup_finds_matching_rows() {
+        let mut t = orders_table();
+        for i in 0..100i64 {
+            t.insert(Row::new(vec![i.into(), (i % 10).into(), (i as f64).into()]))
+                .unwrap();
+        }
+        t.create_index("custkey").unwrap();
+        let hits = t.index_lookup("custkey", &Value::Int(3)).unwrap();
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|r| r.get(1) == &Value::Int(3)));
+        // Unindexed column -> None
+        assert!(t.index_lookup("totalprice", &Value::Float(1.0)).is_none());
+        // Missing key -> empty
+        assert_eq!(t.index_lookup("custkey", &Value::Int(99)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn index_created_after_inserts_sees_existing_rows() {
+        let mut t = orders_table();
+        t.insert(Row::new(vec![1.into(), 7.into(), 1.0.into()])).unwrap();
+        t.create_index("custkey").unwrap();
+        t.insert(Row::new(vec![2.into(), 7.into(), 2.0.into()])).unwrap();
+        assert_eq!(t.index_lookup("custkey", &Value::Int(7)).unwrap().len(), 2);
+        assert_eq!(t.indexed_columns(), vec!["custkey".to_string()]);
+    }
+
+    #[test]
+    fn truncate_clears_rows_and_indexes() {
+        let mut t = orders_table();
+        t.create_index("custkey").unwrap();
+        t.insert(Row::new(vec![1.into(), 7.into(), 1.0.into()])).unwrap();
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.index_lookup("custkey", &Value::Int(7)).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Procedural AST for UDF bodies.
+
+use std::fmt;
+
+use decorr_algebra::{RelExpr, ScalarExpr};
+use decorr_common::{normalize_ident, DataType, Schema, Value};
+
+/// A formal parameter of a UDF or user-defined aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfParameter {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl UdfParameter {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> UdfParameter {
+        UdfParameter {
+            name: normalize_ident(&name.into()),
+            data_type,
+        }
+    }
+}
+
+impl fmt::Display for UdfParameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.data_type, self.name)
+    }
+}
+
+/// A single statement of a UDF body.
+///
+/// The parser desugars the verbose cursor pattern of the paper's Example 5
+/// (`declare cursor` / `open` / `fetch next … into` / `while @@fetch_status = 0` /
+/// `close` / `deallocate`) into a single [`Statement::CursorLoop`], which is both what
+/// the interpreter executes and what the Section VII algebraization consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `declare x int;` or `int x = expr;`
+    Declare {
+        name: String,
+        data_type: DataType,
+        init: Option<ScalarExpr>,
+    },
+    /// `x = expr;` — the expression may contain scalar subqueries and UDF calls.
+    Assign { name: String, expr: ScalarExpr },
+    /// `select e1, e2 into :v1, :v2 from …` — a scalar query whose single result row is
+    /// assigned to the target variables.
+    SelectInto {
+        query: RelExpr,
+        targets: Vec<String>,
+    },
+    /// `if (cond) … else …`
+    If {
+        condition: ScalarExpr,
+        then_branch: Vec<Statement>,
+        else_branch: Vec<Statement>,
+    },
+    /// A cursor loop: iterate over `query`, binding each row's columns to `fetch_vars`
+    /// and executing `body`.
+    CursorLoop {
+        query: RelExpr,
+        fetch_vars: Vec<String>,
+        body: Vec<Statement>,
+    },
+    /// An arbitrary `while (cond) …` loop (dynamic iteration space). Executable by the
+    /// interpreter; not decorrelatable (Section VII-C).
+    While {
+        condition: ScalarExpr,
+        body: Vec<Statement>,
+    },
+    /// `insert into <result table> values (…)` inside a table-valued UDF.
+    InsertIntoResult { values: Vec<ScalarExpr> },
+    /// `return expr;` (scalar UDFs) or `return;` / `return tt;` (table-valued UDFs).
+    Return { expr: Option<ScalarExpr> },
+}
+
+impl Statement {
+    /// Short operator-like name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Statement::Declare { .. } => "declare",
+            Statement::Assign { .. } => "assign",
+            Statement::SelectInto { .. } => "select-into",
+            Statement::If { .. } => "if",
+            Statement::CursorLoop { .. } => "cursor-loop",
+            Statement::While { .. } => "while",
+            Statement::InsertIntoResult { .. } => "insert-into-result",
+            Statement::Return { .. } => "return",
+        }
+    }
+
+    /// True if the statement (recursively) contains a loop.
+    pub fn contains_loop(&self) -> bool {
+        match self {
+            Statement::CursorLoop { .. } | Statement::While { .. } => true,
+            Statement::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.iter().chain(else_branch).any(|s| s.contains_loop()),
+            _ => false,
+        }
+    }
+
+    /// True if the statement (recursively) executes a SQL query (scalar subquery,
+    /// `SELECT INTO`, or a cursor query).
+    pub fn contains_query(&self) -> bool {
+        fn expr_has_query(e: &ScalarExpr) -> bool {
+            e.contains_subquery()
+        }
+        match self {
+            Statement::SelectInto { .. } | Statement::CursorLoop { .. } => true,
+            Statement::Declare { init, .. } => init.as_ref().map(expr_has_query).unwrap_or(false),
+            Statement::Assign { expr, .. } => expr_has_query(expr),
+            Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => {
+                expr_has_query(condition)
+                    || then_branch.iter().chain(else_branch).any(|s| s.contains_query())
+            }
+            Statement::While { condition, body } => {
+                expr_has_query(condition) || body.iter().any(|s| s.contains_query())
+            }
+            Statement::InsertIntoResult { values } => values.iter().any(expr_has_query),
+            Statement::Return { expr } => expr.as_ref().map(expr_has_query).unwrap_or(false),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Declare {
+                name,
+                data_type,
+                init,
+            } => match init {
+                Some(e) => write!(f, "{data_type} {name} = {e};"),
+                None => write!(f, "{data_type} {name};"),
+            },
+            Statement::Assign { name, expr } => write!(f, "{name} = {expr};"),
+            Statement::SelectInto { targets, .. } => {
+                write!(f, "select … into {};", targets.join(", "))
+            }
+            Statement::If { condition, .. } => write!(f, "if ({condition}) …"),
+            Statement::CursorLoop { fetch_vars, .. } => {
+                write!(f, "cursor loop into ({})", fetch_vars.join(", "))
+            }
+            Statement::While { condition, .. } => write!(f, "while ({condition}) …"),
+            Statement::InsertIntoResult { values } => {
+                let parts: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+                write!(f, "insert into result values ({});", parts.join(", "))
+            }
+            Statement::Return { expr } => match expr {
+                Some(e) => write!(f, "return {e};"),
+                None => write!(f, "return;"),
+            },
+        }
+    }
+}
+
+/// A complete user-defined function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfDefinition {
+    pub name: String,
+    pub params: Vec<UdfParameter>,
+    /// Return type for scalar UDFs.
+    pub return_type: DataType,
+    /// For table-valued UDFs: the schema of the returned table (and `return_type` is
+    /// ignored).
+    pub returns_table: Option<Schema>,
+    pub body: Vec<Statement>,
+    /// Original source text, if the UDF came from the parser (used when printing the
+    /// "original query + UDF definition" side of the experiments).
+    pub source: Option<String>,
+}
+
+impl UdfDefinition {
+    pub fn new(
+        name: impl Into<String>,
+        params: Vec<UdfParameter>,
+        return_type: DataType,
+        body: Vec<Statement>,
+    ) -> UdfDefinition {
+        UdfDefinition {
+            name: normalize_ident(&name.into()),
+            params,
+            return_type,
+            returns_table: None,
+            body,
+            source: None,
+        }
+    }
+
+    pub fn is_table_valued(&self) -> bool {
+        self.returns_table.is_some()
+    }
+
+    /// True if the body contains any loop.
+    pub fn has_loops(&self) -> bool {
+        self.body.iter().any(|s| s.contains_loop())
+    }
+
+    /// True if the body executes any SQL query.
+    pub fn has_queries(&self) -> bool {
+        self.body.iter().any(|s| s.contains_query())
+    }
+
+    /// Names of the formal parameters, in order.
+    pub fn param_names(&self) -> Vec<String> {
+        self.params.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// All local variables declared anywhere in the body (including nested blocks).
+    pub fn declared_variables(&self) -> Vec<(String, DataType)> {
+        fn walk(stmts: &[Statement], out: &mut Vec<(String, DataType)>) {
+            for s in stmts {
+                match s {
+                    Statement::Declare {
+                        name, data_type, ..
+                    } => {
+                        if !out.iter().any(|(n, _)| n == name) {
+                            out.push((name.clone(), *data_type));
+                        }
+                    }
+                    Statement::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        walk(then_branch, out);
+                        walk(else_branch, out);
+                    }
+                    Statement::CursorLoop { body, .. } | Statement::While { body, .. } => {
+                        walk(body, out)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = vec![];
+        walk(&self.body, &mut out);
+        out
+    }
+}
+
+/// A user-defined aggregate function: either written by the user or synthesised by the
+/// Section VII rewrite (the paper's `aux-agg()`, Example 6).
+///
+/// The executor evaluates it with the standard initialize / accumulate / terminate
+/// protocol of user-defined aggregates: `state` is initialised from the literal initial
+/// values, `accumulate` runs once per input row with the declared parameters bound to the
+/// aggregate's arguments, and `terminate` is an expression over the state variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateDefinition {
+    pub name: String,
+    /// State variables: name, type and statically-determined initial value.
+    pub state: Vec<(String, DataType, Value)>,
+    /// Parameters of the accumulate step (the attributes the loop body "uses but does
+    /// not modify").
+    pub params: Vec<UdfParameter>,
+    /// Statements executed for every input row (over state variables and parameters).
+    pub accumulate: Vec<Statement>,
+    /// Result expression over the final state.
+    pub terminate: ScalarExpr,
+    pub return_type: DataType,
+}
+
+impl AggregateDefinition {
+    pub fn param_names(&self) -> Vec<String> {
+        self.params.iter().map(|p| p.name.clone()).collect()
+    }
+}
+
+impl fmt::Display for AggregateDefinition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "aggregate {}(", self.name)?;
+        for p in &self.params {
+            writeln!(f, "    {p},")?;
+        }
+        writeln!(f, ")")?;
+        writeln!(f, "state:")?;
+        for (n, t, v) in &self.state {
+            writeln!(f, "    {t} {n} = {v};")?;
+        }
+        writeln!(f, "accumulate:")?;
+        for s in &self.accumulate {
+            writeln!(f, "    {s}")?;
+        }
+        write!(f, "terminate: return {};", self.terminate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_algebra::ScalarExpr as E;
+
+    /// Builds the body of the paper's Example 1 `service_level` UDF programmatically.
+    pub fn service_level_body() -> Vec<Statement> {
+        vec![
+            Statement::Declare {
+                name: "totalbusiness".into(),
+                data_type: DataType::Float,
+                init: None,
+            },
+            Statement::Declare {
+                name: "level".into(),
+                data_type: DataType::Str,
+                init: None,
+            },
+            Statement::SelectInto {
+                query: RelExpr::Aggregate {
+                    input: Box::new(RelExpr::Select {
+                        input: Box::new(RelExpr::scan("orders")),
+                        predicate: E::eq(E::column("custkey"), E::param("ckey")),
+                    }),
+                    group_by: vec![],
+                    aggregates: vec![decorr_algebra::AggCall::new(
+                        decorr_algebra::AggFunc::Sum,
+                        vec![E::column("totalprice")],
+                        "v",
+                    )],
+                },
+                targets: vec!["totalbusiness".into()],
+            },
+            Statement::If {
+                condition: E::gt(E::param("totalbusiness"), E::literal(1_000_000)),
+                then_branch: vec![Statement::Assign {
+                    name: "level".into(),
+                    expr: E::literal("Platinum"),
+                }],
+                else_branch: vec![Statement::If {
+                    condition: E::gt(E::param("totalbusiness"), E::literal(500_000)),
+                    then_branch: vec![Statement::Assign {
+                        name: "level".into(),
+                        expr: E::literal("Gold"),
+                    }],
+                    else_branch: vec![Statement::Assign {
+                        name: "level".into(),
+                        expr: E::literal("Regular"),
+                    }],
+                }],
+            },
+            Statement::Return {
+                expr: Some(E::param("level")),
+            },
+        ]
+    }
+
+    #[test]
+    fn udf_definition_queries_and_vars() {
+        let udf = UdfDefinition::new(
+            "service_level",
+            vec![UdfParameter::new("ckey", DataType::Int)],
+            DataType::Str,
+            service_level_body(),
+        );
+        assert!(!udf.has_loops());
+        assert!(udf.has_queries());
+        assert!(!udf.is_table_valued());
+        assert_eq!(udf.param_names(), vec!["ckey".to_string()]);
+        assert_eq!(
+            udf.declared_variables(),
+            vec![
+                ("totalbusiness".to_string(), DataType::Float),
+                ("level".to_string(), DataType::Str)
+            ]
+        );
+    }
+
+    #[test]
+    fn statement_classification() {
+        let s = Statement::Assign {
+            name: "x".into(),
+            expr: E::literal(1),
+        };
+        assert_eq!(s.kind(), "assign");
+        assert!(!s.contains_loop());
+        assert!(!s.contains_query());
+
+        let loop_stmt = Statement::CursorLoop {
+            query: RelExpr::scan("lineitem"),
+            fetch_vars: vec!["price".into()],
+            body: vec![],
+        };
+        assert!(loop_stmt.contains_loop());
+        assert!(loop_stmt.contains_query());
+
+        let nested = Statement::If {
+            condition: E::literal(true),
+            then_branch: vec![loop_stmt],
+            else_branch: vec![],
+        };
+        assert!(nested.contains_loop());
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = Statement::Declare {
+            name: "total".into(),
+            data_type: DataType::Int,
+            init: Some(E::literal(0)),
+        };
+        assert_eq!(s.to_string(), "int total = 0;");
+        let r = Statement::Return {
+            expr: Some(E::param("level")),
+        };
+        assert_eq!(r.to_string(), "return :level;");
+    }
+}

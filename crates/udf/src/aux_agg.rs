@@ -1,0 +1,240 @@
+//! Synthesis of auxiliary user-defined aggregates (Section VII-A, Example 6).
+//!
+//! When the body of a cursor loop has cyclic data dependences, the statements from the
+//! first cyclic node onwards (`Lc`) cannot be expressed as a set-oriented algebraic
+//! expression directly. The paper captures them as a user-defined aggregate function
+//! whose `accumulate` method contains exactly those statements, provided
+//!
+//! 1. the initial values of all variables written in `Lc` are statically determinable,
+//!    and
+//! 2. the cursor query does not require an enforced order.
+//!
+//! [`synthesize_aux_aggregate`] performs that construction and reports *why* it fails
+//! when the conditions do not hold.
+
+use std::collections::HashSet;
+
+use decorr_algebra::ScalarExpr;
+use decorr_common::{DataType, Error, Result, Value};
+
+use crate::analysis::{statement_reads, statement_writes};
+use crate::ast::{AggregateDefinition, Statement, UdfParameter};
+
+/// The result of aggregate synthesis: the aggregate definition plus bookkeeping the
+/// rewrite needs to wire it into the plan.
+#[derive(Debug, Clone)]
+pub struct AuxAggregateResult {
+    pub definition: AggregateDefinition,
+    /// The loop variable whose final value the aggregate returns (the variable that is
+    /// live after the loop).
+    pub live_out: String,
+    /// The variables the accumulate step reads but does not modify — these become the
+    /// aggregate's arguments, in this order.
+    pub arg_names: Vec<String>,
+}
+
+/// Synthesises an auxiliary aggregate for the cyclic suffix `cyclic_stmts` of a cursor
+/// loop body.
+///
+/// * `name` — name to give the aggregate (`aux_agg_<udf>` by convention).
+/// * `cyclic_stmts` — the statements `Li … Lk` of the loop body.
+/// * `known_vars` — every variable in scope inside the loop (locals, parameters, fetch
+///   variables).
+/// * `initial_values` — statically known initial values of variables (from declarations
+///   and literal assignments preceding the loop).
+/// * `var_types` — declared types of variables, used for state/parameter typing.
+/// * `live_out` — the variable whose value is used after the loop (the aggregate's
+///   result). The caller determines liveness from the statements that follow the loop.
+pub fn synthesize_aux_aggregate(
+    name: &str,
+    cyclic_stmts: &[Statement],
+    known_vars: &HashSet<String>,
+    initial_values: &[(String, Value)],
+    var_types: &[(String, DataType)],
+    live_out: &str,
+) -> Result<AuxAggregateResult> {
+    if cyclic_stmts.is_empty() {
+        return Err(Error::Rewrite(
+            "cannot synthesise an aggregate from an empty statement list".into(),
+        ));
+    }
+    // Written variables become aggregate state.
+    let mut written: Vec<String> = vec![];
+    for s in cyclic_stmts {
+        for w in statement_writes(s) {
+            if !written.contains(&w) {
+                written.push(w);
+            }
+        }
+    }
+    // Condition 1: every state variable needs a statically determinable initial value.
+    let mut state = vec![];
+    for var in &written {
+        let init = initial_values
+            .iter()
+            .find(|(n, _)| n == var)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| {
+                Error::Rewrite(format!(
+                    "cannot create auxiliary aggregate '{name}': initial value of \
+                     variable '{var}' is not statically determinable"
+                ))
+            })?;
+        let ty = lookup_type(var_types, var).unwrap_or_else(|| init.data_type());
+        state.push((var.clone(), ty, init));
+    }
+    // Loops must not contain further query execution inside the cyclic part — queries in
+    // an aggregate's accumulate method would reintroduce per-row query execution.
+    if cyclic_stmts.iter().any(|s| s.contains_query()) {
+        return Err(Error::Rewrite(format!(
+            "cannot create auxiliary aggregate '{name}': the cyclic part of the loop \
+             still executes queries (loop fission required)"
+        )));
+    }
+    if cyclic_stmts.iter().any(|s| s.contains_loop()) {
+        return Err(Error::Rewrite(format!(
+            "cannot create auxiliary aggregate '{name}': nested loops inside the cyclic \
+             part are not supported"
+        )));
+    }
+    // Read-but-not-written variables become the accumulate parameters.
+    let mut arg_names: Vec<String> = vec![];
+    for s in cyclic_stmts {
+        for r in statement_reads(s, known_vars) {
+            if !written.contains(&r) && !arg_names.contains(&r) {
+                arg_names.push(r);
+            }
+        }
+    }
+    arg_names.sort();
+    let params: Vec<UdfParameter> = arg_names
+        .iter()
+        .map(|n| UdfParameter::new(n.clone(), lookup_type(var_types, n).unwrap_or(DataType::Float)))
+        .collect();
+    // The result is the live-out variable, which must be part of the state.
+    if !written.contains(&live_out.to_string()) {
+        return Err(Error::Rewrite(format!(
+            "cannot create auxiliary aggregate '{name}': live-out variable '{live_out}' \
+             is not written inside the loop"
+        )));
+    }
+    let return_type = lookup_type(var_types, live_out).unwrap_or(DataType::Float);
+    let definition = AggregateDefinition {
+        name: decorr_common::normalize_ident(name),
+        state,
+        params,
+        accumulate: cyclic_stmts.to_vec(),
+        terminate: ScalarExpr::param(live_out),
+        return_type,
+    };
+    Ok(AuxAggregateResult {
+        definition,
+        live_out: live_out.to_string(),
+        arg_names,
+    })
+}
+
+fn lookup_type(var_types: &[(String, DataType)], name: &str) -> Option<DataType> {
+    var_types
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, t)| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_algebra::{BinaryOp, ScalarExpr as E};
+
+    fn vars(names: &[&str]) -> HashSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// `if (profit < 0) total_loss = total_loss - profit;` — the cyclic node of the
+    /// paper's Example 5.
+    fn cyclic_node() -> Vec<Statement> {
+        vec![Statement::If {
+            condition: E::lt(E::param("profit"), E::literal(0)),
+            then_branch: vec![Statement::Assign {
+                name: "total_loss".into(),
+                expr: E::binary(BinaryOp::Sub, E::param("total_loss"), E::param("profit")),
+            }],
+            else_branch: vec![],
+        }]
+    }
+
+    #[test]
+    fn synthesises_example6_aggregate() {
+        let result = synthesize_aux_aggregate(
+            "aux_agg",
+            &cyclic_node(),
+            &vars(&["profit", "total_loss"]),
+            &[("total_loss".into(), Value::Int(0))],
+            &[
+                ("total_loss".into(), DataType::Int),
+                ("profit".into(), DataType::Float),
+            ],
+            "total_loss",
+        )
+        .unwrap();
+        let agg = &result.definition;
+        assert_eq!(agg.name, "aux_agg");
+        assert_eq!(agg.state, vec![("total_loss".into(), DataType::Int, Value::Int(0))]);
+        assert_eq!(result.arg_names, vec!["profit".to_string()]);
+        assert_eq!(agg.params.len(), 1);
+        assert_eq!(agg.return_type, DataType::Int);
+        assert_eq!(agg.terminate, E::param("total_loss"));
+        // The accumulate body is exactly the cyclic statements (Example 6).
+        assert_eq!(agg.accumulate, cyclic_node());
+        let rendered = agg.to_string();
+        assert!(rendered.contains("state:"));
+        assert!(rendered.contains("accumulate:"));
+    }
+
+    #[test]
+    fn missing_initial_value_is_rejected() {
+        let err = synthesize_aux_aggregate(
+            "aux_agg",
+            &cyclic_node(),
+            &vars(&["profit", "total_loss"]),
+            &[], // no statically known initial value for total_loss
+            &[],
+            "total_loss",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "rewrite");
+        assert!(err.to_string().contains("statically determinable"));
+    }
+
+    #[test]
+    fn queries_inside_cyclic_part_are_rejected() {
+        let stmts = vec![Statement::SelectInto {
+            query: decorr_algebra::RelExpr::scan("orders"),
+            targets: vec!["total_loss".into()],
+        }];
+        let err = synthesize_aux_aggregate(
+            "aux_agg",
+            &stmts,
+            &vars(&["total_loss"]),
+            &[("total_loss".into(), Value::Int(0))],
+            &[],
+            "total_loss",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("loop fission"));
+    }
+
+    #[test]
+    fn live_out_must_be_written() {
+        let err = synthesize_aux_aggregate(
+            "aux_agg",
+            &cyclic_node(),
+            &vars(&["profit", "total_loss"]),
+            &[("total_loss".into(), Value::Int(0))],
+            &[],
+            "unrelated",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("live-out"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Control-flow graph construction (Section IV, Figure 4).
+//!
+//! Each node corresponds to a statement. If-then-else blocks are additionally grouped
+//! into *logical nodes* (the dashed boxes L0…L4 of Figure 4), so that — considering only
+//! top-level logical nodes — the graph of a loop-free UDF body is a straight line, which
+//! is exactly the property the algebraization of Section IV exploits.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Statement, UdfDefinition};
+
+/// Kind of a CFG node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgNodeKind {
+    Start,
+    End,
+    /// A simple statement (assignment, declaration, select-into, return, insert).
+    Statement,
+    /// The predicate node of an if-then-else.
+    Branch,
+    /// The header of a loop (cursor or while); has a back edge from the end of its body.
+    LoopHead,
+}
+
+/// One node of the control-flow graph.
+#[derive(Debug, Clone)]
+pub struct CfgNode {
+    pub id: usize,
+    pub kind: CfgNodeKind,
+    /// Human-readable label (the statement text).
+    pub label: String,
+    /// Successor node ids.
+    pub successors: Vec<usize>,
+    /// The id of the logical node (dashed box) this node belongs to: the index of the
+    /// top-level statement it came from.
+    pub logical_block: usize,
+}
+
+/// The control-flow graph of a UDF body.
+#[derive(Debug, Clone)]
+pub struct ControlFlowGraph {
+    pub nodes: Vec<CfgNode>,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl ControlFlowGraph {
+    /// Builds the CFG for a UDF definition.
+    pub fn build(udf: &UdfDefinition) -> ControlFlowGraph {
+        Self::build_from_statements(&udf.body)
+    }
+
+    /// Builds the CFG for a list of statements.
+    pub fn build_from_statements(stmts: &[Statement]) -> ControlFlowGraph {
+        let mut cfg = ControlFlowGraph {
+            nodes: vec![],
+            start: 0,
+            end: 0,
+        };
+        let start = cfg.add_node(CfgNodeKind::Start, "start".to_string(), 0);
+        cfg.start = start;
+        let mut exits = vec![start];
+        for (block, stmt) in stmts.iter().enumerate() {
+            let (entry, new_exits) = cfg.add_statement(stmt, block);
+            for e in exits {
+                cfg.nodes[e].successors.push(entry);
+            }
+            exits = new_exits;
+        }
+        let end = cfg.add_node(CfgNodeKind::End, "end".to_string(), stmts.len());
+        for e in exits {
+            cfg.nodes[e].successors.push(end);
+        }
+        cfg.end = end;
+        cfg
+    }
+
+    fn add_node(&mut self, kind: CfgNodeKind, label: String, logical_block: usize) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(CfgNode {
+            id,
+            kind,
+            label,
+            successors: vec![],
+            logical_block,
+        });
+        id
+    }
+
+    /// Adds the nodes for one statement; returns (entry node, exit nodes).
+    fn add_statement(&mut self, stmt: &Statement, block: usize) -> (usize, Vec<usize>) {
+        match stmt {
+            Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => {
+                let branch = self.add_node(
+                    CfgNodeKind::Branch,
+                    format!("if ({condition})"),
+                    block,
+                );
+                let mut exits = vec![];
+                for arm in [then_branch, else_branch] {
+                    if arm.is_empty() {
+                        // Empty arm: control falls through from the branch node itself.
+                        exits.push(branch);
+                        continue;
+                    }
+                    let mut prev: Option<usize> = None;
+                    let mut arm_entry = None;
+                    let mut arm_exits = vec![];
+                    for s in arm {
+                        let (entry, sub_exits) = self.add_statement(s, block);
+                        if arm_entry.is_none() {
+                            arm_entry = Some(entry);
+                        }
+                        if let Some(p) = prev {
+                            // Connect previous exits to this entry.
+                            let p_exits: Vec<usize> = p_to_vec(p);
+                            for e in p_exits {
+                                self.nodes[e].successors.push(entry);
+                            }
+                        }
+                        prev = Some(sub_exits[0]);
+                        arm_exits = sub_exits;
+                    }
+                    self.nodes[branch]
+                        .successors
+                        .push(arm_entry.expect("non-empty arm"));
+                    exits.extend(arm_exits);
+                }
+                (branch, exits)
+            }
+            Statement::CursorLoop { fetch_vars, body, .. } => {
+                let head = self.add_node(
+                    CfgNodeKind::LoopHead,
+                    format!("fetch into ({})", fetch_vars.join(", ")),
+                    block,
+                );
+                let exits = vec![head];
+                let mut prev_exits = vec![head];
+                for s in body {
+                    let (entry, sub_exits) = self.add_statement(s, block);
+                    for e in prev_exits {
+                        self.nodes[e].successors.push(entry);
+                    }
+                    prev_exits = sub_exits;
+                }
+                // Back edge to the loop head.
+                for e in &prev_exits {
+                    self.nodes[*e].successors.push(head);
+                }
+                (head, exits)
+            }
+            Statement::While { condition, body } => {
+                let head =
+                    self.add_node(CfgNodeKind::LoopHead, format!("while ({condition})"), block);
+                let mut prev_exits = vec![head];
+                for s in body {
+                    let (entry, sub_exits) = self.add_statement(s, block);
+                    for e in prev_exits {
+                        self.nodes[e].successors.push(entry);
+                    }
+                    prev_exits = sub_exits;
+                }
+                for e in &prev_exits {
+                    self.nodes[*e].successors.push(head);
+                }
+                (head, vec![head])
+            }
+            simple => {
+                let id = self.add_node(CfgNodeKind::Statement, simple.to_string(), block);
+                (id, vec![id])
+            }
+        }
+    }
+
+    /// Number of nodes (including start/end).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True if the CFG contains a cycle (i.e. the body has a loop).
+    pub fn has_cycle(&self) -> bool {
+        // Iterative DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color = vec![Color::White; self.nodes.len()];
+        // Explicit stack of (node, next-successor-index).
+        let mut stack: Vec<(usize, usize)> = vec![(self.start, 0)];
+        color[self.start] = Color::Grey;
+        while let Some((node, idx)) = stack.pop() {
+            if idx < self.nodes[node].successors.len() {
+                stack.push((node, idx + 1));
+                let succ = self.nodes[node].successors[idx];
+                match color[succ] {
+                    Color::Grey => return true,
+                    Color::White => {
+                        color[succ] = Color::Grey;
+                        stack.push((succ, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+            }
+        }
+        false
+    }
+
+    /// The ids of the top-level logical blocks in execution order (the paper's L1…Lk).
+    pub fn logical_blocks(&self) -> Vec<usize> {
+        let mut blocks: Vec<usize> = self.nodes.iter().map(|n| n.logical_block).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
+    }
+
+    /// Graphviz rendering (used by examples and for debugging).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph cfg {\n");
+        for n in &self.nodes {
+            let shape = match n.kind {
+                CfgNodeKind::Start | CfgNodeKind::End => "ellipse",
+                CfgNodeKind::Branch => "diamond",
+                CfgNodeKind::LoopHead => "hexagon",
+                CfgNodeKind::Statement => "box",
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [shape={shape}, label=\"{}\"];",
+                n.id,
+                n.label.replace('"', "'")
+            );
+        }
+        for n in &self.nodes {
+            for s in &n.successors {
+                let _ = writeln!(out, "  n{} -> n{};", n.id, s);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn p_to_vec(p: usize) -> Vec<usize> {
+    vec![p]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::UdfParameter;
+    use decorr_algebra::ScalarExpr as E;
+    use decorr_common::DataType;
+
+    fn straight_line_udf() -> UdfDefinition {
+        UdfDefinition::new(
+            "discount",
+            vec![UdfParameter::new("amount", DataType::Float)],
+            DataType::Float,
+            vec![Statement::Return {
+                expr: Some(E::binary(
+                    decorr_algebra::BinaryOp::Mul,
+                    E::param("amount"),
+                    E::literal(0.15),
+                )),
+            }],
+        )
+    }
+
+    fn branching_udf() -> UdfDefinition {
+        UdfDefinition::new(
+            "classify",
+            vec![UdfParameter::new("x", DataType::Int)],
+            DataType::Str,
+            vec![
+                Statement::Declare {
+                    name: "lbl".into(),
+                    data_type: DataType::Str,
+                    init: None,
+                },
+                Statement::If {
+                    condition: E::gt(E::param("x"), E::literal(0)),
+                    then_branch: vec![Statement::Assign {
+                        name: "lbl".into(),
+                        expr: E::literal("pos"),
+                    }],
+                    else_branch: vec![Statement::Assign {
+                        name: "lbl".into(),
+                        expr: E::literal("nonpos"),
+                    }],
+                },
+                Statement::Return {
+                    expr: Some(E::param("lbl")),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn straight_line_cfg_is_acyclic_chain() {
+        let cfg = ControlFlowGraph::build(&straight_line_udf());
+        assert_eq!(cfg.len(), 3); // start, return, end
+        assert!(!cfg.has_cycle());
+        assert_eq!(cfg.nodes[cfg.start].successors.len(), 1);
+    }
+
+    #[test]
+    fn branching_cfg_has_diamond_and_no_cycle() {
+        let cfg = ControlFlowGraph::build(&branching_udf());
+        assert!(!cfg.has_cycle());
+        // One branch node with two successors.
+        let branch = cfg
+            .nodes
+            .iter()
+            .find(|n| n.kind == CfgNodeKind::Branch)
+            .expect("branch node");
+        assert_eq!(branch.successors.len(), 2);
+        // Logical blocks: 0 (declare), 1 (if), 2 (return), 3 (end marker block)
+        assert!(cfg.logical_blocks().len() >= 3);
+        assert!(cfg.to_dot().contains("diamond"));
+    }
+
+    #[test]
+    fn loop_cfg_has_cycle() {
+        let udf = UdfDefinition::new(
+            "totalloss",
+            vec![UdfParameter::new("pkey", DataType::Int)],
+            DataType::Int,
+            vec![
+                Statement::Declare {
+                    name: "total_loss".into(),
+                    data_type: DataType::Int,
+                    init: Some(E::literal(0)),
+                },
+                Statement::CursorLoop {
+                    query: decorr_algebra::RelExpr::scan("lineitem"),
+                    fetch_vars: vec!["@price".into()],
+                    body: vec![Statement::Assign {
+                        name: "total_loss".into(),
+                        expr: E::binary(
+                            decorr_algebra::BinaryOp::Add,
+                            E::param("total_loss"),
+                            E::param("@price"),
+                        ),
+                    }],
+                },
+                Statement::Return {
+                    expr: Some(E::param("total_loss")),
+                },
+            ],
+        );
+        let cfg = ControlFlowGraph::build(&udf);
+        assert!(cfg.has_cycle());
+        assert!(udf.has_loops());
+    }
+}

@@ -1,0 +1,152 @@
+//! The function registry: scalar/table-valued UDFs and user-defined aggregates.
+
+use std::collections::BTreeMap;
+
+use decorr_common::{normalize_ident, DataType, Error, Result};
+
+use crate::ast::{AggregateDefinition, UdfDefinition};
+
+/// Holds every registered user-defined function and aggregate.
+///
+/// The registry is shared by the interpreter (which executes UDF bodies iteratively),
+/// the rewriter (which algebraizes them and registers synthesised auxiliary aggregates),
+/// and schema inference (which needs return types).
+#[derive(Debug, Default, Clone)]
+pub struct FunctionRegistry {
+    udfs: BTreeMap<String, UdfDefinition>,
+    aggregates: BTreeMap<String, AggregateDefinition>,
+}
+
+impl FunctionRegistry {
+    pub fn new() -> FunctionRegistry {
+        FunctionRegistry::default()
+    }
+
+    /// Registers a UDF, replacing any previous definition with the same name
+    /// (`CREATE OR REPLACE` semantics).
+    pub fn register_udf(&mut self, udf: UdfDefinition) {
+        self.udfs.insert(udf.name.clone(), udf);
+    }
+
+    /// Registers a user-defined aggregate (including synthesised auxiliary aggregates).
+    pub fn register_aggregate(&mut self, agg: AggregateDefinition) {
+        self.aggregates.insert(agg.name.clone(), agg);
+    }
+
+    pub fn udf(&self, name: &str) -> Result<&UdfDefinition> {
+        self.udfs
+            .get(&normalize_ident(name))
+            .ok_or_else(|| Error::Catalog(format!("unknown function '{name}'")))
+    }
+
+    pub fn aggregate(&self, name: &str) -> Result<&AggregateDefinition> {
+        self.aggregates
+            .get(&normalize_ident(name))
+            .ok_or_else(|| Error::Catalog(format!("unknown aggregate '{name}'")))
+    }
+
+    pub fn has_udf(&self, name: &str) -> bool {
+        self.udfs.contains_key(&normalize_ident(name))
+    }
+
+    pub fn has_aggregate(&self, name: &str) -> bool {
+        self.aggregates.contains_key(&normalize_ident(name))
+    }
+
+    /// Return type of a scalar UDF or aggregate (for schema inference).
+    pub fn return_type(&self, name: &str) -> Option<DataType> {
+        let key = normalize_ident(name);
+        self.udfs
+            .get(&key)
+            .map(|u| u.return_type)
+            .or_else(|| self.aggregates.get(&key).map(|a| a.return_type))
+    }
+
+    pub fn udf_names(&self) -> Vec<String> {
+        self.udfs.keys().cloned().collect()
+    }
+
+    pub fn aggregate_names(&self) -> Vec<String> {
+        self.aggregates.keys().cloned().collect()
+    }
+
+    /// Generates a name for an auxiliary aggregate derived from `udf_name` that does not
+    /// collide with anything already registered.
+    pub fn fresh_aggregate_name(&self, udf_name: &str) -> String {
+        let base = format!("aux_agg_{}", normalize_ident(udf_name));
+        if !self.has_aggregate(&base) && !self.has_udf(&base) {
+            return base;
+        }
+        let mut i = 2;
+        loop {
+            let candidate = format!("{base}_{i}");
+            if !self.has_aggregate(&candidate) && !self.has_udf(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Statement, UdfParameter};
+    use decorr_algebra::ScalarExpr as E;
+    use decorr_common::Value;
+
+    fn sample_udf(name: &str) -> UdfDefinition {
+        UdfDefinition::new(
+            name,
+            vec![UdfParameter::new("x", DataType::Int)],
+            DataType::Int,
+            vec![Statement::Return {
+                expr: Some(E::param("x")),
+            }],
+        )
+    }
+
+    fn sample_agg(name: &str) -> AggregateDefinition {
+        AggregateDefinition {
+            name: name.into(),
+            state: vec![("s".into(), DataType::Int, Value::Int(0))],
+            params: vec![UdfParameter::new("v", DataType::Int)],
+            accumulate: vec![],
+            terminate: E::param("s"),
+            return_type: DataType::Int,
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = FunctionRegistry::new();
+        reg.register_udf(sample_udf("Identity"));
+        reg.register_aggregate(sample_agg("myagg"));
+        assert!(reg.has_udf("identity"));
+        assert!(reg.has_aggregate("MYAGG"));
+        assert_eq!(reg.return_type("identity"), Some(DataType::Int));
+        assert_eq!(reg.return_type("myagg"), Some(DataType::Int));
+        assert_eq!(reg.return_type("nosuch"), None);
+        assert_eq!(reg.udf("nosuch").unwrap_err().kind(), "catalog");
+        assert_eq!(reg.udf_names(), vec!["identity".to_string()]);
+        assert_eq!(reg.aggregate_names(), vec!["myagg".to_string()]);
+    }
+
+    #[test]
+    fn fresh_aggregate_names_avoid_collisions() {
+        let mut reg = FunctionRegistry::new();
+        assert_eq!(reg.fresh_aggregate_name("totalloss"), "aux_agg_totalloss");
+        reg.register_aggregate(sample_agg("aux_agg_totalloss"));
+        assert_eq!(reg.fresh_aggregate_name("totalloss"), "aux_agg_totalloss_2");
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let mut reg = FunctionRegistry::new();
+        reg.register_udf(sample_udf("f"));
+        let mut replacement = sample_udf("f");
+        replacement.return_type = DataType::Str;
+        reg.register_udf(replacement);
+        assert_eq!(reg.return_type("f"), Some(DataType::Str));
+    }
+}

@@ -1,0 +1,40 @@
+//! # udf-decorrelation
+//!
+//! A full reproduction of *"Decorrelation of User Defined Function Invocations in
+//! Queries"* (Simhadri et al., ICDE 2014) as a Rust workspace: an in-memory SQL engine
+//! with a procedural UDF interpreter, the paper's extended Apply operators and
+//! transformation rules (K1–K6, R1–R9), cursor-loop algebraization with auxiliary
+//! aggregates, a cost-based optimizer that chooses between iterative and decorrelated
+//! plans, and benchmarks reproducing the paper's experiments.
+//!
+//! This top-level crate simply re-exports the public API of the member crates. Most
+//! users only need [`engine::Database`]:
+//!
+//! ```
+//! use udf_decorrelation::prelude::*;
+//!
+//! let mut db = Database::new();
+//! db.execute("create table t(x int, y int)").unwrap();
+//! db.execute("insert into t values (1, 10), (2, 20)").unwrap();
+//! db.execute("create function double_y(int v) returns int as begin return v * 2; end")
+//!     .unwrap();
+//! let result = db.query("select x, double_y(y) as yy from t").unwrap();
+//! assert_eq!(result.rows.len(), 2);
+//! ```
+
+pub use decorr_algebra as algebra;
+pub use decorr_common as common;
+pub use decorr_engine as engine;
+pub use decorr_exec as exec;
+pub use decorr_optimizer as optimizer;
+pub use decorr_parser as parser;
+pub use decorr_rewrite as rewrite;
+pub use decorr_storage as storage;
+pub use decorr_tpch as tpch;
+pub use decorr_udf as udf;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use decorr_common::{DataType, Error, Result, Row, Schema, Value};
+    pub use decorr_engine::{Database, ExecutionStrategy, QueryOptions, QueryResult};
+}
