@@ -104,7 +104,12 @@ impl PlanBuilder {
         }
     }
 
-    pub fn join(self, right: PlanBuilder, kind: JoinKind, condition: Option<ScalarExpr>) -> PlanBuilder {
+    pub fn join(
+        self,
+        right: PlanBuilder,
+        kind: JoinKind,
+        condition: Option<ScalarExpr>,
+    ) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::Join {
                 left: Box::new(self.plan),
@@ -222,7 +227,11 @@ mod tests {
             ))
             .aggregate(
                 vec![],
-                vec![AggCall::new(AggFunc::Min, vec![E::column("supplycost")], "c")],
+                vec![AggCall::new(
+                    AggFunc::Min,
+                    vec![E::column("supplycost")],
+                    "c",
+                )],
             );
         let plan = PlanBuilder::scan_as("partsupp", "p1")
             .apply(inner, ApplyKind::Cross, vec![])
@@ -250,7 +259,10 @@ mod tests {
                 PlanBuilder::single().project(vec![(E::literal("neg"), Some("lbl"))]),
                 vec![],
             )
-            .union(PlanBuilder::single().project(vec![(E::literal(9), Some("x"))]), true)
+            .union(
+                PlanBuilder::single().project(vec![(E::literal(9), Some("x"))]),
+                true,
+            )
             .sort(vec![(E::column("x"), true)])
             .limit(10)
             .rename("t")

@@ -42,7 +42,11 @@ fn write_node(plan: &RelExpr, depth: usize, out: &mut String) {
             items, distinct, ..
         } => {
             let items_s: Vec<String> = items.iter().map(|i| i.to_string()).collect();
-            let pi = if *distinct { "Project(distinct)" } else { "Project" };
+            let pi = if *distinct {
+                "Project(distinct)"
+            } else {
+                "Project"
+            };
             let _ = writeln!(out, "{pi} [{}]", items_s.join(", "));
         }
         RelExpr::Aggregate {
@@ -163,7 +167,10 @@ mod tests {
                     predicate: E::eq(E::column("custkey"), E::param("ckey")),
                 }),
                 kind: ApplyKind::LeftOuter,
-                bindings: vec![ParamBinding::new("ckey", E::qualified_column("c", "custkey"))],
+                bindings: vec![ParamBinding::new(
+                    "ckey",
+                    E::qualified_column("c", "custkey"),
+                )],
             }),
             items: vec![ProjectItem::new(E::qualified_column("c", "custkey"))],
             distinct: false,

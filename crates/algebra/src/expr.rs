@@ -208,7 +208,14 @@ impl fmt::Display for AggCall {
                 .join(", ")
         };
         let distinct = if self.distinct { "distinct " } else { "" };
-        write!(f, "{}({}{}) as {}", self.func.name(), distinct, args, self.alias)
+        write!(
+            f,
+            "{}({}{}) as {}",
+            self.func.name(),
+            distinct,
+            args,
+            self.alias
+        )
     }
 }
 
@@ -309,6 +316,7 @@ impl ScalarExpr {
         ScalarExpr::binary(BinaryOp::Or, left, right)
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn not(expr: ScalarExpr) -> ScalarExpr {
         ScalarExpr::Unary {
             op: UnaryOp::Not,
@@ -331,7 +339,7 @@ impl ScalarExpr {
             _ => {
                 let mut it = preds.into_iter();
                 let first = it.next().unwrap();
-                it.fold(first, |acc, p| ScalarExpr::and(acc, p))
+                it.fold(first, ScalarExpr::and)
             }
         }
     }
@@ -465,7 +473,11 @@ impl fmt::Display for ScalarExpr {
             ScalarExpr::ScalarSubquery(_) => write!(f, "(<scalar subquery>)"),
             ScalarExpr::Exists(_) => write!(f, "exists(<subquery>)"),
             ScalarExpr::InSubquery { expr, negated, .. } => {
-                write!(f, "{expr} {}in (<subquery>)", if *negated { "not " } else { "" })
+                write!(
+                    f,
+                    "{expr} {}in (<subquery>)",
+                    if *negated { "not " } else { "" }
+                )
             }
             ScalarExpr::UdfCall { name, args } => {
                 let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();

@@ -185,7 +185,10 @@ pub enum RelExpr {
         alias: Option<String>,
     },
     /// An inline relation of literal rows (used for VALUES lists and unit tests).
-    Values { schema: Schema, rows: Vec<Vec<Value>> },
+    Values {
+        schema: Schema,
+        rows: Vec<Vec<Value>>,
+    },
     /// Selection σ.
     Select {
         input: Box<RelExpr>,
@@ -430,7 +433,9 @@ impl RelExpr {
     pub fn contains_apply(&self) -> bool {
         if matches!(
             self,
-            RelExpr::Apply { .. } | RelExpr::ApplyMerge { .. } | RelExpr::ConditionalApplyMerge { .. }
+            RelExpr::Apply { .. }
+                | RelExpr::ApplyMerge { .. }
+                | RelExpr::ConditionalApplyMerge { .. }
         ) {
             return true;
         }
@@ -460,7 +465,11 @@ impl RelExpr {
 
     /// Counts operators in the plan tree (not descending into scalar subqueries).
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Collects the column references appearing in this operator's own expressions.
@@ -526,7 +535,10 @@ mod tests {
             ProjectItem::aliased(E::literal(1), "One").output_name(0),
             "one"
         );
-        assert_eq!(ProjectItem::new(E::column("custkey")).output_name(3), "custkey");
+        assert_eq!(
+            ProjectItem::new(E::column("custkey")).output_name(3),
+            "custkey"
+        );
         assert_eq!(ProjectItem::new(E::literal(5)).output_name(3), "col3");
     }
 

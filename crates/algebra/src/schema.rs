@@ -112,7 +112,9 @@ pub fn expr_type(expr: &ScalarExpr, input: &Schema, provider: &dyn SchemaProvide
         } => {
             let mut ty = DataType::Null;
             for (_, e) in branches {
-                ty = ty.unify(expr_type(e, input, provider)).unwrap_or(DataType::Str);
+                ty = ty
+                    .unify(expr_type(e, input, provider))
+                    .unwrap_or(DataType::Str);
             }
             if let Some(e) = else_expr {
                 ty = ty.unify(expr_type(e, input, provider)).unwrap_or(ty);
@@ -155,11 +157,7 @@ fn agg_output_type(
     }
 }
 
-fn project_schema(
-    items: &[ProjectItem],
-    input: &Schema,
-    provider: &dyn SchemaProvider,
-) -> Schema {
+fn project_schema(items: &[ProjectItem], input: &Schema, provider: &dyn SchemaProvider) -> Schema {
     let columns = items
         .iter()
         .enumerate()
@@ -169,10 +167,11 @@ fn project_schema(
             // Plain unaliased column references keep their qualifier so later joins can
             // still disambiguate them.
             let qualifier = match (&item.alias, &item.expr) {
-                (None, ScalarExpr::Column(c)) => c
-                    .qualifier
-                    .clone()
-                    .or_else(|| input.find(None, &c.name).and_then(|i| input.column(i).qualifier.clone())),
+                (None, ScalarExpr::Column(c)) => c.qualifier.clone().or_else(|| {
+                    input
+                        .find(None, &c.name)
+                        .and_then(|i| input.column(i).qualifier.clone())
+                }),
                 _ => None,
             };
             Column {
@@ -426,7 +425,11 @@ mod tests {
         let right = RelExpr::Aggregate {
             input: Box::new(RelExpr::scan("orders")),
             group_by: vec![],
-            aggregates: vec![AggCall::new(AggFunc::Sum, vec![E::column("totalprice")], "v")],
+            aggregates: vec![AggCall::new(
+                AggFunc::Sum,
+                vec![E::column("totalprice")],
+                "v",
+            )],
         };
         let plan = RelExpr::ApplyMerge {
             left: Box::new(left),
@@ -448,7 +451,10 @@ mod tests {
                 distinct: false,
             }),
             kind: ApplyKind::Cross,
-            bindings: vec![ParamBinding::new("ckey", E::qualified_column("c", "custkey"))],
+            bindings: vec![ParamBinding::new(
+                "ckey",
+                E::qualified_column("c", "custkey"),
+            )],
         };
         let s = infer_schema(&plan, &provider()).unwrap();
         assert_eq!(s.names(), vec!["custkey", "name", "retval"]);

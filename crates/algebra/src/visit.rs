@@ -37,7 +37,10 @@ pub fn transform_plan_up(plan: &RelExpr, f: &mut dyn FnMut(RelExpr) -> RelExpr) 
 
 /// Applies `f` bottom-up to every node of a scalar expression. Does not descend into
 /// subquery plans (use [`map_plan_exprs`] / [`transform_expr_with_subqueries`] for that).
-pub fn transform_expr_up(expr: &ScalarExpr, f: &mut dyn FnMut(ScalarExpr) -> ScalarExpr) -> ScalarExpr {
+pub fn transform_expr_up(
+    expr: &ScalarExpr,
+    f: &mut dyn FnMut(ScalarExpr) -> ScalarExpr,
+) -> ScalarExpr {
     let rebuilt = match expr {
         ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
             op: *op,
@@ -200,12 +203,12 @@ pub fn map_own_exprs(plan: &RelExpr, f: &mut dyn FnMut(&ScalarExpr) -> ScalarExp
             aggregates,
         } => P::Aggregate {
             input: input.clone(),
-            group_by: group_by.iter().map(|g| f(g)).collect(),
+            group_by: group_by.iter().map(&mut *f).collect(),
             aggregates: aggregates
                 .iter()
                 .map(|a| crate::expr::AggCall {
                     func: a.func.clone(),
-                    args: a.args.iter().map(|x| f(x)).collect(),
+                    args: a.args.iter().map(&mut *f).collect(),
                     distinct: a.distinct,
                     alias: a.alias.clone(),
                 })
@@ -220,7 +223,7 @@ pub fn map_own_exprs(plan: &RelExpr, f: &mut dyn FnMut(&ScalarExpr) -> ScalarExp
             left: left.clone(),
             right: right.clone(),
             kind: *kind,
-            condition: condition.as_ref().map(|c| f(c)),
+            condition: condition.as_ref().map(&mut *f),
         },
         P::Sort { input, keys } => P::Sort {
             input: input.clone(),
@@ -379,9 +382,7 @@ fn collect_expr_free_params(expr: &ScalarExpr, bound: &HashSet<String>, out: &mu
                 out.push(p.clone());
             }
         }
-        ScalarExpr::ScalarSubquery(q) | ScalarExpr::Exists(q) => {
-            collect_free_params(q, bound, out)
-        }
+        ScalarExpr::ScalarSubquery(q) | ScalarExpr::Exists(q) => collect_free_params(q, bound, out),
         ScalarExpr::InSubquery { expr, subquery, .. } => {
             collect_expr_free_params(expr, bound, out);
             collect_free_params(subquery, bound, out);
@@ -438,8 +439,7 @@ fn collect_free_columns(plan: &RelExpr, provider: &dyn SchemaProvider, out: &mut
     // Children: a child's free columns stay free unless this node is an Apply-family
     // operator and the left child's schema resolves them (correlation bound here).
     match plan {
-        RelExpr::Apply { left, right, .. }
-        | RelExpr::ApplyMerge { left, right, .. } => {
+        RelExpr::Apply { left, right, .. } | RelExpr::ApplyMerge { left, right, .. } => {
             collect_free_columns(left, provider, out);
             let mut right_free = vec![];
             collect_free_columns(right, provider, &mut right_free);
@@ -664,6 +664,9 @@ mod tests {
             }
             e
         });
-        assert!(saw_param, "expected traversal to reach params inside subquery plans");
+        assert!(
+            saw_param,
+            "expected traversal to reach params inside subquery plans"
+        );
     }
 }

@@ -1,27 +1,15 @@
 //! Experiment 1 (Figure 10): discount(totalprice, custkey) over orders — original
 //! (iterative) vs rewritten (decorrelated), varying the number of UDF invocations.
+//!
+//! Run with `cargo bench -p decorr-bench --bench experiment1`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use decorr_bench::setup;
-use decorr_engine::QueryOptions;
+use decorr_bench::{format_sweep, pass_timing_table, run_sweep_on, setup};
 use decorr_tpch::experiment1;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let workload = experiment1();
     let db = setup(&workload, 1_000);
-    let mut group = c.benchmark_group("experiment1_figure10");
-    group.sample_size(10);
-    for invocations in [100usize, 1_000, 10_000] {
-        let sql = (workload.query)(invocations);
-        group.bench_with_input(BenchmarkId::new("original", invocations), &sql, |b, sql| {
-            b.iter(|| db.query_with(sql, &QueryOptions::iterative()).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("rewritten", invocations), &sql, |b, sql| {
-            b.iter(|| db.query_with(sql, &QueryOptions::decorrelated()).unwrap())
-        });
-    }
-    group.finish();
+    let points = run_sweep_on(&db, &workload, &[100, 1_000, 10_000]);
+    println!("{}", format_sweep(workload.name, &points));
+    println!("{}", pass_timing_table(&db, &workload, 1_000));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

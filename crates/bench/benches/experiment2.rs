@@ -1,27 +1,15 @@
-//! Experiment 2 (Figure 11): service_level(custkey) over customer — original vs
-//! rewritten, varying the number of customers (UDF invocations).
+//! Experiment 2 (Figure 11): service_level(custkey) over customers — original
+//! (iterative) vs rewritten (decorrelated), varying the number of UDF invocations.
+//!
+//! Run with `cargo bench -p decorr-bench --bench experiment2`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use decorr_bench::setup;
-use decorr_engine::QueryOptions;
+use decorr_bench::{format_sweep, pass_timing_table, run_sweep_on, setup};
 use decorr_tpch::experiment2;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let workload = experiment2();
     let db = setup(&workload, 2_000);
-    let mut group = c.benchmark_group("experiment2_figure11");
-    group.sample_size(10);
-    for invocations in [10usize, 100, 1_000, 2_000] {
-        let sql = (workload.query)(invocations);
-        group.bench_with_input(BenchmarkId::new("original", invocations), &sql, |b, sql| {
-            b.iter(|| db.query_with(sql, &QueryOptions::iterative()).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("rewritten", invocations), &sql, |b, sql| {
-            b.iter(|| db.query_with(sql, &QueryOptions::decorrelated()).unwrap())
-        });
-    }
-    group.finish();
+    let points = run_sweep_on(&db, &workload, &[100, 500, 1_000, 2_000]);
+    println!("{}", format_sweep(workload.name, &points));
+    println!("{}", pass_timing_table(&db, &workload, 1_000));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

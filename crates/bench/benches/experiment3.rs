@@ -1,27 +1,15 @@
-//! Experiment 3 (Figure 12): category_part_count (cursor loop → auxiliary aggregate)
-//! over categories — original vs rewritten, varying the number of categories.
+//! Experiment 3 (Figure 12): the cursor-loop UDF over categories — original (iterative)
+//! vs rewritten (decorrelated via the auxiliary aggregate), varying invocation counts.
+//!
+//! Run with `cargo bench -p decorr-bench --bench experiment3`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use decorr_bench::setup;
-use decorr_engine::QueryOptions;
+use decorr_bench::{format_sweep, pass_timing_table, run_sweep_on, setup};
 use decorr_tpch::experiment3;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let workload = experiment3();
-    let db = setup(&workload, 1_000);
-    let mut group = c.benchmark_group("experiment3_figure12");
-    group.sample_size(10);
-    for invocations in [5usize, 50, 200] {
-        let sql = (workload.query)(invocations);
-        group.bench_with_input(BenchmarkId::new("original", invocations), &sql, |b, sql| {
-            b.iter(|| db.query_with(sql, &QueryOptions::iterative()).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("rewritten", invocations), &sql, |b, sql| {
-            b.iter(|| db.query_with(sql, &QueryOptions::decorrelated()).unwrap())
-        });
-    }
-    group.finish();
+    let db = setup(&workload, 2_000);
+    let points = run_sweep_on(&db, &workload, &[5, 10, 50, 100, 200]);
+    println!("{}", format_sweep(workload.name, &points));
+    println!("{}", pass_timing_table(&db, &workload, 100));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,36 +1,36 @@
 //! Micro-benchmark of the rewrite pipeline itself (Tables I & II): how long the
-//! algebraize → merge → rule-application pipeline takes for each experiment's query.
+//! algebraize → merge → rule-application pipeline takes for each experiment's query,
+//! with the per-pass breakdown reported by the PassManager trace.
+//!
+//! Run with `cargo bench -p decorr-bench --bench rule_equivalence`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use decorr_bench::setup;
+use std::time::Instant;
+
+use decorr_bench::{pass_timing_table, setup};
 use decorr_exec::CatalogProvider;
 use decorr_parser::parse_and_plan;
-use decorr_rewrite::{rewrite_query, RewriteOptions};
 use decorr_tpch::{experiment1, experiment2, experiment3};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rewrite_pipeline");
-    group.sample_size(20);
+fn main() {
+    const REPS: usize = 20;
     for workload in [experiment1(), experiment2(), experiment3()] {
         let db = setup(&workload, 100);
         let plan = parse_and_plan(&(workload.query)(100)).unwrap();
-        group.bench_with_input(BenchmarkId::new("rewrite", workload.name), &plan, |b, plan| {
-            b.iter(|| {
-                let provider = CatalogProvider::new(db.catalog(), db.registry());
-                let outcome = rewrite_query(
-                    plan,
-                    db.registry(),
-                    &provider,
-                    &RewriteOptions::default(),
-                )
+        let provider = CatalogProvider::new(db.catalog(), db.registry());
+        let manager = decorr_optimizer::PassManager::decorrelation_pipeline();
+        let start = Instant::now();
+        for _ in 0..REPS {
+            let outcome = manager
+                .optimize(&plan, db.registry(), &provider, None)
                 .unwrap();
-                assert!(outcome.decorrelated);
-                outcome
-            })
-        });
+            assert!(outcome.decorrelated);
+        }
+        let per_rewrite = start.elapsed() / REPS as u32;
+        println!(
+            "{:<40} full rewrite pipeline: {:>10.3} ms/op",
+            workload.name,
+            per_rewrite.as_secs_f64() * 1e3
+        );
+        println!("{}", pass_timing_table(&db, &workload, 100));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,9 +1,10 @@
-//! Shared helpers for the benchmark harness and the Criterion benches.
+//! Shared helpers for the benchmark harness and the timing benches.
 //!
 //! Every experiment compares the same two strategies the paper compares:
 //! the **original** query (iterative UDF invocation per tuple) and the **rewritten**
 //! (decorrelated) query, over the same generated data, while sweeping the number of UDF
-//! invocations.
+//! invocations. Since the engine routes every query through the optimizer's PassManager,
+//! each measured point also carries the per-pass optimizer timings of both runs.
 
 use std::time::{Duration, Instant};
 
@@ -18,6 +19,12 @@ pub struct SweepPoint {
     pub rewritten: Duration,
     pub original_rows: usize,
     pub rewritten_rows: usize,
+    /// Time the optimizer pipeline spent inside its passes for the iterative run
+    /// (normalisation only).
+    pub original_optimize: Duration,
+    /// Time the optimizer pipeline spent inside its passes for the decorrelated run
+    /// (normalize + algebraize/merge + Apply removal + cleanup).
+    pub rewritten_optimize: Duration,
 }
 
 impl SweepPoint {
@@ -59,17 +66,24 @@ pub fn measure_point(db: &Database, workload: &Workload, invocations: usize) -> 
         rewritten: rewritten_time,
         original_rows: original.rows.len(),
         rewritten_rows: rewritten.rows.len(),
+        original_optimize: original.rewrite_report.total_duration(),
+        rewritten_optimize: rewritten.rewrite_report.total_duration(),
     }
+}
+
+/// Runs a full sweep over an already-built database.
+pub fn run_sweep_on(db: &Database, workload: &Workload, invocations: &[usize]) -> Vec<SweepPoint> {
+    invocations
+        .iter()
+        .map(|&n| measure_point(db, workload, n))
+        .collect()
 }
 
 /// Runs a full sweep and returns the points (used by the `paper_figures` binary and the
 /// EXPERIMENTS.md numbers).
 pub fn run_sweep(workload: &Workload, customers: usize, invocations: &[usize]) -> Vec<SweepPoint> {
     let db = setup(workload, customers);
-    invocations
-        .iter()
-        .map(|&n| measure_point(&db, workload, n))
-        .collect()
+    run_sweep_on(&db, workload, invocations)
 }
 
 /// Formats a sweep as the fixed-width table printed by `paper_figures`.
@@ -77,19 +91,41 @@ pub fn format_sweep(name: &str, points: &[SweepPoint]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{name}\n"));
     out.push_str(&format!(
-        "{:>12} {:>16} {:>16} {:>10}\n",
-        "invocations", "original (ms)", "rewritten (ms)", "speedup"
+        "{:>12} {:>16} {:>16} {:>10} {:>14} {:>14}\n",
+        "invocations",
+        "original (ms)",
+        "rewritten (ms)",
+        "speedup",
+        "opt-iter (ms)",
+        "opt-rewr (ms)"
     ));
     for p in points {
         out.push_str(&format!(
-            "{:>12} {:>16.2} {:>16.2} {:>9.1}x\n",
+            "{:>12} {:>16.2} {:>16.2} {:>9.1}x {:>14.3} {:>14.3}\n",
             p.invocations,
             p.original.as_secs_f64() * 1e3,
             p.rewritten.as_secs_f64() * 1e3,
-            p.speedup()
+            p.speedup(),
+            p.original_optimize.as_secs_f64() * 1e3,
+            p.rewritten_optimize.as_secs_f64() * 1e3,
         ));
     }
     out
+}
+
+/// Renders the optimizer's per-pass breakdown (timings, rule fire counts, fixpoint
+/// iterations) for one decorrelated execution of the workload query.
+pub fn pass_timing_table(db: &Database, workload: &Workload, invocations: usize) -> String {
+    let sql = (workload.query)(invocations);
+    let result = db
+        .query_with(&sql, &QueryOptions::decorrelated())
+        .expect("decorrelated execution");
+    format!(
+        "optimizer pass breakdown — {} ({} invocations)\n{}",
+        workload.name,
+        invocations,
+        result.rewrite_report.render()
+    )
 }
 
 #[cfg(test)]
@@ -102,7 +138,23 @@ mod tests {
         let points = run_sweep(&experiment2(), 60, &[5, 20]);
         assert_eq!(points.len(), 2);
         assert!(points[0].original_rows <= points[1].original_rows);
+        // The decorrelated run exercised the full pipeline; a zero duration would mean
+        // the per-pass trace was lost on the way into the sweep point.
+        assert!(points[0].rewritten_optimize > Duration::ZERO);
+        assert!(points[0].original_optimize > Duration::ZERO);
         let table = format_sweep("test", &points);
         assert!(table.contains("invocations"));
+        assert!(table.contains("opt-rewr (ms)"));
+    }
+
+    #[test]
+    fn pass_timing_table_reports_every_pass() {
+        let workload = experiment2();
+        let db = setup(&workload, 60);
+        let table = pass_timing_table(&db, &workload, 10);
+        for pass in ["normalize", "algebraize-merge", "apply-removal", "cleanup"] {
+            assert!(table.contains(pass), "missing pass {pass} in:\n{table}");
+        }
+        assert!(table.contains("rule fire counts:"), "{table}");
     }
 }

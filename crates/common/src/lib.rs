@@ -6,11 +6,13 @@
 //! storage, algebra, parser, rewrite engine, executor — can share one vocabulary.
 
 pub mod error;
+pub mod rng;
 pub mod row;
 pub mod schema;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use rng::SmallRng;
 pub use row::Row;
 pub use schema::{Column, Schema};
 pub use value::{DataType, Value};

@@ -1,0 +1,111 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace builds in hermetic environments with no access to crates.io, so the
+//! data generator and the property tests use this xorshift64*-based generator instead of
+//! the `rand` crate. It is *not* cryptographically secure — it only needs to be fast,
+//! seedable and stable across platforms so that generated datasets and property-test
+//! cases are reproducible.
+
+/// Deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed. A zero seed is remapped (xorshift has a zero
+    /// fixed point).
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        // SplitMix64 scrambling so that consecutive seeds produce unrelated streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SmallRng {
+            state: if z == 0 { 0x853C_49E6_748F_EA9B } else { z },
+        }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `[low, high)`. Panics if the range is empty.
+    pub fn gen_range_i64(&mut self, low: i64, high: i64) -> i64 {
+        assert!(low < high, "gen_range_i64: empty range {low}..{high}");
+        let span = (high as i128 - low as i128) as u128;
+        let v = (self.next_u64() as u128) % span;
+        (low as i128 + v as i128) as i64
+    }
+
+    /// Uniform integer in `[low, high]`.
+    pub fn gen_range_i64_inclusive(&mut self, low: i64, high: i64) -> i64 {
+        self.gen_range_i64(low, high + 1)
+    }
+
+    /// Uniform usize in `[low, high)`.
+    pub fn gen_range_usize(&mut self, low: usize, high: usize) -> usize {
+        self.gen_range_i64(low as i64, high as i64) as usize
+    }
+
+    /// Uniform float in `[low, high)`.
+    pub fn gen_range_f64(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low < high, "gen_range_f64: empty range {low}..{high}");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+
+    /// Fair coin.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_streams() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = rng.gen_range_i64(-5, 5);
+            assert!((-5..5).contains(&i));
+            let f = rng.gen_range_f64(0.5, 2.5);
+            assert!((0.5..2.5).contains(&f));
+            let u = rng.gen_range_usize(3, 9);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let values: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(values.windows(2).any(|w| w[0] != w[1]));
+    }
+}

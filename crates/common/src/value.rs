@@ -54,9 +54,7 @@ impl DataType {
             (DataType::Int, DataType::Float) | (DataType::Float, DataType::Int) => {
                 Ok(DataType::Float)
             }
-            (a, b) => Err(Error::TypeError(format!(
-                "incompatible types {a} and {b}"
-            ))),
+            (a, b) => Err(Error::TypeError(format!("incompatible types {a} and {b}"))),
         }
     }
 }
@@ -115,9 +113,7 @@ impl Value {
         match self {
             Value::Null => Ok(None),
             Value::Bool(b) => Ok(Some(*b)),
-            other => Err(Error::TypeError(format!(
-                "expected boolean, found {other}"
-            ))),
+            other => Err(Error::TypeError(format!("expected boolean, found {other}"))),
         }
     }
 
@@ -249,7 +245,11 @@ impl Value {
         if self.is_null() || other.is_null() {
             return Ok(Value::Null);
         }
-        Ok(Value::Str(format!("{}{}", self.display_raw(), other.display_raw())))
+        Ok(Value::Str(format!(
+            "{}{}",
+            self.display_raw(),
+            other.display_raw()
+        )))
     }
 
     fn numeric_binop(
@@ -383,7 +383,10 @@ mod tests {
 
     #[test]
     fn data_type_unify() {
-        assert_eq!(DataType::Int.unify(DataType::Float).unwrap(), DataType::Float);
+        assert_eq!(
+            DataType::Int.unify(DataType::Float).unwrap(),
+            DataType::Float
+        );
         assert_eq!(DataType::Null.unify(DataType::Str).unwrap(), DataType::Str);
         assert_eq!(DataType::Int.unify(DataType::Int).unwrap(), DataType::Int);
         assert!(DataType::Int.unify(DataType::Str).is_err());
@@ -420,7 +423,10 @@ mod tests {
     fn total_cmp_null_first_and_equal() {
         assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
         assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
-        assert_eq!(Value::Str("a".into()).total_cmp(&Value::Int(5)), Ordering::Greater);
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Int(5)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -443,9 +449,18 @@ mod tests {
 
     #[test]
     fn casting() {
-        assert_eq!(Value::str("42").cast(DataType::Int).unwrap(), Value::Int(42));
-        assert_eq!(Value::Int(42).cast(DataType::Str).unwrap(), Value::str("42"));
-        assert_eq!(Value::Float(1.9).cast(DataType::Int).unwrap(), Value::Int(1));
+        assert_eq!(
+            Value::str("42").cast(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::Int(42).cast(DataType::Str).unwrap(),
+            Value::str("42")
+        );
+        assert_eq!(
+            Value::Float(1.9).cast(DataType::Int).unwrap(),
+            Value::Int(1)
+        );
         assert!(Value::str("abc").cast(DataType::Int).is_err());
         assert!(Value::Null.cast(DataType::Int).unwrap().is_null());
     }

@@ -11,10 +11,9 @@ use decorr_algebra::display::explain;
 use decorr_algebra::RelExpr;
 use decorr_common::{Error, Result, Row, Schema, Value};
 use decorr_exec::{CatalogProvider, Env, ExecConfig, Executor};
-use decorr_optimizer::{choose_strategy, StrategyChoice};
+use decorr_optimizer::{OptimizeMode, OptimizeOutcome, PassManager, PipelineReport};
 use decorr_parser::{parse_statements, plan_select, SqlStatement};
-use decorr_rewrite::rules::{apply_rules_to_fixpoint, RuleSet};
-use decorr_rewrite::{plan_to_sql, rewrite_query, RewriteOptions};
+use decorr_rewrite::plan_to_sql;
 use decorr_storage::Catalog;
 use decorr_udf::FunctionRegistry;
 
@@ -38,6 +37,10 @@ pub struct QueryOptions {
     pub strategy: ExecutionStrategy,
     /// Override the executor configuration (hash-join threshold etc.).
     pub exec_config: Option<ExecConfig>,
+    /// Capture before/after plan snapshots in the per-pass `rewrite_report` (off by
+    /// default: snapshot rendering costs string work per optimizer pass; `EXPLAIN`
+    /// always captures them).
+    pub capture_snapshots: bool,
 }
 
 impl QueryOptions {
@@ -71,6 +74,9 @@ pub struct QueryResult {
     pub applied_rules: Vec<String>,
     /// Executor counters (UDF invocations performed, index lookups, joins, …).
     pub exec_stats: decorr_exec::executor::ExecStats,
+    /// The optimizer's per-pass trace: pass timings, per-rule fire counts, fixpoint
+    /// iteration counts and before/after plan snapshots.
+    pub rewrite_report: PipelineReport,
 }
 
 impl QueryResult {
@@ -125,7 +131,10 @@ pub struct RewriteReport {
 pub enum ExecutionSummary {
     TableCreated(String),
     TableDropped(String),
-    IndexCreated { table: String, column: String },
+    IndexCreated {
+        table: String,
+        column: String,
+    },
     RowsInserted(usize),
     FunctionCreated(String),
     /// A SELECT executed through [`Database::execute`]; holds the number of rows.
@@ -271,12 +280,39 @@ impl Database {
         Ok(())
     }
 
-    /// Applies the cleanup/normalisation rules to a query plan.
+    /// Applies the cleanup/normalisation rules to a query plan through the optimizer's
+    /// cleanup pipeline. Normalisation is best-effort: a (theoretically impossible)
+    /// budget exhaustion in the cleanup rules keeps the plan as-is instead of failing.
     fn normalize_plan(&self, plan: &RelExpr) -> RelExpr {
         let provider = CatalogProvider::new(&self.catalog, &self.registry);
-        let (normalized, _) =
-            apply_rules_to_fixpoint(plan, &RuleSet::cleanup_only(), &provider, 10);
-        normalized
+        PassManager::cleanup_pipeline()
+            .optimize(plan, &self.registry, &provider, Some(&self.catalog))
+            .map(|o| o.plan)
+            .unwrap_or_else(|_| plan.clone())
+    }
+
+    /// Builds the pass pipeline for the requested execution strategy.
+    fn pass_manager_for(strategy: ExecutionStrategy) -> PassManager {
+        match strategy {
+            ExecutionStrategy::Iterative => PassManager::cleanup_pipeline(),
+            ExecutionStrategy::Decorrelated => {
+                PassManager::decorrelation_pipeline().with_mode(OptimizeMode::ForceDecorrelated)
+            }
+            ExecutionStrategy::Auto => PassManager::decorrelation_pipeline(),
+        }
+    }
+
+    /// Runs the optimizer pipeline for the given strategy over an already-planned query.
+    fn optimize_plan(
+        &self,
+        plan: &RelExpr,
+        strategy: ExecutionStrategy,
+        capture_snapshots: bool,
+    ) -> Result<OptimizeOutcome> {
+        let provider = CatalogProvider::new(&self.catalog, &self.registry);
+        Database::pass_manager_for(strategy)
+            .with_snapshots(capture_snapshots)
+            .optimize(plan, &self.registry, &provider, Some(&self.catalog))
     }
 
     /// Normalises every query embedded in a UDF body.
@@ -300,11 +336,11 @@ impl Database {
                     }
                     decorr_udf::Statement::Return {
                         expr: Some(decorr_algebra::ScalarExpr::ScalarSubquery(q)),
-                    } => *q = Box::new(normalize(q)),
+                    } => **q = normalize(q),
                     decorr_udf::Statement::Assign {
                         expr: decorr_algebra::ScalarExpr::ScalarSubquery(q),
                         ..
-                    } => *q = Box::new(normalize(q)),
+                    } => **q = normalize(q),
                     _ => {}
                 }
             }
@@ -326,93 +362,70 @@ impl Database {
         self.run_plan(&plan, options)
     }
 
-    /// Runs an already-planned query.
+    /// Runs an already-planned query. Every strategy routes through the optimizer's
+    /// [`PassManager`]: the iterative strategy runs the normalisation pipeline only, the
+    /// other strategies run the full decorrelation pipeline (with the cost-based choice
+    /// for [`ExecutionStrategy::Auto`]).
     pub fn run_plan(&self, plan: &RelExpr, options: &QueryOptions) -> Result<QueryResult> {
-        // Normalise the plan first (predicate pushdown, projection merging) so that even
-        // the iterative baseline executes comma-syntax joins as proper joins.
-        let plan = &self.normalize_plan(plan);
-        let provider = CatalogProvider::new(&self.catalog, &self.registry);
-        let rewrite_options = RewriteOptions::default();
-        let outcome = match options.strategy {
-            ExecutionStrategy::Iterative => None,
-            _ => Some(rewrite_query(plan, &self.registry, &provider, &rewrite_options)?),
-        };
+        let outcome = self.optimize_plan(plan, options.strategy, options.capture_snapshots)?;
+        if options.strategy == ExecutionStrategy::Decorrelated && !outcome.decorrelated {
+            return Err(Error::Rewrite(format!(
+                "query could not be decorrelated: {}",
+                outcome.notes.join("; ")
+            )));
+        }
         // Register auxiliary aggregates in a per-query copy of the registry.
         let mut effective_registry = self.registry.clone();
-        if let Some(o) = &outcome {
-            for agg in &o.aux_aggregates {
-                effective_registry.register_aggregate(agg.clone());
-            }
+        for agg in &outcome.aux_aggregates {
+            effective_registry.register_aggregate(agg.clone());
         }
-        let (chosen_plan, used_decorrelated) = match (&options.strategy, &outcome) {
-            (ExecutionStrategy::Iterative, _) => (plan.clone(), false),
-            (ExecutionStrategy::Decorrelated, Some(o)) => {
-                if !o.decorrelated {
-                    return Err(Error::Rewrite(format!(
-                        "query could not be decorrelated: {}",
-                        o.notes.join("; ")
-                    )));
-                }
-                (o.plan.clone(), true)
-            }
-            (ExecutionStrategy::Auto, Some(o)) => {
-                if o.decorrelated {
-                    let decision = choose_strategy(plan, &o.plan, &self.catalog, &self.registry);
-                    match decision.choice {
-                        StrategyChoice::Decorrelated => (o.plan.clone(), true),
-                        StrategyChoice::Iterative => (plan.clone(), false),
-                    }
-                } else {
-                    (plan.clone(), false)
-                }
-            }
-            (_, None) => (plan.clone(), false),
-        };
         let config = options
             .exec_config
             .clone()
             .unwrap_or_else(|| self.exec_config.clone());
         let executor = Executor::with_config(&self.catalog, &effective_registry, config);
-        let result_set = executor.execute(&chosen_plan)?;
+        let result_set = executor.execute(&outcome.plan)?;
         Ok(QueryResult {
             schema: result_set.schema,
             rows: result_set.rows,
             strategy: options.strategy,
-            used_decorrelated_plan: used_decorrelated,
-            rewrite_notes: outcome.as_ref().map(|o| o.notes.clone()).unwrap_or_default(),
-            applied_rules: outcome
-                .as_ref()
-                .map(|o| o.applied_rules.clone())
-                .unwrap_or_default(),
+            used_decorrelated_plan: outcome.used_decorrelated_plan,
+            rewrite_notes: outcome.notes,
+            applied_rules: outcome.applied_rules,
             exec_stats: executor.stats_snapshot(),
+            rewrite_report: outcome.report,
         })
     }
 
     /// Returns an EXPLAIN-style report: the original plan, the rewritten plan (if any),
-    /// the rules that fired, and the cost-based decision.
+    /// the rules that fired, the per-pass timings and rule fire counts recorded by the
+    /// PassManager, and the cost-based decision.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let select = decorr_parser::parse_query(sql)?;
         let plan = plan_select(&select)?;
-        let provider = CatalogProvider::new(&self.catalog, &self.registry);
-        let outcome = rewrite_query(&plan, &self.registry, &provider, &RewriteOptions::default())?;
+        // EXPLAIN is the diagnostic entry point: always capture plan snapshots.
+        let outcome = self.optimize_plan(&plan, ExecutionStrategy::Auto, true)?;
         let mut out = String::new();
         out.push_str("== original (iterative) plan ==\n");
-        out.push_str(&explain(&plan));
-        if outcome.decorrelated {
+        out.push_str(&explain(&outcome.iterative_plan));
+        if let Some(rewritten) = &outcome.rewritten_plan {
             out.push_str("\n== decorrelated plan ==\n");
-            out.push_str(&explain(&outcome.plan));
+            out.push_str(&explain(rewritten));
             out.push_str("\n== rules applied ==\n");
             out.push_str(&outcome.applied_rules.join(", "));
             out.push('\n');
-            let decision = choose_strategy(&plan, &outcome.plan, &self.catalog, &self.registry);
-            out.push_str("\n== cost-based decision ==\n");
-            out.push_str(&decision.summary());
-            out.push('\n');
+            if let Some(decision) = &outcome.decision {
+                out.push_str("\n== cost-based decision ==\n");
+                out.push_str(&decision.summary());
+                out.push('\n');
+            }
         } else {
             out.push_str("\n== decorrelation ==\nnot performed: ");
             out.push_str(&outcome.notes.join("; "));
             out.push('\n');
         }
+        out.push_str("\n== optimizer passes ==\n");
+        out.push_str(&outcome.report.render());
         Ok(out)
     }
 
@@ -422,7 +435,12 @@ impl Database {
         let select = decorr_parser::parse_query(sql)?;
         let plan = plan_select(&select)?;
         let provider = CatalogProvider::new(&self.catalog, &self.registry);
-        let outcome = rewrite_query(&plan, &self.registry, &provider, &RewriteOptions::default())?;
+        let outcome = PassManager::rewrite_pipeline().optimize(
+            &plan,
+            &self.registry,
+            &provider,
+            Some(&self.catalog),
+        )?;
         Ok(RewriteReport {
             decorrelated: outcome.decorrelated,
             rewritten_sql: plan_to_sql(&outcome.plan),
@@ -508,7 +526,9 @@ mod tests {
         assert!(iterative.exec_stats.udf_invocations >= 20);
         assert_eq!(decorrelated.exec_stats.udf_invocations, 0);
         assert_eq!(
-            iterative.canonical_projection(&["custkey", "level"]).unwrap(),
+            iterative
+                .canonical_projection(&["custkey", "level"])
+                .unwrap(),
             decorrelated
                 .canonical_projection(&["custkey", "level"])
                 .unwrap()
@@ -523,7 +543,9 @@ mod tests {
         let iterative = db.query_with(sql, &QueryOptions::iterative()).unwrap();
         assert_eq!(
             auto.canonical_projection(&["custkey", "level"]).unwrap(),
-            iterative.canonical_projection(&["custkey", "level"]).unwrap()
+            iterative
+                .canonical_projection(&["custkey", "level"])
+                .unwrap()
         );
     }
 
@@ -568,14 +590,22 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind(), "rewrite");
         // But the Auto and Iterative strategies still execute it.
-        let auto = db.query("select custkey, spin(custkey) as s from customer where custkey = 3").unwrap();
+        let auto = db
+            .query("select custkey, spin(custkey) as s from customer where custkey = 3")
+            .unwrap();
         assert_eq!(auto.column("s").unwrap(), vec![Value::Int(3)]);
     }
 
     #[test]
     fn errors_surface_cleanly() {
         let mut db = Database::new();
-        assert_eq!(db.execute("create tabel t(x int)").unwrap_err().kind(), "parse");
-        assert_eq!(db.query("select * from missing").unwrap_err().kind(), "catalog");
+        assert_eq!(
+            db.execute("create tabel t(x int)").unwrap_err().kind(),
+            "parse"
+        );
+        assert_eq!(
+            db.query("select * from missing").unwrap_err().kind(),
+            "catalog"
+        );
     }
 }

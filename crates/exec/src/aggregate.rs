@@ -144,7 +144,10 @@ mod tests {
         let inputs = [Value::Int(5), Value::Int(1), Value::Float(3.5), Value::Null];
         assert_eq!(run(AggFunc::Min, &inputs), Value::Int(1));
         assert_eq!(run(AggFunc::Max, &inputs), Value::Int(5));
-        assert_eq!(run(AggFunc::Avg, &inputs), Value::Float((5.0 + 1.0 + 3.5) / 3.0));
+        assert_eq!(
+            run(AggFunc::Avg, &inputs),
+            Value::Float((5.0 + 1.0 + 3.5) / 3.0)
+        );
         assert_eq!(run(AggFunc::Avg, &[Value::Null]), Value::Null);
     }
 

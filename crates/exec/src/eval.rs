@@ -19,9 +19,7 @@ impl Executor<'_> {
             ScalarExpr::Column(c) => env
                 .column(c.qualifier.as_deref(), &c.name)
                 .or_else(|| env.param(&c.name))
-                .ok_or_else(|| {
-                    Error::Binding(format!("cannot resolve column reference '{c}'"))
-                }),
+                .ok_or_else(|| Error::Binding(format!("cannot resolve column reference '{c}'"))),
             ScalarExpr::Param(p) => env
                 .param(p)
                 .or_else(|| env.column(None, p))
@@ -34,9 +32,9 @@ impl Executor<'_> {
                         if v.is_null() {
                             Ok(Value::Null)
                         } else {
-                            Value::Int(0).sub(&v).or_else(|_| {
-                                Ok(Value::Float(-v.as_float()?))
-                            })
+                            Value::Int(0)
+                                .sub(&v)
+                                .or_else(|_| Ok(Value::Float(-v.as_float()?)))
                         }
                     }
                     UnaryOp::Not => match v.as_bool()? {

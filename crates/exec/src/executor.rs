@@ -79,9 +79,7 @@ impl ResultSet {
         match self.rows.len() {
             0 => Ok(Value::Null),
             1 => Ok(self.rows[0].values.first().cloned().unwrap_or(Value::Null)),
-            n => Err(Error::Execution(format!(
-                "scalar query returned {n} rows"
-            ))),
+            n => Err(Error::Execution(format!("scalar query returned {n} rows"))),
         }
     }
 
@@ -213,8 +211,8 @@ impl<'a> Executor<'a> {
                     .rows
                     .into_iter()
                     .map(|row| {
-                        let env = Env::with_row(input_rs.schema.clone(), row.clone())
-                            .nested_in(outer);
+                        let env =
+                            Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
                         let key_values: Result<Vec<Value>> =
                             keys.iter().map(|k| self.eval_expr(&k.expr, &env)).collect();
                         key_values.map(|kv| (kv, row))
@@ -301,7 +299,9 @@ impl<'a> Executor<'a> {
         // "default indices" setup.
         if self.config.use_indexes {
             if let RelExpr::Scan { table, alias } = input {
-                if let Some(result) = self.try_index_scan(table, alias.as_deref(), predicate, outer)? {
+                if let Some(result) =
+                    self.try_index_scan(table, alias.as_deref(), predicate, outer)?
+                {
                     return Ok(result);
                 }
             }
@@ -424,8 +424,10 @@ impl<'a> Executor<'a> {
         let mut rows = vec![];
         for row in input_rs.rows {
             let env = Env::with_row(input_rs.schema.clone(), row).nested_in(outer);
-            let values: Result<Vec<Value>> =
-                items.iter().map(|item| self.eval_expr(&item.expr, &env)).collect();
+            let values: Result<Vec<Value>> = items
+                .iter()
+                .map(|item| self.eval_expr(&item.expr, &env))
+                .collect();
             rows.push(Row::new(values?));
         }
         if distinct {
@@ -637,8 +639,8 @@ impl<'a> Executor<'a> {
                 let mut matched = false;
                 for &ri in matches {
                     let combined = lrow.concat(&right_rs.rows[ri]);
-                    let env = Env::with_row(combined_schema.clone(), combined.clone())
-                        .nested_in(outer);
+                    let env =
+                        Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
                     if self.eval_predicate(&residual_pred, &env)? {
                         matched = true;
                         match kind {
@@ -655,8 +657,8 @@ impl<'a> Executor<'a> {
                 let mut matched = false;
                 for rrow in &right_rs.rows {
                     let combined = lrow.concat(rrow);
-                    let env = Env::with_row(combined_schema.clone(), combined.clone())
-                        .nested_in(outer);
+                    let env =
+                        Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
                     let pass = match condition {
                         Some(c) => self.eval_predicate(c, &env)?,
                         None => true,

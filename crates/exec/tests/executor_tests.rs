@@ -132,8 +132,8 @@ fn joins_inner_and_left_outer() {
         "select c.custkey, o.totalprice from customer c, orders o where c.custkey = o.custkey",
     );
     assert_eq!(rs.len(), 55); // 1+2+…+10 orders
-    // Left outer join against a selective right side: customers without expensive orders
-    // still appear with NULL.
+                              // Left outer join against a selective right side: customers without expensive orders
+                              // still appear with NULL.
     let rs = run(
         &catalog,
         &registry,
@@ -192,7 +192,11 @@ fn order_by_and_limit() {
 #[test]
 fn distinct_projection() {
     let (catalog, registry) = setup();
-    let rs = run(&catalog, &registry, "select distinct nationkey from customer");
+    let rs = run(
+        &catalog,
+        &registry,
+        "select distinct nationkey from customer",
+    );
     assert_eq!(rs.len(), 3);
 }
 
@@ -253,7 +257,8 @@ fn scalar_udf_iterative_invocation() {
         )
         .unwrap(),
     );
-    let plan = parse_and_plan("select custkey, totalbusiness(custkey) as tb from customer").unwrap();
+    let plan =
+        parse_and_plan("select custkey, totalbusiness(custkey) as tb from customer").unwrap();
     let exec = Executor::new(&catalog, &registry);
     let rs = exec.execute(&plan).unwrap();
     assert_eq!(rs.len(), 10);
@@ -385,7 +390,9 @@ fn table_valued_udf_execution() {
         .unwrap(),
     );
     let exec = Executor::new(&catalog, &registry);
-    let rs = exec.call_table_udf("big_orders", vec![Value::Float(900.0)]).unwrap();
+    let rs = exec
+        .call_table_udf("big_orders", vec![Value::Float(900.0)])
+        .unwrap();
     assert_eq!(rs.len(), 10);
     assert_eq!(rs.schema.names(), vec!["orderkey", "price"]);
 }

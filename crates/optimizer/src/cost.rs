@@ -232,18 +232,20 @@ fn udf_body_cost(body: &[Statement], catalog: &Catalog, registry: &FunctionRegis
                 else_branch,
                 ..
             } => {
-                total += udf_body_cost(then_branch, catalog, registry)
-                    .max(udf_body_cost(else_branch, catalog, registry));
+                total += udf_body_cost(then_branch, catalog, registry).max(udf_body_cost(
+                    else_branch,
+                    catalog,
+                    registry,
+                ));
             }
-            Statement::Assign { expr, .. } => {
-                if let ScalarExpr::ScalarSubquery(q) = expr {
-                    total += estimate_cost(q, catalog, registry) * CORRELATED_DISCOUNT;
-                }
+            Statement::Assign {
+                expr: ScalarExpr::ScalarSubquery(q),
+                ..
             }
-            Statement::Return { expr: Some(e) } => {
-                if let ScalarExpr::ScalarSubquery(q) = e {
-                    total += estimate_cost(q, catalog, registry) * CORRELATED_DISCOUNT;
-                }
+            | Statement::Return {
+                expr: Some(ScalarExpr::ScalarSubquery(q)),
+            } => {
+                total += estimate_cost(q, catalog, registry) * CORRELATED_DISCOUNT;
             }
             _ => {}
         }
@@ -269,7 +271,13 @@ mod tests {
         )
         .unwrap();
         let rows: Vec<Row> = (0..1000i64)
-            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 50), Value::Float(i as f64)]))
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Int(i % 50),
+                    Value::Float(i as f64),
+                ])
+            })
             .collect();
         c.insert_rows("orders", rows).unwrap();
         c.create_table(
@@ -338,14 +346,14 @@ mod tests {
         let registry = FunctionRegistry::new();
         let correlated = decorr_algebra::RelExpr::Apply {
             left: Box::new(decorr_algebra::RelExpr::scan("orders")),
-            right: Box::new(parse_and_plan("select sum(totalprice) from orders where custkey = :ckey").unwrap()),
+            right: Box::new(
+                parse_and_plan("select sum(totalprice) from orders where custkey = :ckey").unwrap(),
+            ),
             kind: decorr_algebra::ApplyKind::Cross,
             bindings: vec![],
         };
-        let flat = parse_and_plan(
-            "select custkey, sum(totalprice) from orders group by custkey",
-        )
-        .unwrap();
+        let flat =
+            parse_and_plan("select custkey, sum(totalprice) from orders group by custkey").unwrap();
         assert!(
             estimate_cost(&correlated, &catalog, &registry)
                 > estimate_cost(&flat, &catalog, &registry)

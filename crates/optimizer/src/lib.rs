@@ -1,10 +1,14 @@
-//! Cost model and cost-based strategy selection.
+//! The optimizer: an instrumented pass pipeline, cost model and strategy selection.
 //!
 //! The paper argues that its transformation rules should live inside a cost-based
 //! optimizer so that *iterative invocation remains an alternative* — Experiment 3 shows a
 //! regime (few invocations, scan-dominated rewritten form) where the original plan is the
 //! better choice. This crate provides that layer for the engine:
 //!
+//! * [`pass`] — the [`PassManager`]: the single, observable pipeline every query goes
+//!   through (normalize → algebraize & merge → Apply removal → cleanup → strategy
+//!   choice), with per-pass timings, per-rule fire counts, fixpoint iteration counts,
+//!   before/after plan snapshots and a rule-firing budget guard;
 //! * [`cost`] — cardinality estimation and a simple cost model over logical plans,
 //!   including the cost of iterative UDF invocation (outer cardinality × cost of the
 //!   queries inside the UDF body);
@@ -12,7 +16,12 @@
 //!   decorrelated plan produced by `decorr-rewrite`.
 
 pub mod cost;
+pub mod pass;
 pub mod strategy;
 
 pub use cost::{estimate_cardinality, estimate_cost, CostEstimate};
+pub use pass::{
+    OptimizeMode, OptimizeOutcome, OptimizerPass, PassContext, PassEffect, PassManager,
+    PassManagerOptions, PassTrace, PipelineReport,
+};
 pub use strategy::{choose_strategy, StrategyChoice, StrategyDecision};

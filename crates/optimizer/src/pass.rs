@@ -1,0 +1,885 @@
+//! The instrumented optimization pipeline: a [`PassManager`] owning an ordered list of
+//! named passes behind the common [`OptimizerPass`] trait.
+//!
+//! This is the single entry point through which every query is optimized. The pipeline
+//! mirrors Figure 9 of the paper — normalize, algebraize & merge UDF invocations
+//! (Sections IV, V, VII), remove Apply operators with the transformation rules
+//! (Section VI), clean up, and make the cost-based choice between the iterative and the
+//! decorrelated alternative (Section IX) — but unlike the paper's prose, every step here
+//! is observable: per-pass wall-clock timings, per-rule fire counts, fixpoint iteration
+//! counts, before/after plan snapshots, and a shared rule-firing budget that turns a
+//! cyclic rule set into an error instead of an unbounded loop.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use decorr_algebra::display::explain;
+use decorr_algebra::{RelExpr, SchemaProvider};
+use decorr_common::{Error, Result};
+use decorr_rewrite::merge::merge_udf_calls;
+use decorr_rewrite::rules::{FixpointEngine, RuleSet};
+use decorr_storage::Catalog;
+use decorr_udf::{AggregateDefinition, FunctionRegistry};
+
+use crate::strategy::{choose_strategy, StrategyChoice, StrategyDecision};
+
+// ---------------------------------------------------------------------------- options
+
+/// How the strategy-choice pass resolves the iterative/decorrelated alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizeMode {
+    /// Compare estimated costs and pick the cheaper plan (the paper's deployment).
+    #[default]
+    CostBased,
+    /// Always pick the decorrelated plan when the rewrite succeeded (the experiments'
+    /// "rewritten" arm). The caller is expected to treat a failed rewrite as an error.
+    ForceDecorrelated,
+}
+
+/// Knobs shared by every pass in a pipeline.
+#[derive(Debug, Clone)]
+pub struct PassManagerOptions {
+    /// Maximum number of full bottom-up passes per rule-fixpoint pass.
+    pub max_fixpoint_iterations: usize,
+    /// Total rule-firing budget shared by all passes of one `optimize` call. Exhausting
+    /// it aborts optimization with an error — the guard against cyclic rule sets.
+    pub rule_fire_budget: u64,
+    /// If true (the default, matching the paper's tool), the query is reverted to its
+    /// normalized original form when some Apply operator cannot be removed; if false,
+    /// the partially rewritten plan is kept and remaining Apply operators are executed
+    /// as correlated evaluation.
+    pub require_full_decorrelation: bool,
+    /// Strategy resolution mode.
+    pub mode: OptimizeMode,
+    /// Capture EXPLAIN-style before/after snapshots per pass. Off by default: snapshot
+    /// rendering costs string work per pass on every optimize call, so only diagnostic
+    /// entry points (`EXPLAIN`, debugging sessions) should enable it.
+    pub capture_snapshots: bool,
+}
+
+impl Default for PassManagerOptions {
+    fn default() -> Self {
+        PassManagerOptions {
+            max_fixpoint_iterations: 50,
+            rule_fire_budget: 100_000,
+            require_full_decorrelation: true,
+            mode: OptimizeMode::CostBased,
+            capture_snapshots: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------- context
+
+/// Mutable state threaded through the passes of one `optimize` call.
+pub struct PassContext<'a> {
+    pub registry: &'a FunctionRegistry,
+    pub provider: &'a dyn SchemaProvider,
+    /// Storage statistics for the cost model; `None` outside an engine (e.g. when the
+    /// pipeline runs as a standalone rewrite tool over a schema-only provider).
+    pub catalog: Option<&'a Catalog>,
+    pub options: PassManagerOptions,
+    /// The normalized original plan — the iterative alternative the strategy pass can
+    /// fall back to. Set by [`AlgebraizeMergePass`] before it merges UDF bodies.
+    pub baseline_plan: Option<RelExpr>,
+    /// The fully decorrelated plan, when the rewrite succeeded (kept even when the
+    /// cost-based choice later reverts to the iterative plan).
+    pub rewritten_plan: Option<RelExpr>,
+    /// Number of UDF invocations replaced by algebraic forms.
+    pub merged_calls: usize,
+    /// Auxiliary aggregates synthesised while algebraizing cursor loops; they must be
+    /// registered before executing the rewritten plan.
+    pub aux_aggregates: Vec<AggregateDefinition>,
+    /// True if every merged UDF invocation was decorrelated (no Apply remains).
+    pub decorrelated: bool,
+    /// True if the plan the pipeline returns is the decorrelated one.
+    pub used_decorrelated_plan: bool,
+    /// The cost-based decision, when one was made.
+    pub decision: Option<StrategyDecision>,
+    /// Remaining shared rule-firing budget.
+    rule_budget_left: u64,
+}
+
+impl<'a> PassContext<'a> {
+    fn new(
+        registry: &'a FunctionRegistry,
+        provider: &'a dyn SchemaProvider,
+        catalog: Option<&'a Catalog>,
+        options: PassManagerOptions,
+    ) -> PassContext<'a> {
+        let budget = options.rule_fire_budget;
+        PassContext {
+            registry,
+            provider,
+            catalog,
+            options,
+            baseline_plan: None,
+            rewritten_plan: None,
+            merged_calls: 0,
+            aux_aggregates: vec![],
+            decorrelated: false,
+            used_decorrelated_plan: false,
+            decision: None,
+            rule_budget_left: budget,
+        }
+    }
+
+    /// A [`FixpointEngine`] configured with this pipeline's iteration limit and the
+    /// *remaining* shared firing budget.
+    pub fn fixpoint_engine(&self) -> FixpointEngine {
+        FixpointEngine::with_max_iterations(self.options.max_fixpoint_iterations)
+            .with_rule_budget(self.rule_budget_left)
+    }
+
+    /// Deducts rule firings from the shared budget.
+    pub fn charge_rule_firings(&mut self, fires: u64) {
+        self.rule_budget_left = self.rule_budget_left.saturating_sub(fires);
+    }
+}
+
+// ---------------------------------------------------------------------------- effects
+
+/// What one pass did to the plan, as reported back to the [`PassManager`].
+#[derive(Debug, Clone)]
+pub struct PassEffect {
+    pub plan: RelExpr,
+    /// Rules that fired inside this pass, in order.
+    pub fired: Vec<String>,
+    /// Fire counts per rule.
+    pub rule_fires: BTreeMap<String, u64>,
+    /// Full fixpoint passes performed, for rule-fixpoint passes.
+    pub fixpoint_iterations: Option<usize>,
+    /// Whether the fixpoint genuinely converged (vs. hitting the iteration limit).
+    pub reached_fixpoint: Option<bool>,
+    /// Human-readable remarks (skipped UDFs, reverts, decisions).
+    pub notes: Vec<String>,
+}
+
+impl PassEffect {
+    /// A pass that left the plan untouched.
+    pub fn unchanged(plan: RelExpr) -> PassEffect {
+        PassEffect {
+            plan,
+            fired: vec![],
+            rule_fires: BTreeMap::new(),
+            fixpoint_iterations: None,
+            reached_fixpoint: None,
+            notes: vec![],
+        }
+    }
+
+    fn with_note(mut self, note: impl Into<String>) -> PassEffect {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// A named, instrumented optimization pass.
+pub trait OptimizerPass {
+    /// Stable pass name, shown in traces and EXPLAIN output.
+    fn name(&self) -> &'static str;
+    /// Transforms the plan, reporting instrumentation through the returned effect.
+    fn run(&self, plan: &RelExpr, ctx: &mut PassContext) -> Result<PassEffect>;
+}
+
+// ----------------------------------------------------------------------------- traces
+
+/// Everything the manager recorded about one executed pass.
+#[derive(Debug, Clone)]
+pub struct PassTrace {
+    pub name: String,
+    pub duration: Duration,
+    /// True if the pass changed the plan.
+    pub changed: bool,
+    pub rule_fires: BTreeMap<String, u64>,
+    pub fired: Vec<String>,
+    pub fixpoint_iterations: Option<usize>,
+    pub reached_fixpoint: Option<bool>,
+    /// EXPLAIN snapshot before/after the pass (when snapshot capture is enabled).
+    pub plan_before: Option<String>,
+    pub plan_after: Option<String>,
+    pub notes: Vec<String>,
+}
+
+impl PassTrace {
+    pub fn total_rule_fires(&self) -> u64 {
+        self.rule_fires.values().sum()
+    }
+}
+
+/// The per-pass trace of one `optimize` call — the engine exposes this as
+/// `QueryResult::rewrite_report` and inside `EXPLAIN` output.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    pub passes: Vec<PassTrace>,
+}
+
+impl PipelineReport {
+    /// The trace of a named pass, if it ran.
+    pub fn pass(&self, name: &str) -> Option<&PassTrace> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+
+    /// Total wall-clock time spent inside passes.
+    pub fn total_duration(&self) -> Duration {
+        self.passes.iter().map(|p| p.duration).sum()
+    }
+
+    /// Aggregated rule fire counts across all passes.
+    pub fn rule_fire_counts(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for pass in &self.passes {
+            for (rule, n) in &pass.rule_fires {
+                *out.entry(rule.clone()).or_insert(0) += n;
+            }
+        }
+        out
+    }
+
+    /// Total rule firings across all passes.
+    pub fn total_rule_fires(&self) -> u64 {
+        self.passes.iter().map(|p| p.total_rule_fires()).sum()
+    }
+
+    /// Renders the per-pass table shown by `EXPLAIN`: timings, fire counts, fixpoint
+    /// iterations and notes, followed by the aggregated per-rule fire counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>7} {:>7}  notes\n",
+            "pass", "time", "fires", "iters"
+        ));
+        for pass in &self.passes {
+            out.push_str(&format!(
+                "{:<20} {:>9.3} ms {:>7} {:>7}  {}\n",
+                pass.name,
+                pass.duration.as_secs_f64() * 1e3,
+                pass.total_rule_fires(),
+                pass.fixpoint_iterations
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                pass.notes.join("; ")
+            ));
+        }
+        let counts = self.rule_fire_counts();
+        if !counts.is_empty() {
+            out.push_str("rule fire counts: ");
+            let rendered: Vec<String> = counts
+                .iter()
+                .map(|(rule, n)| format!("{rule} ×{n}"))
+                .collect();
+            out.push_str(&rendered.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------- outcome
+
+/// The result of running a [`PassManager`] pipeline over a query plan.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The plan to execute (the strategy pass's choice; the rewritten plan when the
+    /// rewrite succeeded and was selected, otherwise the normalized original).
+    pub plan: RelExpr,
+    /// The normalized original plan — the iterative alternative.
+    pub iterative_plan: RelExpr,
+    /// The fully decorrelated plan, when the rewrite succeeded (independent of whether
+    /// the cost model then selected it).
+    pub rewritten_plan: Option<RelExpr>,
+    /// True if every merged UDF invocation was decorrelated.
+    pub decorrelated: bool,
+    /// True if `plan` is the decorrelated plan.
+    pub used_decorrelated_plan: bool,
+    /// Number of UDF invocations replaced by algebraic forms.
+    pub merged_calls: usize,
+    /// Auxiliary aggregates to register before executing `plan`.
+    pub aux_aggregates: Vec<AggregateDefinition>,
+    /// Names of the transformation rules that fired, in order, across all passes.
+    pub applied_rules: Vec<String>,
+    /// Human-readable notes from every pass.
+    pub notes: Vec<String>,
+    /// The cost-based decision, when one was made.
+    pub decision: Option<StrategyDecision>,
+    /// Per-pass instrumentation.
+    pub report: PipelineReport,
+}
+
+// ----------------------------------------------------------------------------- passes
+
+/// Plan normalisation: predicate pushdown, selection/projection merging. Runs first so
+/// that even the iterative baseline executes reasonable plans (comma-syntax joins become
+/// hash-joinable inner joins), exactly like the commercial systems the paper measures.
+pub struct NormalizePass;
+
+impl OptimizerPass for NormalizePass {
+    fn name(&self) -> &'static str {
+        "normalize"
+    }
+
+    fn run(&self, plan: &RelExpr, ctx: &mut PassContext) -> Result<PassEffect> {
+        let outcome = ctx
+            .fixpoint_engine()
+            .run(plan, &RuleSet::cleanup_only(), ctx.provider)?;
+        ctx.charge_rule_firings(outcome.total_fires());
+        Ok(PassEffect {
+            plan: outcome.plan,
+            fired: outcome.fired,
+            rule_fires: outcome.fire_counts,
+            fixpoint_iterations: Some(outcome.iterations),
+            reached_fixpoint: Some(outcome.reached_fixpoint),
+            notes: vec![],
+        })
+    }
+}
+
+/// Algebraization and merging (Sections IV, V, VII): builds the parameterized algebraic
+/// expression of every UDF invoked by the query and merges it into the calling block
+/// with the Apply (bind) operator. Also snapshots the incoming plan as the iterative
+/// baseline the later passes can revert to.
+pub struct AlgebraizeMergePass;
+
+impl OptimizerPass for AlgebraizeMergePass {
+    fn name(&self) -> &'static str {
+        "algebraize-merge"
+    }
+
+    fn run(&self, plan: &RelExpr, ctx: &mut PassContext) -> Result<PassEffect> {
+        ctx.baseline_plan = Some(plan.clone());
+        if !plan.contains_udf_call() {
+            return Ok(PassEffect::unchanged(plan.clone())
+                .with_note("query invokes no user-defined functions"));
+        }
+        let merged = merge_udf_calls(plan, ctx.registry, ctx.provider)?;
+        let mut effect = PassEffect::unchanged(merged.plan);
+        for (name, reason) in &merged.skipped {
+            effect.notes.push(format!(
+                "UDF '{name}' kept as an iterative invocation: {reason}"
+            ));
+        }
+        if merged.merged_calls > 0 {
+            effect.notes.push(format!(
+                "merged {} UDF invocation(s), {} auxiliary aggregate(s)",
+                merged.merged_calls,
+                merged.aux_aggregates.len()
+            ));
+        }
+        ctx.merged_calls = merged.merged_calls;
+        ctx.aux_aggregates = merged.aux_aggregates;
+        Ok(effect)
+    }
+}
+
+/// Apply removal (Section VI): drives the K1–K6/R1–R9 rule set to fixpoint. If some
+/// Apply operator survives and full decorrelation is required, reverts to the baseline
+/// plan — iterative invocation remains the execution strategy, like the paper's tool.
+pub struct ApplyRemovalPass;
+
+impl OptimizerPass for ApplyRemovalPass {
+    fn name(&self) -> &'static str {
+        "apply-removal"
+    }
+
+    fn run(&self, plan: &RelExpr, ctx: &mut PassContext) -> Result<PassEffect> {
+        if ctx.merged_calls == 0 {
+            return Ok(PassEffect::unchanged(plan.clone()).with_note("no merged UDF invocations"));
+        }
+        // The rules must also see the auxiliary aggregates synthesised during merging
+        // (their return types and empty-input values), even though they are only
+        // registered with the engine when the rewritten plan is executed.
+        let provider = AuxAggregateProvider {
+            inner: ctx.provider,
+            aggregates: &ctx.aux_aggregates,
+        };
+        let outcome = ctx
+            .fixpoint_engine()
+            .run(plan, &RuleSet::default_pipeline(), &provider)?;
+        ctx.charge_rule_firings(outcome.total_fires());
+        let mut effect = PassEffect {
+            plan: outcome.plan,
+            fired: outcome.fired,
+            rule_fires: outcome.fire_counts,
+            fixpoint_iterations: Some(outcome.iterations),
+            reached_fixpoint: Some(outcome.reached_fixpoint),
+            notes: vec![],
+        };
+        ctx.decorrelated = !effect.plan.contains_apply();
+        if !ctx.decorrelated && ctx.options.require_full_decorrelation {
+            effect.plan = ctx
+                .baseline_plan
+                .clone()
+                .expect("algebraize-merge runs before apply-removal");
+            ctx.aux_aggregates.clear();
+            effect.notes.push(
+                "some Apply operators could not be removed; the query was left untransformed \
+                 (iterative invocation remains the execution strategy)"
+                    .into(),
+            );
+        }
+        Ok(effect)
+    }
+}
+
+/// Final cleanup after Apply removal: re-runs the normalisation rules so the flattened
+/// plan exposes pushdown-ready predicates and merged projections to the executor.
+pub struct CleanupPass;
+
+impl OptimizerPass for CleanupPass {
+    fn name(&self) -> &'static str {
+        "cleanup"
+    }
+
+    fn run(&self, plan: &RelExpr, ctx: &mut PassContext) -> Result<PassEffect> {
+        let provider = AuxAggregateProvider {
+            inner: ctx.provider,
+            aggregates: &ctx.aux_aggregates,
+        };
+        let outcome = ctx
+            .fixpoint_engine()
+            .run(plan, &RuleSet::cleanup_only(), &provider)?;
+        ctx.charge_rule_firings(outcome.total_fires());
+        if ctx.decorrelated {
+            ctx.rewritten_plan = Some(outcome.plan.clone());
+        }
+        Ok(PassEffect {
+            plan: outcome.plan,
+            fired: outcome.fired,
+            rule_fires: outcome.fire_counts,
+            fixpoint_iterations: Some(outcome.iterations),
+            reached_fixpoint: Some(outcome.reached_fixpoint),
+            notes: vec![],
+        })
+    }
+}
+
+/// The cost-based choice between the iterative and the decorrelated plan (Section IX):
+/// the paper's point about registering the transformation rules inside a cost-based
+/// optimizer, so that iterative invocation remains an alternative (Experiment 3 shows a
+/// regime where it wins).
+pub struct StrategyChoicePass;
+
+impl OptimizerPass for StrategyChoicePass {
+    fn name(&self) -> &'static str {
+        "strategy-choice"
+    }
+
+    fn run(&self, plan: &RelExpr, ctx: &mut PassContext) -> Result<PassEffect> {
+        if !ctx.decorrelated {
+            ctx.used_decorrelated_plan = false;
+            return Ok(PassEffect::unchanged(plan.clone())
+                .with_note("no decorrelated alternative; executing the iterative plan"));
+        }
+        let baseline = ctx
+            .baseline_plan
+            .clone()
+            .expect("algebraize-merge runs before strategy-choice");
+        match (ctx.options.mode, ctx.catalog) {
+            (OptimizeMode::ForceDecorrelated, _) => {
+                ctx.used_decorrelated_plan = true;
+                Ok(PassEffect::unchanged(plan.clone())
+                    .with_note("decorrelated plan forced by options"))
+            }
+            (OptimizeMode::CostBased, Some(catalog)) => {
+                let decision = choose_strategy(&baseline, plan, catalog, ctx.registry);
+                let summary = decision.summary();
+                let chosen = match decision.choice {
+                    StrategyChoice::Decorrelated => {
+                        ctx.used_decorrelated_plan = true;
+                        plan.clone()
+                    }
+                    StrategyChoice::Iterative => {
+                        ctx.used_decorrelated_plan = false;
+                        baseline
+                    }
+                };
+                ctx.decision = Some(decision);
+                Ok(PassEffect::unchanged(chosen).with_note(summary))
+            }
+            (OptimizeMode::CostBased, None) => {
+                ctx.used_decorrelated_plan = true;
+                Ok(PassEffect::unchanged(plan.clone()).with_note(
+                    "no catalog statistics available; defaulting to the decorrelated plan",
+                ))
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------- pass manager
+
+/// Owns an ordered list of named passes and drives a plan through them, recording a
+/// [`PassTrace`] per pass.
+pub struct PassManager {
+    passes: Vec<Box<dyn OptimizerPass>>,
+    options: PassManagerOptions,
+}
+
+impl PassManager {
+    /// An empty pipeline with default options; push passes with [`PassManager::push`].
+    pub fn new() -> PassManager {
+        PassManager {
+            passes: vec![],
+            options: PassManagerOptions::default(),
+        }
+    }
+
+    /// Normalisation only — what every query (and every query inside a UDF body) goes
+    /// through before iterative execution.
+    pub fn cleanup_pipeline() -> PassManager {
+        PassManager::new().with_pass(NormalizePass)
+    }
+
+    /// The full Figure-9 rewrite pipeline *without* the strategy choice: normalize,
+    /// algebraize & merge, Apply removal, cleanup. This is the paper's standalone
+    /// rewrite tool; the outcome's plan is the rewritten form whenever decorrelation
+    /// succeeded.
+    pub fn rewrite_pipeline() -> PassManager {
+        PassManager::new()
+            .with_pass(NormalizePass)
+            .with_pass(AlgebraizeMergePass)
+            .with_pass(ApplyRemovalPass)
+            .with_pass(CleanupPass)
+    }
+
+    /// The deployed pipeline: the rewrite pipeline followed by the cost-based strategy
+    /// choice.
+    pub fn decorrelation_pipeline() -> PassManager {
+        PassManager::rewrite_pipeline().with_pass(StrategyChoicePass)
+    }
+
+    /// Replaces the pipeline options.
+    pub fn with_options(mut self, options: PassManagerOptions) -> PassManager {
+        self.options = options;
+        self
+    }
+
+    /// Sets the strategy-resolution mode.
+    pub fn with_mode(mut self, mode: OptimizeMode) -> PassManager {
+        self.options.mode = mode;
+        self
+    }
+
+    /// Enables or disables per-pass before/after plan snapshots. Snapshot rendering is
+    /// pure string work but it is paid on every `optimize` call, so the engine keeps it
+    /// off on the query hot path and turns it on for diagnostics (`EXPLAIN`).
+    pub fn with_snapshots(mut self, capture_snapshots: bool) -> PassManager {
+        self.options.capture_snapshots = capture_snapshots;
+        self
+    }
+
+    /// Appends a pass (builder style).
+    pub fn with_pass(mut self, pass: impl OptimizerPass + 'static) -> PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: impl OptimizerPass + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// The ordered pass names.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    pub fn options(&self) -> &PassManagerOptions {
+        &self.options
+    }
+
+    /// Drives `plan` through every pass in order. `catalog` supplies statistics for the
+    /// cost model; pass `None` when running as a pure rewrite tool.
+    pub fn optimize(
+        &self,
+        plan: &RelExpr,
+        registry: &FunctionRegistry,
+        provider: &dyn SchemaProvider,
+        catalog: Option<&Catalog>,
+    ) -> Result<OptimizeOutcome> {
+        let mut ctx = PassContext::new(registry, provider, catalog, self.options.clone());
+        let mut current = plan.clone();
+        let mut report = PipelineReport::default();
+        let mut applied_rules: Vec<String> = vec![];
+        let mut notes: Vec<String> = vec![];
+        for pass in &self.passes {
+            let plan_before = self.options.capture_snapshots.then(|| explain(&current));
+            let start = Instant::now();
+            let effect = pass.run(&current, &mut ctx).map_err(|e| {
+                Error::Rewrite(format!("optimizer pass '{}' failed: {e}", pass.name()))
+            })?;
+            let duration = start.elapsed();
+            let changed = effect.plan != current;
+            let plan_after =
+                (self.options.capture_snapshots && changed).then(|| explain(&effect.plan));
+            applied_rules.extend(effect.fired.iter().cloned());
+            notes.extend(effect.notes.iter().cloned());
+            report.passes.push(PassTrace {
+                name: pass.name().to_string(),
+                duration,
+                changed,
+                rule_fires: effect.rule_fires,
+                fired: effect.fired,
+                fixpoint_iterations: effect.fixpoint_iterations,
+                reached_fixpoint: effect.reached_fixpoint,
+                plan_before,
+                plan_after,
+                notes: effect.notes,
+            });
+            current = effect.plan;
+        }
+        let iterative_plan = ctx.baseline_plan.clone().unwrap_or_else(|| current.clone());
+        let rewritten_plan = ctx.rewritten_plan.clone().or_else(|| {
+            // Pipelines without a strategy pass end on the rewritten form itself.
+            ctx.decorrelated.then(|| current.clone())
+        });
+        // In a strategy-less pipeline the returned plan is the rewritten one whenever
+        // the rewrite succeeded.
+        let used_decorrelated_plan = ctx.used_decorrelated_plan
+            || (ctx.decorrelated
+                && rewritten_plan
+                    .as_ref()
+                    .map(|r| r == &current)
+                    .unwrap_or(false));
+        Ok(OptimizeOutcome {
+            plan: current,
+            iterative_plan,
+            rewritten_plan,
+            decorrelated: ctx.decorrelated,
+            used_decorrelated_plan,
+            merged_calls: ctx.merged_calls,
+            aux_aggregates: ctx.aux_aggregates,
+            applied_rules,
+            notes,
+            decision: ctx.decision,
+            report,
+        })
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::decorrelation_pipeline()
+    }
+}
+
+// --------------------------------------------------------------------------- provider
+
+/// A [`SchemaProvider`] that layers the auxiliary aggregates synthesised by the current
+/// rewrite on top of the engine-provided catalog view.
+struct AuxAggregateProvider<'a> {
+    inner: &'a dyn SchemaProvider,
+    aggregates: &'a [AggregateDefinition],
+}
+
+impl SchemaProvider for AuxAggregateProvider<'_> {
+    fn table_schema(&self, table: &str) -> Result<decorr_common::Schema> {
+        self.inner.table_schema(table)
+    }
+
+    fn udf_return_type(&self, name: &str) -> Option<decorr_common::DataType> {
+        self.aggregates
+            .iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name))
+            .map(|a| a.return_type)
+            .or_else(|| self.inner.udf_return_type(name))
+    }
+
+    fn aggregate_empty_value(&self, name: &str) -> Option<decorr_common::Value> {
+        if let Some(agg) = self
+            .aggregates
+            .iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name))
+        {
+            return match &agg.terminate {
+                decorr_algebra::ScalarExpr::Param(p) => agg
+                    .state
+                    .iter()
+                    .find(|(var, _, _)| var == p)
+                    .map(|(_, _, init)| init.clone()),
+                decorr_algebra::ScalarExpr::Literal(v) => Some(v.clone()),
+                _ => None,
+            };
+        }
+        self.inner.aggregate_empty_value(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_algebra::display::explain;
+    use decorr_algebra::schema::MapProvider;
+    use decorr_common::{Column, DataType, Schema};
+    use decorr_parser::{parse_and_plan, parse_function};
+
+    fn provider() -> MapProvider {
+        MapProvider::new()
+            .with_table(
+                "customer",
+                Schema::new(vec![
+                    Column::new("custkey", DataType::Int),
+                    Column::new("name", DataType::Str),
+                ]),
+            )
+            .with_table(
+                "orders",
+                Schema::new(vec![
+                    Column::new("orderkey", DataType::Int),
+                    Column::new("custkey", DataType::Int),
+                    Column::new("totalprice", DataType::Float),
+                ]),
+            )
+    }
+
+    fn rewrite(plan: &decorr_algebra::RelExpr, registry: &FunctionRegistry) -> OptimizeOutcome {
+        PassManager::rewrite_pipeline()
+            .optimize(plan, registry, &provider(), None)
+            .unwrap()
+    }
+
+    #[test]
+    fn decorrelates_example3_discount() {
+        // Example 3: after rewriting, no Apply and no UDF call remain and the arithmetic
+        // is inlined into the projection (Π_{orderkey, totalprice*0.15}(orders)).
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function discount(float amount) returns float as \
+                 begin return amount * 0.15; end",
+            )
+            .unwrap(),
+        );
+        let plan =
+            parse_and_plan("select orderkey, discount(totalprice) as d from orders").unwrap();
+        let outcome = rewrite(&plan, &registry);
+        assert!(outcome.decorrelated);
+        assert!(outcome.used_decorrelated_plan);
+        assert!(!outcome.plan.contains_apply());
+        assert!(!outcome.plan.contains_udf_call());
+        let text = explain(&outcome.plan);
+        assert!(text.contains("totalprice * 0.15) as d"), "plan:\n{text}");
+        assert!(text.contains("Scan orders"));
+        // The whole plan collapses to a single projection over the scan.
+        assert!(outcome.plan.node_count() <= 3, "plan:\n{text}");
+    }
+
+    #[test]
+    fn decorrelates_example1_service_level_into_outer_join() {
+        // Example 1 → Example 2: the rewritten form is a left outer join between
+        // customer and a grouped aggregation over orders, with a CASE projection.
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function service_level(int ckey) returns char(10) as \
+                 begin \
+                   float totalbusiness; string level; \
+                   select sum(totalprice) into :totalbusiness from orders where custkey = :ckey; \
+                   if (totalbusiness > 1000000) level = 'Platinum'; \
+                   else if (totalbusiness > 500000) level = 'Gold'; \
+                   else level = 'Regular'; \
+                   return level; \
+                 end",
+            )
+            .unwrap(),
+        );
+        let plan = parse_and_plan("select custkey, service_level(custkey) as level from customer")
+            .unwrap();
+        let outcome = rewrite(&plan, &registry);
+        let text = explain(&outcome.plan);
+        assert!(
+            outcome.decorrelated,
+            "rules: {:?}\nnotes: {:?}\nplan:\n{text}",
+            outcome.applied_rules, outcome.notes
+        );
+        assert!(text.contains("Join(left outer)"), "plan:\n{text}");
+        assert!(
+            text.contains("Aggregate group_by=[orders.custkey]"),
+            "plan:\n{text}"
+        );
+        assert!(text.contains("'Platinum'"), "plan:\n{text}");
+        assert!(!outcome.plan.contains_udf_call());
+        // R9, R2, R8, R4 and the scalar-aggregate decorrelation must all have fired.
+        for expected in [
+            "R9-apply-bind-removal",
+            "R8-conditional-merge-to-case",
+            "decorrelate-scalar-aggregate",
+        ] {
+            assert!(
+                outcome.applied_rules.iter().any(|r| r == expected),
+                "expected rule {expected} to fire; fired: {:?}",
+                outcome.applied_rules
+            );
+        }
+        // The instrumentation attributes the rule firings to the apply-removal pass.
+        let removal = outcome.report.pass("apply-removal").unwrap();
+        assert!(removal.total_rule_fires() >= 3, "{:?}", removal.rule_fires);
+        assert_eq!(removal.reached_fixpoint, Some(true));
+    }
+
+    #[test]
+    fn query_without_udfs_is_untouched() {
+        let registry = FunctionRegistry::new();
+        let plan = parse_and_plan("select custkey from customer").unwrap();
+        let outcome = rewrite(&plan, &registry);
+        assert!(!outcome.decorrelated);
+        assert_eq!(outcome.plan, plan);
+        assert!(outcome
+            .notes
+            .iter()
+            .any(|n| n.contains("no user-defined functions")));
+    }
+
+    #[test]
+    fn non_decorrelatable_udf_keeps_original_plan() {
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function spin(int n) returns int as \
+                 begin int i = 0; while (i < n) begin i = i + 1; end return i; end",
+            )
+            .unwrap(),
+        );
+        let plan = parse_and_plan("select spin(custkey) from customer").unwrap();
+        let outcome = rewrite(&plan, &registry);
+        assert!(!outcome.decorrelated);
+        assert_eq!(outcome.plan, plan);
+        assert!(outcome.notes.iter().any(|n| n.contains("WHILE")));
+    }
+
+    #[test]
+    fn every_pass_is_traced_in_order() {
+        let registry = FunctionRegistry::new();
+        let plan = parse_and_plan("select custkey from customer").unwrap();
+        let manager = PassManager::decorrelation_pipeline();
+        assert_eq!(
+            manager.pass_names(),
+            vec![
+                "normalize",
+                "algebraize-merge",
+                "apply-removal",
+                "cleanup",
+                "strategy-choice"
+            ]
+        );
+        let outcome = manager
+            .optimize(&plan, &registry, &provider(), None)
+            .unwrap();
+        let traced: Vec<&str> = outcome
+            .report
+            .passes
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(
+            traced,
+            vec![
+                "normalize",
+                "algebraize-merge",
+                "apply-removal",
+                "cleanup",
+                "strategy-choice"
+            ]
+        );
+    }
+}

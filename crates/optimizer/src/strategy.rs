@@ -103,15 +103,15 @@ mod tests {
         (c, registry)
     }
 
-    fn rewritten_for(original: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) -> RelExpr {
+    fn rewritten_for(
+        original: &RelExpr,
+        catalog: &Catalog,
+        registry: &FunctionRegistry,
+    ) -> RelExpr {
         let provider = decorr_exec::CatalogProvider::new(catalog, registry);
-        let outcome = decorr_rewrite::rewrite_query(
-            original,
-            registry,
-            &provider,
-            &decorr_rewrite::RewriteOptions::default(),
-        )
-        .unwrap();
+        let outcome = crate::pass::PassManager::rewrite_pipeline()
+            .optimize(original, registry, &provider, Some(catalog))
+            .unwrap();
         assert!(outcome.decorrelated, "notes: {:?}", outcome.notes);
         outcome.plan
     }

@@ -5,9 +5,10 @@ use decorr_common::Column;
 use decorr_udf::UdfDefinition;
 
 /// One item of a SELECT list: an expression with an optional alias, or `*`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum SelectItem {
     /// `*` — every column of the FROM result.
+    #[default]
     Wildcard,
     /// `t.*` — every column of one relation.
     QualifiedWildcard(String),
@@ -62,12 +63,6 @@ pub struct SelectStatement {
     pub group_by: Vec<ScalarExpr>,
     pub having: Option<ScalarExpr>,
     pub order_by: Vec<OrderByItem>,
-}
-
-impl Default for SelectItem {
-    fn default() -> Self {
-        SelectItem::Wildcard
-    }
 }
 
 /// Any top-level statement accepted by the engine.

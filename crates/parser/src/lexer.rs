@@ -194,7 +194,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     return Err(Error::Parse("expected identifier after ':'".into()));
                 }
                 tokens.push(Token::NamedParam(
-                    chars[start..i].iter().collect::<String>().to_ascii_lowercase(),
+                    chars[start..i]
+                        .iter()
+                        .collect::<String>()
+                        .to_ascii_lowercase(),
                 ));
             }
             '@' => {
@@ -207,7 +210,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 tokens.push(Token::AtVariable(
-                    chars[start..i].iter().collect::<String>().to_ascii_lowercase(),
+                    chars[start..i]
+                        .iter()
+                        .collect::<String>()
+                        .to_ascii_lowercase(),
                 ));
             }
             '?' => {
@@ -317,7 +323,9 @@ mod tests {
 
     #[test]
     fn tokenizes_params_and_variables() {
-        let tokens = tokenize("where custkey = :ckey and price > @Price and s = ? and f = @@FETCH_STATUS").unwrap();
+        let tokens =
+            tokenize("where custkey = :ckey and price > @Price and s = ? and f = @@FETCH_STATUS")
+                .unwrap();
         assert!(tokens.contains(&Token::NamedParam("ckey".into())));
         assert!(tokens.contains(&Token::AtVariable("@price".into())));
         assert!(tokens.contains(&Token::Positional));
@@ -347,7 +355,10 @@ mod tests {
     #[test]
     fn skips_comments() {
         let tokens = tokenize("select 1 -- trailing comment\n /* block */ , 2").unwrap();
-        let idents: Vec<&Token> = tokens.iter().filter(|t| matches!(t, Token::Int(_))).collect();
+        let idents: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Int(_)))
+            .collect();
         assert_eq!(idents.len(), 2);
     }
 

@@ -24,7 +24,9 @@ pub mod parser;
 pub mod planner;
 
 pub use ast::{SelectStatement, SqlStatement};
-pub use parser::{parse_expression, parse_function, parse_query, parse_statement, parse_statements};
+pub use parser::{
+    parse_expression, parse_function, parse_query, parse_statement, parse_statements,
+};
 pub use planner::plan_select;
 
 use decorr_algebra::RelExpr;

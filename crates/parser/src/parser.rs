@@ -70,10 +70,49 @@ pub fn parse_expression(sql: &str) -> Result<ScalarExpr> {
 
 /// Keywords that cannot be used as implicit (AS-less) aliases.
 const RESERVED: &[&str] = &[
-    "from", "where", "group", "having", "order", "limit", "into", "union", "join", "inner",
-    "left", "right", "full", "cross", "on", "as", "top", "and", "or", "not", "select", "case",
-    "when", "then", "else", "end", "asc", "desc", "values", "set", "is", "null", "in", "exists",
-    "begin", "if", "while", "return", "declare", "open", "fetch", "close", "deallocate",
+    "from",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "into",
+    "union",
+    "join",
+    "inner",
+    "left",
+    "right",
+    "full",
+    "cross",
+    "on",
+    "as",
+    "top",
+    "and",
+    "or",
+    "not",
+    "select",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "asc",
+    "desc",
+    "values",
+    "set",
+    "is",
+    "null",
+    "in",
+    "exists",
+    "begin",
+    "if",
+    "while",
+    "return",
+    "declare",
+    "open",
+    "fetch",
+    "close",
+    "deallocate",
     "distinct",
 ];
 
@@ -186,7 +225,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String> {
         match self.advance() {
             Token::Ident(s) => Ok(normalize_ident(&s)),
-            other => Err(Error::Parse(format!("expected identifier, found '{other}'"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found '{other}'"
+            ))),
         }
     }
 
@@ -243,11 +284,29 @@ impl Parser {
     }
 
     fn is_type_keyword(token: &Token) -> bool {
-        matches!(token.ident().as_deref(), Some(
-            "int" | "integer" | "bigint" | "smallint" | "float" | "real" | "double" | "decimal"
-            | "numeric" | "money" | "char" | "varchar" | "string" | "text" | "nvarchar" | "bool"
-            | "boolean" | "bit"
-        ))
+        matches!(
+            token.ident().as_deref(),
+            Some(
+                "int"
+                    | "integer"
+                    | "bigint"
+                    | "smallint"
+                    | "float"
+                    | "real"
+                    | "double"
+                    | "decimal"
+                    | "numeric"
+                    | "money"
+                    | "char"
+                    | "varchar"
+                    | "string"
+                    | "text"
+                    | "nvarchar"
+                    | "bool"
+                    | "boolean"
+                    | "bit"
+            )
+        )
     }
 
     fn parse_create_table(&mut self) -> Result<SqlStatement> {
@@ -756,7 +815,9 @@ impl Parser {
         }
         self.expect_keyword("end")?;
         if branches.is_empty() {
-            return Err(Error::Parse("CASE requires at least one WHEN branch".into()));
+            return Err(Error::Parse(
+                "CASE requires at least one WHEN branch".into(),
+            ));
         }
         Ok(ScalarExpr::Case {
             branches,
@@ -969,7 +1030,9 @@ impl Parser {
                     c.fetch_vars = vars;
                 }
             } else {
-                return Err(Error::Parse(format!("fetch from undeclared cursor '{cursor}'")));
+                return Err(Error::Parse(format!(
+                    "fetch from undeclared cursor '{cursor}'"
+                )));
             }
             return Ok(None);
         }
@@ -1265,6 +1328,9 @@ fn expr_mentions_fetch_status(expr: &ScalarExpr) -> bool {
     match expr {
         ScalarExpr::Param(p) => p.contains("fetch_status"),
         ScalarExpr::Column(c) => c.name.contains("fetch_status"),
-        other => other.children().iter().any(|c| expr_mentions_fetch_status(c)),
+        other => other
+            .children()
+            .iter()
+            .any(|c| expr_mentions_fetch_status(c)),
     }
 }

@@ -1,8 +1,6 @@
 //! Lowering of parsed `SELECT` statements into the logical algebra.
 
-use decorr_algebra::{
-    AggCall, AggFunc, JoinKind, ProjectItem, RelExpr, ScalarExpr, SortKey,
-};
+use decorr_algebra::{AggCall, AggFunc, JoinKind, ProjectItem, RelExpr, ScalarExpr, SortKey};
 use decorr_common::{Error, Result};
 
 use crate::ast::{SelectItem, SelectStatement};
@@ -117,7 +115,9 @@ pub fn plan_select(select: &SelectStatement) -> Result<RelExpr> {
             distinct: select.distinct,
         };
     } else if select.distinct {
-        return Err(Error::Unsupported("SELECT DISTINCT * is not supported".into()));
+        return Err(Error::Unsupported(
+            "SELECT DISTINCT * is not supported".into(),
+        ));
     }
 
     // 5. ORDER BY.
@@ -174,10 +174,7 @@ fn extract_aggs(
             let alias = preferred_alias
                 .map(|a| a.to_string())
                 .unwrap_or_else(|| format!("agg{}", agg_calls.len()));
-            if let Some(existing) = agg_calls
-                .iter()
-                .find(|c| c.func == func && c.args == *args)
-            {
+            if let Some(existing) = agg_calls.iter().find(|c| c.func == func && c.args == *args) {
                 return ScalarExpr::column(existing.alias.clone());
             }
             agg_calls.push(AggCall::new(func, args.clone(), alias.clone()));
@@ -210,7 +207,9 @@ fn extract_aggs(
                 .map(|e| Box::new(extract_aggs(e, agg_calls, None))),
         },
         ScalarExpr::Coalesce(args) => ScalarExpr::Coalesce(
-            args.iter().map(|a| extract_aggs(a, agg_calls, None)).collect(),
+            args.iter()
+                .map(|a| extract_aggs(a, agg_calls, None))
+                .collect(),
         ),
         ScalarExpr::Cast { expr, data_type } => ScalarExpr::Cast {
             expr: Box::new(extract_aggs(expr, agg_calls, None)),
@@ -227,9 +226,9 @@ fn is_agg_name(name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::SqlStatement;
     use crate::parse_and_plan as parse_and_plan_str;
     use crate::parser::{parse_function, parse_query, parse_statement};
-    use crate::ast::SqlStatement;
     use decorr_algebra::display::explain;
     use decorr_common::DataType;
     use decorr_udf::Statement;
@@ -237,7 +236,8 @@ mod tests {
     #[test]
     fn plans_example1_query() {
         // Example 1 of the paper: UDF invocation in the select list.
-        let plan = parse_and_plan_str("select custkey, service_level(custkey) from customer").unwrap();
+        let plan =
+            parse_and_plan_str("select custkey, service_level(custkey) from customer").unwrap();
         let text = explain(&plan);
         assert!(text.contains("Project [custkey, service_level(custkey)"));
         assert!(text.contains("Scan customer"));
@@ -273,7 +273,9 @@ mod tests {
         )
         .unwrap();
         let text = explain(&plan);
-        assert!(text.contains("Aggregate group_by=[custkey] aggs=[sum(totalprice) as totalbusiness]"));
+        assert!(
+            text.contains("Aggregate group_by=[custkey] aggs=[sum(totalprice) as totalbusiness]")
+        );
     }
 
     #[test]
@@ -292,10 +294,9 @@ mod tests {
 
     #[test]
     fn plans_top_and_order_by() {
-        let plan = parse_and_plan_str(
-            "select top 100 orderkey from orders order by totalprice desc",
-        )
-        .unwrap();
+        let plan =
+            parse_and_plan_str("select top 100 orderkey from orders order by totalprice desc")
+                .unwrap();
         match &plan {
             RelExpr::Limit { limit, input } => {
                 assert_eq!(*limit, 100);
@@ -374,7 +375,10 @@ mod tests {
         assert!(!udf.has_loops());
         // declarations + 2 select-into + assignment + return
         assert!(udf.body.len() >= 5);
-        assert!(matches!(udf.body.last().unwrap(), Statement::Return { expr: Some(_) }));
+        assert!(matches!(
+            udf.body.last().unwrap(),
+            Statement::Return { expr: Some(_) }
+        ));
     }
 
     #[test]
@@ -441,7 +445,10 @@ mod tests {
             Statement::CursorLoop {
                 fetch_vars, body, ..
             } => {
-                assert_eq!(fetch_vars, &vec!["@price".to_string(), "@qty".into(), "@disc".into()]);
+                assert_eq!(
+                    fetch_vars,
+                    &vec!["@price".to_string(), "@qty".into(), "@disc".into()]
+                );
                 // Body: declare profit; if (profit < 0) …  (the trailing fetch is dropped)
                 assert_eq!(body.len(), 2);
                 assert!(matches!(body[1], Statement::If { .. }));
@@ -449,7 +456,10 @@ mod tests {
             _ => unreachable!(),
         }
         // The return statement after the loop is preserved.
-        assert!(matches!(udf.body.last().unwrap(), Statement::Return { expr: Some(_) }));
+        assert!(matches!(
+            udf.body.last().unwrap(),
+            Statement::Return { expr: Some(_) }
+        ));
     }
 
     #[test]
@@ -503,8 +513,7 @@ mod tests {
         }
         let stmt = parse_statement("create index idx_orders_custkey on orders(custkey)").unwrap();
         assert_eq!(stmt.kind(), "create-index");
-        let stmt =
-            parse_statement("insert into t (a, b) values (1, 'x'), (2, 'y')").unwrap();
+        let stmt = parse_statement("insert into t (a, b) values (1, 'x'), (2, 'y')").unwrap();
         match stmt {
             SqlStatement::Insert { rows, columns, .. } => {
                 assert_eq!(rows.len(), 2);

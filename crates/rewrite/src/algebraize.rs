@@ -150,8 +150,7 @@ pub fn algebraize_table_udf(
                         }
                         Statement::If { .. } => {
                             return Err(Error::Unsupported(
-                                "conditional inserts in table-valued UDFs are not supported"
-                                    .into(),
+                                "conditional inserts in table-valued UDFs are not supported".into(),
                             ))
                         }
                         other => {
@@ -197,9 +196,8 @@ pub fn algebraize_table_udf(
             }
         }
     }
-    let plan = result.ok_or_else(|| {
-        Error::Unsupported("table-valued UDF without a cursor loop".to_string())
-    })?;
+    let plan = result
+        .ok_or_else(|| Error::Unsupported("table-valued UDF without a cursor loop".to_string()))?;
     Ok(AlgebraizedUdf {
         plan,
         aux_aggregates: alg.aux_aggregates,
@@ -242,9 +240,7 @@ impl<'a> Algebraizer<'a> {
     fn normalize_expr(&self, expr: &ScalarExpr) -> ScalarExpr {
         let locals = self.locals.clone();
         let params = self.params.clone();
-        decorr_algebra::visit::transform_expr_up(expr, &mut |e| {
-            normalize_ref(e, &locals, &params)
-        })
+        decorr_algebra::visit::transform_expr_up(expr, &mut |e| normalize_ref(e, &locals, &params))
     }
 
     /// Same normalisation applied to every expression of a query plan (e.g. the plan of a
@@ -329,9 +325,7 @@ impl<'a> Algebraizer<'a> {
                 // Assignment from a scalar query uses the query plan directly as the
                 // inner expression; any other expression is a projection on Single.
                 let right = match expr {
-                    ScalarExpr::ScalarSubquery(q) => {
-                        single_column_as(self.normalize_plan(q), name)
-                    }
+                    ScalarExpr::ScalarSubquery(q) => single_column_as(self.normalize_plan(q), name),
                     other => project_on_single(vec![(self.normalize_expr(other), name.clone())]),
                 };
                 Ok(RelExpr::ApplyMerge {
@@ -394,9 +388,7 @@ impl<'a> Algebraizer<'a> {
             Statement::InsertIntoResult { .. } => Err(Error::Unsupported(
                 "INSERT into a result table outside a table-valued UDF".into(),
             )),
-            Statement::Return { .. } => {
-                Err(Error::Internal("RETURN handled by the caller".into()))
-            }
+            Statement::Return { .. } => Err(Error::Internal("RETURN handled by the caller".into())),
         }
     }
 
@@ -567,9 +559,7 @@ impl<'a> Algebraizer<'a> {
     /// Attaches the RETURN expression: `Π_retval(ctx A× right)` (Section IV).
     fn attach_return(&mut self, ctx: RelExpr, expr: &ScalarExpr) -> Result<RelExpr> {
         let right = match expr {
-            ScalarExpr::ScalarSubquery(q) => {
-                single_column_as(self.normalize_plan(q), "retval")
-            }
+            ScalarExpr::ScalarSubquery(q) => single_column_as(self.normalize_plan(q), "retval"),
             other => project_on_single(vec![(self.normalize_expr(other), "retval".into())]),
         };
         let applied = RelExpr::Apply {
@@ -685,15 +675,13 @@ fn qualify_plan(plan: &RelExpr, provider: &dyn SchemaProvider) -> RelExpr {
         .fold(decorr_common::Schema::empty(), |acc, s| acc.join(&s));
     map_own_exprs(&node, &mut |e| {
         decorr_algebra::visit::transform_expr_up(e, &mut |inner| match &inner {
-            ScalarExpr::Column(c) if c.qualifier.is_none() => {
-                match visible.find(None, &c.name) {
-                    Some(idx) => match &visible.column(idx).qualifier {
-                        Some(q) => ScalarExpr::qualified_column(q.clone(), c.name.clone()),
-                        None => inner,
-                    },
+            ScalarExpr::Column(c) if c.qualifier.is_none() => match visible.find(None, &c.name) {
+                Some(idx) => match &visible.column(idx).qualifier {
+                    Some(q) => ScalarExpr::qualified_column(q.clone(), c.name.clone()),
                     None => inner,
-                }
-            }
+                },
+                None => inner,
+            },
             _ => inner,
         })
     })
@@ -708,9 +696,9 @@ fn normalize_ref(
         ScalarExpr::Param(p) => {
             if locals.contains(p) {
                 ScalarExpr::column(p.clone())
-            } else if params.contains(p) {
-                expr
             } else {
+                // Formal parameters and unknown names both stay as parameters; an
+                // unknown name surfaces later as an unbound-parameter execution error.
                 expr
             }
         }
@@ -834,7 +822,10 @@ mod tests {
         assert_eq!(agg.name, "aux_agg_totalloss");
         assert_eq!(agg.state.len(), 1);
         assert_eq!(agg.state[0].0, "total_loss");
-        assert_eq!(agg.state[0].2, Value::Float(0.0).cast(DataType::Float).unwrap());
+        assert_eq!(
+            agg.state[0].2,
+            Value::Float(0.0).cast(DataType::Float).unwrap()
+        );
         assert_eq!(agg.params.len(), 1);
         assert_eq!(agg.params[0].name, "profit");
         let text = explain(&out.plan);

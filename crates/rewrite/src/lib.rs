@@ -10,22 +10,23 @@
 //! 3. [`rules`] — remove the Apply operators using the known rules K1–K6 of
 //!    Galindo-Legaria & Joshi and the paper's new rules R1–R9, plus the standard
 //!    correlated-scalar-aggregate decorrelation and cleanup rules
-//!    (predicate pushdown, projection merging).
-//! 4. [`rewriter`] — the driver: orchestrates the above, reports which rules fired, and —
-//!    exactly like the paper's tool — refuses to transform the query if some Apply
-//!    operator cannot be removed (the iterative plan then remains the executed
-//!    alternative).
-//! 5. [`sql_gen`] — renders the rewritten plan back to SQL text, for use as an external
+//!    (predicate pushdown, projection merging). The [`rules::FixpointEngine`] drives a
+//!    [`rules::RuleSet`] to fixpoint with per-rule fire counts, iteration counts and a
+//!    firing budget that turns a cyclic rule set into an error instead of a hang.
+//! 4. [`sql_gen`] — renders the rewritten plan back to SQL text, for use as an external
 //!    preprocessor in front of a database system.
+//!
+//! The *orchestration* of these steps — which pass runs when, with which budget, and the
+//! decision to keep the iterative plan when an Apply survives — lives in the
+//! `decorr-optimizer` crate's `PassManager`, exactly like the paper's placement of the
+//! rules inside a cost-based optimizer. This crate only provides the mechanics.
 
 pub mod algebraize;
 pub mod merge;
-pub mod rewriter;
 pub mod rules;
 pub mod sql_gen;
 
 pub use algebraize::{algebraize_udf, AlgebraizedUdf};
-pub use merge::merge_udf_calls;
-pub use rewriter::{rewrite_query, RewriteOptions, RewriteOutcome};
-pub use rules::{apply_rules_to_fixpoint, RuleSet};
+pub use merge::{merge_udf_calls, MergeOutcome};
+pub use rules::{FixpointEngine, FixpointOutcome, RuleSet};
 pub use sql_gen::plan_to_sql;

@@ -6,10 +6,11 @@
 //! rules (predicate pushdown, adjacent-projection merging) that bring the rewritten
 //! query into the flat form of the paper's Example 2.
 //!
-//! Every rule is a pure function `RelExpr → Option<RelExpr>`; [`apply_rules_to_fixpoint`]
-//! applies a [`RuleSet`] bottom-up until no rule fires.
+//! Every rule is a pure function `RelExpr → Option<RelExpr>`; the [`FixpointEngine`]
+//! applies a [`RuleSet`] bottom-up until no rule fires, with instrumentation and a
+//! firing budget.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use decorr_algebra::schema::infer_schema;
 use decorr_algebra::visit::{free_params, is_uncorrelated, substitute_params_in_plan};
@@ -17,7 +18,7 @@ use decorr_algebra::{
     AggFunc, ApplyKind, BinaryOp, ColumnRef, JoinKind, ProjectItem, RelExpr, ScalarExpr,
     SchemaProvider,
 };
-use decorr_common::{Schema, Value};
+use decorr_common::{Error, Result, Schema, Value};
 
 /// A named transformation rule.
 pub struct Rule {
@@ -37,23 +38,74 @@ impl RuleSet {
     pub fn default_pipeline() -> RuleSet {
         RuleSet {
             rules: vec![
-                Rule { name: "R9-apply-bind-removal", apply: rule_r9_bind_removal },
-                Rule { name: "R1-apply-single", apply: rule_r1_apply_single },
-                Rule { name: "R2-merge-projection-on-single", apply: rule_r2_merge_projection },
-                Rule { name: "R8-conditional-merge-to-case", apply: rule_r8_conditional_to_case },
-                Rule { name: "R4-apply-merge-removal", apply: rule_r4_apply_merge_removal },
-                Rule { name: "K3-pull-select-above-apply", apply: rule_k3_pull_select },
-                Rule { name: "K4-pull-project-above-apply", apply: rule_k4_pull_project },
-                Rule { name: "R5-pull-left-project-above-apply", apply: rule_r5_pull_left_project },
-                Rule { name: "push-apply-below-join", apply: rule_push_apply_below_join },
-                Rule { name: "decorrelate-scalar-aggregate", apply: rule_scalar_aggregate },
-                Rule { name: "K2-apply-select-to-join", apply: rule_k2_apply_select_to_join },
-                Rule { name: "K1-apply-to-join", apply: rule_k1_apply_to_join },
-                Rule { name: "merge-selects", apply: rule_merge_selects },
-                Rule { name: "push-select-into-join", apply: rule_push_select_into_join },
-                Rule { name: "push-select-below-project", apply: rule_push_select_below_project },
-                Rule { name: "merge-projections", apply: rule_r3_merge_projections },
-                Rule { name: "remove-trivial-select", apply: rule_remove_trivial_select },
+                Rule {
+                    name: "R9-apply-bind-removal",
+                    apply: rule_r9_bind_removal,
+                },
+                Rule {
+                    name: "R1-apply-single",
+                    apply: rule_r1_apply_single,
+                },
+                Rule {
+                    name: "R2-merge-projection-on-single",
+                    apply: rule_r2_merge_projection,
+                },
+                Rule {
+                    name: "R8-conditional-merge-to-case",
+                    apply: rule_r8_conditional_to_case,
+                },
+                Rule {
+                    name: "R4-apply-merge-removal",
+                    apply: rule_r4_apply_merge_removal,
+                },
+                Rule {
+                    name: "K3-pull-select-above-apply",
+                    apply: rule_k3_pull_select,
+                },
+                Rule {
+                    name: "K4-pull-project-above-apply",
+                    apply: rule_k4_pull_project,
+                },
+                Rule {
+                    name: "R5-pull-left-project-above-apply",
+                    apply: rule_r5_pull_left_project,
+                },
+                Rule {
+                    name: "push-apply-below-join",
+                    apply: rule_push_apply_below_join,
+                },
+                Rule {
+                    name: "decorrelate-scalar-aggregate",
+                    apply: rule_scalar_aggregate,
+                },
+                Rule {
+                    name: "K2-apply-select-to-join",
+                    apply: rule_k2_apply_select_to_join,
+                },
+                Rule {
+                    name: "K1-apply-to-join",
+                    apply: rule_k1_apply_to_join,
+                },
+                Rule {
+                    name: "merge-selects",
+                    apply: rule_merge_selects,
+                },
+                Rule {
+                    name: "push-select-into-join",
+                    apply: rule_push_select_into_join,
+                },
+                Rule {
+                    name: "push-select-below-project",
+                    apply: rule_push_select_below_project,
+                },
+                Rule {
+                    name: "merge-projections",
+                    apply: rule_r3_merge_projections,
+                },
+                Rule {
+                    name: "remove-trivial-select",
+                    apply: rule_remove_trivial_select,
+                },
             ],
         }
     }
@@ -67,10 +119,22 @@ impl RuleSet {
     pub fn cleanup_only() -> RuleSet {
         RuleSet {
             rules: vec![
-                Rule { name: "merge-selects", apply: rule_merge_selects },
-                Rule { name: "push-select-into-join", apply: rule_push_select_into_join },
-                Rule { name: "push-select-below-project", apply: rule_push_select_below_project },
-                Rule { name: "remove-trivial-select", apply: rule_remove_trivial_select },
+                Rule {
+                    name: "merge-selects",
+                    apply: rule_merge_selects,
+                },
+                Rule {
+                    name: "push-select-into-join",
+                    apply: rule_push_select_into_join,
+                },
+                Rule {
+                    name: "push-select-below-project",
+                    apply: rule_push_select_below_project,
+                },
+                Rule {
+                    name: "remove-trivial-select",
+                    apply: rule_remove_trivial_select,
+                },
             ],
         }
     }
@@ -80,50 +144,182 @@ impl RuleSet {
     pub fn paper_rules_only() -> RuleSet {
         RuleSet {
             rules: vec![
-                Rule { name: "R9-apply-bind-removal", apply: rule_r9_bind_removal },
-                Rule { name: "R1-apply-single", apply: rule_r1_apply_single },
-                Rule { name: "R2-merge-projection-on-single", apply: rule_r2_merge_projection },
-                Rule { name: "R8-conditional-merge-to-case", apply: rule_r8_conditional_to_case },
-                Rule { name: "R4-apply-merge-removal", apply: rule_r4_apply_merge_removal },
-                Rule { name: "K3-pull-select-above-apply", apply: rule_k3_pull_select },
-                Rule { name: "K4-pull-project-above-apply", apply: rule_k4_pull_project },
-                Rule { name: "K2-apply-select-to-join", apply: rule_k2_apply_select_to_join },
-                Rule { name: "K1-apply-to-join", apply: rule_k1_apply_to_join },
+                Rule {
+                    name: "R9-apply-bind-removal",
+                    apply: rule_r9_bind_removal,
+                },
+                Rule {
+                    name: "R1-apply-single",
+                    apply: rule_r1_apply_single,
+                },
+                Rule {
+                    name: "R2-merge-projection-on-single",
+                    apply: rule_r2_merge_projection,
+                },
+                Rule {
+                    name: "R8-conditional-merge-to-case",
+                    apply: rule_r8_conditional_to_case,
+                },
+                Rule {
+                    name: "R4-apply-merge-removal",
+                    apply: rule_r4_apply_merge_removal,
+                },
+                Rule {
+                    name: "K3-pull-select-above-apply",
+                    apply: rule_k3_pull_select,
+                },
+                Rule {
+                    name: "K4-pull-project-above-apply",
+                    apply: rule_k4_pull_project,
+                },
+                Rule {
+                    name: "K2-apply-select-to-join",
+                    apply: rule_k2_apply_select_to_join,
+                },
+                Rule {
+                    name: "K1-apply-to-join",
+                    apply: rule_k1_apply_to_join,
+                },
             ],
         }
     }
 }
 
-/// Applies the rule set bottom-up until a fixpoint (or `max_iterations` full passes) is
-/// reached. Returns the rewritten plan and the names of the rules that fired, in order.
-pub fn apply_rules_to_fixpoint(
-    plan: &RelExpr,
-    rules: &RuleSet,
-    provider: &dyn SchemaProvider,
-    max_iterations: usize,
-) -> (RelExpr, Vec<String>) {
-    let mut current = plan.clone();
-    let mut fired = vec![];
-    for _ in 0..max_iterations {
-        let mut changed = false;
-        let next = decorr_algebra::visit::transform_plan_up(&current, &mut |node| {
-            for rule in &rules.rules {
-                if let Some(rewritten) = (rule.apply)(&node, provider) {
-                    if rewritten != node {
-                        fired.push(rule.name.to_string());
-                        changed = true;
-                        return rewritten;
-                    }
-                }
-            }
-            node
-        });
-        current = next;
-        if !changed {
-            break;
+/// The result of driving a [`RuleSet`] to fixpoint with a [`FixpointEngine`]: the
+/// rewritten plan plus the instrumentation the optimizer's PassManager reports.
+#[derive(Debug, Clone)]
+pub struct FixpointOutcome {
+    /// The rewritten plan.
+    pub plan: RelExpr,
+    /// Names of the rules that fired, in application order.
+    pub fired: Vec<String>,
+    /// Fire count per rule name (sorted, for stable reporting).
+    pub fire_counts: BTreeMap<String, u64>,
+    /// Number of full bottom-up passes performed.
+    pub iterations: usize,
+    /// True if the last pass changed nothing (a genuine fixpoint, as opposed to the
+    /// iteration limit stopping a still-changing plan).
+    pub reached_fixpoint: bool,
+}
+
+impl FixpointOutcome {
+    /// How often the named rule fired.
+    pub fn fire_count(&self, rule: &str) -> u64 {
+        self.fire_counts.get(rule).copied().unwrap_or(0)
+    }
+
+    /// Total number of rule firings.
+    pub fn total_fires(&self) -> u64 {
+        self.fire_counts.values().sum()
+    }
+}
+
+/// Applies a [`RuleSet`] bottom-up until a fixpoint, with instrumentation and a budget
+/// guard.
+///
+/// Two limits bound the work:
+///
+/// * `max_iterations` — full bottom-up passes over the tree; hitting it stops rewriting
+///   and reports `reached_fixpoint == false` (matching the behaviour of the paper's
+///   tool, which simply gives up and keeps the iterative plan);
+/// * `max_rule_firings` — the *budget guard*: total rule firings across all passes;
+///   exceeding it is an **error**, because it means the rule set is cyclic (two rules
+///   undoing each other fire forever without the per-pass `changed` flag ever settling).
+#[derive(Debug, Clone)]
+pub struct FixpointEngine {
+    pub max_iterations: usize,
+    pub max_rule_firings: u64,
+}
+
+impl Default for FixpointEngine {
+    fn default() -> Self {
+        FixpointEngine {
+            max_iterations: 50,
+            max_rule_firings: 100_000,
         }
     }
-    (current, fired)
+}
+
+impl FixpointEngine {
+    pub fn new() -> FixpointEngine {
+        FixpointEngine::default()
+    }
+
+    /// An engine with the given iteration limit and the default firing budget.
+    pub fn with_max_iterations(max_iterations: usize) -> FixpointEngine {
+        FixpointEngine {
+            max_iterations,
+            ..FixpointEngine::default()
+        }
+    }
+
+    /// Replaces the total-rule-firing budget.
+    pub fn with_rule_budget(mut self, max_rule_firings: u64) -> FixpointEngine {
+        self.max_rule_firings = max_rule_firings;
+        self
+    }
+
+    /// Drives `rules` to fixpoint over `plan`. Errors when the firing budget is
+    /// exhausted (a cyclic rule set); otherwise terminates after at most
+    /// `max_iterations` passes.
+    pub fn run(
+        &self,
+        plan: &RelExpr,
+        rules: &RuleSet,
+        provider: &dyn SchemaProvider,
+    ) -> Result<FixpointOutcome> {
+        let mut current = plan.clone();
+        let mut fired: Vec<String> = vec![];
+        let mut fire_counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut iterations = 0;
+        let mut reached_fixpoint = false;
+        let mut budget_exhausted = false;
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let mut changed = false;
+            let next = decorr_algebra::visit::transform_plan_up(&current, &mut |node| {
+                if budget_exhausted {
+                    return node;
+                }
+                for rule in &rules.rules {
+                    if let Some(rewritten) = (rule.apply)(&node, provider) {
+                        if rewritten != node {
+                            fired.push(rule.name.to_string());
+                            *fire_counts.entry(rule.name.to_string()).or_insert(0) += 1;
+                            if fired.len() as u64 > self.max_rule_firings {
+                                budget_exhausted = true;
+                                return node;
+                            }
+                            changed = true;
+                            return rewritten;
+                        }
+                    }
+                }
+                node
+            });
+            if budget_exhausted {
+                return Err(Error::Rewrite(format!(
+                    "rewrite budget exhausted: more than {} rule firings without reaching \
+                     a fixpoint (iteration {iterations}); the rule set is cyclic. \
+                     Last rules fired: {:?}",
+                    self.max_rule_firings,
+                    &fired[fired.len().saturating_sub(6)..],
+                )));
+            }
+            current = next;
+            if !changed {
+                reached_fixpoint = true;
+                break;
+            }
+        }
+        Ok(FixpointOutcome {
+            plan: current,
+            fired,
+            fire_counts,
+            iterations,
+            reached_fixpoint,
+        })
+    }
 }
 
 fn schema_of(plan: &RelExpr, provider: &dyn SchemaProvider) -> Schema {
@@ -248,8 +444,7 @@ pub fn rule_r2_merge_projection(plan: &RelExpr, provider: &dyn SchemaProvider) -
     if assignments.is_empty() {
         for (i, item) in items.iter().enumerate() {
             let name = item.output_name(i);
-            if left_schema.find(None, &name).is_some() || matches!(left.as_ref(), RelExpr::Single)
-            {
+            if left_schema.find(None, &name).is_some() || matches!(left.as_ref(), RelExpr::Single) {
                 assigned.insert(name, item.expr.clone());
             }
         }
@@ -347,8 +542,14 @@ pub fn rule_r8_conditional_to_case(
         }
     }
     for name in extra_names {
-        let then_expr = then_items.get(&name).cloned().unwrap_or_else(ScalarExpr::null);
-        let else_expr = else_items.get(&name).cloned().unwrap_or_else(ScalarExpr::null);
+        let then_expr = then_items
+            .get(&name)
+            .cloned()
+            .unwrap_or_else(ScalarExpr::null);
+        let else_expr = else_items
+            .get(&name)
+            .cloned()
+            .unwrap_or_else(ScalarExpr::null);
         new_items.push(ProjectItem::aliased(
             ScalarExpr::Case {
                 branches: vec![(predicate.clone(), then_expr)],
@@ -605,10 +806,7 @@ fn project_over_select(plan: &RelExpr) -> Option<(ScalarExpr, Vec<ProjectItem>, 
 
 /// R5: `(Πd_A(r)) A⊗ e = Πd_{A, e.*}(r A⊗ e)` provided `e` does not use the computed
 /// attributes of the projection.
-pub fn rule_r5_pull_left_project(
-    plan: &RelExpr,
-    provider: &dyn SchemaProvider,
-) -> Option<RelExpr> {
+pub fn rule_r5_pull_left_project(plan: &RelExpr, provider: &dyn SchemaProvider) -> Option<RelExpr> {
     let RelExpr::Apply {
         left,
         right,
@@ -639,10 +837,7 @@ pub fn rule_r5_pull_left_project(
     if !computed.is_empty() {
         // Does the inner expression reference any computed attribute?
         let inner_free = decorr_algebra::visit::free_column_refs(right, provider);
-        if inner_free
-            .iter()
-            .any(|c| computed.iter().any(|name| c.name == *name))
-        {
+        if inner_free.iter().any(|c| computed.contains(&c.name)) {
             return None;
         }
     }
@@ -1148,8 +1343,7 @@ fn extract_correlated_equalities(
             inner_keys.extend(right_keys);
             outer_exprs.extend(right_outer);
             // The join condition itself may hold correlated conjuncts.
-            let combined_schema =
-                schema_of(left, provider).join(&schema_of(right, provider));
+            let combined_schema = schema_of(left, provider).join(&schema_of(right, provider));
             let mut residual = vec![];
             if let Some(c) = condition {
                 for conjunct in c.split_conjuncts() {
@@ -1389,7 +1583,6 @@ pub fn rule_push_select_into_join(
         }
     })
 }
-
 
 /// The output columns of a projection as (qualifier, name, expression) triples, using the
 /// same naming rules as schema inference (aliases strip the qualifier; plain column

@@ -59,7 +59,11 @@ fn render(plan: &RelExpr, counter: &mut usize) -> String {
                 let args = if matches!(a.func, AggFunc::CountStar) {
                     "*".to_string()
                 } else {
-                    a.args.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+                    a.args
+                        .iter()
+                        .map(render_expr)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 };
                 list.push(format!("{}({args}) as {}", a.func.name(), a.alias));
             }
@@ -68,7 +72,11 @@ fn render(plan: &RelExpr, counter: &mut usize) -> String {
             } else {
                 format!(
                     " group by {}",
-                    group_by.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+                    group_by
+                        .iter()
+                        .map(render_expr)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             };
             format!(
@@ -161,7 +169,9 @@ fn render_from(plan: &RelExpr, counter: &mut usize) -> String {
             )
         }
         RelExpr::Single => "(select 1) single_row".to_string(),
-        RelExpr::Apply { .. } | RelExpr::ApplyMerge { .. } | RelExpr::ConditionalApplyMerge { .. } => {
+        RelExpr::Apply { .. }
+        | RelExpr::ApplyMerge { .. }
+        | RelExpr::ConditionalApplyMerge { .. } => {
             format!(
                 "(/* correlated apply operator — not expressible in SQL */ {}) {}",
                 plan.name(),
@@ -192,7 +202,12 @@ fn render_expr(expr: &ScalarExpr) -> String {
             plan_to_sql(subquery)
         ),
         ScalarExpr::Binary { op, left, right } => {
-            format!("({} {} {})", render_expr(left), op.sql(), render_expr(right))
+            format!(
+                "({} {} {})",
+                render_expr(left),
+                op.sql(),
+                render_expr(right)
+            )
         }
         ScalarExpr::Case {
             branches,

@@ -98,7 +98,8 @@ mod tests {
         let mut c = Catalog::new();
         c.create_table("t", schema()).unwrap();
         assert!(c.has_table("T"));
-        c.insert_rows("t", vec![Row::new(vec![1.into(), "a".into()])]).unwrap();
+        c.insert_rows("t", vec![Row::new(vec![1.into(), "a".into()])])
+            .unwrap();
         assert_eq!(c.table("t").unwrap().row_count(), 1);
         assert_eq!(c.total_rows(), 1);
         assert_eq!(c.table_names(), vec!["t".to_string()]);
@@ -128,7 +129,11 @@ mod tests {
         )
         .unwrap();
         c.create_index("t", "k").unwrap();
-        let hits = c.table("t").unwrap().index_lookup("k", &Value::Int(1)).unwrap();
+        let hits = c
+            .table("t")
+            .unwrap()
+            .index_lookup("k", &Value::Int(1))
+            .unwrap();
         assert_eq!(hits.len(), 2);
     }
 }

@@ -61,7 +61,10 @@ impl Table {
             if !v.is_null() && !col.data_type.is_compatible_with(v.data_type()) {
                 return Err(Error::TypeError(format!(
                     "insert into '{}': column '{}' expects {}, got {} ({v})",
-                    self.name, col.name, col.data_type, v.data_type()
+                    self.name,
+                    col.name,
+                    col.data_type,
+                    v.data_type()
                 )));
             }
             if v.is_null() && !col.nullable {
@@ -156,8 +159,10 @@ mod tests {
     #[test]
     fn insert_and_scan() {
         let mut t = orders_table();
-        t.insert(Row::new(vec![1.into(), 10.into(), 100.5.into()])).unwrap();
-        t.insert(Row::new(vec![2.into(), 10.into(), 2.5.into()])).unwrap();
+        t.insert(Row::new(vec![1.into(), 10.into(), 100.5.into()]))
+            .unwrap();
+        t.insert(Row::new(vec![2.into(), 10.into(), 2.5.into()]))
+            .unwrap();
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.rows()[1].get(2), &Value::Float(2.5));
         assert_eq!(t.schema().column(0).qualifier.as_deref(), Some("orders"));
@@ -175,7 +180,9 @@ mod tests {
             .insert(Row::new(vec![Value::Null, 10.into(), 1.0.into()]))
             .is_err());
         // Int accepted where Float expected (numeric compatibility)
-        assert!(t.insert(Row::new(vec![1.into(), 10.into(), 7.into()])).is_ok());
+        assert!(t
+            .insert(Row::new(vec![1.into(), 10.into(), 7.into()]))
+            .is_ok());
     }
 
     #[test]
@@ -198,9 +205,11 @@ mod tests {
     #[test]
     fn index_created_after_inserts_sees_existing_rows() {
         let mut t = orders_table();
-        t.insert(Row::new(vec![1.into(), 7.into(), 1.0.into()])).unwrap();
+        t.insert(Row::new(vec![1.into(), 7.into(), 1.0.into()]))
+            .unwrap();
         t.create_index("custkey").unwrap();
-        t.insert(Row::new(vec![2.into(), 7.into(), 2.0.into()])).unwrap();
+        t.insert(Row::new(vec![2.into(), 7.into(), 2.0.into()]))
+            .unwrap();
         assert_eq!(t.index_lookup("custkey", &Value::Int(7)).unwrap().len(), 2);
         assert_eq!(t.indexed_columns(), vec!["custkey".to_string()]);
     }
@@ -209,7 +218,8 @@ mod tests {
     fn truncate_clears_rows_and_indexes() {
         let mut t = orders_table();
         t.create_index("custkey").unwrap();
-        t.insert(Row::new(vec![1.into(), 7.into(), 1.0.into()])).unwrap();
+        t.insert(Row::new(vec![1.into(), 7.into(), 1.0.into()]))
+            .unwrap();
         t.truncate();
         assert_eq!(t.row_count(), 0);
         assert_eq!(t.index_lookup("custkey", &Value::Int(7)).unwrap().len(), 0);

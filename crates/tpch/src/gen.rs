@@ -1,9 +1,8 @@
 //! Deterministic data generator for the TPC-H-flavoured schema used by the experiments.
 
+use decorr_common::SmallRng;
 use decorr_common::{Result, Row, Value};
 use decorr_engine::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Scale configuration. The defaults are laptop-scale versions of the paper's setup
 /// (TPC-H 10 GB: 1.5 M customers / 15 M orders); the *ratios* between tables are
@@ -73,7 +72,7 @@ pub fn generate(config: &TpchConfig) -> Result<Database> {
          create table categorydiscount(category int not null, frac_discount float);",
     )?;
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
 
     // customer / categorydiscount
     let customers: Vec<Row> = (1..=config.customers as i64)
@@ -81,9 +80,9 @@ pub fn generate(config: &TpchConfig) -> Result<Database> {
             Row::new(vec![
                 Value::Int(i),
                 Value::str(format!("Customer#{i:06}")),
-                Value::Int(rng.gen_range(0..25)),
-                Value::Float(rng.gen_range(-999.0..10_000.0)),
-                Value::Int(rng.gen_range(0..config.customer_categories as i64)),
+                Value::Int(rng.gen_range_i64(0, 25)),
+                Value::Float(rng.gen_range_f64(-999.0, 10_000.0)),
+                Value::Int(rng.gen_range_i64(0, config.customer_categories as i64)),
             ])
         })
         .collect();
@@ -102,7 +101,7 @@ pub fn generate(config: &TpchConfig) -> Result<Database> {
             orderkey += 1;
             // Skew total prices so that the service-level buckets of Example 1 are all
             // populated.
-            let totalprice = rng.gen_range(100.0..200_000.0) * (1.0 + (custkey % 17) as f64);
+            let totalprice = rng.gen_range_f64(100.0, 200_000.0) * (1.0 + (custkey % 17) as f64);
             orders.push(Row::new(vec![
                 Value::Int(orderkey),
                 Value::Int(custkey),
@@ -110,14 +109,14 @@ pub fn generate(config: &TpchConfig) -> Result<Database> {
                 Value::Int(1992 + (orderkey % 7)),
             ]));
             for _ in 0..config.lineitems_per_order {
-                let partkey = rng.gen_range(1..=config.parts.max(1) as i64);
+                let partkey = rng.gen_range_i64_inclusive(1, config.parts.max(1) as i64);
                 lineitems.push(Row::new(vec![
                     Value::Int(orderkey),
                     Value::Int(partkey),
-                    Value::Int(rng.gen_range(1..=100)),
-                    Value::Float(rng.gen_range(1.0..1_000.0)),
-                    Value::Int(rng.gen_range(1..=50)),
-                    Value::Float(rng.gen_range(0.0..0.1)),
+                    Value::Int(rng.gen_range_i64_inclusive(1, 100)),
+                    Value::Float(rng.gen_range_f64(1.0, 1_000.0)),
+                    Value::Int(rng.gen_range_i64_inclusive(1, 50)),
+                    Value::Float(rng.gen_range_f64(0.0, 0.1)),
                 ]));
             }
         }
@@ -144,8 +143,16 @@ pub fn generate(config: &TpchConfig) -> Result<Database> {
     let roots = (config.categories / 10).max(1) as i64;
     let categories: Vec<Row> = (0..config.categories as i64)
         .map(|c| {
-            let parent = if c < roots { Value::Null } else { Value::Int(c % roots) };
-            Row::new(vec![Value::Int(c), parent, Value::str(format!("Category#{c}"))])
+            let parent = if c < roots {
+                Value::Null
+            } else {
+                Value::Int(c % roots)
+            };
+            Row::new(vec![
+                Value::Int(c),
+                parent,
+                Value::str(format!("Category#{c}")),
+            ])
         })
         .collect();
     db.load_rows("categories", categories)?;
@@ -163,8 +170,8 @@ pub fn generate(config: &TpchConfig) -> Result<Database> {
         .map(|p| {
             Row::new(vec![
                 Value::Int(p),
-                Value::Int(rng.gen_range(0..config.categories as i64)),
-                Value::Float(rng.gen_range(1.0..2_000.0)),
+                Value::Int(rng.gen_range_i64(0, config.categories as i64)),
+                Value::Float(rng.gen_range_f64(1.0, 2_000.0)),
             ])
         })
         .collect();
@@ -210,10 +217,17 @@ mod tests {
         assert_eq!(db.catalog().table("lineitem").unwrap().row_count(), 400);
         assert_eq!(db.catalog().table("parts").unwrap().row_count(), 100);
         // Every order's custkey references an existing customer.
-        let orders = db.query("select count(*) as n from orders where custkey > 50").unwrap();
+        let orders = db
+            .query("select count(*) as n from orders where custkey > 50")
+            .unwrap();
         assert_eq!(orders.rows[0].get(0), &Value::Int(0));
         // Indexes exist on the foreign keys.
-        assert!(db.catalog().table("orders").unwrap().index_on("custkey").is_some());
+        assert!(db
+            .catalog()
+            .table("orders")
+            .unwrap()
+            .index_on("custkey")
+            .is_some());
     }
 
     #[test]

@@ -135,7 +135,10 @@ mod tests {
             assert!(rewritten.exec_stats.udf_invocations == 0);
             assert!(iterative.exec_stats.udf_invocations as usize >= 1);
         }
-        assert!(!iterative.rows.is_empty(), "workload query returned no rows");
+        assert!(
+            !iterative.rows.is_empty(),
+            "workload query returned no rows"
+        );
     }
 
     #[test]

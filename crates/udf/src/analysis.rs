@@ -180,8 +180,8 @@ impl DataDependenceGraph {
         let writes: Vec<HashSet<String>> = stmts.iter().map(statement_writes).collect();
         let mut edges = vec![vec![]; n];
         for i in 0..n {
-            for j in 0..n {
-                if writes[i].iter().any(|v| reads[j].contains(v)) && !edges[i].contains(&j) {
+            for (j, read) in reads.iter().enumerate() {
+                if writes[i].iter().any(|v| read.contains(v)) && !edges[i].contains(&j) {
                     edges[i].push(j);
                 }
             }

@@ -97,7 +97,10 @@ impl Statement {
                 then_branch,
                 else_branch,
                 ..
-            } => then_branch.iter().chain(else_branch).any(|s| s.contains_loop()),
+            } => then_branch
+                .iter()
+                .chain(else_branch)
+                .any(|s| s.contains_loop()),
             _ => false,
         }
     }
@@ -118,7 +121,10 @@ impl Statement {
                 else_branch,
             } => {
                 expr_has_query(condition)
-                    || then_branch.iter().chain(else_branch).any(|s| s.contains_query())
+                    || then_branch
+                        .iter()
+                        .chain(else_branch)
+                        .any(|s| s.contains_query())
             }
             Statement::While { condition, body } => {
                 expr_has_query(condition) || body.iter().any(|s| s.contains_query())
@@ -220,10 +226,8 @@ impl UdfDefinition {
                 match s {
                     Statement::Declare {
                         name, data_type, ..
-                    } => {
-                        if !out.iter().any(|(n, _)| n == name) {
-                            out.push((name.clone(), *data_type));
-                        }
+                    } if !out.iter().any(|(n, _)| n == name) => {
+                        out.push((name.clone(), *data_type));
                     }
                     Statement::If {
                         then_branch,

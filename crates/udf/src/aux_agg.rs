@@ -109,7 +109,12 @@ pub fn synthesize_aux_aggregate(
     arg_names.sort();
     let params: Vec<UdfParameter> = arg_names
         .iter()
-        .map(|n| UdfParameter::new(n.clone(), lookup_type(var_types, n).unwrap_or(DataType::Float)))
+        .map(|n| {
+            UdfParameter::new(
+                n.clone(),
+                lookup_type(var_types, n).unwrap_or(DataType::Float),
+            )
+        })
         .collect();
     // The result is the live-out variable, which must be part of the state.
     if !written.contains(&live_out.to_string()) {
@@ -179,7 +184,10 @@ mod tests {
         .unwrap();
         let agg = &result.definition;
         assert_eq!(agg.name, "aux_agg");
-        assert_eq!(agg.state, vec![("total_loss".into(), DataType::Int, Value::Int(0))]);
+        assert_eq!(
+            agg.state,
+            vec![("total_loss".into(), DataType::Int, Value::Int(0))]
+        );
         assert_eq!(result.arg_names, vec!["profit".to_string()]);
         assert_eq!(agg.params.len(), 1);
         assert_eq!(agg.return_type, DataType::Int);

@@ -95,11 +95,7 @@ impl ControlFlowGraph {
                 then_branch,
                 else_branch,
             } => {
-                let branch = self.add_node(
-                    CfgNodeKind::Branch,
-                    format!("if ({condition})"),
-                    block,
-                );
+                let branch = self.add_node(CfgNodeKind::Branch, format!("if ({condition})"), block);
                 let mut exits = vec![];
                 for arm in [then_branch, else_branch] {
                     if arm.is_empty() {
@@ -132,7 +128,9 @@ impl ControlFlowGraph {
                 }
                 (branch, exits)
             }
-            Statement::CursorLoop { fetch_vars, body, .. } => {
+            Statement::CursorLoop {
+                fetch_vars, body, ..
+            } => {
                 let head = self.add_node(
                     CfgNodeKind::LoopHead,
                     format!("fetch into ({})", fetch_vars.join(", ")),

@@ -51,7 +51,11 @@ fn main() -> Result<()> {
     }
     println!(
         "\nexecuted {} plan; UDF invocations performed: {}",
-        if result.used_decorrelated_plan { "the decorrelated" } else { "the iterative" },
+        if result.used_decorrelated_plan {
+            "the decorrelated"
+        } else {
+            "the iterative"
+        },
         result.exec_stats.udf_invocations
     );
     Ok(())

@@ -22,7 +22,10 @@ fn main() -> Result<()> {
         println!("-- original query:\n--   {sql}\n");
         let report = db.rewrite_sql(&sql)?;
         if report.decorrelated {
-            println!("-- rewritten (decorrelated) query:\n{}\n", report.rewritten_sql);
+            println!(
+                "-- rewritten (decorrelated) query:\n{}\n",
+                report.rewritten_sql
+            );
             if !report.auxiliary_functions.is_empty() {
                 println!("-- auxiliary aggregate definitions:");
                 for aux in &report.auxiliary_functions {

@@ -82,8 +82,7 @@ fn decorrelated_plan_scales_better_in_work_performed() {
         .unwrap();
     assert_eq!(small_d.exec_stats.udf_invocations, 0);
     assert_eq!(
-        small_d.exec_stats.rows_scanned,
-        large_d.exec_stats.rows_scanned,
+        small_d.exec_stats.rows_scanned, large_d.exec_stats.rows_scanned,
         "the decorrelated plan scans the same data regardless of the invocation count"
     );
 }

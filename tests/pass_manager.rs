@@ -1,0 +1,269 @@
+//! Tests of the optimizer's instrumented PassManager: per-rule fire counts, fixpoint
+//! termination, per-pass timings in `EXPLAIN`/`rewrite_report`, and the rule-firing
+//! budget guard that turns a cyclic rule set into an error instead of a hang.
+
+use udf_decorrelation::algebra::{RelExpr, SchemaProvider};
+use udf_decorrelation::common::{Result, SmallRng};
+use udf_decorrelation::engine::QueryOptions;
+use udf_decorrelation::optimizer::{
+    OptimizerPass, PassContext, PassEffect, PassManager, PassManagerOptions,
+};
+use udf_decorrelation::rewrite::rules::{Rule, RuleSet};
+use udf_decorrelation::tpch::{experiment2, experiment3, generate, TpchConfig};
+
+// ----------------------------------------------------------- instrumentation coverage
+
+/// The Example-2-style rewrite (service_level over TPC-H customers): the rewrite report
+/// must attribute the paper's rules to the apply-removal pass with exact fire counts,
+/// and the fixpoint must terminate by convergence, not by the iteration limit.
+#[test]
+fn rule_fire_counts_on_service_level_workload() {
+    let workload = experiment2();
+    let mut db = generate(&TpchConfig::tiny()).unwrap();
+    workload.install(&mut db).unwrap();
+    let result = db
+        .query_with(&(workload.query)(20), &QueryOptions::decorrelated())
+        .unwrap();
+    let report = &result.rewrite_report;
+
+    let removal = report
+        .pass("apply-removal")
+        .expect("apply-removal pass traced");
+    assert_eq!(
+        removal.reached_fixpoint,
+        Some(true),
+        "fixpoint did not converge"
+    );
+    assert!(
+        removal.fixpoint_iterations.unwrap() >= 2,
+        "a real rewrite takes multiple fixpoint passes"
+    );
+    // The service-level rewrite has one UDF invocation (one Apply bind), one scalar
+    // aggregate, and a nested if/else-if/else — i.e. two conditional merges.
+    for (rule, expected) in [
+        ("R9-apply-bind-removal", 1),
+        ("decorrelate-scalar-aggregate", 1),
+        ("R8-conditional-merge-to-case", 2),
+    ] {
+        assert_eq!(
+            removal.rule_fires.get(rule).copied().unwrap_or(0),
+            expected,
+            "expected {rule} to fire exactly {expected}×; fired: {:?}",
+            removal.rule_fires
+        );
+    }
+    // Fire counts aggregate across passes and match the flat applied_rules list.
+    let total: u64 = report.rule_fire_counts().values().sum();
+    assert_eq!(total, result.applied_rules.len() as u64);
+}
+
+/// The Example-5-style cursor-loop rewrite (experiment 3) goes through the
+/// auxiliary-aggregate path and still terminates with full instrumentation.
+#[test]
+fn cursor_loop_rewrite_terminates_with_instrumentation() {
+    let workload = experiment3();
+    let mut db = generate(&TpchConfig::tiny()).unwrap();
+    workload.install(&mut db).unwrap();
+    let options = QueryOptions {
+        // Snapshots are off on the hot path; opt in to inspect them.
+        capture_snapshots: true,
+        ..QueryOptions::decorrelated()
+    };
+    let result = db.query_with(&(workload.query)(8), &options).unwrap();
+    let report = &result.rewrite_report;
+
+    let merge = report.pass("algebraize-merge").expect("merge pass traced");
+    assert!(
+        merge
+            .notes
+            .iter()
+            .any(|n| n.contains("auxiliary aggregate")),
+        "cursor loop must synthesise an auxiliary aggregate; notes: {:?}",
+        merge.notes
+    );
+    let removal = report.pass("apply-removal").unwrap();
+    assert_eq!(removal.reached_fixpoint, Some(true));
+    assert!(removal.total_rule_fires() >= 3, "{:?}", removal.rule_fires);
+    assert!(
+        removal
+            .rule_fires
+            .contains_key("decorrelate-scalar-aggregate"),
+        "{:?}",
+        removal.rule_fires
+    );
+    // Snapshots bracket the pass: the Apply-laden plan in, the flat plan out.
+    let before = removal.plan_before.as_deref().unwrap();
+    let after = removal.plan_after.as_deref().unwrap();
+    assert!(before.contains("Apply"), "before:\n{before}");
+    assert!(!after.contains("Apply"), "after:\n{after}");
+}
+
+/// Acceptance: `EXPLAIN` and `rewrite_report` expose per-rule fire counts and per-pass
+/// timings for a decorrelated TPC-H workload query.
+#[test]
+fn explain_shows_per_pass_timings_and_fire_counts() {
+    let workload = experiment2();
+    let mut db = generate(&TpchConfig::tiny()).unwrap();
+    workload.install(&mut db).unwrap();
+    let sql = (workload.query)(20);
+
+    let explain = db.explain(&sql).unwrap();
+    assert!(explain.contains("== optimizer passes =="), "{explain}");
+    for pass in [
+        "normalize",
+        "algebraize-merge",
+        "apply-removal",
+        "cleanup",
+        "strategy-choice",
+    ] {
+        assert!(explain.contains(pass), "missing pass {pass}:\n{explain}");
+    }
+    assert!(explain.contains(" ms "), "no timings rendered:\n{explain}");
+    assert!(
+        explain.contains("rule fire counts:") && explain.contains("R9-apply-bind-removal ×1"),
+        "no per-rule fire counts rendered:\n{explain}"
+    );
+
+    // The same trace rides on every query result.
+    let result = db.query(&sql).unwrap();
+    assert_eq!(result.rewrite_report.passes.len(), 5);
+    assert!(result.rewrite_report.total_rule_fires() > 0);
+}
+
+/// The iterative strategy runs the normalisation pipeline only — the trace proves no
+/// rewrite work happened.
+#[test]
+fn iterative_strategy_traces_normalization_only() {
+    let workload = experiment2();
+    let mut db = generate(&TpchConfig::tiny()).unwrap();
+    workload.install(&mut db).unwrap();
+    let result = db
+        .query_with(&(workload.query)(10), &QueryOptions::iterative())
+        .unwrap();
+    let names: Vec<&str> = result
+        .rewrite_report
+        .passes
+        .iter()
+        .map(|p| p.name.as_str())
+        .collect();
+    assert_eq!(names, vec!["normalize"]);
+    assert!(result.rewrite_report.pass("apply-removal").is_none());
+}
+
+// ------------------------------------------------------------------ budget guard
+
+/// A deliberately cyclic rule: endlessly swaps the inputs of a cross join, so every
+/// bottom-up pass changes the plan and the fixpoint never converges.
+fn cyclic_swap(plan: &RelExpr, _provider: &dyn SchemaProvider) -> Option<RelExpr> {
+    let RelExpr::Join {
+        left,
+        right,
+        kind,
+        condition: None,
+    } = plan
+    else {
+        return None;
+    };
+    if left == right {
+        return None;
+    }
+    Some(RelExpr::Join {
+        left: right.clone(),
+        right: left.clone(),
+        kind: *kind,
+        condition: None,
+    })
+}
+
+fn cyclic_ruleset() -> RuleSet {
+    RuleSet {
+        rules: vec![Rule {
+            name: "cyclic-swap",
+            apply: cyclic_swap,
+        }],
+    }
+}
+
+/// A pass driving the cyclic rule set through the context's budgeted fixpoint engine —
+/// exactly how the real passes consume their budget.
+struct CyclicPass;
+
+impl OptimizerPass for CyclicPass {
+    fn name(&self) -> &'static str {
+        "cyclic-for-test"
+    }
+
+    fn run(&self, plan: &RelExpr, ctx: &mut PassContext) -> Result<PassEffect> {
+        let outcome = ctx
+            .fixpoint_engine()
+            .run(plan, &cyclic_ruleset(), ctx.provider)?;
+        ctx.charge_rule_firings(outcome.total_fires());
+        Ok(PassEffect::unchanged(outcome.plan))
+    }
+}
+
+/// Property: whatever the (deterministic pseudo-random) plan shape and budget, the
+/// PassManager aborts a cyclic rule set with a budget error instead of looping forever.
+#[test]
+fn budget_guard_fires_on_cyclic_ruleset() {
+    let registry = udf_decorrelation::udf::FunctionRegistry::new();
+    let provider = udf_decorrelation::algebra::EmptyProvider;
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0xB0D6E7 + case);
+        // A left-deep tree of cross joins over distinct scans: every join node keeps
+        // swapping, so firings grow without bound until the budget stops them.
+        let joins = rng.gen_range_usize(1, 6);
+        let mut plan = RelExpr::scan("t0");
+        for i in 1..=joins {
+            plan = RelExpr::Join {
+                left: Box::new(plan),
+                right: Box::new(RelExpr::scan(format!("t{i}"))),
+                kind: udf_decorrelation::algebra::JoinKind::Cross,
+                condition: None,
+            };
+        }
+        let budget = rng.gen_range_i64(10, 500) as u64;
+        let manager = PassManager::new()
+            .with_pass(CyclicPass)
+            .with_options(PassManagerOptions {
+                // Without the firing budget this would spin for a very long time.
+                max_fixpoint_iterations: usize::MAX,
+                rule_fire_budget: budget,
+                ..PassManagerOptions::default()
+            });
+        let err = manager
+            .optimize(&plan, &registry, &provider, None)
+            .expect_err("cyclic rule set must exhaust the budget");
+        let message = err.to_string();
+        assert!(
+            message.contains("budget exhausted") && message.contains("cyclic-for-test"),
+            "unexpected error for case {case} (budget {budget}): {message}"
+        );
+    }
+}
+
+/// The same guard protects the real pipeline: a healthy rule set stays far below the
+/// default budget, and an artificially tiny budget trips on a real workload rewrite.
+#[test]
+fn real_pipeline_respects_budget() {
+    let workload = experiment2();
+    let mut db = generate(&TpchConfig::tiny()).unwrap();
+    workload.install(&mut db).unwrap();
+    let sql = (workload.query)(10);
+
+    // Healthy: the full rewrite fits comfortably in the default budget.
+    let ok = db.query_with(&sql, &QueryOptions::decorrelated()).unwrap();
+    assert!(ok.rewrite_report.total_rule_fires() < 1_000);
+
+    // Pathological budget: the pipeline errors out instead of silently degrading.
+    let plan = udf_decorrelation::parser::parse_and_plan(&sql).unwrap();
+    let provider = udf_decorrelation::exec::CatalogProvider::new(db.catalog(), db.registry());
+    let tiny = PassManager::rewrite_pipeline().with_options(PassManagerOptions {
+        rule_fire_budget: 2,
+        ..PassManagerOptions::default()
+    });
+    let err = tiny
+        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .expect_err("a 2-firing budget cannot fit the service-level rewrite");
+    assert!(err.to_string().contains("budget exhausted"), "{err}");
+}
