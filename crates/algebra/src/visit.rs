@@ -36,7 +36,7 @@ pub fn transform_plan_up(plan: &RelExpr, f: &mut dyn FnMut(RelExpr) -> RelExpr) 
 }
 
 /// Applies `f` bottom-up to every node of a scalar expression. Does not descend into
-/// subquery plans (use [`map_plan_exprs`] / [`transform_expr_with_subqueries`] for that).
+/// subquery plans (use [`map_plan_exprs`] / `transform_expr_with_subqueries` for that).
 pub fn transform_expr_up(
     expr: &ScalarExpr,
     f: &mut dyn FnMut(ScalarExpr) -> ScalarExpr,

@@ -1,0 +1,161 @@
+//! Optimizer latency bench: cold vs warm (plan-cached) optimize time across the three
+//! paper workloads, plus plan-cache behaviour under capacity pressure. Emits the
+//! machine-readable `BENCH_optimizer.json` that CI's `bench-smoke` job uploads and
+//! gates on.
+//!
+//! ```text
+//! cargo run --release -p decorr-bench --bin optimizer_bench -- \
+//!     [--smoke] [--out BENCH_optimizer.json] [--check bench/BENCH_optimizer_baseline.json]
+//! ```
+//!
+//! * `--smoke`  — reduced data sizes and repetition counts for CI;
+//! * `--out`    — where to write the JSON document (default `BENCH_optimizer.json`);
+//! * `--check`  — compare against a committed baseline JSON and exit non-zero when the
+//!   cold optimize time regressed more than the gate factor (default 2.0, override
+//!   with `BENCH_GATE_FACTOR`) or the warm-cache speedup fell below 10x.
+
+use std::process::ExitCode;
+
+use decorr_bench::json::Json;
+use decorr_bench::{
+    check_against_baseline, measure_optimizer_latency, optimizer_bench_json, run_cache_pressure,
+    GateConfig, OptimizerLatency,
+};
+use decorr_tpch::{experiment1, experiment2, experiment3};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_optimizer.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().ok_or("--out requires a path")?,
+            "--check" => args.check = Some(it.next().ok_or("--check requires a path")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("optimizer_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // (key, workload, customers, invocations): experiment2 is the acceptance-criterion
+    // shape (Example 2 / service_level); 1 and 3 cover the straight-line and
+    // cursor-loop pipelines.
+    let (scale, invocations, runs) = if args.smoke {
+        (200, 100, 5)
+    } else {
+        (2_000, 1_000, 20)
+    };
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!("optimizer bench ({mode}): cold vs warm optimize latency\n");
+    let latencies: Vec<OptimizerLatency> = [
+        ("experiment1", experiment1()),
+        ("experiment2", experiment2()),
+        ("experiment3", experiment3()),
+    ]
+    .iter()
+    .map(|(key, workload)| {
+        // Experiment 3 iterates categories, which scale independently of customers.
+        let n = if *key == "experiment3" {
+            invocations.min(50)
+        } else {
+            invocations
+        };
+        let latency = measure_optimizer_latency(key, workload, scale, n, runs);
+        println!(
+            "{:<12} cold {:>9.3} ms · warm {:>9.3} ms · speedup {:>8.1}x (min of {} runs)",
+            latency.key,
+            latency.cold_optimize.as_secs_f64() * 1e3,
+            latency.warm_optimize.as_secs_f64() * 1e3,
+            latency.warm_speedup(),
+            latency.runs,
+        );
+        latency
+    })
+    .collect();
+
+    let (capacity, distinct, rounds) = if args.smoke { (4, 8, 2) } else { (8, 24, 3) };
+    let pressure = run_cache_pressure(&experiment2(), scale.min(400), capacity, distinct, rounds);
+    println!(
+        "\ncapacity pressure: {} distinct shapes through {} slots × {} rounds → \
+         hits={} misses={} evictions={} hot-hits={} (hit rate {:.0}%)",
+        pressure.distinct_queries,
+        pressure.capacity,
+        pressure.rounds,
+        pressure.stats.hits,
+        pressure.stats.misses,
+        pressure.stats.evictions,
+        pressure.hot_hits,
+        pressure.stats.hit_rate() * 100.0,
+    );
+
+    let doc = optimizer_bench_json(mode, &latencies, &pressure);
+    if let Err(e) = std::fs::write(&args.out, doc.render()) {
+        eprintln!("optimizer_bench: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("\nwrote {}", args.out);
+
+    if let Some(baseline_path) = &args.check {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("optimizer_bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Json::parse(&baseline_text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("optimizer_bench: malformed baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut config = GateConfig::default();
+        if let Ok(factor) = std::env::var("BENCH_GATE_FACTOR") {
+            match factor.parse::<f64>() {
+                Ok(f) if f > 0.0 => config.cold_regression_factor = f,
+                _ => {
+                    eprintln!("optimizer_bench: invalid BENCH_GATE_FACTOR '{factor}'");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        println!(
+            "\nperf gate vs {baseline_path} (factor {:.1}x, min warm speedup {:.0}x):",
+            config.cold_regression_factor, config.min_warm_speedup
+        );
+        match check_against_baseline(&doc, &baseline, &config) {
+            Ok(report) => {
+                for line in report {
+                    println!("  {line}");
+                }
+                println!("  perf gate passed");
+            }
+            Err(failures) => {
+                for line in failures {
+                    eprintln!("  GATE FAILURE: {line}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,7 +9,12 @@
 use std::time::{Duration, Instant};
 
 use decorr_engine::{Database, QueryOptions};
+use decorr_optimizer::PlanCacheStats;
 use decorr_tpch::{generate, TpchConfig, Workload};
+
+pub mod json;
+
+use json::Json;
 
 /// One measured point of an experiment sweep.
 #[derive(Debug, Clone)]
@@ -114,9 +119,12 @@ pub fn format_sweep(name: &str, points: &[SweepPoint]) -> String {
 }
 
 /// Renders the optimizer's per-pass breakdown (timings, rule fire counts, fixpoint
-/// iterations) for one decorrelated execution of the workload query.
+/// iterations) for one decorrelated execution of the workload query. Clears the plan
+/// cache first: the breakdown must show the real pipeline, not a single cache-hit row
+/// left over from an earlier sweep of the same query shape.
 pub fn pass_timing_table(db: &Database, workload: &Workload, invocations: usize) -> String {
     let sql = (workload.query)(invocations);
+    db.plan_cache().clear();
     let result = db
         .query_with(&sql, &QueryOptions::decorrelated())
         .expect("decorrelated execution");
@@ -126,6 +134,323 @@ pub fn pass_timing_table(db: &Database, workload: &Workload, invocations: usize)
         invocations,
         result.rewrite_report.render()
     )
+}
+
+// ------------------------------------------------------------- optimizer latency bench
+
+/// Cold vs warm optimizer latency for one workload query shape.
+///
+/// *Cold* is the per-pass pipeline time of the first execution (empty plan cache);
+/// *warm* is the best observed optimize time across repeated executions of the same
+/// query, which on a cache hit collapses to the cache-lookup cost recorded in the
+/// synthetic `plan-cache` trace.
+#[derive(Debug, Clone)]
+pub struct OptimizerLatency {
+    /// Stable key used to match baseline entries across PRs ("experiment2").
+    pub key: String,
+    /// Human-readable workload name.
+    pub workload: String,
+    pub customers: usize,
+    pub invocations: usize,
+    pub cold_optimize: Duration,
+    pub warm_optimize: Duration,
+    /// Repetitions each of the cold and warm points are minima over.
+    pub runs: usize,
+    /// Plan-cache counter snapshot after the warm runs.
+    pub cache: PlanCacheStats,
+}
+
+impl OptimizerLatency {
+    /// How many times cheaper the warm optimize path is than the cold one.
+    pub fn warm_speedup(&self) -> f64 {
+        self.cold_optimize.as_secs_f64() / self.warm_optimize.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measures cold vs warm optimize latency for `workload` at the given scale. Both
+/// points are minima over `runs` repetitions — single samples on shared CI runners are
+/// too noisy for an absolute-ms gate. Cold runs clear the plan cache first (every one
+/// must miss); warm runs repeat the identical query (every one must hit).
+pub fn measure_optimizer_latency(
+    key: &str,
+    workload: &Workload,
+    customers: usize,
+    invocations: usize,
+    runs: usize,
+) -> OptimizerLatency {
+    let db = setup(workload, customers);
+    let sql = (workload.query)(invocations);
+    let mut cold = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        db.plan_cache().clear();
+        let result = db.query(&sql).expect("cold execution");
+        assert!(
+            !result.rewrite_report.cache.expect("cache attached").hit,
+            "execution after a cache clear must be a cache miss"
+        );
+        cold = cold.min(result.rewrite_report.total_duration());
+    }
+    let mut warm = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let result = db.query(&sql).expect("warm execution");
+        assert!(
+            result.rewrite_report.cache.expect("cache attached").hit,
+            "repeated execution must be a cache hit"
+        );
+        warm = warm.min(result.rewrite_report.total_duration());
+    }
+    OptimizerLatency {
+        key: key.to_string(),
+        workload: workload.name.to_string(),
+        customers,
+        invocations,
+        cold_optimize: cold,
+        warm_optimize: warm,
+        runs: runs.max(1),
+        cache: db.plan_cache_stats(),
+    }
+}
+
+/// Plan-cache behaviour under capacity pressure: more distinct query shapes than cache
+/// slots, cycled for several rounds, plus one hot query re-issued between every other
+/// query (the shape an LRU must keep resident).
+#[derive(Debug, Clone)]
+pub struct CachePressure {
+    pub capacity: usize,
+    pub distinct_queries: usize,
+    pub rounds: usize,
+    /// Hits observed for the hot query alone (expected ≈ all of its re-issues).
+    pub hot_hits: u64,
+    pub stats: PlanCacheStats,
+}
+
+/// Runs the capacity-pressure sweep: `distinct_queries` different invocation-count
+/// variants of the workload query against a cache of `capacity` slots, `rounds` times,
+/// interleaved with a hot query after every cold one.
+pub fn run_cache_pressure(
+    workload: &Workload,
+    customers: usize,
+    capacity: usize,
+    distinct_queries: usize,
+    rounds: usize,
+) -> CachePressure {
+    let mut db = setup(workload, customers);
+    db.set_plan_cache_capacity(capacity);
+    let hot_sql = (workload.query)(1);
+    db.query(&hot_sql).expect("hot query warmup");
+    let mut hot_hits = 0u64;
+    for _ in 0..rounds {
+        for i in 0..distinct_queries {
+            // +2 so no variant collides with the hot query's invocation count.
+            let sql = (workload.query)(i + 2);
+            db.query(&sql).expect("pressure query");
+            let hot = db.query(&hot_sql).expect("hot query");
+            if hot.rewrite_report.cache.expect("cache attached").hit {
+                hot_hits += 1;
+            }
+        }
+    }
+    let stats = db.plan_cache_stats();
+    assert!(
+        stats.entries <= capacity,
+        "cache exceeded its capacity: {} > {}",
+        stats.entries,
+        capacity
+    );
+    CachePressure {
+        capacity,
+        distinct_queries,
+        rounds,
+        hot_hits,
+        stats,
+    }
+}
+
+/// Assembles the machine-readable `BENCH_optimizer.json` document.
+pub fn optimizer_bench_json(
+    mode: &str,
+    latencies: &[OptimizerLatency],
+    pressure: &CachePressure,
+) -> Json {
+    let workloads = latencies
+        .iter()
+        .map(|l| {
+            Json::obj(vec![
+                ("key", Json::str(&l.key)),
+                ("workload", Json::str(&l.workload)),
+                ("customers", Json::num(l.customers as f64)),
+                ("invocations", Json::num(l.invocations as f64)),
+                (
+                    "cold_optimize_ms",
+                    Json::num(l.cold_optimize.as_secs_f64() * 1e3),
+                ),
+                (
+                    "warm_optimize_ms",
+                    Json::num(l.warm_optimize.as_secs_f64() * 1e3),
+                ),
+                ("runs", Json::num(l.runs as f64)),
+                ("warm_speedup", Json::num(l.warm_speedup())),
+                ("cache_hits", Json::num(l.cache.hits as f64)),
+                ("cache_misses", Json::num(l.cache.misses as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema_version", Json::num(1.0)),
+        ("mode", Json::str(mode)),
+        ("workloads", Json::Arr(workloads)),
+        (
+            "capacity_pressure",
+            Json::obj(vec![
+                ("capacity", Json::num(pressure.capacity as f64)),
+                (
+                    "distinct_queries",
+                    Json::num(pressure.distinct_queries as f64),
+                ),
+                ("rounds", Json::num(pressure.rounds as f64)),
+                ("hot_hits", Json::num(pressure.hot_hits as f64)),
+                ("hits", Json::num(pressure.stats.hits as f64)),
+                ("misses", Json::num(pressure.stats.misses as f64)),
+                ("evictions", Json::num(pressure.stats.evictions as f64)),
+                ("entries", Json::num(pressure.stats.entries as f64)),
+                ("hit_rate", Json::num(pressure.stats.hit_rate())),
+            ]),
+        ),
+    ])
+}
+
+// ----------------------------------------------------------------------- CI perf gate
+
+/// Thresholds for [`check_against_baseline`].
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Fail when cold optimize time exceeds `baseline × factor` …
+    pub cold_regression_factor: f64,
+    /// … and by more than this absolute noise floor. Keep it well below the committed
+    /// baselines (sub-millisecond): a floor larger than the baseline would quietly
+    /// loosen the advertised factor gate to `(baseline + floor) / baseline`.
+    pub min_delta_ms: f64,
+    /// Fail when the warm/cold speedup drops below this (machine-independent: the
+    /// cache must keep the warm path an order of magnitude cheaper).
+    pub min_warm_speedup: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            cold_regression_factor: 2.0,
+            // Below every committed baseline (0.26-0.81 ms), so the 2x factor stays
+            // the binding constraint and the floor only absorbs timer jitter.
+            min_delta_ms: 0.25,
+            min_warm_speedup: 10.0,
+        }
+    }
+}
+
+/// Compares a fresh `BENCH_optimizer.json` document against the committed baseline.
+/// Returns human-readable report lines on success, or the list of gate violations.
+pub fn check_against_baseline(
+    current: &Json,
+    baseline: &Json,
+    config: &GateConfig,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut report = vec![];
+    let mut failures = vec![];
+    let empty: &[Json] = &[];
+    let baseline_workloads = baseline
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .unwrap_or(empty);
+    let current_workloads = current
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .unwrap_or(empty);
+    if current_workloads.is_empty() {
+        failures.push("current bench JSON contains no workloads".into());
+    }
+    // Smoke and full runs use different scales; comparing across modes is meaningless
+    // (spurious failures one way, a trivially-passing gate the other).
+    let current_mode = current.get("mode").and_then(Json::as_str);
+    let baseline_mode = baseline.get("mode").and_then(Json::as_str);
+    if let (Some(current_mode), Some(baseline_mode)) = (current_mode, baseline_mode) {
+        if current_mode != baseline_mode {
+            failures.push(format!(
+                "bench mode mismatch: current run is '{current_mode}' but the baseline \
+                 is '{baseline_mode}' — regenerate the baseline in the same mode"
+            ));
+        }
+    }
+    // A workload that exists in the baseline but vanished from the fresh run must not
+    // silently escape the gate (e.g. a bench refactor dropping or renaming a key).
+    for baseline_workload in baseline_workloads {
+        let key = baseline_workload
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        if !current_workloads
+            .iter()
+            .any(|c| c.get("key").and_then(Json::as_str) == Some(key))
+        {
+            failures.push(format!(
+                "{key}: present in the baseline but missing from the current bench output"
+            ));
+        }
+    }
+    for workload in current_workloads {
+        let key = workload
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        let cold = workload
+            .get("cold_optimize_ms")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        if !cold.is_finite() {
+            failures.push(format!(
+                "{key}: cold_optimize_ms is missing or not a finite number"
+            ));
+            continue;
+        }
+        let speedup = workload
+            .get("warm_speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if speedup < config.min_warm_speedup {
+            failures.push(format!(
+                "{key}: warm-cache optimize speedup {speedup:.1}x is below the required \
+                 {:.0}x — the plan cache is not being hit",
+                config.min_warm_speedup
+            ));
+        }
+        match baseline_workloads
+            .iter()
+            .find(|b| b.get("key").and_then(Json::as_str) == Some(key))
+            .and_then(|b| b.get("cold_optimize_ms"))
+            .and_then(Json::as_f64)
+        {
+            None => report.push(format!("{key}: no baseline entry; cold gate skipped")),
+            Some(base_cold) => {
+                let limit = base_cold * config.cold_regression_factor;
+                if cold > limit && cold - base_cold > config.min_delta_ms {
+                    failures.push(format!(
+                        "{key}: cold optimize time {cold:.3} ms regressed more than \
+                         {:.1}x against the baseline {base_cold:.3} ms",
+                        config.cold_regression_factor
+                    ));
+                } else {
+                    report.push(format!(
+                        "{key}: cold {cold:.3} ms (baseline {base_cold:.3} ms, limit \
+                         {limit:.3} ms) · warm speedup {speedup:.1}x — ok"
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +470,115 @@ mod tests {
         let table = format_sweep("test", &points);
         assert!(table.contains("invocations"));
         assert!(table.contains("opt-rewr (ms)"));
+    }
+
+    #[test]
+    fn optimizer_latency_measures_a_cached_warm_path() {
+        let latency = measure_optimizer_latency("experiment2", &experiment2(), 60, 20, 5);
+        assert!(latency.cache.hits >= 5, "{:?}", latency.cache);
+        assert!(latency.cold_optimize > Duration::ZERO);
+        assert!(
+            latency.warm_optimize < latency.cold_optimize,
+            "warm {:?} should undercut cold {:?}",
+            latency.warm_optimize,
+            latency.cold_optimize
+        );
+        let pressure = run_cache_pressure(&experiment2(), 60, 2, 4, 2);
+        assert!(pressure.stats.evictions > 0, "{:?}", pressure.stats);
+        assert_eq!(
+            pressure.hot_hits,
+            (pressure.distinct_queries * pressure.rounds) as u64,
+            "the LRU must keep the hot query resident: {:?}",
+            pressure.stats
+        );
+        // The emitted JSON round-trips and carries the gate's required fields.
+        let doc = optimizer_bench_json("test", &[latency], &pressure);
+        let parsed = Json::parse(&doc.render()).unwrap();
+        let workload = &parsed.get("workloads").unwrap().as_arr().unwrap()[0];
+        assert_eq!(workload.get("key").unwrap().as_str(), Some("experiment2"));
+        assert!(workload.get("cold_optimize_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(workload.get("warm_speedup").unwrap().as_f64().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn perf_gate_passes_clean_runs_and_fails_regressions() {
+        fn doc(cold_ms: f64, speedup: f64) -> Json {
+            Json::obj(vec![(
+                "workloads",
+                Json::Arr(vec![Json::obj(vec![
+                    ("key", Json::str("experiment2")),
+                    ("cold_optimize_ms", Json::num(cold_ms)),
+                    ("warm_speedup", Json::num(speedup)),
+                ])]),
+            )])
+        }
+        let config = GateConfig::default();
+        let baseline = doc(10.0, 50.0);
+        assert!(check_against_baseline(&doc(12.0, 50.0), &baseline, &config).is_ok());
+        // >2x and >2ms over baseline: fail.
+        let failures = check_against_baseline(&doc(25.0, 50.0), &baseline, &config).unwrap_err();
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+        // Warm speedup collapse fails even with a fine cold time.
+        let failures = check_against_baseline(&doc(10.0, 3.0), &baseline, &config).unwrap_err();
+        assert!(failures[0].contains("speedup"), "{failures:?}");
+        // Sub-floor absolute regressions on tiny baselines are absorbed as jitter…
+        let tiny_baseline = doc(0.1, 50.0);
+        assert!(check_against_baseline(&doc(0.3, 50.0), &tiny_baseline, &config).is_ok());
+        // …but the floor sits below the committed baselines, so for those the 2x
+        // factor is the binding constraint (0.6 ms vs 0.263 ms baseline must fail).
+        let exp3_like = doc(0.263, 50.0);
+        assert!(check_against_baseline(&doc(0.6, 50.0), &exp3_like, &config).is_err());
+        // A workload missing from the baseline is reported but does not fail.
+        let report = check_against_baseline(&doc(1.0, 50.0), &Json::obj(vec![]), &config)
+            .expect("missing baseline entry is not a failure");
+        assert!(report[0].contains("no baseline entry"), "{report:?}");
+        // But a baseline workload that vanished from the current run DOES fail — a
+        // bench refactor must not silently un-gate a tracked shape.
+        let renamed = Json::obj(vec![(
+            "workloads",
+            Json::Arr(vec![Json::obj(vec![
+                ("key", Json::str("experiment2_renamed")),
+                ("cold_optimize_ms", Json::num(1.0)),
+                ("warm_speedup", Json::num(50.0)),
+            ])]),
+        )]);
+        let failures = check_against_baseline(&renamed, &baseline, &config).unwrap_err();
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("missing from the current")),
+            "{failures:?}"
+        );
+        // A current workload without cold_optimize_ms fails instead of passing as NaN.
+        let no_cold = Json::obj(vec![(
+            "workloads",
+            Json::Arr(vec![Json::obj(vec![
+                ("key", Json::str("experiment2")),
+                ("warm_speedup", Json::num(50.0)),
+            ])]),
+        )]);
+        let failures = check_against_baseline(&no_cold, &baseline, &config).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("not a finite number")),
+            "{failures:?}"
+        );
+        // Comparing a smoke run against a full-mode baseline (or vice versa) fails.
+        fn with_mode(mut doc: Json, mode: &str) -> Json {
+            if let Json::Obj(map) = &mut doc {
+                map.insert("mode".into(), Json::str(mode));
+            }
+            doc
+        }
+        let failures = check_against_baseline(
+            &with_mode(doc(12.0, 50.0), "full"),
+            &with_mode(doc(10.0, 50.0), "smoke"),
+            &config,
+        )
+        .unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("mode mismatch")),
+            "{failures:?}"
+        );
     }
 
     #[test]

@@ -7,11 +7,15 @@
 //! operators → (cost-based) choice between the iterative and the decorrelated plan →
 //! execute.
 
+use std::sync::Arc;
+
 use decorr_algebra::display::explain;
 use decorr_algebra::RelExpr;
 use decorr_common::{Error, Result, Row, Schema, Value};
 use decorr_exec::{CatalogProvider, Env, ExecConfig, Executor};
-use decorr_optimizer::{OptimizeMode, OptimizeOutcome, PassManager, PipelineReport};
+use decorr_optimizer::{
+    OptimizeMode, OptimizeOutcome, PassManager, PipelineReport, PlanCache, PlanCacheStats,
+};
 use decorr_parser::{parse_statements, plan_select, SqlStatement};
 use decorr_rewrite::plan_to_sql;
 use decorr_storage::Catalog;
@@ -142,11 +146,33 @@ pub enum ExecutionSummary {
 }
 
 /// An embeddable in-memory SQL engine with UDF decorrelation.
-#[derive(Debug, Default, Clone)]
+///
+/// Every query routes through the optimizer's [`PassManager`] with a shared
+/// [`PlanCache`] attached: repeated query shapes skip the rewrite pipeline entirely.
+/// The cache key folds in the registry generation (bumped by `CREATE FUNCTION`) and
+/// the catalog DDL generation, so UDF redefinition and schema changes invalidate
+/// stale entries automatically.
+#[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
     registry: FunctionRegistry,
     exec_config: ExecConfig,
+    plan_cache: Arc<PlanCache>,
+}
+
+impl Clone for Database {
+    /// Clones the data and functions but gives the clone a **fresh, empty** plan cache
+    /// (same capacity). Clones mutate their registries and catalogs independently, so
+    /// their generation counters diverge; sharing one cache could cross-serve a plan
+    /// optimized against the other clone's definitions.
+    fn clone(&self) -> Database {
+        Database {
+            catalog: self.catalog.clone(),
+            registry: self.registry.clone(),
+            exec_config: self.exec_config.clone(),
+            plan_cache: Arc::new(PlanCache::with_capacity(self.plan_cache.capacity())),
+        }
+    }
 }
 
 impl Database {
@@ -155,15 +181,32 @@ impl Database {
             catalog: Catalog::new(),
             registry: FunctionRegistry::new(),
             exec_config: ExecConfig::default(),
+            plan_cache: Arc::new(PlanCache::new()),
         }
     }
 
     pub fn with_exec_config(exec_config: ExecConfig) -> Database {
         Database {
-            catalog: Catalog::new(),
-            registry: FunctionRegistry::new(),
             exec_config,
+            ..Database::new()
         }
+    }
+
+    /// Replaces the plan cache with an empty one holding at most `capacity` outcomes
+    /// (0 disables plan caching).
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plan_cache = Arc::new(PlanCache::with_capacity(capacity));
+    }
+
+    /// The shared plan cache (for stats and explicit `clear`).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Snapshot of the plan-cache counters
+    /// (hits/misses/evictions/invalidations/entries).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -302,7 +345,9 @@ impl Database {
         }
     }
 
-    /// Runs the optimizer pipeline for the given strategy over an already-planned query.
+    /// Runs the optimizer pipeline for the given strategy over an already-planned
+    /// query, with the shared plan cache attached: a repeated plan under an unchanged
+    /// registry/schema skips the pipeline entirely.
     fn optimize_plan(
         &self,
         plan: &RelExpr,
@@ -312,6 +357,7 @@ impl Database {
         let provider = CatalogProvider::new(&self.catalog, &self.registry);
         Database::pass_manager_for(strategy)
             .with_snapshots(capture_snapshots)
+            .with_plan_cache(Arc::clone(&self.plan_cache))
             .optimize(plan, &self.registry, &provider, Some(&self.catalog))
     }
 

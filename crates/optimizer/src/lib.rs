@@ -9,16 +9,24 @@
 //!   through (normalize → algebraize & merge → Apply removal → cleanup → strategy
 //!   choice), with per-pass timings, per-rule fire counts, fixpoint iteration counts,
 //!   before/after plan snapshots and a rule-firing budget guard;
+//! * [`cache`] — the [`PlanCache`]: a concurrency-safe LRU memo from a structural plan
+//!   fingerprint (plus registry/DDL generations and pipeline options) to a full
+//!   [`OptimizeOutcome`], so repeated queries skip the pipeline entirely;
 //! * [`cost`] — cardinality estimation and a simple cost model over logical plans,
 //!   including the cost of iterative UDF invocation (outer cardinality × cost of the
 //!   queries inside the UDF body);
 //! * [`strategy`] — the cost-based choice between the original (iterative) plan and the
 //!   decorrelated plan produced by `decorr-rewrite`.
 
+pub mod cache;
 pub mod cost;
 pub mod pass;
 pub mod strategy;
 
+pub use cache::{
+    plan_fingerprint, CacheActivity, CacheContext, PlanCache, PlanCacheStats,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use cost::{estimate_cardinality, estimate_cost, CostEstimate};
 pub use pass::{
     OptimizeMode, OptimizeOutcome, OptimizerPass, PassContext, PassEffect, PassManager,

@@ -11,6 +11,7 @@
 //! cyclic rule set into an error instead of an unbounded loop.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use decorr_algebra::display::explain;
@@ -21,6 +22,7 @@ use decorr_rewrite::rules::{FixpointEngine, RuleSet};
 use decorr_storage::Catalog;
 use decorr_udf::{AggregateDefinition, FunctionRegistry};
 
+use crate::cache::{plan_fingerprint, CacheActivity, CacheContext, FnvHasher, PlanCache};
 use crate::strategy::{choose_strategy, StrategyChoice, StrategyDecision};
 
 // ---------------------------------------------------------------------------- options
@@ -212,6 +214,10 @@ impl PassTrace {
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
     pub passes: Vec<PassTrace>,
+    /// What the plan cache did for this call, when the pipeline ran with one attached:
+    /// whether it hit, the key fingerprint, and a counter snapshot
+    /// (hits/misses/evictions/invalidations). `None` when no cache was attached.
+    pub cache: Option<CacheActivity>,
 }
 
 impl PipelineReport {
@@ -270,6 +276,21 @@ impl PipelineReport {
                 .collect();
             out.push_str(&rendered.join(", "));
             out.push('\n');
+        }
+        if let Some(cache) = &self.cache {
+            out.push_str(&format!(
+                "plan cache: {} (key {:016x}) · hits={} misses={} evictions={} \
+                 invalidations={} entries={}/{} hit-rate={:.0}%\n",
+                if cache.hit { "hit" } else { "miss" },
+                cache.key_hash,
+                cache.stats.hits,
+                cache.stats.misses,
+                cache.stats.evictions,
+                cache.stats.invalidations,
+                cache.stats.entries,
+                cache.stats.capacity,
+                cache.stats.hit_rate() * 100.0,
+            ));
         }
         out
     }
@@ -509,10 +530,13 @@ impl OptimizerPass for StrategyChoicePass {
 // ----------------------------------------------------------------------- pass manager
 
 /// Owns an ordered list of named passes and drives a plan through them, recording a
-/// [`PassTrace`] per pass.
+/// [`PassTrace`] per pass. With a [`PlanCache`] attached (see
+/// [`with_plan_cache`](PassManager::with_plan_cache)), `optimize` first probes the
+/// cache and skips the pipeline entirely on a hit.
 pub struct PassManager {
     passes: Vec<Box<dyn OptimizerPass>>,
     options: PassManagerOptions,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl PassManager {
@@ -521,6 +545,7 @@ impl PassManager {
         PassManager {
             passes: vec![],
             options: PassManagerOptions::default(),
+            cache: None,
         }
     }
 
@@ -568,6 +593,16 @@ impl PassManager {
         self
     }
 
+    /// Attaches a shared [`PlanCache`]: `optimize` probes it before running any pass
+    /// and stores the outcome on a miss. The cache key folds in the registry and
+    /// catalog-DDL generations plus this pipeline's
+    /// [fingerprint](PassManager::pipeline_fingerprint), so distinct pipelines sharing
+    /// one cache never cross-serve.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> PassManager {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Appends a pass (builder style).
     pub fn with_pass(mut self, pass: impl OptimizerPass + 'static) -> PassManager {
         self.passes.push(Box::new(pass));
@@ -588,9 +623,98 @@ impl PassManager {
         &self.options
     }
 
-    /// Drives `plan` through every pass in order. `catalog` supplies statistics for the
-    /// cost model; pass `None` when running as a pure rewrite tool.
+    /// Fingerprint of the pipeline shape and its options: pass names in order plus
+    /// every [`PassManagerOptions`] knob. Part of the plan-cache key, so two pipelines
+    /// that could produce different outcomes for the same plan never share an entry.
+    pub fn pipeline_fingerprint(&self) -> u64 {
+        let mut hasher = FnvHasher::new();
+        for pass in &self.passes {
+            let _ = std::fmt::Write::write_str(&mut hasher, pass.name());
+            let _ = std::fmt::Write::write_str(&mut hasher, ";");
+        }
+        hasher.write_u64(self.options.max_fixpoint_iterations as u64);
+        hasher.write_u64(self.options.rule_fire_budget);
+        hasher.write_u64(u64::from(self.options.require_full_decorrelation));
+        hasher.write_u64(match self.options.mode {
+            OptimizeMode::CostBased => 0,
+            OptimizeMode::ForceDecorrelated => 1,
+        });
+        hasher.write_u64(u64::from(self.options.capture_snapshots));
+        hasher.finish()
+    }
+
+    /// Drives `plan` through the pipeline, consulting the attached [`PlanCache`]
+    /// first (when one is attached). On a hit the pipeline is skipped entirely and the
+    /// outcome's report carries a single synthetic `plan-cache` trace whose duration is
+    /// the lookup cost; on a miss the freshly computed outcome is stored before being
+    /// returned. `catalog` supplies statistics for the cost model; pass `None` when
+    /// running as a pure rewrite tool.
     pub fn optimize(
+        &self,
+        plan: &RelExpr,
+        registry: &FunctionRegistry,
+        provider: &dyn SchemaProvider,
+        catalog: Option<&Catalog>,
+    ) -> Result<OptimizeOutcome> {
+        let Some(cache) = &self.cache else {
+            return self.run_pipeline(plan, registry, provider, catalog);
+        };
+        let context = CacheContext {
+            registry_generation: registry.generation(),
+            ddl_generation: catalog.map(Catalog::ddl_generation),
+            pipeline_fingerprint: self.pipeline_fingerprint(),
+        };
+        // Hash once: the fingerprint walks the whole plan tree, so the lookup, the
+        // insert and the reported key all reuse this value, and the lookup timing
+        // below includes it (it *is* part of the warm-path cost).
+        let start = Instant::now();
+        let key_hash = plan_fingerprint(plan);
+        if let Some(mut outcome) = cache.lookup_hashed(key_hash, plan, &context) {
+            let lookup = start.elapsed();
+            outcome.notes.push(format!(
+                "served from plan cache (registry generation {})",
+                context.registry_generation
+            ));
+            outcome.report = PipelineReport {
+                passes: vec![PassTrace {
+                    name: "plan-cache".into(),
+                    duration: lookup,
+                    changed: false,
+                    rule_fires: BTreeMap::new(),
+                    fired: vec![],
+                    fixpoint_iterations: None,
+                    reached_fixpoint: None,
+                    plan_before: None,
+                    plan_after: None,
+                    notes: vec!["cache hit — optimizer pipeline skipped".into()],
+                }],
+                cache: Some(CacheActivity {
+                    hit: true,
+                    key_hash,
+                    registry_generation: context.registry_generation,
+                    stats: cache.stats(),
+                }),
+            };
+            return Ok(outcome);
+        }
+        let mut outcome = self.run_pipeline(plan, registry, provider, catalog)?;
+        // The hit path replaces the report with a synthetic plan-cache trace, so do not
+        // store the cold run's report (for EXPLAIN pipelines it holds per-pass plan
+        // snapshots — dead weight every hit would pay to clone).
+        let mut cached = outcome.clone();
+        cached.report = PipelineReport::default();
+        cache.insert_hashed(key_hash, plan, &context, cached);
+        outcome.report.cache = Some(CacheActivity {
+            hit: false,
+            key_hash,
+            registry_generation: context.registry_generation,
+            stats: cache.stats(),
+        });
+        Ok(outcome)
+    }
+
+    /// The uncached pipeline: drives `plan` through every pass in order.
+    fn run_pipeline(
         &self,
         plan: &RelExpr,
         registry: &FunctionRegistry,

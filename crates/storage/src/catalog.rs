@@ -8,9 +8,15 @@ use crate::table::Table;
 
 /// The database catalog. Owns every table; the executor reads through shared references
 /// while DDL/DML goes through `&mut` methods on the owning engine.
+///
+/// DDL statements bump a monotonic [`ddl_generation`](Catalog::ddl_generation) counter;
+/// the optimizer's plan cache folds it into its cache key so plans bound against a
+/// dropped or re-created schema become unreachable. Row inserts deliberately do *not*
+/// bump it — they can only make a cached cost-based choice suboptimal, never incorrect.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
+    ddl_generation: u64,
 }
 
 impl Catalog {
@@ -24,6 +30,7 @@ impl Catalog {
         if self.tables.contains_key(&key) {
             return Err(Error::Catalog(format!("table '{name}' already exists")));
         }
+        self.ddl_generation += 1;
         self.tables.insert(key.clone(), Table::new(key, schema));
         Ok(())
     }
@@ -34,7 +41,15 @@ impl Catalog {
         if self.tables.remove(&key).is_none() {
             return Err(Error::Catalog(format!("table '{name}' does not exist")));
         }
+        self.ddl_generation += 1;
         Ok(())
+    }
+
+    /// Monotonic DDL counter: incremented by `create_table`, `drop_table` and
+    /// `create_index`. Plan caches key on this value so schema changes invalidate
+    /// cached plans.
+    pub fn ddl_generation(&self) -> u64 {
+        self.ddl_generation
     }
 
     pub fn table(&self, name: &str) -> Result<&Table> {
@@ -72,7 +87,9 @@ impl Catalog {
 
     /// Convenience: creates a hash index.
     pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
-        self.table_mut(table)?.create_index(column)
+        self.table_mut(table)?.create_index(column)?;
+        self.ddl_generation += 1;
+        Ok(())
     }
 
     /// Total number of rows across all tables (used in tests and diagnostics).

@@ -8,7 +8,7 @@
 //! * [`registry`] — the function registry holding scalar/table-valued UDF definitions and
 //!   user-defined aggregates (both user-written and the auxiliary aggregates synthesised
 //!   by the rewrite of Section VII).
-//! * [`cfg`] — the control-flow graph of Section IV with *logical nodes* for (nested)
+//! * [`cfg`](mod@cfg) — the control-flow graph of Section IV with *logical nodes* for (nested)
 //!   if-then-else blocks (the paper's Figure 4).
 //! * [`analysis`] — read/write sets of statements and the data-dependence graph (DDG) of
 //!   Section VII-A, with cycle detection to find loop-carried dependences.

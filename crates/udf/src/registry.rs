@@ -11,10 +11,16 @@ use crate::ast::{AggregateDefinition, UdfDefinition};
 /// The registry is shared by the interpreter (which executes UDF bodies iteratively),
 /// the rewriter (which algebraizes them and registers synthesised auxiliary aggregates),
 /// and schema inference (which needs return types).
+///
+/// Every mutation bumps a monotonic [`generation`](FunctionRegistry::generation)
+/// counter. The optimizer's plan cache folds the generation into its cache key, so a
+/// `CREATE OR REPLACE` of a UDF makes every plan optimized against the old definition
+/// unreachable — the cache can never serve a plan built from a stale UDF body.
 #[derive(Debug, Default, Clone)]
 pub struct FunctionRegistry {
     udfs: BTreeMap<String, UdfDefinition>,
     aggregates: BTreeMap<String, AggregateDefinition>,
+    generation: u64,
 }
 
 impl FunctionRegistry {
@@ -23,14 +29,27 @@ impl FunctionRegistry {
     }
 
     /// Registers a UDF, replacing any previous definition with the same name
-    /// (`CREATE OR REPLACE` semantics).
+    /// (`CREATE OR REPLACE` semantics). Bumps the registry generation so cached plans
+    /// derived from a previous definition become unreachable.
     pub fn register_udf(&mut self, udf: UdfDefinition) {
+        self.generation += 1;
         self.udfs.insert(udf.name.clone(), udf);
     }
 
     /// Registers a user-defined aggregate (including synthesised auxiliary aggregates).
     pub fn register_aggregate(&mut self, agg: AggregateDefinition) {
+        self.generation += 1;
         self.aggregates.insert(agg.name.clone(), agg);
+    }
+
+    /// Monotonic mutation counter: incremented by every [`register_udf`] and
+    /// [`register_aggregate`] call. Plan caches key on this value so redefinitions
+    /// invalidate stale entries.
+    ///
+    /// [`register_udf`]: FunctionRegistry::register_udf
+    /// [`register_aggregate`]: FunctionRegistry::register_aggregate
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     pub fn udf(&self, name: &str) -> Result<&UdfDefinition> {
@@ -148,5 +167,20 @@ mod tests {
         replacement.return_type = DataType::Str;
         reg.register_udf(replacement);
         assert_eq!(reg.return_type("f"), Some(DataType::Str));
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_generation() {
+        let mut reg = FunctionRegistry::new();
+        assert_eq!(reg.generation(), 0);
+        reg.register_udf(sample_udf("f"));
+        assert_eq!(reg.generation(), 1);
+        // Replacing an existing definition still counts: the body changed.
+        reg.register_udf(sample_udf("f"));
+        assert_eq!(reg.generation(), 2);
+        reg.register_aggregate(sample_agg("a"));
+        assert_eq!(reg.generation(), 3);
+        // Clones carry the generation so cached plans stay valid across clones.
+        assert_eq!(reg.clone().generation(), 3);
     }
 }

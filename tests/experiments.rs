@@ -39,6 +39,28 @@ fn run_experiment(workload: udf_decorrelation::tpch::Workload, invocations: usiz
     // 3. The explain output shows both alternatives.
     let explain = db.explain(&sql).unwrap();
     assert!(explain.contains("decorrelated plan"), "{explain}");
+
+    // 4. Re-running both strategies is served from the plan cache and produces exactly
+    //    the same results as the fresh (cold) runs.
+    for (fresh, options) in [
+        (&iterative, QueryOptions::iterative()),
+        (&decorrelated, QueryOptions::decorrelated()),
+    ] {
+        let warm = db.query_with(&sql, &options).unwrap();
+        assert!(
+            warm.rewrite_report.cache.expect("cache attached").hit,
+            "repeated {:?} run must be served from the plan cache for {}",
+            options.strategy,
+            workload.name
+        );
+        assert_eq!(
+            warm.canonical_projection(&columns).unwrap(),
+            fresh.canonical_projection(&columns).unwrap(),
+            "cached and fresh outcomes disagree for {}",
+            workload.name
+        );
+        assert_eq!(warm.used_decorrelated_plan, fresh.used_decorrelated_plan);
+    }
 }
 
 #[test]

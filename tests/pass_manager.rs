@@ -267,3 +267,54 @@ fn real_pipeline_respects_budget() {
         .expect_err("a 2-firing budget cannot fit the service-level rewrite");
     assert!(err.to_string().contains("budget exhausted"), "{err}");
 }
+
+// ------------------------------------------------------------------ plan cache seam
+
+/// A PassManager with an attached plan cache skips the pipeline on repeats: the warm
+/// report carries a single synthetic `plan-cache` trace plus the cache counters, while
+/// the outcome (plan, strategy, rules) is identical to the cold run.
+#[test]
+fn attached_plan_cache_memoizes_the_pipeline() {
+    use std::sync::Arc;
+    use udf_decorrelation::optimizer::PlanCache;
+
+    let workload = experiment2();
+    let mut db = generate(&TpchConfig::tiny()).unwrap();
+    workload.install(&mut db).unwrap();
+    let plan = udf_decorrelation::parser::parse_and_plan(&(workload.query)(10)).unwrap();
+    let provider = udf_decorrelation::exec::CatalogProvider::new(db.catalog(), db.registry());
+
+    let cache = Arc::new(PlanCache::with_capacity(8));
+    let manager = PassManager::decorrelation_pipeline().with_plan_cache(Arc::clone(&cache));
+    let cold = manager
+        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .unwrap();
+    assert!(!cold.report.cache.expect("activity recorded").hit);
+    assert_eq!(cold.report.passes.len(), 5);
+
+    let warm = manager
+        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .unwrap();
+    let activity = warm.report.cache.expect("activity recorded");
+    assert!(activity.hit);
+    assert_eq!(warm.report.passes.len(), 1);
+    assert_eq!(warm.report.passes[0].name, "plan-cache");
+    assert_eq!(warm.plan, cold.plan);
+    assert_eq!(warm.applied_rules, cold.applied_rules);
+    assert_eq!(warm.used_decorrelated_plan, cold.used_decorrelated_plan);
+    assert_eq!(activity.stats.hits, 1);
+
+    // A pipeline with different options has a different fingerprint and must not
+    // serve the entry, even through the same shared cache.
+    let forced = PassManager::decorrelation_pipeline()
+        .with_mode(udf_decorrelation::optimizer::OptimizeMode::ForceDecorrelated)
+        .with_plan_cache(Arc::clone(&cache));
+    assert_ne!(
+        forced.pipeline_fingerprint(),
+        manager.pipeline_fingerprint()
+    );
+    let other = forced
+        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .unwrap();
+    assert!(!other.report.cache.expect("activity recorded").hit);
+}

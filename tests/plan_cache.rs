@@ -1,0 +1,267 @@
+//! Integration tests of the optimizer's plan cache through the engine facade:
+//! hit/miss accounting, LRU eviction under capacity pressure, invalidation on UDF
+//! redefinition and DDL, EXPLAIN surfacing, and a seeded property test proving that
+//! random interleavings of `query` and `register_udf` never serve a stale plan.
+
+use udf_decorrelation::common::SmallRng;
+use udf_decorrelation::engine::{Database, QueryOptions};
+use udf_decorrelation::prelude::Value;
+
+/// A database with `t(x int, grp int)` holding five rows and the scalar UDF
+/// `shift(x) = x * mult + add`.
+fn db_with_shift(mult: i64, add: i64) -> Database {
+    let mut db = Database::new();
+    db.execute("create table t(x int, grp int)").unwrap();
+    db.execute("insert into t values (1, 0), (2, 0), (3, 1), (4, 1), (5, 2)")
+        .unwrap();
+    register_shift(&mut db, mult, add);
+    db
+}
+
+fn register_shift(db: &mut Database, mult: i64, add: i64) {
+    db.register_function(&format!(
+        "create function shift(int v) returns int as begin return v * {mult} + {add}; end"
+    ))
+    .unwrap();
+}
+
+const SHIFT_QUERY: &str = "select x, shift(x) as y from t";
+
+fn shifted(result: &udf_decorrelation::engine::QueryResult) -> Vec<(i64, i64)> {
+    let xs = result.column("x").unwrap();
+    let ys = result.column("y").unwrap();
+    let mut out: Vec<(i64, i64)> = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| match (x, y) {
+            (Value::Int(x), Value::Int(y)) => (*x, *y),
+            other => panic!("unexpected values {other:?}"),
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn repeated_queries_hit_the_cache_and_agree_with_fresh_runs() {
+    let db = db_with_shift(2, 1);
+    let cold = db.query(SHIFT_QUERY).unwrap();
+    let cold_activity = cold.rewrite_report.cache.expect("cache attached");
+    assert!(!cold_activity.hit);
+    for i in 0..3 {
+        let warm = db.query(SHIFT_QUERY).unwrap();
+        let activity = warm.rewrite_report.cache.expect("cache attached");
+        assert!(activity.hit, "repeat {i} must hit");
+        assert_eq!(shifted(&warm), shifted(&cold));
+        assert_eq!(warm.used_decorrelated_plan, cold.used_decorrelated_plan);
+        // The warm report replaces the pipeline traces with one plan-cache trace.
+        let names: Vec<&str> = warm
+            .rewrite_report
+            .passes
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["plan-cache"]);
+        assert!(warm
+            .rewrite_notes
+            .iter()
+            .any(|n| n.contains("served from plan cache")));
+    }
+    let stats = db.plan_cache_stats();
+    assert_eq!(stats.hits, 3);
+    assert!(stats.misses >= 1);
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn strategies_use_distinct_cache_entries() {
+    let db = db_with_shift(3, 0);
+    let auto = db.query(SHIFT_QUERY).unwrap();
+    // A different strategy is a different pipeline: it must not serve Auto's entry.
+    let iterative = db
+        .query_with(SHIFT_QUERY, &QueryOptions::iterative())
+        .unwrap();
+    assert!(!iterative.rewrite_report.cache.expect("cache attached").hit);
+    assert_eq!(shifted(&auto), shifted(&iterative));
+    let warm_iterative = db
+        .query_with(SHIFT_QUERY, &QueryOptions::iterative())
+        .unwrap();
+    assert!(
+        warm_iterative
+            .rewrite_report
+            .cache
+            .expect("cache attached")
+            .hit
+    );
+    assert_eq!(db.plan_cache_stats().entries, 2);
+}
+
+#[test]
+fn redefined_udf_body_changes_the_cached_outcome() {
+    // The satellite regression: after CREATE OR REPLACE, the registry generation moves
+    // and a repeated query must re-optimize against the new body — never serve the plan
+    // built from the old one.
+    let mut db = db_with_shift(1, 1);
+    let before = db.query(SHIFT_QUERY).unwrap();
+    assert_eq!(
+        shifted(&before),
+        vec![(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]
+    );
+    let warm = db.query(SHIFT_QUERY).unwrap();
+    assert!(warm.rewrite_report.cache.expect("cache attached").hit);
+
+    let generation_before = db.registry().generation();
+    register_shift(&mut db, 1, 100);
+    assert!(
+        db.registry().generation() > generation_before,
+        "register_udf must bump the registry generation"
+    );
+
+    let after = db.query(SHIFT_QUERY).unwrap();
+    let activity = after.rewrite_report.cache.expect("cache attached");
+    assert!(
+        !activity.hit,
+        "redefinition must invalidate the cached plan"
+    );
+    assert_eq!(
+        shifted(&after),
+        vec![(1, 101), (2, 102), (3, 103), (4, 104), (5, 105)],
+        "the outcome must reflect the redefined body"
+    );
+    // And the new entry serves the new body from then on.
+    let warm_after = db.query(SHIFT_QUERY).unwrap();
+    assert!(warm_after.rewrite_report.cache.expect("cache attached").hit);
+    assert_eq!(shifted(&warm_after), shifted(&after));
+}
+
+#[test]
+fn ddl_invalidates_cached_plans() {
+    let mut db = db_with_shift(2, 0);
+    db.query(SHIFT_QUERY).unwrap();
+    assert!(
+        db.query(SHIFT_QUERY)
+            .unwrap()
+            .rewrite_report
+            .cache
+            .unwrap()
+            .hit
+    );
+    db.execute("create index on t(grp)").unwrap();
+    let after_ddl = db.query(SHIFT_QUERY).unwrap();
+    assert!(
+        !after_ddl.rewrite_report.cache.unwrap().hit,
+        "DDL must move the catalog generation and miss"
+    );
+}
+
+#[test]
+fn lru_eviction_under_capacity_pressure() {
+    let mut db = db_with_shift(2, 0);
+    db.set_plan_cache_capacity(2);
+    let queries = [
+        "select x from t where x <= 1",
+        "select x from t where x <= 2",
+        "select x from t where x <= 3",
+    ];
+    for sql in &queries {
+        db.query(sql).unwrap();
+    }
+    let stats = db.plan_cache_stats();
+    assert_eq!(stats.entries, 2, "{stats:?}");
+    assert!(stats.evictions >= 1, "{stats:?}");
+    // The oldest entry was evicted; the two youngest are resident.
+    assert!(
+        !db.query(queries[0])
+            .unwrap()
+            .rewrite_report
+            .cache
+            .unwrap()
+            .hit
+    );
+    assert!(
+        db.query(queries[2])
+            .unwrap()
+            .rewrite_report
+            .cache
+            .unwrap()
+            .hit
+    );
+}
+
+#[test]
+fn explain_surfaces_cache_statistics() {
+    let db = db_with_shift(2, 0);
+    let first = db.explain(SHIFT_QUERY).unwrap();
+    assert!(first.contains("plan cache: miss"), "{first}");
+    let second = db.explain(SHIFT_QUERY).unwrap();
+    assert!(second.contains("plan cache: hit"), "{second}");
+    assert!(second.contains("plan-cache"), "{second}");
+    assert!(second.contains("hits="), "{second}");
+}
+
+#[test]
+fn cloned_database_starts_with_a_cold_cache() {
+    let db = db_with_shift(2, 0);
+    db.query(SHIFT_QUERY).unwrap();
+    assert!(
+        db.query(SHIFT_QUERY)
+            .unwrap()
+            .rewrite_report
+            .cache
+            .unwrap()
+            .hit
+    );
+    let clone = db.clone();
+    assert_eq!(clone.plan_cache_stats().entries, 0);
+    let fresh = clone.query(SHIFT_QUERY).unwrap();
+    assert!(
+        !fresh.rewrite_report.cache.unwrap().hit,
+        "a clone mutates independently and must not share cache entries"
+    );
+}
+
+/// Seeded property test (in-repo deterministic harness, like `tests/rule_properties`):
+/// for random interleavings of `query` and `register_udf` — over several query shapes
+/// and a deliberately tiny cache so eviction, hits and invalidation all occur — every
+/// query result must match the *current* UDF definition. A single stale served plan
+/// would surface as a wrong `y` column.
+#[test]
+fn random_query_redefine_interleavings_never_serve_stale_plans() {
+    const CASES: u64 = 24;
+    const STEPS: usize = 40;
+    for case in 0..CASES {
+        let seed = 0xCAC4_E000 + case;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut db = db_with_shift(1, 0);
+        db.set_plan_cache_capacity(2);
+        let (mut mult, mut add) = (1i64, 0i64);
+        for step in 0..STEPS {
+            if rng.gen_range_usize(0, 4) == 0 {
+                mult = rng.gen_range_i64(1, 5);
+                add = rng.gen_range_i64(-10, 10);
+                register_shift(&mut db, mult, add);
+                continue;
+            }
+            // Three query shapes so the tiny cache keeps churning.
+            let limit = rng.gen_range_i64(1, 4) + 2;
+            let sql = format!("select x, shift(x) as y from t where x <= {limit}");
+            let result = db
+                .query(&sql)
+                .unwrap_or_else(|e| panic!("seed {seed:#x} step {step}: query failed: {e}"));
+            let expected: Vec<(i64, i64)> = (1..=5)
+                .filter(|x| *x <= limit)
+                .map(|x| (x, x * mult + add))
+                .collect();
+            assert_eq!(
+                shifted(&result),
+                expected,
+                "seed {seed:#x} step {step}: stale plan served for mult={mult} add={add}"
+            );
+        }
+        let stats = db.plan_cache_stats();
+        assert!(
+            stats.hits > 0,
+            "seed {seed:#x}: the interleaving never exercised the cache: {stats:?}"
+        );
+    }
+}
