@@ -1,0 +1,191 @@
+//! Executor latency bench: serial vs morsel-parallel end-to-end latency across the
+//! three paper workloads at two TPC-H scale factors, plus a worker-count sweep. Emits
+//! the machine-readable `BENCH_executor.json` that CI's `executor-bench-smoke` job
+//! uploads and gates on.
+//!
+//! ```text
+//! cargo run --release -p decorr-bench --bin executor_bench -- \
+//!     [--smoke] [--threads N] [--out BENCH_executor.json] \
+//!     [--check crates/bench/BENCH_executor_baseline.json]
+//! ```
+//!
+//! * `--smoke`   — reduced data sizes and repetition counts for CI;
+//! * `--threads` — worker-pool size of the parallel arm (default 4, the CI runner's
+//!   core count);
+//! * `--out`     — where to write the JSON document (default `BENCH_executor.json`);
+//! * `--check`   — compare against a committed baseline JSON and exit non-zero when a
+//!   serial end-to-end time regressed more than the gate factor (default 2.0, override
+//!   with `BENCH_GATE_FACTOR`) or, on hosts with ≥ 4 cores, when no workload reaches a
+//!   1.5x parallel speedup at the bench's thread count.
+
+use std::process::ExitCode;
+
+use decorr_bench::json::Json;
+use decorr_bench::{
+    check_executor_against_baseline, executor_bench_json, executor_thread_sweep,
+    measure_executor_latency, ExecGateConfig, ExecutorLatency,
+};
+use decorr_tpch::{experiment1, experiment2, experiment3};
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        threads: 4,
+        out: "BENCH_executor.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads requires a count")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?;
+            }
+            "--out" => args.out = it.next().ok_or("--out requires a path")?,
+            "--check" => args.check = Some(it.next().ok_or("--check requires a path")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("executor_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Two scale factors (fractions of the default TPC-H-flavoured sizes) per mode;
+    // the experiment shapes sweep invocation counts exactly like the paper.
+    let (scales, invocations, runs) = if args.smoke {
+        ([0.1, 0.3], 100, 3)
+    } else {
+        ([1.0, 3.0], 1_000, 5)
+    };
+    let mode = if args.smoke { "smoke" } else { "full" };
+    let cores = host_cores();
+    println!(
+        "executor bench ({mode}): serial vs parallel end-to-end latency \
+         ({} host cores, {} worker threads)\n",
+        cores, args.threads
+    );
+    let mut latencies: Vec<ExecutorLatency> = vec![];
+    for (sf_index, &scale) in scales.iter().enumerate() {
+        for (key, workload) in [
+            ("experiment1", experiment1()),
+            ("experiment2", experiment2()),
+            ("experiment3", experiment3()),
+        ] {
+            // Experiment 3 iterates categories, which scale independently of customers.
+            let n = if key == "experiment3" {
+                invocations.min(50)
+            } else {
+                invocations
+            };
+            let full_key = format!("{key}_sf{}", sf_index + 1);
+            let latency =
+                measure_executor_latency(&full_key, &workload, scale, n, args.threads, runs);
+            println!(
+                "{:<18} iter {:>9.2} → {:>9.2} ms ({:>5.2}x) · decorr {:>9.2} → {:>9.2} ms \
+                 ({:>5.2}x) (min of {} runs)",
+                latency.key,
+                latency.serial_iterative.as_secs_f64() * 1e3,
+                latency.parallel_iterative.as_secs_f64() * 1e3,
+                latency.iterative_speedup(),
+                latency.serial_decorrelated.as_secs_f64() * 1e3,
+                latency.parallel_decorrelated.as_secs_f64() * 1e3,
+                latency.decorrelated_speedup(),
+                latency.runs,
+            );
+            latencies.push(latency);
+        }
+    }
+
+    let sweep_threads = [1usize, 2, 4, 8];
+    let sweep = executor_thread_sweep(&experiment2(), scales[1], invocations, &sweep_threads, runs);
+    println!(
+        "\nthread sweep (experiment2, decorrelated, scale {}):",
+        scales[1]
+    );
+    for (threads, latency) in &sweep {
+        println!(
+            "  {threads:>2} threads: {:>9.2} ms",
+            latency.as_secs_f64() * 1e3
+        );
+    }
+
+    let doc = executor_bench_json(mode, cores, &latencies, &sweep);
+    if let Err(e) = std::fs::write(&args.out, doc.render()) {
+        eprintln!("executor_bench: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("\nwrote {}", args.out);
+
+    if let Some(baseline_path) = &args.check {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("executor_bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Json::parse(&baseline_text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("executor_bench: malformed baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut config = ExecGateConfig::default();
+        if let Ok(factor) = std::env::var("BENCH_GATE_FACTOR") {
+            match factor.parse::<f64>() {
+                Ok(f) if f > 0.0 => config.regression_factor = f,
+                _ => {
+                    eprintln!("executor_bench: invalid BENCH_GATE_FACTOR '{factor}'");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        println!(
+            "\nperf gate vs {baseline_path} (factor {:.1}x, min parallel speedup {:.1}x \
+             on ≥{}-core hosts):",
+            config.regression_factor,
+            config.min_parallel_speedup,
+            config.min_cores_for_speedup_gate
+        );
+        match check_executor_against_baseline(&doc, &baseline, &config) {
+            Ok(report) => {
+                for line in report {
+                    println!("  {line}");
+                }
+                println!("  perf gate passed");
+            }
+            Err(failures) => {
+                for line in failures {
+                    eprintln!("  GATE FAILURE: {line}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -319,6 +319,370 @@ pub fn optimizer_bench_json(
     ])
 }
 
+// -------------------------------------------------------------- executor latency bench
+
+/// Serial vs parallel end-to-end latency of one workload query, both execution
+/// strategies, at one TPC-H scale factor.
+#[derive(Debug, Clone)]
+pub struct ExecutorLatency {
+    /// Stable key used to match baseline entries across PRs ("experiment2_sf1").
+    pub key: String,
+    pub workload: String,
+    pub scale: f64,
+    pub customers: usize,
+    pub invocations: usize,
+    /// Worker-pool size of the parallel arm.
+    pub threads: usize,
+    pub serial_iterative: Duration,
+    pub parallel_iterative: Duration,
+    pub serial_decorrelated: Duration,
+    pub parallel_decorrelated: Duration,
+    /// Repetitions each point is a minimum over.
+    pub runs: usize,
+}
+
+impl ExecutorLatency {
+    pub fn iterative_speedup(&self) -> f64 {
+        self.serial_iterative.as_secs_f64() / self.parallel_iterative.as_secs_f64().max(1e-9)
+    }
+
+    pub fn decorrelated_speedup(&self) -> f64 {
+        self.serial_decorrelated.as_secs_f64() / self.parallel_decorrelated.as_secs_f64().max(1e-9)
+    }
+
+    /// The better of the two strategies' parallel speedups (the CI gate's criterion).
+    pub fn best_speedup(&self) -> f64 {
+        self.iterative_speedup().max(self.decorrelated_speedup())
+    }
+}
+
+/// Executor configuration used by both bench arms: a morsel size small enough that
+/// even the smoke-scale outer tables (and the UDF-bearing projections over them, where
+/// per-row work is heaviest) span several morsels per worker. The serial arm ignores
+/// it — `parallelism: 1` is byte-for-byte the pre-parallel executor.
+fn bench_exec_config(parallelism: usize) -> decorr_exec::ExecConfig {
+    decorr_exec::ExecConfig {
+        parallelism,
+        morsel_size: 16,
+        ..decorr_exec::ExecConfig::default()
+    }
+}
+
+/// Builds the benchmark database at a TPC-H scale factor and installs a workload.
+pub fn setup_scaled(workload: &Workload, scale: f64) -> Database {
+    let config = decorr_tpch::TpchConfig::with_scale(scale);
+    let mut db = generate(&config).expect("data generation");
+    workload.install(&mut db).expect("workload install");
+    db
+}
+
+/// Times one strategy end-to-end (optimize + execute) at the given pool size, as the
+/// minimum over `runs` repetitions.
+fn measure_exec_arm(
+    db: &Database,
+    sql: &str,
+    options: &QueryOptions,
+    parallelism: usize,
+    runs: usize,
+) -> (Duration, Vec<decorr_common::Row>) {
+    let mut best = Duration::MAX;
+    let mut rows = vec![];
+    for _ in 0..runs.max(1) {
+        let options = QueryOptions {
+            exec_config: Some(bench_exec_config(parallelism)),
+            ..options.clone()
+        };
+        let start = Instant::now();
+        let result = db.query_with(sql, &options).expect("bench execution");
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+        rows = result.rows;
+    }
+    (best, rows)
+}
+
+/// Measures serial vs parallel end-to-end latency for `workload` at one scale factor,
+/// both strategies, asserting that the parallel rows are byte-identical to serial.
+pub fn measure_executor_latency(
+    key: &str,
+    workload: &Workload,
+    scale: f64,
+    invocations: usize,
+    threads: usize,
+    runs: usize,
+) -> ExecutorLatency {
+    let db = setup_scaled(workload, scale);
+    let customers = db
+        .catalog()
+        .table("customer")
+        .map(|t| t.row_count())
+        .unwrap_or(0);
+    let sql = (workload.query)(invocations);
+    let (serial_iterative, serial_iter_rows) =
+        measure_exec_arm(&db, &sql, &QueryOptions::iterative(), 1, runs);
+    let (parallel_iterative, parallel_iter_rows) =
+        measure_exec_arm(&db, &sql, &QueryOptions::iterative(), threads, runs);
+    let (serial_decorrelated, serial_dec_rows) =
+        measure_exec_arm(&db, &sql, &QueryOptions::decorrelated(), 1, runs);
+    let (parallel_decorrelated, parallel_dec_rows) =
+        measure_exec_arm(&db, &sql, &QueryOptions::decorrelated(), threads, runs);
+    assert_eq!(
+        serial_iter_rows, parallel_iter_rows,
+        "{key}: parallel iterative rows diverged from serial"
+    );
+    assert_eq!(
+        serial_dec_rows, parallel_dec_rows,
+        "{key}: parallel decorrelated rows diverged from serial"
+    );
+    ExecutorLatency {
+        key: key.to_string(),
+        workload: workload.name.to_string(),
+        scale,
+        customers,
+        invocations,
+        threads,
+        serial_iterative,
+        parallel_iterative,
+        serial_decorrelated,
+        parallel_decorrelated,
+        runs: runs.max(1),
+    }
+}
+
+/// End-to-end decorrelated latency across a worker-count sweep (same database, same
+/// query), for the bench JSON's `thread_sweep` section.
+pub fn executor_thread_sweep(
+    workload: &Workload,
+    scale: f64,
+    invocations: usize,
+    threads: &[usize],
+    runs: usize,
+) -> Vec<(usize, Duration)> {
+    let db = setup_scaled(workload, scale);
+    let sql = (workload.query)(invocations);
+    threads
+        .iter()
+        .map(|&t| {
+            let (latency, _) = measure_exec_arm(&db, &sql, &QueryOptions::decorrelated(), t, runs);
+            (t, latency)
+        })
+        .collect()
+}
+
+/// Assembles the machine-readable `BENCH_executor.json` document.
+pub fn executor_bench_json(
+    mode: &str,
+    host_cores: usize,
+    latencies: &[ExecutorLatency],
+    sweep: &[(usize, Duration)],
+) -> Json {
+    let workloads = latencies
+        .iter()
+        .map(|l| {
+            Json::obj(vec![
+                ("key", Json::str(&l.key)),
+                ("workload", Json::str(&l.workload)),
+                ("scale", Json::num(l.scale)),
+                ("customers", Json::num(l.customers as f64)),
+                ("invocations", Json::num(l.invocations as f64)),
+                ("threads", Json::num(l.threads as f64)),
+                (
+                    "serial_iterative_ms",
+                    Json::num(l.serial_iterative.as_secs_f64() * 1e3),
+                ),
+                (
+                    "parallel_iterative_ms",
+                    Json::num(l.parallel_iterative.as_secs_f64() * 1e3),
+                ),
+                (
+                    "serial_decorrelated_ms",
+                    Json::num(l.serial_decorrelated.as_secs_f64() * 1e3),
+                ),
+                (
+                    "parallel_decorrelated_ms",
+                    Json::num(l.parallel_decorrelated.as_secs_f64() * 1e3),
+                ),
+                ("iterative_speedup", Json::num(l.iterative_speedup())),
+                ("decorrelated_speedup", Json::num(l.decorrelated_speedup())),
+                ("best_speedup", Json::num(l.best_speedup())),
+                ("runs", Json::num(l.runs as f64)),
+            ])
+        })
+        .collect();
+    let sweep_json = sweep
+        .iter()
+        .map(|(threads, latency)| {
+            Json::obj(vec![
+                ("threads", Json::num(*threads as f64)),
+                ("decorrelated_ms", Json::num(latency.as_secs_f64() * 1e3)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema_version", Json::num(1.0)),
+        ("mode", Json::str(mode)),
+        ("host_cores", Json::num(host_cores as f64)),
+        ("workloads", Json::Arr(workloads)),
+        ("thread_sweep", Json::Arr(sweep_json)),
+    ])
+}
+
+/// Thresholds for [`check_executor_against_baseline`].
+#[derive(Debug, Clone)]
+pub struct ExecGateConfig {
+    /// Fail when a serial end-to-end time exceeds `baseline × factor` …
+    pub regression_factor: f64,
+    /// … and by more than this absolute noise floor (end-to-end times are milliseconds
+    /// to tens of milliseconds, so the floor is larger than the optimizer gate's).
+    pub min_delta_ms: f64,
+    /// Fail when no workload reaches this parallel speedup at the bench's thread
+    /// count …
+    pub min_parallel_speedup: f64,
+    /// … but only when the current host has at least this many cores: a 1-core runner
+    /// physically cannot show a parallel speedup, so the (machine-dependent) speedup
+    /// gate reports itself as skipped instead of failing spuriously.
+    pub min_cores_for_speedup_gate: usize,
+}
+
+impl Default for ExecGateConfig {
+    fn default() -> Self {
+        ExecGateConfig {
+            regression_factor: 2.0,
+            min_delta_ms: 1.0,
+            min_parallel_speedup: 1.5,
+            min_cores_for_speedup_gate: 4,
+        }
+    }
+}
+
+/// Compares a fresh `BENCH_executor.json` document against the committed baseline.
+/// Returns human-readable report lines on success, or the list of gate violations.
+pub fn check_executor_against_baseline(
+    current: &Json,
+    baseline: &Json,
+    config: &ExecGateConfig,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut report = vec![];
+    let mut failures = vec![];
+    let empty: &[Json] = &[];
+    let baseline_workloads = baseline
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .unwrap_or(empty);
+    let current_workloads = current
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .unwrap_or(empty);
+    if current_workloads.is_empty() {
+        failures.push("current bench JSON contains no workloads".into());
+    }
+    let current_mode = current.get("mode").and_then(Json::as_str);
+    let baseline_mode = baseline.get("mode").and_then(Json::as_str);
+    if let (Some(current_mode), Some(baseline_mode)) = (current_mode, baseline_mode) {
+        if current_mode != baseline_mode {
+            failures.push(format!(
+                "bench mode mismatch: current run is '{current_mode}' but the baseline \
+                 is '{baseline_mode}' — regenerate the baseline in the same mode"
+            ));
+        }
+    }
+    for baseline_workload in baseline_workloads {
+        let key = baseline_workload
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        if !current_workloads
+            .iter()
+            .any(|c| c.get("key").and_then(Json::as_str) == Some(key))
+        {
+            failures.push(format!(
+                "{key}: present in the baseline but missing from the current bench output"
+            ));
+        }
+    }
+    let mut best_speedup = 0.0f64;
+    for workload in current_workloads {
+        let key = workload
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        best_speedup = best_speedup.max(
+            workload
+                .get("best_speedup")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        );
+        // Gate both serial arms: a regression in either execution style is a real
+        // end-to-end regression, independent of the worker pool.
+        for field in ["serial_iterative_ms", "serial_decorrelated_ms"] {
+            let value = workload
+                .get(field)
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            if !value.is_finite() {
+                failures.push(format!("{key}: {field} is missing or not a finite number"));
+                continue;
+            }
+            match baseline_workloads
+                .iter()
+                .find(|b| b.get("key").and_then(Json::as_str) == Some(key))
+                .and_then(|b| b.get(field))
+                .and_then(Json::as_f64)
+            {
+                None => report.push(format!("{key}: no baseline {field}; gate skipped")),
+                Some(base) => {
+                    let limit = base * config.regression_factor;
+                    if value > limit && value - base > config.min_delta_ms {
+                        failures.push(format!(
+                            "{key}: {field} {value:.3} ms regressed more than {:.1}x \
+                             against the baseline {base:.3} ms",
+                            config.regression_factor
+                        ));
+                    } else {
+                        report.push(format!(
+                            "{key}: {field} {value:.3} ms (baseline {base:.3} ms, \
+                             limit {limit:.3} ms) — ok"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // The speedup gate is machine-dependent: enforce it only on hosts with enough
+    // cores to show one (CI's 4-core runners qualify; a 1-core sandbox does not).
+    let host_cores = current
+        .get("host_cores")
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0) as usize;
+    if host_cores >= config.min_cores_for_speedup_gate {
+        if best_speedup < config.min_parallel_speedup {
+            failures.push(format!(
+                "no workload reached the required {:.1}x parallel speedup \
+                 (best was {best_speedup:.2}x on a {host_cores}-core host)",
+                config.min_parallel_speedup
+            ));
+        } else {
+            report.push(format!(
+                "parallel speedup gate: best {best_speedup:.2}x ≥ {:.1}x — ok",
+                config.min_parallel_speedup
+            ));
+        }
+    } else {
+        report.push(format!(
+            "parallel speedup gate skipped: host has {host_cores} core(s), \
+             gate requires ≥ {} to be meaningful (best observed {best_speedup:.2}x)",
+            config.min_cores_for_speedup_gate
+        ));
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
 // ----------------------------------------------------------------------- CI perf gate
 
 /// Thresholds for [`check_against_baseline`].
@@ -572,6 +936,107 @@ mod tests {
         let failures = check_against_baseline(
             &with_mode(doc(12.0, 50.0), "full"),
             &with_mode(doc(10.0, 50.0), "smoke"),
+            &config,
+        )
+        .unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("mode mismatch")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn executor_latency_measures_identical_rows_and_round_trips() {
+        let latency = measure_executor_latency("experiment2_sf1", &experiment2(), 0.03, 20, 2, 2);
+        assert!(latency.serial_iterative > Duration::ZERO);
+        assert!(latency.serial_decorrelated > Duration::ZERO);
+        assert!(latency.best_speedup() > 0.0);
+        let sweep = executor_thread_sweep(&experiment2(), 0.03, 20, &[1, 2], 2);
+        assert_eq!(sweep.len(), 2);
+        let doc = executor_bench_json("test", 1, &[latency], &sweep);
+        let parsed = Json::parse(&doc.render()).unwrap();
+        let workload = &parsed.get("workloads").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            workload.get("key").unwrap().as_str(),
+            Some("experiment2_sf1")
+        );
+        assert!(
+            workload
+                .get("serial_decorrelated_ms")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(parsed.get("host_cores").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            parsed.get("thread_sweep").unwrap().as_arr().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn executor_gate_passes_clean_runs_and_fails_regressions() {
+        fn doc(host_cores: f64, serial_ms: f64, speedup: f64) -> Json {
+            Json::obj(vec![
+                ("host_cores", Json::num(host_cores)),
+                (
+                    "workloads",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("key", Json::str("experiment2_sf1")),
+                        ("serial_iterative_ms", Json::num(serial_ms)),
+                        ("serial_decorrelated_ms", Json::num(serial_ms)),
+                        ("best_speedup", Json::num(speedup)),
+                    ])]),
+                ),
+            ])
+        }
+        let config = ExecGateConfig::default();
+        let baseline = doc(4.0, 10.0, 2.0);
+        // Within the factor: pass.
+        assert!(check_executor_against_baseline(&doc(4.0, 12.0, 2.0), &baseline, &config).is_ok());
+        // >2x and >1ms over baseline: fail.
+        let failures =
+            check_executor_against_baseline(&doc(4.0, 25.0, 2.0), &baseline, &config).unwrap_err();
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+        // Speedup below 1.5x on a 4-core host: fail.
+        let failures =
+            check_executor_against_baseline(&doc(4.0, 10.0, 1.1), &baseline, &config).unwrap_err();
+        assert!(failures[0].contains("speedup"), "{failures:?}");
+        // Same speedup shortfall on a 1-core host: skipped, not failed.
+        let report =
+            check_executor_against_baseline(&doc(1.0, 10.0, 0.9), &baseline, &config).unwrap();
+        assert!(report.iter().any(|l| l.contains("skipped")), "{report:?}");
+        // A workload that vanished from the current run fails the gate.
+        let renamed = Json::obj(vec![
+            ("host_cores", Json::num(4.0)),
+            (
+                "workloads",
+                Json::Arr(vec![Json::obj(vec![
+                    ("key", Json::str("experiment2_sf9")),
+                    ("serial_iterative_ms", Json::num(1.0)),
+                    ("serial_decorrelated_ms", Json::num(1.0)),
+                    ("best_speedup", Json::num(2.0)),
+                ])]),
+            ),
+        ]);
+        let failures = check_executor_against_baseline(&renamed, &baseline, &config).unwrap_err();
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("missing from the current")),
+            "{failures:?}"
+        );
+        // Mode mismatch fails.
+        fn with_mode(mut doc: Json, mode: &str) -> Json {
+            if let Json::Obj(map) = &mut doc {
+                map.insert("mode".into(), Json::str(mode));
+            }
+            doc
+        }
+        let failures = check_executor_against_baseline(
+            &with_mode(doc(4.0, 10.0, 2.0), "full"),
+            &with_mode(doc(4.0, 10.0, 2.0), "smoke"),
             &config,
         )
         .unwrap_err();

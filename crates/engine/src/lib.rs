@@ -81,6 +81,9 @@ pub struct QueryResult {
     /// The optimizer's per-pass trace: pass timings, per-rule fire counts, fixpoint
     /// iteration counts and before/after plan snapshots.
     pub rewrite_report: PipelineReport,
+    /// The executor's per-operator trace (morsels dispatched, per-worker row spread,
+    /// operator wall clock) — empty for fully serial executions.
+    pub exec_trace: decorr_exec::ExecTrace,
 }
 
 impl QueryResult {
@@ -196,6 +199,26 @@ impl Database {
     /// (0 disables plan caching).
     pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
         self.plan_cache = Arc::new(PlanCache::with_capacity(capacity));
+    }
+
+    /// Sets the executor worker-pool size for subsequent queries. `1` (the default)
+    /// executes serially; `n > 1` fans scans, filters, projections, hash joins, hash
+    /// aggregation and correlated Apply loops out to `n` morsel workers. Parallel runs
+    /// return byte-identical results to serial runs. The optimizer's cost model is
+    /// recalibrated to the pool size, and the plan-cache key changes with it, so
+    /// cached decisions never cross pool sizes.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.exec_config.parallelism = parallelism.max(1);
+    }
+
+    /// The configured executor worker-pool size.
+    pub fn parallelism(&self) -> usize {
+        self.exec_config.parallelism
+    }
+
+    /// The default executor configuration used by queries without a per-query override.
+    pub fn exec_config(&self) -> &ExecConfig {
+        &self.exec_config
     }
 
     /// The shared plan cache (for stats and explicit `clear`).
@@ -353,10 +376,12 @@ impl Database {
         plan: &RelExpr,
         strategy: ExecutionStrategy,
         capture_snapshots: bool,
+        parallelism: usize,
     ) -> Result<OptimizeOutcome> {
         let provider = CatalogProvider::new(&self.catalog, &self.registry);
         Database::pass_manager_for(strategy)
             .with_snapshots(capture_snapshots)
+            .with_parallelism(parallelism)
             .with_plan_cache(Arc::clone(&self.plan_cache))
             .optimize(plan, &self.registry, &provider, Some(&self.catalog))
     }
@@ -413,7 +438,16 @@ impl Database {
     /// other strategies run the full decorrelation pipeline (with the cost-based choice
     /// for [`ExecutionStrategy::Auto`]).
     pub fn run_plan(&self, plan: &RelExpr, options: &QueryOptions) -> Result<QueryResult> {
-        let outcome = self.optimize_plan(plan, options.strategy, options.capture_snapshots)?;
+        let config = options
+            .exec_config
+            .clone()
+            .unwrap_or_else(|| self.exec_config.clone());
+        let outcome = self.optimize_plan(
+            plan,
+            options.strategy,
+            options.capture_snapshots,
+            config.parallelism,
+        )?;
         if options.strategy == ExecutionStrategy::Decorrelated && !outcome.decorrelated {
             return Err(Error::Rewrite(format!(
                 "query could not be decorrelated: {}",
@@ -425,10 +459,6 @@ impl Database {
         for agg in &outcome.aux_aggregates {
             effective_registry.register_aggregate(agg.clone());
         }
-        let config = options
-            .exec_config
-            .clone()
-            .unwrap_or_else(|| self.exec_config.clone());
         let executor = Executor::with_config(&self.catalog, &effective_registry, config);
         let result_set = executor.execute(&outcome.plan)?;
         Ok(QueryResult {
@@ -440,6 +470,7 @@ impl Database {
             applied_rules: outcome.applied_rules,
             exec_stats: executor.stats_snapshot(),
             rewrite_report: outcome.report,
+            exec_trace: executor.trace_snapshot(),
         })
     }
 
@@ -450,7 +481,12 @@ impl Database {
         let select = decorr_parser::parse_query(sql)?;
         let plan = plan_select(&select)?;
         // EXPLAIN is the diagnostic entry point: always capture plan snapshots.
-        let outcome = self.optimize_plan(&plan, ExecutionStrategy::Auto, true)?;
+        let outcome = self.optimize_plan(
+            &plan,
+            ExecutionStrategy::Auto,
+            true,
+            self.exec_config.parallelism,
+        )?;
         let mut out = String::new();
         out.push_str("== original (iterative) plan ==\n");
         out.push_str(&explain(&outcome.iterative_plan));
@@ -472,6 +508,32 @@ impl Database {
         }
         out.push_str("\n== optimizer passes ==\n");
         out.push_str(&outcome.report.render());
+        Ok(out)
+    }
+
+    /// Like [`Database::explain`], but additionally *executes* the query and appends
+    /// the runtime side of the story: the executor counters and the per-operator
+    /// execution trace (morsels dispatched, per-worker row spread, operator wall
+    /// clock) — the execution mirror of the optimizer's per-pass instrumentation.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let mut out = self.explain(sql)?;
+        let result = self.query(sql)?;
+        out.push_str("\n== execution ==\n");
+        out.push_str(&format!(
+            "rows={} parallelism={} · scanned={} index-lookups={} udf-invocations={} \
+             subqueries={} hash-joins={} nl-joins={} morsels={}\n",
+            result.rows.len(),
+            self.exec_config.parallelism,
+            result.exec_stats.rows_scanned,
+            result.exec_stats.index_lookups,
+            result.exec_stats.udf_invocations,
+            result.exec_stats.subqueries_executed,
+            result.exec_stats.hash_joins,
+            result.exec_stats.nested_loop_joins,
+            result.exec_stats.morsels_dispatched,
+        ));
+        out.push_str("\n== parallel operators ==\n");
+        out.push_str(&result.exec_trace.render());
         Ok(out)
     }
 
@@ -640,6 +702,43 @@ mod tests {
             .query("select custkey, spin(custkey) as s from customer where custkey = 3")
             .unwrap();
         assert_eq!(auto.column("s").unwrap(), vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn parallelism_knob_preserves_results_and_reports_a_trace() {
+        let mut db = sample_db();
+        // Bulk both tables up past the morsel floor so operators fan out whichever
+        // strategy the cost model picks.
+        let mut extra_customers = vec![];
+        let mut extra_orders = vec![];
+        for i in 0..2_000i64 {
+            extra_customers.push(Row::new(vec![
+                Value::Int(100 + i),
+                Value::str(format!("Extra#{i}")),
+            ]));
+            extra_orders.push(Row::new(vec![
+                Value::Int(10_000 + i),
+                Value::Int(100 + i),
+                Value::Float(500.0 * (i % 7) as f64),
+            ]));
+        }
+        db.load_rows("customer", extra_customers).unwrap();
+        db.load_rows("orders", extra_orders).unwrap();
+        let sql = "select custkey, service_level(custkey) as level from customer";
+        let serial = db.query(sql).unwrap();
+        assert_eq!(db.parallelism(), 1);
+        db.set_parallelism(4);
+        assert_eq!(db.parallelism(), 4);
+        assert_eq!(db.exec_config().parallelism, 4);
+        let parallel = db.query(sql).unwrap();
+        assert_eq!(serial.rows, parallel.rows);
+        assert!(parallel.exec_stats.morsels_dispatched > 0);
+        assert!(!parallel.exec_trace.is_empty());
+        let analyzed = db.explain_analyze(sql).unwrap();
+        assert!(analyzed.contains("== execution =="), "{analyzed}");
+        assert!(analyzed.contains("parallelism=4"), "{analyzed}");
+        assert!(analyzed.contains("== parallel operators =="), "{analyzed}");
+        assert!(analyzed.contains("morsels"), "{analyzed}");
     }
 
     #[test]

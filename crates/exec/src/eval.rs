@@ -71,12 +71,12 @@ impl Executor<'_> {
                 Ok(Value::Null)
             }
             ScalarExpr::ScalarSubquery(q) => {
-                self.stats.borrow_mut().subqueries_executed += 1;
+                self.stats.add_subqueries_executed(1);
                 let rs = self.execute_with_env(q, env)?;
                 rs.scalar()
             }
             ScalarExpr::Exists(q) => {
-                self.stats.borrow_mut().subqueries_executed += 1;
+                self.stats.add_subqueries_executed(1);
                 let rs = self.execute_with_env(q, env)?;
                 Ok(Value::Bool(!rs.is_empty()))
             }
@@ -85,7 +85,7 @@ impl Executor<'_> {
                 subquery,
                 negated,
             } => {
-                self.stats.borrow_mut().subqueries_executed += 1;
+                self.stats.add_subqueries_executed(1);
                 let needle = self.eval_expr(expr, env)?;
                 if needle.is_null() {
                     return Ok(Value::Null);

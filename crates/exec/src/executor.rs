@@ -1,7 +1,10 @@
-//! Row-at-a-time execution of logical plans.
+//! Execution of logical plans: a row-at-a-time serial path and a morsel-driven
+//! parallel path (see the [`crate::parallel`] module) selected by
+//! [`ExecConfig::parallelism`].
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use decorr_algebra::schema::{expr_type, infer_schema};
 use decorr_algebra::{
@@ -13,7 +16,10 @@ use decorr_udf::FunctionRegistry;
 
 use crate::aggregate::BuiltinAccumulator;
 use crate::env::Env;
+use crate::stats::{AtomicExecStats, ExecTrace, TraceCollector};
 use crate::CatalogProvider;
+
+pub use crate::stats::ExecStats;
 
 /// Execution-time configuration knobs.
 #[derive(Debug, Clone)]
@@ -27,6 +33,16 @@ pub struct ExecConfig {
     /// Whether the executor may use hash indexes for equality lookups (the paper's
     /// "default indices on primary and foreign keys").
     pub use_indexes: bool,
+    /// Worker-pool size for morsel-driven parallel execution. `1` (the default) keeps
+    /// every operator on the original serial row-at-a-time path; `n > 1` lets scans,
+    /// filters, projections, hash joins, hash aggregation and the Apply family fan
+    /// morsels out to `n` `std::thread` workers. Parallel runs produce byte-identical
+    /// results to serial runs (morsel outputs merge in morsel order and aggregation
+    /// partitions by group key, preserving per-group accumulation order).
+    pub parallelism: usize,
+    /// Rows per morsel. An operator goes parallel only when its input spans more than
+    /// one morsel, so small inputs never pay the fan-out overhead.
+    pub morsel_size: usize,
 }
 
 impl Default for ExecConfig {
@@ -35,20 +51,18 @@ impl Default for ExecConfig {
             hash_join_threshold: 64,
             max_loop_iterations: 10_000_000,
             use_indexes: true,
+            parallelism: 1,
+            morsel_size: 1024,
         }
     }
 }
 
-/// Runtime counters, useful for tests, EXPLAIN ANALYZE-style reporting and the
-/// experiment harness (e.g. the number of UDF invocations actually performed).
-#[derive(Debug, Default, Clone)]
-pub struct ExecStats {
-    pub rows_scanned: u64,
-    pub index_lookups: u64,
-    pub udf_invocations: u64,
-    pub subqueries_executed: u64,
-    pub hash_joins: u64,
-    pub nested_loop_joins: u64,
+impl ExecConfig {
+    /// Returns this configuration with the worker-pool size set (builder style).
+    pub fn with_parallelism(mut self, parallelism: usize) -> ExecConfig {
+        self.parallelism = parallelism.max(1);
+        self
+    }
 }
 
 /// A fully materialised query result.
@@ -119,21 +133,21 @@ impl ResultSet {
 }
 
 /// The executor: evaluates logical plans against a catalog and function registry.
+///
+/// The executor is `Sync`: its only shared mutable state is the lock-free
+/// [`AtomicExecStats`] and the per-operator [`TraceCollector`], so morsel workers
+/// evaluate through `&Executor` concurrently.
 pub struct Executor<'a> {
     pub catalog: &'a Catalog,
     pub registry: &'a FunctionRegistry,
     pub config: ExecConfig,
-    pub stats: RefCell<ExecStats>,
+    pub stats: Arc<AtomicExecStats>,
+    pub(crate) trace: Arc<TraceCollector>,
 }
 
 impl<'a> Executor<'a> {
     pub fn new(catalog: &'a Catalog, registry: &'a FunctionRegistry) -> Executor<'a> {
-        Executor {
-            catalog,
-            registry,
-            config: ExecConfig::default(),
-            stats: RefCell::new(ExecStats::default()),
-        }
+        Executor::with_config(catalog, registry, ExecConfig::default())
     }
 
     pub fn with_config(
@@ -145,7 +159,24 @@ impl<'a> Executor<'a> {
             catalog,
             registry,
             config,
-            stats: RefCell::new(ExecStats::default()),
+            stats: Arc::new(AtomicExecStats::default()),
+            trace: Arc::new(TraceCollector::default()),
+        }
+    }
+
+    /// A serial view of this executor for one morsel worker: same catalog, registry,
+    /// counters and trace, but `parallelism = 1` so plan execution *inside* a morsel
+    /// (Apply inner plans, subqueries, UDF bodies) never spawns a nested worker pool.
+    pub(crate) fn worker_view(&self) -> Executor<'a> {
+        Executor {
+            catalog: self.catalog,
+            registry: self.registry,
+            config: ExecConfig {
+                parallelism: 1,
+                ..self.config.clone()
+            },
+            stats: Arc::clone(&self.stats),
+            trace: Arc::clone(&self.trace),
         }
     }
 
@@ -155,7 +186,14 @@ impl<'a> Executor<'a> {
 
     /// A snapshot of the runtime counters.
     pub fn stats_snapshot(&self) -> ExecStats {
-        self.stats.borrow().clone()
+        self.stats.snapshot()
+    }
+
+    /// A snapshot of the per-operator execution trace (morsels dispatched, per-worker
+    /// row spread, wall clock) — the execution-side mirror of the optimizer's per-pass
+    /// report. Empty for fully serial executions.
+    pub fn trace_snapshot(&self) -> ExecTrace {
+        self.trace.snapshot()
     }
 
     /// Executes a plan with no outer context.
@@ -275,15 +313,24 @@ impl<'a> Executor<'a> {
 
     fn execute_scan(&self, table: &str, alias: Option<&str>) -> Result<ResultSet> {
         let t = self.catalog.table(table)?;
-        self.stats.borrow_mut().rows_scanned += t.row_count() as u64;
+        self.stats.add_rows_scanned(t.row_count() as u64);
         let schema = match alias {
             Some(a) => t.schema().with_qualifier(a),
             None => t.schema().clone(),
         };
-        Ok(ResultSet {
-            schema,
-            rows: t.rows().to_vec(),
-        })
+        let source = t.rows();
+        let rows = if self.should_parallelize(source.len()) {
+            // Materialising a base table is a row-by-row deep copy (each Row owns its
+            // values); fan the copy out morsel-wise.
+            let chunks =
+                self.run_morsels(&format!("scan({table})"), source.len(), |_, range| {
+                    Ok(source[range].to_vec())
+                })?;
+            concat_rows(chunks, source.len())
+        } else {
+            source.to_vec()
+        };
+        Ok(ResultSet { schema, rows })
     }
 
     fn execute_select(
@@ -307,6 +354,23 @@ impl<'a> Executor<'a> {
             }
         }
         let input_rs = self.execute_with_env(input, outer)?;
+        if self.should_parallelize(input_rs.rows.len()) {
+            let source = &input_rs.rows;
+            let chunks = self.run_morsels("filter", source.len(), |view, range| {
+                let mut kept = vec![];
+                for row in &source[range] {
+                    let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
+                    if view.eval_predicate(predicate, &env)? {
+                        kept.push(row.clone());
+                    }
+                }
+                Ok(kept)
+            })?;
+            return Ok(ResultSet {
+                schema: input_rs.schema,
+                rows: concat_rows(chunks, 0),
+            });
+        }
         let mut rows = vec![];
         for row in input_rs.rows {
             let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
@@ -365,7 +429,7 @@ impl<'a> Executor<'a> {
                     .into_iter()
                     .cloned()
                     .collect::<Vec<Row>>();
-                self.stats.borrow_mut().index_lookups += 1;
+                self.stats.add_index_lookups(1);
                 // Apply the remaining conjuncts.
                 let mut rows = vec![];
                 let residual: Vec<ScalarExpr> = conjuncts
@@ -421,15 +485,36 @@ impl<'a> Executor<'a> {
                 })
                 .collect(),
         );
-        let mut rows = vec![];
-        for row in input_rs.rows {
-            let env = Env::with_row(input_rs.schema.clone(), row).nested_in(outer);
-            let values: Result<Vec<Value>> = items
-                .iter()
-                .map(|item| self.eval_expr(&item.expr, &env))
-                .collect();
-            rows.push(Row::new(values?));
-        }
+        let mut rows = if self.should_parallelize(input_rs.rows.len()) {
+            // The projection items are where per-row UDF invocations and scalar
+            // subqueries live, so this fan-out also parallelises the paper's
+            // *iterative* execution style.
+            let source = &input_rs.rows;
+            let chunks = self.run_morsels("project", source.len(), |view, range| {
+                let mut projected = Vec::with_capacity(range.len());
+                for row in &source[range] {
+                    let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
+                    let values: Result<Vec<Value>> = items
+                        .iter()
+                        .map(|item| view.eval_expr(&item.expr, &env))
+                        .collect();
+                    projected.push(Row::new(values?));
+                }
+                Ok(projected)
+            })?;
+            concat_rows(chunks, source.len())
+        } else {
+            let mut projected = vec![];
+            for row in input_rs.rows {
+                let env = Env::with_row(input_rs.schema.clone(), row).nested_in(outer);
+                let values: Result<Vec<Value>> = items
+                    .iter()
+                    .map(|item| self.eval_expr(&item.expr, &env))
+                    .collect();
+                projected.push(Row::new(values?));
+            }
+            projected
+        };
         if distinct {
             rows = dedupe_rows(rows);
         }
@@ -479,77 +564,46 @@ impl<'a> Executor<'a> {
         Schema::new(columns)
     }
 
-    fn execute_aggregate(
-        &self,
-        input: &RelExpr,
-        group_by: &[ScalarExpr],
-        aggregates: &[AggCall],
-        outer: &Env,
-    ) -> Result<ResultSet> {
-        let input_rs = self.execute_with_env(input, outer)?;
-        let schema = self.aggregate_output_schema(group_by, aggregates, &input_rs.schema);
-
-        enum AccState {
-            Builtin(BuiltinAccumulator),
-            User {
-                name: String,
-                state: HashMap<String, Value>,
-            },
-        }
-        let make_accs = |this: &Executor| -> Result<Vec<AccState>> {
-            aggregates
-                .iter()
-                .map(|a| match &a.func {
-                    AggFunc::UserDefined(name) => {
-                        let def = this.registry.aggregate(name)?;
-                        let mut state = HashMap::new();
-                        for (var, _, init) in &def.state {
-                            state.insert(var.clone(), init.clone());
-                        }
-                        Ok(AccState::User {
-                            name: name.clone(),
-                            state,
-                        })
+    /// Fresh accumulator states for one group, one per aggregate call.
+    fn make_accumulators(&self, aggregates: &[AggCall]) -> Result<Vec<AccState>> {
+        aggregates
+            .iter()
+            .map(|a| match &a.func {
+                AggFunc::UserDefined(name) => {
+                    let def = self.registry.aggregate(name)?;
+                    let mut state = HashMap::new();
+                    for (var, _, init) in &def.state {
+                        state.insert(var.clone(), init.clone());
                     }
-                    builtin => Ok(AccState::Builtin(BuiltinAccumulator::new(builtin))),
-                })
-                .collect()
-        };
-
-        // Group rows.
-        let mut groups: Vec<(Vec<Value>, Vec<AccState>)> = vec![];
-        let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
-        for row in &input_rs.rows {
-            let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
-            let group_values: Result<Vec<Value>> =
-                group_by.iter().map(|g| self.eval_expr(g, &env)).collect();
-            let group_values = group_values?;
-            let key: Vec<GroupKey> = group_values.iter().map(|v| v.group_key()).collect();
-            let idx = match group_index.get(&key) {
-                Some(&i) => i,
-                None => {
-                    groups.push((group_values, make_accs(self)?));
-                    group_index.insert(key, groups.len() - 1);
-                    groups.len() - 1
+                    Ok(AccState::User {
+                        name: name.clone(),
+                        state,
+                    })
                 }
-            };
-            // Accumulate.
-            for (acc, call) in groups[idx].1.iter_mut().zip(aggregates.iter()) {
-                let args: Result<Vec<Value>> =
-                    call.args.iter().map(|a| self.eval_expr(a, &env)).collect();
-                let args = args?;
-                match acc {
-                    AccState::Builtin(b) => b.update(&args),
-                    AccState::User { name, state } => {
-                        self.accumulate_user_aggregate(name, state, &args)?;
-                    }
+                builtin => Ok(AccState::Builtin(BuiltinAccumulator::new(builtin))),
+            })
+            .collect()
+    }
+
+    /// Feeds one row's evaluated argument lists into a group's accumulators.
+    fn accumulate_into(&self, accs: &mut [AccState], args_per_agg: &[Vec<Value>]) -> Result<()> {
+        for (acc, args) in accs.iter_mut().zip(args_per_agg.iter()) {
+            match acc {
+                AccState::Builtin(b) => b.update(args),
+                AccState::User { name, state } => {
+                    self.accumulate_user_aggregate(name, state, args)?;
                 }
             }
         }
-        // A scalar aggregate (no GROUP BY) over an empty input still produces one row.
-        if groups.is_empty() && group_by.is_empty() {
-            groups.push((vec![], make_accs(self)?));
-        }
+        Ok(())
+    }
+
+    /// Finalizes groups (in their given order) into output rows.
+    fn finalize_groups(
+        &self,
+        groups: Vec<(Vec<Value>, Vec<AccState>)>,
+        schema: Schema,
+    ) -> Result<ResultSet> {
         let mut rows = vec![];
         for (group_values, accs) in groups {
             let mut values = group_values;
@@ -565,6 +619,143 @@ impl<'a> Executor<'a> {
             rows.push(Row::new(values));
         }
         Ok(ResultSet { schema, rows })
+    }
+
+    fn execute_aggregate(
+        &self,
+        input: &RelExpr,
+        group_by: &[ScalarExpr],
+        aggregates: &[AggCall],
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        let input_rs = self.execute_with_env(input, outer)?;
+        let schema = self.aggregate_output_schema(group_by, aggregates, &input_rs.schema);
+        if self.should_parallelize(input_rs.rows.len()) {
+            return self.execute_aggregate_parallel(&input_rs, group_by, aggregates, outer, schema);
+        }
+
+        // Group rows.
+        let mut groups: Vec<(Vec<Value>, Vec<AccState>)> = vec![];
+        let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        for row in &input_rs.rows {
+            let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
+            let group_values: Result<Vec<Value>> =
+                group_by.iter().map(|g| self.eval_expr(g, &env)).collect();
+            let group_values = group_values?;
+            let key: Vec<GroupKey> = group_values.iter().map(|v| v.group_key()).collect();
+            let idx = match group_index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    groups.push((group_values, self.make_accumulators(aggregates)?));
+                    group_index.insert(key, groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            let args_per_agg: Result<Vec<Vec<Value>>> = aggregates
+                .iter()
+                .map(|call| call.args.iter().map(|a| self.eval_expr(a, &env)).collect())
+                .collect();
+            self.accumulate_into(&mut groups[idx].1, &args_per_agg?)?;
+        }
+        // A scalar aggregate (no GROUP BY) over an empty input still produces one row.
+        if groups.is_empty() && group_by.is_empty() {
+            groups.push((vec![], self.make_accumulators(aggregates)?));
+        }
+        self.finalize_groups(groups, schema)
+    }
+
+    /// Partitioned hash aggregation. Stage 1 evaluates group-by expressions and
+    /// aggregate arguments morsel-parallel (this is where scalar subqueries and UDF
+    /// calls in aggregate arguments run). Stage 2 assigns each group key to one of
+    /// `parallelism` partitions by hash; every partition worker walks the evaluated
+    /// morsels *in global row order* and accumulates only its own keys, so each group's
+    /// accumulation chain is exactly the serial chain (bit-identical float sums) while
+    /// distinct groups accumulate concurrently. The partial partitions merge at
+    /// finalize, ordered by each group's first input row — the serial first-seen order.
+    fn execute_aggregate_parallel(
+        &self,
+        input_rs: &ResultSet,
+        group_by: &[ScalarExpr],
+        aggregates: &[AggCall],
+        outer: &Env,
+        schema: Schema,
+    ) -> Result<ResultSet> {
+        struct EvaluatedRow {
+            group_values: Vec<Value>,
+            key: Vec<GroupKey>,
+            /// Hash partition of `key`, computed once here in the parallel stage so the
+            /// accumulation workers don't re-hash every row `nparts` times.
+            partition: usize,
+            args_per_agg: Vec<Vec<Value>>,
+        }
+        let nparts = self.config.parallelism.max(1);
+        let source = &input_rs.rows;
+        let evaluated: Vec<Vec<EvaluatedRow>> =
+            self.run_morsels("aggregate eval", source.len(), |view, range| {
+                let mut out = Vec::with_capacity(range.len());
+                for row in &source[range] {
+                    let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
+                    let group_values: Result<Vec<Value>> =
+                        group_by.iter().map(|g| view.eval_expr(g, &env)).collect();
+                    let group_values = group_values?;
+                    let key: Vec<GroupKey> = group_values.iter().map(|v| v.group_key()).collect();
+                    let args_per_agg: Result<Vec<Vec<Value>>> = aggregates
+                        .iter()
+                        .map(|call| call.args.iter().map(|a| view.eval_expr(a, &env)).collect())
+                        .collect();
+                    out.push(EvaluatedRow {
+                        partition: partition_of(&key, nparts),
+                        group_values,
+                        key,
+                        args_per_agg: args_per_agg?,
+                    });
+                }
+                Ok(out)
+            })?;
+
+        let weight = (source.len() / nparts) as u64;
+        // (first input row, group values, accumulators) per group, per partition.
+        type PartialGroups = Vec<(usize, Vec<Value>, Vec<AccState>)>;
+        let partials: Vec<PartialGroups> =
+            self.run_pool("aggregate accumulate", nparts, &|_| weight, |view, part| {
+                let mut groups: PartialGroups = vec![];
+                let mut index: HashMap<&[GroupKey], usize> = HashMap::new();
+                let mut row_idx = 0usize;
+                for morsel in &evaluated {
+                    for row in morsel {
+                        let first_seen = row_idx;
+                        row_idx += 1;
+                        if row.partition != part {
+                            continue;
+                        }
+                        let idx = match index.get(row.key.as_slice()) {
+                            Some(&i) => i,
+                            None => {
+                                groups.push((
+                                    first_seen,
+                                    row.group_values.clone(),
+                                    view.make_accumulators(aggregates)?,
+                                ));
+                                index.insert(&row.key, groups.len() - 1);
+                                groups.len() - 1
+                            }
+                        };
+                        view.accumulate_into(&mut groups[idx].2, &row.args_per_agg)?;
+                    }
+                }
+                Ok(groups)
+            })?;
+        // Merge the partial partitions, restoring the serial first-seen group order.
+        let mut merged: Vec<(usize, Vec<Value>, Vec<AccState>)> =
+            partials.into_iter().flatten().collect();
+        merged.sort_by_key(|(first_seen, _, _)| *first_seen);
+        let groups: Vec<(Vec<Value>, Vec<AccState>)> = merged
+            .into_iter()
+            .map(|(_, values, accs)| (values, accs))
+            .collect();
+        // The parallel path requires a non-empty input, so the empty-input scalar
+        // aggregate row is the serial path's concern.
+        self.finalize_groups(groups, schema)
     }
 
     fn execute_join(
@@ -594,90 +785,206 @@ impl<'a> Executor<'a> {
 
         let use_hash = !equi_keys.is_empty() && big_enough;
         if use_hash {
-            self.stats.borrow_mut().hash_joins += 1;
+            self.stats.add_hash_joins(1);
         } else {
-            self.stats.borrow_mut().nested_loop_joins += 1;
+            self.stats.add_nested_loop_joins(1);
         }
 
-        let mut rows = vec![];
         if use_hash {
-            // Build on the right input.
-            let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-            for (i, rrow) in right_rs.rows.iter().enumerate() {
-                let env = Env::with_row(right_rs.schema.clone(), rrow.clone()).nested_in(outer);
-                let mut key = vec![];
-                let mut has_null = false;
-                for (_, rk) in &equi_keys {
-                    let v = self.eval_expr(rk, &env)?;
-                    if v.is_null() {
-                        has_null = true;
-                        break;
-                    }
-                    key.push(v.group_key());
-                }
-                if !has_null {
-                    table.entry(key).or_default().push(i);
-                }
-            }
-            for lrow in &left_rs.rows {
-                let lenv = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
-                let mut key = vec![];
-                let mut has_null = false;
-                for (lk, _) in &equi_keys {
-                    let v = self.eval_expr(lk, &lenv)?;
-                    if v.is_null() {
-                        has_null = true;
-                        break;
-                    }
-                    key.push(v.group_key());
-                }
-                let matches: &[usize] = if has_null {
-                    &[]
-                } else {
-                    table.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
-                };
-                let mut matched = false;
-                for &ri in matches {
-                    let combined = lrow.concat(&right_rs.rows[ri]);
-                    let env =
-                        Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
-                    if self.eval_predicate(&residual_pred, &env)? {
-                        matched = true;
-                        match kind {
-                            JoinKind::LeftSemi => break,
-                            JoinKind::LeftAnti => break,
-                            _ => rows.push(combined),
-                        }
-                    }
-                }
-                self.finish_left_row(kind, matched, lrow, right_rs.schema.len(), &mut rows);
-            }
-        } else {
-            for lrow in &left_rs.rows {
-                let mut matched = false;
-                for rrow in &right_rs.rows {
-                    let combined = lrow.concat(rrow);
-                    let env =
-                        Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
-                    let pass = match condition {
-                        Some(c) => self.eval_predicate(c, &env)?,
-                        None => true,
-                    };
-                    if pass {
-                        matched = true;
-                        match kind {
-                            JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                            _ => rows.push(combined),
-                        }
-                    }
-                }
-                self.finish_left_row(kind, matched, lrow, right_rs.schema.len(), &mut rows);
-            }
+            let rows = self.hash_join_rows(
+                kind,
+                &left_rs,
+                &right_rs,
+                &combined_schema,
+                &equi_keys,
+                &residual_pred,
+                outer,
+            )?;
+            return Ok(ResultSet {
+                schema: out_schema,
+                rows,
+            });
         }
+
+        let probe_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
+            let mut matched = false;
+            for rrow in &right_rs.rows {
+                let combined = lrow.concat(rrow);
+                let env = Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
+                let pass = match condition {
+                    Some(c) => view.eval_predicate(c, &env)?,
+                    None => true,
+                };
+                if pass {
+                    matched = true;
+                    match kind {
+                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                        _ => rows.push(combined),
+                    }
+                }
+            }
+            view.finish_left_row(kind, matched, lrow, right_rs.schema.len(), rows);
+            Ok(())
+        };
+        let rows = if self.should_parallelize(left_rs.rows.len()) {
+            let source = &left_rs.rows;
+            let chunks =
+                self.run_morsels("nested-loop-join probe", source.len(), |view, range| {
+                    let mut out = vec![];
+                    for lrow in &source[range] {
+                        probe_one(view, lrow, &mut out)?;
+                    }
+                    Ok(out)
+                })?;
+            concat_rows(chunks, 0)
+        } else {
+            let mut out = vec![];
+            for lrow in &left_rs.rows {
+                probe_one(self, lrow, &mut out)?;
+            }
+            out
+        };
         Ok(ResultSet {
             schema: out_schema,
             rows,
         })
+    }
+
+    /// Hash-join key of one row: `None` when any key expression is NULL (SQL equality
+    /// never matches NULL).
+    fn join_key<'e>(
+        &self,
+        row: &Row,
+        schema: &Schema,
+        key_exprs: impl Iterator<Item = &'e ScalarExpr>,
+        outer: &Env,
+    ) -> Result<Option<Vec<GroupKey>>> {
+        let env = Env::with_row(schema.clone(), row.clone()).nested_in(outer);
+        let mut key = vec![];
+        for expr in key_exprs {
+            let v = self.eval_expr(expr, &env)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            key.push(v.group_key());
+        }
+        Ok(Some(key))
+    }
+
+    /// Hash-join rows: a partitioned build over the right input and a (possibly
+    /// morsel-parallel) probe over the left input. Bucket entries hold ascending right
+    /// row indexes — the serial build order — and probe morsels reassemble in morsel
+    /// order, so the output row order is byte-identical to the serial join.
+    fn hash_join_rows(
+        &self,
+        kind: JoinKind,
+        left_rs: &ResultSet,
+        right_rs: &ResultSet,
+        combined_schema: &Schema,
+        equi_keys: &[(ScalarExpr, ScalarExpr)],
+        residual_pred: &ScalarExpr,
+        outer: &Env,
+    ) -> Result<Vec<Row>> {
+        let parallel = self.should_parallelize(left_rs.rows.len())
+            || self.should_parallelize(right_rs.rows.len());
+        let nparts = if parallel {
+            self.config.parallelism.max(1)
+        } else {
+            1
+        };
+
+        // Build phase: per-morsel key computation, pre-bucketed by partition.
+        let build_one = |view: &Executor, range: std::ops::Range<usize>| -> Result<BuildBuckets> {
+            let mut buckets: BuildBuckets = vec![vec![]; nparts];
+            for (offset, rrow) in right_rs.rows[range.clone()].iter().enumerate() {
+                let key = view.join_key(
+                    rrow,
+                    &right_rs.schema,
+                    equi_keys.iter().map(|(_, rk)| rk),
+                    outer,
+                )?;
+                if let Some(key) = key {
+                    let part = partition_of(&key, nparts);
+                    buckets[part].push((key, range.start + offset));
+                }
+            }
+            Ok(buckets)
+        };
+        let build_chunks: Vec<BuildBuckets> = if self.should_parallelize(right_rs.rows.len()) {
+            self.run_morsels("hash-join build keys", right_rs.rows.len(), build_one)?
+        } else {
+            vec![build_one(self, 0..right_rs.rows.len())?]
+        };
+        // Assemble one hash table per partition. Concatenating each partition's buckets
+        // across morsels in morsel order keeps every bucket's indexes ascending.
+        let assemble = |part: usize| -> HashMap<Vec<GroupKey>, Vec<usize>> {
+            let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+            for chunk in &build_chunks {
+                for (key, idx) in &chunk[part] {
+                    table.entry(key.clone()).or_default().push(*idx);
+                }
+            }
+            table
+        };
+        // Pool the per-partition assembly only when the build side itself is large;
+        // a big probe side over a tiny build table keeps the cheap serial assemble.
+        let weight = (right_rs.rows.len() / nparts) as u64;
+        let tables: Vec<HashMap<Vec<GroupKey>, Vec<usize>>> =
+            if self.should_parallelize(right_rs.rows.len()) && nparts > 1 {
+                self.run_pool("hash-join build", nparts, &|_| weight, |_, part| {
+                    Ok(assemble(part))
+                })?
+            } else {
+                (0..nparts).map(assemble).collect()
+            };
+
+        // Probe phase.
+        let probe_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
+            let key = view.join_key(
+                lrow,
+                &left_rs.schema,
+                equi_keys.iter().map(|(lk, _)| lk),
+                outer,
+            )?;
+            let matches: &[usize] = match &key {
+                None => &[],
+                Some(key) => tables[partition_of(key, nparts)]
+                    .get(key)
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]),
+            };
+            let mut matched = false;
+            for &ri in matches {
+                let combined = lrow.concat(&right_rs.rows[ri]);
+                let env = Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
+                if view.eval_predicate(residual_pred, &env)? {
+                    matched = true;
+                    match kind {
+                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                        _ => rows.push(combined),
+                    }
+                }
+            }
+            view.finish_left_row(kind, matched, lrow, right_rs.schema.len(), rows);
+            Ok(())
+        };
+        if self.should_parallelize(left_rs.rows.len()) {
+            let source = &left_rs.rows;
+            let chunks = self.run_morsels("hash-join probe", source.len(), |view, range| {
+                let mut out = vec![];
+                for lrow in &source[range] {
+                    probe_one(view, lrow, &mut out)?;
+                }
+                Ok(out)
+            })?;
+            Ok(concat_rows(chunks, 0))
+        } else {
+            let mut out = vec![];
+            for lrow in &left_rs.rows {
+                probe_one(self, lrow, &mut out)?;
+            }
+            Ok(out)
+        }
     }
 
     /// Emits the left-only / null-extended outputs for outer, semi and anti joins.
@@ -713,14 +1020,16 @@ impl<'a> Executor<'a> {
             ApplyKind::LeftOuter => left_rs.schema.join(&right_schema.as_nullable()),
             ApplyKind::Cross => left_rs.schema.join(&right_schema),
         };
-        let mut rows = vec![];
-        for lrow in &left_rs.rows {
+        // Correlated evaluation of the inner plan, once per outer row. Each outer row
+        // is independent, so the Apply family is morsel-parallel over its left input —
+        // this is what parallelises iterative (non-decorrelated) execution.
+        let apply_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
             let mut env = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
             for b in bindings {
-                let v = self.eval_expr(&b.value, &env)?;
+                let v = view.eval_expr(&b.value, &env)?;
                 env.set_param(&b.param, v);
             }
-            let inner = self.execute_with_env(right, &env)?;
+            let inner = view.execute_with_env(right, &env)?;
             match kind {
                 ApplyKind::Cross => {
                     for rrow in inner.rows {
@@ -747,11 +1056,40 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
-        }
+            Ok(())
+        };
+        let rows = self.for_each_left_row(&left_rs, "apply", &apply_one)?;
         Ok(ResultSet {
             schema: out_schema,
             rows,
         })
+    }
+
+    /// Runs `f` for every left row, morsel-parallel when the left input is large
+    /// enough, and returns the per-row outputs concatenated in left-row order.
+    fn for_each_left_row(
+        &self,
+        left_rs: &ResultSet,
+        operator: &str,
+        f: &PerRowFn,
+    ) -> Result<Vec<Row>> {
+        if self.should_parallelize(left_rs.rows.len()) {
+            let source = &left_rs.rows;
+            let chunks = self.run_morsels(operator, source.len(), |view, range| {
+                let mut out = vec![];
+                for lrow in &source[range] {
+                    f(view, lrow, &mut out)?;
+                }
+                Ok(out)
+            })?;
+            Ok(concat_rows(chunks, 0))
+        } else {
+            let mut out = vec![];
+            for lrow in &left_rs.rows {
+                f(self, lrow, &mut out)?;
+            }
+            Ok(out)
+        }
     }
 
     fn execute_apply_merge(
@@ -762,12 +1100,13 @@ impl<'a> Executor<'a> {
         outer: &Env,
     ) -> Result<ResultSet> {
         let left_rs = self.execute_with_env(left, outer)?;
-        let mut rows = vec![];
-        for lrow in &left_rs.rows {
+        let merge_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
             let env = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
-            let inner = self.execute_with_env(right, &env)?;
-            rows.push(self.merge_row(lrow, &left_rs.schema, &inner, assignments)?);
-        }
+            let inner = view.execute_with_env(right, &env)?;
+            rows.push(view.merge_row(lrow, &left_rs.schema, &inner, assignments)?);
+            Ok(())
+        };
+        let rows = self.for_each_left_row(&left_rs, "apply-merge", &merge_one)?;
         Ok(ResultSet {
             schema: left_rs.schema,
             rows,
@@ -784,17 +1123,18 @@ impl<'a> Executor<'a> {
         outer: &Env,
     ) -> Result<ResultSet> {
         let left_rs = self.execute_with_env(left, outer)?;
-        let mut rows = vec![];
-        for lrow in &left_rs.rows {
+        let merge_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
             let env = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
-            let branch = if self.eval_predicate(predicate, &env)? {
+            let branch = if view.eval_predicate(predicate, &env)? {
                 then_branch
             } else {
                 else_branch
             };
-            let inner = self.execute_with_env(branch, &env)?;
-            rows.push(self.merge_row(lrow, &left_rs.schema, &inner, assignments)?);
-        }
+            let inner = view.execute_with_env(branch, &env)?;
+            rows.push(view.merge_row(lrow, &left_rs.schema, &inner, assignments)?);
+            Ok(())
+        };
+        let rows = self.for_each_left_row(&left_rs, "conditional-apply-merge", &merge_one)?;
         Ok(ResultSet {
             schema: left_rs.schema,
             rows,
@@ -905,6 +1245,44 @@ fn side_of(expr: &ScalarExpr, left: &Schema, right: &Schema) -> Side {
         (false, true) => Side::Right,
         _ => Side::Neither,
     }
+}
+
+/// One build-side entry: the evaluated join key and the global right-row index.
+type BuildEntry = (Vec<GroupKey>, usize);
+/// One build morsel's output: entries bucketed by partition.
+type BuildBuckets = Vec<Vec<BuildEntry>>;
+/// A per-left-row operator body (nested-loop probe, hash probe, Apply variants).
+type PerRowFn<'f> = dyn Fn(&Executor, &Row, &mut Vec<Row>) -> Result<()> + Sync + 'f;
+
+/// Running accumulator state for one aggregate call within one group: either a
+/// built-in accumulator or the interpreted state of a user-defined aggregate.
+enum AccState {
+    Builtin(BuiltinAccumulator),
+    User {
+        name: String,
+        state: HashMap<String, Value>,
+    },
+}
+
+/// Which hash partition a group/join key belongs to. Any stable hash works — the
+/// partition assignment only has to agree between build and probe within one operator.
+fn partition_of(key: &[GroupKey], nparts: usize) -> usize {
+    if nparts <= 1 {
+        return 0;
+    }
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % nparts as u64) as usize
+}
+
+/// Concatenates per-morsel row chunks (already in morsel order) into one vector.
+fn concat_rows(chunks: Vec<Vec<Row>>, capacity_hint: usize) -> Vec<Row> {
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total.max(capacity_hint));
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
 }
 
 /// Removes duplicate rows (used by UNION and DISTINCT) preserving first-seen order.

@@ -34,7 +34,7 @@ impl Executor<'_> {
                 "table-valued function '{name}' used in a scalar context"
             )));
         }
-        self.stats.borrow_mut().udf_invocations += 1;
+        self.stats.add_udf_invocations(1);
         let mut env = self.udf_env(udf, &args)?;
         match self.exec_statements(&udf.body, &mut env, &mut None)? {
             Flow::Return(v) => Ok(v),
@@ -49,7 +49,7 @@ impl Executor<'_> {
             .returns_table
             .clone()
             .ok_or_else(|| Error::TypeError(format!("function '{name}' is not table-valued")))?;
-        self.stats.borrow_mut().udf_invocations += 1;
+        self.stats.add_udf_invocations(1);
         let mut env = self.udf_env(udf, &args)?;
         let mut buffer = Some(vec![]);
         self.exec_statements(&udf.body, &mut env, &mut buffer)?;

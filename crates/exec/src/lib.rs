@@ -24,9 +24,13 @@ pub mod env;
 pub mod eval;
 pub mod executor;
 pub mod interpreter;
+pub mod parallel;
+pub mod stats;
 
 pub use env::Env;
 pub use executor::{ExecConfig, Executor, ResultSet};
+pub use parallel::morsel_ranges;
+pub use stats::{ExecStats, ExecTrace, OperatorTrace};
 
 use decorr_algebra::{ScalarExpr, SchemaProvider};
 use decorr_common::{DataType, Result, Schema, Value};

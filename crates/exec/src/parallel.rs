@@ -1,0 +1,213 @@
+//! The morsel-driven worker pool.
+//!
+//! Parallel operators split their input into fixed-size *morsels* (row ranges) that a
+//! pool of `std::thread` workers pulls from a shared atomic queue — the classic
+//! morsel-driven scheduling of Leis et al., built on nothing but `std::thread::scope`
+//! and `std::sync::atomic` (the workspace is dependency-free).
+//!
+//! Determinism contract: workers may *process* morsels in any interleaving, but every
+//! driver returns its per-task outputs **sorted by task index** (the sort-stabilized
+//! merge), so a parallel run assembles byte-identical output to the serial row-at-a-time
+//! path. Operators whose result depends on accumulation order (hash aggregation)
+//! additionally partition by group-key hash so each group's accumulation chain stays in
+//! global row order — see `Executor::execute_aggregate`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use decorr_common::{Error, Result};
+
+use crate::executor::Executor;
+use crate::stats::OperatorTrace;
+
+/// One worker's contribution: its `(task index, task output)` pairs plus the number of
+/// input rows it processed (for the trace's per-worker spread).
+type WorkerOutput<T> = (Vec<(usize, Result<T>)>, u64);
+
+/// Splits `len` rows into contiguous ranges of at most `morsel_size` rows.
+///
+/// Edge cases: zero rows produce zero morsels; a table smaller than one morsel produces
+/// a single morsel covering it; `morsel_size == 0` is treated as 1 so the split always
+/// terminates.
+pub fn morsel_ranges(len: usize, morsel_size: usize) -> Vec<Range<usize>> {
+    let step = morsel_size.max(1);
+    let mut out = Vec::with_capacity(len.div_ceil(step));
+    let mut start = 0;
+    while start < len {
+        let end = (start + step).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+impl<'a> Executor<'a> {
+    /// True when an operator over `len` input rows should take the parallel path:
+    /// parallelism is enabled and the input spans more than one morsel. With
+    /// `parallelism == 1` every operator stays on the serial path, byte for byte.
+    pub(crate) fn should_parallelize(&self, len: usize) -> bool {
+        self.config.parallelism > 1 && len > self.config.morsel_size
+    }
+
+    /// Runs `tasks` independent work items on the worker pool and returns their outputs
+    /// **in task order**. Each worker evaluates through a serial view of this executor
+    /// (shared catalog/registry/stats, `parallelism = 1`), so nested plan execution
+    /// inside a task never spawns a second pool. Records an [`OperatorTrace`] entry.
+    ///
+    /// `task_rows` reports the input-row weight of a task for the trace's per-worker
+    /// spread; `f` receives the worker's serial executor view and the task index.
+    pub(crate) fn run_pool<T, F>(
+        &self,
+        operator: &str,
+        tasks: usize,
+        task_rows: &(dyn Fn(usize) -> u64 + Sync),
+        f: F,
+    ) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&Executor<'a>, usize) -> Result<T> + Sync,
+    {
+        if tasks == 0 {
+            return Ok(vec![]);
+        }
+        let workers = self.config.parallelism.max(1).min(tasks);
+        let queue = AtomicUsize::new(0);
+        let start = Instant::now();
+        let mut panic_message: Option<String> = None;
+        let per_worker: Vec<WorkerOutput<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let view = self.worker_view();
+                        let mut out = vec![];
+                        let mut rows = 0u64;
+                        loop {
+                            let idx = queue.fetch_add(1, Ordering::Relaxed);
+                            if idx >= tasks {
+                                break;
+                            }
+                            rows += task_rows(idx);
+                            out.push((idx, f(&view, idx)));
+                        }
+                        (out, rows)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| match h.join() {
+                    Ok(output) => Some(output),
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "worker panicked".to_string());
+                        panic_message.get_or_insert(msg);
+                        None
+                    }
+                })
+                .collect()
+        });
+        // A panicked worker may have claimed task indexes it never produced, so the
+        // slot merge below cannot run — fail the whole operator instead.
+        if let Some(msg) = panic_message {
+            return Err(Error::Execution(format!("morsel worker panicked: {msg}")));
+        }
+        let duration = start.elapsed();
+        let rows_per_worker: Vec<u64> = per_worker.iter().map(|(_, rows)| *rows).collect();
+        // Sort-stabilized merge: outputs reassemble in task order regardless of which
+        // worker ran which task, and errors surface deterministically (lowest task
+        // index wins).
+        let mut slots: Vec<Option<Result<T>>> = (0..tasks).map(|_| None).collect();
+        for (results, _) in per_worker {
+            for (idx, result) in results {
+                slots[idx] = Some(result);
+            }
+        }
+        self.stats.add_morsels_dispatched(tasks as u64);
+        self.stats.add_parallel_operators(1);
+        self.trace.record(OperatorTrace {
+            operator: operator.to_string(),
+            morsels: tasks,
+            workers,
+            rows_per_worker,
+            duration,
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task index is produced exactly once"))
+            .collect()
+    }
+
+    /// Morsel-driven map: splits `len` rows into morsels and runs `f` per morsel range,
+    /// returning the per-morsel outputs in morsel order.
+    ///
+    /// `ExecConfig::morsel_size` is the *floor*: large inputs use proportionally larger
+    /// morsels so the queue never holds more than a few tasks per worker (per-morsel
+    /// dispatch overhead stays bounded), while still leaving enough tasks for the pool
+    /// to balance skew. The split depends only on `len` and the configuration — never
+    /// on scheduling — so the morsel-order merge stays deterministic.
+    pub(crate) fn run_morsels<T, F>(&self, operator: &str, len: usize, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&Executor<'a>, Range<usize>) -> Result<T> + Sync,
+    {
+        let tasks_per_worker = 4;
+        let effective = self
+            .config
+            .morsel_size
+            .max(len.div_ceil(self.config.parallelism.max(1) * tasks_per_worker));
+        let ranges = morsel_ranges(len, effective);
+        let rows_of = |idx: usize| ranges[idx].len() as u64;
+        self.run_pool(operator, ranges.len(), &rows_of, |view, idx| {
+            f(view, ranges[idx].clone())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_produces_no_morsels() {
+        assert!(morsel_ranges(0, 1024).is_empty());
+    }
+
+    #[test]
+    fn input_smaller_than_one_morsel_is_a_single_range() {
+        assert_eq!(morsel_ranges(7, 1024), vec![0..7]);
+    }
+
+    #[test]
+    fn exact_multiple_splits_cleanly() {
+        assert_eq!(morsel_ranges(8, 4), vec![0..4, 4..8]);
+    }
+
+    #[test]
+    fn remainder_goes_into_a_short_tail_morsel() {
+        assert_eq!(morsel_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn zero_morsel_size_is_clamped_not_divergent() {
+        assert_eq!(morsel_ranges(3, 0), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn ranges_cover_input_without_gaps_or_overlap() {
+        for (len, size) in [(1, 1), (1000, 7), (4096, 1024), (5, 100)] {
+            let ranges = morsel_ranges(len, size);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "gap before {r:?}");
+                assert!(r.end > r.start, "empty morsel {r:?}");
+                assert!(r.len() <= size.max(1));
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+}

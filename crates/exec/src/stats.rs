@@ -1,0 +1,230 @@
+//! Runtime counters and the per-operator execution trace.
+//!
+//! The executor is shared by reference across the morsel workers of the parallel
+//! engine, so its live counters are lock-free atomics ([`AtomicExecStats`]); callers
+//! read them through the plain [`ExecStats`] snapshot the engine has always exposed.
+//! The [`ExecTrace`] mirrors the optimizer's per-pass instrumentation on the execution
+//! side: one [`OperatorTrace`] per morsel-driven operator, recording how many morsels
+//! were dispatched, how the rows spread across workers, and the operator's wall clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Runtime counters, useful for tests, EXPLAIN ANALYZE-style reporting and the
+/// experiment harness (e.g. the number of UDF invocations actually performed).
+///
+/// This is the *snapshot* form; the executor's live counters are the atomic
+/// [`AtomicExecStats`], which morsel workers update without taking a lock.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    pub rows_scanned: u64,
+    pub index_lookups: u64,
+    pub udf_invocations: u64,
+    pub subqueries_executed: u64,
+    pub hash_joins: u64,
+    pub nested_loop_joins: u64,
+    /// Morsels dispatched to the worker pool (0 for a fully serial execution).
+    pub morsels_dispatched: u64,
+    /// Operators that took the parallel path.
+    pub parallel_operators: u64,
+}
+
+/// Lock-free live counters. Every counter is monotonically increasing and additions
+/// commute, so `Ordering::Relaxed` is sufficient: a snapshot taken after `execute`
+/// returns observes every update (the thread joins in `std::thread::scope` synchronize).
+#[derive(Debug, Default)]
+pub struct AtomicExecStats {
+    pub rows_scanned: AtomicU64,
+    pub index_lookups: AtomicU64,
+    pub udf_invocations: AtomicU64,
+    pub subqueries_executed: AtomicU64,
+    pub hash_joins: AtomicU64,
+    pub nested_loop_joins: AtomicU64,
+    pub morsels_dispatched: AtomicU64,
+    pub parallel_operators: AtomicU64,
+}
+
+impl AtomicExecStats {
+    pub fn add_rows_scanned(&self, n: u64) {
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_index_lookups(&self, n: u64) {
+        self.index_lookups.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_udf_invocations(&self, n: u64) {
+        self.udf_invocations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_subqueries_executed(&self, n: u64) {
+        self.subqueries_executed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_hash_joins(&self, n: u64) {
+        self.hash_joins.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_nested_loop_joins(&self, n: u64) {
+        self.nested_loop_joins.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_morsels_dispatched(&self, n: u64) {
+        self.morsels_dispatched.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_parallel_operators(&self, n: u64) {
+        self.parallel_operators.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A plain snapshot of the counters.
+    pub fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            index_lookups: self.index_lookups.load(Ordering::Relaxed),
+            udf_invocations: self.udf_invocations.load(Ordering::Relaxed),
+            subqueries_executed: self.subqueries_executed.load(Ordering::Relaxed),
+            hash_joins: self.hash_joins.load(Ordering::Relaxed),
+            nested_loop_joins: self.nested_loop_joins.load(Ordering::Relaxed),
+            morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
+            parallel_operators: self.parallel_operators.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What one morsel-driven operator did: dispatched morsels, the per-worker row spread,
+/// and the operator's elapsed wall clock. The serial path records nothing — it is
+/// byte-for-byte the pre-parallel executor.
+#[derive(Debug, Clone)]
+pub struct OperatorTrace {
+    /// Operator name plus the parallel stage ("scan(orders)", "hash-join probe", …).
+    pub operator: String,
+    /// Morsels dispatched to the worker pool.
+    pub morsels: usize,
+    /// Worker-pool size for this operator.
+    pub workers: usize,
+    /// Input rows each worker processed (index = worker id). The spread shows how well
+    /// the morsel queue balanced the operator.
+    pub rows_per_worker: Vec<u64>,
+    /// Wall-clock time of the parallel section (dispatch → last worker joined).
+    pub duration: Duration,
+}
+
+impl OperatorTrace {
+    pub fn total_rows(&self) -> u64 {
+        self.rows_per_worker.iter().sum()
+    }
+}
+
+/// The executor-side counterpart of the optimizer's `PipelineReport`: one entry per
+/// morsel-driven operator, in completion order.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    pub operators: Vec<OperatorTrace>,
+}
+
+impl ExecTrace {
+    pub fn is_empty(&self) -> bool {
+        self.operators.is_empty()
+    }
+
+    /// Total morsels dispatched across all operators.
+    pub fn total_morsels(&self) -> usize {
+        self.operators.iter().map(|o| o.morsels).sum()
+    }
+
+    /// Renders the per-operator table (the execution analogue of
+    /// `PipelineReport::render`).
+    pub fn render(&self) -> String {
+        if self.operators.is_empty() {
+            return "no parallel operators (serial execution)\n".to_string();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>8} {:>12}  rows/worker\n",
+            "operator", "morsels", "workers", "time"
+        ));
+        for op in &self.operators {
+            let spread: Vec<String> = op.rows_per_worker.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>8} {:>9.3} ms  [{}]\n",
+                op.operator,
+                op.morsels,
+                op.workers,
+                op.duration.as_secs_f64() * 1e3,
+                spread.join(", "),
+            ));
+        }
+        out
+    }
+}
+
+/// Shared, locked trace collector. The lock is taken once per *operator* (not per row
+/// or morsel): workers report their row counts back through the morsel driver, which
+/// appends a single [`OperatorTrace`] after the scope joins.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    operators: Mutex<Vec<OperatorTrace>>,
+}
+
+impl TraceCollector {
+    pub fn record(&self, trace: OperatorTrace) {
+        self.operators
+            .lock()
+            .expect("trace collector poisoned")
+            .push(trace);
+    }
+
+    pub fn snapshot(&self) -> ExecTrace {
+        ExecTrace {
+            operators: self
+                .operators
+                .lock()
+                .expect("trace collector poisoned")
+                .clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_stats_snapshot_round_trips() {
+        let stats = AtomicExecStats::default();
+        stats.add_rows_scanned(10);
+        stats.add_rows_scanned(5);
+        stats.add_udf_invocations(3);
+        stats.add_morsels_dispatched(7);
+        stats.add_parallel_operators(2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows_scanned, 15);
+        assert_eq!(snap.udf_invocations, 3);
+        assert_eq!(snap.morsels_dispatched, 7);
+        assert_eq!(snap.parallel_operators, 2);
+        assert_eq!(snap.hash_joins, 0);
+    }
+
+    #[test]
+    fn trace_renders_and_totals() {
+        let collector = TraceCollector::default();
+        assert!(collector.snapshot().is_empty());
+        collector.record(OperatorTrace {
+            operator: "scan(orders)".into(),
+            morsels: 4,
+            workers: 2,
+            rows_per_worker: vec![3000, 1096],
+            duration: Duration::from_micros(1500),
+        });
+        let trace = collector.snapshot();
+        assert_eq!(trace.total_morsels(), 4);
+        assert_eq!(trace.operators[0].total_rows(), 4096);
+        let rendered = trace.render();
+        assert!(rendered.contains("scan(orders)"));
+        assert!(rendered.contains("[3000, 1096]"));
+        let empty = ExecTrace::default().render();
+        assert!(empty.contains("serial execution"));
+    }
+}

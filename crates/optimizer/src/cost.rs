@@ -20,6 +20,40 @@ impl CostEstimate {
     }
 }
 
+/// Runtime parameters the cost model calibrates against — today just the executor's
+/// worker-pool size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// The executor's `ExecConfig::parallelism`. Data-parallel operators (scans,
+    /// filters, projections, hash joins, hash aggregation and the morsel-parallel
+    /// Apply loops) divide their incremental cost by the effective speedup.
+    pub parallelism: usize,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams { parallelism: 1 }
+    }
+}
+
+/// Measured morsel-pool scaling is sub-linear (fan-out/merge overheads and skew), so
+/// each extra worker contributes this fraction of a perfectly parallel worker.
+const PARALLEL_EFFICIENCY: f64 = 0.7;
+
+impl CostParams {
+    pub fn new(parallelism: usize) -> CostParams {
+        CostParams {
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// The divisor applied to data-parallel operator costs: `1` when serial, and a
+    /// sub-linear function of the worker count otherwise.
+    pub fn effective_parallelism(&self) -> f64 {
+        1.0 + PARALLEL_EFFICIENCY * (self.parallelism.max(1) - 1) as f64
+    }
+}
+
 /// Estimated output cardinality of a plan.
 pub fn estimate_cardinality(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) -> f64 {
     estimate(plan, catalog, registry).cardinality
@@ -30,8 +64,19 @@ pub fn estimate_cost(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegis
     estimate(plan, catalog, registry).cost
 }
 
-/// Full estimate (cardinality and cost).
+/// Full estimate at serial (single-worker) execution.
 pub fn estimate(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) -> CostEstimate {
+    estimate_with(plan, catalog, registry, &CostParams::default())
+}
+
+/// Full estimate (cardinality and cost) calibrated for the given runtime parameters.
+pub fn estimate_with(
+    plan: &RelExpr,
+    catalog: &Catalog,
+    registry: &FunctionRegistry,
+    params: &CostParams,
+) -> CostEstimate {
+    let par = params.effective_parallelism();
     match plan {
         RelExpr::Single => CostEstimate::new(1.0, 0.0),
         RelExpr::Values { rows, .. } => CostEstimate::new(rows.len() as f64, rows.len() as f64),
@@ -40,18 +85,18 @@ pub fn estimate(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) 
                 .table(table)
                 .map(|t| t.row_count() as f64)
                 .unwrap_or(1000.0);
-            CostEstimate::new(rows, rows)
+            CostEstimate::new(rows, rows / par)
         }
         RelExpr::Select { input, predicate } => {
-            let input_est = estimate(input, catalog, registry);
+            let input_est = estimate_with(input, catalog, registry, params);
             let selectivity = predicate_selectivity(predicate, input, catalog);
             CostEstimate::new(
                 input_est.cardinality * selectivity,
-                input_est.cost + input_est.cardinality,
+                input_est.cost + input_est.cardinality / par,
             )
         }
         RelExpr::Project { input, items, .. } => {
-            let input_est = estimate(input, catalog, registry);
+            let input_est = estimate_with(input, catalog, registry, params);
             // Each UDF invocation in the projection costs one execution of the queries in
             // its body per input row — this is the "iterative plan" cost the paper is
             // eliminating.
@@ -61,13 +106,13 @@ pub fn estimate(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) 
                 .sum();
             CostEstimate::new(
                 input_est.cardinality,
-                input_est.cost + input_est.cardinality * (1.0 + per_row_udf_cost),
+                input_est.cost + input_est.cardinality * (1.0 + per_row_udf_cost) / par,
             )
         }
         RelExpr::Aggregate {
             input, group_by, ..
         } => {
-            let input_est = estimate(input, catalog, registry);
+            let input_est = estimate_with(input, catalog, registry, params);
             let groups = if group_by.is_empty() {
                 1.0
             } else {
@@ -75,7 +120,7 @@ pub fn estimate(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) 
                 // with each additional grouping column's duplication factor.
                 (input_est.cardinality / 2.0).max(1.0)
             };
-            CostEstimate::new(groups, input_est.cost + input_est.cardinality)
+            CostEstimate::new(groups, input_est.cost + input_est.cardinality / par)
         }
         RelExpr::Join {
             left,
@@ -83,8 +128,8 @@ pub fn estimate(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) 
             kind,
             condition,
         } => {
-            let l = estimate(left, catalog, registry);
-            let r = estimate(right, catalog, registry);
+            let l = estimate_with(left, catalog, registry, params);
+            let r = estimate_with(right, catalog, registry, params);
             let has_equi = condition
                 .as_ref()
                 .map(|c| {
@@ -111,30 +156,33 @@ pub fn estimate(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) 
             } else {
                 l.cardinality * r.cardinality
             };
-            CostEstimate::new(output, l.cost + r.cost + join_cost)
+            CostEstimate::new(output, l.cost + r.cost + join_cost / par)
         }
         RelExpr::Union { left, right, .. } => {
-            let l = estimate(left, catalog, registry);
-            let r = estimate(right, catalog, registry);
+            let l = estimate_with(left, catalog, registry, params);
+            let r = estimate_with(right, catalog, registry, params);
             CostEstimate::new(l.cardinality + r.cardinality, l.cost + r.cost)
         }
         RelExpr::Sort { input, .. } => {
-            let e = estimate(input, catalog, registry);
+            let e = estimate_with(input, catalog, registry, params);
             let sort_cost = e.cardinality * (e.cardinality.max(2.0)).log2();
             CostEstimate::new(e.cardinality, e.cost + sort_cost)
         }
         RelExpr::Limit { input, limit } => {
-            let e = estimate(input, catalog, registry);
+            let e = estimate_with(input, catalog, registry, params);
             CostEstimate::new((*limit as f64).min(e.cardinality), e.cost)
         }
-        RelExpr::Rename { input, .. } => estimate(input, catalog, registry),
+        RelExpr::Rename { input, .. } => estimate_with(input, catalog, registry, params),
         RelExpr::Apply { left, right, .. } => {
-            // Correlated evaluation: the inner expression runs once per outer row.
-            let l = estimate(left, catalog, registry);
-            let r = estimate(right, catalog, registry);
+            // Correlated evaluation: the inner expression runs once per outer row. The
+            // executor morsel-parallelizes the Apply loop over its outer rows, so the
+            // per-row inner cost scales down with the pool like the set-oriented
+            // operators do.
+            let l = estimate_with(left, catalog, registry, params);
+            let r = estimate_with(right, catalog, registry, params);
             CostEstimate::new(
                 l.cardinality * r.cardinality.max(1.0),
-                l.cost + l.cardinality * (r.cost * CORRELATED_DISCOUNT).max(1.0),
+                l.cost + l.cardinality * (r.cost * CORRELATED_DISCOUNT).max(1.0) / par,
             )
         }
         RelExpr::ApplyMerge { left, right, .. }
@@ -143,11 +191,11 @@ pub fn estimate(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) 
             then_branch: right,
             ..
         } => {
-            let l = estimate(left, catalog, registry);
-            let r = estimate(right, catalog, registry);
+            let l = estimate_with(left, catalog, registry, params);
+            let r = estimate_with(right, catalog, registry, params);
             CostEstimate::new(
                 l.cardinality,
-                l.cost + l.cardinality * (r.cost * CORRELATED_DISCOUNT).max(1.0),
+                l.cost + l.cardinality * (r.cost * CORRELATED_DISCOUNT).max(1.0) / par,
             )
         }
     }

@@ -27,9 +27,9 @@ pub use cache::{
     plan_fingerprint, CacheActivity, CacheContext, PlanCache, PlanCacheStats,
     DEFAULT_PLAN_CACHE_CAPACITY,
 };
-pub use cost::{estimate_cardinality, estimate_cost, CostEstimate};
+pub use cost::{estimate_cardinality, estimate_cost, estimate_with, CostEstimate, CostParams};
 pub use pass::{
     OptimizeMode, OptimizeOutcome, OptimizerPass, PassContext, PassEffect, PassManager,
     PassManagerOptions, PassTrace, PipelineReport,
 };
-pub use strategy::{choose_strategy, StrategyChoice, StrategyDecision};
+pub use strategy::{choose_strategy, choose_strategy_with, StrategyChoice, StrategyDecision};

@@ -23,7 +23,8 @@ use decorr_storage::Catalog;
 use decorr_udf::{AggregateDefinition, FunctionRegistry};
 
 use crate::cache::{plan_fingerprint, CacheActivity, CacheContext, FnvHasher, PlanCache};
-use crate::strategy::{choose_strategy, StrategyChoice, StrategyDecision};
+use crate::cost::CostParams;
+use crate::strategy::{choose_strategy_with, StrategyChoice, StrategyDecision};
 
 // ---------------------------------------------------------------------------- options
 
@@ -57,6 +58,10 @@ pub struct PassManagerOptions {
     /// rendering costs string work per pass on every optimize call, so only diagnostic
     /// entry points (`EXPLAIN`, debugging sessions) should enable it.
     pub capture_snapshots: bool,
+    /// The executor's worker-pool size, fed into the cost model so the strategy choice
+    /// accounts for morsel-parallel scans/joins/aggregates. Part of the pipeline
+    /// fingerprint: a cached decision made for one pool size must not serve another.
+    pub parallelism: usize,
 }
 
 impl Default for PassManagerOptions {
@@ -67,6 +72,7 @@ impl Default for PassManagerOptions {
             require_full_decorrelation: true,
             mode: OptimizeMode::CostBased,
             capture_snapshots: false,
+            parallelism: 1,
         }
     }
 }
@@ -502,7 +508,9 @@ impl OptimizerPass for StrategyChoicePass {
                     .with_note("decorrelated plan forced by options"))
             }
             (OptimizeMode::CostBased, Some(catalog)) => {
-                let decision = choose_strategy(&baseline, plan, catalog, ctx.registry);
+                let params = CostParams::new(ctx.options.parallelism);
+                let decision =
+                    choose_strategy_with(&baseline, plan, catalog, ctx.registry, &params);
                 let summary = decision.summary();
                 let chosen = match decision.choice {
                     StrategyChoice::Decorrelated => {
@@ -593,6 +601,13 @@ impl PassManager {
         self
     }
 
+    /// Calibrates the cost model for the executor's worker-pool size (see
+    /// [`PassManagerOptions::parallelism`]).
+    pub fn with_parallelism(mut self, parallelism: usize) -> PassManager {
+        self.options.parallelism = parallelism.max(1);
+        self
+    }
+
     /// Attaches a shared [`PlanCache`]: `optimize` probes it before running any pass
     /// and stores the outcome on a miss. The cache key folds in the registry and
     /// catalog-DDL generations plus this pipeline's
@@ -640,6 +655,7 @@ impl PassManager {
             OptimizeMode::ForceDecorrelated => 1,
         });
         hasher.write_u64(u64::from(self.options.capture_snapshots));
+        hasher.write_u64(self.options.parallelism as u64);
         hasher.finish()
     }
 

@@ -4,7 +4,7 @@ use decorr_algebra::RelExpr;
 use decorr_storage::Catalog;
 use decorr_udf::FunctionRegistry;
 
-use crate::cost::{estimate, CostEstimate};
+use crate::cost::{estimate_with, CostEstimate, CostParams};
 
 /// Which alternative the optimizer selected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +43,28 @@ pub fn choose_strategy(
     catalog: &Catalog,
     registry: &FunctionRegistry,
 ) -> StrategyDecision {
-    let iterative = estimate(original, catalog, registry);
-    let decorrelated = estimate(rewritten, catalog, registry);
+    choose_strategy_with(
+        original,
+        rewritten,
+        catalog,
+        registry,
+        &CostParams::default(),
+    )
+}
+
+/// [`choose_strategy`] calibrated for the executor's runtime parameters: with a worker
+/// pool attached, the scan-heavy decorrelated plan gets cheaper faster than the
+/// index-probe-bound iterative plan, shifting the crossover point the paper observes in
+/// Experiment 3 toward smaller invocation counts.
+pub fn choose_strategy_with(
+    original: &RelExpr,
+    rewritten: &RelExpr,
+    catalog: &Catalog,
+    registry: &FunctionRegistry,
+    params: &CostParams,
+) -> StrategyDecision {
+    let iterative = estimate_with(original, catalog, registry, params);
+    let decorrelated = estimate_with(rewritten, catalog, registry, params);
     let choice = if decorrelated.cost <= iterative.cost {
         StrategyChoice::Decorrelated
     } else {

@@ -52,6 +52,21 @@ impl TpchConfig {
         self.customers = customers;
         self
     }
+
+    /// Scales every table proportionally to the default configuration (`scale = 1.0`
+    /// is the default size). The executor bench uses this to measure end-to-end
+    /// latency at two scale factors with the table *ratios* preserved.
+    pub fn with_scale(scale: f64) -> TpchConfig {
+        let scale = scale.max(0.001);
+        let default = TpchConfig::default();
+        let scaled = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+        TpchConfig {
+            customers: scaled(default.customers),
+            parts: scaled(default.parts),
+            categories: scaled(default.categories),
+            ..default
+        }
+    }
 }
 
 /// Creates the schema, generates the data and builds the default primary/foreign-key

@@ -1,0 +1,382 @@
+//! Serial/parallel equivalence of the morsel-driven executor.
+//!
+//! The parallel engine's contract is strict: for every plan and every worker-pool
+//! size, the parallel execution must produce **byte-identical** results to the serial
+//! row-at-a-time path — same rows, same row order, same float rounding (aggregation
+//! partitions by group key, so each group's accumulation chain stays in global row
+//! order). These tests drive that contract with the deterministic property harness
+//! used by `tests/rule_properties.rs`, across `parallelism ∈ {1, 2, 4, 8}`.
+
+use udf_decorrelation::algebra::{
+    AggCall, AggFunc, ApplyKind, JoinKind, PlanBuilder, RelExpr, ScalarExpr as E,
+};
+use udf_decorrelation::common::{Column, DataType, Row, Schema, SmallRng, Value};
+use udf_decorrelation::engine::{Database, QueryOptions};
+use udf_decorrelation::exec::{ExecConfig, Executor, ResultSet};
+use udf_decorrelation::storage::Catalog;
+use udf_decorrelation::tpch::{experiment1, experiment2, experiment3, generate, TpchConfig};
+use udf_decorrelation::udf::FunctionRegistry;
+
+const PARALLELISMS: [usize; 4] = [1, 2, 4, 8];
+/// Small morsels so even the property-sized tables span many of them.
+const TEST_MORSEL: usize = 16;
+
+fn config_with(parallelism: usize) -> ExecConfig {
+    ExecConfig {
+        parallelism,
+        morsel_size: TEST_MORSEL,
+        ..ExecConfig::default()
+    }
+}
+
+/// Executes `plan` serially and at every tested pool size; asserts byte-identical
+/// results (including row order) and returns the serial result.
+fn assert_parallel_equivalence(catalog: &Catalog, plan: &RelExpr) -> ResultSet {
+    let registry = FunctionRegistry::new();
+    let serial = Executor::with_config(catalog, &registry, config_with(1))
+        .execute(plan)
+        .expect("serial execution");
+    for p in PARALLELISMS {
+        let executor = Executor::with_config(catalog, &registry, config_with(p));
+        let parallel = executor.execute(plan).expect("parallel execution");
+        assert_eq!(
+            serial, parallel,
+            "parallel execution at {p} workers diverged from serial"
+        );
+        assert_eq!(serial.canonical(), parallel.canonical());
+    }
+    serial
+}
+
+/// Deterministic per-case RNG driver (same scheme as `tests/rule_properties.rs`).
+fn check_property(name: &str, cases: u64, property: impl Fn(&mut SmallRng)) {
+    for case in 0..cases {
+        let seed = 0x9A11_0000 + case;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng);
+        }));
+        if let Err(panic) = result {
+            eprintln!("property '{name}' failed for seed {seed:#x} (case {case})");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// A catalog with one `accounts(id, grp, amount)` table of `n` random rows.
+fn random_accounts(rng: &mut SmallRng, min: usize, max: usize) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog
+        .create_table(
+            "accounts",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("grp", DataType::Int),
+                Column::new("amount", DataType::Float),
+            ]),
+        )
+        .unwrap();
+    let n = rng.gen_range_usize(min, max);
+    catalog
+        .insert_rows(
+            "accounts",
+            (0..n)
+                .map(|_| {
+                    Row::new(vec![
+                        Value::Int(rng.gen_range_i64(0, 200)),
+                        Value::Int(rng.gen_range_i64(0, 9)),
+                        Value::Float(rng.gen_range_f64(-1000.0, 1000.0)),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+    catalog
+}
+
+/// One random plan over the accounts table, covering every parallelised operator:
+/// filter, project, hash aggregation (float sums included), equi-join, Apply with a
+/// correlated scalar aggregate, and sort.
+fn random_plan(rng: &mut SmallRng) -> RelExpr {
+    match rng.gen_range_usize(0, 6) {
+        0 => {
+            // σ + Π with arithmetic.
+            let threshold = rng.gen_range_f64(-500.0, 500.0);
+            PlanBuilder::scan("accounts")
+                .select(E::gt(E::column("amount"), E::literal(threshold)))
+                .project(vec![
+                    (E::column("id"), None),
+                    (
+                        E::binary(
+                            udf_decorrelation::algebra::BinaryOp::Mul,
+                            E::column("amount"),
+                            E::literal(2),
+                        ),
+                        Some("doubled"),
+                    ),
+                ])
+                .build()
+        }
+        1 => {
+            // Grouped hash aggregation with order-sensitive float accumulators.
+            PlanBuilder::scan("accounts")
+                .aggregate(
+                    vec![E::column("grp")],
+                    vec![
+                        AggCall::new(AggFunc::Sum, vec![E::column("amount")], "total"),
+                        AggCall::new(AggFunc::Avg, vec![E::column("amount")], "mean"),
+                        AggCall::new(AggFunc::CountStar, vec![], "n"),
+                        AggCall::new(AggFunc::Min, vec![E::column("amount")], "lo"),
+                        AggCall::new(AggFunc::Max, vec![E::column("amount")], "hi"),
+                    ],
+                )
+                .build()
+        }
+        2 => {
+            // Scalar (ungrouped) float aggregate: one accumulation chain.
+            PlanBuilder::scan("accounts")
+                .aggregate(
+                    vec![],
+                    vec![AggCall::new(AggFunc::Sum, vec![E::column("amount")], "s")],
+                )
+                .build()
+        }
+        3 => {
+            // Self equi-join (hash path once the inputs clear the threshold).
+            let limit = rng.gen_range_f64(-500.0, 500.0);
+            PlanBuilder::scan_as("accounts", "a")
+                .join(
+                    PlanBuilder::scan_as("accounts", "b")
+                        .select(E::gt(E::qualified_column("b", "amount"), E::literal(limit))),
+                    JoinKind::Inner,
+                    Some(E::eq(
+                        E::qualified_column("a", "grp"),
+                        E::qualified_column("b", "grp"),
+                    )),
+                )
+                .project(vec![
+                    (E::qualified_column("a", "id"), None),
+                    (E::qualified_column("b", "id"), Some("other")),
+                ])
+                .build()
+        }
+        4 => {
+            // Correlated Apply: per-row scalar aggregate over the same table.
+            let inner = PlanBuilder::scan_as("accounts", "inner_side")
+                .select(E::eq(
+                    E::qualified_column("inner_side", "grp"),
+                    E::qualified_column("outer_side", "grp"),
+                ))
+                .aggregate(
+                    vec![],
+                    vec![AggCall::new(
+                        AggFunc::Sum,
+                        vec![E::qualified_column("inner_side", "amount")],
+                        "total",
+                    )],
+                );
+            PlanBuilder::scan_as("accounts", "outer_side")
+                .apply(inner, ApplyKind::Cross, vec![])
+                .project(vec![
+                    (E::qualified_column("outer_side", "id"), None),
+                    (E::column("total"), None),
+                ])
+                .build()
+        }
+        _ => {
+            // Sort over a filtered scan (tie-heavy keys exercise merge stability).
+            let threshold = rng.gen_range_f64(-500.0, 500.0);
+            PlanBuilder::scan("accounts")
+                .select(E::gt(E::column("amount"), E::literal(threshold)))
+                .sort(vec![(E::column("grp"), rng.gen_range_usize(0, 2) == 0)])
+                .build()
+        }
+    }
+}
+
+#[test]
+fn random_plans_are_parallelism_invariant() {
+    check_property("random_plans_are_parallelism_invariant", 40, |rng| {
+        let catalog = random_accounts(rng, 60, 220);
+        let plan = random_plan(rng);
+        assert_parallel_equivalence(&catalog, &plan);
+    });
+}
+
+#[test]
+fn morsel_edge_cases_fall_back_to_serial_semantics() {
+    // Empty table, table smaller than one morsel, and a single worker must all produce
+    // the serial result (and the first two never dispatch morsels at all).
+    let registry = FunctionRegistry::new();
+    for rows in [0usize, 5] {
+        let mut catalog = Catalog::new();
+        catalog
+            .create_table(
+                "accounts",
+                Schema::new(vec![
+                    Column::new("id", DataType::Int),
+                    Column::new("grp", DataType::Int),
+                    Column::new("amount", DataType::Float),
+                ]),
+            )
+            .unwrap();
+        catalog
+            .insert_rows(
+                "accounts",
+                (0..rows as i64)
+                    .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 2), Value::Float(1.5)]))
+                    .collect(),
+            )
+            .unwrap();
+        let plan = PlanBuilder::scan("accounts")
+            .aggregate(
+                vec![],
+                vec![AggCall::new(AggFunc::Sum, vec![E::column("amount")], "s")],
+            )
+            .build();
+        let serial = Executor::with_config(&catalog, &registry, config_with(1))
+            .execute(&plan)
+            .unwrap();
+        let parallel_exec = Executor::with_config(
+            &catalog,
+            &registry,
+            ExecConfig {
+                parallelism: 4,
+                morsel_size: 8,
+                ..ExecConfig::default()
+            },
+        );
+        let parallel = parallel_exec.execute(&plan).unwrap();
+        assert_eq!(serial, parallel, "{rows} rows");
+        assert_eq!(
+            parallel_exec.stats_snapshot().morsels_dispatched,
+            0,
+            "inputs within one morsel must not fan out"
+        );
+    }
+}
+
+#[test]
+fn single_worker_parallelism_is_the_serial_path() {
+    let mut rng = SmallRng::seed_from_u64(0x51);
+    let catalog = random_accounts(&mut rng, 100, 150);
+    let plan = random_plan(&mut rng);
+    let registry = FunctionRegistry::new();
+    let executor = Executor::with_config(&catalog, &registry, config_with(1));
+    executor.execute(&plan).unwrap();
+    let stats = executor.stats_snapshot();
+    assert_eq!(stats.morsels_dispatched, 0);
+    assert_eq!(stats.parallel_operators, 0);
+    assert!(executor.trace_snapshot().is_empty());
+}
+
+/// Satellite regression: `ResultSet::canonical()` (and the raw row order beneath it)
+/// must be deterministic regardless of worker interleaving — repeated parallel runs of
+/// the same query are byte-identical to each other and to the serial run.
+#[test]
+fn canonical_is_deterministic_across_worker_interleavings() {
+    let db = parallel_db(200);
+    let sql = "select custkey, service_level(custkey) as level from customer";
+    let serial = db.query_with(sql, &options_with_parallelism(1)).unwrap();
+    let mut canonicals = vec![];
+    for _ in 0..5 {
+        let parallel = db.query_with(sql, &options_with_parallelism(4)).unwrap();
+        assert_eq!(serial.rows, parallel.rows, "row order diverged from serial");
+        canonicals.push(
+            ResultSet {
+                schema: parallel.schema.clone(),
+                rows: parallel.rows.clone(),
+            }
+            .canonical(),
+        );
+    }
+    assert!(
+        canonicals.windows(2).all(|w| w[0] == w[1]),
+        "canonical() varied across runs"
+    );
+}
+
+fn parallel_db(customers: usize) -> Database {
+    let mut db = generate(&TpchConfig::tiny().with_customers(customers)).unwrap();
+    experiment2().install(&mut db).unwrap();
+    db
+}
+
+fn options_with_parallelism(parallelism: usize) -> QueryOptions {
+    QueryOptions {
+        exec_config: Some(ExecConfig {
+            parallelism,
+            morsel_size: TEST_MORSEL,
+            ..ExecConfig::default()
+        }),
+        ..QueryOptions::default()
+    }
+}
+
+/// End-to-end engine equivalence on the paper's three experiment workloads, both
+/// execution strategies, across the tested pool sizes.
+#[test]
+fn experiment_workloads_are_parallelism_invariant_end_to_end() {
+    for (workload, invocations) in [(experiment1(), 40), (experiment2(), 30), (experiment3(), 8)] {
+        let mut db = generate(&TpchConfig::tiny()).unwrap();
+        workload.install(&mut db).unwrap();
+        let sql = (workload.query)(invocations);
+        for strategy in [
+            QueryOptions::iterative,
+            QueryOptions::decorrelated,
+            QueryOptions::default,
+        ] {
+            let serial = db
+                .query_with(&sql, &with_config(strategy(), 1))
+                .unwrap_or_else(|e| panic!("{}: serial: {e}", workload.name));
+            for p in PARALLELISMS {
+                let parallel = db
+                    .query_with(&sql, &with_config(strategy(), p))
+                    .unwrap_or_else(|e| panic!("{}: parallel {p}: {e}", workload.name));
+                assert_eq!(
+                    serial.rows, parallel.rows,
+                    "{}: parallelism {p} diverged",
+                    workload.name
+                );
+                // The counters that describe the *logical* work must not depend on the
+                // pool size.
+                assert_eq!(
+                    serial.exec_stats.udf_invocations,
+                    parallel.exec_stats.udf_invocations
+                );
+                assert_eq!(
+                    serial.exec_stats.rows_scanned,
+                    parallel.exec_stats.rows_scanned
+                );
+                assert_eq!(serial.exec_stats.hash_joins, parallel.exec_stats.hash_joins);
+            }
+        }
+    }
+}
+
+fn with_config(mut options: QueryOptions, parallelism: usize) -> QueryOptions {
+    options.exec_config = Some(ExecConfig {
+        parallelism,
+        morsel_size: TEST_MORSEL,
+        ..ExecConfig::default()
+    });
+    options
+}
+
+/// A parallel run populates the per-operator execution trace and the morsel counters.
+#[test]
+fn parallel_runs_record_an_execution_trace() {
+    let db = parallel_db(300);
+    let sql = "select custkey, service_level(custkey) as level from customer";
+    let result = db.query_with(sql, &options_with_parallelism(4)).unwrap();
+    assert!(result.exec_stats.morsels_dispatched > 0);
+    assert!(result.exec_stats.parallel_operators > 0);
+    assert!(!result.exec_trace.is_empty());
+    let rendered = result.exec_trace.render();
+    assert!(rendered.contains("morsels"), "{rendered}");
+    for op in &result.exec_trace.operators {
+        assert!(op.workers >= 1 && op.workers <= 4);
+        assert!(op.morsels > 0);
+        assert_eq!(op.rows_per_worker.len(), op.workers);
+    }
+}
