@@ -23,7 +23,8 @@ use std::process::ExitCode;
 use decorr_bench::json::Json;
 use decorr_bench::{
     check_executor_against_baseline, executor_bench_json, executor_thread_sweep,
-    measure_executor_latency, ExecGateConfig, ExecutorLatency,
+    measure_executor_latency, measure_pipelining, measure_pool_reuse, ExecGateConfig,
+    ExecutorLatency,
 };
 use decorr_tpch::{experiment1, experiment2, experiment3};
 
@@ -133,7 +134,39 @@ fn main() -> ExitCode {
         );
     }
 
-    let doc = executor_bench_json(mode, cores, &latencies, &sweep);
+    // Persistent-pool payoff: thread spawns per query must drop to zero once the pool
+    // is warm (the scoped-thread design paid parallel_operators × threads per query).
+    let pool_reuse = measure_pool_reuse(&experiment2(), scales[0], invocations, args.threads, 5);
+    println!(
+        "\npool reuse (experiment2, {} queries at {} threads): warm-up spawned {} threads, \
+         warm queries spawned {}/query (scoped design: {}/query across {} parallel operators)",
+        pool_reuse.queries,
+        pool_reuse.threads,
+        pool_reuse.warmup_spawns,
+        pool_reuse.warm_spawns_per_query,
+        pool_reuse.scoped_spawns_per_query,
+        pool_reuse.parallel_operators_per_query,
+    );
+
+    // Pipelined vs materialized execution of the fusion-heavy iterative shape.
+    let pipelining = measure_pipelining(
+        "experiment2",
+        &experiment2(),
+        scales[0],
+        invocations,
+        args.threads,
+        runs,
+    );
+    println!(
+        "pipelining (experiment2, iterative): fused {:.2} ms vs materialized {:.2} ms \
+         ({:.2}x, {} operators fused)",
+        pipelining.pipelined.as_secs_f64() * 1e3,
+        pipelining.materialized.as_secs_f64() * 1e3,
+        pipelining.speedup(),
+        pipelining.pipelined_operators,
+    );
+
+    let doc = executor_bench_json(mode, cores, &latencies, &sweep, &pool_reuse, &pipelining);
     if let Err(e) = std::fs::write(&args.out, doc.render()) {
         eprintln!("executor_bench: cannot write {}: {e}", args.out);
         return ExitCode::from(2);

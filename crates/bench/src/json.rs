@@ -84,9 +84,13 @@ impl Json {
                 let _ = write!(out, "{b}");
             }
             Json::Num(n) => {
-                // Integers render without a fraction; everything else with enough
-                // precision to round-trip the measurements.
-                if n.fract() == 0.0 && n.abs() < 1e15 {
+                // JSON has no NaN/Infinity literals: a non-finite measurement (e.g. a
+                // speedup with a zero denominator) renders as `null` so the emitted
+                // document always re-parses. Integers render without a fraction;
+                // everything else with enough precision to round-trip the measurements.
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 1e15 {
                     let _ = write!(out, "{}", *n as i64);
                 } else {
                     let _ = write!(out, "{n:.6}");
@@ -342,6 +346,28 @@ mod tests {
     fn integers_render_without_fraction() {
         assert_eq!(Json::num(12.0).render(), "12\n");
         assert!(Json::num(1.5).render().starts_with("1.5"));
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null_and_round_trip() {
+        // `write!("{n}")` would emit `NaN`/`inf`, which the parser (rightly) rejects;
+        // the emitter must fall back to `null` for every non-finite value.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::obj(vec![
+                ("speedup", Json::num(bad)),
+                ("ok", Json::num(1.5)),
+                ("nested", Json::Arr(vec![Json::num(bad), Json::num(2.0)])),
+            ]);
+            let text = doc.render();
+            let parsed = Json::parse(&text)
+                .unwrap_or_else(|e| panic!("emitted JSON must re-parse ({bad}): {e}\n{text}"));
+            assert_eq!(parsed.get("speedup"), Some(&Json::Null), "{text}");
+            assert_eq!(parsed.get("ok").unwrap().as_f64(), Some(1.5));
+            assert_eq!(
+                parsed.get("nested").unwrap().as_arr().unwrap()[0],
+                Json::Null
+            );
+        }
     }
 
     #[test]

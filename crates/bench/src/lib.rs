@@ -471,12 +471,146 @@ pub fn executor_thread_sweep(
         .collect()
 }
 
+/// Worker-pool reuse across repeated queries — the persistent-pool payoff. The pool is
+/// warmed once (eagerly, by `set_parallelism`); after that every query's `pool_spawns`
+/// counter must be zero, where the previous scoped-thread design paid
+/// `parallel_operators × threads` spawns per query.
+#[derive(Debug, Clone)]
+pub struct PoolReuse {
+    pub threads: usize,
+    pub queries: usize,
+    /// Threads spawned to warm the pool (a one-off lifecycle cost).
+    pub warmup_spawns: u64,
+    /// Worker threads spawned per query once the pool is warm (0 = full reuse; this is
+    /// the executor-bench acceptance metric).
+    pub warm_spawns_per_query: u64,
+    /// Parallel operators one warm query dispatches.
+    pub parallel_operators_per_query: u64,
+    /// Thread spawns per query the pre-pool scoped design would have paid
+    /// (`parallel_operators × threads`).
+    pub scoped_spawns_per_query: u64,
+    /// Pool batches executed across the measured queries.
+    pub batches_run: u64,
+}
+
+/// Runs `queries` repetitions of the workload query against one database with a
+/// persistent pool of `threads` workers and reports the spawn accounting.
+pub fn measure_pool_reuse(
+    workload: &Workload,
+    scale: f64,
+    invocations: usize,
+    threads: usize,
+    queries: usize,
+) -> PoolReuse {
+    let mut db = setup_scaled(workload, scale);
+    db.set_parallelism(threads);
+    let warmup_spawns = db.worker_pool_stats().threads_spawned;
+    let batches_before = db.worker_pool_stats().batches_run;
+    let sql = (workload.query)(invocations);
+    let mut warm_spawns_per_query = 0u64;
+    let mut parallel_operators_per_query = 0u64;
+    for _ in 0..queries.max(1) {
+        let options = QueryOptions {
+            exec_config: Some(bench_exec_config(threads)),
+            ..QueryOptions::default()
+        };
+        let result = db.query_with(&sql, &options).expect("pool-reuse query");
+        warm_spawns_per_query = warm_spawns_per_query.max(result.exec_stats.pool_spawns);
+        parallel_operators_per_query = result.exec_stats.parallel_operators;
+    }
+    PoolReuse {
+        threads,
+        queries: queries.max(1),
+        warmup_spawns,
+        warm_spawns_per_query,
+        parallel_operators_per_query,
+        scoped_spawns_per_query: parallel_operators_per_query * threads as u64,
+        batches_run: db.worker_pool_stats().batches_run - batches_before,
+    }
+}
+
+/// Pipelined (fused scan→filter→project chains) vs materialized (operator-at-a-time)
+/// parallel execution of one workload query.
+#[derive(Debug, Clone)]
+pub struct PipelineComparison {
+    pub key: String,
+    pub threads: usize,
+    pub pipelined: Duration,
+    pub materialized: Duration,
+    /// Operators fused per pipelined run (0 would mean fusion never engaged).
+    pub pipelined_operators: u64,
+    pub runs: usize,
+}
+
+impl PipelineComparison {
+    pub fn speedup(&self) -> f64 {
+        self.materialized.as_secs_f64() / self.pipelined.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measures the workload query with pipeline fusion on vs off (iterative strategy —
+/// the per-row UDF projection over a filtered scan is the fusion-heavy shape),
+/// asserting byte-identical rows while timing both arms.
+pub fn measure_pipelining(
+    key: &str,
+    workload: &Workload,
+    scale: f64,
+    invocations: usize,
+    threads: usize,
+    runs: usize,
+) -> PipelineComparison {
+    let db = setup_scaled(workload, scale);
+    let sql = (workload.query)(invocations);
+    // One untimed warm-up run so the first timed arm doesn't absorb the one-off costs
+    // (plan-cache miss, pool spawn-up).
+    let warmup = QueryOptions {
+        exec_config: Some(bench_exec_config(threads)),
+        ..QueryOptions::iterative()
+    };
+    db.query_with(&sql, &warmup).expect("pipelining warm-up");
+    let arm = |fusion: bool| -> (Duration, Vec<decorr_common::Row>, u64) {
+        let mut best = Duration::MAX;
+        let mut rows = vec![];
+        let mut pipelined_operators = 0;
+        for _ in 0..runs.max(1) {
+            let mut config = bench_exec_config(threads);
+            config.pipeline_fusion = fusion;
+            let options = QueryOptions {
+                exec_config: Some(config),
+                ..QueryOptions::iterative()
+            };
+            let start = Instant::now();
+            let result = db.query_with(&sql, &options).expect("pipelining query");
+            best = best.min(start.elapsed());
+            pipelined_operators = result.exec_stats.pipelined_operators;
+            rows = result.rows;
+        }
+        (best, rows, pipelined_operators)
+    };
+    let (pipelined, fused_rows, pipelined_operators) = arm(true);
+    let (materialized, materialized_rows, _) = arm(false);
+    assert_eq!(
+        fused_rows, materialized_rows,
+        "{key}: pipelined rows diverged from materialized"
+    );
+    PipelineComparison {
+        key: key.to_string(),
+        threads,
+        pipelined,
+        materialized,
+        pipelined_operators,
+        runs: runs.max(1),
+    }
+}
+
 /// Assembles the machine-readable `BENCH_executor.json` document.
 pub fn executor_bench_json(
     mode: &str,
     host_cores: usize,
     latencies: &[ExecutorLatency],
     sweep: &[(usize, Duration)],
+    pool_reuse: &PoolReuse,
+    pipelining: &PipelineComparison,
 ) -> Json {
     let workloads = latencies
         .iter()
@@ -521,11 +655,53 @@ pub fn executor_bench_json(
         })
         .collect();
     Json::obj(vec![
-        ("schema_version", Json::num(1.0)),
+        ("schema_version", Json::num(2.0)),
         ("mode", Json::str(mode)),
         ("host_cores", Json::num(host_cores as f64)),
         ("workloads", Json::Arr(workloads)),
         ("thread_sweep", Json::Arr(sweep_json)),
+        (
+            "pool_reuse",
+            Json::obj(vec![
+                ("threads", Json::num(pool_reuse.threads as f64)),
+                ("queries", Json::num(pool_reuse.queries as f64)),
+                ("warmup_spawns", Json::num(pool_reuse.warmup_spawns as f64)),
+                (
+                    "warm_spawns_per_query",
+                    Json::num(pool_reuse.warm_spawns_per_query as f64),
+                ),
+                (
+                    "parallel_operators_per_query",
+                    Json::num(pool_reuse.parallel_operators_per_query as f64),
+                ),
+                (
+                    "scoped_spawns_per_query",
+                    Json::num(pool_reuse.scoped_spawns_per_query as f64),
+                ),
+                ("batches_run", Json::num(pool_reuse.batches_run as f64)),
+            ]),
+        ),
+        (
+            "pipelining",
+            Json::obj(vec![
+                ("key", Json::str(&pipelining.key)),
+                ("threads", Json::num(pipelining.threads as f64)),
+                (
+                    "pipelined_ms",
+                    Json::num(pipelining.pipelined.as_secs_f64() * 1e3),
+                ),
+                (
+                    "materialized_ms",
+                    Json::num(pipelining.materialized.as_secs_f64() * 1e3),
+                ),
+                ("speedup", Json::num(pipelining.speedup())),
+                (
+                    "pipelined_operators",
+                    Json::num(pipelining.pipelined_operators as f64),
+                ),
+                ("runs", Json::num(pipelining.runs as f64)),
+            ]),
+        ),
     ])
 }
 
@@ -953,7 +1129,19 @@ mod tests {
         assert!(latency.best_speedup() > 0.0);
         let sweep = executor_thread_sweep(&experiment2(), 0.03, 20, &[1, 2], 2);
         assert_eq!(sweep.len(), 2);
-        let doc = executor_bench_json("test", 1, &[latency], &sweep);
+        let pool_reuse = measure_pool_reuse(&experiment2(), 0.03, 20, 2, 3);
+        assert_eq!(pool_reuse.warmup_spawns, 2);
+        assert_eq!(
+            pool_reuse.warm_spawns_per_query, 0,
+            "a warm persistent pool must not spawn per query: {pool_reuse:?}"
+        );
+        assert!(pool_reuse.batches_run > 0, "{pool_reuse:?}");
+        let pipelining = measure_pipelining("experiment2_sf1", &experiment2(), 0.03, 20, 2, 2);
+        assert!(
+            pipelining.pipelined_operators > 0,
+            "fusion must engage on the iterative projection: {pipelining:?}"
+        );
+        let doc = executor_bench_json("test", 1, &[latency], &sweep, &pool_reuse, &pipelining);
         let parsed = Json::parse(&doc.render()).unwrap();
         let workload = &parsed.get("workloads").unwrap().as_arr().unwrap()[0];
         assert_eq!(
@@ -973,6 +1161,14 @@ mod tests {
             parsed.get("thread_sweep").unwrap().as_arr().unwrap().len(),
             2
         );
+        let reuse = parsed.get("pool_reuse").unwrap();
+        assert_eq!(
+            reuse.get("warm_spawns_per_query").unwrap().as_f64(),
+            Some(0.0)
+        );
+        let pipe = parsed.get("pipelining").unwrap();
+        assert!(pipe.get("pipelined_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(pipe.get("pipelined_operators").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]

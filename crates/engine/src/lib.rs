@@ -12,7 +12,7 @@ use std::sync::Arc;
 use decorr_algebra::display::explain;
 use decorr_algebra::RelExpr;
 use decorr_common::{Error, Result, Row, Schema, Value};
-use decorr_exec::{CatalogProvider, Env, ExecConfig, Executor};
+use decorr_exec::{CatalogProvider, Env, ExecConfig, Executor, WorkerPool, WorkerPoolStats};
 use decorr_optimizer::{
     OptimizeMode, OptimizeOutcome, PassManager, PipelineReport, PlanCache, PlanCacheStats,
 };
@@ -155,25 +155,36 @@ pub enum ExecutionSummary {
 /// The cache key folds in the registry generation (bumped by `CREATE FUNCTION`) and
 /// the catalog DDL generation, so UDF redefinition and schema changes invalidate
 /// stale entries automatically.
+///
+/// The database also owns one persistent [`WorkerPool`]: every query's executor
+/// dispatches its morsel batches to it, so worker threads are reused across operators
+/// *and* across queries (thread spawns are a pool-lifecycle event, not a per-query
+/// cost). The catalog and registry are held behind `Arc`s so executors can hand
+/// `'static` jobs to those long-lived workers; mutation goes through
+/// [`Arc::make_mut`] (copy-on-write only if an in-flight query still holds the
+/// previous snapshot).
 #[derive(Debug, Default)]
 pub struct Database {
-    catalog: Catalog,
-    registry: FunctionRegistry,
+    catalog: Arc<Catalog>,
+    registry: Arc<FunctionRegistry>,
     exec_config: ExecConfig,
     plan_cache: Arc<PlanCache>,
+    worker_pool: Arc<WorkerPool>,
 }
 
 impl Clone for Database {
     /// Clones the data and functions but gives the clone a **fresh, empty** plan cache
-    /// (same capacity). Clones mutate their registries and catalogs independently, so
-    /// their generation counters diverge; sharing one cache could cross-serve a plan
-    /// optimized against the other clone's definitions.
+    /// (same capacity) and its own worker pool (same size). Clones mutate their
+    /// registries and catalogs independently, so their generation counters diverge;
+    /// sharing one cache could cross-serve a plan optimized against the other clone's
+    /// definitions.
     fn clone(&self) -> Database {
         Database {
-            catalog: self.catalog.clone(),
-            registry: self.registry.clone(),
+            catalog: Arc::new((*self.catalog).clone()),
+            registry: Arc::new((*self.registry).clone()),
             exec_config: self.exec_config.clone(),
             plan_cache: Arc::new(PlanCache::with_capacity(self.plan_cache.capacity())),
+            worker_pool: Arc::new(WorkerPool::new(self.worker_pool.worker_count())),
         }
     }
 }
@@ -181,18 +192,21 @@ impl Clone for Database {
 impl Database {
     pub fn new() -> Database {
         Database {
-            catalog: Catalog::new(),
-            registry: FunctionRegistry::new(),
+            catalog: Arc::new(Catalog::new()),
+            registry: Arc::new(FunctionRegistry::new()),
             exec_config: ExecConfig::default(),
             plan_cache: Arc::new(PlanCache::new()),
+            worker_pool: Arc::new(WorkerPool::new(0)),
         }
     }
 
     pub fn with_exec_config(exec_config: ExecConfig) -> Database {
-        Database {
-            exec_config,
+        let mut db = Database {
+            exec_config: exec_config.normalized(),
             ..Database::new()
-        }
+        };
+        db.rebuild_worker_pool();
+        db
     }
 
     /// Replaces the plan cache with an empty one holding at most `capacity` outcomes
@@ -203,12 +217,50 @@ impl Database {
 
     /// Sets the executor worker-pool size for subsequent queries. `1` (the default)
     /// executes serially; `n > 1` fans scans, filters, projections, hash joins, hash
-    /// aggregation and correlated Apply loops out to `n` morsel workers. Parallel runs
-    /// return byte-identical results to serial runs. The optimizer's cost model is
-    /// recalibrated to the pool size, and the plan-cache key changes with it, so
-    /// cached decisions never cross pool sizes.
+    /// aggregation and correlated Apply loops out to `n` persistent morsel workers.
+    /// Parallel runs return byte-identical results to serial runs. The optimizer's
+    /// cost model is recalibrated to the pool size, and the plan-cache key changes
+    /// with it, so cached decisions never cross pool sizes.
+    ///
+    /// Out-of-range values are clamped (`parallelism ≥ 1`), and the persistent worker
+    /// pool is rebuilt to the new size: growing spawns (and warms) the new workers up
+    /// front, shrinking retires the surplus threads. In-flight queries keep the
+    /// previous pool alive through their own handle until they finish.
     pub fn set_parallelism(&mut self, parallelism: usize) {
         self.exec_config.parallelism = parallelism.max(1);
+        self.exec_config = self.exec_config.clone().normalized();
+        self.rebuild_worker_pool();
+    }
+
+    /// Rebuilds the worker pool to match `exec_config.parallelism` (serial execution
+    /// keeps an empty pool — no idle threads).
+    fn rebuild_worker_pool(&mut self) {
+        let target = if self.exec_config.parallelism > 1 {
+            self.exec_config.parallelism
+        } else {
+            0
+        };
+        if self.worker_pool.worker_count() != target {
+            self.worker_pool = Arc::new(WorkerPool::new(target));
+        }
+    }
+
+    /// The persistent worker pool shared by every query's executor. Exposed for
+    /// benches and diagnostics (spawn counters prove pool reuse across queries).
+    ///
+    /// A per-query `exec_config` override with a parallelism larger than the
+    /// configured pool grows the shared pool on demand, and the extra workers stay
+    /// parked (still reusable) until the next [`Database::set_parallelism`] rebuilds
+    /// the pool at its configured size — so `worker_pool_stats().workers` can exceed
+    /// [`Database::parallelism`] after such overrides.
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.worker_pool
+    }
+
+    /// Lifecycle counters of the persistent worker pool (live workers, lifetime thread
+    /// spawns, batches executed).
+    pub fn worker_pool_stats(&self) -> WorkerPoolStats {
+        self.worker_pool.stats()
     }
 
     /// The configured executor worker-pool size.
@@ -236,16 +288,21 @@ impl Database {
         &self.catalog
     }
 
+    /// Mutable access to the catalog. Copy-on-write: if an in-flight query on another
+    /// thread still holds the current snapshot, the catalog is cloned so that query
+    /// keeps reading its consistent state.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        Arc::make_mut(&mut self.catalog)
     }
 
     pub fn registry(&self) -> &FunctionRegistry {
         &self.registry
     }
 
+    /// Mutable access to the function registry (copy-on-write like
+    /// [`Database::catalog_mut`]).
     pub fn registry_mut(&mut self) -> &mut FunctionRegistry {
-        &mut self.registry
+        Arc::make_mut(&mut self.registry)
     }
 
     /// Executes one or more statements (DDL, DML, `CREATE FUNCTION`, or queries) and
@@ -262,15 +319,16 @@ impl Database {
     fn execute_statement(&mut self, stmt: SqlStatement) -> Result<ExecutionSummary> {
         match stmt {
             SqlStatement::CreateTable { name, columns } => {
-                self.catalog.create_table(&name, Schema::new(columns))?;
+                self.catalog_mut()
+                    .create_table(&name, Schema::new(columns))?;
                 Ok(ExecutionSummary::TableCreated(name))
             }
             SqlStatement::DropTable { name } => {
-                self.catalog.drop_table(&name)?;
+                self.catalog_mut().drop_table(&name)?;
                 Ok(ExecutionSummary::TableDropped(name))
             }
             SqlStatement::CreateIndex { table, column } => {
-                self.catalog.create_index(&table, &column)?;
+                self.catalog_mut().create_index(&table, &column)?;
                 Ok(ExecutionSummary::IndexCreated { table, column })
             }
             SqlStatement::Insert {
@@ -284,7 +342,7 @@ impl Database {
             SqlStatement::CreateFunction(udf) => {
                 let name = udf.name.clone();
                 let normalized = self.normalize_udf(udf);
-                self.registry.register_udf(normalized);
+                self.registry_mut().register_udf(normalized);
                 Ok(ExecutionSummary::FunctionCreated(name))
             }
             SqlStatement::Query(select) => {
@@ -305,8 +363,11 @@ impl Database {
         let mut materialized = vec![];
         {
             // Evaluate the value expressions (constants and constant arithmetic).
-            let executor =
-                Executor::with_config(&self.catalog, &self.registry, self.exec_config.clone());
+            let executor = Executor::with_config(
+                Arc::clone(&self.catalog),
+                Arc::clone(&self.registry),
+                self.exec_config.clone(),
+            );
             let env = Env::root();
             for row in rows {
                 let values: Result<Vec<Value>> =
@@ -333,7 +394,7 @@ impl Database {
                 materialized.push(full_row);
             }
         }
-        self.catalog.insert_rows(table, materialized)
+        self.catalog_mut().insert_rows(table, materialized)
     }
 
     /// Registers a UDF from its `CREATE FUNCTION` source. The queries inside the body
@@ -342,7 +403,7 @@ impl Database {
     pub fn register_function(&mut self, sql: &str) -> Result<()> {
         let udf = decorr_parser::parse_function(sql)?;
         let normalized = self.normalize_udf(udf);
-        self.registry.register_udf(normalized);
+        self.registry_mut().register_udf(normalized);
         Ok(())
     }
 
@@ -352,7 +413,7 @@ impl Database {
     fn normalize_plan(&self, plan: &RelExpr) -> RelExpr {
         let provider = CatalogProvider::new(&self.catalog, &self.registry);
         PassManager::cleanup_pipeline()
-            .optimize(plan, &self.registry, &provider, Some(&self.catalog))
+            .optimize(plan, &self.registry, &provider, Some(self.catalog.as_ref()))
             .map(|o| o.plan)
             .unwrap_or_else(|_| plan.clone())
     }
@@ -383,7 +444,7 @@ impl Database {
             .with_snapshots(capture_snapshots)
             .with_parallelism(parallelism)
             .with_plan_cache(Arc::clone(&self.plan_cache))
-            .optimize(plan, &self.registry, &provider, Some(&self.catalog))
+            .optimize(plan, &self.registry, &provider, Some(self.catalog.as_ref()))
     }
 
     /// Normalises every query embedded in a UDF body.
@@ -441,7 +502,8 @@ impl Database {
         let config = options
             .exec_config
             .clone()
-            .unwrap_or_else(|| self.exec_config.clone());
+            .unwrap_or_else(|| self.exec_config.clone())
+            .normalized();
         let outcome = self.optimize_plan(
             plan,
             options.strategy,
@@ -454,12 +516,21 @@ impl Database {
                 outcome.notes.join("; ")
             )));
         }
-        // Register auxiliary aggregates in a per-query copy of the registry.
-        let mut effective_registry = self.registry.clone();
-        for agg in &outcome.aux_aggregates {
-            effective_registry.register_aggregate(agg.clone());
-        }
-        let executor = Executor::with_config(&self.catalog, &effective_registry, config);
+        // Register auxiliary aggregates in a per-query copy of the registry; plans
+        // without auxiliary aggregates (the common case) share the engine's registry
+        // snapshot without copying it.
+        let effective_registry = if outcome.aux_aggregates.is_empty() {
+            Arc::clone(&self.registry)
+        } else {
+            let mut registry = (*self.registry).clone();
+            for agg in &outcome.aux_aggregates {
+                registry.register_aggregate(agg.clone());
+            }
+            Arc::new(registry)
+        };
+        // Attach the database's persistent pool: worker threads outlive this query.
+        let executor = Executor::with_config(Arc::clone(&self.catalog), effective_registry, config)
+            .with_worker_pool(Arc::clone(&self.worker_pool));
         let result_set = executor.execute(&outcome.plan)?;
         Ok(QueryResult {
             schema: result_set.schema,
@@ -521,7 +592,8 @@ impl Database {
         out.push_str("\n== execution ==\n");
         out.push_str(&format!(
             "rows={} parallelism={} · scanned={} index-lookups={} udf-invocations={} \
-             subqueries={} hash-joins={} nl-joins={} morsels={}\n",
+             subqueries={} hash-joins={} nl-joins={} morsels={} pipelined-ops={} \
+             pool-spawns={}\n",
             result.rows.len(),
             self.exec_config.parallelism,
             result.exec_stats.rows_scanned,
@@ -531,6 +603,8 @@ impl Database {
             result.exec_stats.hash_joins,
             result.exec_stats.nested_loop_joins,
             result.exec_stats.morsels_dispatched,
+            result.exec_stats.pipelined_operators,
+            result.exec_stats.pool_spawns,
         ));
         out.push_str("\n== parallel operators ==\n");
         out.push_str(&result.exec_trace.render());
@@ -564,7 +638,7 @@ impl Database {
 
     /// Bulk-loads rows built programmatically (used by the TPC-H style generator).
     pub fn load_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
-        self.catalog.insert_rows(table, rows)
+        self.catalog_mut().insert_rows(table, rows)
     }
 }
 

@@ -6,7 +6,7 @@ use decorr_common::{Error, Result, Value};
 use crate::env::Env;
 use crate::executor::Executor;
 
-impl Executor<'_> {
+impl Executor {
     /// Evaluates a scalar expression in the given environment.
     ///
     /// Correlated constructs are handled here: column references fall through to outer

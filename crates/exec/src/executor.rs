@@ -1,10 +1,11 @@
-//! Execution of logical plans: a row-at-a-time serial path and a morsel-driven
-//! parallel path (see the [`crate::parallel`] module) selected by
-//! [`ExecConfig::parallelism`].
+//! Execution of logical plans: a row-at-a-time serial path, a morsel-driven parallel
+//! path dispatching to the persistent [`crate::parallel::WorkerPool`], and a pipelined
+//! (operator-fusing) path that streams each morsel through adjacent
+//! scan→filter→project chains in one task — all selected by [`ExecConfig`].
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use decorr_algebra::schema::{expr_type, infer_schema};
 use decorr_algebra::{
@@ -16,6 +17,7 @@ use decorr_udf::FunctionRegistry;
 
 use crate::aggregate::BuiltinAccumulator;
 use crate::env::Env;
+use crate::parallel::WorkerPool;
 use crate::stats::{AtomicExecStats, ExecTrace, TraceCollector};
 use crate::CatalogProvider;
 
@@ -36,13 +38,23 @@ pub struct ExecConfig {
     /// Worker-pool size for morsel-driven parallel execution. `1` (the default) keeps
     /// every operator on the original serial row-at-a-time path; `n > 1` lets scans,
     /// filters, projections, hash joins, hash aggregation and the Apply family fan
-    /// morsels out to `n` `std::thread` workers. Parallel runs produce byte-identical
+    /// morsels out to `n` persistent pool workers. Parallel runs produce byte-identical
     /// results to serial runs (morsel outputs merge in morsel order and aggregation
     /// partitions by group key, preserving per-group accumulation order).
+    ///
+    /// Values are clamped to `≥ 1` by [`Executor::with_config`] /
+    /// [`ExecConfig::normalized`].
     pub parallelism: usize,
     /// Rows per morsel. An operator goes parallel only when its input spans more than
-    /// one morsel, so small inputs never pay the fan-out overhead.
+    /// one morsel, so small inputs never pay the fan-out overhead. Clamped to `≥ 1`
+    /// (a zero morsel size must not degenerate into per-row tasks).
     pub morsel_size: usize,
+    /// Whether adjacent scan→filter→project chains (including the chains feeding Apply
+    /// operators) are fused so each morsel flows through the whole chain in one task
+    /// instead of materializing between operators. Fusion only changes *how* rows move,
+    /// never the rows themselves; it is exposed as a knob so benches can compare the
+    /// pipelined and materialized execution styles. Ignored at `parallelism == 1`.
+    pub pipeline_fusion: bool,
 }
 
 impl Default for ExecConfig {
@@ -53,6 +65,7 @@ impl Default for ExecConfig {
             use_indexes: true,
             parallelism: 1,
             morsel_size: 1024,
+            pipeline_fusion: true,
         }
     }
 }
@@ -61,6 +74,16 @@ impl ExecConfig {
     /// Returns this configuration with the worker-pool size set (builder style).
     pub fn with_parallelism(mut self, parallelism: usize) -> ExecConfig {
         self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Returns this configuration with out-of-range knobs clamped into their valid
+    /// domains (`parallelism ≥ 1`, `morsel_size ≥ 1`). Every executor applies this at
+    /// construction, so a degenerate literal like `ExecConfig { morsel_size: 0, .. }`
+    /// cannot push `should_parallelize` into one-row-morsel behaviour.
+    pub fn normalized(mut self) -> ExecConfig {
+        self.parallelism = self.parallelism.max(1);
+        self.morsel_size = self.morsel_size.max(1);
         self
     }
 }
@@ -134,54 +157,77 @@ impl ResultSet {
 
 /// The executor: evaluates logical plans against a catalog and function registry.
 ///
-/// The executor is `Sync`: its only shared mutable state is the lock-free
-/// [`AtomicExecStats`] and the per-operator [`TraceCollector`], so morsel workers
-/// evaluate through `&Executor` concurrently.
-pub struct Executor<'a> {
-    pub catalog: &'a Catalog,
-    pub registry: &'a FunctionRegistry,
+/// The executor owns `Arc` handles to its catalog and registry (rather than borrowing
+/// them), so the `'static` batch jobs it hands to the persistent [`WorkerPool`] can
+/// carry a serial executor view across thread lifetimes without `unsafe`. It is `Sync`:
+/// its only shared mutable state is the lock-free [`AtomicExecStats`] and the
+/// per-operator [`TraceCollector`], so morsel workers evaluate through `&Executor`
+/// concurrently.
+pub struct Executor {
+    pub catalog: Arc<Catalog>,
+    pub registry: Arc<FunctionRegistry>,
     pub config: ExecConfig,
     pub stats: Arc<AtomicExecStats>,
     pub(crate) trace: Arc<TraceCollector>,
+    /// The worker pool parallel operators dispatch to: the engine-attached shared pool
+    /// (persistent across queries) when present, otherwise a pool created lazily for
+    /// this executor and dropped with it.
+    pool: OnceLock<Arc<WorkerPool>>,
 }
 
-impl<'a> Executor<'a> {
-    pub fn new(catalog: &'a Catalog, registry: &'a FunctionRegistry) -> Executor<'a> {
+impl Executor {
+    pub fn new(catalog: Arc<Catalog>, registry: Arc<FunctionRegistry>) -> Executor {
         Executor::with_config(catalog, registry, ExecConfig::default())
     }
 
     pub fn with_config(
-        catalog: &'a Catalog,
-        registry: &'a FunctionRegistry,
+        catalog: Arc<Catalog>,
+        registry: Arc<FunctionRegistry>,
         config: ExecConfig,
-    ) -> Executor<'a> {
+    ) -> Executor {
         Executor {
             catalog,
             registry,
-            config,
+            config: config.normalized(),
             stats: Arc::new(AtomicExecStats::default()),
             trace: Arc::new(TraceCollector::default()),
+            pool: OnceLock::new(),
         }
+    }
+
+    /// Attaches a shared worker pool (builder style). The engine calls this with its
+    /// per-database pool so worker threads persist across queries; executors without an
+    /// attached pool lazily create their own on first parallel dispatch.
+    pub fn with_worker_pool(self, pool: Arc<WorkerPool>) -> Executor {
+        let _ = self.pool.set(pool);
+        self
+    }
+
+    /// The pool this executor dispatches batches to (lazily created when none was
+    /// attached).
+    pub(crate) fn worker_pool(&self) -> &Arc<WorkerPool> {
+        self.pool.get_or_init(|| Arc::new(WorkerPool::new(0)))
     }
 
     /// A serial view of this executor for one morsel worker: same catalog, registry,
     /// counters and trace, but `parallelism = 1` so plan execution *inside* a morsel
-    /// (Apply inner plans, subqueries, UDF bodies) never spawns a nested worker pool.
-    pub(crate) fn worker_view(&self) -> Executor<'a> {
+    /// (Apply inner plans, subqueries, UDF bodies) never re-enters the worker pool.
+    pub(crate) fn worker_view(&self) -> Executor {
         Executor {
-            catalog: self.catalog,
-            registry: self.registry,
+            catalog: Arc::clone(&self.catalog),
+            registry: Arc::clone(&self.registry),
             config: ExecConfig {
                 parallelism: 1,
                 ..self.config.clone()
             },
             stats: Arc::clone(&self.stats),
             trace: Arc::clone(&self.trace),
+            pool: OnceLock::new(),
         }
     }
 
     pub fn provider(&self) -> CatalogProvider<'_> {
-        CatalogProvider::new(self.catalog, self.registry)
+        CatalogProvider::new(&self.catalog, &self.registry)
     }
 
     /// A snapshot of the runtime counters.
@@ -203,6 +249,15 @@ impl<'a> Executor<'a> {
 
     /// Executes a plan in the scope of `outer` (correlated execution).
     pub fn execute_with_env(&self, plan: &RelExpr, outer: &Env) -> Result<ResultSet> {
+        // Pipelined execution: fuse adjacent filter/project layers (and the chains
+        // feeding Apply operators, which execute their left input through this same
+        // entry point) so each morsel flows through the whole chain in one task. The
+        // serial path (`parallelism == 1`) stays byte-for-byte the original executor.
+        if self.config.parallelism > 1 && self.config.pipeline_fusion {
+            if let Some((layers, base)) = fusible_chain(plan) {
+                return self.execute_pipelined(&layers, base, outer);
+            }
+        }
         match plan {
             RelExpr::Single => Ok(ResultSet {
                 schema: Schema::empty(),
@@ -318,17 +373,19 @@ impl<'a> Executor<'a> {
             Some(a) => t.schema().with_qualifier(a),
             None => t.schema().clone(),
         };
-        let source = t.rows();
-        let rows = if self.should_parallelize(source.len()) {
+        let len = t.row_count();
+        let rows = if self.should_parallelize(len) {
             // Materialising a base table is a row-by-row deep copy (each Row owns its
-            // values); fan the copy out morsel-wise.
+            // values); fan the copy out morsel-wise. Workers re-resolve the table
+            // through their catalog Arc — same snapshot, 'static job.
+            let name = table.to_string();
             let chunks =
-                self.run_morsels(&format!("scan({table})"), source.len(), |_, range| {
-                    Ok(source[range].to_vec())
+                self.run_morsels(&format!("scan({table})"), 0, len, move |view, range| {
+                    Ok(view.catalog.table(&name)?.rows()[range].to_vec())
                 })?;
-            concat_rows(chunks, source.len())
+            concat_rows(chunks, len)
         } else {
-            source.to_vec()
+            t.rows().to_vec()
         };
         Ok(ResultSet { schema, rows })
     }
@@ -355,19 +412,26 @@ impl<'a> Executor<'a> {
         }
         let input_rs = self.execute_with_env(input, outer)?;
         if self.should_parallelize(input_rs.rows.len()) {
-            let source = &input_rs.rows;
-            let chunks = self.run_morsels("filter", source.len(), |view, range| {
-                let mut kept = vec![];
-                for row in &source[range] {
-                    let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
-                    if view.eval_predicate(predicate, &env)? {
-                        kept.push(row.clone());
+            let schema = input_rs.schema.clone();
+            let source = Arc::new(input_rs.rows);
+            let chunks = {
+                let source = Arc::clone(&source);
+                let schema = schema.clone();
+                let predicate = predicate.clone();
+                let outer = outer.clone();
+                self.run_morsels("filter", 0, source.len(), move |view, range| {
+                    let mut kept = vec![];
+                    for row in &source[range] {
+                        let env = Env::with_row(schema.clone(), row.clone()).nested_in(&outer);
+                        if view.eval_predicate(&predicate, &env)? {
+                            kept.push(row.clone());
+                        }
                     }
-                }
-                Ok(kept)
-            })?;
+                    Ok(kept)
+                })?
+            };
             return Ok(ResultSet {
-                schema: input_rs.schema,
+                schema,
                 rows: concat_rows(chunks, 0),
             });
         }
@@ -451,28 +515,22 @@ impl<'a> Executor<'a> {
         Ok(None)
     }
 
-    fn execute_project(
-        &self,
-        input: &RelExpr,
-        items: &[ProjectItem],
-        distinct: bool,
-        outer: &Env,
-    ) -> Result<ResultSet> {
-        let input_rs = self.execute_with_env(input, outer)?;
+    /// The output schema of a projection over `input_schema` (shared by the layered
+    /// and the fused execution paths so both produce identical schemas).
+    fn project_schema(&self, items: &[ProjectItem], input_schema: &Schema) -> Schema {
         let provider = self.provider();
-        let schema = Schema::new(
+        Schema::new(
             items
                 .iter()
                 .enumerate()
                 .map(|(i, item)| {
                     let name = item.output_name(i);
-                    let data_type = expr_type(&item.expr, &input_rs.schema, &provider);
+                    let data_type = expr_type(&item.expr, input_schema, &provider);
                     let qualifier = match (&item.alias, &item.expr) {
                         (None, ScalarExpr::Column(c)) => c.qualifier.clone().or_else(|| {
-                            input_rs
-                                .schema
+                            input_schema
                                 .find(None, &c.name)
-                                .and_then(|i| input_rs.schema.column(i).qualifier.clone())
+                                .and_then(|i| input_schema.column(i).qualifier.clone())
                         }),
                         _ => None,
                     };
@@ -484,24 +542,42 @@ impl<'a> Executor<'a> {
                     }
                 })
                 .collect(),
-        );
+        )
+    }
+
+    fn execute_project(
+        &self,
+        input: &RelExpr,
+        items: &[ProjectItem],
+        distinct: bool,
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        let input_rs = self.execute_with_env(input, outer)?;
+        let schema = self.project_schema(items, &input_rs.schema);
         let mut rows = if self.should_parallelize(input_rs.rows.len()) {
             // The projection items are where per-row UDF invocations and scalar
             // subqueries live, so this fan-out also parallelises the paper's
             // *iterative* execution style.
-            let source = &input_rs.rows;
-            let chunks = self.run_morsels("project", source.len(), |view, range| {
-                let mut projected = Vec::with_capacity(range.len());
-                for row in &source[range] {
-                    let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
-                    let values: Result<Vec<Value>> = items
-                        .iter()
-                        .map(|item| view.eval_expr(&item.expr, &env))
-                        .collect();
-                    projected.push(Row::new(values?));
-                }
-                Ok(projected)
-            })?;
+            let input_schema = input_rs.schema.clone();
+            let source = Arc::new(input_rs.rows);
+            let chunks = {
+                let source = Arc::clone(&source);
+                let items = items.to_vec();
+                let outer = outer.clone();
+                self.run_morsels("project", 0, source.len(), move |view, range| {
+                    let mut projected = Vec::with_capacity(range.len());
+                    for row in &source[range] {
+                        let env =
+                            Env::with_row(input_schema.clone(), row.clone()).nested_in(&outer);
+                        let values: Result<Vec<Value>> = items
+                            .iter()
+                            .map(|item| view.eval_expr(&item.expr, &env))
+                            .collect();
+                        projected.push(Row::new(values?));
+                    }
+                    Ok(projected)
+                })?
+            };
             concat_rows(chunks, source.len())
         } else {
             let mut projected = vec![];
@@ -520,6 +596,150 @@ impl<'a> Executor<'a> {
         }
         Ok(ResultSet { schema, rows })
     }
+
+    // --------------------------------------------------------------- pipelined chains
+
+    /// Executes a fused chain of filter/project layers over `base` in a single pass
+    /// per morsel (no intermediate materialization between the fused operators). The
+    /// per-row evaluation order is exactly the layered order, and morsels merge in
+    /// morsel order, so the output is byte-identical to the layered execution.
+    fn execute_pipelined(
+        &self,
+        layers: &[FusedLayer<'_>],
+        base: &RelExpr,
+        outer: &Env,
+    ) -> Result<ResultSet> {
+        let mut layers = layers;
+        // Resolve the base input: either the base table itself (workers stream straight
+        // out of the catalog — the fused chain also skips the scan's copy-out), or a
+        // materialized result set for any other base operator.
+        let (base_label, base_schema, source) = match base {
+            RelExpr::Scan { table, alias } => {
+                // Replicate the layered index access path: a σ directly over the scan
+                // may be answered by a hash index, with identical counters. The index
+                // result then becomes the materialized base of the remaining layers.
+                let mut indexed: Option<ResultSet> = None;
+                if self.config.use_indexes {
+                    if let FusedLayer::Filter(predicate) = layers[0] {
+                        indexed = self.try_index_scan(table, alias.as_deref(), predicate, outer)?;
+                    }
+                }
+                match indexed {
+                    Some(rs) => {
+                        layers = &layers[1..];
+                        if layers.is_empty() {
+                            return Ok(rs);
+                        }
+                        (
+                            format!("index({table})"),
+                            rs.schema,
+                            FusedSource::Rows(rs.rows),
+                        )
+                    }
+                    None => {
+                        let t = self.catalog.table(table)?;
+                        self.stats.add_rows_scanned(t.row_count() as u64);
+                        let schema = match alias {
+                            Some(a) => t.schema().with_qualifier(a),
+                            None => t.schema().clone(),
+                        };
+                        (
+                            format!("scan({table})"),
+                            schema,
+                            FusedSource::Table(table.to_string(), t.row_count()),
+                        )
+                    }
+                }
+            }
+            _ => {
+                let rs = self.execute_with_env(base, outer)?;
+                ("input".to_string(), rs.schema, FusedSource::Rows(rs.rows))
+            }
+        };
+        // Precompute every stage's owned form and output schema (identical to the
+        // schemas the layered operators would derive).
+        let mut stages = Vec::with_capacity(layers.len());
+        let mut schema = base_schema.clone();
+        let mut names = vec![base_label];
+        for layer in layers {
+            match layer {
+                FusedLayer::Filter(predicate) => {
+                    names.push("filter".to_string());
+                    stages.push(FusedStage::Filter((*predicate).clone()));
+                }
+                FusedLayer::Project(items) => {
+                    names.push("project".to_string());
+                    let out = self.project_schema(items, &schema);
+                    stages.push(FusedStage::Project {
+                        items: items.to_vec(),
+                        schema: out.clone(),
+                    });
+                    schema = out;
+                }
+            }
+        }
+        let out_schema = schema;
+        let len = source.len();
+        if !self.should_parallelize(len) {
+            // Small input: one serial pass (same evaluations, same order, same rows as
+            // the layered serial execution).
+            let mut rows = vec![];
+            match &source {
+                FusedSource::Table(name, _) => {
+                    for row in self.catalog.table(name)?.rows() {
+                        apply_fused_stages(self, row, &base_schema, &stages, outer, &mut rows)?;
+                    }
+                }
+                FusedSource::Rows(source_rows) => {
+                    for row in source_rows {
+                        apply_fused_stages(self, row, &base_schema, &stages, outer, &mut rows)?;
+                    }
+                }
+            }
+            return Ok(ResultSet {
+                schema: out_schema,
+                rows,
+            });
+        }
+        let operator = format!("pipeline({})", names.join("→"));
+        // Fused operators = every stage plus the base access it streams out of.
+        let depth = stages.len() + 1;
+        let stages = Arc::new(stages);
+        let chunks = match source {
+            FusedSource::Table(name, _) => {
+                let stages = Arc::clone(&stages);
+                let base_schema = base_schema.clone();
+                let outer = outer.clone();
+                self.run_morsels(&operator, depth, len, move |view, range| {
+                    let t = view.catalog.table(&name)?;
+                    let mut out = vec![];
+                    for row in &t.rows()[range] {
+                        apply_fused_stages(view, row, &base_schema, &stages, &outer, &mut out)?;
+                    }
+                    Ok(out)
+                })?
+            }
+            FusedSource::Rows(rows) => {
+                let source = Arc::new(rows);
+                let stages = Arc::clone(&stages);
+                let base_schema = base_schema.clone();
+                let outer = outer.clone();
+                self.run_morsels(&operator, depth, len, move |view, range| {
+                    let mut out = vec![];
+                    for row in &source[range] {
+                        apply_fused_stages(view, row, &base_schema, &stages, &outer, &mut out)?;
+                    }
+                    Ok(out)
+                })?
+            }
+        };
+        Ok(ResultSet {
+            schema: out_schema,
+            rows: concat_rows(chunks, 0),
+        })
+    }
+
+    // ------------------------------------------------------------------- aggregation
 
     fn aggregate_output_schema(
         &self,
@@ -631,7 +851,7 @@ impl<'a> Executor<'a> {
         let input_rs = self.execute_with_env(input, outer)?;
         let schema = self.aggregate_output_schema(group_by, aggregates, &input_rs.schema);
         if self.should_parallelize(input_rs.rows.len()) {
-            return self.execute_aggregate_parallel(&input_rs, group_by, aggregates, outer, schema);
+            return self.execute_aggregate_parallel(input_rs, group_by, aggregates, outer, schema);
         }
 
         // Group rows.
@@ -674,27 +894,25 @@ impl<'a> Executor<'a> {
     /// finalize, ordered by each group's first input row — the serial first-seen order.
     fn execute_aggregate_parallel(
         &self,
-        input_rs: &ResultSet,
+        input_rs: ResultSet,
         group_by: &[ScalarExpr],
         aggregates: &[AggCall],
         outer: &Env,
         schema: Schema,
     ) -> Result<ResultSet> {
-        struct EvaluatedRow {
-            group_values: Vec<Value>,
-            key: Vec<GroupKey>,
-            /// Hash partition of `key`, computed once here in the parallel stage so the
-            /// accumulation workers don't re-hash every row `nparts` times.
-            partition: usize,
-            args_per_agg: Vec<Vec<Value>>,
-        }
         let nparts = self.config.parallelism.max(1);
-        let source = &input_rs.rows;
-        let evaluated: Vec<Vec<EvaluatedRow>> =
-            self.run_morsels("aggregate eval", source.len(), |view, range| {
+        let input_schema = input_rs.schema;
+        let source = Arc::new(input_rs.rows);
+        let evaluated: Vec<Vec<EvaluatedRow>> = {
+            let source = Arc::clone(&source);
+            let input_schema = input_schema.clone();
+            let group_by = group_by.to_vec();
+            let aggregates = aggregates.to_vec();
+            let outer = outer.clone();
+            self.run_morsels("aggregate eval", 0, source.len(), move |view, range| {
                 let mut out = Vec::with_capacity(range.len());
                 for row in &source[range] {
-                    let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
+                    let env = Env::with_row(input_schema.clone(), row.clone()).nested_in(&outer);
                     let group_values: Result<Vec<Value>> =
                         group_by.iter().map(|g| view.eval_expr(g, &env)).collect();
                     let group_values = group_values?;
@@ -711,40 +929,49 @@ impl<'a> Executor<'a> {
                     });
                 }
                 Ok(out)
-            })?;
+            })?
+        };
 
         let weight = (source.len() / nparts) as u64;
-        // (first input row, group values, accumulators) per group, per partition.
-        type PartialGroups = Vec<(usize, Vec<Value>, Vec<AccState>)>;
-        let partials: Vec<PartialGroups> =
-            self.run_pool("aggregate accumulate", nparts, &|_| weight, |view, part| {
-                let mut groups: PartialGroups = vec![];
-                let mut index: HashMap<&[GroupKey], usize> = HashMap::new();
-                let mut row_idx = 0usize;
-                for morsel in &evaluated {
-                    for row in morsel {
-                        let first_seen = row_idx;
-                        row_idx += 1;
-                        if row.partition != part {
-                            continue;
-                        }
-                        let idx = match index.get(row.key.as_slice()) {
-                            Some(&i) => i,
-                            None => {
-                                groups.push((
-                                    first_seen,
-                                    row.group_values.clone(),
-                                    view.make_accumulators(aggregates)?,
-                                ));
-                                index.insert(&row.key, groups.len() - 1);
-                                groups.len() - 1
+        let evaluated = Arc::new(evaluated);
+        let partials: Vec<PartialGroups> = {
+            let evaluated = Arc::clone(&evaluated);
+            let aggregates = aggregates.to_vec();
+            self.run_pool(
+                "aggregate accumulate",
+                0,
+                nparts,
+                move |_| weight,
+                move |view, part| {
+                    let mut groups: PartialGroups = vec![];
+                    let mut index: HashMap<&[GroupKey], usize> = HashMap::new();
+                    let mut row_idx = 0usize;
+                    for morsel in evaluated.iter() {
+                        for row in morsel {
+                            let first_seen = row_idx;
+                            row_idx += 1;
+                            if row.partition != part {
+                                continue;
                             }
-                        };
-                        view.accumulate_into(&mut groups[idx].2, &row.args_per_agg)?;
+                            let idx = match index.get(row.key.as_slice()) {
+                                Some(&i) => i,
+                                None => {
+                                    groups.push((
+                                        first_seen,
+                                        row.group_values.clone(),
+                                        view.make_accumulators(&aggregates)?,
+                                    ));
+                                    index.insert(&row.key, groups.len() - 1);
+                                    groups.len() - 1
+                                }
+                            };
+                            view.accumulate_into(&mut groups[idx].2, &row.args_per_agg)?;
+                        }
                     }
-                }
-                Ok(groups)
-            })?;
+                    Ok(groups)
+                },
+            )?
+        };
         // Merge the partial partitions, restoring the serial first-seen group order.
         let mut merged: Vec<(usize, Vec<Value>, Vec<AccState>)> =
             partials.into_iter().flatten().collect();
@@ -757,6 +984,8 @@ impl<'a> Executor<'a> {
         // aggregate row is the serial path's concern.
         self.finalize_groups(groups, schema)
     }
+
+    // -------------------------------------------------------------------------- joins
 
     fn execute_join(
         &self,
@@ -793,11 +1022,11 @@ impl<'a> Executor<'a> {
         if use_hash {
             let rows = self.hash_join_rows(
                 kind,
-                &left_rs,
-                &right_rs,
-                &combined_schema,
-                &equi_keys,
-                &residual_pred,
+                left_rs,
+                right_rs,
+                combined_schema,
+                equi_keys,
+                residual_pred,
                 outer,
             )?;
             return Ok(ResultSet {
@@ -806,41 +1035,49 @@ impl<'a> Executor<'a> {
             });
         }
 
-        let probe_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
-            let mut matched = false;
-            for rrow in &right_rs.rows {
-                let combined = lrow.concat(rrow);
-                let env = Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
-                let pass = match condition {
-                    Some(c) => view.eval_predicate(c, &env)?,
-                    None => true,
-                };
-                if pass {
-                    matched = true;
-                    match kind {
-                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                        _ => rows.push(combined),
-                    }
-                }
-            }
-            view.finish_left_row(kind, matched, lrow, right_rs.schema.len(), rows);
-            Ok(())
-        };
+        let right_rs = Arc::new(right_rs);
         let rows = if self.should_parallelize(left_rs.rows.len()) {
-            let source = &left_rs.rows;
-            let chunks =
-                self.run_morsels("nested-loop-join probe", source.len(), |view, range| {
+            let source = Arc::new(left_rs.rows);
+            let right_rs = Arc::clone(&right_rs);
+            let combined_schema = combined_schema.clone();
+            let condition = condition.cloned();
+            let outer = outer.clone();
+            let src = Arc::clone(&source);
+            let chunks = self.run_morsels(
+                "nested-loop-join probe",
+                0,
+                source.len(),
+                move |view, range| {
                     let mut out = vec![];
-                    for lrow in &source[range] {
-                        probe_one(view, lrow, &mut out)?;
+                    for lrow in &src[range] {
+                        nl_probe_row(
+                            view,
+                            lrow,
+                            &right_rs,
+                            &combined_schema,
+                            kind,
+                            condition.as_ref(),
+                            &outer,
+                            &mut out,
+                        )?;
                     }
                     Ok(out)
-                })?;
+                },
+            )?;
             concat_rows(chunks, 0)
         } else {
             let mut out = vec![];
             for lrow in &left_rs.rows {
-                probe_one(self, lrow, &mut out)?;
+                nl_probe_row(
+                    self,
+                    lrow,
+                    &right_rs,
+                    &combined_schema,
+                    kind,
+                    condition,
+                    outer,
+                    &mut out,
+                )?;
             }
             out
         };
@@ -875,134 +1112,125 @@ impl<'a> Executor<'a> {
     /// morsel-parallel) probe over the left input. Bucket entries hold ascending right
     /// row indexes — the serial build order — and probe morsels reassemble in morsel
     /// order, so the output row order is byte-identical to the serial join.
+    #[allow(clippy::too_many_arguments)]
     fn hash_join_rows(
         &self,
         kind: JoinKind,
-        left_rs: &ResultSet,
-        right_rs: &ResultSet,
-        combined_schema: &Schema,
-        equi_keys: &[(ScalarExpr, ScalarExpr)],
-        residual_pred: &ScalarExpr,
+        left_rs: ResultSet,
+        right_rs: ResultSet,
+        combined_schema: Schema,
+        equi_keys: Vec<(ScalarExpr, ScalarExpr)>,
+        residual_pred: ScalarExpr,
         outer: &Env,
     ) -> Result<Vec<Row>> {
-        let parallel = self.should_parallelize(left_rs.rows.len())
-            || self.should_parallelize(right_rs.rows.len());
-        let nparts = if parallel {
+        let parallel_build = self.should_parallelize(right_rs.rows.len());
+        let parallel_probe = self.should_parallelize(left_rs.rows.len());
+        let nparts = if parallel_build || parallel_probe {
             self.config.parallelism.max(1)
         } else {
             1
         };
+        let right = Arc::new(right_rs);
+        let equi_keys = Arc::new(equi_keys);
 
         // Build phase: per-morsel key computation, pre-bucketed by partition.
-        let build_one = |view: &Executor, range: std::ops::Range<usize>| -> Result<BuildBuckets> {
-            let mut buckets: BuildBuckets = vec![vec![]; nparts];
-            for (offset, rrow) in right_rs.rows[range.clone()].iter().enumerate() {
-                let key = view.join_key(
-                    rrow,
-                    &right_rs.schema,
-                    equi_keys.iter().map(|(_, rk)| rk),
-                    outer,
-                )?;
-                if let Some(key) = key {
-                    let part = partition_of(&key, nparts);
-                    buckets[part].push((key, range.start + offset));
-                }
-            }
-            Ok(buckets)
-        };
-        let build_chunks: Vec<BuildBuckets> = if self.should_parallelize(right_rs.rows.len()) {
-            self.run_morsels("hash-join build keys", right_rs.rows.len(), build_one)?
+        let build_chunks: Vec<BuildBuckets> = if parallel_build {
+            let right = Arc::clone(&right);
+            let equi_keys = Arc::clone(&equi_keys);
+            let outer_env = outer.clone();
+            self.run_morsels(
+                "hash-join build keys",
+                0,
+                right.rows.len(),
+                move |view, range| {
+                    build_buckets(view, &right, &equi_keys, &outer_env, nparts, range)
+                },
+            )?
         } else {
-            vec![build_one(self, 0..right_rs.rows.len())?]
+            vec![build_buckets(
+                self,
+                &right,
+                &equi_keys,
+                outer,
+                nparts,
+                0..right.rows.len(),
+            )?]
         };
         // Assemble one hash table per partition. Concatenating each partition's buckets
-        // across morsels in morsel order keeps every bucket's indexes ascending.
-        let assemble = |part: usize| -> HashMap<Vec<GroupKey>, Vec<usize>> {
-            let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-            for chunk in &build_chunks {
-                for (key, idx) in &chunk[part] {
-                    table.entry(key.clone()).or_default().push(*idx);
-                }
-            }
-            table
+        // across morsels in morsel order keeps every bucket's indexes ascending. Pool
+        // the per-partition assembly only when the build side itself is large; a big
+        // probe side over a tiny build table keeps the cheap serial assemble.
+        let build_chunks = Arc::new(build_chunks);
+        let tables: Vec<HashMap<Vec<GroupKey>, Vec<usize>>> = if parallel_build && nparts > 1 {
+            let chunks = Arc::clone(&build_chunks);
+            let weight = (right.rows.len() / nparts) as u64;
+            self.run_pool(
+                "hash-join build",
+                0,
+                nparts,
+                move |_| weight,
+                move |_, part| Ok(assemble_partition(&chunks, part)),
+            )?
+        } else {
+            (0..nparts)
+                .map(|part| assemble_partition(&build_chunks, part))
+                .collect()
         };
-        // Pool the per-partition assembly only when the build side itself is large;
-        // a big probe side over a tiny build table keeps the cheap serial assemble.
-        let weight = (right_rs.rows.len() / nparts) as u64;
-        let tables: Vec<HashMap<Vec<GroupKey>, Vec<usize>>> =
-            if self.should_parallelize(right_rs.rows.len()) && nparts > 1 {
-                self.run_pool("hash-join build", nparts, &|_| weight, |_, part| {
-                    Ok(assemble(part))
-                })?
-            } else {
-                (0..nparts).map(assemble).collect()
-            };
+        let tables = Arc::new(tables);
 
         // Probe phase.
-        let probe_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
-            let key = view.join_key(
-                lrow,
-                &left_rs.schema,
-                equi_keys.iter().map(|(lk, _)| lk),
-                outer,
-            )?;
-            let matches: &[usize] = match &key {
-                None => &[],
-                Some(key) => tables[partition_of(key, nparts)]
-                    .get(key)
-                    .map(|v| v.as_slice())
-                    .unwrap_or(&[]),
-            };
-            let mut matched = false;
-            for &ri in matches {
-                let combined = lrow.concat(&right_rs.rows[ri]);
-                let env = Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
-                if view.eval_predicate(residual_pred, &env)? {
-                    matched = true;
-                    match kind {
-                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                        _ => rows.push(combined),
+        if parallel_probe {
+            let left_schema = left_rs.schema.clone();
+            let source = Arc::new(left_rs.rows);
+            let src = Arc::clone(&source);
+            let outer = outer.clone();
+            let residual_pred = residual_pred.clone();
+            let combined_schema = combined_schema.clone();
+            let chunks =
+                self.run_morsels("hash-join probe", 0, source.len(), move |view, range| {
+                    let mut out = vec![];
+                    for lrow in &src[range] {
+                        hash_probe_row(
+                            view,
+                            lrow,
+                            &left_schema,
+                            &right,
+                            &combined_schema,
+                            &equi_keys,
+                            &residual_pred,
+                            &tables,
+                            nparts,
+                            kind,
+                            &outer,
+                            &mut out,
+                        )?;
                     }
-                }
-            }
-            view.finish_left_row(kind, matched, lrow, right_rs.schema.len(), rows);
-            Ok(())
-        };
-        if self.should_parallelize(left_rs.rows.len()) {
-            let source = &left_rs.rows;
-            let chunks = self.run_morsels("hash-join probe", source.len(), |view, range| {
-                let mut out = vec![];
-                for lrow in &source[range] {
-                    probe_one(view, lrow, &mut out)?;
-                }
-                Ok(out)
-            })?;
+                    Ok(out)
+                })?;
             Ok(concat_rows(chunks, 0))
         } else {
             let mut out = vec![];
             for lrow in &left_rs.rows {
-                probe_one(self, lrow, &mut out)?;
+                hash_probe_row(
+                    self,
+                    lrow,
+                    &left_rs.schema,
+                    &right,
+                    &combined_schema,
+                    &equi_keys,
+                    &residual_pred,
+                    &tables,
+                    nparts,
+                    kind,
+                    outer,
+                    &mut out,
+                )?;
             }
             Ok(out)
         }
     }
 
-    /// Emits the left-only / null-extended outputs for outer, semi and anti joins.
-    fn finish_left_row(
-        &self,
-        kind: JoinKind,
-        matched: bool,
-        lrow: &Row,
-        right_width: usize,
-        rows: &mut Vec<Row>,
-    ) {
-        match kind {
-            JoinKind::LeftOuter if !matched => rows.push(lrow.concat(&Row::nulls(right_width))),
-            JoinKind::LeftSemi if matched => rows.push(lrow.clone()),
-            JoinKind::LeftAnti if !matched => rows.push(lrow.clone()),
-            _ => {}
-        }
-    }
+    // -------------------------------------------------------------------- Apply family
 
     fn execute_apply(
         &self,
@@ -1022,14 +1250,19 @@ impl<'a> Executor<'a> {
         };
         // Correlated evaluation of the inner plan, once per outer row. Each outer row
         // is independent, so the Apply family is morsel-parallel over its left input —
-        // this is what parallelises iterative (non-decorrelated) execution.
-        let apply_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
-            let mut env = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
-            for b in bindings {
+        // this is what parallelises iterative (non-decorrelated) execution. The job
+        // context owns a clone of the inner plan: the pool workers outlive this frame.
+        let left_schema = left_rs.schema.clone();
+        let right_plan = right.clone();
+        let bindings = bindings.to_vec();
+        let outer_env = outer.clone();
+        let apply_one = move |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
+            let mut env = Env::with_row(left_schema.clone(), lrow.clone()).nested_in(&outer_env);
+            for b in &bindings {
                 let v = view.eval_expr(&b.value, &env)?;
                 env.set_param(&b.param, v);
             }
-            let inner = view.execute_with_env(right, &env)?;
+            let inner = view.execute_with_env(&right_plan, &env)?;
             match kind {
                 ApplyKind::Cross => {
                     for rrow in inner.rows {
@@ -1058,7 +1291,7 @@ impl<'a> Executor<'a> {
             }
             Ok(())
         };
-        let rows = self.for_each_left_row(&left_rs, "apply", &apply_one)?;
+        let rows = self.for_each_left_row(left_rs.rows, "apply", apply_one)?;
         Ok(ResultSet {
             schema: out_schema,
             rows,
@@ -1066,18 +1299,18 @@ impl<'a> Executor<'a> {
     }
 
     /// Runs `f` for every left row, morsel-parallel when the left input is large
-    /// enough, and returns the per-row outputs concatenated in left-row order.
-    fn for_each_left_row(
-        &self,
-        left_rs: &ResultSet,
-        operator: &str,
-        f: &PerRowFn,
-    ) -> Result<Vec<Row>> {
-        if self.should_parallelize(left_rs.rows.len()) {
-            let source = &left_rs.rows;
-            let chunks = self.run_morsels(operator, source.len(), |view, range| {
+    /// enough, and returns the per-row outputs concatenated in left-row order. `f` must
+    /// own its captured context (`'static`): it may run on persistent pool workers.
+    fn for_each_left_row<F>(&self, left_rows: Vec<Row>, operator: &str, f: F) -> Result<Vec<Row>>
+    where
+        F: Fn(&Executor, &Row, &mut Vec<Row>) -> Result<()> + Send + Sync + 'static,
+    {
+        if self.should_parallelize(left_rows.len()) {
+            let source = Arc::new(left_rows);
+            let src = Arc::clone(&source);
+            let chunks = self.run_morsels(operator, 0, source.len(), move |view, range| {
                 let mut out = vec![];
-                for lrow in &source[range] {
+                for lrow in &src[range] {
                     f(view, lrow, &mut out)?;
                 }
                 Ok(out)
@@ -1085,7 +1318,7 @@ impl<'a> Executor<'a> {
             Ok(concat_rows(chunks, 0))
         } else {
             let mut out = vec![];
-            for lrow in &left_rs.rows {
+            for lrow in &left_rows {
                 f(self, lrow, &mut out)?;
             }
             Ok(out)
@@ -1100,17 +1333,19 @@ impl<'a> Executor<'a> {
         outer: &Env,
     ) -> Result<ResultSet> {
         let left_rs = self.execute_with_env(left, outer)?;
-        let merge_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
-            let env = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
-            let inner = view.execute_with_env(right, &env)?;
-            rows.push(view.merge_row(lrow, &left_rs.schema, &inner, assignments)?);
+        let left_schema = left_rs.schema.clone();
+        let schema = left_rs.schema.clone();
+        let right_plan = right.clone();
+        let assignments = assignments.to_vec();
+        let outer_env = outer.clone();
+        let merge_one = move |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
+            let env = Env::with_row(left_schema.clone(), lrow.clone()).nested_in(&outer_env);
+            let inner = view.execute_with_env(&right_plan, &env)?;
+            rows.push(view.merge_row(lrow, &left_schema, &inner, &assignments)?);
             Ok(())
         };
-        let rows = self.for_each_left_row(&left_rs, "apply-merge", &merge_one)?;
-        Ok(ResultSet {
-            schema: left_rs.schema,
-            rows,
-        })
+        let rows = self.for_each_left_row(left_rs.rows, "apply-merge", merge_one)?;
+        Ok(ResultSet { schema, rows })
     }
 
     fn execute_conditional_apply_merge(
@@ -1123,22 +1358,26 @@ impl<'a> Executor<'a> {
         outer: &Env,
     ) -> Result<ResultSet> {
         let left_rs = self.execute_with_env(left, outer)?;
-        let merge_one = |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
-            let env = Env::with_row(left_rs.schema.clone(), lrow.clone()).nested_in(outer);
-            let branch = if view.eval_predicate(predicate, &env)? {
-                then_branch
+        let left_schema = left_rs.schema.clone();
+        let schema = left_rs.schema.clone();
+        let predicate = predicate.clone();
+        let then_plan = then_branch.clone();
+        let else_plan = else_branch.clone();
+        let assignments = assignments.to_vec();
+        let outer_env = outer.clone();
+        let merge_one = move |view: &Executor, lrow: &Row, rows: &mut Vec<Row>| -> Result<()> {
+            let env = Env::with_row(left_schema.clone(), lrow.clone()).nested_in(&outer_env);
+            let branch = if view.eval_predicate(&predicate, &env)? {
+                &then_plan
             } else {
-                else_branch
+                &else_plan
             };
             let inner = view.execute_with_env(branch, &env)?;
-            rows.push(view.merge_row(lrow, &left_rs.schema, &inner, assignments)?);
+            rows.push(view.merge_row(lrow, &left_schema, &inner, &assignments)?);
             Ok(())
         };
-        let rows = self.for_each_left_row(&left_rs, "conditional-apply-merge", &merge_one)?;
-        Ok(ResultSet {
-            schema: left_rs.schema,
-            rows,
-        })
+        let rows = self.for_each_left_row(left_rs.rows, "conditional-apply-merge", merge_one)?;
+        Ok(ResultSet { schema, rows })
     }
 
     /// Implements the Apply-Merge assignment semantics: the inner result must have at
@@ -1177,6 +1416,245 @@ impl<'a> Executor<'a> {
         }
         Ok(out)
     }
+}
+
+// ------------------------------------------------------------------ pipelined helpers
+
+/// A fusible layer borrowed from the plan during chain detection.
+enum FusedLayer<'p> {
+    Filter(&'p ScalarExpr),
+    Project(&'p [ProjectItem]),
+}
+
+/// The owned per-row form of a fused stage (carried into the `'static` batch job).
+enum FusedStage {
+    Filter(ScalarExpr),
+    Project {
+        items: Vec<ProjectItem>,
+        /// The stage's output schema (equals the layered operator's output schema).
+        schema: Schema,
+    },
+}
+
+/// The base input a fused chain streams out of.
+enum FusedSource {
+    /// A base-table scan: workers read the catalog directly (no copy-out
+    /// materialization). Holds `(table name, row count)`.
+    Table(String, usize),
+    /// Any other base: its materialized rows.
+    Rows(Vec<Row>),
+}
+
+impl FusedSource {
+    fn len(&self) -> usize {
+        match self {
+            FusedSource::Table(_, len) => *len,
+            FusedSource::Rows(rows) => rows.len(),
+        }
+    }
+}
+
+/// Peels a chain of fusible layers (non-distinct projections and filters) off the top
+/// of `plan`, returning them **bottom-up** together with the base they feed on. Fusion
+/// pays off when there is more than one layer (an intermediate materialization is
+/// skipped) or when the base is a table scan (the scan's copy-out is skipped too);
+/// anything else returns `None` and executes operator by operator.
+fn fusible_chain(plan: &RelExpr) -> Option<(Vec<FusedLayer<'_>>, &RelExpr)> {
+    let mut layers = vec![];
+    let mut cur = plan;
+    loop {
+        match cur {
+            RelExpr::Project {
+                input,
+                items,
+                distinct: false,
+            } => {
+                layers.push(FusedLayer::Project(items));
+                cur = input;
+            }
+            RelExpr::Select { input, predicate } => {
+                layers.push(FusedLayer::Filter(predicate));
+                cur = input;
+            }
+            _ => break,
+        }
+    }
+    if layers.is_empty() {
+        return None;
+    }
+    if layers.len() < 2 && !matches!(cur, RelExpr::Scan { .. }) {
+        return None;
+    }
+    layers.reverse();
+    Some((layers, cur))
+}
+
+/// Streams one base row through every fused stage, appending the surviving (projected)
+/// row to `out`. The evaluation order per row is exactly the layered order.
+fn apply_fused_stages(
+    view: &Executor,
+    row: &Row,
+    base_schema: &Schema,
+    stages: &[FusedStage],
+    outer: &Env,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    let mut current = row.clone();
+    let mut schema = base_schema;
+    for stage in stages {
+        match stage {
+            FusedStage::Filter(predicate) => {
+                let env = Env::with_row(schema.clone(), current.clone()).nested_in(outer);
+                if !view.eval_predicate(predicate, &env)? {
+                    return Ok(());
+                }
+            }
+            FusedStage::Project {
+                items,
+                schema: out_schema,
+            } => {
+                let env = Env::with_row(schema.clone(), current).nested_in(outer);
+                let values: Result<Vec<Value>> = items
+                    .iter()
+                    .map(|item| view.eval_expr(&item.expr, &env))
+                    .collect();
+                current = Row::new(values?);
+                schema = out_schema;
+            }
+        }
+    }
+    out.push(current);
+    Ok(())
+}
+
+// ----------------------------------------------------------------------- join helpers
+
+/// Emits the left-only / null-extended outputs for outer, semi and anti joins.
+fn finish_left_row(
+    kind: JoinKind,
+    matched: bool,
+    lrow: &Row,
+    right_width: usize,
+    rows: &mut Vec<Row>,
+) {
+    match kind {
+        JoinKind::LeftOuter if !matched => rows.push(lrow.concat(&Row::nulls(right_width))),
+        JoinKind::LeftSemi if matched => rows.push(lrow.clone()),
+        JoinKind::LeftAnti if !matched => rows.push(lrow.clone()),
+        _ => {}
+    }
+}
+
+/// Probes one left row against the whole right side (nested-loop join body).
+#[allow(clippy::too_many_arguments)]
+fn nl_probe_row(
+    view: &Executor,
+    lrow: &Row,
+    right_rs: &ResultSet,
+    combined_schema: &Schema,
+    kind: JoinKind,
+    condition: Option<&ScalarExpr>,
+    outer: &Env,
+    rows: &mut Vec<Row>,
+) -> Result<()> {
+    let mut matched = false;
+    for rrow in &right_rs.rows {
+        let combined = lrow.concat(rrow);
+        let env = Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
+        let pass = match condition {
+            Some(c) => view.eval_predicate(c, &env)?,
+            None => true,
+        };
+        if pass {
+            matched = true;
+            match kind {
+                JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                _ => rows.push(combined),
+            }
+        }
+    }
+    finish_left_row(kind, matched, lrow, right_rs.schema.len(), rows);
+    Ok(())
+}
+
+/// Computes one build morsel's `(key, right row index)` entries, bucketed by partition.
+fn build_buckets(
+    view: &Executor,
+    right_rs: &ResultSet,
+    equi_keys: &[(ScalarExpr, ScalarExpr)],
+    outer: &Env,
+    nparts: usize,
+    range: std::ops::Range<usize>,
+) -> Result<BuildBuckets> {
+    let mut buckets: BuildBuckets = vec![vec![]; nparts];
+    for (offset, rrow) in right_rs.rows[range.clone()].iter().enumerate() {
+        let key = view.join_key(
+            rrow,
+            &right_rs.schema,
+            equi_keys.iter().map(|(_, rk)| rk),
+            outer,
+        )?;
+        if let Some(key) = key {
+            let part = partition_of(&key, nparts);
+            buckets[part].push((key, range.start + offset));
+        }
+    }
+    Ok(buckets)
+}
+
+/// Assembles one partition's hash table from the per-morsel buckets (morsel order keeps
+/// every bucket's row indexes ascending — the serial build order).
+fn assemble_partition(
+    build_chunks: &[BuildBuckets],
+    part: usize,
+) -> HashMap<Vec<GroupKey>, Vec<usize>> {
+    let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    for chunk in build_chunks {
+        for (key, idx) in &chunk[part] {
+            table.entry(key.clone()).or_default().push(*idx);
+        }
+    }
+    table
+}
+
+/// Probes one left row against the partitioned hash tables (hash-join probe body).
+#[allow(clippy::too_many_arguments)]
+fn hash_probe_row(
+    view: &Executor,
+    lrow: &Row,
+    left_schema: &Schema,
+    right_rs: &ResultSet,
+    combined_schema: &Schema,
+    equi_keys: &[(ScalarExpr, ScalarExpr)],
+    residual_pred: &ScalarExpr,
+    tables: &[HashMap<Vec<GroupKey>, Vec<usize>>],
+    nparts: usize,
+    kind: JoinKind,
+    outer: &Env,
+    rows: &mut Vec<Row>,
+) -> Result<()> {
+    let key = view.join_key(lrow, left_schema, equi_keys.iter().map(|(lk, _)| lk), outer)?;
+    let matches: &[usize] = match &key {
+        None => &[],
+        Some(key) => tables[partition_of(key, nparts)]
+            .get(key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]),
+    };
+    let mut matched = false;
+    for &ri in matches {
+        let combined = lrow.concat(&right_rs.rows[ri]);
+        let env = Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
+        if view.eval_predicate(residual_pred, &env)? {
+            matched = true;
+            match kind {
+                JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                _ => rows.push(combined),
+            }
+        }
+    }
+    finish_left_row(kind, matched, lrow, right_rs.schema.len(), rows);
+    Ok(())
 }
 
 /// Splits a join condition into hash-join key pairs `(left_key, right_key)` and residual
@@ -1251,8 +1729,18 @@ fn side_of(expr: &ScalarExpr, left: &Schema, right: &Schema) -> Side {
 type BuildEntry = (Vec<GroupKey>, usize);
 /// One build morsel's output: entries bucketed by partition.
 type BuildBuckets = Vec<Vec<BuildEntry>>;
-/// A per-left-row operator body (nested-loop probe, hash probe, Apply variants).
-type PerRowFn<'f> = dyn Fn(&Executor, &Row, &mut Vec<Row>) -> Result<()> + Sync + 'f;
+/// `(first input row, group values, accumulators)` per group, per partition.
+type PartialGroups = Vec<(usize, Vec<Value>, Vec<AccState>)>;
+
+/// One input row of a parallel aggregation after the morsel-parallel evaluation stage.
+struct EvaluatedRow {
+    group_values: Vec<Value>,
+    key: Vec<GroupKey>,
+    /// Hash partition of `key`, computed once in the parallel stage so the
+    /// accumulation workers don't re-hash every row `nparts` times.
+    partition: usize,
+    args_per_agg: Vec<Vec<Value>>,
+}
 
 /// Running accumulator state for one aggregate call within one group: either a
 /// built-in accumulator or the interpreted state of a user-defined aggregate.

@@ -25,7 +25,7 @@ enum Flow {
     Return(Value),
 }
 
-impl Executor<'_> {
+impl Executor {
     /// Invokes a scalar UDF with already-evaluated argument values.
     pub fn call_udf(&self, name: &str, args: Vec<Value>) -> Result<Value> {
         let udf = self.registry.udf(name)?;

@@ -29,7 +29,7 @@ pub mod stats;
 
 pub use env::Env;
 pub use executor::{ExecConfig, Executor, ResultSet};
-pub use parallel::morsel_ranges;
+pub use parallel::{morsel_ranges, WorkerPool, WorkerPoolStats};
 pub use stats::{ExecStats, ExecTrace, OperatorTrace};
 
 use decorr_algebra::{ScalarExpr, SchemaProvider};

@@ -28,6 +28,12 @@ pub struct ExecStats {
     pub morsels_dispatched: u64,
     /// Operators that took the parallel path.
     pub parallel_operators: u64,
+    /// Worker threads spawned while executing this query. With a warm persistent pool
+    /// this stays 0: spawning is a pool-lifecycle event, not a per-operator cost.
+    pub pool_spawns: u64,
+    /// Plan operators executed as part of a fused (pipelined) chain instead of
+    /// materializing their intermediate result.
+    pub pipelined_operators: u64,
 }
 
 /// Lock-free live counters. Every counter is monotonically increasing and additions
@@ -43,6 +49,8 @@ pub struct AtomicExecStats {
     pub nested_loop_joins: AtomicU64,
     pub morsels_dispatched: AtomicU64,
     pub parallel_operators: AtomicU64,
+    pub pool_spawns: AtomicU64,
+    pub pipelined_operators: AtomicU64,
 }
 
 impl AtomicExecStats {
@@ -78,6 +86,14 @@ impl AtomicExecStats {
         self.parallel_operators.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub fn add_pool_spawns(&self, n: u64) {
+        self.pool_spawns.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_pipelined_operators(&self, n: u64) {
+        self.pipelined_operators.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A plain snapshot of the counters.
     pub fn snapshot(&self) -> ExecStats {
         ExecStats {
@@ -89,6 +105,8 @@ impl AtomicExecStats {
             nested_loop_joins: self.nested_loop_joins.load(Ordering::Relaxed),
             morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
             parallel_operators: self.parallel_operators.load(Ordering::Relaxed),
+            pool_spawns: self.pool_spawns.load(Ordering::Relaxed),
+            pipelined_operators: self.pipelined_operators.load(Ordering::Relaxed),
         }
     }
 }
@@ -107,8 +125,14 @@ pub struct OperatorTrace {
     /// Input rows each worker processed (index = worker id). The spread shows how well
     /// the morsel queue balanced the operator.
     pub rows_per_worker: Vec<u64>,
-    /// Wall-clock time of the parallel section (dispatch → last worker joined).
+    /// Wall-clock time of the parallel section (dispatch → last task finished).
     pub duration: Duration,
+    /// Plan operators fused into this dispatch (0 = a single-operator dispatch; n ≥ 2
+    /// = a pipelined chain, e.g. scan→filter→project, executed in one pass per morsel).
+    pub pipelined_stages: usize,
+    /// Worker threads the pool had to spawn for this operator (0 once the pool is
+    /// warm — the persistent-pool steady state).
+    pub pool_spawns: usize,
 }
 
 impl OperatorTrace {
@@ -142,16 +166,18 @@ impl ExecTrace {
         }
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<28} {:>8} {:>8} {:>12}  rows/worker\n",
-            "operator", "morsels", "workers", "time"
+            "{:<36} {:>8} {:>8} {:>6} {:>7} {:>12}  rows/worker\n",
+            "operator", "morsels", "workers", "fused", "spawns", "time"
         ));
         for op in &self.operators {
             let spread: Vec<String> = op.rows_per_worker.iter().map(u64::to_string).collect();
             out.push_str(&format!(
-                "{:<28} {:>8} {:>8} {:>9.3} ms  [{}]\n",
+                "{:<36} {:>8} {:>8} {:>6} {:>7} {:>9.3} ms  [{}]\n",
                 op.operator,
                 op.morsels,
                 op.workers,
+                op.pipelined_stages,
+                op.pool_spawns,
                 op.duration.as_secs_f64() * 1e3,
                 spread.join(", "),
             ));
@@ -199,11 +225,15 @@ mod tests {
         stats.add_udf_invocations(3);
         stats.add_morsels_dispatched(7);
         stats.add_parallel_operators(2);
+        stats.add_pool_spawns(4);
+        stats.add_pipelined_operators(3);
         let snap = stats.snapshot();
         assert_eq!(snap.rows_scanned, 15);
         assert_eq!(snap.udf_invocations, 3);
         assert_eq!(snap.morsels_dispatched, 7);
         assert_eq!(snap.parallel_operators, 2);
+        assert_eq!(snap.pool_spawns, 4);
+        assert_eq!(snap.pipelined_operators, 3);
         assert_eq!(snap.hash_joins, 0);
     }
 
@@ -217,6 +247,8 @@ mod tests {
             workers: 2,
             rows_per_worker: vec![3000, 1096],
             duration: Duration::from_micros(1500),
+            pipelined_stages: 2,
+            pool_spawns: 0,
         });
         let trace = collector.snapshot();
         assert_eq!(trace.total_morsels(), 4);

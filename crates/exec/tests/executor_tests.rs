@@ -1,6 +1,8 @@
 //! End-to-end tests of the executor and interpreter: SQL text is parsed, lowered to the
 //! logical algebra and executed against an in-memory catalog.
 
+use std::sync::Arc;
+
 use decorr_common::{Column, DataType, Row, Schema, Value};
 use decorr_exec::{ExecConfig, Executor};
 use decorr_parser::{parse_and_plan, parse_function};
@@ -8,7 +10,7 @@ use decorr_storage::Catalog;
 use decorr_udf::FunctionRegistry;
 
 /// Builds a small TPC-H-flavoured catalog used throughout these tests.
-fn setup() -> (Catalog, FunctionRegistry) {
+fn setup() -> (Arc<Catalog>, FunctionRegistry) {
     let mut catalog = Catalog::new();
     catalog
         .create_table(
@@ -61,12 +63,14 @@ fn setup() -> (Catalog, FunctionRegistry) {
     }
     catalog.create_index("orders", "custkey").unwrap();
     catalog.create_index("customer", "custkey").unwrap();
-    (catalog, FunctionRegistry::new())
+    (Arc::new(catalog), FunctionRegistry::new())
 }
 
-fn run(catalog: &Catalog, registry: &FunctionRegistry, sql: &str) -> decorr_exec::ResultSet {
+fn run(catalog: &Arc<Catalog>, registry: &FunctionRegistry, sql: &str) -> decorr_exec::ResultSet {
     let plan = parse_and_plan(sql).unwrap();
-    Executor::new(catalog, registry).execute(&plan).unwrap()
+    Executor::new(Arc::clone(catalog), Arc::new(registry.clone()))
+        .execute(&plan)
+        .unwrap()
 }
 
 #[test]
@@ -153,16 +157,16 @@ fn hash_join_and_nested_loop_agree() {
     )
     .unwrap();
     let hash_exec = Executor::with_config(
-        &catalog,
-        &registry,
+        Arc::clone(&catalog),
+        Arc::new(registry.clone()),
         ExecConfig {
             hash_join_threshold: 0,
             ..ExecConfig::default()
         },
     );
     let nlj_exec = Executor::with_config(
-        &catalog,
-        &registry,
+        Arc::clone(&catalog),
+        Arc::new(registry.clone()),
         ExecConfig {
             hash_join_threshold: usize::MAX,
             ..ExecConfig::default()
@@ -237,7 +241,7 @@ fn exists_and_in_subqueries() {
 fn index_assisted_selection_is_used() {
     let (catalog, registry) = setup();
     let plan = parse_and_plan("select orderkey from orders where custkey = 7").unwrap();
-    let exec = Executor::new(&catalog, &registry);
+    let exec = Executor::new(Arc::clone(&catalog), Arc::new(registry.clone()));
     let rs = exec.execute(&plan).unwrap();
     assert_eq!(rs.len(), 7);
     let stats = exec.stats_snapshot();
@@ -259,7 +263,7 @@ fn scalar_udf_iterative_invocation() {
     );
     let plan =
         parse_and_plan("select custkey, totalbusiness(custkey) as tb from customer").unwrap();
-    let exec = Executor::new(&catalog, &registry);
+    let exec = Executor::new(Arc::clone(&catalog), Arc::new(registry.clone()));
     let rs = exec.execute(&plan).unwrap();
     assert_eq!(rs.len(), 10);
     let tb = rs.column("tb").unwrap();
@@ -389,7 +393,7 @@ fn table_valued_udf_execution() {
         )
         .unwrap(),
     );
-    let exec = Executor::new(&catalog, &registry);
+    let exec = Executor::new(Arc::clone(&catalog), Arc::new(registry.clone()));
     let rs = exec
         .call_table_udf("big_orders", vec![Value::Float(900.0)])
         .unwrap();
@@ -420,7 +424,7 @@ fn nested_udf_calls() {
 #[test]
 fn runtime_errors_are_reported() {
     let (catalog, registry) = setup();
-    let exec = Executor::new(&catalog, &registry);
+    let exec = Executor::new(Arc::clone(&catalog), Arc::new(registry.clone()));
     // Unknown table.
     let plan = parse_and_plan("select x from nosuchtable").unwrap();
     assert_eq!(exec.execute(&plan).unwrap_err().kind(), "catalog");
@@ -450,7 +454,7 @@ fn union_and_union_all() {
         right: Box::new(b),
         all: false,
     };
-    let exec = Executor::new(&catalog, &registry);
+    let exec = Executor::new(Arc::clone(&catalog), Arc::new(registry.clone()));
     assert_eq!(exec.execute(&union_all).unwrap().len(), 6);
     assert_eq!(exec.execute(&union_distinct).unwrap().len(), 3);
 }

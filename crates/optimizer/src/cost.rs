@@ -36,9 +36,14 @@ impl Default for CostParams {
     }
 }
 
-/// Measured morsel-pool scaling is sub-linear (fan-out/merge overheads and skew), so
-/// each extra worker contributes this fraction of a perfectly parallel worker.
-const PARALLEL_EFFICIENCY: f64 = 0.7;
+/// Measured morsel-pool scaling is sub-linear (merge overheads and skew), so each
+/// extra worker contributes this fraction of a perfectly parallel worker.
+///
+/// Recalibrated for the persistent worker pool: the original 0.7 was dominated by the
+/// per-operator scoped-thread spawn cost, which the pool amortizes away (workers park
+/// on a condvar between batches and per-query spawns are zero once warm). What remains
+/// is the morsel-merge and skew overhead, so each extra worker is worth more.
+const PARALLEL_EFFICIENCY: f64 = 0.85;
 
 impl CostParams {
     pub fn new(parallelism: usize) -> CostParams {

@@ -17,6 +17,8 @@ use udf_decorrelation::storage::Catalog;
 use udf_decorrelation::tpch::{experiment1, experiment2, experiment3, generate, TpchConfig};
 use udf_decorrelation::udf::FunctionRegistry;
 
+use std::sync::Arc;
+
 const PARALLELISMS: [usize; 4] = [1, 2, 4, 8];
 /// Small morsels so even the property-sized tables span many of them.
 const TEST_MORSEL: usize = 16;
@@ -31,13 +33,14 @@ fn config_with(parallelism: usize) -> ExecConfig {
 
 /// Executes `plan` serially and at every tested pool size; asserts byte-identical
 /// results (including row order) and returns the serial result.
-fn assert_parallel_equivalence(catalog: &Catalog, plan: &RelExpr) -> ResultSet {
-    let registry = FunctionRegistry::new();
-    let serial = Executor::with_config(catalog, &registry, config_with(1))
+fn assert_parallel_equivalence(catalog: &Arc<Catalog>, plan: &RelExpr) -> ResultSet {
+    let registry = Arc::new(FunctionRegistry::new());
+    let serial = Executor::with_config(Arc::clone(catalog), Arc::clone(&registry), config_with(1))
         .execute(plan)
         .expect("serial execution");
     for p in PARALLELISMS {
-        let executor = Executor::with_config(catalog, &registry, config_with(p));
+        let executor =
+            Executor::with_config(Arc::clone(catalog), Arc::clone(&registry), config_with(p));
         let parallel = executor.execute(plan).expect("parallel execution");
         assert_eq!(
             serial, parallel,
@@ -197,7 +200,7 @@ fn random_plan(rng: &mut SmallRng) -> RelExpr {
 #[test]
 fn random_plans_are_parallelism_invariant() {
     check_property("random_plans_are_parallelism_invariant", 40, |rng| {
-        let catalog = random_accounts(rng, 60, 220);
+        let catalog = Arc::new(random_accounts(rng, 60, 220));
         let plan = random_plan(rng);
         assert_parallel_equivalence(&catalog, &plan);
     });
@@ -207,7 +210,7 @@ fn random_plans_are_parallelism_invariant() {
 fn morsel_edge_cases_fall_back_to_serial_semantics() {
     // Empty table, table smaller than one morsel, and a single worker must all produce
     // the serial result (and the first two never dispatch morsels at all).
-    let registry = FunctionRegistry::new();
+    let registry = Arc::new(FunctionRegistry::new());
     for rows in [0usize, 5] {
         let mut catalog = Catalog::new();
         catalog
@@ -234,12 +237,14 @@ fn morsel_edge_cases_fall_back_to_serial_semantics() {
                 vec![AggCall::new(AggFunc::Sum, vec![E::column("amount")], "s")],
             )
             .build();
-        let serial = Executor::with_config(&catalog, &registry, config_with(1))
-            .execute(&plan)
-            .unwrap();
+        let catalog = Arc::new(catalog);
+        let serial =
+            Executor::with_config(Arc::clone(&catalog), Arc::clone(&registry), config_with(1))
+                .execute(&plan)
+                .unwrap();
         let parallel_exec = Executor::with_config(
-            &catalog,
-            &registry,
+            Arc::clone(&catalog),
+            Arc::clone(&registry),
             ExecConfig {
                 parallelism: 4,
                 morsel_size: 8,
@@ -259,10 +264,10 @@ fn morsel_edge_cases_fall_back_to_serial_semantics() {
 #[test]
 fn single_worker_parallelism_is_the_serial_path() {
     let mut rng = SmallRng::seed_from_u64(0x51);
-    let catalog = random_accounts(&mut rng, 100, 150);
+    let catalog = Arc::new(random_accounts(&mut rng, 100, 150));
     let plan = random_plan(&mut rng);
-    let registry = FunctionRegistry::new();
-    let executor = Executor::with_config(&catalog, &registry, config_with(1));
+    let registry = Arc::new(FunctionRegistry::new());
+    let executor = Executor::with_config(catalog, registry, config_with(1));
     executor.execute(&plan).unwrap();
     let stats = executor.stats_snapshot();
     assert_eq!(stats.morsels_dispatched, 0);
@@ -361,6 +366,153 @@ fn with_config(mut options: QueryOptions, parallelism: usize) -> QueryOptions {
         ..ExecConfig::default()
     });
     options
+}
+
+/// The persistent pool: worker threads are spawned once (at `set_parallelism`) and
+/// reused across queries — per-query spawns drop to zero after warm-up.
+#[test]
+fn worker_pool_persists_across_queries() {
+    let mut db = parallel_db(300);
+    let sql = "select custkey, service_level(custkey) as level from customer";
+    db.set_parallelism(4);
+    let stats = db.worker_pool_stats();
+    assert_eq!(stats.workers, 4, "set_parallelism warms the pool eagerly");
+    assert_eq!(stats.threads_spawned, 4);
+    let mut batches_seen = 0;
+    for round in 0..3 {
+        // Small morsels so the operators actually fan out on this data size.
+        let result = db
+            .query_with(sql, &options_with_parallelism(4))
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert!(result.exec_stats.parallel_operators > 0, "round {round}");
+        assert_eq!(
+            result.exec_stats.pool_spawns, 0,
+            "round {round}: a warm pool must not spawn per query"
+        );
+        let stats = db.worker_pool_stats();
+        assert_eq!(stats.threads_spawned, 4, "round {round}: no respawn");
+        assert!(stats.batches_run > batches_seen, "round {round}");
+        batches_seen = stats.batches_run;
+    }
+    // Shrinking back to serial retires the pool; growing again rebuilds it.
+    db.set_parallelism(1);
+    assert_eq!(db.worker_pool_stats().workers, 0);
+    db.set_parallelism(2);
+    assert_eq!(db.worker_pool_stats().workers, 2);
+}
+
+/// Pool-panic safety: a batch whose task panics (a UDF exploding mid-morsel) fails
+/// that query with an `Error`, but the database's persistent pool stays usable — the
+/// next query runs on the same worker threads.
+#[test]
+fn panicked_batch_leaves_the_engine_pool_usable() {
+    let mut db = parallel_db(300);
+    db.set_parallelism(4);
+    let pool = std::sync::Arc::clone(db.worker_pool());
+    let err = pool
+        .run_batch(4, 8, Box::new(|_, idx| assert!(idx != 5, "udf panic")))
+        .unwrap_err();
+    assert!(err.contains("udf panic"), "{err}");
+    let spawned = db.worker_pool_stats().threads_spawned;
+    let sql = "select custkey, service_level(custkey) as level from customer";
+    let serial = db.query_with(sql, &options_with_parallelism(1)).unwrap();
+    let parallel = db.query_with(sql, &options_with_parallelism(4)).unwrap();
+    assert_eq!(serial.rows, parallel.rows);
+    assert!(parallel.exec_stats.parallel_operators > 0);
+    assert_eq!(
+        db.worker_pool_stats().threads_spawned,
+        spawned,
+        "recovery must not respawn workers"
+    );
+}
+
+/// Pipelined execution: fused scan→filter→project chains produce byte-identical rows
+/// to the materialized (fusion-off) execution, and the fusion actually engages.
+#[test]
+fn pipelined_chains_match_materialized_execution() {
+    let db = parallel_db(400);
+    let sql = "select custkey, service_level(custkey) as level from customer \
+               where custkey > 10";
+    let serial = db.query_with(sql, &options_with_parallelism(1)).unwrap();
+    let fused = db.query_with(sql, &options_with_parallelism(4)).unwrap();
+    let mut materialized_options = options_with_parallelism(4);
+    if let Some(config) = &mut materialized_options.exec_config {
+        config.pipeline_fusion = false;
+    }
+    let materialized = db.query_with(sql, &materialized_options).unwrap();
+    assert_eq!(serial.rows, fused.rows);
+    assert_eq!(serial.rows, materialized.rows);
+    assert!(
+        fused.exec_stats.pipelined_operators > 0,
+        "fusion did not engage: {:?}",
+        fused.exec_stats
+    );
+    assert_eq!(materialized.exec_stats.pipelined_operators, 0);
+    // The fused trace reports the chain as one operator with its fused depth.
+    assert!(
+        fused
+            .exec_trace
+            .operators
+            .iter()
+            .any(|op| op.operator.starts_with("pipeline(") && op.pipelined_stages >= 2),
+        "no pipelined operator in trace:\n{}",
+        fused.exec_trace.render()
+    );
+}
+
+/// Satellite regression: a degenerate `morsel_size: 0` (or `parallelism: 0`) literal
+/// is clamped at executor construction instead of degenerating into one-row morsels,
+/// and `Database::set_parallelism(0)` clamps to serial.
+#[test]
+fn degenerate_exec_config_is_clamped() {
+    let mut rng = SmallRng::seed_from_u64(0xC1A);
+    let catalog = std::sync::Arc::new(random_accounts(&mut rng, 100, 120));
+    let registry = std::sync::Arc::new(FunctionRegistry::new());
+    let plan = PlanBuilder::scan("accounts")
+        .select(E::gt(E::column("amount"), E::literal(0)))
+        .build();
+    let serial = Executor::with_config(
+        std::sync::Arc::clone(&catalog),
+        std::sync::Arc::clone(&registry),
+        config_with(1),
+    )
+    .execute(&plan)
+    .unwrap();
+    let degenerate = Executor::with_config(
+        std::sync::Arc::clone(&catalog),
+        std::sync::Arc::clone(&registry),
+        ExecConfig {
+            parallelism: 4,
+            morsel_size: 0,
+            ..ExecConfig::default()
+        },
+    );
+    assert_eq!(degenerate.config.morsel_size, 1, "clamped at construction");
+    let result = degenerate.execute(&plan).unwrap();
+    assert_eq!(serial, result);
+    let rows = catalog.table("accounts").unwrap().row_count() as u64;
+    assert!(
+        degenerate.stats_snapshot().morsels_dispatched < rows,
+        "morsel_size 0 must not degenerate into one-row morsels ({} morsels for {} rows)",
+        degenerate.stats_snapshot().morsels_dispatched,
+        rows
+    );
+    // A 1-row input never fans out, even with the clamped 1-row morsel floor.
+    let tiny = Executor::with_config(
+        std::sync::Arc::clone(&catalog),
+        registry,
+        ExecConfig {
+            parallelism: 0,
+            morsel_size: 0,
+            ..ExecConfig::default()
+        },
+    );
+    assert_eq!(tiny.config.parallelism, 1, "parallelism 0 clamps to serial");
+    // Database-level clamp.
+    let mut db = parallel_db(10);
+    db.set_parallelism(0);
+    assert_eq!(db.parallelism(), 1);
+    assert_eq!(db.worker_pool_stats().workers, 0);
 }
 
 /// A parallel run populates the per-operator execution trace and the morsel counters.

@@ -73,6 +73,43 @@ fn repeated_queries_hit_the_cache_and_agree_with_fresh_runs() {
     assert_eq!(stats.entries, 1);
 }
 
+/// Satellite regression: changing the worker-pool size after warm cache entries must
+/// miss the cache — the pipeline fingerprint folds in the parallelism the strategy
+/// choice was costed for, so a plan optimized for one pool size is never served to
+/// another.
+#[test]
+fn set_parallelism_invalidates_warm_cache_entries() {
+    let mut db = db_with_shift(2, 1);
+    let cold = db.query(SHIFT_QUERY).unwrap();
+    assert!(!cold.rewrite_report.cache.expect("cache attached").hit);
+    let warm = db.query(SHIFT_QUERY).unwrap();
+    assert!(warm.rewrite_report.cache.expect("cache attached").hit);
+    let misses_before = db.plan_cache_stats().misses;
+
+    // A new pool size must not be served the strategy costed for the old one.
+    db.set_parallelism(4);
+    let resized = db.query(SHIFT_QUERY).unwrap();
+    assert!(
+        !resized.rewrite_report.cache.expect("cache attached").hit,
+        "a resized pool must miss the warm cache"
+    );
+    assert_eq!(db.plan_cache_stats().misses, misses_before + 1);
+    assert_eq!(shifted(&resized), shifted(&cold));
+
+    // The new pool size warms its own entry …
+    let rewarm = db.query(SHIFT_QUERY).unwrap();
+    assert!(rewarm.rewrite_report.cache.expect("cache attached").hit);
+
+    // … and switching back is again a distinct entry (cached from the first runs).
+    db.set_parallelism(1);
+    let back = db.query(SHIFT_QUERY).unwrap();
+    assert!(
+        back.rewrite_report.cache.expect("cache attached").hit,
+        "the serial entry cached earlier must still be servable"
+    );
+    assert_eq!(shifted(&back), shifted(&cold));
+}
+
 #[test]
 fn strategies_use_distinct_cache_entries() {
     let db = db_with_shift(3, 0);

@@ -84,7 +84,10 @@ fn catalog_with_accounts(rows: &[(i64, i64, f64)]) -> Catalog {
 /// Executes a plan and returns its canonical (sorted, stringified) rows.
 fn run(catalog: &Catalog, plan: &RelExpr) -> Vec<String> {
     let registry = FunctionRegistry::new();
-    let executor = Executor::new(catalog, &registry);
+    let executor = Executor::new(
+        std::sync::Arc::new(catalog.clone()),
+        std::sync::Arc::new(registry),
+    );
     executor
         .execute(plan)
         .unwrap_or_else(|e| panic!("execution failed: {e}\n{}", explain(plan)))
