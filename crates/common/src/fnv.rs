@@ -1,0 +1,72 @@
+//! The workspace-wide FNV-1a hasher.
+//!
+//! Plan fingerprints must agree across layers — the optimizer's plan cache, the
+//! executor's per-node cardinality collector and the engine's feedback store all join
+//! on them — so there is exactly one implementation, here. It hashes `fmt` output
+//! without materializing the string: write a `Debug`/`Display` rendering into it via
+//! `std::fmt::Write`.
+
+/// FNV-1a over a `fmt`-stream plus raw integers.
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher::new()
+    }
+}
+
+impl FnvHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> FnvHasher {
+        FnvHasher(Self::OFFSET)
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Write for FnvHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write as _;
+
+    #[test]
+    fn stable_and_input_sensitive() {
+        let mut a = FnvHasher::new();
+        let mut b = FnvHasher::new();
+        write!(a, "plan-{}", 42).unwrap();
+        write!(b, "plan-{}", 42).unwrap();
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FnvHasher::new();
+        write!(c, "plan-{}", 43).unwrap();
+        assert_ne!(a.finish(), c.finish());
+        let mut d = FnvHasher::new();
+        d.write_u64(42);
+        assert_ne!(a.finish(), d.finish());
+        // The canonical FNV-1a test vector: hashing "a".
+        let mut e = FnvHasher::new();
+        e.write_bytes(b"a");
+        assert_eq!(e.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

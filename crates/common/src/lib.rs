@@ -6,12 +6,14 @@
 //! storage, algebra, parser, rewrite engine, executor — can share one vocabulary.
 
 pub mod error;
+pub mod fnv;
 pub mod rng;
 pub mod row;
 pub mod schema;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use fnv::FnvHasher;
 pub use rng::SmallRng;
 pub use row::Row;
 pub use schema::{Column, Schema};

@@ -14,11 +14,14 @@ use decorr_algebra::RelExpr;
 use decorr_common::{Error, Result, Row, Schema, Value};
 use decorr_exec::{CatalogProvider, Env, ExecConfig, Executor, WorkerPool, WorkerPoolStats};
 use decorr_optimizer::{
-    OptimizeMode, OptimizeOutcome, PassManager, PipelineReport, PlanCache, PlanCacheStats,
+    estimate_per_node, estimate_with, estimated_udf_invocation_cost, plan_fingerprint, CostParams,
+    FeedbackConfig, FeedbackStats, FeedbackStore, OptimizeMode, OptimizeOutcome, PassManager,
+    PipelineReport, PlanCache, PlanCacheStats,
 };
 use decorr_parser::{parse_statements, plan_select, SqlStatement};
 use decorr_rewrite::plan_to_sql;
-use decorr_storage::Catalog;
+use decorr_stats::q_error;
+use decorr_storage::{AnalyzeConfig, Catalog};
 use decorr_udf::FunctionRegistry;
 
 /// How the engine should execute a query that invokes UDFs.
@@ -82,8 +85,19 @@ pub struct QueryResult {
     /// iteration counts and before/after plan snapshots.
     pub rewrite_report: PipelineReport,
     /// The executor's per-operator trace (morsels dispatched, per-worker row spread,
-    /// operator wall clock) — empty for fully serial executions.
+    /// rows in/out, operator wall clock) — empty for fully serial executions.
     pub exec_trace: decorr_exec::ExecTrace,
+    /// Estimated root cardinality of the executed plan (the cost model's number the
+    /// feedback loop compares against `rows.len()`).
+    pub estimated_rows: f64,
+    /// q-error of the root cardinality estimate for this execution.
+    pub cardinality_q_error: f64,
+    /// Measured wall-clock per invoked UDF (empty for set-oriented executions).
+    pub udf_timings: Vec<decorr_exec::UdfTiming>,
+    /// Actual output cardinality per executed plan node, keyed by structural
+    /// fingerprint. Only populated when the query ran with
+    /// `ExecConfig::collect_cardinalities` (e.g. under `EXPLAIN ANALYZE`).
+    pub node_cardinalities: Vec<decorr_exec::NodeCardinality>,
 }
 
 impl QueryResult {
@@ -144,6 +158,10 @@ pub enum ExecutionSummary {
     },
     RowsInserted(usize),
     FunctionCreated(String),
+    /// An `ANALYZE` ran; holds the names of the analyzed tables.
+    Analyzed {
+        tables: Vec<String>,
+    },
     /// A SELECT executed through [`Database::execute`]; holds the number of rows.
     QueryRows(usize),
 }
@@ -170,6 +188,11 @@ pub struct Database {
     exec_config: ExecConfig,
     plan_cache: Arc<PlanCache>,
     worker_pool: Arc<WorkerPool>,
+    /// Runtime feedback: learned UDF invocation costs and recorded estimate-vs-actual
+    /// cardinalities, folded in after every query (see [`Database::run_plan`]).
+    feedback: Arc<FeedbackStore>,
+    /// Configuration `ANALYZE` runs with (sample size, bucket/MCV counts, seed).
+    analyze_config: AnalyzeConfig,
 }
 
 impl Clone for Database {
@@ -185,6 +208,10 @@ impl Clone for Database {
             exec_config: self.exec_config.clone(),
             plan_cache: Arc::new(PlanCache::with_capacity(self.plan_cache.capacity())),
             worker_pool: Arc::new(WorkerPool::new(self.worker_pool.worker_count())),
+            // A fresh feedback store, like the fresh plan cache: the clone's workload
+            // diverges, so its measurements must not mix with the original's.
+            feedback: Arc::new(FeedbackStore::with_config(self.feedback.config().clone())),
+            analyze_config: self.analyze_config.clone(),
         }
     }
 }
@@ -197,6 +224,8 @@ impl Database {
             exec_config: ExecConfig::default(),
             plan_cache: Arc::new(PlanCache::new()),
             worker_pool: Arc::new(WorkerPool::new(0)),
+            feedback: Arc::new(FeedbackStore::new()),
+            analyze_config: AnalyzeConfig::default(),
         }
     }
 
@@ -284,6 +313,47 @@ impl Database {
         self.plan_cache.stats()
     }
 
+    /// The runtime feedback store (learned UDF costs, recorded q-errors).
+    pub fn feedback(&self) -> &FeedbackStore {
+        &self.feedback
+    }
+
+    /// Snapshot of the feedback counters.
+    pub fn feedback_stats(&self) -> FeedbackStats {
+        self.feedback.stats()
+    }
+
+    /// Replaces the feedback store with a fresh one using `config` (thresholds, trust
+    /// floors). Learned state is discarded.
+    pub fn set_feedback_config(&mut self, config: FeedbackConfig) {
+        self.feedback = Arc::new(FeedbackStore::with_config(config));
+    }
+
+    /// The configuration `ANALYZE` runs with.
+    pub fn analyze_config(&self) -> &AnalyzeConfig {
+        &self.analyze_config
+    }
+
+    /// Replaces the `ANALYZE` configuration used by subsequent analyzes.
+    pub fn set_analyze_config(&mut self, config: AnalyzeConfig) {
+        self.analyze_config = config;
+    }
+
+    /// Runs a sampled `ANALYZE` over every table: builds histogram/MCV statistics the
+    /// cost model's range and equality selectivities consume. Bumps the catalog DDL
+    /// generation, so cached plans re-optimize against the fresh statistics. Returns
+    /// the analyzed table names.
+    pub fn analyze(&mut self) -> Vec<String> {
+        let config = self.analyze_config.clone();
+        self.catalog_mut().analyze_all(&config)
+    }
+
+    /// Runs a sampled `ANALYZE` over one table (see [`Database::analyze`]).
+    pub fn analyze_table(&mut self, name: &str) -> Result<()> {
+        let config = self.analyze_config.clone();
+        self.catalog_mut().analyze_table(name, &config)
+    }
+
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
@@ -344,6 +414,16 @@ impl Database {
                 let normalized = self.normalize_udf(udf);
                 self.registry_mut().register_udf(normalized);
                 Ok(ExecutionSummary::FunctionCreated(name))
+            }
+            SqlStatement::Analyze { table } => {
+                let tables = match table {
+                    Some(name) => {
+                        self.analyze_table(&name)?;
+                        vec![name]
+                    }
+                    None => self.analyze(),
+                };
+                Ok(ExecutionSummary::Analyzed { tables })
             }
             SqlStatement::Query(select) => {
                 let plan = plan_select(&select)?;
@@ -444,6 +524,7 @@ impl Database {
             .with_snapshots(capture_snapshots)
             .with_parallelism(parallelism)
             .with_plan_cache(Arc::clone(&self.plan_cache))
+            .with_feedback(Arc::clone(&self.feedback))
             .optimize(plan, &self.registry, &provider, Some(self.catalog.as_ref()))
     }
 
@@ -529,9 +610,15 @@ impl Database {
             Arc::new(registry)
         };
         // Attach the database's persistent pool: worker threads outlive this query.
-        let executor = Executor::with_config(Arc::clone(&self.catalog), effective_registry, config)
-            .with_worker_pool(Arc::clone(&self.worker_pool));
+        let executor = Executor::with_config(
+            Arc::clone(&self.catalog),
+            effective_registry,
+            config.clone(),
+        )
+        .with_worker_pool(Arc::clone(&self.worker_pool));
         let result_set = executor.execute(&outcome.plan)?;
+        let (estimated_rows, cardinality_q_error, udf_timings) =
+            self.fold_feedback(plan, &outcome, &result_set, &executor, config.parallelism);
         Ok(QueryResult {
             schema: result_set.schema,
             rows: result_set.rows,
@@ -542,7 +629,64 @@ impl Database {
             exec_stats: executor.stats_snapshot(),
             rewrite_report: outcome.report,
             exec_trace: executor.trace_snapshot(),
+            estimated_rows,
+            cardinality_q_error,
+            udf_timings,
+            node_cardinalities: executor.cardinality_snapshot(),
         })
+    }
+
+    /// Folds one execution's ground truth into the feedback store: the estimated vs
+    /// actual root cardinality and the measured per-UDF invocation wall-clocks. When
+    /// the observed q-error (cardinality or UDF cost) first crosses the configured
+    /// threshold for this plan fingerprint, the stale cost-based plan-cache entries
+    /// are invalidated so the next optimize re-decides with the calibrated numbers.
+    fn fold_feedback(
+        &self,
+        input_plan: &RelExpr,
+        outcome: &OptimizeOutcome,
+        result_set: &decorr_exec::ResultSet,
+        executor: &Executor,
+        parallelism: usize,
+    ) -> (f64, f64, Vec<decorr_exec::UdfTiming>) {
+        let params = CostParams::new(parallelism);
+        // The decision already carries both alternatives' estimates; recompute only
+        // when the pipeline made no decision (iterative strategy, UDF-free queries).
+        let estimated_rows = match &outcome.decision {
+            Some(decision) if outcome.used_decorrelated_plan => decision.decorrelated.cardinality,
+            Some(decision) => decision.iterative.cardinality,
+            None => {
+                estimate_with(&outcome.plan, &self.catalog, &self.registry, &params).cardinality
+            }
+        };
+        let actual_rows = result_set.rows.len() as u64;
+        let fingerprint = outcome
+            .report
+            .cache
+            .as_ref()
+            .map(|activity| activity.key_hash)
+            .unwrap_or_else(|| plan_fingerprint(input_plan));
+        let cardinality_q = self
+            .feedback
+            .record_query(fingerprint, estimated_rows, actual_rows);
+        let mut worst_q = cardinality_q;
+        let udf_timings = executor.udf_timing_snapshot();
+        for timing in &udf_timings {
+            let static_units =
+                estimated_udf_invocation_cost(&timing.name, &self.catalog, &self.registry, &params);
+            let cost_q = self.feedback.record_udf_timing(
+                &timing.name,
+                timing.invocations,
+                timing.total,
+                static_units,
+                params.row_op_seconds,
+            );
+            worst_q = worst_q.max(cost_q);
+        }
+        if self.feedback.flag_for_invalidation(fingerprint, worst_q) {
+            self.plan_cache.invalidate_fingerprint(fingerprint);
+        }
+        (estimated_rows, cardinality_q, udf_timings)
     }
 
     /// Returns an EXPLAIN-style report: the original plan, the rewritten plan (if any),
@@ -583,12 +727,35 @@ impl Database {
     }
 
     /// Like [`Database::explain`], but additionally *executes* the query and appends
-    /// the runtime side of the story: the executor counters and the per-operator
-    /// execution trace (morsels dispatched, per-worker row spread, operator wall
-    /// clock) — the execution mirror of the optimizer's per-pass instrumentation.
+    /// the runtime side of the story: the executor counters, the per-operator
+    /// execution trace (morsels dispatched, per-worker row spread, rows in/out,
+    /// operator wall clock), the **estimated vs actual rows per plan operator** (the
+    /// statistics subsystem's accuracy, as q-errors), and the feedback the execution
+    /// fed back into the cost model (measured UDF costs, recorded q-errors).
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
         let mut out = self.explain(sql)?;
-        let result = self.query(sql)?;
+        let select = decorr_parser::parse_query(sql)?;
+        let plan = plan_select(&select)?;
+        // Resolve the plan that is about to execute *before* executing it: the
+        // execution's own feedback can invalidate this shape and flip the next
+        // optimize's decision, and the estimates table must describe the plan the
+        // actuals were recorded for. `run_plan` below re-optimizes internally, but
+        // nothing executes in between, so it is served this exact cached outcome.
+        let outcome = self.optimize_plan(
+            &plan,
+            ExecutionStrategy::Auto,
+            false,
+            self.exec_config.parallelism,
+        )?;
+        // Execute in diagnostic mode: per-node actual cardinalities are recorded,
+        // keyed by each node's structural fingerprint.
+        let mut config = self.exec_config.clone();
+        config.collect_cardinalities = true;
+        let options = QueryOptions {
+            exec_config: Some(config),
+            ..QueryOptions::default()
+        };
+        let result = self.run_plan(&plan, &options)?;
         out.push_str("\n== execution ==\n");
         out.push_str(&format!(
             "rows={} parallelism={} · scanned={} index-lookups={} udf-invocations={} \
@@ -605,6 +772,62 @@ impl Database {
             result.exec_stats.morsels_dispatched,
             result.exec_stats.pipelined_operators,
             result.exec_stats.pool_spawns,
+        ));
+        // Estimated vs actual rows per operator of the executed plan.
+        let params = CostParams::new(self.exec_config.parallelism);
+        let estimates = estimate_per_node(&outcome.plan, &self.catalog, &self.registry, &params);
+        out.push_str("\n== cardinalities (estimated vs actual) ==\n");
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>8} {:>8}\n",
+            "operator", "est rows", "actual rows", "execs", "q-error"
+        ));
+        for estimate in &estimates {
+            match result
+                .node_cardinalities
+                .iter()
+                .find(|n| n.fingerprint == estimate.fingerprint)
+            {
+                Some(actual) => out.push_str(&format!(
+                    "{:<24} {:>12.0} {:>12.1} {:>8} {:>8.1}\n",
+                    estimate.operator,
+                    estimate.cardinality,
+                    actual.mean_rows(),
+                    actual.executions,
+                    q_error(estimate.cardinality, actual.mean_rows()),
+                )),
+                None => out.push_str(&format!(
+                    "{:<24} {:>12.0} {:>12} {:>8} {:>8}\n",
+                    estimate.operator, estimate.cardinality, "(fused)", "-", "-"
+                )),
+            }
+        }
+        out.push_str("\n== feedback ==\n");
+        out.push_str(&format!(
+            "root cardinality: estimated {:.0}, actual {} (q-error {:.2})\n",
+            result.estimated_rows,
+            result.rows.len(),
+            result.cardinality_q_error,
+        ));
+        for timing in &result.udf_timings {
+            out.push_str(&format!(
+                "udf {}: {} invocation(s), mean {:.3} ms\n",
+                timing.name,
+                timing.invocations,
+                timing.mean().as_secs_f64() * 1e3,
+            ));
+        }
+        let feedback = self.feedback_stats();
+        out.push_str(&format!(
+            "feedback store: {} quer{} recorded, {} udf(s) tracked, \
+             {} invalidation(s) flagged\n",
+            feedback.queries_recorded,
+            if feedback.queries_recorded == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            feedback.udfs_tracked,
+            feedback.invalidations_flagged,
         ));
         out.push_str("\n== parallel operators ==\n");
         out.push_str(&result.exec_trace.render());

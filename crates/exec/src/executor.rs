@@ -18,7 +18,10 @@ use decorr_udf::FunctionRegistry;
 use crate::aggregate::BuiltinAccumulator;
 use crate::env::Env;
 use crate::parallel::WorkerPool;
-use crate::stats::{AtomicExecStats, ExecTrace, TraceCollector};
+use crate::stats::{
+    AtomicExecStats, CardinalityCollector, ExecTrace, NodeCardinality, TraceCollector, UdfTiming,
+    UdfTimingCollector,
+};
 use crate::CatalogProvider;
 
 pub use crate::stats::ExecStats;
@@ -55,6 +58,12 @@ pub struct ExecConfig {
     /// never the rows themselves; it is exposed as a knob so benches can compare the
     /// pipelined and materialized execution styles. Ignored at `parallelism == 1`.
     pub pipeline_fusion: bool,
+    /// Record the actual output cardinality of every executed plan node (keyed by the
+    /// node's structural fingerprint) into the executor's
+    /// [`CardinalityCollector`]. Off by default:
+    /// this is the estimate-vs-actual diagnostic used by `EXPLAIN ANALYZE`, the stats
+    /// bench and accuracy tests, and fingerprinting every node would tax the hot path.
+    pub collect_cardinalities: bool,
 }
 
 impl Default for ExecConfig {
@@ -66,6 +75,7 @@ impl Default for ExecConfig {
             parallelism: 1,
             morsel_size: 1024,
             pipeline_fusion: true,
+            collect_cardinalities: false,
         }
     }
 }
@@ -169,6 +179,12 @@ pub struct Executor {
     pub config: ExecConfig,
     pub stats: Arc<AtomicExecStats>,
     pub(crate) trace: Arc<TraceCollector>,
+    /// Per-node actual cardinalities (populated when
+    /// `ExecConfig::collect_cardinalities` is on).
+    pub(crate) cardinalities: Arc<CardinalityCollector>,
+    /// Measured wall-clock per UDF invocation (always on; the engine's feedback loop
+    /// reads this after every query).
+    pub(crate) udf_timings: Arc<UdfTimingCollector>,
     /// The worker pool parallel operators dispatch to: the engine-attached shared pool
     /// (persistent across queries) when present, otherwise a pool created lazily for
     /// this executor and dropped with it.
@@ -191,6 +207,8 @@ impl Executor {
             config: config.normalized(),
             stats: Arc::new(AtomicExecStats::default()),
             trace: Arc::new(TraceCollector::default()),
+            cardinalities: Arc::new(CardinalityCollector::default()),
+            udf_timings: Arc::new(UdfTimingCollector::default()),
             pool: OnceLock::new(),
         }
     }
@@ -222,6 +240,8 @@ impl Executor {
             },
             stats: Arc::clone(&self.stats),
             trace: Arc::clone(&self.trace),
+            cardinalities: Arc::clone(&self.cardinalities),
+            udf_timings: Arc::clone(&self.udf_timings),
             pool: OnceLock::new(),
         }
     }
@@ -242,6 +262,18 @@ impl Executor {
         self.trace.snapshot()
     }
 
+    /// The per-node actual cardinalities recorded while
+    /// `ExecConfig::collect_cardinalities` was on (empty otherwise).
+    pub fn cardinality_snapshot(&self) -> Vec<NodeCardinality> {
+        self.cardinalities.snapshot()
+    }
+
+    /// Measured wall-clock per UDF, accumulated over every invocation this executor
+    /// performed (empty for set-oriented executions, which invoke no UDFs).
+    pub fn udf_timing_snapshot(&self) -> Vec<UdfTiming> {
+        self.udf_timings.snapshot()
+    }
+
     /// Executes a plan with no outer context.
     pub fn execute(&self, plan: &RelExpr) -> Result<ResultSet> {
         self.execute_with_env(plan, &Env::root())
@@ -249,6 +281,20 @@ impl Executor {
 
     /// Executes a plan in the scope of `outer` (correlated execution).
     pub fn execute_with_env(&self, plan: &RelExpr, outer: &Env) -> Result<ResultSet> {
+        if !self.config.collect_cardinalities {
+            return self.execute_dispatch(plan, outer);
+        }
+        // Diagnostic mode: record every node's actual output cardinality, keyed by
+        // the node's structural fingerprint. Children recurse through this same entry
+        // point, so one hook covers the whole tree (fused chains record at the chain
+        // root — the per-layer actuals are the fused output by construction).
+        let result = self.execute_dispatch(plan, outer)?;
+        self.cardinalities.record(plan, result.rows.len() as u64);
+        Ok(result)
+    }
+
+    /// Operator dispatch (the pre-instrumentation `execute_with_env` body).
+    fn execute_dispatch(&self, plan: &RelExpr, outer: &Env) -> Result<ResultSet> {
         // Pipelined execution: fuse adjacent filter/project layers (and the chains
         // feeding Apply operators, which execute their left input through this same
         // entry point) so each morsel flows through the whole chain in one task. The
@@ -1740,6 +1786,24 @@ struct EvaluatedRow {
     /// accumulation workers don't re-hash every row `nparts` times.
     partition: usize,
     args_per_agg: Vec<Vec<Value>>,
+}
+
+impl crate::parallel::OutputRows for Vec<EvaluatedRow> {
+    fn output_rows(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl crate::parallel::OutputRows for BuildBuckets {
+    fn output_rows(&self) -> u64 {
+        self.iter().map(|b| b.len() as u64).sum()
+    }
+}
+
+impl crate::parallel::OutputRows for PartialGroups {
+    fn output_rows(&self) -> u64 {
+        self.len() as u64
+    }
 }
 
 /// Running accumulator state for one aggregate call within one group: either a

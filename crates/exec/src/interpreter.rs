@@ -26,7 +26,10 @@ enum Flow {
 }
 
 impl Executor {
-    /// Invokes a scalar UDF with already-evaluated argument values.
+    /// Invokes a scalar UDF with already-evaluated argument values. Every invocation's
+    /// wall clock is recorded into the executor's UDF timing collector — the engine's
+    /// feedback loop turns these measurements into learned invocation costs for the
+    /// strategy choice.
     pub fn call_udf(&self, name: &str, args: Vec<Value>) -> Result<Value> {
         let udf = self.registry.udf(name)?;
         if udf.is_table_valued() {
@@ -35,11 +38,15 @@ impl Executor {
             )));
         }
         self.stats.add_udf_invocations(1);
+        let started = std::time::Instant::now();
         let mut env = self.udf_env(udf, &args)?;
-        match self.exec_statements(&udf.body, &mut env, &mut None)? {
+        let result = match self.exec_statements(&udf.body, &mut env, &mut None)? {
             Flow::Return(v) => Ok(v),
             Flow::Continue => Ok(Value::Null),
-        }
+        };
+        self.udf_timings
+            .record(&decorr_common::normalize_ident(name), started.elapsed());
+        result
     }
 
     /// Invokes a table-valued UDF, returning the rows inserted into its result table.
@@ -50,9 +57,12 @@ impl Executor {
             .clone()
             .ok_or_else(|| Error::TypeError(format!("function '{name}' is not table-valued")))?;
         self.stats.add_udf_invocations(1);
+        let started = std::time::Instant::now();
         let mut env = self.udf_env(udf, &args)?;
         let mut buffer = Some(vec![]);
         self.exec_statements(&udf.body, &mut env, &mut buffer)?;
+        self.udf_timings
+            .record(&decorr_common::normalize_ident(name), started.elapsed());
         Ok(ResultSet {
             schema,
             rows: buffer.unwrap_or_default(),

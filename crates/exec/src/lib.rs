@@ -30,7 +30,7 @@ pub mod stats;
 pub use env::Env;
 pub use executor::{ExecConfig, Executor, ResultSet};
 pub use parallel::{morsel_ranges, WorkerPool, WorkerPoolStats};
-pub use stats::{ExecStats, ExecTrace, OperatorTrace};
+pub use stats::{ExecStats, ExecTrace, NodeCardinality, OperatorTrace, UdfTiming};
 
 use decorr_algebra::{ScalarExpr, SchemaProvider};
 use decorr_common::{DataType, Result, Schema, Value};

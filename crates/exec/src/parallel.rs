@@ -38,10 +38,30 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use decorr_common::{Error, Result};
+use decorr_common::{Error, Result, Row};
 
 use crate::executor::Executor;
 use crate::stats::OperatorTrace;
+
+/// Output-row accounting for batch task results: every type a parallel operator
+/// returns per task reports how many rows (or build entries / groups, for
+/// non-row-producing stages) it carries, so the per-operator trace can expose actual
+/// output cardinalities next to the input spread.
+pub(crate) trait OutputRows {
+    fn output_rows(&self) -> u64;
+}
+
+impl OutputRows for Vec<Row> {
+    fn output_rows(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl OutputRows for std::collections::HashMap<Vec<decorr_common::value::GroupKey>, Vec<usize>> {
+    fn output_rows(&self) -> u64 {
+        self.values().map(|v| v.len() as u64).sum()
+    }
+}
 
 /// Splits `len` rows into contiguous ranges of at most `morsel_size` rows.
 ///
@@ -357,7 +377,7 @@ impl Executor {
         f: F,
     ) -> Result<Vec<T>>
     where
-        T: Send + 'static,
+        T: Send + OutputRows + 'static,
         F: Fn(&Executor, usize) -> Result<T> + Send + Sync + 'static,
     {
         if tasks == 0 {
@@ -412,6 +432,14 @@ impl Executor {
         if pipelined > 0 {
             self.stats.add_pipelined_operators(pipelined as u64);
         }
+        let rows_in: u64 = rows_per_worker.iter().sum();
+        let rows_out: u64 = merged
+            .iter()
+            .filter_map(|slot| match slot {
+                Some(Ok(output)) => Some(output.output_rows()),
+                _ => None,
+            })
+            .sum();
         self.trace.record(OperatorTrace {
             operator: operator.to_string(),
             morsels: tasks,
@@ -420,6 +448,8 @@ impl Executor {
             duration,
             pipelined_stages: pipelined,
             pool_spawns: spawned,
+            rows_in,
+            rows_out,
         });
         merged
             .into_iter()
@@ -444,7 +474,7 @@ impl Executor {
         f: F,
     ) -> Result<Vec<T>>
     where
-        T: Send + 'static,
+        T: Send + OutputRows + 'static,
         F: Fn(&Executor, Range<usize>) -> Result<T> + Send + Sync + 'static,
     {
         let tasks_per_worker = 4;
@@ -579,6 +609,13 @@ mod tests {
         pool.run_batch(2, 4, job).unwrap();
         assert_eq!(ok.load(Ordering::Relaxed), 4);
         assert_eq!(pool.threads_spawned(), 2, "recovery must not respawn");
+    }
+
+    // Unit tests drive `run_pool` with bare indexes as task outputs.
+    impl OutputRows for usize {
+        fn output_rows(&self) -> u64 {
+            1
+        }
     }
 
     #[test]

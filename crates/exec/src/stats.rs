@@ -7,9 +7,12 @@
 //! side: one [`OperatorTrace`] per morsel-driven operator, recording how many morsels
 //! were dispatched, how the rows spread across workers, and the operator's wall clock.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+use decorr_algebra::RelExpr;
 
 /// Runtime counters, useful for tests, EXPLAIN ANALYZE-style reporting and the
 /// experiment harness (e.g. the number of UDF invocations actually performed).
@@ -133,6 +136,12 @@ pub struct OperatorTrace {
     /// Worker threads the pool had to spawn for this operator (0 once the pool is
     /// warm — the persistent-pool steady state).
     pub pool_spawns: usize,
+    /// Input rows this dispatch consumed (the sum of `rows_per_worker`).
+    pub rows_in: u64,
+    /// Output rows (or build entries / groups, for non-row-producing stages) this
+    /// dispatch produced — the actual-cardinality side of estimate-vs-actual
+    /// reporting.
+    pub rows_out: u64,
 }
 
 impl OperatorTrace {
@@ -166,18 +175,20 @@ impl ExecTrace {
         }
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<36} {:>8} {:>8} {:>6} {:>7} {:>12}  rows/worker\n",
-            "operator", "morsels", "workers", "fused", "spawns", "time"
+            "{:<36} {:>8} {:>8} {:>6} {:>7} {:>9} {:>9} {:>12}  rows/worker\n",
+            "operator", "morsels", "workers", "fused", "spawns", "rows-in", "rows-out", "time"
         ));
         for op in &self.operators {
             let spread: Vec<String> = op.rows_per_worker.iter().map(u64::to_string).collect();
             out.push_str(&format!(
-                "{:<36} {:>8} {:>8} {:>6} {:>7} {:>9.3} ms  [{}]\n",
+                "{:<36} {:>8} {:>8} {:>6} {:>7} {:>9} {:>9} {:>9.3} ms  [{}]\n",
                 op.operator,
                 op.morsels,
                 op.workers,
                 op.pipelined_stages,
                 op.pool_spawns,
+                op.rows_in,
+                op.rows_out,
                 op.duration.as_secs_f64() * 1e3,
                 spread.join(", "),
             ));
@@ -210,6 +221,124 @@ impl TraceCollector {
                 .expect("trace collector poisoned")
                 .clone(),
         }
+    }
+}
+
+// ------------------------------------------------------------- cardinality collection
+
+/// Actual cardinality of one plan node across a query's execution: how many times the
+/// node ran (correlated nodes run once per outer row) and how many rows it produced
+/// in total. Keyed by the node's structural [`RelExpr::fingerprint`], which is also
+/// what the optimizer's per-node estimates key on — joining the two yields the
+/// per-operator q-errors shown by `EXPLAIN ANALYZE` and gated by the stats bench.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCardinality {
+    pub fingerprint: u64,
+    /// Operator name (`Scan`, `Select`, `Join`, …).
+    pub operator: String,
+    /// Times this exact subtree was executed.
+    pub executions: u64,
+    /// Total rows produced across all executions.
+    pub rows_out: u64,
+}
+
+impl NodeCardinality {
+    /// Mean rows per execution — the number comparable against a one-shot estimate.
+    pub fn mean_rows(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.rows_out as f64 / self.executions as f64
+        }
+    }
+}
+
+/// Shared collector of per-node actual cardinalities. Only populated when
+/// `ExecConfig::collect_cardinalities` is on (diagnostic paths: `EXPLAIN ANALYZE`,
+/// the stats bench, accuracy tests) — each `record` pays a `Debug` rendering of the
+/// subtree (the fingerprint) plus a mutex round-trip per node *execution*, so the
+/// flag keeps that entirely off the hot path.
+#[derive(Debug, Default)]
+pub struct CardinalityCollector {
+    nodes: Mutex<BTreeMap<u64, NodeCardinality>>,
+}
+
+impl CardinalityCollector {
+    /// Records one execution of `plan` producing `rows_out` rows.
+    pub fn record(&self, plan: &RelExpr, rows_out: u64) {
+        let fingerprint = plan.fingerprint();
+        let mut nodes = self.nodes.lock().expect("cardinality collector poisoned");
+        let entry = nodes.entry(fingerprint).or_insert_with(|| NodeCardinality {
+            fingerprint,
+            operator: plan.name().to_string(),
+            executions: 0,
+            rows_out: 0,
+        });
+        entry.executions += 1;
+        entry.rows_out += rows_out;
+    }
+
+    /// Everything recorded so far, in fingerprint order.
+    pub fn snapshot(&self) -> Vec<NodeCardinality> {
+        self.nodes
+            .lock()
+            .expect("cardinality collector poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+}
+
+// ------------------------------------------------------------------- UDF wall clocks
+
+/// Measured wall-clock of one UDF across a query: invocation count and total time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdfTiming {
+    pub name: String,
+    pub invocations: u64,
+    pub total: Duration,
+}
+
+impl UdfTiming {
+    pub fn mean(&self) -> Duration {
+        if self.invocations == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.invocations as u32
+        }
+    }
+}
+
+/// Shared collector of per-UDF invocation wall-clocks. Always on: the lock is taken
+/// once per UDF *invocation*, whose body executes whole queries — the overhead is
+/// noise, and the engine's feedback loop needs measured costs from normal runs, not
+/// just diagnostic ones.
+#[derive(Debug, Default)]
+pub struct UdfTimingCollector {
+    timings: Mutex<BTreeMap<String, (u64, Duration)>>,
+}
+
+impl UdfTimingCollector {
+    pub fn record(&self, name: &str, elapsed: Duration) {
+        let mut timings = self.timings.lock().expect("udf timing collector poisoned");
+        let entry = timings
+            .entry(name.to_string())
+            .or_insert((0, Duration::ZERO));
+        entry.0 += 1;
+        entry.1 += elapsed;
+    }
+
+    pub fn snapshot(&self) -> Vec<UdfTiming> {
+        self.timings
+            .lock()
+            .expect("udf timing collector poisoned")
+            .iter()
+            .map(|(name, (invocations, total))| UdfTiming {
+                name: name.clone(),
+                invocations: *invocations,
+                total: *total,
+            })
+            .collect()
     }
 }
 
@@ -249,6 +378,8 @@ mod tests {
             duration: Duration::from_micros(1500),
             pipelined_stages: 2,
             pool_spawns: 0,
+            rows_in: 4096,
+            rows_out: 4000,
         });
         let trace = collector.snapshot();
         assert_eq!(trace.total_morsels(), 4);
@@ -256,7 +387,42 @@ mod tests {
         let rendered = trace.render();
         assert!(rendered.contains("scan(orders)"));
         assert!(rendered.contains("[3000, 1096]"));
+        assert!(rendered.contains("rows-out"));
+        assert!(rendered.contains("4000"));
         let empty = ExecTrace::default().render();
         assert!(empty.contains("serial execution"));
+    }
+
+    #[test]
+    fn cardinality_collector_accumulates_per_fingerprint() {
+        let collector = CardinalityCollector::default();
+        let scan = RelExpr::scan("orders");
+        let other = RelExpr::scan("customer");
+        collector.record(&scan, 100);
+        collector.record(&scan, 100);
+        collector.record(&other, 7);
+        let snapshot = collector.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        let orders = snapshot
+            .iter()
+            .find(|n| n.fingerprint == scan.fingerprint())
+            .unwrap();
+        assert_eq!(orders.executions, 2);
+        assert_eq!(orders.rows_out, 200);
+        assert_eq!(orders.mean_rows(), 100.0);
+        assert_eq!(orders.operator, "Scan");
+    }
+
+    #[test]
+    fn udf_timing_collector_accumulates() {
+        let collector = UdfTimingCollector::default();
+        collector.record("f", Duration::from_micros(100));
+        collector.record("f", Duration::from_micros(300));
+        collector.record("g", Duration::from_micros(5));
+        let snapshot = collector.snapshot();
+        let f = snapshot.iter().find(|t| t.name == "f").unwrap();
+        assert_eq!(f.invocations, 2);
+        assert_eq!(f.total, Duration::from_micros(400));
+        assert_eq!(f.mean(), Duration::from_micros(200));
     }
 }

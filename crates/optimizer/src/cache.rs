@@ -39,7 +39,6 @@
 //! [`PassManagerOptions`]: crate::pass::PassManagerOptions
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
@@ -52,50 +51,12 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
 
 // ----------------------------------------------------------------------- fingerprints
 
-/// FNV-1a over a `fmt`-stream: hashes a `Debug`/`Display` rendering without
-/// materializing the string.
-pub(crate) struct FnvHasher(u64);
-
-impl FnvHasher {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    pub(crate) fn new() -> FnvHasher {
-        FnvHasher(Self::OFFSET)
-    }
-
-    fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    pub(crate) fn write_u64(&mut self, v: u64) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    pub(crate) fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl std::fmt::Write for FnvHasher {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        self.write_bytes(s.as_bytes());
-        Ok(())
-    }
-}
-
-/// Structural FNV-1a fingerprint of a plan: hashes the derived `Debug` rendering, which
-/// covers every operator, expression, literal and alias in the tree. Collisions are
-/// possible in principle, which is why cache entries also store the key plan and
-/// compare it with `==` on lookup.
+/// Structural FNV-1a fingerprint of a plan — delegates to [`RelExpr::fingerprint`],
+/// the workspace-wide plan identity the executor's cardinality collector and the
+/// feedback store also key on. Collisions are possible in principle, which is why
+/// cache entries also store the key plan and compare it with `==` on lookup.
 pub fn plan_fingerprint(plan: &RelExpr) -> u64 {
-    let mut hasher = FnvHasher::new();
-    // Infallible: FnvHasher::write_str never errors.
-    let _ = write!(hasher, "{plan:?}");
-    hasher.finish()
+    plan.fingerprint()
 }
 
 /// Everything besides the plan that the cached outcome depends on. Two lookups share an
@@ -110,6 +71,12 @@ pub struct CacheContext {
     /// generation domain: a catalog pipeline's inserts never reap them, because future
     /// catalog-less lookups can still legitimately hit them.
     pub ddl_generation: Option<u64>,
+    /// The runtime [`FeedbackStore`](crate::feedback::FeedbackStore) generation the
+    /// optimize ran under; `None` for pipelines whose outcome does not depend on the
+    /// feedback-calibrated cost model (forced iterative/decorrelated, or no store
+    /// attached). Like `ddl_generation`, the two domains never invalidate each other:
+    /// a feedback-blind entry stays servable across feedback generations.
+    pub feedback_generation: Option<u64>,
     /// Fingerprint of the pipeline shape and options (see
     /// [`PassManager::pipeline_fingerprint`](crate::pass::PassManager::pipeline_fingerprint)).
     pub pipeline_fingerprint: u64,
@@ -338,6 +305,10 @@ impl PlanCache {
                         (Some(entry_gen), Some(current_gen)) => entry_gen >= current_gen,
                         _ => true,
                     }
+                    && match (e.context.feedback_generation, context.feedback_generation) {
+                        (Some(entry_gen), Some(current_gen)) => entry_gen >= current_gen,
+                        _ => true,
+                    }
             });
             reaped += before - entries.len();
         }
@@ -373,6 +344,30 @@ impl PlanCache {
         });
         buckets.len += 1;
         self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every *feedback-sensitive* entry keyed on the given plan fingerprint,
+    /// regardless of generations — the runtime feedback loop calls this when a
+    /// fingerprint's recorded q-error crosses the threshold, so the next optimize
+    /// re-decides with the calibrated numbers. Entries whose pipeline ignored the
+    /// cost model (`feedback_generation == None`) are untouched: re-deciding them
+    /// could not change anything. Returns the number of entries removed (counted as
+    /// invalidations).
+    pub fn invalidate_fingerprint(&self, hash: u64) -> usize {
+        let mut buckets = self.buckets.write().expect("plan cache poisoned");
+        let Some(entries) = buckets.map.get_mut(&hash) else {
+            return 0;
+        };
+        let before = entries.len();
+        entries.retain(|e| e.context.feedback_generation.is_none());
+        let removed = before - entries.len();
+        if entries.is_empty() {
+            buckets.map.remove(&hash);
+        }
+        buckets.len -= removed;
+        self.invalidations
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
     }
 
     /// Removes the entry with the smallest LRU tick. O(entries), which is fine at the
@@ -429,6 +424,7 @@ mod tests {
         CacheContext {
             registry_generation: generation,
             ddl_generation: Some(0),
+            feedback_generation: Some(1),
             pipeline_fingerprint: 7,
         }
     }
@@ -495,6 +491,46 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_fingerprint_removes_only_feedback_sensitive_entries() {
+        let cache = PlanCache::with_capacity(8);
+        let (plan, out) = outcome_for("select a from t");
+        let sensitive = ctx(0);
+        let blind = CacheContext {
+            feedback_generation: None,
+            pipeline_fingerprint: 9, // a different pipeline (e.g. forced-iterative)
+            ..ctx(0)
+        };
+        cache.insert(&plan, &sensitive, out.clone());
+        cache.insert(&plan, &blind, out);
+        assert_eq!(cache.len(), 2);
+        let removed = cache.invalidate_fingerprint(plan_fingerprint(&plan));
+        assert_eq!(removed, 1, "only the cost-based entry goes");
+        assert!(cache.lookup(&plan, &sensitive).is_none());
+        assert!(
+            cache.lookup(&plan, &blind).is_some(),
+            "feedback-blind pipelines keep their entries"
+        );
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.invalidate_fingerprint(0xDEAD_BEEF), 0);
+    }
+
+    #[test]
+    fn newer_feedback_generations_reap_stale_entries_on_insert() {
+        let cache = PlanCache::with_capacity(8);
+        let (plan_a, out_a) = outcome_for("select a from t");
+        let (plan_b, out_b) = outcome_for("select b from t");
+        cache.insert(&plan_a, &ctx(0), out_a);
+        let newer = CacheContext {
+            feedback_generation: Some(2),
+            ..ctx(0)
+        };
+        cache.insert(&plan_b, &newer, out_b);
+        assert_eq!(cache.len(), 1, "feedback generation 1 entry reaped");
+        assert!(cache.lookup(&plan_a, &ctx(0)).is_none());
+        assert!(cache.lookup(&plan_b, &newer).is_some());
+    }
+
+    #[test]
     fn catalog_less_entries_survive_catalog_pipeline_inserts() {
         // Catalog-less contexts (ddl_generation None) live in their own domain: an
         // insert from a catalog pipeline at a high DDL generation must not reap them,
@@ -505,11 +541,13 @@ mod tests {
         let no_catalog = CacheContext {
             registry_generation: 0,
             ddl_generation: None,
+            feedback_generation: None,
             pipeline_fingerprint: 7,
         };
         let with_catalog = CacheContext {
             registry_generation: 0,
             ddl_generation: Some(5),
+            feedback_generation: None,
             pipeline_fingerprint: 7,
         };
         cache.insert(&plan_a, &no_catalog, out_a);

@@ -1,6 +1,18 @@
-//! Cardinality estimation and a simple cost model over logical plans.
+//! Cardinality estimation and a cost model over logical plans.
+//!
+//! The estimator consumes the statistics subsystem (`decorr-stats` through
+//! `decorr-storage`'s cached [`TableStats`](decorr_storage::TableStats)): equality predicates use MCV lists and
+//! distinct counts, range predicates (`<`, `>`, `BETWEEN`) use equi-depth histograms
+//! when a sampled `ANALYZE` has run, and grouped aggregates use group-column distinct
+//! counts. Every constant the seed model hard-coded is a [`CostParams`] field now, so
+//! benches and tests can sweep them — and the runtime feedback loop
+//! (`crate::feedback`) can replace the static per-UDF body estimate with *measured*
+//! invocation costs via [`CostParams::udf_cost_overrides`].
+
+use std::collections::BTreeMap;
 
 use decorr_algebra::{BinaryOp, JoinKind, RelExpr, ScalarExpr};
+use decorr_common::{normalize_ident, Value};
 use decorr_storage::Catalog;
 use decorr_udf::{FunctionRegistry, Statement};
 
@@ -20,19 +32,59 @@ impl CostEstimate {
     }
 }
 
-/// Runtime parameters the cost model calibrates against — today just the executor's
-/// worker-pool size.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Runtime parameters the cost model calibrates against: the executor's worker-pool
+/// size, the (previously hard-coded) selectivity and discount constants, and the
+/// learned per-UDF invocation costs fed back by the engine after execution.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostParams {
     /// The executor's `ExecConfig::parallelism`. Data-parallel operators (scans,
     /// filters, projections, hash joins, hash aggregation and the morsel-parallel
     /// Apply loops) divide their incremental cost by the effective speedup.
     pub parallelism: usize,
+    /// Output fraction of a semi/anti join relative to its left input (seed model:
+    /// the hard-coded `/ 2.0`).
+    pub semi_join_selectivity: f64,
+    /// Output fraction of a non-equi join relative to the cross product (seed model:
+    /// the hard-coded `/ 10.0`).
+    pub non_equi_join_selectivity: f64,
+    /// Group count as a fraction of the input when the group columns' distinct counts
+    /// are unknown (seed model: the hard-coded `input / 2`).
+    pub group_count_fraction: f64,
+    /// Per-invocation discount of a correlated inner plan relative to a full
+    /// evaluation (index-assisted execution; seed model: `CORRELATED_DISCOUNT`).
+    pub correlated_discount: f64,
+    /// Selectivity of an equality predicate when no statistics resolve it.
+    pub default_equality_selectivity: f64,
+    /// Selectivity of one comparison bound when no histogram resolves it.
+    pub default_range_selectivity: f64,
+    /// Selectivity of an unclassifiable predicate conjunct.
+    pub default_predicate_selectivity: f64,
+    /// Wall-clock seconds one abstract row operation is worth in this interpreted
+    /// engine — the bridge between measured UDF wall-clock and the model's row-op
+    /// units. Calibrated against the executor's per-row overhead (tree-walking
+    /// evaluation with per-row environment construction runs at roughly microseconds
+    /// per row, not nanoseconds).
+    pub row_op_seconds: f64,
+    /// Learned per-invocation UDF costs (row-op units) keyed by normalized function
+    /// name; populated by the feedback store and consulted *instead of* the static
+    /// body estimate in [`estimate_with`].
+    pub udf_cost_overrides: BTreeMap<String, f64>,
 }
 
 impl Default for CostParams {
     fn default() -> Self {
-        CostParams { parallelism: 1 }
+        CostParams {
+            parallelism: 1,
+            semi_join_selectivity: 0.5,
+            non_equi_join_selectivity: 0.1,
+            group_count_fraction: 0.5,
+            correlated_discount: 0.01,
+            default_equality_selectivity: 0.1,
+            default_range_selectivity: 0.3,
+            default_predicate_selectivity: 0.5,
+            row_op_seconds: 5e-7,
+            udf_cost_overrides: BTreeMap::new(),
+        }
     }
 }
 
@@ -49,7 +101,19 @@ impl CostParams {
     pub fn new(parallelism: usize) -> CostParams {
         CostParams {
             parallelism: parallelism.max(1),
+            ..CostParams::default()
         }
+    }
+
+    /// Attaches learned per-UDF invocation costs (builder style).
+    pub fn with_udf_cost_overrides(mut self, overrides: BTreeMap<String, f64>) -> CostParams {
+        self.udf_cost_overrides = overrides;
+        self
+    }
+
+    /// The learned invocation cost of a UDF, if the feedback loop provided one.
+    pub fn udf_cost_override(&self, name: &str) -> Option<f64> {
+        self.udf_cost_overrides.get(&normalize_ident(name)).copied()
     }
 
     /// The divisor applied to data-parallel operator costs: `1` when serial, and a
@@ -69,9 +133,70 @@ pub fn estimate_cost(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegis
     estimate(plan, catalog, registry).cost
 }
 
-/// Full estimate at serial (single-worker) execution.
+/// Full estimate at serial (single-worker) execution with default parameters.
 pub fn estimate(plan: &RelExpr, catalog: &Catalog, registry: &FunctionRegistry) -> CostEstimate {
     estimate_with(plan, catalog, registry, &CostParams::default())
+}
+
+/// The per-node estimate of one plan operator, keyed by the subtree's structural
+/// fingerprint so it can be joined against the executor's per-node actuals (the
+/// `collect_cardinalities` trace) to compute q-errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeEstimate {
+    /// [`RelExpr::fingerprint`] of the subtree rooted at this operator.
+    pub fingerprint: u64,
+    /// Operator name (`Scan`, `Select`, `Join`, …).
+    pub operator: String,
+    pub cardinality: f64,
+    pub cost: f64,
+}
+
+/// Estimates every operator of `plan` (pre-order), for estimate-vs-actual accuracy
+/// reporting. Subtree estimates are recomputed per node, which is quadratic in plan
+/// depth — fine for the tree sizes this engine optimizes, and only diagnostic paths
+/// (EXPLAIN ANALYZE, the stats bench) call it.
+pub fn estimate_per_node(
+    plan: &RelExpr,
+    catalog: &Catalog,
+    registry: &FunctionRegistry,
+    params: &CostParams,
+) -> Vec<NodeEstimate> {
+    fn walk(
+        plan: &RelExpr,
+        catalog: &Catalog,
+        registry: &FunctionRegistry,
+        params: &CostParams,
+        out: &mut Vec<NodeEstimate>,
+    ) {
+        let est = estimate_with(plan, catalog, registry, params);
+        out.push(NodeEstimate {
+            fingerprint: plan.fingerprint(),
+            operator: plan.name().to_string(),
+            cardinality: est.cardinality,
+            cost: est.cost,
+        });
+        for child in plan.children() {
+            walk(child, catalog, registry, params, out);
+        }
+    }
+    let mut out = vec![];
+    walk(plan, catalog, registry, params, &mut out);
+    out
+}
+
+/// The static (model-derived) cost of one invocation of a named UDF: the cost of the
+/// queries inside its body, discounted for index-assisted correlated execution. This
+/// is the number the feedback loop compares measured invocation costs against.
+pub fn estimated_udf_invocation_cost(
+    name: &str,
+    catalog: &Catalog,
+    registry: &FunctionRegistry,
+    params: &CostParams,
+) -> Option<f64> {
+    registry
+        .udf(name)
+        .ok()
+        .map(|udf| udf_body_cost(&udf.body, catalog, registry, params))
 }
 
 /// Full estimate (cardinality and cost) calibrated for the given runtime parameters.
@@ -94,7 +219,7 @@ pub fn estimate_with(
         }
         RelExpr::Select { input, predicate } => {
             let input_est = estimate_with(input, catalog, registry, params);
-            let selectivity = predicate_selectivity(predicate, input, catalog);
+            let selectivity = predicate_selectivity(predicate, input, catalog, params);
             CostEstimate::new(
                 input_est.cardinality * selectivity,
                 input_est.cost + input_est.cardinality / par,
@@ -104,10 +229,11 @@ pub fn estimate_with(
             let input_est = estimate_with(input, catalog, registry, params);
             // Each UDF invocation in the projection costs one execution of the queries in
             // its body per input row — this is the "iterative plan" cost the paper is
-            // eliminating.
+            // eliminating. Learned invocation costs (feedback) take precedence over the
+            // static body estimate inside `udf_cost_of_expr`.
             let per_row_udf_cost: f64 = items
                 .iter()
-                .map(|i| udf_cost_of_expr(&i.expr, catalog, registry))
+                .map(|i| udf_cost_of_expr(&i.expr, catalog, registry, params))
                 .sum();
             CostEstimate::new(
                 input_est.cardinality,
@@ -121,9 +247,7 @@ pub fn estimate_with(
             let groups = if group_by.is_empty() {
                 1.0
             } else {
-                // Rough: the number of groups is bounded by the input size and shrinks
-                // with each additional grouping column's duplication factor.
-                (input_est.cardinality / 2.0).max(1.0)
+                estimate_group_count(group_by, input, catalog, params, input_est.cardinality)
             };
             CostEstimate::new(groups, input_est.cost + input_est.cardinality / par)
         }
@@ -151,9 +275,11 @@ pub fn estimate_with(
                 .unwrap_or(false);
             let output = match kind {
                 JoinKind::Cross => l.cardinality * r.cardinality,
-                JoinKind::LeftSemi | JoinKind::LeftAnti => l.cardinality / 2.0,
+                JoinKind::LeftSemi | JoinKind::LeftAnti => {
+                    l.cardinality * params.semi_join_selectivity
+                }
                 _ if has_equi => (l.cardinality).max(r.cardinality),
-                _ => l.cardinality * r.cardinality / 10.0,
+                _ => l.cardinality * r.cardinality * params.non_equi_join_selectivity,
             };
             // Hash join when an equality condition exists, nested loops otherwise.
             let join_cost = if has_equi {
@@ -187,7 +313,7 @@ pub fn estimate_with(
             let r = estimate_with(right, catalog, registry, params);
             CostEstimate::new(
                 l.cardinality * r.cardinality.max(1.0),
-                l.cost + l.cardinality * (r.cost * CORRELATED_DISCOUNT).max(1.0) / par,
+                l.cost + l.cardinality * (r.cost * params.correlated_discount).max(1.0) / par,
             )
         }
         RelExpr::ApplyMerge { left, right, .. }
@@ -200,40 +326,180 @@ pub fn estimate_with(
             let r = estimate_with(right, catalog, registry, params);
             CostEstimate::new(
                 l.cardinality,
-                l.cost + l.cardinality * (r.cost * CORRELATED_DISCOUNT).max(1.0) / par,
+                l.cost + l.cardinality * (r.cost * params.correlated_discount).max(1.0) / par,
             )
         }
     }
 }
 
-/// Correlated inner queries typically hit an index rather than rescanning the table, so
-/// per-invocation cost is discounted relative to a full evaluation of the inner plan.
-const CORRELATED_DISCOUNT: f64 = 0.01;
-
-fn predicate_selectivity(predicate: &ScalarExpr, input: &RelExpr, catalog: &Catalog) -> f64 {
-    let mut selectivity = 1.0;
-    for conjunct in predicate.split_conjuncts() {
-        selectivity *= match &conjunct {
-            ScalarExpr::Binary {
-                op: BinaryOp::Eq,
-                left,
-                right,
-            } => {
-                // Equality on a column: 1 / distinct values when stats are available.
-                let col = match (left.as_ref(), right.as_ref()) {
-                    (ScalarExpr::Column(c), _) | (_, ScalarExpr::Column(c)) => Some(c),
-                    _ => None,
-                };
-                match (col, base_table_of(input)) {
-                    (Some(c), Some(table)) => catalog
-                        .table(&table)
-                        .map(|t| t.stats().equality_selectivity(&c.name))
-                        .unwrap_or(0.1),
-                    _ => 0.1,
+/// Group-count estimate: when every grouping expression is a column whose base-table
+/// distinct count is known, the group count is the product of the distinct counts
+/// (capped by the input cardinality); otherwise the configurable input fraction.
+fn estimate_group_count(
+    group_by: &[ScalarExpr],
+    input: &RelExpr,
+    catalog: &Catalog,
+    params: &CostParams,
+    input_cardinality: f64,
+) -> f64 {
+    let stats = base_table_of(input)
+        .and_then(|t| catalog.table(&t).ok())
+        .map(|t| t.stats());
+    if let Some(stats) = &stats {
+        let mut ndv_product = 1.0f64;
+        let mut all_resolved = true;
+        for g in group_by {
+            match g {
+                ScalarExpr::Column(c) if stats.column(&c.name).is_some() => {
+                    ndv_product *= stats.distinct_count(&c.name) as f64;
+                }
+                _ => {
+                    all_resolved = false;
+                    break;
                 }
             }
-            ScalarExpr::Binary { op, .. } if op.is_comparison() => 0.3,
-            _ => 0.5,
+        }
+        if all_resolved {
+            return ndv_product.clamp(1.0, input_cardinality.max(1.0));
+        }
+    }
+    (input_cardinality * params.group_count_fraction).max(1.0)
+}
+
+/// One conjunct, classified for selectivity estimation.
+enum ConjunctClass {
+    /// `col = value` (value `None` when the comparison side is not a literal, column
+    /// `None` when neither side is a plain column).
+    Equality {
+        column: Option<String>,
+        value: Option<Value>,
+    },
+    /// A single numeric bound on a column: `col < v`, `v <= col`, … normalized to the
+    /// column-on-the-left orientation.
+    Bound {
+        column: String,
+        lo: Option<(f64, bool)>,
+        hi: Option<(f64, bool)>,
+    },
+    /// A comparison the histogram cannot serve (non-literal side, string bound, `<>`).
+    OpaqueComparison,
+    /// Anything else.
+    Other,
+}
+
+fn classify_conjunct(conjunct: &ScalarExpr) -> ConjunctClass {
+    let ScalarExpr::Binary { op, left, right } = conjunct else {
+        return ConjunctClass::Other;
+    };
+    // Identify (column, literal) in either orientation; `flipped` means the literal is
+    // on the left, so the comparison direction reverses.
+    let (column, literal, flipped) = match (left.as_ref(), right.as_ref()) {
+        (ScalarExpr::Column(c), ScalarExpr::Literal(v)) => (Some(c), Some(v), false),
+        (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => (Some(c), Some(v), true),
+        (ScalarExpr::Column(c), _) => (Some(c), None, false),
+        (_, ScalarExpr::Column(c)) => (Some(c), None, true),
+        _ => (None, None, false),
+    };
+    match op {
+        BinaryOp::Eq => ConjunctClass::Equality {
+            column: column.map(|c| c.name.clone()),
+            value: literal.cloned(),
+        },
+        BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+            let (Some(column), Some(literal)) = (column, literal) else {
+                return ConjunctClass::OpaqueComparison;
+            };
+            let Ok(bound) = literal.as_float() else {
+                return ConjunctClass::OpaqueComparison; // non-numeric bound
+            };
+            // Normalize to column-left orientation: `v < col` is `col > v`.
+            let effective = if flipped {
+                match op {
+                    BinaryOp::Lt => BinaryOp::Gt,
+                    BinaryOp::LtEq => BinaryOp::GtEq,
+                    BinaryOp::Gt => BinaryOp::Lt,
+                    BinaryOp::GtEq => BinaryOp::LtEq,
+                    _ => unreachable!(),
+                }
+            } else {
+                *op
+            };
+            let (lo, hi) = match effective {
+                BinaryOp::Lt => (None, Some((bound, false))),
+                BinaryOp::LtEq => (None, Some((bound, true))),
+                BinaryOp::Gt => (Some((bound, false)), None),
+                BinaryOp::GtEq => (Some((bound, true)), None),
+                _ => unreachable!(),
+            };
+            ConjunctClass::Bound {
+                column: column.name.clone(),
+                lo,
+                hi,
+            }
+        }
+        op if op.is_comparison() => ConjunctClass::OpaqueComparison,
+        _ => ConjunctClass::Other,
+    }
+}
+
+fn predicate_selectivity(
+    predicate: &ScalarExpr,
+    input: &RelExpr,
+    catalog: &Catalog,
+    params: &CostParams,
+) -> f64 {
+    let stats = base_table_of(input)
+        .and_then(|t| catalog.table(&t).ok())
+        .map(|t| t.stats());
+    let mut selectivity = 1.0;
+    // Range conjuncts on the same column fold into one interval before the histogram
+    // is consulted: `col >= lo AND col <= hi` (BETWEEN) is a single range fraction,
+    // not two independent guesses. `(lo, hi, bound_count)` per column.
+    type Interval = (Option<(f64, bool)>, Option<(f64, bool)>, u32);
+    let mut intervals: BTreeMap<String, Interval> = BTreeMap::new();
+    for conjunct in predicate.split_conjuncts() {
+        match classify_conjunct(&conjunct) {
+            ConjunctClass::Equality { column, value } => {
+                selectivity *= match (&stats, column) {
+                    (Some(stats), Some(column)) => match value {
+                        Some(value) => stats.equality_selectivity_value(&column, &value),
+                        None => stats.equality_selectivity(&column),
+                    },
+                    _ => params.default_equality_selectivity,
+                };
+            }
+            ConjunctClass::Bound { column, lo, hi } => {
+                let entry = intervals.entry(column).or_insert((None, None, 0));
+                // Keep the tightest bounds: largest lower / smallest upper, and on
+                // equal values the exclusive variant (x > 5 is tighter than x >= 5).
+                if let Some((v, inclusive)) = lo {
+                    entry.0 = match entry.0 {
+                        Some((cur, cur_inc)) if cur > v => Some((cur, cur_inc)),
+                        Some((cur, cur_inc)) if cur == v => Some((cur, cur_inc && inclusive)),
+                        _ => Some((v, inclusive)),
+                    };
+                }
+                if let Some((v, inclusive)) = hi {
+                    entry.1 = match entry.1 {
+                        Some((cur, cur_inc)) if cur < v => Some((cur, cur_inc)),
+                        Some((cur, cur_inc)) if cur == v => Some((cur, cur_inc && inclusive)),
+                        _ => Some((v, inclusive)),
+                    };
+                }
+                entry.2 += 1;
+            }
+            ConjunctClass::OpaqueComparison => selectivity *= params.default_range_selectivity,
+            ConjunctClass::Other => selectivity *= params.default_predicate_selectivity,
+        }
+    }
+    for (column, (lo, hi, bounds)) in intervals {
+        let from_histogram = stats
+            .as_ref()
+            .and_then(|s| s.range_selectivity(&column, lo, hi));
+        selectivity *= match from_histogram {
+            Some(fraction) => fraction.max(0.0),
+            // No histogram: the seed behaviour — one default factor per bound.
+            None => params.default_range_selectivity.powi(bounds as i32),
         };
     }
     selectivity.clamp(0.000_001, 1.0)
@@ -250,45 +516,60 @@ fn base_table_of(plan: &RelExpr) -> Option<String> {
     }
 }
 
-/// Per-invocation cost of the UDF calls contained in an expression: the cost of the
-/// queries inside each UDF body, discounted for index-assisted correlated execution.
-fn udf_cost_of_expr(expr: &ScalarExpr, catalog: &Catalog, registry: &FunctionRegistry) -> f64 {
+/// Per-invocation cost of the UDF calls contained in an expression: the learned
+/// (feedback-measured) invocation cost when one exists, otherwise the static cost of
+/// the queries inside the UDF body discounted for index-assisted correlated execution.
+fn udf_cost_of_expr(
+    expr: &ScalarExpr,
+    catalog: &Catalog,
+    registry: &FunctionRegistry,
+    params: &CostParams,
+) -> f64 {
     let mut total = 0.0;
     if let ScalarExpr::UdfCall { name, .. } = expr {
-        if let Ok(udf) = registry.udf(name) {
-            total += udf_body_cost(&udf.body, catalog, registry);
+        if let Some(learned) = params.udf_cost_override(name) {
+            total += learned;
+        } else if let Ok(udf) = registry.udf(name) {
+            total += udf_body_cost(&udf.body, catalog, registry, params);
         }
     }
     for child in expr.children() {
-        total += udf_cost_of_expr(child, catalog, registry);
+        total += udf_cost_of_expr(child, catalog, registry, params);
     }
     total
 }
 
-fn udf_body_cost(body: &[Statement], catalog: &Catalog, registry: &FunctionRegistry) -> f64 {
+fn udf_body_cost(
+    body: &[Statement],
+    catalog: &Catalog,
+    registry: &FunctionRegistry,
+    params: &CostParams,
+) -> f64 {
     let mut total = 1.0; // imperative statements are cheap but not free
     for stmt in body {
         match stmt {
             Statement::SelectInto { query, .. } => {
-                total += estimate_cost(query, catalog, registry) * CORRELATED_DISCOUNT;
+                total += estimate_with(query, catalog, registry, params).cost
+                    * params.correlated_discount;
             }
             Statement::CursorLoop { query, body, .. } => {
-                let inner = estimate(query, catalog, registry);
-                total += inner.cost * CORRELATED_DISCOUNT
-                    + inner.cardinality * udf_body_cost(body, catalog, registry);
+                let inner = estimate_with(query, catalog, registry, params);
+                total += inner.cost * params.correlated_discount
+                    + inner.cardinality * udf_body_cost(body, catalog, registry, params);
             }
             Statement::While { body, .. } => {
-                total += 10.0 * udf_body_cost(body, catalog, registry);
+                total += 10.0 * udf_body_cost(body, catalog, registry, params);
             }
             Statement::If {
                 then_branch,
                 else_branch,
                 ..
             } => {
-                total += udf_body_cost(then_branch, catalog, registry).max(udf_body_cost(
+                total += udf_body_cost(then_branch, catalog, registry, params).max(udf_body_cost(
                     else_branch,
                     catalog,
                     registry,
+                    params,
                 ));
             }
             Statement::Assign {
@@ -298,7 +579,8 @@ fn udf_body_cost(body: &[Statement], catalog: &Catalog, registry: &FunctionRegis
             | Statement::Return {
                 expr: Some(ScalarExpr::ScalarSubquery(q)),
             } => {
-                total += estimate_cost(q, catalog, registry) * CORRELATED_DISCOUNT;
+                total +=
+                    estimate_with(q, catalog, registry, params).cost * params.correlated_discount;
             }
             _ => {}
         }
@@ -311,6 +593,7 @@ mod tests {
     use super::*;
     use decorr_common::{Column, DataType, Row, Schema, Value};
     use decorr_parser::{parse_and_plan, parse_function};
+    use decorr_storage::AnalyzeConfig;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -358,6 +641,41 @@ mod tests {
     }
 
     #[test]
+    fn histograms_sharpen_range_estimates() {
+        let mut catalog = catalog();
+        let registry = FunctionRegistry::new();
+        let narrow = parse_and_plan("select * from orders where orderkey <= 100").unwrap();
+        // Unanalyzed: the default range constant wildly overestimates (0.3 × 1000).
+        let before = estimate_cardinality(&narrow, &catalog, &registry);
+        assert!((before - 300.0).abs() < 1.0, "default estimate {before}");
+        catalog
+            .analyze_table("orders", &AnalyzeConfig::default())
+            .unwrap();
+        let after = estimate_cardinality(&narrow, &catalog, &registry);
+        assert!(
+            (after - 101.0).abs() < 25.0,
+            "histogram estimate {after} for ~101 actual rows"
+        );
+        // BETWEEN-style conjunct pairs fold into one interval, not two 30% guesses.
+        let between =
+            parse_and_plan("select * from orders where orderkey >= 200 and orderkey <= 399")
+                .unwrap();
+        let est = estimate_cardinality(&between, &catalog, &registry);
+        assert!((est - 200.0).abs() < 50.0, "between estimate {est}");
+    }
+
+    #[test]
+    fn group_counts_use_distinct_statistics() {
+        let catalog = catalog();
+        let registry = FunctionRegistry::new();
+        let grouped =
+            parse_and_plan("select custkey, sum(totalprice) from orders group by custkey").unwrap();
+        let groups = estimate_cardinality(&grouped, &catalog, &registry);
+        // Seed model said input/2 = 500; the statistics know there are 50 custkeys.
+        assert!((groups - 50.0).abs() < 1.0, "group estimate {groups}");
+    }
+
+    #[test]
     fn iterative_udf_plan_costs_scale_with_outer_cardinality() {
         let catalog = catalog();
         let mut registry = FunctionRegistry::new();
@@ -377,6 +695,80 @@ mod tests {
             large_cost > small_cost,
             "iterative cost must grow with the number of invocations ({small_cost} vs {large_cost})"
         );
+    }
+
+    #[test]
+    fn learned_udf_costs_override_the_static_estimate() {
+        let catalog = catalog();
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function tb(int ckey) returns float as \
+                 begin return select sum(totalprice) from orders where custkey = :ckey; end",
+            )
+            .unwrap(),
+        );
+        let plan = parse_and_plan("select custkey, tb(custkey) from customer").unwrap();
+        let static_params = CostParams::default();
+        let static_cost = estimate_with(&plan, &catalog, &registry, &static_params).cost;
+        let static_per_invocation =
+            estimated_udf_invocation_cost("tb", &catalog, &registry, &static_params)
+                .expect("tb is registered");
+        assert!(static_per_invocation > 1.0);
+        // Feedback learned the UDF is 100x more expensive than modelled.
+        let learned = static_params.clone().with_udf_cost_overrides(
+            [("tb".to_string(), static_per_invocation * 100.0)]
+                .into_iter()
+                .collect(),
+        );
+        assert_eq!(
+            learned.udf_cost_override("TB"),
+            Some(static_per_invocation * 100.0),
+            "override lookup is case-normalized"
+        );
+        let learned_cost = estimate_with(&plan, &catalog, &registry, &learned).cost;
+        assert!(
+            learned_cost > static_cost * 10.0,
+            "learned {learned_cost} must dominate static {static_cost}"
+        );
+    }
+
+    #[test]
+    fn promoted_constants_are_sweepable() {
+        let catalog = catalog();
+        let registry = FunctionRegistry::new();
+        let semi = decorr_algebra::RelExpr::Join {
+            left: Box::new(decorr_algebra::RelExpr::scan("orders")),
+            right: Box::new(decorr_algebra::RelExpr::scan("customer")),
+            kind: JoinKind::LeftSemi,
+            condition: None,
+        };
+        let default = estimate_with(&semi, &catalog, &registry, &CostParams::default());
+        let tight = estimate_with(
+            &semi,
+            &catalog,
+            &registry,
+            &CostParams {
+                semi_join_selectivity: 0.01,
+                ..CostParams::default()
+            },
+        );
+        assert!((default.cardinality - 500.0).abs() < 1.0);
+        assert!((tight.cardinality - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_node_estimates_cover_the_whole_tree() {
+        let catalog = catalog();
+        let registry = FunctionRegistry::new();
+        let plan = parse_and_plan("select custkey from orders where custkey = 7").unwrap();
+        let nodes = estimate_per_node(&plan, &catalog, &registry, &CostParams::default());
+        assert_eq!(nodes.len(), plan.node_count());
+        assert_eq!(nodes[0].fingerprint, plan.fingerprint());
+        assert!(nodes.iter().any(|n| n.operator == "Scan"));
+        // The root's estimate matches the plain estimator.
+        let root = estimate_cardinality(&plan, &catalog, &registry);
+        assert_eq!(nodes[0].cardinality, root);
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! Runtime feedback: measured cardinalities and UDF invocation costs folded back into
+//! the cost model.
+//!
+//! After each query the engine records two kinds of ground truth here:
+//!
+//! * **cardinality feedback** — the executed plan's estimated root cardinality vs the
+//!   actual row count, per plan fingerprint, summarized as a [`q_error`];
+//! * **UDF cost feedback** — the measured wall-clock per invocation of every UDF the
+//!   query executed iteratively, vs the static body-cost estimate the model used.
+//!
+//! The strategy-choice pass consults the learned UDF costs (converted to row-op units
+//! through [`CostParams::row_op_seconds`]) *instead of* the static estimate, so the
+//! iterative-vs-decorrelated decision is made with measured numbers once a workload
+//! has run. When the recorded q-error of a fingerprint first exceeds the configured
+//! threshold, the store flags it for plan-cache invalidation and bumps its
+//! [`generation`](FeedbackStore::generation) — the plan cache folds that generation
+//! into its key for cost-based pipelines, so *every* stale cost-based entry is
+//! re-decided with the calibrated numbers, while pipelines that ignore the cost model
+//! (forced iterative/decorrelated) keep their entries.
+//!
+//! [`q_error`]: decorr_stats::q_error
+//! [`CostParams::row_op_seconds`]: crate::cost::CostParams::row_op_seconds
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::Duration;
+
+use decorr_common::normalize_ident;
+use decorr_stats::q_error;
+
+/// Thresholds and calibration of the feedback loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackConfig {
+    /// A fingerprint whose recorded q-error (cardinality or UDF cost) exceeds this is
+    /// flagged: its plan-cache entries are invalidated and the store generation moves
+    /// so cost-based decisions re-run with the learned numbers.
+    pub q_error_threshold: f64,
+    /// Minimum invocations before a UDF's measured cost is trusted (guards against
+    /// one-off timing noise on nearly-free functions).
+    pub min_udf_invocations: u64,
+    /// Minimum total measured wall-clock before a UDF's cost is trusted.
+    pub min_udf_total: Duration,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            q_error_threshold: 4.0,
+            min_udf_invocations: 8,
+            min_udf_total: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Recorded estimate-vs-actual state of one query fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFeedback {
+    pub fingerprint: u64,
+    /// Most recent estimated root cardinality.
+    pub estimated_rows: f64,
+    /// Most recent actual root row count.
+    pub actual_rows: u64,
+    /// q-error of the most recent execution (cardinality only).
+    pub q_error: f64,
+    /// Worst q-error ever recorded for this fingerprint (cardinality or UDF cost).
+    pub max_q_error: f64,
+    pub executions: u64,
+    /// True once this fingerprint triggered a plan-cache invalidation; further
+    /// executions with the same feedback state must not thrash the cache.
+    pub invalidated: bool,
+}
+
+/// Learned cost state of one UDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfCostFeedback {
+    pub name: String,
+    pub invocations: u64,
+    pub total: Duration,
+    /// Static per-invocation estimate (row-op units) the model would use.
+    pub static_units: f64,
+    /// Measured mean wall-clock per invocation.
+    pub mean: Duration,
+    /// q-error between the static estimate and the measured cost (in units).
+    pub cost_q_error: f64,
+}
+
+/// Counters for reporting (EXPLAIN ANALYZE, benches, tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedbackStats {
+    pub queries_recorded: u64,
+    pub udfs_tracked: usize,
+    pub invalidations_flagged: u64,
+    pub generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct UdfEntry {
+    invocations: u64,
+    total: Duration,
+    static_units: f64,
+    /// Whether this UDF's learned cost already contributed a generation bump.
+    flagged: bool,
+}
+
+/// The concurrency-safe feedback store, owned by the engine (one per database) and
+/// consulted by the strategy-choice pass through the [`PassManager`].
+///
+/// [`PassManager`]: crate::pass::PassManager
+#[derive(Debug)]
+pub struct FeedbackStore {
+    config: FeedbackConfig,
+    queries: RwLock<HashMap<u64, QueryFeedback>>,
+    udfs: RwLock<BTreeMap<String, UdfEntry>>,
+    /// Bumped whenever learned state changes in a way that can change a cost-based
+    /// decision. Starts at 1 — the plan cache uses the generation only for
+    /// feedback-sensitive pipelines.
+    generation: AtomicU64,
+    queries_recorded: AtomicU64,
+    invalidations_flagged: AtomicU64,
+}
+
+impl Default for FeedbackStore {
+    fn default() -> Self {
+        FeedbackStore::new()
+    }
+}
+
+impl FeedbackStore {
+    pub fn new() -> FeedbackStore {
+        FeedbackStore::with_config(FeedbackConfig::default())
+    }
+
+    pub fn with_config(config: FeedbackConfig) -> FeedbackStore {
+        FeedbackStore {
+            config,
+            queries: RwLock::new(HashMap::new()),
+            udfs: RwLock::new(BTreeMap::new()),
+            generation: AtomicU64::new(1),
+            queries_recorded: AtomicU64::new(0),
+            invalidations_flagged: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &FeedbackConfig {
+        &self.config
+    }
+
+    /// Current feedback generation (part of the plan-cache key for cost-based
+    /// pipelines).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Records one executed query's estimated vs actual root cardinality. Returns the
+    /// cardinality q-error of this execution.
+    pub fn record_query(&self, fingerprint: u64, estimated_rows: f64, actual_rows: u64) -> f64 {
+        let q = q_error(estimated_rows, actual_rows as f64);
+        let mut queries = self.queries.write().expect("feedback store poisoned");
+        let entry = queries.entry(fingerprint).or_insert(QueryFeedback {
+            fingerprint,
+            estimated_rows,
+            actual_rows,
+            q_error: q,
+            max_q_error: q,
+            executions: 0,
+            invalidated: false,
+        });
+        entry.estimated_rows = estimated_rows;
+        entry.actual_rows = actual_rows;
+        entry.q_error = q;
+        entry.max_q_error = entry.max_q_error.max(q);
+        entry.executions += 1;
+        self.queries_recorded.fetch_add(1, Ordering::Relaxed);
+        q
+    }
+
+    /// Records measured wall-clock for `invocations` executions of a UDF, together
+    /// with the static per-invocation estimate the cost model would use, and returns
+    /// the cost q-error (1.0 while below the trust floors).
+    ///
+    /// When a trusted measurement first crosses the q-error threshold, the store
+    /// generation is bumped: cost-based plan-cache entries decided with the old
+    /// numbers become unreachable and are re-decided on their next lookup.
+    pub fn record_udf_timing(
+        &self,
+        name: &str,
+        invocations: u64,
+        total: Duration,
+        static_units: Option<f64>,
+        row_op_seconds: f64,
+    ) -> f64 {
+        if invocations == 0 {
+            return 1.0;
+        }
+        let key = normalize_ident(name);
+        let mut udfs = self.udfs.write().expect("feedback store poisoned");
+        let entry = udfs.entry(key).or_default();
+        entry.invocations += invocations;
+        entry.total += total;
+        if let Some(static_units) = static_units {
+            entry.static_units = static_units;
+        }
+        if entry.invocations < self.config.min_udf_invocations
+            || entry.total < self.config.min_udf_total
+            || entry.static_units <= 0.0
+        {
+            return 1.0;
+        }
+        let learned_units = learned_units(entry, row_op_seconds);
+        let q = q_error(entry.static_units, learned_units);
+        if q > self.config.q_error_threshold && !entry.flagged {
+            entry.flagged = true;
+            self.generation.fetch_add(1, Ordering::Relaxed);
+        }
+        q
+    }
+
+    /// Marks a query fingerprint whose observed q-error exceeded the threshold for
+    /// plan-cache invalidation. Returns true exactly once per fingerprint — callers
+    /// invalidate on true, so a persistently misestimated shape cannot thrash the
+    /// cache by invalidating itself on every execution.
+    ///
+    /// Flagging does *not* move the store generation: the generation tracks changes
+    /// to the learned state (see [`record_udf_timing`](Self::record_udf_timing)),
+    /// while a flag only evicts the flagged shape's own cost-based entry so its next
+    /// optimize re-reads whatever has been learned.
+    pub fn flag_for_invalidation(&self, fingerprint: u64, observed_q_error: f64) -> bool {
+        if observed_q_error <= self.config.q_error_threshold {
+            return false;
+        }
+        let mut queries = self.queries.write().expect("feedback store poisoned");
+        let entry = queries.entry(fingerprint).or_insert(QueryFeedback {
+            fingerprint,
+            estimated_rows: 0.0,
+            actual_rows: 0,
+            q_error: observed_q_error,
+            max_q_error: observed_q_error,
+            executions: 0,
+            invalidated: false,
+        });
+        entry.max_q_error = entry.max_q_error.max(observed_q_error);
+        if entry.invalidated {
+            return false;
+        }
+        entry.invalidated = true;
+        self.invalidations_flagged.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// The learned per-invocation costs (row-op units) of every trusted UDF, for
+    /// [`CostParams::udf_cost_overrides`](crate::cost::CostParams::udf_cost_overrides).
+    pub fn udf_cost_overrides(&self, row_op_seconds: f64) -> BTreeMap<String, f64> {
+        let udfs = self.udfs.read().expect("feedback store poisoned");
+        udfs.iter()
+            .filter(|(_, e)| {
+                e.invocations >= self.config.min_udf_invocations
+                    && e.total >= self.config.min_udf_total
+            })
+            .map(|(name, e)| (name.clone(), learned_units(e, row_op_seconds)))
+            .collect()
+    }
+
+    /// Recorded state of one query fingerprint.
+    pub fn query_feedback(&self, fingerprint: u64) -> Option<QueryFeedback> {
+        self.queries
+            .read()
+            .expect("feedback store poisoned")
+            .get(&fingerprint)
+            .cloned()
+    }
+
+    /// Learned state of every tracked UDF, by name.
+    pub fn udf_feedback(&self, row_op_seconds: f64) -> Vec<UdfCostFeedback> {
+        let udfs = self.udfs.read().expect("feedback store poisoned");
+        udfs.iter()
+            .map(|(name, e)| UdfCostFeedback {
+                name: name.clone(),
+                invocations: e.invocations,
+                total: e.total,
+                static_units: e.static_units,
+                mean: if e.invocations > 0 {
+                    e.total / e.invocations as u32
+                } else {
+                    Duration::ZERO
+                },
+                cost_q_error: if e.static_units > 0.0 && e.invocations > 0 {
+                    q_error(e.static_units, learned_units(e, row_op_seconds))
+                } else {
+                    1.0
+                },
+            })
+            .collect()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FeedbackStats {
+        FeedbackStats {
+            queries_recorded: self.queries_recorded.load(Ordering::Relaxed),
+            udfs_tracked: self.udfs.read().expect("feedback store poisoned").len(),
+            invalidations_flagged: self.invalidations_flagged.load(Ordering::Relaxed),
+            generation: self.generation(),
+        }
+    }
+}
+
+/// Measured mean wall-clock per invocation converted to abstract row-op units.
+fn learned_units(entry: &UdfEntry, row_op_seconds: f64) -> f64 {
+    let mean_seconds = entry.total.as_secs_f64() / entry.invocations.max(1) as f64;
+    (mean_seconds / row_op_seconds.max(1e-12)).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_feedback_accumulates_and_reports_q_errors() {
+        let store = FeedbackStore::new();
+        assert_eq!(store.generation(), 1);
+        let q = store.record_query(42, 1000.0, 10);
+        assert_eq!(q, 100.0);
+        let state = store.query_feedback(42).unwrap();
+        assert_eq!(state.actual_rows, 10);
+        assert_eq!(state.executions, 1);
+        assert!(!state.invalidated);
+        // A later, accurate execution keeps the historical max.
+        store.record_query(42, 12.0, 10);
+        let state = store.query_feedback(42).unwrap();
+        assert_eq!(state.max_q_error, 100.0);
+        assert!(state.q_error < 2.0);
+        assert_eq!(store.stats().queries_recorded, 2);
+    }
+
+    #[test]
+    fn invalidation_flags_fire_exactly_once() {
+        let store = FeedbackStore::new();
+        store.record_query(7, 500.0, 5);
+        assert!(!store.flag_for_invalidation(7, 2.0), "below threshold");
+        assert!(store.flag_for_invalidation(7, 100.0));
+        assert_eq!(
+            store.generation(),
+            1,
+            "flags evict one shape; only learned-state changes move the generation"
+        );
+        assert!(
+            !store.flag_for_invalidation(7, 100.0),
+            "same state must not re-flag"
+        );
+        assert_eq!(store.stats().invalidations_flagged, 1);
+    }
+
+    #[test]
+    fn udf_timings_learn_costs_once_past_the_trust_floors() {
+        let store = FeedbackStore::new();
+        let row_op = 1e-6;
+        // Below both floors: not trusted, no override.
+        store.record_udf_timing("cheap", 2, Duration::from_micros(10), Some(5.0), row_op);
+        assert!(store.udf_cost_overrides(row_op).is_empty());
+        // Past the floors: 10 ms over 10 invocations → 1 ms ≈ 1000 units vs 5 static.
+        let q = store.record_udf_timing(
+            "Expensive",
+            10,
+            Duration::from_millis(10),
+            Some(5.0),
+            row_op,
+        );
+        assert!(q > 100.0, "cost q-error {q}");
+        let overrides = store.udf_cost_overrides(row_op);
+        assert!(
+            (overrides["expensive"] - 1000.0).abs() < 1.0,
+            "learned {overrides:?} (names normalized)"
+        );
+        assert!(store.generation() > 1, "mispriced UDF bumps the generation");
+        let generation = store.generation();
+        // More of the same measurements do not keep bumping.
+        store.record_udf_timing(
+            "expensive",
+            10,
+            Duration::from_millis(10),
+            Some(5.0),
+            row_op,
+        );
+        assert_eq!(store.generation(), generation);
+        let feedback = store.udf_feedback(row_op);
+        let expensive = feedback.iter().find(|f| f.name == "expensive").unwrap();
+        assert_eq!(expensive.invocations, 20);
+        assert!(expensive.cost_q_error > 100.0);
+    }
+
+    #[test]
+    fn accurate_udf_costs_never_bump_the_generation() {
+        let store = FeedbackStore::new();
+        let row_op = 1e-6;
+        // Measured ≈ static: q ≈ 1, below the threshold (and past both trust floors).
+        store.record_udf_timing(
+            "fair",
+            400,
+            Duration::from_micros(400 * 5),
+            Some(5.0),
+            row_op,
+        );
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.udf_cost_overrides(row_op).len(), 1);
+    }
+}

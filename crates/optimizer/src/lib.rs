@@ -12,14 +12,20 @@
 //! * [`cache`] — the [`PlanCache`]: a concurrency-safe LRU memo from a structural plan
 //!   fingerprint (plus registry/DDL generations and pipeline options) to a full
 //!   [`OptimizeOutcome`], so repeated queries skip the pipeline entirely;
-//! * [`cost`] — cardinality estimation and a simple cost model over logical plans,
-//!   including the cost of iterative UDF invocation (outer cardinality × cost of the
-//!   queries inside the UDF body);
+//! * [`cost`] — cardinality estimation and a cost model over logical plans, fed by the
+//!   statistics subsystem (histograms/MCVs after a sampled `ANALYZE`) and including
+//!   the cost of iterative UDF invocation (outer cardinality × cost of the queries
+//!   inside the UDF body);
+//! * [`feedback`] — the runtime [`FeedbackStore`]: measured cardinalities and per-UDF
+//!   invocation costs folded back into the model after each execution, driving both
+//!   the strategy choice (learned UDF costs) and plan-cache invalidation (q-error
+//!   threshold);
 //! * [`strategy`] — the cost-based choice between the original (iterative) plan and the
 //!   decorrelated plan produced by `decorr-rewrite`.
 
 pub mod cache;
 pub mod cost;
+pub mod feedback;
 pub mod pass;
 pub mod strategy;
 
@@ -27,7 +33,11 @@ pub use cache::{
     plan_fingerprint, CacheActivity, CacheContext, PlanCache, PlanCacheStats,
     DEFAULT_PLAN_CACHE_CAPACITY,
 };
-pub use cost::{estimate_cardinality, estimate_cost, estimate_with, CostEstimate, CostParams};
+pub use cost::{
+    estimate_cardinality, estimate_cost, estimate_per_node, estimate_with,
+    estimated_udf_invocation_cost, CostEstimate, CostParams, NodeEstimate,
+};
+pub use feedback::{FeedbackConfig, FeedbackStats, FeedbackStore, QueryFeedback, UdfCostFeedback};
 pub use pass::{
     OptimizeMode, OptimizeOutcome, OptimizerPass, PassContext, PassEffect, PassManager,
     PassManagerOptions, PassTrace, PipelineReport,

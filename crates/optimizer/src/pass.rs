@@ -22,9 +22,11 @@ use decorr_rewrite::rules::{FixpointEngine, RuleSet};
 use decorr_storage::Catalog;
 use decorr_udf::{AggregateDefinition, FunctionRegistry};
 
-use crate::cache::{plan_fingerprint, CacheActivity, CacheContext, FnvHasher, PlanCache};
+use crate::cache::{plan_fingerprint, CacheActivity, CacheContext, PlanCache};
 use crate::cost::CostParams;
+use crate::feedback::FeedbackStore;
 use crate::strategy::{choose_strategy_with, StrategyChoice, StrategyDecision};
+use decorr_common::FnvHasher;
 
 // ---------------------------------------------------------------------------- options
 
@@ -86,6 +88,9 @@ pub struct PassContext<'a> {
     /// Storage statistics for the cost model; `None` outside an engine (e.g. when the
     /// pipeline runs as a standalone rewrite tool over a schema-only provider).
     pub catalog: Option<&'a Catalog>,
+    /// Runtime feedback (learned UDF invocation costs); consulted by the
+    /// strategy-choice pass when attached. `None` outside an engine.
+    pub feedback: Option<&'a FeedbackStore>,
     pub options: PassManagerOptions,
     /// The normalized original plan — the iterative alternative the strategy pass can
     /// fall back to. Set by [`AlgebraizeMergePass`] before it merges UDF bodies.
@@ -113,6 +118,7 @@ impl<'a> PassContext<'a> {
         registry: &'a FunctionRegistry,
         provider: &'a dyn SchemaProvider,
         catalog: Option<&'a Catalog>,
+        feedback: Option<&'a FeedbackStore>,
         options: PassManagerOptions,
     ) -> PassContext<'a> {
         let budget = options.rule_fire_budget;
@@ -120,6 +126,7 @@ impl<'a> PassContext<'a> {
             registry,
             provider,
             catalog,
+            feedback,
             options,
             baseline_plan: None,
             rewritten_plan: None,
@@ -508,7 +515,26 @@ impl OptimizerPass for StrategyChoicePass {
                     .with_note("decorrelated plan forced by options"))
             }
             (OptimizeMode::CostBased, Some(catalog)) => {
-                let params = CostParams::new(ctx.options.parallelism);
+                let mut params = CostParams::new(ctx.options.parallelism);
+                // Learned UDF invocation costs (runtime feedback) replace the static
+                // body estimates — this is where a mispriced iterative plan gets
+                // re-decided with measured numbers.
+                let mut learned_note = None;
+                if let Some(feedback) = ctx.feedback {
+                    let overrides = feedback.udf_cost_overrides(params.row_op_seconds);
+                    if !overrides.is_empty() {
+                        learned_note = Some(format!(
+                            "{} learned UDF cost(s) applied: {}",
+                            overrides.len(),
+                            overrides
+                                .iter()
+                                .map(|(name, units)| format!("{name}≈{units:.0}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                        params = params.with_udf_cost_overrides(overrides);
+                    }
+                }
                 let decision =
                     choose_strategy_with(&baseline, plan, catalog, ctx.registry, &params);
                 let summary = decision.summary();
@@ -523,7 +549,11 @@ impl OptimizerPass for StrategyChoicePass {
                     }
                 };
                 ctx.decision = Some(decision);
-                Ok(PassEffect::unchanged(chosen).with_note(summary))
+                let mut effect = PassEffect::unchanged(chosen).with_note(summary);
+                if let Some(note) = learned_note {
+                    effect = effect.with_note(note);
+                }
+                Ok(effect)
             }
             (OptimizeMode::CostBased, None) => {
                 ctx.used_decorrelated_plan = true;
@@ -545,6 +575,7 @@ pub struct PassManager {
     passes: Vec<Box<dyn OptimizerPass>>,
     options: PassManagerOptions,
     cache: Option<Arc<PlanCache>>,
+    feedback: Option<Arc<FeedbackStore>>,
 }
 
 impl PassManager {
@@ -554,6 +585,7 @@ impl PassManager {
             passes: vec![],
             options: PassManagerOptions::default(),
             cache: None,
+            feedback: None,
         }
     }
 
@@ -618,6 +650,25 @@ impl PassManager {
         self
     }
 
+    /// Attaches a runtime [`FeedbackStore`]: the strategy-choice pass consults its
+    /// learned UDF invocation costs, and (for cost-based pipelines) the store's
+    /// generation becomes part of the plan-cache key, so newly learned costs make
+    /// stale cost-based decisions unreachable.
+    pub fn with_feedback(mut self, feedback: Arc<FeedbackStore>) -> PassManager {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// True when this pipeline's outcome can depend on the feedback store: a
+    /// cost-based strategy choice with a store attached. Feedback-blind pipelines
+    /// (normalisation only, forced decorrelation) keep `None` in their cache context,
+    /// so feedback-generation moves never invalidate their entries.
+    fn consults_feedback(&self) -> bool {
+        self.feedback.is_some()
+            && self.options.mode == OptimizeMode::CostBased
+            && self.passes.iter().any(|p| p.name() == "strategy-choice")
+    }
+
     /// Appends a pass (builder style).
     pub fn with_pass(mut self, pass: impl OptimizerPass + 'static) -> PassManager {
         self.passes.push(Box::new(pass));
@@ -678,6 +729,11 @@ impl PassManager {
         let context = CacheContext {
             registry_generation: registry.generation(),
             ddl_generation: catalog.map(Catalog::ddl_generation),
+            feedback_generation: if self.consults_feedback() {
+                self.feedback.as_ref().map(|f| f.generation())
+            } else {
+                None
+            },
             pipeline_fingerprint: self.pipeline_fingerprint(),
         };
         // Hash once: the fingerprint walks the whole plan tree, so the lookup, the
@@ -737,7 +793,13 @@ impl PassManager {
         provider: &dyn SchemaProvider,
         catalog: Option<&Catalog>,
     ) -> Result<OptimizeOutcome> {
-        let mut ctx = PassContext::new(registry, provider, catalog, self.options.clone());
+        let mut ctx = PassContext::new(
+            registry,
+            provider,
+            catalog,
+            self.feedback.as_deref(),
+            self.options.clone(),
+        );
         let mut current = plan.clone();
         let mut report = PipelineReport::default();
         let mut applied_rules: Vec<String> = vec![];

@@ -82,6 +82,10 @@ pub enum SqlStatement {
     },
     /// `CREATE FUNCTION …` — a scalar or table-valued UDF definition.
     CreateFunction(UdfDefinition),
+    /// `ANALYZE [table]` — build sampled histogram/MCV statistics for one table (or,
+    /// without a name, every table) so the cost model estimates from measured
+    /// distributions instead of defaults.
+    Analyze { table: Option<String> },
     /// A `SELECT` query.
     Query(SelectStatement),
 }
@@ -95,6 +99,7 @@ impl SqlStatement {
             SqlStatement::CreateIndex { .. } => "create-index",
             SqlStatement::Insert { .. } => "insert",
             SqlStatement::CreateFunction(_) => "create-function",
+            SqlStatement::Analyze { .. } => "analyze",
             SqlStatement::Query(_) => "query",
         }
     }

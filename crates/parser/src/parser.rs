@@ -250,6 +250,14 @@ impl Parser {
             Ok(SqlStatement::DropTable { name })
         } else if self.at_keyword("insert") {
             self.parse_insert()
+        } else if self.at_keyword("analyze") {
+            self.advance();
+            // `ANALYZE` alone covers every table; `ANALYZE t` one table.
+            let table = match self.peek() {
+                Token::Ident(_) => Some(self.expect_ident()?),
+                _ => None,
+            };
+            Ok(SqlStatement::Analyze { table })
         } else if self.at_keyword("select") {
             Ok(SqlStatement::Query(self.parse_select()?))
         } else {
@@ -1332,5 +1340,26 @@ fn expr_mentions_fetch_status(expr: &ScalarExpr) -> bool {
             .children()
             .iter()
             .any(|c| expr_mentions_fetch_status(c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_statement_parses_with_and_without_a_table() {
+        match parse_statement("analyze orders").unwrap() {
+            SqlStatement::Analyze { table } => assert_eq!(table.as_deref(), Some("orders")),
+            other => panic!("unexpected statement {other:?}"),
+        }
+        match parse_statement("ANALYZE").unwrap() {
+            SqlStatement::Analyze { table } => assert_eq!(table, None),
+            other => panic!("unexpected statement {other:?}"),
+        }
+        // Statement lists mix ANALYZE with other statements.
+        let statements = parse_statements("create table t(x int); analyze t; analyze").unwrap();
+        let kinds: Vec<&str> = statements.iter().map(|s| s.kind()).collect();
+        assert_eq!(kinds, vec!["create-table", "analyze", "analyze"]);
     }
 }

@@ -1,0 +1,228 @@
+//! Equi-depth histograms over sampled numeric column values.
+//!
+//! An equi-depth (equi-height) histogram splits the sorted sample into buckets holding
+//! (approximately) the same number of values, so dense value regions get narrow buckets
+//! and sparse regions get wide ones — range selectivity is then a bucket count plus a
+//! linear interpolation inside the two boundary buckets, accurate to roughly one bucket
+//! fraction regardless of the data distribution's shape.
+
+/// An equi-depth histogram over a sample of numeric values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket boundaries, ascending; `bounds.len() == counts.len() + 1`. Bucket `i`
+    /// covers `[bounds[i], bounds[i + 1]]` (boundary values sit in the lower bucket,
+    /// except the global minimum which opens bucket 0).
+    bounds: Vec<f64>,
+    /// Sampled values per bucket.
+    counts: Vec<u64>,
+    /// Distinct sampled values per bucket (for equality estimates inside a bucket).
+    distinct: Vec<u64>,
+    /// Total sampled values.
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds an equi-depth histogram from a sample. Returns `None` for an empty
+    /// sample. `buckets` is an upper bound — duplicate-heavy samples produce fewer.
+    pub fn equi_depth(mut values: Vec<f64>, buckets: usize) -> Option<Histogram> {
+        values.retain(|v| v.is_finite());
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let total = values.len();
+        let buckets = buckets.min(total);
+        let depth = total.div_ceil(buckets);
+        let mut bounds = vec![values[0]];
+        let mut counts = vec![];
+        let mut distinct = vec![];
+        let mut start = 0usize;
+        while start < total {
+            let mut end = (start + depth).min(total);
+            // Never split a run of equal values across buckets: grow the bucket until
+            // the boundary value changes, so `fraction_below(bound)` is well defined.
+            while end < total && values[end] == values[end - 1] {
+                end += 1;
+            }
+            let slice = &values[start..end];
+            let mut ndv = 1u64;
+            for w in slice.windows(2) {
+                if w[0] != w[1] {
+                    ndv += 1;
+                }
+            }
+            bounds.push(slice[slice.len() - 1]);
+            counts.push(slice.len() as u64);
+            distinct.push(ndv);
+            start = end;
+        }
+        Some(Histogram {
+            bounds,
+            counts,
+            distinct,
+            total: total as u64,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Smallest and largest sampled values.
+    pub fn min(&self) -> f64 {
+        self.bounds[0]
+    }
+
+    pub fn max(&self) -> f64 {
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// Estimated fraction of values strictly below `v` (or `≤ v` when `inclusive`).
+    /// Full buckets below the containing bucket count whole; the containing bucket
+    /// contributes a linear interpolation of its width.
+    pub fn fraction_below(&self, v: f64, inclusive: bool) -> f64 {
+        if !v.is_finite() || self.total == 0 {
+            return if v == f64::INFINITY { 1.0 } else { 0.0 };
+        }
+        if v < self.min() || (v == self.min() && !inclusive) {
+            return 0.0;
+        }
+        if v > self.max() || (v == self.max() && inclusive) {
+            return 1.0;
+        }
+        let mut below = 0u64;
+        for i in 0..self.counts.len() {
+            let (lo, hi) = (self.bounds[i], self.bounds[i + 1]);
+            if v > hi || (v == hi && inclusive) {
+                below += self.counts[i];
+                continue;
+            }
+            // v falls inside bucket i. Bucket boundaries are sampled values whose
+            // whole run lives in this bucket (runs never split across buckets), so a
+            // bound landing exactly on a boundary must account for that value's own
+            // mass — estimated as one distinct-value share of the bucket — instead of
+            // interpolating: `x < hi` excludes the boundary run, `x <= lo` includes
+            // it. Strictly-interior bounds interpolate linearly across the width.
+            let share = 1.0 / self.distinct[i].max(1) as f64;
+            let inside = if v == hi {
+                if inclusive {
+                    1.0
+                } else {
+                    1.0 - share
+                }
+            } else if v == lo {
+                // A lower boundary belongs to the *previous* bucket (already counted
+                // above) — except in bucket 0, whose lower bound is the global
+                // minimum and lives here.
+                if inclusive && i == 0 {
+                    share
+                } else {
+                    0.0
+                }
+            } else {
+                ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+            };
+            return (below as f64 + inside * self.counts[i] as f64) / self.total as f64;
+        }
+        1.0
+    }
+
+    /// Estimated selectivity of `lo < x < hi` with per-bound inclusivity; `None` bounds
+    /// are unbounded. This is the shared implementation behind `<`, `>`, `BETWEEN` and
+    /// closed ranges assembled from conjuncts.
+    pub fn selectivity_interval(&self, lo: Option<(f64, bool)>, hi: Option<(f64, bool)>) -> f64 {
+        let below_hi = match hi {
+            Some((v, inclusive)) => self.fraction_below(v, inclusive),
+            None => 1.0,
+        };
+        let below_lo = match lo {
+            // Values below an exclusive bound include the bound itself.
+            Some((v, inclusive)) => self.fraction_below(v, !inclusive),
+            None => 0.0,
+        };
+        (below_hi - below_lo).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `x = v`: the containing bucket's fraction divided by
+    /// its distinct-value count (uniformity within the bucket).
+    pub fn selectivity_eq(&self, v: f64) -> f64 {
+        if !v.is_finite() || self.total == 0 || v < self.min() || v > self.max() {
+            return 0.0;
+        }
+        for i in 0..self.counts.len() {
+            let hi = self.bounds[i + 1];
+            if v <= hi {
+                let bucket_fraction = self.counts[i] as f64 / self.total as f64;
+                return bucket_fraction / self.distinct[i].max(1) as f64;
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn empty_and_degenerate_samples() {
+        assert!(Histogram::equi_depth(vec![], 16).is_none());
+        assert!(Histogram::equi_depth(vec![1.0], 0).is_none());
+        let h = Histogram::equi_depth(vec![5.0], 16).unwrap();
+        assert_eq!(h.buckets(), 1);
+        assert_eq!(h.fraction_below(5.0, true), 1.0);
+        assert_eq!(h.fraction_below(5.0, false), 0.0);
+        assert!((h.selectivity_eq(5.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_range_fractions_are_accurate() {
+        let h = Histogram::equi_depth(uniform(1000), 32).unwrap();
+        // x < 100 over 0..999 → ~10%.
+        let f = h.fraction_below(100.0, false);
+        assert!((f - 0.1).abs() < 0.05, "fraction {f}");
+        let range = h.selectivity_interval(Some((200.0, true)), Some((399.0, true)));
+        assert!((range - 0.2).abs() < 0.05, "range {range}");
+        // Out-of-domain predicates estimate ~0.
+        assert_eq!(h.selectivity_interval(Some((5000.0, false)), None), 0.0);
+        assert_eq!(h.fraction_below(-10.0, true), 0.0);
+    }
+
+    #[test]
+    fn skewed_data_keeps_bucket_resolution() {
+        // 90% of the mass at 0, the rest spread over 1..=100: the equal-depth split
+        // must not lump the tail into one bucket.
+        let mut values: Vec<f64> = vec![0.0; 900];
+        values.extend((1..=100).map(|i| i as f64));
+        let h = Histogram::equi_depth(values, 16).unwrap();
+        let zero_fraction = h.selectivity_eq(0.0);
+        assert!(zero_fraction > 0.5, "eq(0) = {zero_fraction}");
+        let tail = h.selectivity_interval(Some((50.0, false)), None);
+        assert!((tail - 0.05).abs() < 0.03, "tail {tail}");
+    }
+
+    #[test]
+    fn equal_runs_never_split_across_buckets() {
+        let values: Vec<f64> = (0..100).map(|i| (i / 25) as f64).collect(); // 4 distinct
+        let h = Histogram::equi_depth(values, 16).unwrap();
+        // Each distinct value has frequency 0.25; equality estimates must reflect it.
+        for v in [0.0, 1.0, 2.0, 3.0] {
+            let s = h.selectivity_eq(v);
+            assert!((s - 0.25).abs() < 0.26, "eq({v}) = {s}");
+        }
+        assert!((h.fraction_below(1.0, true) - 0.5).abs() < 1e-9);
+        // Strict inequality at a bucket boundary must exclude the boundary value's
+        // run: `x < 1` covers only the 0s (25%), not half the data.
+        assert!((h.fraction_below(1.0, false) - 0.25).abs() < 1e-9);
+        // `x <= min` covers the minimum's own run.
+        assert!((h.fraction_below(0.0, true) - 0.25).abs() < 1e-9);
+        assert_eq!(h.fraction_below(0.0, false), 0.0);
+        // `x < max` excludes the heavy top run instead of estimating ~1.
+        assert!((h.fraction_below(3.0, false) - 0.75).abs() < 1e-9);
+    }
+}

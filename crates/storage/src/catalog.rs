@@ -92,6 +92,32 @@ impl Catalog {
         Ok(())
     }
 
+    /// Runs a sampled `ANALYZE` over one table (see
+    /// [`Table::analyze`](crate::table::Table::analyze)). Bumps the DDL generation:
+    /// fresh histograms change cost-based decisions, so cached plans must be
+    /// re-optimized against the new statistics.
+    pub fn analyze_table(
+        &mut self,
+        name: &str,
+        config: &crate::stats::AnalyzeConfig,
+    ) -> Result<()> {
+        self.table_mut(name)?.analyze(config.clone());
+        self.ddl_generation += 1;
+        Ok(())
+    }
+
+    /// Runs a sampled `ANALYZE` over every table; returns the analyzed table names.
+    pub fn analyze_all(&mut self, config: &crate::stats::AnalyzeConfig) -> Vec<String> {
+        let names = self.table_names();
+        for name in &names {
+            if let Some(table) = self.tables.get_mut(name) {
+                table.analyze(config.clone());
+            }
+        }
+        self.ddl_generation += 1;
+        names
+    }
+
     /// Total number of rows across all tables (used in tests and diagnostics).
     pub fn total_rows(&self) -> usize {
         self.tables.values().map(|t| t.row_count()).sum()

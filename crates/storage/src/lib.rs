@@ -13,5 +13,5 @@ pub mod table;
 
 pub use catalog::Catalog;
 pub use index::HashIndex;
-pub use stats::TableStats;
+pub use stats::{AnalyzeConfig, ColumnStatistics, Histogram, TableStats};
 pub use table::Table;

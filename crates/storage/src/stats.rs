@@ -1,77 +1,139 @@
-//! Per-table statistics for the cost model.
+//! Per-table statistics for the cost model — a thin wrapper over `decorr-stats`.
+//!
+//! The wrapper keeps the seed API (`row_count`/`distinct_count`/`equality_selectivity`
+//! with the pessimistic fallbacks the cost model relies on) and adds the
+//! histogram-backed entry points a sampled [`ANALYZE`](crate::table::Table::analyze)
+//! unlocks: value-aware equality selectivities (MCV + equal-rest) and range
+//! selectivities from equi-depth histograms. Statistics are *cached* on the owning
+//! [`Table`](crate::table::Table) behind a dirty flag — see `Table::stats`.
 
-use std::collections::HashSet;
+use decorr_common::Value;
+use decorr_stats::TableStatistics;
 
-use decorr_common::{value::GroupKey, Row, Schema};
+pub use decorr_stats::{q_error, AnalyzeConfig, ColumnStatistics, Histogram};
 
-/// Statistics the optimizer's cardinality estimator consumes: total row count and the
-/// number of distinct values per column.
-#[derive(Debug, Clone, Default)]
+/// Statistics the optimizer's cardinality estimator consumes. Wraps
+/// [`decorr_stats::TableStatistics`]; construct through [`TableStats::basic`] /
+/// [`TableStats::analyzed`] (or the legacy [`TableStats::compute`] alias).
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableStats {
-    pub row_count: usize,
-    /// Distinct (non-NULL) value count per column, in schema order.
-    pub distinct_counts: Vec<usize>,
-    /// Column names, in schema order (for lookups by name).
-    pub column_names: Vec<String>,
+    inner: TableStatistics,
 }
 
 impl TableStats {
-    /// Computes statistics over the full table contents.
-    pub fn compute(schema: &Schema, rows: &[Row]) -> TableStats {
-        let ncols = schema.len();
-        let mut sets: Vec<HashSet<GroupKey>> = vec![HashSet::new(); ncols];
-        for row in rows {
-            for (i, v) in row.values.iter().enumerate() {
-                if !v.is_null() {
-                    sets[i].insert(v.group_key());
-                }
-            }
-        }
+    /// Basic statistics: row count, exact distinct counts and null fractions.
+    pub fn basic(schema: &decorr_common::Schema, rows: &[decorr_common::Row]) -> TableStats {
         TableStats {
-            row_count: rows.len(),
-            distinct_counts: sets.iter().map(|s| s.len()).collect(),
-            column_names: schema.columns.iter().map(|c| c.name.clone()).collect(),
+            inner: TableStatistics::basic(schema, rows),
         }
     }
 
-    /// Distinct value count for a column by name; falls back to the row count (i.e. the
+    /// Analyzed statistics: basic plus sampled histograms, MCVs and min/max.
+    pub fn analyzed(
+        schema: &decorr_common::Schema,
+        rows: &[decorr_common::Row],
+        config: &AnalyzeConfig,
+    ) -> TableStats {
+        TableStats {
+            inner: TableStatistics::analyzed(schema, rows, config),
+        }
+    }
+
+    /// Seed-compatible alias for [`TableStats::basic`].
+    pub fn compute(schema: &decorr_common::Schema, rows: &[decorr_common::Row]) -> TableStats {
+        TableStats::basic(schema, rows)
+    }
+
+    /// The underlying statistics document.
+    pub fn inner(&self) -> &TableStatistics {
+        &self.inner
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.inner.row_count
+    }
+
+    /// True when histograms/MCVs were built by a sampled `ANALYZE`.
+    pub fn is_analyzed(&self) -> bool {
+        self.inner.analyzed
+    }
+
+    /// Rows the `ANALYZE` sample held (0 for basic statistics).
+    pub fn sampled_rows(&self) -> usize {
+        self.inner.sampled_rows
+    }
+
+    /// Column statistics by (case-insensitive) name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStatistics> {
+        self.inner.column(name)
+    }
+
+    /// Distinct value count for a column by name; falls back to the row count (the
     /// "all distinct" pessimistic assumption) when the column is unknown.
     pub fn distinct_count(&self, column: &str) -> usize {
-        self.column_names
-            .iter()
-            .position(|c| c.eq_ignore_ascii_case(column))
-            .map(|i| self.distinct_counts[i])
-            .unwrap_or(self.row_count)
-            .max(1)
+        self.inner.distinct_count(column)
     }
 
-    /// Estimated selectivity of an equality predicate on `column` (1 / distinct count).
+    /// Estimated selectivity of an equality predicate on `column` against an unknown
+    /// value (1 / distinct count — the seed model).
     pub fn equality_selectivity(&self, column: &str) -> f64 {
         1.0 / self.distinct_count(column) as f64
+    }
+
+    /// Estimated selectivity of `column = value` for a *known* comparison value:
+    /// MCV frequency or histogram-bucket estimate when analyzed, otherwise the
+    /// 1 / distinct-count fallback.
+    pub fn equality_selectivity_value(&self, column: &str, value: &Value) -> f64 {
+        self.column(column)
+            .and_then(|c| c.equality_selectivity(value))
+            .unwrap_or_else(|| self.equality_selectivity(column))
+    }
+
+    /// Estimated selectivity of a numeric interval on `column` from its equi-depth
+    /// histogram; `None` when the column has no histogram (not analyzed, or
+    /// non-numeric) so the caller can fall back to its default constants.
+    pub fn range_selectivity(
+        &self,
+        column: &str,
+        lo: Option<(f64, bool)>,
+        hi: Option<(f64, bool)>,
+    ) -> Option<f64> {
+        self.column(column)?.range_selectivity(lo, hi)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use decorr_common::{Column, DataType, Value};
+    use decorr_common::{Column, DataType, Row, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("grp", DataType::Int),
+        ])
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 4)]))
+            .collect()
+    }
 
     #[test]
     fn compute_counts_and_selectivity() {
-        let schema = Schema::new(vec![
-            Column::new("k", DataType::Int),
-            Column::new("grp", DataType::Int),
-        ]);
-        let rows: Vec<Row> = (0..100i64)
-            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 4)]))
-            .collect();
-        let stats = TableStats::compute(&schema, &rows);
-        assert_eq!(stats.row_count, 100);
+        let stats = TableStats::compute(&schema(), &rows(100));
+        assert_eq!(stats.row_count(), 100);
         assert_eq!(stats.distinct_count("k"), 100);
         assert_eq!(stats.distinct_count("grp"), 4);
         assert!((stats.equality_selectivity("grp") - 0.25).abs() < 1e-9);
         // Unknown column: pessimistic fallback.
         assert_eq!(stats.distinct_count("nosuch"), 100);
+        assert!(!stats.is_analyzed());
+        // Without ANALYZE there is no histogram to serve ranges from.
+        assert!(stats
+            .range_selectivity("k", None, Some((49.0, true)))
+            .is_none());
     }
 
     #[test]
@@ -90,7 +152,24 @@ mod tests {
     fn empty_table_has_min_distinct_one() {
         let schema = Schema::new(vec![Column::new("k", DataType::Int)]);
         let stats = TableStats::compute(&schema, &[]);
-        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.row_count(), 0);
         assert_eq!(stats.distinct_count("k"), 1);
+    }
+
+    #[test]
+    fn analyzed_stats_serve_value_aware_selectivities() {
+        let stats = TableStats::analyzed(&schema(), &rows(1000), &AnalyzeConfig::default());
+        assert!(stats.is_analyzed());
+        assert_eq!(stats.sampled_rows(), 1000);
+        // grp = 2 is one of four equally heavy values.
+        let eq = stats.equality_selectivity_value("grp", &Value::Int(2));
+        assert!((eq - 0.25).abs() < 0.05, "eq {eq}");
+        // k < 100 out of 0..999 ≈ 10%.
+        let range = stats
+            .range_selectivity("k", None, Some((99.0, true)))
+            .unwrap();
+        assert!((range - 0.1).abs() < 0.05, "range {range}");
+        // Unanalyzed-style fallback still works for unknown values/columns.
+        assert!(stats.equality_selectivity_value("nosuch", &Value::Int(1)) > 0.0);
     }
 }

@@ -1,19 +1,54 @@
-//! In-memory row-store table with optional hash indexes.
+//! In-memory row-store table with optional hash indexes and cached statistics.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use decorr_common::{normalize_ident, Error, Result, Row, Schema, Value};
 
 use crate::index::HashIndex;
-use crate::stats::TableStats;
+use crate::stats::{AnalyzeConfig, TableStats};
 
 /// An in-memory table: a schema, a vector of rows, and hash indexes keyed by column name.
-#[derive(Debug, Clone)]
+///
+/// Statistics are cached: [`Table::stats`] computes them at most once per data change.
+/// Inserts and `truncate` set a dirty flag (by clearing the cached value); the next
+/// `stats` call recomputes — a table that was [`analyze`](Table::analyze)d re-runs the
+/// sampled ANALYZE with its remembered configuration, so histograms stay fresh without
+/// the caller re-issuing `ANALYZE` after every load.
+#[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
     rows: Vec<Row>,
     indexes: HashMap<String, HashIndex>,
+    /// Cached statistics; `None` marks them dirty. Interior mutability so `stats()`
+    /// works through the shared references the executor and optimizer hold.
+    cached_stats: RwLock<Option<Arc<TableStats>>>,
+    /// Remembered `ANALYZE` configuration; `None` until the first ANALYZE.
+    analyze_config: Option<AnalyzeConfig>,
+    /// How many times statistics were (re)computed — the satellite regression metric:
+    /// repeated optimizes against an unchanged table must not rescan it.
+    stats_recomputes: AtomicU64,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            indexes: self.indexes.clone(),
+            cached_stats: RwLock::new(
+                self.cached_stats
+                    .read()
+                    .expect("stats cache poisoned")
+                    .clone(),
+            ),
+            analyze_config: self.analyze_config.clone(),
+            stats_recomputes: AtomicU64::new(self.stats_recomputes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Table {
@@ -27,6 +62,9 @@ impl Table {
             schema,
             rows: Vec::new(),
             indexes: HashMap::new(),
+            cached_stats: RwLock::new(None),
+            analyze_config: None,
+            stats_recomputes: AtomicU64::new(0),
         }
     }
 
@@ -79,6 +117,7 @@ impl Table {
             index.insert(&row, row_id);
         }
         self.rows.push(row);
+        self.mark_stats_dirty();
         Ok(())
     }
 
@@ -126,17 +165,69 @@ impl Table {
             .map(|idx| idx.lookup(value).iter().map(|&i| &self.rows[i]).collect())
     }
 
-    /// Computes statistics for the cost model.
-    pub fn stats(&self) -> TableStats {
-        TableStats::compute(&self.schema, &self.rows)
+    /// Statistics for the cost model, computed lazily and cached until the next data
+    /// change. Unanalyzed tables get basic statistics (row count, exact distinct
+    /// counts, null fractions); tables a sampled [`analyze`](Table::analyze) ran over
+    /// additionally carry histograms and MCV lists, and *re-analyze themselves* with
+    /// the remembered configuration when the cache is invalidated by new data.
+    pub fn stats(&self) -> Arc<TableStats> {
+        if let Some(cached) = self
+            .cached_stats
+            .read()
+            .expect("stats cache poisoned")
+            .clone()
+        {
+            return cached;
+        }
+        // Double-checked under the write lock: concurrent readers that missed above
+        // must not each run the full-table pass (and each bump the recompute
+        // counter) — one computes, the rest wait and reuse it.
+        let mut slot = self.cached_stats.write().expect("stats cache poisoned");
+        if let Some(cached) = slot.as_ref() {
+            return Arc::clone(cached);
+        }
+        let computed = Arc::new(match &self.analyze_config {
+            Some(config) => TableStats::analyzed(&self.schema, &self.rows, config),
+            None => TableStats::basic(&self.schema, &self.rows),
+        });
+        self.stats_recomputes.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&computed));
+        computed
     }
 
-    /// Removes all rows (keeps schema and index definitions).
+    /// Runs a sampled `ANALYZE` over the table: builds histogram/MCV statistics from a
+    /// reservoir sample and remembers `config` so later invalidations re-analyze
+    /// automatically. Returns the fresh statistics.
+    pub fn analyze(&mut self, config: AnalyzeConfig) -> Arc<TableStats> {
+        self.analyze_config = Some(config);
+        self.mark_stats_dirty();
+        self.stats()
+    }
+
+    /// True when the table carries `ANALYZE`-built histogram statistics.
+    pub fn is_analyzed(&self) -> bool {
+        self.analyze_config.is_some()
+    }
+
+    /// Lifetime count of statistics (re)computations — the regression metric proving
+    /// that repeated `stats()` calls against unchanged data never rescan the table.
+    pub fn stats_recomputes(&self) -> u64 {
+        self.stats_recomputes.load(Ordering::Relaxed)
+    }
+
+    /// Marks cached statistics dirty (cheap; the next `stats()` call recomputes).
+    fn mark_stats_dirty(&mut self) {
+        let cached = self.cached_stats.get_mut().expect("stats cache poisoned");
+        *cached = None;
+    }
+
+    /// Removes all rows (keeps schema, index definitions and the ANALYZE config).
     pub fn truncate(&mut self) {
         self.rows.clear();
         for index in self.indexes.values_mut() {
             index.clear();
         }
+        self.mark_stats_dirty();
     }
 }
 
@@ -212,6 +303,51 @@ mod tests {
             .unwrap();
         assert_eq!(t.index_lookup("custkey", &Value::Int(7)).unwrap().len(), 2);
         assert_eq!(t.indexed_columns(), vec!["custkey".to_string()]);
+    }
+
+    #[test]
+    fn stats_are_cached_until_data_changes() {
+        let mut t = orders_table();
+        for i in 0..50i64 {
+            t.insert(Row::new(vec![i.into(), (i % 5).into(), (i as f64).into()]))
+                .unwrap();
+        }
+        assert_eq!(t.stats_recomputes(), 0, "stats are lazy");
+        let first = t.stats();
+        assert_eq!(first.distinct_count("custkey"), 5);
+        assert_eq!(t.stats_recomputes(), 1);
+        // Repeated reads serve the cached Arc without rescanning.
+        for _ in 0..10 {
+            let again = t.stats();
+            assert_eq!(again.row_count(), 50);
+        }
+        assert_eq!(t.stats_recomputes(), 1, "unchanged table must not rescan");
+        // An insert dirties the cache; the next read recomputes once.
+        t.insert(Row::new(vec![50.into(), 9.into(), 1.0.into()]))
+            .unwrap();
+        assert_eq!(t.stats().distinct_count("custkey"), 6);
+        assert_eq!(t.stats_recomputes(), 2);
+    }
+
+    #[test]
+    fn analyze_is_sticky_across_invalidation() {
+        let mut t = orders_table();
+        for i in 0..200i64 {
+            t.insert(Row::new(vec![i.into(), (i % 10).into(), (i as f64).into()]))
+                .unwrap();
+        }
+        assert!(!t.is_analyzed());
+        let analyzed = t.analyze(crate::stats::AnalyzeConfig::default());
+        assert!(analyzed.is_analyzed());
+        assert!(analyzed
+            .range_selectivity("orderkey", None, Some((99.0, true)))
+            .is_some());
+        // New data invalidates, and the next stats() re-analyzes automatically.
+        t.insert(Row::new(vec![200.into(), 3.into(), 1.0.into()]))
+            .unwrap();
+        let refreshed = t.stats();
+        assert!(refreshed.is_analyzed(), "re-analyze with remembered config");
+        assert_eq!(refreshed.row_count(), 201);
     }
 
     #[test]

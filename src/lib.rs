@@ -29,6 +29,7 @@ pub use decorr_exec as exec;
 pub use decorr_optimizer as optimizer;
 pub use decorr_parser as parser;
 pub use decorr_rewrite as rewrite;
+pub use decorr_stats as stats;
 pub use decorr_storage as storage;
 pub use decorr_tpch as tpch;
 pub use decorr_udf as udf;

@@ -1,0 +1,381 @@
+//! Integration tests of the statistics & feedback subsystem through the engine
+//! facade: cached table statistics (the no-rescan regression), sampled `ANALYZE`
+//! through SQL, histogram-driven estimates on the experiment plans (a seeded
+//! bounded-q-error property test across scale factors), and the headline feedback
+//! regression — a workload where the static cost model picks the iterative plan
+//! wrongly and runtime feedback flips the decision to the decorrelated plan.
+
+use std::time::Duration;
+
+use udf_decorrelation::engine::{Database, ExecutionStrategy, QueryOptions};
+use udf_decorrelation::optimizer::{estimate_per_node, CostParams};
+use udf_decorrelation::stats::q_error;
+use udf_decorrelation::tpch::{experiment1, experiment2, experiment3, generate, TpchConfig};
+
+// ----------------------------------------------------------- statistics caching
+
+/// Satellite regression: `Table::stats()` used to recompute full-table statistics
+/// (a hash-set scan of every row) on every call, and `predicate_selectivity`
+/// triggers it per conjunct per optimize. Statistics are now cached with a dirty
+/// flag: repeated optimizes against unchanged data must not rescan.
+#[test]
+fn repeated_optimizes_do_not_rescan_table_statistics() {
+    let mut db = Database::new();
+    db.execute("create table t(x int, grp int)").unwrap();
+    db.execute("insert into t values (1, 0), (2, 0), (3, 1), (4, 1), (5, 2)")
+        .unwrap();
+    // Several *distinct* query shapes over the same table (distinct shapes so the
+    // plan cache cannot absorb the stats lookups), each with multiple conjuncts.
+    for limit in 1..=4 {
+        db.query(&format!(
+            "select x from t where grp = 1 and x <= {limit} and x >= 0"
+        ))
+        .unwrap();
+        db.explain(&format!("select x from t where x <= {limit}"))
+            .unwrap();
+    }
+    let recomputes = db.catalog().table("t").unwrap().stats_recomputes();
+    assert_eq!(
+        recomputes, 1,
+        "eight optimizes over an unchanged table must compute statistics exactly once"
+    );
+    // New data dirties the cache: exactly one more recompute on next use.
+    db.execute("insert into t values (6, 2)").unwrap();
+    db.query("select x from t where grp = 2").unwrap();
+    assert_eq!(db.catalog().table("t").unwrap().stats_recomputes(), 2);
+}
+
+// ------------------------------------------------------------------ ANALYZE surface
+
+#[test]
+fn analyze_statement_builds_histogram_statistics() {
+    let mut db = Database::new();
+    db.execute("create table nums(v int)").unwrap();
+    let values: Vec<String> = (0..500).map(|i| format!("({i})")).collect();
+    db.execute(&format!("insert into nums values {}", values.join(", ")))
+        .unwrap();
+    assert!(!db.catalog().table("nums").unwrap().is_analyzed());
+    let summaries = db.execute("analyze nums").unwrap();
+    assert_eq!(summaries.len(), 1);
+    let table = db.catalog().table("nums").unwrap();
+    assert!(table.is_analyzed());
+    let stats = table.stats();
+    assert!(stats.is_analyzed());
+    let sel = stats
+        .range_selectivity("v", None, Some((49.0, true)))
+        .expect("histogram after ANALYZE");
+    assert!((sel - 0.1).abs() < 0.05, "selectivity {sel}");
+    // Bare ANALYZE covers every table.
+    db.execute("create table other(w int); insert into other values (1)")
+        .unwrap();
+    db.execute("analyze").unwrap();
+    assert!(db.catalog().table("other").unwrap().is_analyzed());
+}
+
+#[test]
+fn analyze_invalidates_cached_plans() {
+    let mut db = Database::new();
+    db.execute("create table t(x int)").unwrap();
+    let values: Vec<String> = (0..200).map(|i| format!("({i})")).collect();
+    db.execute(&format!("insert into t values {}", values.join(", ")))
+        .unwrap();
+    // A predicate the default model estimates well (est 60 vs actual 101 rows stays
+    // below the q-error threshold), so the feedback loop leaves the entry alone and
+    // the invalidation below is attributable to ANALYZE.
+    let sql = "select x from t where x <= 100";
+    db.query(sql).unwrap();
+    assert!(db.query(sql).unwrap().rewrite_report.cache.unwrap().hit);
+    // Fresh statistics change cost-based decisions: cached plans must re-optimize.
+    db.execute("analyze t").unwrap();
+    assert!(
+        !db.query(sql).unwrap().rewrite_report.cache.unwrap().hit,
+        "ANALYZE must invalidate cached plans"
+    );
+}
+
+// --------------------------------------------------- estimate accuracy (property)
+
+/// Seeded property test (satellite): after `ANALYZE`, per-node cardinality
+/// estimates for the scan/filter/join/aggregate nodes of the three experiment
+/// plans stay within a bounded q-error of the executed actuals, across scale
+/// factors and invocation counts.
+#[test]
+fn analyzed_estimates_stay_within_bounded_q_error_across_scales() {
+    // (scale, invocations) pairs seeded over both experiment dimensions.
+    const SCALES: [f64; 2] = [0.02, 0.05];
+    const MAX_Q_SCAN_FILTER: f64 = 4.0;
+    const MAX_Q_ANY: f64 = 32.0;
+    for &scale in &SCALES {
+        for (workload, invocations) in
+            [(experiment1(), 30), (experiment2(), 20), (experiment3(), 4)]
+        {
+            let mut db = generate(&TpchConfig::with_scale(scale)).unwrap();
+            db.analyze();
+            workload.install(&mut db).unwrap();
+            let sql = (workload.query)(invocations);
+            // Execute iteratively with per-node cardinality collection: the
+            // iterative plan's nodes (scan, filter, project) are exactly the shapes
+            // the statistics must estimate well.
+            let mut config = db.exec_config().clone();
+            config.collect_cardinalities = true;
+            let options = QueryOptions {
+                exec_config: Some(config),
+                ..QueryOptions::iterative()
+            };
+            let result = db.query_with(&sql, &options).unwrap();
+            assert!(!result.node_cardinalities.is_empty());
+            // Pair per-node estimates with the recorded actuals by fingerprint. The
+            // executed plan is the *normalized* form, so run the same normalisation
+            // pipeline the iterative strategy uses before estimating.
+            let plan = udf_decorrelation::parser::parse_and_plan(&sql).unwrap();
+            let provider =
+                udf_decorrelation::exec::CatalogProvider::new(db.catalog(), db.registry());
+            let normalized = udf_decorrelation::optimizer::PassManager::cleanup_pipeline()
+                .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+                .unwrap()
+                .plan;
+            let params = CostParams::default();
+            let estimates = estimate_per_node(&normalized, db.catalog(), db.registry(), &params);
+            let mut checked = 0;
+            for estimate in &estimates {
+                let Some(actual) = result
+                    .node_cardinalities
+                    .iter()
+                    .find(|n| n.fingerprint == estimate.fingerprint)
+                else {
+                    continue;
+                };
+                let q = q_error(estimate.cardinality, actual.mean_rows());
+                let bound = match estimate.operator.as_str() {
+                    "Scan" | "Select" => MAX_Q_SCAN_FILTER,
+                    _ => MAX_Q_ANY,
+                };
+                assert!(
+                    q <= bound,
+                    "{}: {} node estimated {:.1} vs actual {:.1} rows (q-error {q:.1} \
+                     > bound {bound}) at scale {scale}",
+                    workload.name,
+                    estimate.operator,
+                    estimate.cardinality,
+                    actual.mean_rows(),
+                );
+                checked += 1;
+            }
+            assert!(
+                checked >= 2,
+                "{}: expected estimate/actual pairs for at least the scan and filter \
+                 nodes, checked {checked}",
+                workload.name
+            );
+        }
+    }
+}
+
+/// The root-cardinality q-error reported by the engine improves once tables are
+/// analyzed: a narrow range predicate estimated with the default constant misses
+/// by a large factor, the histogram estimate does not.
+#[test]
+fn analyze_improves_root_cardinality_q_error() {
+    let workload = experiment1();
+    let mut db = generate(&TpchConfig::with_scale(0.05)).unwrap();
+    workload.install(&mut db).unwrap();
+    let sql = (workload.query)(10);
+    let before = db.query_with(&sql, &QueryOptions::iterative()).unwrap();
+    db.analyze();
+    let after = db.query_with(&sql, &QueryOptions::iterative()).unwrap();
+    assert_eq!(before.rows.len(), after.rows.len());
+    assert!(
+        after.cardinality_q_error < before.cardinality_q_error,
+        "analyzed q-error {:.2} must beat unanalyzed {:.2}",
+        after.cardinality_q_error,
+        before.cardinality_q_error
+    );
+    assert!(
+        after.cardinality_q_error < 2.0,
+        "histogram root estimate q-error {:.2}",
+        after.cardinality_q_error
+    );
+}
+
+// ------------------------------------------------------------- feedback flips plans
+
+/// The headline feedback regression. The UDF's correlated query scans an unindexed
+/// table, but the static cost model prices correlated execution with the
+/// index-assisted discount — so for a small outer table it wrongly picks the
+/// iterative plan. Executing it once measures the true per-invocation cost; the
+/// feedback loop learns it, invalidates the stale cache entry, and the next
+/// optimize flips to the decorrelated plan.
+#[test]
+fn feedback_flips_a_miscosted_strategy_to_decorrelated() {
+    let mut db = Database::new();
+    // Wide rows (strings) make per-row interpretation measurably expensive, which
+    // is exactly what the index-assuming static model misses on an unindexed scan.
+    db.execute(
+        "create table customer(custkey int not null); \
+         create table orders(orderkey int not null, custkey int, totalprice float, \
+                             comment varchar(40), clerk varchar(20))",
+    )
+    .unwrap();
+    // Deliberately NO index on orders.custkey.
+    let customers: Vec<String> = (0..40).map(|i| format!("({i})")).collect();
+    db.execute(&format!(
+        "insert into customer values {}",
+        customers.join(", ")
+    ))
+    .unwrap();
+    let mut orders = vec![];
+    for i in 0..8_000i64 {
+        orders.push(udf_decorrelation::prelude::Row::new(vec![
+            i.into(),
+            (i % 40).into(),
+            (i as f64).into(),
+            format!("order comment number {i}").into(),
+            format!("Clerk#{}", i % 100).into(),
+        ]));
+    }
+    db.load_rows("orders", orders).unwrap();
+    db.register_function(
+        "create function total_business(int ckey) returns float as \
+         begin return select sum(totalprice) from orders where custkey = :ckey; end",
+    )
+    .unwrap();
+    let sql = "select custkey, total_business(custkey) as total from customer";
+
+    // 1. The static model picks the iterative plan (its correlated discount assumes
+    //    an index that does not exist).
+    let first = db.query(sql).unwrap();
+    assert_eq!(first.strategy, ExecutionStrategy::Auto);
+    assert!(
+        !first.used_decorrelated_plan,
+        "premise: the static model must pick the iterative plan \
+         (notes: {:?})",
+        first.rewrite_notes
+    );
+    assert!(first.exec_stats.udf_invocations >= 40);
+
+    // 2. The execution measured the true invocation cost; the feedback loop must
+    //    have learned it and flagged the shape.
+    let overrides = db
+        .feedback()
+        .udf_cost_overrides(CostParams::default().row_op_seconds);
+    let learned = overrides
+        .get("total_business")
+        .copied()
+        .expect("feedback must learn the UDF cost after 40 invocations");
+    assert!(
+        learned > 1_000.0,
+        "an unindexed 8000-row scan per invocation must cost thousands of row-ops, \
+         learned {learned}"
+    );
+    assert!(
+        db.feedback_stats().generation > 1,
+        "a mispriced UDF must move the feedback generation"
+    );
+
+    // 3. The next optimize re-decides with the learned cost and flips.
+    let second = db.query(sql).unwrap();
+    assert!(
+        second.used_decorrelated_plan,
+        "feedback must flip the miscosted strategy to the decorrelated plan \
+         (notes: {:?})",
+        second.rewrite_notes
+    );
+    assert!(
+        second
+            .rewrite_notes
+            .iter()
+            .any(|n| n.contains("learned UDF cost")),
+        "the strategy pass must report the learned costs it used: {:?}",
+        second.rewrite_notes
+    );
+    assert_eq!(
+        second.exec_stats.udf_invocations, 0,
+        "the decorrelated plan performs no iterative invocations"
+    );
+    // Both executions agree on the results.
+    assert_eq!(
+        first.canonical_projection(&["custkey", "total"]).unwrap(),
+        second.canonical_projection(&["custkey", "total"]).unwrap()
+    );
+}
+
+/// Feedback state is engine-local: a cloned database starts with a fresh store.
+#[test]
+fn cloned_databases_do_not_share_feedback() {
+    let mut db = Database::new();
+    db.execute("create table t(x int); insert into t values (1), (2), (3)")
+        .unwrap();
+    db.query("select x from t where x <= 2").unwrap();
+    assert!(db.feedback_stats().queries_recorded >= 1);
+    let clone = db.clone();
+    assert_eq!(clone.feedback_stats().queries_recorded, 0);
+    assert_eq!(clone.feedback_stats().generation, 1);
+}
+
+/// The feedback trust floors keep one-off timings of nearly-free UDFs from
+/// polluting the learned costs (and from invalidating plans).
+#[test]
+fn cheap_udfs_below_the_trust_floor_learn_nothing() {
+    let mut db = Database::new();
+    db.execute("create table t(x int); insert into t values (1), (2), (3)")
+        .unwrap();
+    db.register_function("create function tiny(int v) returns int as begin return v + 1; end")
+        .unwrap();
+    let result = db
+        .query_with(
+            "select tiny(x) as y from t",
+            &QueryOptions {
+                strategy: ExecutionStrategy::Iterative,
+                ..QueryOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(result.exec_stats.udf_invocations, 3);
+    assert!(
+        db.feedback()
+            .udf_cost_overrides(CostParams::default().row_op_seconds)
+            .is_empty(),
+        "3 sub-microsecond invocations are below both trust floors"
+    );
+    assert_eq!(db.feedback_stats().generation, 1);
+}
+
+/// `explain_analyze` surfaces the new instrumentation: estimated vs actual rows
+/// per operator, the root q-error, and measured UDF costs.
+#[test]
+fn explain_analyze_reports_estimates_actuals_and_feedback() {
+    let mut db = generate(&TpchConfig::tiny()).unwrap();
+    db.analyze();
+    let workload = experiment2();
+    workload.install(&mut db).unwrap();
+    let text = db
+        .explain_analyze(&(workload.query)(20))
+        .expect("explain analyze");
+    assert!(
+        text.contains("== cardinalities (estimated vs actual) =="),
+        "{text}"
+    );
+    assert!(text.contains("q-error"), "{text}");
+    assert!(text.contains("== feedback =="), "{text}");
+    assert!(text.contains("root cardinality"), "{text}");
+    assert!(text.contains("feedback store"), "{text}");
+}
+
+/// End-to-end sanity for the timing plumbing: iterative executions report per-UDF
+/// wall clocks on the query result.
+#[test]
+fn query_results_carry_udf_timings() {
+    let mut db = generate(&TpchConfig::tiny()).unwrap();
+    let workload = experiment2();
+    workload.install(&mut db).unwrap();
+    let result = db
+        .query_with(&(workload.query)(20), &QueryOptions::iterative())
+        .unwrap();
+    let timing = result
+        .udf_timings
+        .iter()
+        .find(|t| t.name == "service_level")
+        .expect("service_level timing recorded");
+    assert_eq!(timing.invocations, result.exec_stats.udf_invocations);
+    assert!(timing.total > Duration::ZERO);
+}
