@@ -1,0 +1,182 @@
+//! UDF invocation runtime bench: batching/dedup + memoization on vs off. Measures the
+//! three paper workloads under both strategies, then the repeated-argument workload
+//! (the iterative plan the runtime exists to rescue) across a distinct-argument-ratio
+//! sweep. Emits the machine-readable `BENCH_udf.json` that CI's `udf-bench-smoke` job
+//! uploads and gates on.
+//!
+//! ```text
+//! cargo run --release -p decorr-bench --bin udf_bench -- \
+//!     [--smoke] [--out BENCH_udf.json] [--check crates/bench/BENCH_udf_baseline.json]
+//! ```
+//!
+//! * `--smoke`  — reduced data sizes for CI;
+//! * `--out`    — where to write the JSON document (default `BENCH_udf.json`);
+//! * `--check`  — compare against a committed baseline and exit non-zero when the
+//!   improvement invariant fails (headline repeated-argument speedup below 5x, or its
+//!   cache hit rate below 0.8 — the hit rate counts calls, not time, so that leg is
+//!   machine-independent) or the headline speedup regressed more than the gate factor
+//!   (default 2.0, override with `BENCH_GATE_FACTOR`).
+
+use std::process::ExitCode;
+
+use decorr_bench::json::Json;
+use decorr_bench::{
+    check_udf_against_baseline, measure_repeated_args, measure_udf_runtime, udf_bench_json,
+    RepeatedArgPoint, UdfGateConfig, UdfRuntimeComparison,
+};
+use decorr_tpch::{experiment1, experiment2, experiment3};
+
+/// Probe rows drawing from this fraction of distinct UDF arguments, from "every
+/// argument distinct" down to one distinct argument per hundred calls.
+const DISTINCT_RATIOS: [f64; 4] = [1.0, 0.5, 0.1, 0.01];
+
+struct Args {
+    smoke: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_udf.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().ok_or("--out requires a path")?,
+            "--check" => args.check = Some(it.next().ok_or("--check requires a path")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("udf_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (customers, invocations, runs) = if args.smoke {
+        (100, 100, 2)
+    } else {
+        (500, 500, 3)
+    };
+    let (probe_rows, item_rows) = if args.smoke {
+        (400, 2000)
+    } else {
+        (1500, 8000)
+    };
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!("udf bench ({mode}): batching + memoization on vs off\n");
+
+    let comparisons: Vec<UdfRuntimeComparison> = [
+        ("experiment1", experiment1()),
+        ("experiment2", experiment2()),
+        ("experiment3", experiment3()),
+    ]
+    .iter()
+    .map(|(key, workload)| {
+        // Experiment 3 iterates categories, which scale independently of customers.
+        let n = if *key == "experiment3" {
+            (invocations / 10).max(4)
+        } else {
+            invocations
+        };
+        let comparison = measure_udf_runtime(key, workload, customers, n, runs);
+        println!(
+            "{:<12} iterative {:>8.2} ms → {:>8.2} ms ({:>5.1}x) · decorrelated \
+             {:>8.2} ms → {:>8.2} ms ({:>5.1}x)",
+            comparison.key,
+            comparison.iterative_off.duration.as_secs_f64() * 1e3,
+            comparison.iterative_on.duration.as_secs_f64() * 1e3,
+            comparison.iterative_speedup(),
+            comparison.decorrelated_off.duration.as_secs_f64() * 1e3,
+            comparison.decorrelated_on.duration.as_secs_f64() * 1e3,
+            comparison.decorrelated_speedup(),
+        );
+        comparison
+    })
+    .collect();
+
+    println!(
+        "\nrepeated-argument sweep ({probe_rows} probes over {item_rows} items, \
+         iterative plan):"
+    );
+    let sweep: Vec<RepeatedArgPoint> = DISTINCT_RATIOS
+        .iter()
+        .map(|&ratio| {
+            let point = measure_repeated_args(probe_rows, ratio, item_rows, runs);
+            println!(
+                "  ratio {:>5.2} ({:>5} distinct): {:>8.2} ms → {:>8.2} ms \
+                 ({:>5.1}x, hit rate {:.3}, {} batched)",
+                point.distinct_ratio,
+                point.distinct_args,
+                point.off.duration.as_secs_f64() * 1e3,
+                point.on.duration.as_secs_f64() * 1e3,
+                point.speedup(),
+                point.on.hit_rate(),
+                point.on.batch_evals,
+            );
+            point
+        })
+        .collect();
+
+    let doc = udf_bench_json(mode, &comparisons, &sweep);
+    if let Err(e) = std::fs::write(&args.out, doc.render()) {
+        eprintln!("udf_bench: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("\nwrote {}", args.out);
+
+    if let Some(baseline_path) = &args.check {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("udf_bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Json::parse(&baseline_text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("udf_bench: malformed baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut config = UdfGateConfig::default();
+        if let Ok(factor) = std::env::var("BENCH_GATE_FACTOR") {
+            match factor.parse::<f64>() {
+                Ok(f) if f > 0.0 => config.regression_factor = f,
+                _ => {
+                    eprintln!("udf_bench: invalid BENCH_GATE_FACTOR '{factor}'");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        println!(
+            "\nudf runtime gate vs {baseline_path} (factor {:.1}x):",
+            config.regression_factor
+        );
+        match check_udf_against_baseline(&doc, &baseline, &config) {
+            Ok(report) => {
+                for line in report {
+                    println!("  {line}");
+                }
+                println!("  udf runtime gate passed");
+            }
+            Err(failures) => {
+                for line in failures {
+                    eprintln!("  GATE FAILURE: {line}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -47,20 +47,39 @@ pub fn setup(workload: &Workload, customers: usize) -> Database {
     let mut db = generate(&config).expect("data generation");
     db.analyze();
     workload.install(&mut db).expect("workload install");
+    // The classic experiments measure raw per-tuple invocation cost; the cross-query
+    // memo would turn every arm after the first into cache hits. The UDF invocation
+    // runtime has its own bench (`udf_bench`) that toggles these knobs explicitly.
+    db.set_udf_memo_capacity(0);
     db
 }
 
 /// Times one execution of the workload query under both strategies.
 pub fn measure_point(db: &Database, workload: &Workload, invocations: usize) -> SweepPoint {
     let sql = (workload.query)(invocations);
+    // Both arms run with the UDF invocation runtime off: this sweep reproduces the
+    // paper's iterative-vs-decorrelated comparison, where every tuple pays the call.
+    let plain = decorr_exec::ExecConfig {
+        udf_batching: false,
+        udf_memoization: false,
+        ..decorr_exec::ExecConfig::default()
+    };
+    let iterative = QueryOptions {
+        exec_config: Some(plain.clone()),
+        ..QueryOptions::iterative()
+    };
+    let decorrelated = QueryOptions {
+        exec_config: Some(plain),
+        ..QueryOptions::decorrelated()
+    };
     let start = Instant::now();
     let original = db
-        .query_with(&sql, &QueryOptions::iterative())
+        .query_with(&sql, &iterative)
         .expect("iterative execution");
     let original_time = start.elapsed();
     let start = Instant::now();
     let rewritten = db
-        .query_with(&sql, &QueryOptions::decorrelated())
+        .query_with(&sql, &decorrelated)
         .expect("decorrelated execution");
     let rewritten_time = start.elapsed();
     assert_eq!(
@@ -377,6 +396,11 @@ fn bench_exec_config(parallelism: usize) -> decorr_exec::ExecConfig {
     decorr_exec::ExecConfig {
         parallelism,
         morsel_size: 16,
+        // The executor benches compare serial vs parallel cost of the *same* logical
+        // work; batching/memoization collapse repeated arguments and would swamp that
+        // comparison. `udf_bench` measures those knobs on their own axis.
+        udf_batching: false,
+        udf_memoization: false,
         ..decorr_exec::ExecConfig::default()
     }
 }
@@ -388,6 +412,8 @@ pub fn setup_scaled(workload: &Workload, scale: f64) -> Database {
     let mut db = generate(&config).expect("data generation");
     db.analyze();
     workload.install(&mut db).expect("workload install");
+    // See `setup`: the legacy benches run with the cross-query memo off.
+    db.set_udf_memo_capacity(0);
     db
 }
 
@@ -1283,6 +1309,455 @@ pub fn check_against_baseline(
     }
 }
 
+// ------------------------------------------------------------ UDF invocation runtime
+
+/// One arm of a UDF-runtime comparison: wall clock plus the executor's invocation
+/// accounting for the run the timing came from.
+#[derive(Debug, Clone)]
+pub struct UdfArmStats {
+    pub duration: Duration,
+    pub invocations: u64,
+    pub memo_hits: u64,
+    pub dedup_hits: u64,
+    pub batch_evals: u64,
+}
+
+impl UdfArmStats {
+    /// Fraction of UDF calls answered from a cache instead of evaluating the body.
+    pub fn hit_rate(&self) -> f64 {
+        let calls = self.invocations + self.memo_hits + self.dedup_hits;
+        if calls == 0 {
+            return 0.0;
+        }
+        (self.memo_hits + self.dedup_hits) as f64 / calls as f64
+    }
+}
+
+/// Runtime-on vs runtime-off latency of one workload query under both strategies.
+#[derive(Debug, Clone)]
+pub struct UdfRuntimeComparison {
+    pub key: String,
+    pub workload: String,
+    pub invocations: usize,
+    pub iterative_off: UdfArmStats,
+    pub iterative_on: UdfArmStats,
+    pub decorrelated_off: UdfArmStats,
+    pub decorrelated_on: UdfArmStats,
+    pub runs: usize,
+}
+
+impl UdfRuntimeComparison {
+    pub fn iterative_speedup(&self) -> f64 {
+        self.iterative_off.duration.as_secs_f64()
+            / self.iterative_on.duration.as_secs_f64().max(1e-9)
+    }
+
+    pub fn decorrelated_speedup(&self) -> f64 {
+        self.decorrelated_off.duration.as_secs_f64()
+            / self.decorrelated_on.duration.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Both arms run at the same (parallel) pool size so the comparison isolates the
+/// invocation runtime itself; with a serial executor the batch pre-pass — which fans
+/// distinct argument tuples onto the worker pool — would never engage.
+fn udf_arm_options(base: &QueryOptions, enabled: bool) -> QueryOptions {
+    QueryOptions {
+        exec_config: Some(decorr_exec::ExecConfig {
+            parallelism: 4,
+            morsel_size: 16,
+            udf_batching: enabled,
+            udf_memoization: enabled,
+            ..decorr_exec::ExecConfig::default()
+        }),
+        ..base.clone()
+    }
+}
+
+/// Times one strategy with the UDF runtime on or off, as the minimum over `runs`
+/// repetitions, returning the rows for the caller's byte-identity check.
+fn measure_udf_arm(
+    db: &Database,
+    sql: &str,
+    base: &QueryOptions,
+    enabled: bool,
+    runs: usize,
+) -> (UdfArmStats, Vec<decorr_common::Row>) {
+    let options = udf_arm_options(base, enabled);
+    let mut best: Option<UdfArmStats> = None;
+    let mut rows = vec![];
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let result = db.query_with(sql, &options).expect("udf bench execution");
+        let arm = arm_stats(&result, start.elapsed());
+        if best.as_ref().is_none_or(|b| arm.duration < b.duration) {
+            best = Some(arm);
+        }
+        rows = result.rows;
+    }
+    (best.expect("at least one run"), rows)
+}
+
+fn arm_stats(result: &decorr_engine::QueryResult, duration: Duration) -> UdfArmStats {
+    UdfArmStats {
+        duration,
+        invocations: result.exec_stats.udf_invocations,
+        memo_hits: result.exec_stats.udf_memo_hits,
+        dedup_hits: result.exec_stats.udf_dedup_hits,
+        batch_evals: result.exec_stats.udf_batch_evals,
+    }
+}
+
+/// Measures one paper workload with the invocation runtime off vs on, both
+/// strategies, asserting that the runtime never changes a byte of the output.
+/// The off arms run first so they cannot be served by a warmed memo.
+pub fn measure_udf_runtime(
+    key: &str,
+    workload: &Workload,
+    customers: usize,
+    invocations: usize,
+    runs: usize,
+) -> UdfRuntimeComparison {
+    let mut db = setup(workload, customers);
+    // `setup` switches the cross-query memo off for the legacy benches; this bench
+    // measures it, so restore the engine's default capacity.
+    db.set_udf_memo_capacity(8192);
+    let sql = (workload.query)(invocations);
+    let (iterative_off, iter_off_rows) =
+        measure_udf_arm(&db, &sql, &QueryOptions::iterative(), false, runs);
+    let (decorrelated_off, dec_off_rows) =
+        measure_udf_arm(&db, &sql, &QueryOptions::decorrelated(), false, runs);
+    let (iterative_on, iter_on_rows) =
+        measure_udf_arm(&db, &sql, &QueryOptions::iterative(), true, runs);
+    let (decorrelated_on, dec_on_rows) =
+        measure_udf_arm(&db, &sql, &QueryOptions::decorrelated(), true, runs);
+    assert_eq!(
+        iter_off_rows, iter_on_rows,
+        "{key}: the UDF runtime changed the iterative plan's rows"
+    );
+    assert_eq!(
+        dec_off_rows, dec_on_rows,
+        "{key}: the UDF runtime changed the decorrelated plan's rows"
+    );
+    UdfRuntimeComparison {
+        key: key.to_string(),
+        workload: workload.name.to_string(),
+        invocations,
+        iterative_off,
+        iterative_on,
+        decorrelated_off,
+        decorrelated_on,
+        runs: runs.max(1),
+    }
+}
+
+/// One point of the distinct-argument-ratio sweep: `rows` probe tuples drawing their
+/// UDF argument from `distinct_args` distinct values.
+#[derive(Debug, Clone)]
+pub struct RepeatedArgPoint {
+    pub distinct_ratio: f64,
+    pub rows: usize,
+    pub distinct_args: usize,
+    pub off: UdfArmStats,
+    pub on: UdfArmStats,
+}
+
+impl RepeatedArgPoint {
+    pub fn speedup(&self) -> f64 {
+        self.off.duration.as_secs_f64() / self.on.duration.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Builds the repeated-argument workload: a `probes` table whose `grp` column takes
+/// `distinct_args` distinct values, and a pure data-dependent UDF whose body scans an
+/// unindexed `items` table — expensive enough per call that evaluation cost, not
+/// call dispatch, dominates.
+pub fn repeated_arg_db(rows: usize, distinct_args: usize, items: usize) -> Database {
+    let mut db = Database::new();
+    db.execute(
+        "create table items(id int not null, grp int, val float); \
+         create table probes(id int not null, grp int)",
+    )
+    .expect("repeated-arg schema");
+    let mut rng = decorr_common::SmallRng::seed_from_u64(0x5eed_0dfb);
+    let item_rows: Vec<decorr_common::Row> = (0..items)
+        .map(|i| {
+            decorr_common::Row::new(vec![
+                decorr_common::Value::Int(i as i64),
+                decorr_common::Value::Int(rng.gen_range_i64(0, distinct_args.max(1) as i64)),
+                decorr_common::Value::Float(rng.gen_range_f64(1.0, 100.0)),
+            ])
+        })
+        .collect();
+    db.load_rows("items", item_rows).expect("items load");
+    let probe_rows: Vec<decorr_common::Row> = (0..rows)
+        .map(|i| {
+            decorr_common::Row::new(vec![
+                decorr_common::Value::Int(i as i64),
+                decorr_common::Value::Int(rng.gen_range_i64(0, distinct_args.max(1) as i64)),
+            ])
+        })
+        .collect();
+    db.load_rows("probes", probe_rows).expect("probes load");
+    db.register_function(
+        "create function group_score(int g) returns float as \
+         begin \
+           float total; \
+           select sum(val) into :total from items where grp = :g; \
+           if (total > 0) return total; \
+           return 0.0; \
+         end",
+    )
+    .expect("group_score registration");
+    db.analyze();
+    db
+}
+
+/// Measures one distinct-argument ratio of the repeated-argument workload on the
+/// forced-iterative plan (the plan shape the runtime exists to rescue), asserting
+/// byte-identical rows between the arms.
+pub fn measure_repeated_args(
+    rows: usize,
+    distinct_ratio: f64,
+    items: usize,
+    runs: usize,
+) -> RepeatedArgPoint {
+    let distinct_args = ((rows as f64 * distinct_ratio).round() as usize).max(1);
+    let mut db = repeated_arg_db(rows, distinct_args, items);
+    let sql = "select id, grp, group_score(grp) as score from probes";
+    let base = QueryOptions::iterative();
+    let (off, off_rows) = measure_udf_arm(&db, sql, &base, false, runs);
+    // Cold-memo arm: this sweep exists to show the *within-query* dedup effect of
+    // the distinct-argument ratio, so the cross-query memo is emptied before every
+    // repetition — otherwise every run after the first is pure memo hits and every
+    // ratio measures the same (flat) thing.
+    let options = udf_arm_options(&base, true);
+    let mut best: Option<UdfArmStats> = None;
+    let mut on_rows = vec![];
+    for _ in 0..runs.max(1) {
+        db.set_udf_memo_capacity(8192);
+        let start = Instant::now();
+        let result = db.query_with(sql, &options).expect("udf bench execution");
+        let arm = arm_stats(&result, start.elapsed());
+        if best.as_ref().is_none_or(|b| arm.duration < b.duration) {
+            best = Some(arm);
+        }
+        on_rows = result.rows;
+    }
+    let on = best.expect("at least one run");
+    assert_eq!(
+        off_rows, on_rows,
+        "ratio {distinct_ratio}: the UDF runtime changed the workload's rows"
+    );
+    RepeatedArgPoint {
+        distinct_ratio,
+        rows,
+        distinct_args,
+        off,
+        on,
+    }
+}
+
+fn udf_arm_json(arm: &UdfArmStats) -> Json {
+    Json::obj(vec![
+        ("ms", Json::num(arm.duration.as_secs_f64() * 1e3)),
+        ("invocations", Json::num(arm.invocations as f64)),
+        ("memo_hits", Json::num(arm.memo_hits as f64)),
+        ("dedup_hits", Json::num(arm.dedup_hits as f64)),
+        ("batch_evals", Json::num(arm.batch_evals as f64)),
+        ("hit_rate", Json::num(arm.hit_rate())),
+    ])
+}
+
+/// Assembles the machine-readable `BENCH_udf.json` document. The headline numbers
+/// the gate reads are the repeated-argument sweep's best iterative speedup and that
+/// point's cache hit rate (the hit rate is deterministic: it counts calls, not time).
+pub fn udf_bench_json(
+    mode: &str,
+    comparisons: &[UdfRuntimeComparison],
+    sweep: &[RepeatedArgPoint],
+) -> Json {
+    let experiments = comparisons
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("key", Json::str(&c.key)),
+                ("workload", Json::str(&c.workload)),
+                ("invocations", Json::num(c.invocations as f64)),
+                ("runs", Json::num(c.runs as f64)),
+                ("iterative_off", udf_arm_json(&c.iterative_off)),
+                ("iterative_on", udf_arm_json(&c.iterative_on)),
+                ("iterative_speedup", Json::num(c.iterative_speedup())),
+                ("decorrelated_off", udf_arm_json(&c.decorrelated_off)),
+                ("decorrelated_on", udf_arm_json(&c.decorrelated_on)),
+                ("decorrelated_speedup", Json::num(c.decorrelated_speedup())),
+            ])
+        })
+        .collect();
+    let sweep_json = sweep
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("distinct_ratio", Json::num(p.distinct_ratio)),
+                ("rows", Json::num(p.rows as f64)),
+                ("distinct_args", Json::num(p.distinct_args as f64)),
+                ("off", udf_arm_json(&p.off)),
+                ("on", udf_arm_json(&p.on)),
+                ("speedup", Json::num(p.speedup())),
+            ])
+        })
+        .collect();
+    let headline = sweep
+        .iter()
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()));
+    let (headline_speedup, headline_hit_rate, headline_ratio) = headline
+        .map(|p| (p.speedup(), p.on.hit_rate(), p.distinct_ratio))
+        .unwrap_or((0.0, 0.0, 1.0));
+    Json::obj(vec![
+        ("schema_version", Json::num(1.0)),
+        ("mode", Json::str(mode)),
+        ("experiments", Json::Arr(experiments)),
+        ("repeated_args", Json::Arr(sweep_json)),
+        (
+            "overall",
+            Json::obj(vec![
+                ("headline_speedup", Json::num(headline_speedup)),
+                ("headline_hit_rate", Json::num(headline_hit_rate)),
+                ("headline_distinct_ratio", Json::num(headline_ratio)),
+            ]),
+        ),
+    ])
+}
+
+/// Thresholds for [`check_udf_against_baseline`].
+#[derive(Debug, Clone)]
+pub struct UdfGateConfig {
+    /// The improvement invariant: the repeated-argument workload's best iterative
+    /// speedup (runtime on vs off) must reach at least this factor.
+    pub min_speedup: f64,
+    /// That same point's cache hit rate must reach this fraction. Hit rates count
+    /// calls, not time, so this leg of the gate is machine-independent.
+    pub min_hit_rate: f64,
+    /// Fail when the headline speedup drops below `baseline / factor`.
+    pub regression_factor: f64,
+}
+
+impl Default for UdfGateConfig {
+    fn default() -> Self {
+        UdfGateConfig {
+            min_speedup: 5.0,
+            min_hit_rate: 0.8,
+            regression_factor: 2.0,
+        }
+    }
+}
+
+/// Compares a fresh `BENCH_udf.json` against the committed baseline. Three gates:
+/// the improvement invariant (headline speedup ≥ `min_speedup` and headline hit rate
+/// ≥ `min_hit_rate`), a regression gate on the headline speedup vs the baseline, and
+/// baseline-key presence (a bench refactor must not silently un-gate a workload).
+pub fn check_udf_against_baseline(
+    current: &Json,
+    baseline: &Json,
+    config: &UdfGateConfig,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut report = vec![];
+    let mut failures = vec![];
+    let current_mode = current.get("mode").and_then(Json::as_str);
+    let baseline_mode = baseline.get("mode").and_then(Json::as_str);
+    if let (Some(current_mode), Some(baseline_mode)) = (current_mode, baseline_mode) {
+        if current_mode != baseline_mode {
+            failures.push(format!(
+                "bench mode mismatch: current run is '{current_mode}' but the baseline \
+                 is '{baseline_mode}' — regenerate the baseline in the same mode"
+            ));
+        }
+    }
+    let overall = |doc: &Json, field: &str| -> Option<f64> {
+        doc.get("overall")
+            .and_then(|o| o.get(field))
+            .and_then(Json::as_f64)
+    };
+    match (
+        overall(current, "headline_speedup"),
+        overall(current, "headline_hit_rate"),
+    ) {
+        (Some(speedup), Some(hit_rate)) => {
+            if speedup < config.min_speedup {
+                failures.push(format!(
+                    "improvement invariant violated: headline speedup {speedup:.1}x is \
+                     below the required {:.1}x",
+                    config.min_speedup
+                ));
+            } else {
+                report.push(format!(
+                    "improvement invariant: headline speedup {speedup:.1}x \
+                     (required {:.1}x) — ok",
+                    config.min_speedup
+                ));
+            }
+            if hit_rate < config.min_hit_rate {
+                failures.push(format!(
+                    "headline cache hit rate {hit_rate:.3} is below the required {:.2}",
+                    config.min_hit_rate
+                ));
+            } else {
+                report.push(format!(
+                    "headline cache hit rate {hit_rate:.3} (required {:.2}) — ok",
+                    config.min_hit_rate
+                ));
+            }
+            match overall(baseline, "headline_speedup") {
+                None => report.push("no baseline headline_speedup; gate skipped".into()),
+                Some(base) => {
+                    let floor = base / config.regression_factor;
+                    if speedup < floor {
+                        failures.push(format!(
+                            "headline speedup {speedup:.1}x regressed more than {:.1}x \
+                             against the baseline {base:.1}x",
+                            config.regression_factor
+                        ));
+                    } else {
+                        report.push(format!(
+                            "headline speedup {speedup:.1}x (baseline {base:.1}x, floor \
+                             {floor:.1}x) — ok"
+                        ));
+                    }
+                }
+            }
+        }
+        _ => failures.push("current bench JSON is missing the overall headline summary".into()),
+    }
+    let empty: &[Json] = &[];
+    let current_experiments = current
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .unwrap_or(empty);
+    for baseline_experiment in baseline
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .unwrap_or(empty)
+    {
+        let key = baseline_experiment
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        if !current_experiments
+            .iter()
+            .any(|c| c.get("key").and_then(Json::as_str) == Some(key))
+        {
+            failures.push(format!(
+                "{key}: present in the baseline but missing from the current bench output"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1611,6 +2086,97 @@ mod tests {
         };
         let failures =
             check_stats_against_baseline(&doc(8.0, 1.2), &with_exp(baseline), &config).unwrap_err();
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("missing from the current")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn udf_runtime_bench_measures_dedup_wins() {
+        let point = measure_repeated_args(60, 0.1, 200, 1);
+        assert_eq!(point.distinct_args, 6);
+        assert!(
+            point.on.hit_rate() > 0.5,
+            "6 distinct args over 60 probes must mostly hit the caches: {point:?}"
+        );
+        assert!(
+            point.off.memo_hits + point.off.dedup_hits == 0,
+            "the off arm must not touch the caches: {point:?}"
+        );
+        let doc = udf_bench_json("test", &[], &[point]);
+        let parsed = Json::parse(&doc.render()).unwrap();
+        let overall = parsed.get("overall").unwrap();
+        assert!(overall.get("headline_speedup").unwrap().as_f64().unwrap() > 0.0);
+        assert!(overall.get("headline_hit_rate").unwrap().as_f64().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn udf_gate_passes_clean_runs_and_fails_regressions() {
+        fn doc(speedup: f64, hit_rate: f64) -> Json {
+            Json::obj(vec![
+                ("mode", Json::str("smoke")),
+                ("experiments", Json::Arr(vec![])),
+                (
+                    "overall",
+                    Json::obj(vec![
+                        ("headline_speedup", Json::num(speedup)),
+                        ("headline_hit_rate", Json::num(hit_rate)),
+                    ]),
+                ),
+            ])
+        }
+        let config = UdfGateConfig::default();
+        let baseline = doc(100.0, 0.99);
+        assert!(check_udf_against_baseline(&doc(80.0, 0.99), &baseline, &config).is_ok());
+        // Below the 5x improvement invariant: fail regardless of the baseline.
+        let failures = check_udf_against_baseline(&doc(4.0, 0.99), &baseline, &config).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("improvement invariant")),
+            "{failures:?}"
+        );
+        // Hit-rate collapse fails even with a fine speedup.
+        let failures = check_udf_against_baseline(&doc(80.0, 0.5), &baseline, &config).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("hit rate")),
+            "{failures:?}"
+        );
+        // Above the invariant but below baseline/2: regression.
+        let failures =
+            check_udf_against_baseline(&doc(30.0, 0.99), &baseline, &config).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("regressed")),
+            "{failures:?}"
+        );
+        // Mode mismatch is always a failure.
+        let mut full = doc(80.0, 0.99);
+        if let Json::Obj(entries) = &mut full {
+            entries.insert("mode".to_string(), Json::str("full"));
+        }
+        let failures = check_udf_against_baseline(&full, &baseline, &config).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("mode mismatch")),
+            "{failures:?}"
+        );
+        // A baseline experiment missing from the current run fails.
+        let with_exp = Json::obj(vec![
+            ("mode", Json::str("smoke")),
+            (
+                "experiments",
+                Json::Arr(vec![Json::obj(vec![("key", Json::str("experiment2"))])]),
+            ),
+            (
+                "overall",
+                Json::obj(vec![
+                    ("headline_speedup", Json::num(100.0)),
+                    ("headline_hit_rate", Json::num(0.99)),
+                ]),
+            ),
+        ]);
+        let failures =
+            check_udf_against_baseline(&doc(80.0, 0.99), &with_exp, &config).unwrap_err();
         assert!(
             failures
                 .iter()

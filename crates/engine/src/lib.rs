@@ -7,12 +7,16 @@
 //! operators → (cost-based) choice between the iterative and the decorrelated plan →
 //! execute.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use decorr_algebra::display::explain;
 use decorr_algebra::RelExpr;
 use decorr_common::{Error, Result, Row, Schema, Value};
-use decorr_exec::{CatalogProvider, Env, ExecConfig, Executor, WorkerPool, WorkerPoolStats};
+use decorr_exec::{
+    CatalogProvider, Env, ExecConfig, Executor, UdfMemo, UdfMemoStats, UdfRuntimeHint, WorkerPool,
+    WorkerPoolStats,
+};
 use decorr_optimizer::{
     estimate_per_node, estimate_with, estimated_udf_invocation_cost, plan_fingerprint, CostParams,
     FeedbackConfig, FeedbackStats, FeedbackStore, OptimizeMode, OptimizeOutcome, PassManager,
@@ -181,7 +185,7 @@ pub enum ExecutionSummary {
 /// `'static` jobs to those long-lived workers; mutation goes through
 /// [`Arc::make_mut`] (copy-on-write only if an in-flight query still holds the
 /// previous snapshot).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     catalog: Arc<Catalog>,
     registry: Arc<FunctionRegistry>,
@@ -191,9 +195,20 @@ pub struct Database {
     /// Runtime feedback: learned UDF invocation costs and recorded estimate-vs-actual
     /// cardinalities, folded in after every query (see [`Database::run_plan`]).
     feedback: Arc<FeedbackStore>,
+    /// Cross-query memo of pure-UDF results, shared by every query's executor and
+    /// invalidated whenever the registry or the catalog (schema *or* data) changes.
+    udf_memo: Arc<UdfMemo>,
     /// Configuration `ANALYZE` runs with (sample size, bucket/MCV counts, seed).
     analyze_config: AnalyzeConfig,
 }
+
+/// Default capacity (distinct argument tuples) of the cross-query pure-UDF memo.
+const DEFAULT_UDF_MEMO_CAPACITY: usize = 8192;
+
+/// Capacity of the per-query dedup cache attached when `ExecConfig::udf_batching` is
+/// on. Generous: it only lives for one query, and batched Apply loops can touch many
+/// distinct argument tuples.
+const UDF_DEDUP_CAPACITY: usize = 65536;
 
 impl Clone for Database {
     /// Clones the data and functions but gives the clone a **fresh, empty** plan cache
@@ -211,8 +226,17 @@ impl Clone for Database {
             // A fresh feedback store, like the fresh plan cache: the clone's workload
             // diverges, so its measurements must not mix with the original's.
             feedback: Arc::new(FeedbackStore::with_config(self.feedback.config().clone())),
+            // A fresh memo too: the clone's registry/catalog generations diverge from
+            // the original's, so shared entries could serve results across epochs.
+            udf_memo: Arc::new(UdfMemo::with_capacity(self.udf_memo.capacity())),
             analyze_config: self.analyze_config.clone(),
         }
+    }
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
     }
 }
 
@@ -225,6 +249,7 @@ impl Database {
             plan_cache: Arc::new(PlanCache::new()),
             worker_pool: Arc::new(WorkerPool::new(0)),
             feedback: Arc::new(FeedbackStore::new()),
+            udf_memo: Arc::new(UdfMemo::with_capacity(DEFAULT_UDF_MEMO_CAPACITY)),
             analyze_config: AnalyzeConfig::default(),
         }
     }
@@ -242,6 +267,19 @@ impl Database {
     /// (0 disables plan caching).
     pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
         self.plan_cache = Arc::new(PlanCache::with_capacity(capacity));
+    }
+
+    /// Replaces the cross-query pure-UDF memo with an empty one holding at most
+    /// `capacity` distinct argument tuples. `0` disables memoization entirely (the
+    /// per-query dedup cache controlled by `ExecConfig::udf_batching` is unaffected).
+    pub fn set_udf_memo_capacity(&mut self, capacity: usize) {
+        self.udf_memo = Arc::new(UdfMemo::with_capacity(capacity));
+    }
+
+    /// Counter snapshot of the cross-query pure-UDF memo
+    /// (hits/misses/insertions/evictions/invalidations/entries).
+    pub fn udf_memo_stats(&self) -> UdfMemoStats {
+        self.udf_memo.stats()
     }
 
     /// Sets the executor worker-pool size for subsequent queries. `1` (the default)
@@ -597,6 +635,14 @@ impl Database {
                 outcome.notes.join("; ")
             )));
         }
+        // The memo epoch uses the *base* registry generation: the per-query aux
+        // aggregate clone below registers aggregates (bumping the clone's generation)
+        // without changing any scalar UDF a memoized result could depend on.
+        let memo_epoch = (
+            self.registry.generation(),
+            self.catalog.ddl_generation(),
+            self.catalog.data_generation(),
+        );
         // Register auxiliary aggregates in a per-query copy of the registry; plans
         // without auxiliary aggregates (the common case) share the engine's registry
         // snapshot without copying it.
@@ -610,12 +656,44 @@ impl Database {
             Arc::new(registry)
         };
         // Attach the database's persistent pool: worker threads outlive this query.
-        let executor = Executor::with_config(
+        let mut executor = Executor::with_config(
             Arc::clone(&self.catalog),
             effective_registry,
             config.clone(),
         )
         .with_worker_pool(Arc::clone(&self.worker_pool));
+        if config.udf_memoization && self.udf_memo.is_enabled() {
+            self.udf_memo.ensure_epoch(memo_epoch);
+            executor = executor.with_udf_memo(Arc::clone(&self.udf_memo));
+        }
+        if config.udf_batching {
+            executor =
+                executor.with_udf_dedup(Arc::new(UdfMemo::with_capacity(UDF_DEDUP_CAPACITY)));
+        }
+        if config.cost_ordered_predicates {
+            let mut hints: BTreeMap<String, UdfRuntimeHint> = BTreeMap::new();
+            for (name, mean_seconds) in self.feedback.udf_mean_seconds() {
+                hints.insert(
+                    name,
+                    UdfRuntimeHint {
+                        mean_seconds,
+                        selectivity: 0.5,
+                    },
+                );
+            }
+            for (name, selectivity) in self.feedback.udf_selectivities() {
+                hints
+                    .entry(name)
+                    .and_modify(|hint| hint.selectivity = selectivity)
+                    .or_insert(UdfRuntimeHint {
+                        mean_seconds: 1e-4,
+                        selectivity,
+                    });
+            }
+            if !hints.is_empty() {
+                executor = executor.with_udf_hints(Arc::new(hints));
+            }
+        }
         let result_set = executor.execute(&outcome.plan)?;
         let (estimated_rows, cardinality_q_error, udf_timings) =
             self.fold_feedback(plan, &outcome, &result_set, &executor, config.parallelism);
@@ -674,6 +752,9 @@ impl Database {
         for timing in &udf_timings {
             let static_units =
                 estimated_udf_invocation_cost(&timing.name, &self.catalog, &self.registry, &params);
+            // `timing.invocations` counts *evaluated* calls only — memo/dedup hits
+            // are recorded separately so learned per-call costs don't drift to zero
+            // as the caches warm up.
             let cost_q = self.feedback.record_udf_timing(
                 &timing.name,
                 timing.invocations,
@@ -682,6 +763,15 @@ impl Database {
                 params.row_op_seconds,
             );
             worst_q = worst_q.max(cost_q);
+            self.feedback
+                .record_udf_dedup(&timing.name, timing.invocations, timing.hits);
+        }
+        for selectivity in executor.udf_selectivity_snapshot() {
+            self.feedback.record_udf_predicate(
+                &selectivity.name,
+                selectivity.evaluated,
+                selectivity.passed,
+            );
         }
         if self.feedback.flag_for_invalidation(fingerprint, worst_q) {
             self.plan_cache.invalidate_fingerprint(fingerprint);
@@ -759,6 +849,7 @@ impl Database {
         out.push_str("\n== execution ==\n");
         out.push_str(&format!(
             "rows={} parallelism={} · scanned={} index-lookups={} udf-invocations={} \
+             udf-memo-hits={} udf-dedup-hits={} udf-batched={} \
              subqueries={} hash-joins={} nl-joins={} morsels={} pipelined-ops={} \
              pool-spawns={}\n",
             result.rows.len(),
@@ -766,6 +857,9 @@ impl Database {
             result.exec_stats.rows_scanned,
             result.exec_stats.index_lookups,
             result.exec_stats.udf_invocations,
+            result.exec_stats.udf_memo_hits,
+            result.exec_stats.udf_dedup_hits,
+            result.exec_stats.udf_batch_evals,
             result.exec_stats.subqueries_executed,
             result.exec_stats.hash_joins,
             result.exec_stats.nested_loop_joins,
@@ -810,9 +904,10 @@ impl Database {
         ));
         for timing in &result.udf_timings {
             out.push_str(&format!(
-                "udf {}: {} invocation(s), mean {:.3} ms\n",
+                "udf {}: {} invocation(s), {} cache hit(s), mean {:.3} ms\n",
                 timing.name,
                 timing.invocations,
+                timing.hits,
                 timing.mean().as_secs_f64() * 1e3,
             ));
         }

@@ -3,7 +3,7 @@
 //! (operator-fusing) path that streams each morsel through adjacent
 //! scan→filter→project chains in one task — all selected by [`ExecConfig`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 
@@ -11,16 +11,19 @@ use decorr_algebra::schema::{expr_type, infer_schema};
 use decorr_algebra::{
     AggCall, AggFunc, ApplyKind, BinaryOp, ColumnRef, JoinKind, ProjectItem, RelExpr, ScalarExpr,
 };
-use decorr_common::{value::GroupKey, Column, DataType, Error, Result, Row, Schema, Value};
+use decorr_common::{
+    normalize_ident, value::GroupKey, Column, DataType, Error, Result, Row, Schema, Value,
+};
 use decorr_storage::Catalog;
 use decorr_udf::FunctionRegistry;
 
 use crate::aggregate::BuiltinAccumulator;
 use crate::env::Env;
+use crate::memo::{fingerprint_invocation, UdfMemo};
 use crate::parallel::WorkerPool;
 use crate::stats::{
-    AtomicExecStats, CardinalityCollector, ExecTrace, NodeCardinality, TraceCollector, UdfTiming,
-    UdfTimingCollector,
+    AtomicExecStats, CardinalityCollector, ExecTrace, NodeCardinality, TraceCollector,
+    UdfSelectivity, UdfSelectivityCollector, UdfTiming, UdfTimingCollector,
 };
 use crate::CatalogProvider;
 
@@ -64,6 +67,22 @@ pub struct ExecConfig {
     /// this is the estimate-vs-actual diagnostic used by `EXPLAIN ANALYZE`, the stats
     /// bench and accuracy tests, and fingerprinting every node would tax the hot path.
     pub collect_cardinalities: bool,
+    /// Batched + deduplicated UDF invocation: parallel filters/projections over
+    /// pure-UDF sites first collect the distinct argument tuples of a morsel batch,
+    /// evaluate each distinct tuple once on the worker pool, and let per-row
+    /// evaluation pick the results out of the per-query dedup cache. The engine also
+    /// keys the per-query dedup cache on this flag. Results are byte-identical either
+    /// way; this only changes how many times a pure UDF body runs.
+    pub udf_batching: bool,
+    /// Cross-query memoization of pure-UDF results through the database-owned memo
+    /// cache. The engine attaches the memo only when this is on.
+    pub udf_memoization: bool,
+    /// Reorder the UDF-bearing conjuncts of a filter by measured cost / observed
+    /// selectivity (cheapest-most-selective first), short-circuiting the rest of the
+    /// conjunction. Applies only when every UDF in the conjunction is pure; kept rows
+    /// are identical under SQL three-valued logic, though *which* conjunct surfaces a
+    /// runtime error first can change.
+    pub cost_ordered_predicates: bool,
 }
 
 impl Default for ExecConfig {
@@ -76,6 +95,9 @@ impl Default for ExecConfig {
             morsel_size: 1024,
             pipeline_fusion: true,
             collect_cardinalities: false,
+            udf_batching: true,
+            udf_memoization: true,
+            cost_ordered_predicates: true,
         }
     }
 }
@@ -185,10 +207,33 @@ pub struct Executor {
     /// Measured wall-clock per UDF invocation (always on; the engine's feedback loop
     /// reads this after every query).
     pub(crate) udf_timings: Arc<UdfTimingCollector>,
+    /// Observed pass/fail outcomes of UDF-bearing conjuncts (populated by the
+    /// cost-ordered filter path; the engine folds it into the feedback store).
+    pub(crate) udf_selectivity: Arc<UdfSelectivityCollector>,
+    /// Database-owned cross-query memo for pure-UDF results (attached by the engine
+    /// when `ExecConfig::udf_memoization` is on; checked first on every pure call).
+    pub(crate) memo: Option<Arc<UdfMemo>>,
+    /// Per-query dedup cache for pure-UDF results: repeated argument tuples within
+    /// one execution evaluate once. Also the hand-off buffer of the batched
+    /// invocation path (batch evaluation fills it, per-row evaluation drains it).
+    pub(crate) dedup: Option<Arc<UdfMemo>>,
+    /// Learned per-UDF runtime profile (mean evaluation cost, observed predicate
+    /// selectivity) used to order UDF conjuncts; from the engine's feedback store.
+    pub(crate) udf_hints: Arc<BTreeMap<String, UdfRuntimeHint>>,
     /// The worker pool parallel operators dispatch to: the engine-attached shared pool
     /// (persistent across queries) when present, otherwise a pool created lazily for
     /// this executor and dropped with it.
     pool: OnceLock<Arc<WorkerPool>>,
+}
+
+/// Learned runtime profile of one UDF, fed from the engine's feedback store into the
+/// executor's cost-ordered predicate evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct UdfRuntimeHint {
+    /// Mean measured wall-clock of one *evaluated* invocation, in seconds.
+    pub mean_seconds: f64,
+    /// Observed fraction of rows passing the UDF-bearing conjunct (0.0–1.0).
+    pub selectivity: f64,
 }
 
 impl Executor {
@@ -209,6 +254,10 @@ impl Executor {
             trace: Arc::new(TraceCollector::default()),
             cardinalities: Arc::new(CardinalityCollector::default()),
             udf_timings: Arc::new(UdfTimingCollector::default()),
+            udf_selectivity: Arc::new(UdfSelectivityCollector::default()),
+            memo: None,
+            dedup: None,
+            udf_hints: Arc::new(BTreeMap::new()),
             pool: OnceLock::new(),
         }
     }
@@ -218,6 +267,28 @@ impl Executor {
     /// attached pool lazily create their own on first parallel dispatch.
     pub fn with_worker_pool(self, pool: Arc<WorkerPool>) -> Executor {
         let _ = self.pool.set(pool);
+        self
+    }
+
+    /// Attaches the database-owned cross-query memo cache (builder style). The engine
+    /// flushes the memo's epoch before attaching, so everything resident is valid for
+    /// the current registry/catalog state.
+    pub fn with_udf_memo(mut self, memo: Arc<UdfMemo>) -> Executor {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Attaches a per-query dedup cache (builder style): repeated pure-UDF argument
+    /// tuples within this execution evaluate once.
+    pub fn with_udf_dedup(mut self, dedup: Arc<UdfMemo>) -> Executor {
+        self.dedup = Some(dedup);
+        self
+    }
+
+    /// Attaches learned per-UDF runtime hints for cost-ordered predicate evaluation
+    /// (builder style).
+    pub fn with_udf_hints(mut self, hints: Arc<BTreeMap<String, UdfRuntimeHint>>) -> Executor {
+        self.udf_hints = hints;
         self
     }
 
@@ -242,6 +313,10 @@ impl Executor {
             trace: Arc::clone(&self.trace),
             cardinalities: Arc::clone(&self.cardinalities),
             udf_timings: Arc::clone(&self.udf_timings),
+            udf_selectivity: Arc::clone(&self.udf_selectivity),
+            memo: self.memo.clone(),
+            dedup: self.dedup.clone(),
+            udf_hints: Arc::clone(&self.udf_hints),
             pool: OnceLock::new(),
         }
     }
@@ -272,6 +347,12 @@ impl Executor {
     /// performed (empty for set-oriented executions, which invoke no UDFs).
     pub fn udf_timing_snapshot(&self) -> Vec<UdfTiming> {
         self.udf_timings.snapshot()
+    }
+
+    /// Observed pass/fail outcomes of UDF-bearing conjuncts (populated only by the
+    /// cost-ordered filter path; the engine folds it into the feedback store).
+    pub fn udf_selectivity_snapshot(&self) -> Vec<UdfSelectivity> {
+        self.udf_selectivity.snapshot()
     }
 
     /// Executes a plan with no outer context.
@@ -457,22 +538,30 @@ impl Executor {
             }
         }
         let input_rs = self.execute_with_env(input, outer)?;
+        let filter = self.prepare_filter(predicate);
         if self.should_parallelize(input_rs.rows.len()) {
             let schema = input_rs.schema.clone();
             let source = Arc::new(input_rs.rows);
+            self.batch_eval_udf_calls(
+                &filter.strict_roots(),
+                BatchSource::Rows(Arc::clone(&source)),
+                &schema,
+                outer,
+            )?;
             let chunks = {
                 let source = Arc::clone(&source);
                 let schema = schema.clone();
-                let predicate = predicate.clone();
                 let outer = outer.clone();
                 self.run_morsels("filter", 0, source.len(), move |view, range| {
                     let mut kept = vec![];
+                    let mut outcomes = filter.counters();
                     for row in &source[range] {
                         let env = Env::with_row(schema.clone(), row.clone()).nested_in(&outer);
-                        if view.eval_predicate(&predicate, &env)? {
+                        if filter.eval(view, &env, &mut outcomes)? {
                             kept.push(row.clone());
                         }
                     }
+                    filter.flush(view, &outcomes);
                     Ok(kept)
                 })?
             };
@@ -482,12 +571,14 @@ impl Executor {
             });
         }
         let mut rows = vec![];
+        let mut outcomes = filter.counters();
         for row in input_rs.rows {
             let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
-            if self.eval_predicate(predicate, &env)? {
+            if filter.eval(self, &env, &mut outcomes)? {
                 rows.push(row);
             }
         }
+        filter.flush(self, &outcomes);
         Ok(ResultSet {
             schema: input_rs.schema,
             rows,
@@ -606,6 +697,13 @@ impl Executor {
             // *iterative* execution style.
             let input_schema = input_rs.schema.clone();
             let source = Arc::new(input_rs.rows);
+            let roots: Vec<&ScalarExpr> = items.iter().map(|item| &item.expr).collect();
+            self.batch_eval_udf_calls(
+                &roots,
+                BatchSource::Rows(Arc::clone(&source)),
+                &input_schema,
+                outer,
+            )?;
             let chunks = {
                 let source = Arc::clone(&source);
                 let items = items.to_vec();
@@ -641,6 +739,237 @@ impl Executor {
             rows = dedupe_rows(rows);
         }
         Ok(ResultSet { schema, rows })
+    }
+
+    // ------------------------------------------------------------ UDF invocation runtime
+
+    /// Decides whether a filter's conjunction should be evaluated in learned cost
+    /// order. Reordering kicks in when the knob is on, the predicate has at least two
+    /// conjuncts, at least one conjunct invokes a UDF, and every UDF mentioned in the
+    /// predicate is pure — a volatile UDF keeps the plain left-to-right evaluation.
+    fn prepare_filter(&self, predicate: &ScalarExpr) -> PreparedFilter {
+        if !self.config.cost_ordered_predicates {
+            return PreparedFilter::Simple(predicate.clone());
+        }
+        let conjuncts = predicate.split_conjuncts();
+        if conjuncts.len() < 2 {
+            return PreparedFilter::Simple(predicate.clone());
+        }
+        const DEFAULT_COST: f64 = 1e-4;
+        const DEFAULT_SELECTIVITY: f64 = 0.5;
+        let mut plain = vec![];
+        let mut ranked: Vec<(f64, usize, ScalarExpr, Option<String>)> = vec![];
+        for (idx, conjunct) in conjuncts.into_iter().enumerate() {
+            let mut names = vec![];
+            collect_udf_names(&conjunct, &mut names);
+            if names.is_empty() {
+                plain.push((conjunct, None));
+                continue;
+            }
+            let all_pure = names
+                .iter()
+                .all(|n| self.registry.udf(n).map(|u| u.pure).unwrap_or(false));
+            if !all_pure {
+                return PreparedFilter::Simple(predicate.clone());
+            }
+            let cost: f64 = names
+                .iter()
+                .map(|n| {
+                    self.udf_hints
+                        .get(n)
+                        .map(|h| h.mean_seconds.max(1e-9))
+                        .unwrap_or(DEFAULT_COST)
+                })
+                .sum();
+            // Selectivity is attributed to the conjunct's first UDF; rank =
+            // cost / (1 − pass-rate) puts cheap predicates that reject many rows
+            // first and expensive ones that pass almost everything last.
+            let selectivity = self
+                .udf_hints
+                .get(&names[0])
+                .map(|h| h.selectivity.clamp(0.0, 1.0))
+                .unwrap_or(DEFAULT_SELECTIVITY);
+            let rank = cost / (1.0 - selectivity).max(0.05);
+            ranked.push((rank, idx, conjunct, Some(names[0].clone())));
+        }
+        if ranked.is_empty() {
+            return PreparedFilter::Simple(predicate.clone());
+        }
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut ordered = plain;
+        ordered.extend(
+            ranked
+                .into_iter()
+                .map(|(_, _, conjunct, name)| (conjunct, name)),
+        );
+        PreparedFilter::Ordered(ordered)
+    }
+
+    /// True when a call to `name` with these argument expressions may be pre-evaluated
+    /// by the batch pass: the UDF must be a registered pure scalar function and the
+    /// arguments must not themselves invoke UDFs or subqueries (pre-evaluating those
+    /// would duplicate real work the per-row pass repeats).
+    fn is_batchable_udf(&self, name: &str, args: &[ScalarExpr]) -> bool {
+        let Ok(udf) = self.registry.udf(name) else {
+            return false;
+        };
+        udf.pure
+            && !udf.is_table_valued()
+            && args
+                .iter()
+                .all(|a| !a.contains_udf_call() && !a.contains_subquery())
+    }
+
+    /// Collects pure-UDF call sites in *strict* position — positions the per-row
+    /// evaluation is guaranteed to reach for every row. Conditional positions (the
+    /// right operand of AND/OR, CASE branches past the first condition, COALESCE past
+    /// the first argument, subquery bodies) are skipped: eagerly pre-evaluating those
+    /// could run a UDF the plain evaluation never would.
+    fn collect_batch_sites(&self, expr: &ScalarExpr, out: &mut Vec<BatchSite>) {
+        match expr {
+            ScalarExpr::UdfCall { name, args } => {
+                if self.is_batchable_udf(name, args) {
+                    out.push(BatchSite {
+                        name: normalize_ident(name),
+                        args: args.clone(),
+                    });
+                } else {
+                    for arg in args {
+                        self.collect_batch_sites(arg, out);
+                    }
+                }
+            }
+            ScalarExpr::Binary {
+                op: BinaryOp::And | BinaryOp::Or,
+                left,
+                ..
+            } => self.collect_batch_sites(left, out),
+            ScalarExpr::Binary { left, right, .. } => {
+                self.collect_batch_sites(left, out);
+                self.collect_batch_sites(right, out);
+            }
+            ScalarExpr::Unary { expr, .. } | ScalarExpr::Cast { expr, .. } => {
+                self.collect_batch_sites(expr, out)
+            }
+            ScalarExpr::Case { branches, .. } => {
+                if let Some((condition, _)) = branches.first() {
+                    self.collect_batch_sites(condition, out);
+                }
+            }
+            ScalarExpr::Coalesce(args) => {
+                if let Some(first) = args.first() {
+                    self.collect_batch_sites(first, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The batch pre-pass of the parallel filter/project paths: collects the distinct
+    /// argument tuples of every strict pure-UDF site across the input, evaluates each
+    /// distinct tuple exactly once fanned out over the worker pool, and leaves the
+    /// results in the per-query dedup cache for the per-row pass to pick up. This is
+    /// purely an optimization: evaluation errors here are swallowed (the per-row pass
+    /// re-evaluates and surfaces them in row order) and no rows are touched.
+    fn batch_eval_udf_calls(
+        &self,
+        roots: &[&ScalarExpr],
+        source: BatchSource,
+        schema: &Schema,
+        outer: &Env,
+    ) -> Result<()> {
+        if !self.config.udf_batching
+            || !self.dedup.as_ref().is_some_and(|d| d.is_enabled())
+            || source.is_empty()
+        {
+            return Ok(());
+        }
+        let mut sites = vec![];
+        for root in roots {
+            self.collect_batch_sites(root, &mut sites);
+        }
+        if sites.is_empty() {
+            return Ok(());
+        }
+        // Pass 1: gather each morsel's distinct argument tuples per call site,
+        // deduplicated within the morsel by invocation fingerprint.
+        let sites = Arc::new(sites);
+        let chunks = match source {
+            BatchSource::Rows(rows) => {
+                let sites = Arc::clone(&sites);
+                let schema = schema.clone();
+                let outer = outer.clone();
+                self.run_morsels("udf-batch", 0, rows.len(), move |view, range| {
+                    Ok(collect_arg_tuples(
+                        view,
+                        &rows[range],
+                        &sites,
+                        &schema,
+                        &outer,
+                    ))
+                })?
+            }
+            BatchSource::Table(name, len) => {
+                let sites = Arc::clone(&sites);
+                let schema = schema.clone();
+                let outer = outer.clone();
+                self.run_morsels("udf-batch", 0, len, move |view, range| {
+                    let t = view.catalog.table(&name)?;
+                    Ok(collect_arg_tuples(
+                        view,
+                        &t.rows()[range],
+                        &sites,
+                        &schema,
+                        &outer,
+                    ))
+                })?
+            }
+        };
+        // Global dedup across morsels, skipping tuples a cache can already answer.
+        let mut pending: Vec<(u64, String, Vec<Value>)> = vec![];
+        let mut merged: HashSet<u64> = HashSet::new();
+        for chunk in chunks {
+            for (fp, name, args) in chunk.0 {
+                if !merged.insert(fp) {
+                    continue;
+                }
+                let cached = self
+                    .memo
+                    .as_ref()
+                    .is_some_and(|m| m.peek_contains(&name, fp, &args))
+                    || self
+                        .dedup
+                        .as_ref()
+                        .is_some_and(|d| d.peek_contains(&name, fp, &args));
+                if !cached {
+                    pending.push((fp, name, args));
+                }
+            }
+        }
+        if pending.len() < 2 {
+            return Ok(());
+        }
+        // Deterministic evaluation order keeps the memo's LRU state reproducible.
+        pending.sort_by_key(|(fp, _, _)| *fp);
+        self.stats.add_udf_batch_evals(pending.len() as u64);
+        // Pass 2: one pool task per distinct tuple — UDF bodies are heavyweight, so
+        // per-tuple claiming load-balances far better than row-count morsels would.
+        // `call_udf` stores each result into the dedup cache (and memo) itself.
+        let pending = Arc::new(pending);
+        let tasks = pending.len();
+        let worker = Arc::clone(&pending);
+        self.run_pool(
+            "udf-batch",
+            0,
+            tasks,
+            |_| 1,
+            move |view, idx| {
+                let (_, name, args) = &worker[idx];
+                let _ = view.call_udf(name, args.clone());
+                Ok(Vec::<Row>::new())
+            },
+        )?;
+        Ok(())
     }
 
     // --------------------------------------------------------------- pipelined chains
@@ -711,7 +1040,11 @@ impl Executor {
             match layer {
                 FusedLayer::Filter(predicate) => {
                     names.push("filter".to_string());
-                    stages.push(FusedStage::Filter((*predicate).clone()));
+                    // Cost-ordered conjuncts carry over into the fused per-row pass
+                    // (same kept rows; cheapest-most-selective UDF predicate first).
+                    stages.push(FusedStage::Filter(
+                        self.prepare_filter(predicate).into_expr(),
+                    ));
                 }
                 FusedLayer::Project(items) => {
                     names.push("project".to_string());
@@ -750,9 +1083,24 @@ impl Executor {
         let operator = format!("pipeline({})", names.join("→"));
         // Fused operators = every stage plus the base access it streams out of.
         let depth = stages.len() + 1;
+        // The first stage is the only one every base row is guaranteed to reach, so
+        // it alone feeds the batch pre-pass.
+        let first_stage_roots: Vec<ScalarExpr> = match stages.first() {
+            Some(FusedStage::Filter(predicate)) => vec![predicate.clone()],
+            Some(FusedStage::Project { items, .. }) => {
+                items.iter().map(|item| item.expr.clone()).collect()
+            }
+            None => vec![],
+        };
         let stages = Arc::new(stages);
         let chunks = match source {
             FusedSource::Table(name, _) => {
+                self.batch_eval_udf_calls(
+                    &first_stage_roots.iter().collect::<Vec<_>>(),
+                    BatchSource::Table(name.clone(), len),
+                    &base_schema,
+                    outer,
+                )?;
                 let stages = Arc::clone(&stages);
                 let base_schema = base_schema.clone();
                 let outer = outer.clone();
@@ -767,6 +1115,12 @@ impl Executor {
             }
             FusedSource::Rows(rows) => {
                 let source = Arc::new(rows);
+                self.batch_eval_udf_calls(
+                    &first_stage_roots.iter().collect::<Vec<_>>(),
+                    BatchSource::Rows(Arc::clone(&source)),
+                    &base_schema,
+                    outer,
+                )?;
                 let stages = Arc::clone(&stages);
                 let base_schema = base_schema.clone();
                 let outer = outer.clone();
@@ -1803,6 +2157,164 @@ impl crate::parallel::OutputRows for BuildBuckets {
 impl crate::parallel::OutputRows for PartialGroups {
     fn output_rows(&self) -> u64 {
         self.len() as u64
+    }
+}
+
+/// One batchable pure-UDF call site found in strict position: the normalized function
+/// name plus its argument expressions (the call's correlation signature — which outer
+/// columns feed it).
+struct BatchSite {
+    name: String,
+    args: Vec<ScalarExpr>,
+}
+
+/// The distinct `(fingerprint, name, argument tuple)` triples one morsel contributed
+/// to the batch pre-pass.
+struct ArgTuples(Vec<(u64, String, Vec<Value>)>);
+
+impl crate::parallel::OutputRows for ArgTuples {
+    fn output_rows(&self) -> u64 {
+        self.0.len() as u64
+    }
+}
+
+/// What the batch pre-pass reads its rows from: an already-materialized input, or a
+/// base table streamed straight out of the catalog (the fused chains' fast path —
+/// no copy-out just to collect argument tuples).
+enum BatchSource {
+    Rows(Arc<Vec<Row>>),
+    Table(String, usize),
+}
+
+impl BatchSource {
+    fn len(&self) -> usize {
+        match self {
+            BatchSource::Rows(rows) => rows.len(),
+            BatchSource::Table(_, len) => *len,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One morsel of the batch pre-pass's collection stage: evaluates every site's
+/// argument tuple per row, deduplicating within the morsel by fingerprint.
+/// Argument-evaluation errors are skipped — the per-row pass re-evaluates and
+/// surfaces them in deterministic row order.
+fn collect_arg_tuples(
+    view: &Executor,
+    rows: &[Row],
+    sites: &[BatchSite],
+    schema: &Schema,
+    outer: &Env,
+) -> ArgTuples {
+    let mut seen: HashMap<u64, (String, Vec<Value>)> = HashMap::new();
+    for row in rows {
+        let env = Env::with_row(schema.clone(), row.clone()).nested_in(outer);
+        for site in sites {
+            let args: Result<Vec<Value>> =
+                site.args.iter().map(|a| view.eval_expr(a, &env)).collect();
+            let Ok(args) = args else { continue };
+            let fp = fingerprint_invocation(&site.name, &args);
+            seen.entry(fp).or_insert_with(|| (site.name.clone(), args));
+        }
+    }
+    ArgTuples(seen.into_iter().map(|(fp, (n, a))| (fp, n, a)).collect())
+}
+
+/// Appends the normalized names of every UDF invoked anywhere in `expr` (not
+/// descending into subquery bodies) to `out`, in evaluation order.
+fn collect_udf_names(expr: &ScalarExpr, out: &mut Vec<String>) {
+    if let ScalarExpr::UdfCall { name, .. } = expr {
+        out.push(normalize_ident(name));
+    }
+    for child in expr.children() {
+        collect_udf_names(child, out);
+    }
+}
+
+/// A filter predicate prepared for evaluation: either the original expression, or a
+/// conjunction whose UDF-bearing conjuncts were reordered cheapest-most-selective
+/// first and instrumented with selectivity counters for the feedback loop.
+enum PreparedFilter {
+    Simple(ScalarExpr),
+    /// Conjuncts in evaluation order; `Some(name)` tags UDF-bearing conjuncts with
+    /// the normalized name of their first UDF for selectivity attribution.
+    Ordered(Vec<(ScalarExpr, Option<String>)>),
+}
+
+impl PreparedFilter {
+    /// The expressions the per-row pass is guaranteed to evaluate for every row —
+    /// the batch pre-pass roots. For an ordered conjunction only the first conjunct
+    /// is strict (later conjuncts are short-circuited).
+    fn strict_roots(&self) -> Vec<&ScalarExpr> {
+        match self {
+            PreparedFilter::Simple(expr) => vec![expr],
+            PreparedFilter::Ordered(conjuncts) => conjuncts
+                .first()
+                .map(|(expr, _)| expr)
+                .into_iter()
+                .collect(),
+        }
+    }
+
+    /// Collapses the prepared filter back into a single expression, preserving the
+    /// chosen conjunct order. Used by the fused pipeline path, which evaluates the
+    /// predicate per row without selectivity instrumentation: AND short-circuits
+    /// left-to-right, so the reordering's benefit carries over.
+    fn into_expr(self) -> ScalarExpr {
+        match self {
+            PreparedFilter::Simple(expr) => expr,
+            PreparedFilter::Ordered(conjuncts) => {
+                ScalarExpr::conjunction(conjuncts.into_iter().map(|(expr, _)| expr).collect())
+            }
+        }
+    }
+
+    /// Fresh outcome counters, one `(evaluated, passed)` slot per ordered conjunct.
+    fn counters(&self) -> Vec<(u64, u64)> {
+        match self {
+            PreparedFilter::Simple(_) => vec![],
+            PreparedFilter::Ordered(conjuncts) => vec![(0, 0); conjuncts.len()],
+        }
+    }
+
+    /// Evaluates the filter for one row. The kept-row set is identical to plain
+    /// evaluation under three-valued logic (a conjunction is true iff every conjunct
+    /// is true); only which conjunct surfaces a runtime error first can differ.
+    fn eval(&self, exec: &Executor, env: &Env, outcomes: &mut [(u64, u64)]) -> Result<bool> {
+        match self {
+            PreparedFilter::Simple(expr) => exec.eval_predicate(expr, env),
+            PreparedFilter::Ordered(conjuncts) => {
+                for (i, (conjunct, name)) in conjuncts.iter().enumerate() {
+                    let pass = exec.eval_predicate(conjunct, env)?;
+                    if name.is_some() {
+                        outcomes[i].0 += 1;
+                        if pass {
+                            outcomes[i].1 += 1;
+                        }
+                    }
+                    if !pass {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Folds one evaluation batch's outcome counters into the executor's selectivity
+    /// collector (one lock acquisition per morsel, not per row).
+    fn flush(&self, exec: &Executor, outcomes: &[(u64, u64)]) {
+        if let PreparedFilter::Ordered(conjuncts) = self {
+            for ((_, name), (evaluated, passed)) in conjuncts.iter().zip(outcomes) {
+                if let Some(name) = name {
+                    exec.udf_selectivity.record(name, *evaluated, *passed);
+                }
+            }
+        }
     }
 }
 

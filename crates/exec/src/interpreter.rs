@@ -17,6 +17,7 @@ use decorr_udf::{Statement, UdfDefinition};
 
 use crate::env::Env;
 use crate::executor::{Executor, ResultSet};
+use crate::memo::{fingerprint_invocation, MemoValue};
 
 /// Result of executing a list of statements: either control flow ran off the end, or a
 /// `RETURN` was executed with the given value.
@@ -26,10 +27,42 @@ enum Flow {
 }
 
 impl Executor {
+    /// Checks the cross-query memo, then the per-query dedup cache, for a pure-UDF
+    /// result. A hit is counted in `ExecStats` and the timing collector's *hit*
+    /// column — never as an invocation, so learned per-UDF costs stay per-evaluation.
+    fn cached_udf_result(&self, name: &str, fingerprint: u64, args: &[Value]) -> Option<MemoValue> {
+        if let Some(memo) = &self.memo {
+            if let Some(value) = memo.get(name, fingerprint, args) {
+                self.stats.add_udf_memo_hits(1);
+                self.udf_timings.record_hit(name);
+                return Some(value);
+            }
+        }
+        if let Some(dedup) = &self.dedup {
+            if let Some(value) = dedup.get(name, fingerprint, args) {
+                self.stats.add_udf_dedup_hits(1);
+                self.udf_timings.record_hit(name);
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    /// Stores an evaluated pure-UDF result into both caches (whichever are attached).
+    fn store_udf_result(&self, name: &str, fingerprint: u64, args: &[Value], value: MemoValue) {
+        if let Some(dedup) = &self.dedup {
+            dedup.insert(name, fingerprint, args, value.clone());
+        }
+        if let Some(memo) = &self.memo {
+            memo.insert(name, fingerprint, args, value);
+        }
+    }
+
     /// Invokes a scalar UDF with already-evaluated argument values. Every invocation's
     /// wall clock is recorded into the executor's UDF timing collector — the engine's
     /// feedback loop turns these measurements into learned invocation costs for the
-    /// strategy choice.
+    /// strategy choice. Pure UDFs first consult the memo/dedup caches; only a miss
+    /// runs the body (and counts as an invocation).
     pub fn call_udf(&self, name: &str, args: Vec<Value>) -> Result<Value> {
         let udf = self.registry.udf(name)?;
         if udf.is_table_valued() {
@@ -37,6 +70,16 @@ impl Executor {
                 "table-valued function '{name}' used in a scalar context"
             )));
         }
+        let key = decorr_common::normalize_ident(name);
+        let fingerprint = if udf.pure && (self.memo.is_some() || self.dedup.is_some()) {
+            let fp = fingerprint_invocation(&key, &args);
+            if let Some(MemoValue::Scalar(v)) = self.cached_udf_result(&key, fp, &args) {
+                return Ok(v);
+            }
+            Some(fp)
+        } else {
+            None
+        };
         self.stats.add_udf_invocations(1);
         let started = std::time::Instant::now();
         let mut env = self.udf_env(udf, &args)?;
@@ -44,29 +87,44 @@ impl Executor {
             Flow::Return(v) => Ok(v),
             Flow::Continue => Ok(Value::Null),
         };
-        self.udf_timings
-            .record(&decorr_common::normalize_ident(name), started.elapsed());
+        self.udf_timings.record(&key, started.elapsed());
+        if let (Some(fp), Ok(value)) = (fingerprint, &result) {
+            self.store_udf_result(&key, fp, &args, MemoValue::Scalar(value.clone()));
+        }
         result
     }
 
     /// Invokes a table-valued UDF, returning the rows inserted into its result table.
+    /// Pure table-valued UDFs memoize their emitted rows the same way scalar UDFs
+    /// memoize their return value (this is what deduplicates repeated correlated
+    /// `Apply` iterations over the same outer bindings).
     pub fn call_table_udf(&self, name: &str, args: Vec<Value>) -> Result<ResultSet> {
         let udf = self.registry.udf(name)?;
         let schema = udf
             .returns_table
             .clone()
             .ok_or_else(|| Error::TypeError(format!("function '{name}' is not table-valued")))?;
+        let key = decorr_common::normalize_ident(name);
+        let fingerprint = if udf.pure && (self.memo.is_some() || self.dedup.is_some()) {
+            let fp = fingerprint_invocation(&key, &args);
+            if let Some(MemoValue::Table(rows)) = self.cached_udf_result(&key, fp, &args) {
+                return Ok(ResultSet { schema, rows });
+            }
+            Some(fp)
+        } else {
+            None
+        };
         self.stats.add_udf_invocations(1);
         let started = std::time::Instant::now();
         let mut env = self.udf_env(udf, &args)?;
         let mut buffer = Some(vec![]);
         self.exec_statements(&udf.body, &mut env, &mut buffer)?;
-        self.udf_timings
-            .record(&decorr_common::normalize_ident(name), started.elapsed());
-        Ok(ResultSet {
-            schema,
-            rows: buffer.unwrap_or_default(),
-        })
+        self.udf_timings.record(&key, started.elapsed());
+        let rows = buffer.unwrap_or_default();
+        if let Some(fp) = fingerprint {
+            self.store_udf_result(&key, fp, &args, MemoValue::Table(rows.clone()));
+        }
+        Ok(ResultSet { schema, rows })
     }
 
     fn udf_env(&self, udf: &UdfDefinition, args: &[Value]) -> Result<Env> {

@@ -24,13 +24,15 @@ pub mod env;
 pub mod eval;
 pub mod executor;
 pub mod interpreter;
+pub mod memo;
 pub mod parallel;
 pub mod stats;
 
 pub use env::Env;
-pub use executor::{ExecConfig, Executor, ResultSet};
+pub use executor::{ExecConfig, Executor, ResultSet, UdfRuntimeHint};
+pub use memo::{fingerprint_invocation, MemoEpoch, MemoValue, UdfMemo, UdfMemoStats};
 pub use parallel::{morsel_ranges, WorkerPool, WorkerPoolStats};
-pub use stats::{ExecStats, ExecTrace, NodeCardinality, OperatorTrace, UdfTiming};
+pub use stats::{ExecStats, ExecTrace, NodeCardinality, OperatorTrace, UdfSelectivity, UdfTiming};
 
 use decorr_algebra::{ScalarExpr, SchemaProvider};
 use decorr_common::{DataType, Result, Schema, Value};

@@ -1,0 +1,436 @@
+//! Bounded, sharded LRU memo cache for pure-UDF results.
+//!
+//! Two instances of [`UdfMemo`] participate in the UDF invocation runtime:
+//!
+//! * the **database memo** — owned by the engine's `Database`, shared across queries,
+//!   and invalidated by epoch (function-registry generation + catalog DDL/data
+//!   generations) so a redefined UDF or changed data can never serve stale results;
+//! * the **per-query dedup cache** — a fresh instance attached to each query's
+//!   executor, which deduplicates repeated argument tuples *within* one execution
+//!   (the argument-fingerprint dedup of the batched invocation path).
+//!
+//! Keys are `(normalized name, argument tuple)`; the 64-bit FNV-1a fingerprint over
+//! both is the shard/slot index, and the full argument tuple is kept alongside the
+//! cached value so a fingerprint collision is detected (and treated as a miss) rather
+//! than served. Argument identity is *exact*: `Int(2)` and `Float(2.0)` are distinct
+//! keys, because a UDF can observe the argument's type (`return x` must echo the exact
+//! value it was given). Floats compare by bit pattern.
+//!
+//! A capacity of **0 disables the cache entirely** — `get` always misses and `insert`
+//! is a no-op — mirroring how `ExecConfig::normalized` clamps nonsensical knob values
+//! instead of panicking. Any other capacity is rounded up to shard granularity.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use decorr_common::{FnvHasher, Row, Value};
+
+/// Number of independently locked shards. Power of two; small enough that an empty
+/// memo is cheap, large enough that a worker pool rarely contends on one lock.
+const SHARDS: usize = 8;
+
+/// Cache-coherence epoch: `(function-registry generation, DDL generation, data
+/// generation)`. Any component changing means previously memoized results may be
+/// stale — a UDF body was replaced, a table was created/dropped/analyzed, or rows
+/// were inserted (a pure UDF may read tables through embedded queries).
+pub type MemoEpoch = (u64, u64, u64);
+
+/// A memoized UDF result: scalar UDFs cache the returned [`Value`], table-valued UDFs
+/// cache the emitted rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoValue {
+    Scalar(Value),
+    Table(Vec<Row>),
+}
+
+/// Fingerprints a UDF invocation: FNV-1a over the normalized name and each argument's
+/// type tag + exact payload. Used as the memo slot index and as the dedup identity in
+/// the batched invocation path.
+pub fn fingerprint_invocation(name: &str, args: &[Value]) -> u64 {
+    let mut h = FnvHasher::new();
+    h.write_bytes(name.as_bytes());
+    for arg in args {
+        match arg {
+            Value::Null => h.write_u64(0),
+            Value::Bool(b) => {
+                h.write_u64(1);
+                h.write_u64(u64::from(*b));
+            }
+            Value::Int(i) => {
+                h.write_u64(2);
+                h.write_u64(*i as u64);
+            }
+            Value::Float(f) => {
+                h.write_u64(3);
+                h.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                h.write_u64(4);
+                h.write_u64(s.len() as u64);
+                h.write_bytes(s.as_bytes());
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Exact value identity (not SQL equality): types must match, floats compare by bit
+/// pattern. SQL's `Int(2) = Float(2.0)` must *not* unify memo keys — the UDF sees the
+/// concrete type.
+fn value_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn args_identical(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| value_identical(x, y))
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    args: Vec<Value>,
+    value: MemoValue,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// Fingerprint → entry. On the (vanishingly rare) collision of two distinct
+    /// invocations on one fingerprint, the newer insert wins the slot; `get` compares
+    /// the stored arguments so the loser reads a miss, never a wrong value.
+    entries: HashMap<u64, Entry>,
+    /// LRU order: tick → fingerprint. Ticks are unique within a shard.
+    lru: BTreeMap<u64, u64>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, fingerprint: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(&fingerprint) {
+            self.lru.remove(&entry.tick);
+            entry.tick = tick;
+            self.lru.insert(tick, fingerprint);
+        }
+    }
+}
+
+/// Counter snapshot for diagnostics and EXPLAIN ANALYZE (see
+/// [`UdfMemo::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UdfMemoStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    /// Epoch changes that flushed the cache.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Configured capacity (0 = disabled).
+    pub capacity: u64,
+}
+
+/// The bounded, sharded LRU memo cache (see the module docs).
+#[derive(Debug)]
+pub struct UdfMemo {
+    shards: Vec<Mutex<Shard>>,
+    capacity: usize,
+    per_shard_capacity: usize,
+    epoch: Mutex<Option<MemoEpoch>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl UdfMemo {
+    /// Creates a memo holding roughly `capacity` entries (rounded up to shard
+    /// granularity). `capacity == 0` builds a disabled cache: every lookup misses and
+    /// every insert is dropped — "no memo", not "evict on every insert".
+    pub fn with_capacity(capacity: usize) -> UdfMemo {
+        UdfMemo {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity,
+            per_shard_capacity: capacity.div_ceil(SHARDS),
+            epoch: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity (0 = disabled). `Database::clone` uses this to build a
+    /// fresh memo of the same size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").entries.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, fingerprint: u64) -> &Mutex<Shard> {
+        &self.shards[(fingerprint as usize) % SHARDS]
+    }
+
+    /// Flushes the cache if `epoch` differs from the epoch of the cached contents.
+    /// Called by the engine before attaching the memo to a query's executor.
+    pub fn ensure_epoch(&self, epoch: MemoEpoch) {
+        let mut current = self.epoch.lock().expect("memo epoch poisoned");
+        if *current == Some(epoch) {
+            return;
+        }
+        let stale = current.is_some();
+        *current = Some(epoch);
+        // Hold the epoch lock across the flush so a racing `ensure_epoch` cannot
+        // observe the new epoch with old entries still resident.
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("memo shard poisoned");
+            shard.entries.clear();
+            shard.lru.clear();
+        }
+        if stale {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry (epoch is retained).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("memo shard poisoned");
+            shard.entries.clear();
+            shard.lru.clear();
+        }
+    }
+
+    /// Looks up a cached result. `fingerprint` must be
+    /// [`fingerprint_invocation`]`(name, args)`; the caller computes it once and
+    /// reuses it across `get`/`insert` and the dedup grouping.
+    pub fn get(&self, name: &str, fingerprint: u64, args: &[Value]) -> Option<MemoValue> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut shard = self.shard(fingerprint).lock().expect("memo shard poisoned");
+        let found = match shard.entries.get(&fingerprint) {
+            Some(entry) if entry.name == name && args_identical(&entry.args, args) => {
+                Some(entry.value.clone())
+            }
+            _ => None,
+        };
+        match found {
+            Some(value) => {
+                shard.touch(fingerprint);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Like [`get`](UdfMemo::get), but without touching the hit/miss counters or the
+    /// LRU order — used by the batch pre-pass to decide which distinct argument
+    /// tuples still need evaluation without skewing the cache diagnostics.
+    pub fn peek_contains(&self, name: &str, fingerprint: u64, args: &[Value]) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let shard = self.shard(fingerprint).lock().expect("memo shard poisoned");
+        matches!(
+            shard.entries.get(&fingerprint),
+            Some(entry) if entry.name == name && args_identical(&entry.args, args)
+        )
+    }
+
+    /// Caches a result, evicting the least-recently-used entry of the target shard
+    /// when it is full. No-op when the cache is disabled.
+    pub fn insert(&self, name: &str, fingerprint: u64, args: &[Value], value: MemoValue) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(fingerprint).lock().expect("memo shard poisoned");
+        if let Some(existing) = shard.entries.get_mut(&fingerprint) {
+            existing.name = name.to_string();
+            existing.args = args.to_vec();
+            existing.value = value;
+            shard.touch(fingerprint);
+            return;
+        }
+        if shard.entries.len() >= self.per_shard_capacity {
+            if let Some((&oldest_tick, &oldest_fp)) = shard.lru.iter().next() {
+                shard.lru.remove(&oldest_tick);
+                shard.entries.remove(&oldest_fp);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.lru.insert(tick, fingerprint);
+        shard.entries.insert(
+            fingerprint,
+            Entry {
+                name: name.to_string(),
+                args: args.to_vec(),
+                value,
+                tick,
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot (cumulative since construction).
+    pub fn stats(&self) -> UdfMemoStats {
+        UdfMemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(v: i64) -> MemoValue {
+        MemoValue::Scalar(Value::Int(v))
+    }
+
+    #[test]
+    fn roundtrip_and_counters() {
+        let memo = UdfMemo::with_capacity(64);
+        let args = vec![Value::Int(7)];
+        let fp = fingerprint_invocation("f", &args);
+        assert_eq!(memo.get("f", fp, &args), None);
+        memo.insert("f", fp, &args, scalar(14));
+        assert_eq!(memo.get("f", fp, &args), Some(scalar(14)));
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn exact_type_identity_not_sql_equality() {
+        let memo = UdfMemo::with_capacity(64);
+        let int_args = vec![Value::Int(2)];
+        let float_args = vec![Value::Float(2.0)];
+        let int_fp = fingerprint_invocation("f", &int_args);
+        let float_fp = fingerprint_invocation("f", &float_args);
+        assert_ne!(
+            int_fp, float_fp,
+            "type tag must separate Int(2) from Float(2.0)"
+        );
+        memo.insert("f", int_fp, &int_args, scalar(1));
+        assert_eq!(memo.get("f", float_fp, &float_args), None);
+        // A colliding fingerprint with different arguments reads a miss, not the
+        // stored value.
+        assert_eq!(memo.get("f", int_fp, &float_args), None);
+        // Same fingerprint, different name: also a miss.
+        assert_eq!(memo.get("g", int_fp, &int_args), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_without_panicking() {
+        let memo = UdfMemo::with_capacity(0);
+        assert!(!memo.is_enabled());
+        let args = vec![Value::Int(1)];
+        let fp = fingerprint_invocation("f", &args);
+        memo.insert("f", fp, &args, scalar(1));
+        assert_eq!(memo.get("f", fp, &args), None);
+        assert!(memo.is_empty());
+        let stats = memo.stats();
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // Capacity 8 → one slot per shard; two keys landing in one shard evict LRU.
+        let memo = UdfMemo::with_capacity(8);
+        // Find three invocations that map to the same shard.
+        let mut same_shard = vec![];
+        for i in 0..1000 {
+            let args = vec![Value::Int(i)];
+            let fp = fingerprint_invocation("f", &args);
+            if (fp as usize) % SHARDS == 0 {
+                same_shard.push((args, fp));
+                if same_shard.len() == 3 {
+                    break;
+                }
+            }
+        }
+        let [(a, fa), (b, fb), (c, fc)] = <[_; 3]>::try_from(same_shard).unwrap();
+        memo.insert("f", fa, &a, scalar(1));
+        memo.insert("f", fb, &b, scalar(2));
+        // `a` was evicted to make room for `b`.
+        assert_eq!(memo.get("f", fa, &a), None);
+        assert_eq!(memo.get("f", fb, &b), Some(scalar(2)));
+        // Touch `b`, insert `c`: `b` is most-recent, so `c` replaces it anyway in a
+        // one-slot shard — but after a re-insert of `b`, a get must still hit.
+        memo.insert("f", fc, &c, scalar(3));
+        assert_eq!(memo.get("f", fb, &b), None);
+        assert_eq!(memo.get("f", fc, &c), Some(scalar(3)));
+        assert!(memo.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn epoch_change_flushes_stale_results() {
+        let memo = UdfMemo::with_capacity(64);
+        let args = vec![Value::Int(1)];
+        let fp = fingerprint_invocation("f", &args);
+        memo.ensure_epoch((1, 0, 0));
+        memo.insert("f", fp, &args, scalar(10));
+        // Same epoch: contents survive.
+        memo.ensure_epoch((1, 0, 0));
+        assert_eq!(memo.get("f", fp, &args), Some(scalar(10)));
+        // Registry generation bumped (UDF redefined): stale result unreachable.
+        memo.ensure_epoch((2, 0, 0));
+        assert_eq!(memo.get("f", fp, &args), None);
+        // Data generation bumped: also a flush.
+        memo.insert("f", fp, &args, scalar(20));
+        memo.ensure_epoch((2, 0, 1));
+        assert_eq!(memo.get("f", fp, &args), None);
+        assert_eq!(memo.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn table_values_roundtrip() {
+        let memo = UdfMemo::with_capacity(64);
+        let args = vec![Value::Str("x".into())];
+        let fp = fingerprint_invocation("t", &args);
+        let rows = vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])];
+        memo.insert("t", fp, &args, MemoValue::Table(rows.clone()));
+        assert_eq!(memo.get("t", fp, &args), Some(MemoValue::Table(rows)));
+    }
+}

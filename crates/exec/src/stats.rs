@@ -37,6 +37,15 @@ pub struct ExecStats {
     /// Plan operators executed as part of a fused (pipelined) chain instead of
     /// materializing their intermediate result.
     pub pipelined_operators: u64,
+    /// Pure-UDF calls answered by the database-owned memo cache (results reused
+    /// across queries). `udf_invocations` counts only *evaluated* calls.
+    pub udf_memo_hits: u64,
+    /// Pure-UDF calls answered by the per-query dedup cache (repeated argument
+    /// tuples within one execution).
+    pub udf_dedup_hits: u64,
+    /// Distinct argument tuples evaluated by the batched invocation path (fanned out
+    /// over the worker pool ahead of per-row evaluation).
+    pub udf_batch_evals: u64,
 }
 
 /// Lock-free live counters. Every counter is monotonically increasing and additions
@@ -54,6 +63,9 @@ pub struct AtomicExecStats {
     pub parallel_operators: AtomicU64,
     pub pool_spawns: AtomicU64,
     pub pipelined_operators: AtomicU64,
+    pub udf_memo_hits: AtomicU64,
+    pub udf_dedup_hits: AtomicU64,
+    pub udf_batch_evals: AtomicU64,
 }
 
 impl AtomicExecStats {
@@ -97,6 +109,18 @@ impl AtomicExecStats {
         self.pipelined_operators.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub fn add_udf_memo_hits(&self, n: u64) {
+        self.udf_memo_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_udf_dedup_hits(&self, n: u64) {
+        self.udf_dedup_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_udf_batch_evals(&self, n: u64) {
+        self.udf_batch_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A plain snapshot of the counters.
     pub fn snapshot(&self) -> ExecStats {
         ExecStats {
@@ -110,6 +134,9 @@ impl AtomicExecStats {
             parallel_operators: self.parallel_operators.load(Ordering::Relaxed),
             pool_spawns: self.pool_spawns.load(Ordering::Relaxed),
             pipelined_operators: self.pipelined_operators.load(Ordering::Relaxed),
+            udf_memo_hits: self.udf_memo_hits.load(Ordering::Relaxed),
+            udf_dedup_hits: self.udf_dedup_hits.load(Ordering::Relaxed),
+            udf_batch_evals: self.udf_batch_evals.load(Ordering::Relaxed),
         }
     }
 }
@@ -291,20 +318,41 @@ impl CardinalityCollector {
 
 // ------------------------------------------------------------------- UDF wall clocks
 
-/// Measured wall-clock of one UDF across a query: invocation count and total time.
+/// Measured wall-clock of one UDF across a query: evaluated-invocation count, total
+/// evaluation time, and how many calls the dedup/memo caches answered instead.
+///
+/// `invocations` counts *real* body evaluations only. Cache hits must stay out of it:
+/// folding them in would divide the measured total over calls that cost nothing,
+/// draining the feedback store's learned per-UDF cost toward zero as the memo warms —
+/// and a cost model that believes UDFs are free would stop decorrelating them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UdfTiming {
     pub name: String,
+    /// Calls whose body actually ran (and whose wall clock is in `total`).
     pub invocations: u64,
     pub total: Duration,
+    /// Calls answered by the memo or per-query dedup cache without evaluation.
+    pub hits: u64,
 }
 
 impl UdfTiming {
+    /// Mean wall-clock per *evaluated* invocation.
     pub fn mean(&self) -> Duration {
         if self.invocations == 0 {
             Duration::ZERO
         } else {
             self.total / self.invocations as u32
+        }
+    }
+
+    /// Fraction of all calls that had to be evaluated (1.0 = no cache help). This is
+    /// the "effective invocation count" signal the cost model learns.
+    pub fn evaluated_fraction(&self) -> f64 {
+        let calls = self.invocations + self.hits;
+        if calls == 0 {
+            1.0
+        } else {
+            self.invocations as f64 / calls as f64
         }
     }
 }
@@ -315,17 +363,29 @@ impl UdfTiming {
 /// just diagnostic ones.
 #[derive(Debug, Default)]
 pub struct UdfTimingCollector {
-    timings: Mutex<BTreeMap<String, (u64, Duration)>>,
+    /// name → (evaluated invocations, total evaluation time, cache hits).
+    timings: Mutex<BTreeMap<String, (u64, Duration, u64)>>,
 }
 
 impl UdfTimingCollector {
+    /// Records one *evaluated* invocation and its wall clock.
     pub fn record(&self, name: &str, elapsed: Duration) {
         let mut timings = self.timings.lock().expect("udf timing collector poisoned");
         let entry = timings
             .entry(name.to_string())
-            .or_insert((0, Duration::ZERO));
+            .or_insert((0, Duration::ZERO, 0));
         entry.0 += 1;
         entry.1 += elapsed;
+    }
+
+    /// Records a call answered from a cache — kept separate so learned per-UDF costs
+    /// stay per-evaluation (see [`UdfTiming`]).
+    pub fn record_hit(&self, name: &str) {
+        let mut timings = self.timings.lock().expect("udf timing collector poisoned");
+        let entry = timings
+            .entry(name.to_string())
+            .or_insert((0, Duration::ZERO, 0));
+        entry.2 += 1;
     }
 
     pub fn snapshot(&self) -> Vec<UdfTiming> {
@@ -333,10 +393,59 @@ impl UdfTimingCollector {
             .lock()
             .expect("udf timing collector poisoned")
             .iter()
-            .map(|(name, (invocations, total))| UdfTiming {
+            .map(|(name, (invocations, total, hits))| UdfTiming {
                 name: name.clone(),
                 invocations: *invocations,
                 total: *total,
+                hits: *hits,
+            })
+            .collect()
+    }
+}
+
+// -------------------------------------------------------------- predicate selectivity
+
+/// Observed outcome counts of one UDF-bearing conjunct in a cost-ordered filter:
+/// how many rows reached it and how many passed. `passed / evaluated` is the observed
+/// selectivity the feedback store aggregates for future predicate ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdfSelectivity {
+    pub name: String,
+    pub evaluated: u64,
+    pub passed: u64,
+}
+
+/// Shared collector of per-UDF predicate outcomes, populated only by the
+/// cost-ordered-conjunction path in `execute_select` (one locked batch update per
+/// morsel, not per row).
+#[derive(Debug, Default)]
+pub struct UdfSelectivityCollector {
+    outcomes: Mutex<BTreeMap<String, (u64, u64)>>,
+}
+
+impl UdfSelectivityCollector {
+    pub fn record(&self, name: &str, evaluated: u64, passed: u64) {
+        if evaluated == 0 {
+            return;
+        }
+        let mut outcomes = self
+            .outcomes
+            .lock()
+            .expect("selectivity collector poisoned");
+        let entry = outcomes.entry(name.to_string()).or_insert((0, 0));
+        entry.0 += evaluated;
+        entry.1 += passed;
+    }
+
+    pub fn snapshot(&self) -> Vec<UdfSelectivity> {
+        self.outcomes
+            .lock()
+            .expect("selectivity collector poisoned")
+            .iter()
+            .map(|(name, (evaluated, passed))| UdfSelectivity {
+                name: name.clone(),
+                evaluated: *evaluated,
+                passed: *passed,
             })
             .collect()
     }
@@ -424,5 +533,41 @@ mod tests {
         assert_eq!(f.invocations, 2);
         assert_eq!(f.total, Duration::from_micros(400));
         assert_eq!(f.mean(), Duration::from_micros(200));
+        assert_eq!(f.hits, 0);
+        assert_eq!(f.evaluated_fraction(), 1.0);
+    }
+
+    #[test]
+    fn cache_hits_do_not_dilute_the_measured_mean() {
+        let collector = UdfTimingCollector::default();
+        collector.record("f", Duration::from_micros(400));
+        for _ in 0..3 {
+            collector.record_hit("f");
+        }
+        // A UDF first seen through hits only must still snapshot (hits-only entry).
+        collector.record_hit("warm_only");
+        let snapshot = collector.snapshot();
+        let f = snapshot.iter().find(|t| t.name == "f").unwrap();
+        assert_eq!(f.invocations, 1, "hits must not count as invocations");
+        assert_eq!(f.hits, 3);
+        // The mean stays the per-evaluation cost; 400/4 would be the drift bug.
+        assert_eq!(f.mean(), Duration::from_micros(400));
+        assert_eq!(f.evaluated_fraction(), 0.25);
+        let warm = snapshot.iter().find(|t| t.name == "warm_only").unwrap();
+        assert_eq!((warm.invocations, warm.hits), (0, 1));
+        assert_eq!(warm.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn selectivity_collector_accumulates_outcomes() {
+        let collector = UdfSelectivityCollector::default();
+        collector.record("f", 100, 10);
+        collector.record("f", 50, 5);
+        collector.record("g", 0, 0); // no-op
+        let snapshot = collector.snapshot();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot[0].name, "f");
+        assert_eq!(snapshot[0].evaluated, 150);
+        assert_eq!(snapshot[0].passed, 15);
     }
 }

@@ -69,6 +69,11 @@ pub struct CostParams {
     /// name; populated by the feedback store and consulted *instead of* the static
     /// body estimate in [`estimate_with`].
     pub udf_cost_overrides: BTreeMap<String, f64>,
+    /// Learned fraction of each UDF's calls that actually evaluate the body (the rest
+    /// are answered by the executor's dedup/memo caches). Multiplies the per-call cost
+    /// so strategy choice compares *effective* invocation counts, not raw ones;
+    /// normalized UDF name → fraction in `(0, 1]`, absent = 1.0 (no dedup observed).
+    pub udf_dedup_fractions: BTreeMap<String, f64>,
 }
 
 impl Default for CostParams {
@@ -84,6 +89,7 @@ impl Default for CostParams {
             default_predicate_selectivity: 0.5,
             row_op_seconds: 5e-7,
             udf_cost_overrides: BTreeMap::new(),
+            udf_dedup_fractions: BTreeMap::new(),
         }
     }
 }
@@ -114,6 +120,22 @@ impl CostParams {
     /// The learned invocation cost of a UDF, if the feedback loop provided one.
     pub fn udf_cost_override(&self, name: &str) -> Option<f64> {
         self.udf_cost_overrides.get(&normalize_ident(name)).copied()
+    }
+
+    /// Attaches learned dedup fractions (builder style).
+    pub fn with_udf_dedup_fractions(mut self, fractions: BTreeMap<String, f64>) -> CostParams {
+        self.udf_dedup_fractions = fractions;
+        self
+    }
+
+    /// The fraction of this UDF's calls expected to actually run the body: `1.0`
+    /// unless the feedback loop has observed dedup/memo hits for it.
+    pub fn udf_dedup_fraction(&self, name: &str) -> f64 {
+        self.udf_dedup_fractions
+            .get(&normalize_ident(name))
+            .copied()
+            .map(|f| f.clamp(0.0, 1.0))
+            .unwrap_or(1.0)
     }
 
     /// The divisor applied to data-parallel operator costs: `1` when serial, and a
@@ -527,10 +549,13 @@ fn udf_cost_of_expr(
 ) -> f64 {
     let mut total = 0.0;
     if let ScalarExpr::UdfCall { name, .. } = expr {
+        // Per-call cost (learned when available) scaled by the effective fraction of
+        // calls the batching/memo runtime actually evaluates.
+        let fraction = params.udf_dedup_fraction(name);
         if let Some(learned) = params.udf_cost_override(name) {
-            total += learned;
+            total += learned * fraction;
         } else if let Ok(udf) = registry.udf(name) {
-            total += udf_body_cost(&udf.body, catalog, registry, params);
+            total += udf_body_cost(&udf.body, catalog, registry, params) * fraction;
         }
     }
     for child in expr.children() {

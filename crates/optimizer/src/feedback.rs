@@ -101,6 +101,16 @@ struct UdfEntry {
     static_units: f64,
     /// Whether this UDF's learned cost already contributed a generation bump.
     flagged: bool,
+    /// Memo/dedup cache hits observed for this UDF (calls answered without running
+    /// the body — *not* included in `invocations`).
+    cache_hits: u64,
+    /// Whether this UDF's learned dedup fraction already contributed a generation
+    /// bump (fired once, when the fraction first becomes trusted and significant).
+    dedup_flagged: bool,
+    /// Filter-predicate outcomes: rows this UDF's predicate was evaluated for, and
+    /// how many of those passed.
+    predicate_evaluated: u64,
+    predicate_passed: u64,
 }
 
 /// The concurrency-safe feedback store, owned by the engine (one per database) and
@@ -214,6 +224,86 @@ impl FeedbackStore {
             self.generation.fetch_add(1, Ordering::Relaxed);
         }
         q
+    }
+
+    /// Records one query's dedup outcome for a UDF: `evaluated` calls actually ran
+    /// the body (already counted by [`record_udf_timing`](Self::record_udf_timing))
+    /// while `hits` were answered from the memo/dedup caches. When the learned dedup
+    /// fraction first becomes trusted *and* meaningful (< 0.5 — batching answers at
+    /// least half the calls), the store generation is bumped once so cost-based
+    /// plan-cache entries re-decide with effective invocation counts.
+    pub fn record_udf_dedup(&self, name: &str, evaluated: u64, hits: u64) {
+        if evaluated + hits == 0 {
+            return;
+        }
+        let key = normalize_ident(name);
+        let mut udfs = self.udfs.write().expect("feedback store poisoned");
+        let entry = udfs.entry(key).or_default();
+        entry.cache_hits += hits;
+        let calls = entry.invocations + entry.cache_hits;
+        if calls < self.config.min_udf_invocations || entry.dedup_flagged {
+            return;
+        }
+        let fraction = entry.invocations as f64 / calls as f64;
+        if fraction < 0.5 {
+            entry.dedup_flagged = true;
+            self.generation.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The learned fraction of a UDF's calls that actually evaluate the body (the
+    /// rest are dedup/memo hits), for
+    /// [`CostParams::udf_dedup_fractions`](crate::cost::CostParams::with_udf_dedup_fractions).
+    /// Only UDFs with a trusted number of observed calls are reported.
+    pub fn udf_dedup_fractions(&self) -> BTreeMap<String, f64> {
+        let udfs = self.udfs.read().expect("feedback store poisoned");
+        udfs.iter()
+            .filter(|(_, e)| e.invocations + e.cache_hits >= self.config.min_udf_invocations)
+            .map(|(name, e)| {
+                let calls = (e.invocations + e.cache_hits) as f64;
+                (name.clone(), e.invocations as f64 / calls)
+            })
+            .collect()
+    }
+
+    /// Records filter-predicate outcomes for a UDF-bearing conjunct: how many rows it
+    /// was evaluated for and how many passed. Feeds the executor's cost-ordered
+    /// predicate evaluation on later queries.
+    pub fn record_udf_predicate(&self, name: &str, evaluated: u64, passed: u64) {
+        if evaluated == 0 {
+            return;
+        }
+        let key = normalize_ident(name);
+        let mut udfs = self.udfs.write().expect("feedback store poisoned");
+        let entry = udfs.entry(key).or_default();
+        entry.predicate_evaluated += evaluated;
+        entry.predicate_passed += passed.min(evaluated);
+    }
+
+    /// The observed pass-rate of every UDF-bearing predicate with a trusted number of
+    /// evaluations.
+    pub fn udf_selectivities(&self) -> BTreeMap<String, f64> {
+        let udfs = self.udfs.read().expect("feedback store poisoned");
+        udfs.iter()
+            .filter(|(_, e)| e.predicate_evaluated >= self.config.min_udf_invocations)
+            .map(|(name, e)| {
+                (
+                    name.clone(),
+                    e.predicate_passed as f64 / e.predicate_evaluated as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Measured mean wall-clock per *evaluated* invocation of every UDF with any
+    /// measurement at all (no trust floor — a rough early number already orders
+    /// predicates better than no number).
+    pub fn udf_mean_seconds(&self) -> BTreeMap<String, f64> {
+        let udfs = self.udfs.read().expect("feedback store poisoned");
+        udfs.iter()
+            .filter(|(_, e)| e.invocations > 0)
+            .map(|(name, e)| (name.clone(), e.total.as_secs_f64() / e.invocations as f64))
+            .collect()
     }
 
     /// Marks a query fingerprint whose observed q-error exceeded the threshold for
@@ -386,6 +476,54 @@ mod tests {
         let expensive = feedback.iter().find(|f| f.name == "expensive").unwrap();
         assert_eq!(expensive.invocations, 20);
         assert!(expensive.cost_q_error > 100.0);
+    }
+
+    #[test]
+    fn dedup_feedback_learns_effective_fractions_and_bumps_once() {
+        let store = FeedbackStore::new();
+        let row_op = 1e-6;
+        // 4 evaluated + 2 hits: below the trust floor, nothing reported.
+        store.record_udf_timing("f", 4, Duration::from_millis(4), Some(1000.0), row_op);
+        store.record_udf_dedup("f", 4, 2);
+        assert!(store.udf_dedup_fractions().is_empty());
+        let before = store.generation();
+        // 4 more evaluated + 12 hits: 8 evaluated of 22 calls ≈ 0.36 < 0.5 → one bump.
+        store.record_udf_timing("f", 4, Duration::from_millis(4), Some(1000.0), row_op);
+        store.record_udf_dedup("F", 4, 12);
+        let fractions = store.udf_dedup_fractions();
+        assert!((fractions["f"] - 8.0 / 22.0).abs() < 1e-9, "{fractions:?}");
+        assert_eq!(store.generation(), before + 1);
+        // Further hits refine the fraction without re-bumping.
+        store.record_udf_dedup("f", 0, 10);
+        assert_eq!(store.generation(), before + 1);
+        assert!(fractions["f"] > store.udf_dedup_fractions()["f"]);
+    }
+
+    #[test]
+    fn predicate_feedback_reports_trusted_pass_rates() {
+        let store = FeedbackStore::new();
+        store.record_udf_predicate("p", 4, 1);
+        assert!(
+            store.udf_selectivities().is_empty(),
+            "below the trust floor"
+        );
+        store.record_udf_predicate("P", 12, 3);
+        let selectivities = store.udf_selectivities();
+        assert!(
+            (selectivities["p"] - 0.25).abs() < 1e-9,
+            "{selectivities:?}"
+        );
+        // Zero evaluations are a no-op; passed is clamped to evaluated.
+        store.record_udf_predicate("p", 0, 99);
+        assert!((store.udf_selectivities()["p"] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_seconds_require_no_trust_floor() {
+        let store = FeedbackStore::new();
+        store.record_udf_timing("g", 2, Duration::from_millis(8), None, 1e-6);
+        let means = store.udf_mean_seconds();
+        assert!((means["g"] - 4e-3).abs() < 1e-9, "{means:?}");
     }
 
     #[test]

@@ -534,6 +534,13 @@ impl OptimizerPass for StrategyChoicePass {
                         ));
                         params = params.with_udf_cost_overrides(overrides);
                     }
+                    // Effective invocation counts: calls the batching/memo runtime
+                    // answers from cache cost nothing, so an iterative plan over
+                    // repetitive arguments is cheaper than its raw call count says.
+                    let fractions = feedback.udf_dedup_fractions();
+                    if !fractions.is_empty() {
+                        params = params.with_udf_dedup_fractions(fractions);
+                    }
                 }
                 let decision =
                     choose_strategy_with(&baseline, plan, catalog, ctx.registry, &params);

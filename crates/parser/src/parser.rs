@@ -916,6 +916,18 @@ impl Parser {
             self.expect_keyword("table")?;
             returns_table = Some(self.parse_table_type()?);
         }
+        // Optional volatility clause before AS: `VOLATILE` opts out of the executor's
+        // dedup/memo machinery, `DETERMINISTIC` spells out the default.
+        let mut pure = true;
+        loop {
+            if self.eat_keyword("volatile") {
+                pure = false;
+            } else if self.eat_keyword("deterministic") {
+                pure = true;
+            } else {
+                break;
+            }
+        }
         self.expect_keyword("as")?;
         self.expect_keyword("begin")?;
         let mut ctx = BodyContext {
@@ -925,6 +937,7 @@ impl Parser {
         let body = self.parse_block(&mut ctx)?;
         let mut udf = UdfDefinition::new(name, params, return_type, body);
         udf.returns_table = returns_table;
+        udf.pure = pure;
         Ok(SqlStatement::CreateFunction(udf))
     }
 

@@ -382,6 +382,23 @@ mod tests {
     }
 
     #[test]
+    fn volatility_clause_controls_purity() {
+        let base = "begin return 1; end";
+        let pure = parse_function(&format!("create function f() returns int as {base}")).unwrap();
+        assert!(pure.pure, "UDFs default to pure");
+        let volatile = parse_function(&format!(
+            "create function f() returns int volatile as {base}"
+        ))
+        .unwrap();
+        assert!(!volatile.pure);
+        let spelled_out = parse_function(&format!(
+            "create function f() returns int deterministic as {base}"
+        ))
+        .unwrap();
+        assert!(spelled_out.pure);
+    }
+
+    #[test]
     fn parses_example1_service_level_udf() {
         let udf = parse_function(
             "create function service_level(int ckey) returns char(10) as \

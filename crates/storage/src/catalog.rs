@@ -13,10 +13,14 @@ use crate::table::Table;
 /// the optimizer's plan cache folds it into its cache key so plans bound against a
 /// dropped or re-created schema become unreachable. Row inserts deliberately do *not*
 /// bump it — they can only make a cached cost-based choice suboptimal, never incorrect.
+/// Inserts instead bump the separate [`data_generation`](Catalog::data_generation)
+/// counter, which consumers whose cached *results* (not plans) depend on table
+/// contents — like the engine's UDF memo cache — fold into their invalidation epoch.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
     ddl_generation: u64,
+    data_generation: u64,
 }
 
 impl Catalog {
@@ -52,6 +56,14 @@ impl Catalog {
         self.ddl_generation
     }
 
+    /// Monotonic data-mutation counter: incremented by every successful
+    /// [`insert_rows`](Catalog::insert_rows). A pure UDF's result may depend on table
+    /// contents (its body can run queries), so result caches key on this value to
+    /// avoid serving answers computed against rows that have since changed.
+    pub fn data_generation(&self) -> u64 {
+        self.data_generation
+    }
+
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(&normalize_ident(name))
@@ -78,10 +90,12 @@ impl Catalog {
         Ok(self.table(name)?.schema().clone())
     }
 
-    /// Convenience: inserts rows into a table.
+    /// Convenience: inserts rows into a table. Bumps the data generation (but not the
+    /// DDL generation — plans stay valid, memoized UDF results do not).
     pub fn insert_rows(&mut self, name: &str, rows: Vec<Row>) -> Result<usize> {
         let n = rows.len();
         self.table_mut(name)?.insert_all(rows)?;
+        self.data_generation += 1;
         Ok(n)
     }
 
@@ -157,6 +171,20 @@ mod tests {
         assert_eq!(c.drop_table("nosuch").unwrap_err().kind(), "catalog");
         c.drop_table("t").unwrap();
         assert!(!c.has_table("t"));
+    }
+
+    #[test]
+    fn inserts_bump_data_generation_but_not_ddl() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        let (ddl, data) = (c.ddl_generation(), c.data_generation());
+        c.insert_rows("t", vec![Row::new(vec![1.into(), "a".into()])])
+            .unwrap();
+        assert_eq!(c.ddl_generation(), ddl);
+        assert_eq!(c.data_generation(), data + 1);
+        // A failed insert (unknown table) leaves the counter alone.
+        assert!(c.insert_rows("nosuch", vec![]).is_err());
+        assert_eq!(c.data_generation(), data + 1);
     }
 
     #[test]

@@ -181,6 +181,13 @@ pub struct UdfDefinition {
     /// Original source text, if the UDF came from the parser (used when printing the
     /// "original query + UDF definition" side of the experiments).
     pub source: Option<String>,
+    /// Purity contract, declared at registration time: a pure UDF returns the same
+    /// result for the same arguments as long as the registry and catalog are
+    /// unchanged, so the executor may deduplicate and memoize its invocations. Every
+    /// construct the interpreter offers (arithmetic, control flow, embedded queries
+    /// over catalog tables) is deterministic, so UDFs default to pure; declare
+    /// `VOLATILE` in `CREATE FUNCTION` to opt out and force one evaluation per row.
+    pub pure: bool,
 }
 
 impl UdfDefinition {
@@ -197,6 +204,7 @@ impl UdfDefinition {
             returns_table: None,
             body,
             source: None,
+            pure: true,
         }
     }
 

@@ -312,6 +312,9 @@ fn options_with_parallelism(parallelism: usize) -> QueryOptions {
         exec_config: Some(ExecConfig {
             parallelism,
             morsel_size: TEST_MORSEL,
+            // These tests compare logical work across repeated runs of one database;
+            // the cross-query memo would turn later runs into pure cache hits.
+            udf_memoization: false,
             ..ExecConfig::default()
         }),
         ..QueryOptions::default()
@@ -363,6 +366,9 @@ fn with_config(mut options: QueryOptions, parallelism: usize) -> QueryOptions {
     options.exec_config = Some(ExecConfig {
         parallelism,
         morsel_size: TEST_MORSEL,
+        // See `options_with_parallelism`: logical-work counters must not depend on
+        // how warm the cross-query memo is.
+        udf_memoization: false,
         ..ExecConfig::default()
     });
     options

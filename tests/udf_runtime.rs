@@ -1,0 +1,244 @@
+//! The UDF invocation runtime: batching/dedup, cross-query memoization of pure UDF
+//! results, and their invalidation rules.
+//!
+//! Two contracts are driven here end to end:
+//!
+//! * **transparency** — with batching and memoization on, every query returns rows
+//!   byte-identical to the plain evaluation, at every tested pool size, warm or cold;
+//! * **freshness** — a memoized result never outlives the registry or catalog state
+//!   it was computed against: redefining a UDF or changing table data empties the
+//!   stale entries before the next query runs.
+
+use udf_decorrelation::common::{Row, SmallRng, Value};
+use udf_decorrelation::engine::{Database, QueryOptions};
+use udf_decorrelation::exec::ExecConfig;
+
+const PARALLELISMS: [usize; 4] = [1, 2, 4, 8];
+/// Small morsels so the property-sized tables span many of them.
+const TEST_MORSEL: usize = 16;
+
+/// A database with a `probes` table whose `grp` column repeats heavily (the
+/// repeated-argument workload batching and memoization feed on) and a pure UDF whose
+/// result depends on the `items` table.
+fn scored_db(rows: usize, distinct_groups: i64, seed: u64) -> Database {
+    let mut db = Database::new();
+    db.execute(
+        "create table items(id int not null, grp int, val float); \
+         create index on items(grp); \
+         create table probes(id int not null, grp int)",
+    )
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let items: Vec<Row> = (0..rows)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range_i64(0, distinct_groups)),
+                Value::Float(rng.gen_range_f64(1.0, 100.0)),
+            ])
+        })
+        .collect();
+    db.load_rows("items", items).unwrap();
+    let probes: Vec<Row> = (0..rows)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range_i64(0, distinct_groups)),
+            ])
+        })
+        .collect();
+    db.load_rows("probes", probes).unwrap();
+    db.register_function(
+        "create function group_score(int g) returns float as \
+         begin \
+           float total; \
+           select sum(val) into :total from items where grp = :g; \
+           if (total > 0) return total; \
+           return 0.0; \
+         end",
+    )
+    .unwrap();
+    db
+}
+
+fn runtime_config(parallelism: usize, batching: bool, memoization: bool) -> ExecConfig {
+    ExecConfig {
+        parallelism,
+        morsel_size: TEST_MORSEL,
+        udf_batching: batching,
+        udf_memoization: memoization,
+        ..ExecConfig::default()
+    }
+}
+
+fn iterative_with(config: ExecConfig) -> QueryOptions {
+    QueryOptions {
+        exec_config: Some(config),
+        ..QueryOptions::iterative()
+    }
+}
+
+/// Seeded property test: batching + memoization on vs off produce byte-identical
+/// rows (same values, same order) across parallelism 1/2/4/8, on projections and on
+/// multi-conjunct UDF filters, cold and warm.
+#[test]
+fn batching_and_memoization_preserve_results_bytewise() {
+    for seed in [7, 99, 2014] {
+        let db = scored_db(200, 12, seed);
+        for sql in [
+            "select id, grp, group_score(grp) as score from probes",
+            // Two conjuncts, one UDF-bearing: exercises the cost-ordered path too.
+            "select id from probes where group_score(grp) > 200.0 and id >= 10",
+        ] {
+            let baseline = db
+                .query_with(sql, &iterative_with(runtime_config(1, false, false)))
+                .unwrap();
+            for p in PARALLELISMS {
+                // Cold-ish and warm runs: the second run at each pool size is
+                // answered mostly from the memo and must not change a byte.
+                for run in 0..2 {
+                    let result = db
+                        .query_with(sql, &iterative_with(runtime_config(p, true, true)))
+                        .unwrap();
+                    assert_eq!(
+                        baseline.rows, result.rows,
+                        "seed {seed} parallelism {p} run {run} diverged for {sql}"
+                    );
+                }
+            }
+        }
+        // 200 probes over 12 groups repeat heavily: the runtime must have answered
+        // most calls from the caches instead of evaluating the body per row.
+        let warm = db
+            .query_with(
+                "select id, grp, group_score(grp) as score from probes",
+                &iterative_with(runtime_config(4, true, true)),
+            )
+            .unwrap();
+        let stats = &warm.exec_stats;
+        assert!(
+            stats.udf_memo_hits + stats.udf_dedup_hits > 0,
+            "warm run should hit the caches: {stats:?}"
+        );
+        assert_eq!(
+            stats.udf_invocations, 0,
+            "a fully warm memo answers every call: {stats:?}"
+        );
+    }
+}
+
+/// Redefining a UDF bumps the registry generation, which empties the memo: the new
+/// definition's results must be served immediately, never the old ones.
+#[test]
+fn redefining_a_udf_never_serves_stale_results() {
+    let mut db = Database::new();
+    db.execute("create table t(x int)").unwrap();
+    db.load_rows(
+        "t",
+        (1..=10i64).map(|i| Row::new(vec![Value::Int(i)])).collect(),
+    )
+    .unwrap();
+    db.register_function("create function f(int x) returns int as begin return x + 1; end")
+        .unwrap();
+    let sql = "select x, f(x) as y from t";
+    let first = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    assert_eq!(
+        first.column("y").unwrap(),
+        (2..=11i64).map(Value::Int).collect::<Vec<_>>()
+    );
+    // Warm the memo: the second run is answered from it.
+    let warm = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    assert_eq!(first.rows, warm.rows);
+    assert!(
+        warm.exec_stats.udf_memo_hits > 0,
+        "second run should be served by the memo: {:?}",
+        warm.exec_stats
+    );
+    // Redefine f. The memoized x+1 results are now stale.
+    db.register_function("create function f(int x) returns int as begin return x * 10; end")
+        .unwrap();
+    let after = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    assert_eq!(
+        after.column("y").unwrap(),
+        (1..=10i64).map(|i| Value::Int(i * 10)).collect::<Vec<_>>(),
+        "redefined UDF must never serve the old definition's results"
+    );
+    assert!(
+        db.udf_memo_stats().invalidations >= 1,
+        "the registry generation bump must flush the memo: {:?}",
+        db.udf_memo_stats()
+    );
+}
+
+/// Changing table data bumps the catalog's data generation: memoized results of
+/// data-dependent pure UDFs are flushed, so the next query sees the new data.
+#[test]
+fn data_changes_invalidate_memoized_udf_results() {
+    let db_seed = 4242;
+    let mut db = scored_db(60, 3, db_seed);
+    let sql = "select grp, group_score(grp) as score from probes where id < 5";
+    let before = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    // Warm run served from the memo.
+    let warm = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    assert_eq!(before.rows, warm.rows);
+    // A new item changes every group's sum candidate set; the memoized scores for
+    // group 0 are stale now.
+    db.execute("insert into items values (10000, 0, 5000.0)")
+        .unwrap();
+    let after = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    for (row_before, row_after) in before.rows.iter().zip(&after.rows) {
+        let grp = row_before.get(0);
+        if *grp == Value::Int(0) {
+            assert_ne!(
+                row_before.get(1),
+                row_after.get(1),
+                "group 0's memoized score must be recomputed after the insert"
+            );
+        } else {
+            assert_eq!(row_before.get(1), row_after.get(1));
+        }
+    }
+}
+
+/// A `volatile` UDF opts out of both caches: every call evaluates the body.
+#[test]
+fn volatile_udfs_are_never_cached() {
+    let mut db = Database::new();
+    db.execute("create table t(x int)").unwrap();
+    db.load_rows("t", vec![Row::new(vec![Value::Int(1)]); 10])
+        .unwrap();
+    db.register_function("create function v(int x) returns int volatile as begin return x; end")
+        .unwrap();
+    let result = db
+        .query_with("select v(x) as y from t", &QueryOptions::iterative())
+        .unwrap();
+    assert_eq!(result.exec_stats.udf_invocations, 10);
+    assert_eq!(result.exec_stats.udf_memo_hits, 0);
+    assert_eq!(result.exec_stats.udf_dedup_hits, 0);
+}
+
+/// Observed UDF predicate pass-rates feed the feedback store, where the next query's
+/// cost-ordered evaluation (and the strategy choice) can read them.
+#[test]
+fn filter_selectivity_feedback_is_recorded() {
+    let db = scored_db(200, 12, 31);
+    let sql = "select id from probes where group_score(grp) > 200.0 and id >= 0";
+    db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    let selectivities = db.feedback().udf_selectivities();
+    let observed = selectivities
+        .get("group_score")
+        .copied()
+        .expect("the UDF conjunct's pass-rate should be recorded");
+    assert!(
+        (0.0..=1.0).contains(&observed),
+        "pass-rate out of range: {observed}"
+    );
+    // Dedup feedback: repeated groups mean most calls were cache hits, so the
+    // learned effective-invocation fraction is well below 1.
+    let fractions = db.feedback().udf_dedup_fractions();
+    let fraction = fractions
+        .get("group_score")
+        .copied()
+        .expect("dedup fraction should be trusted after 200 calls");
+    assert!(fraction < 0.5, "12 groups over 200 rows: {fraction}");
+}
