@@ -16,13 +16,13 @@ fn main() {
     for workload in [experiment1(), experiment2(), experiment3()] {
         let db = setup(&workload, 100);
         let plan = parse_and_plan(&(workload.query)(100)).unwrap();
-        let provider = CatalogProvider::new(db.catalog(), db.registry());
+        let catalog = db.catalog();
+        let registry = db.registry();
+        let provider = CatalogProvider::new(&catalog, &registry);
         let manager = decorr_optimizer::PassManager::decorrelation_pipeline();
         let start = Instant::now();
         for _ in 0..REPS {
-            let outcome = manager
-                .optimize(&plan, db.registry(), &provider, None)
-                .unwrap();
+            let outcome = manager.optimize(&plan, &registry, &provider, None).unwrap();
             assert!(outcome.decorrelated);
         }
         let per_rewrite = start.elapsed() / REPS as u32;

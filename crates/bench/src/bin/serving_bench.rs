@@ -1,0 +1,148 @@
+//! Concurrent serving bench: N client threads, each holding one [`Session`] on a
+//! single shared [`Engine`], run a seeded mix of shared-shape UDF queries, private
+//! inserts/queries and `ANALYZE`. Measures per-query p50/p99 latency, throughput and
+//! the warm cross-session plan-cache hit rate, and verifies every query's rows
+//! against an independently tracked expectation. Emits the machine-readable
+//! `BENCH_serving.json` that CI's `serving-bench-smoke` job uploads and gates on.
+//!
+//! ```text
+//! cargo run --release -p decorr-bench --bin serving_bench -- \
+//!     [--smoke] [--out BENCH_serving.json] [--check crates/bench/BENCH_serving_baseline.json]
+//! ```
+//!
+//! * `--smoke`  — reduced client count / op count for CI;
+//! * `--out`    — where to write the JSON document (default `BENCH_serving.json`);
+//! * `--check`  — compare against a committed baseline and exit non-zero when a
+//!   machine-independent invariant fails (result divergence in any arm, or the
+//!   most-concurrent arm's warm plan-cache hit rate below 0.8) or an arm's p50
+//!   latency regressed past the lenient ceiling (factor 3.0 with a 25 ms noise
+//!   floor, override the factor with `BENCH_GATE_FACTOR`).
+//!
+//! [`Session`]: decorr_engine::Session
+//! [`Engine`]: decorr_engine::Engine
+
+use std::process::ExitCode;
+
+use decorr_bench::json::Json;
+use decorr_bench::{
+    check_serving_against_baseline, measure_serving, serving_bench_json, ServingArm,
+    ServingGateConfig,
+};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_serving.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().ok_or("--out requires a path")?,
+            "--check" => args.check = Some(it.next().ok_or("--check requires a path")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serving_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (client_counts, ops_per_client, customers): (&[usize], usize, usize) = if args.smoke {
+        (&[1, 4], 40, 30)
+    } else {
+        (&[1, 4, 8], 120, 100)
+    };
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!("serving bench ({mode}): shared Engine, concurrent Sessions\n");
+
+    let arms: Vec<ServingArm> = client_counts
+        .iter()
+        .map(|&clients| {
+            let arm = measure_serving(clients, ops_per_client, customers);
+            println!(
+                "{:<10} {:>4} queries in {:>8.2} ms · p50 {:>7.3} ms · p99 {:>7.3} ms · \
+                 {:>8.0} q/s · hit rate {:.3} · results {}",
+                arm.key,
+                arm.queries,
+                arm.duration.as_secs_f64() * 1e3,
+                arm.p50.as_secs_f64() * 1e3,
+                arm.p99.as_secs_f64() * 1e3,
+                arm.throughput_qps(),
+                arm.plan_cache_hit_rate,
+                if arm.results_match {
+                    "match"
+                } else {
+                    "DIVERGED"
+                },
+            );
+            arm
+        })
+        .collect();
+
+    let doc = serving_bench_json(mode, &arms);
+    if let Err(e) = std::fs::write(&args.out, doc.render()) {
+        eprintln!("serving_bench: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("\nwrote {}", args.out);
+
+    if let Some(baseline_path) = &args.check {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("serving_bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Json::parse(&baseline_text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serving_bench: malformed baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut config = ServingGateConfig::default();
+        if let Ok(factor) = std::env::var("BENCH_GATE_FACTOR") {
+            match factor.parse::<f64>() {
+                Ok(f) if f > 0.0 => config.regression_factor = f,
+                _ => {
+                    eprintln!("serving_bench: invalid BENCH_GATE_FACTOR '{factor}'");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        println!(
+            "\nserving gate vs {baseline_path} (factor {:.1}x):",
+            config.regression_factor
+        );
+        match check_serving_against_baseline(&doc, &baseline, &config) {
+            Ok(report) => {
+                for line in report {
+                    println!("  {line}");
+                }
+                println!("  serving gate passed");
+            }
+            Err(failures) => {
+                for line in failures {
+                    eprintln!("  GATE FAILURE: {line}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -67,6 +67,13 @@ impl Json {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Renders with 2-space indentation and a trailing newline.
     pub fn render(&self) -> String {
         let mut out = String::new();

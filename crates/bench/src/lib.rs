@@ -6,9 +6,11 @@
 //! invocations. Since the engine routes every query through the optimizer's PassManager,
 //! each measured point also carries the per-pass optimizer timings of both runs.
 
+use std::thread;
 use std::time::{Duration, Instant};
 
-use decorr_engine::{Database, QueryOptions};
+use decorr_common::{Row, SmallRng, Value};
+use decorr_engine::{Database, Engine, QueryOptions, Session};
 use decorr_optimizer::PlanCacheStats;
 use decorr_tpch::{generate, TpchConfig, Workload};
 
@@ -945,17 +947,14 @@ pub fn measure_cost_accuracy(
     };
     let result = db.query_with(&sql, &options).expect("accuracy execution");
     let plan = decorr_parser::parse_and_plan(&sql).expect("plan");
-    let provider = decorr_exec::CatalogProvider::new(db.catalog(), db.registry());
+    let catalog = db.catalog();
+    let registry = db.registry();
+    let provider = decorr_exec::CatalogProvider::new(&catalog, &registry);
     let normalized = PassManager::cleanup_pipeline()
-        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .optimize(&plan, &registry, &provider, Some(catalog.as_ref()))
         .expect("normalisation")
         .plan;
-    let estimates = estimate_per_node(
-        &normalized,
-        db.catalog(),
-        db.registry(),
-        &CostParams::default(),
-    );
+    let estimates = estimate_per_node(&normalized, &catalog, &registry, &CostParams::default());
     let mut q_errors: Vec<f64> = vec![];
     for estimate in &estimates {
         if let Some(actual) = result
@@ -1749,6 +1748,460 @@ pub fn check_udf_against_baseline(
             failures.push(format!(
                 "{key}: present in the baseline but missing from the current bench output"
             ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
+/// One serving-bench arm: `clients` concurrent [`Session`]s on a single shared
+/// [`Engine`], each running a seeded mix of shared-shape UDF queries, private-table
+/// inserts/queries and `ANALYZE`. All shapes are warmed before the measured phase, so
+/// `plan_cache_hit_rate` is the *warm* cross-session rate (a call counter, not a
+/// timing — that leg of the gate is machine-independent).
+#[derive(Debug, Clone)]
+pub struct ServingArm {
+    pub key: String,
+    pub clients: usize,
+    pub ops_per_client: usize,
+    /// Queries executed during the measured phase (inserts and ANALYZE excluded).
+    pub queries: usize,
+    pub inserts: usize,
+    pub analyzes: usize,
+    /// Wall-clock duration of the measured phase (all clients, spawn to join).
+    pub duration: Duration,
+    pub p50: Duration,
+    pub p99: Duration,
+    /// Plan-cache hits / lookups over the measured phase only.
+    pub plan_cache_hit_rate: f64,
+    /// Every query's rows matched the independently tracked expectation: the shared
+    /// shape against a pre-stress reference, each private query against the client's
+    /// own insert log.
+    pub results_match: bool,
+}
+
+impl ServingArm {
+    pub fn throughput_qps(&self) -> f64 {
+        self.queries as f64 / self.duration.as_secs_f64().max(1e-9)
+    }
+}
+
+/// What one client thread brings back from the measured phase.
+struct ClientOutcome {
+    latencies: Vec<Duration>,
+    queries: usize,
+    inserts: usize,
+    analyzes: usize,
+    ok: bool,
+}
+
+/// Per-client mutable state threaded from the warm-up into the measured phase, so the
+/// equivalence model covers every row ever inserted into the client's private table.
+struct ClientState {
+    t: usize,
+    next_id: i64,
+    /// `(id, grp, amount)` of every row inserted into `events_<t>`, in order.
+    inserted: Vec<(i64, i64, f64)>,
+}
+
+const SERVING_SHARED_SQL: &str = "select custkey, service_level(custkey) as level from customer";
+
+const SERVING_UDF_SQL: &str = "create function service_level(int ckey) returns varchar(10) as \
+     begin \
+       float totalbusiness; string level; \
+       select sum(totalprice) into :totalbusiness from orders where custkey = :ckey; \
+       if (totalbusiness > 200000) level = 'Platinum'; \
+       else if (totalbusiness > 50000) level = 'Gold'; \
+       else level = 'Regular'; \
+       return level; \
+     end";
+
+/// Each client queries one fixed group of its private table, so the shape (SQL text
+/// including the constant) stays plan-cache stable across the run.
+fn serving_private_sql(t: usize) -> String {
+    format!("select id, amount from events_{t} where grp = {}", t % 5)
+}
+
+/// Builds the shared serving fixture: `customer`/`orders` + the service-level UDF
+/// (read-only during the stress) and one private `events_<t>` table per client.
+fn serving_engine(clients: usize, customers: usize) -> Engine {
+    // Per-query parallelism stays off: the concurrency under test is client threads
+    // racing sessions, not morsel workers inside one query.
+    let engine = Engine::builder().parallelism(1).build();
+    let admin = engine.session();
+    admin
+        .execute(
+            "create table customer(custkey int not null, name varchar(25)); \
+             create table orders(orderkey int not null, custkey int, totalprice float); \
+             create index on orders(custkey)",
+        )
+        .expect("serving schema");
+    let rows: Vec<Row> = (1..=customers as i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::str(format!("Customer#{i}"))]))
+        .collect();
+    engine.load_rows("customer", rows).expect("customer rows");
+    let mut orders = vec![];
+    let mut orderkey = 0i64;
+    for i in 1..=customers as i64 {
+        // A skewed order count per customer populates all three service levels.
+        for _ in 0..=(i % 7) {
+            orderkey += 1;
+            orders.push(Row::new(vec![
+                Value::Int(orderkey),
+                Value::Int(i),
+                Value::Float(9_000.0 * (1 + i % 31) as f64),
+            ]));
+        }
+    }
+    engine.load_rows("orders", orders).expect("orders rows");
+    for t in 0..clients {
+        admin
+            .execute(&format!(
+                "create table events_{t}(id int not null, grp int, amount float)"
+            ))
+            .expect("private table");
+    }
+    admin.register_function(SERVING_UDF_SQL).expect("udf");
+    engine
+}
+
+/// Inserts the client's next private row and records it in the equivalence model.
+/// Amounts are exact binary fractions so the SQL literal round-trips bit-for-bit.
+fn serving_insert(session: &Session, state: &mut ClientState) {
+    state.next_id += 1;
+    let id = state.next_id;
+    let grp = id % 5;
+    let amount = id as f64 * 0.5 + state.t as f64;
+    session
+        .execute(&format!(
+            "insert into events_{} values ({id}, {grp}, {amount:?})",
+            state.t
+        ))
+        .expect("private insert");
+    state.inserted.push((id, grp, amount));
+}
+
+/// The rows `serving_private_sql` must return, canonicalized for comparison.
+fn serving_expected_private(state: &ClientState) -> Vec<String> {
+    let want = (state.t % 5) as i64;
+    let mut rows: Vec<String> = state
+        .inserted
+        .iter()
+        .filter(|(_, grp, _)| *grp == want)
+        .map(|(id, _, amount)| {
+            format!(
+                "{:?}",
+                Row::new(vec![Value::Int(*id), Value::Float(*amount)])
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn serving_query_private(session: &Session, state: &ClientState) -> (Duration, bool) {
+    let start = Instant::now();
+    let result = session
+        .query(&serving_private_sql(state.t))
+        .expect("private query");
+    let elapsed = start.elapsed();
+    let mut got: Vec<String> = result.rows.iter().map(|r| format!("{r:?}")).collect();
+    got.sort();
+    (elapsed, got == serving_expected_private(state))
+}
+
+fn serving_query_shared(session: &Session, reference: &str) -> (Duration, bool) {
+    let start = Instant::now();
+    let result = session.query(SERVING_SHARED_SQL).expect("shared query");
+    let elapsed = start.elapsed();
+    let got = result
+        .canonical_projection(&["custkey", "level"])
+        .expect("projection")
+        .join("|");
+    (elapsed, got == reference)
+}
+
+/// One client's measured phase: a seeded 70/15/14/1 mix of shared queries, private
+/// inserts, private queries and ANALYZE (client 0 additionally fires one ANALYZE at
+/// the midpoint, so every arm exercises plan invalidation at least once).
+fn serving_client(
+    session: &Session,
+    mut state: ClientState,
+    ops: usize,
+    reference: &str,
+) -> ClientOutcome {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE + state.t as u64);
+    let mut outcome = ClientOutcome {
+        latencies: vec![],
+        queries: 0,
+        inserts: 0,
+        analyzes: 0,
+        ok: true,
+    };
+    for step in 0..ops {
+        let roll = rng.gen_range_i64(0, 100);
+        if state.t == 0 && step == ops / 2 {
+            session.execute("analyze events_0").expect("analyze");
+            outcome.analyzes += 1;
+            continue;
+        }
+        if roll < 70 {
+            let (elapsed, ok) = serving_query_shared(session, reference);
+            outcome.latencies.push(elapsed);
+            outcome.queries += 1;
+            outcome.ok &= ok;
+        } else if roll < 85 {
+            serving_insert(session, &mut state);
+            outcome.inserts += 1;
+        } else if roll < 99 {
+            let (elapsed, ok) = serving_query_private(session, &state);
+            outcome.latencies.push(elapsed);
+            outcome.queries += 1;
+            outcome.ok &= ok;
+        } else {
+            session
+                .execute(&format!("analyze events_{}", state.t))
+                .expect("analyze");
+            outcome.analyzes += 1;
+        }
+    }
+    outcome
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one serving arm: builds the fixture, warms every plan shape serially (the
+/// first execution of a shape may invalidate its own cache entry on cold-statistics
+/// feedback, so each shape runs twice), then races `clients` threads and measures
+/// per-query latency, throughput and the warm plan-cache hit rate.
+pub fn measure_serving(clients: usize, ops_per_client: usize, customers: usize) -> ServingArm {
+    let engine = serving_engine(clients, customers);
+    let sessions: Vec<Session> = (0..clients).map(|_| engine.session()).collect();
+    let reference = engine
+        .session()
+        .query(SERVING_SHARED_SQL)
+        .expect("reference query")
+        .canonical_projection(&["custkey", "level"])
+        .expect("projection")
+        .join("|");
+
+    // Warm-up (serial): two shared queries plus, per client, two seed inserts and two
+    // private queries. Every measured plan shape is in the cache afterwards.
+    let mut states: Vec<ClientState> = (0..clients)
+        .map(|t| ClientState {
+            t,
+            next_id: 0,
+            inserted: vec![],
+        })
+        .collect();
+    for (t, state) in states.iter_mut().enumerate() {
+        let session = &sessions[t];
+        let (_, ok) = serving_query_shared(session, &reference);
+        assert!(ok, "warm-up shared query diverged for client {t}");
+        serving_query_shared(session, &reference);
+        serving_insert(session, state);
+        serving_insert(session, state);
+        serving_query_private(session, state);
+        let (_, ok) = serving_query_private(session, state);
+        assert!(ok, "warm-up private query diverged for client {t}");
+    }
+
+    let before = engine.plan_cache_stats();
+    let start = Instant::now();
+    let handles: Vec<_> = states
+        .into_iter()
+        .zip(sessions)
+        .map(|(state, session)| {
+            let reference = reference.clone();
+            thread::spawn(move || serving_client(&session, state, ops_per_client, &reference))
+        })
+        .collect();
+    let outcomes: Vec<ClientOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let duration = start.elapsed();
+    let after = engine.plan_cache_stats();
+
+    let lookups = (after.hits - before.hits) + (after.misses - before.misses);
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        (after.hits - before.hits) as f64 / lookups as f64
+    };
+    let mut latencies: Vec<Duration> = outcomes.iter().flat_map(|o| o.latencies.clone()).collect();
+    latencies.sort();
+    ServingArm {
+        key: format!("clients_{clients}"),
+        clients,
+        ops_per_client,
+        queries: outcomes.iter().map(|o| o.queries).sum(),
+        inserts: outcomes.iter().map(|o| o.inserts).sum(),
+        analyzes: outcomes.iter().map(|o| o.analyzes).sum(),
+        duration,
+        p50: quantile(&latencies, 0.50),
+        p99: quantile(&latencies, 0.99),
+        plan_cache_hit_rate: hit_rate,
+        results_match: outcomes.iter().all(|o| o.ok),
+    }
+}
+
+fn serving_arm_json(arm: &ServingArm) -> Json {
+    Json::obj(vec![
+        ("key", Json::str(&arm.key)),
+        ("clients", Json::num(arm.clients as f64)),
+        ("ops_per_client", Json::num(arm.ops_per_client as f64)),
+        ("queries", Json::num(arm.queries as f64)),
+        ("inserts", Json::num(arm.inserts as f64)),
+        ("analyzes", Json::num(arm.analyzes as f64)),
+        ("duration_ms", Json::num(arm.duration.as_secs_f64() * 1e3)),
+        ("p50_ms", Json::num(arm.p50.as_secs_f64() * 1e3)),
+        ("p99_ms", Json::num(arm.p99.as_secs_f64() * 1e3)),
+        ("throughput_qps", Json::num(arm.throughput_qps())),
+        ("plan_cache_hit_rate", Json::num(arm.plan_cache_hit_rate)),
+        ("results_match", Json::Bool(arm.results_match)),
+    ])
+}
+
+/// Assembles the machine-readable `BENCH_serving.json` document. The headline the
+/// gate reads is the most-concurrent arm's warm plan-cache hit rate plus an
+/// all-arms result-equivalence flag — both deterministic call counters, not timings.
+pub fn serving_bench_json(mode: &str, arms: &[ServingArm]) -> Json {
+    let headline = arms.iter().max_by_key(|a| a.clients);
+    let (warm_hit_rate, headline_clients, headline_qps) = headline
+        .map(|a| (a.plan_cache_hit_rate, a.clients, a.throughput_qps()))
+        .unwrap_or((0.0, 0, 0.0));
+    Json::obj(vec![
+        ("schema_version", Json::num(1.0)),
+        ("mode", Json::str(mode)),
+        (
+            "arms",
+            Json::Arr(arms.iter().map(serving_arm_json).collect()),
+        ),
+        (
+            "overall",
+            Json::obj(vec![
+                ("warm_hit_rate", Json::num(warm_hit_rate)),
+                ("headline_clients", Json::num(headline_clients as f64)),
+                ("headline_throughput_qps", Json::num(headline_qps)),
+                (
+                    "all_results_match",
+                    Json::Bool(arms.iter().all(|a| a.results_match)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Thresholds for [`check_serving_against_baseline`].
+#[derive(Debug, Clone)]
+pub struct ServingGateConfig {
+    /// The most-concurrent arm's warm cross-session plan-cache hit rate must reach
+    /// this fraction. Hit rates count lookups, so this leg is machine-independent.
+    pub min_hit_rate: f64,
+    /// Fail when an arm's p50 latency exceeds `baseline * factor` (and the floor).
+    pub regression_factor: f64,
+    /// Ignore latency regressions below this many milliseconds — sub-floor p50s are
+    /// scheduler noise on shared CI runners.
+    pub latency_floor_ms: f64,
+}
+
+impl Default for ServingGateConfig {
+    fn default() -> Self {
+        ServingGateConfig {
+            min_hit_rate: 0.8,
+            regression_factor: 3.0,
+            latency_floor_ms: 25.0,
+        }
+    }
+}
+
+/// Compares a fresh `BENCH_serving.json` against the committed baseline. The
+/// machine-independent legs come first: result equivalence must hold in **every**
+/// arm and the warm hit rate must reach `min_hit_rate`. The latency leg is lenient
+/// (factor + noise floor, tunable via `BENCH_GATE_FACTOR`), and baseline-key
+/// presence keeps a bench refactor from silently un-gating an arm.
+pub fn check_serving_against_baseline(
+    current: &Json,
+    baseline: &Json,
+    config: &ServingGateConfig,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut report = vec![];
+    let mut failures = vec![];
+    let current_mode = current.get("mode").and_then(Json::as_str);
+    let baseline_mode = baseline.get("mode").and_then(Json::as_str);
+    if let (Some(current_mode), Some(baseline_mode)) = (current_mode, baseline_mode) {
+        if current_mode != baseline_mode {
+            failures.push(format!(
+                "bench mode mismatch: current run is '{current_mode}' but the baseline \
+                 is '{baseline_mode}' — regenerate the baseline in the same mode"
+            ));
+        }
+    }
+    let empty: &[Json] = &[];
+    let current_arms = current.get("arms").and_then(Json::as_arr).unwrap_or(empty);
+    for arm in current_arms {
+        let key = arm.get("key").and_then(Json::as_str).unwrap_or("<unnamed>");
+        match arm.get("results_match").and_then(Json::as_bool) {
+            Some(true) => report.push(format!("{key}: all query results matched — ok")),
+            _ => failures.push(format!(
+                "{key}: query results diverged from the tracked expectation \
+                 (concurrent sessions returned wrong rows)"
+            )),
+        }
+    }
+    match current
+        .get("overall")
+        .and_then(|o| o.get("warm_hit_rate"))
+        .and_then(Json::as_f64)
+    {
+        Some(hit_rate) if hit_rate >= config.min_hit_rate => report.push(format!(
+            "warm cross-session plan-cache hit rate {hit_rate:.3} \
+             (required {:.2}) — ok",
+            config.min_hit_rate
+        )),
+        Some(hit_rate) => failures.push(format!(
+            "warm cross-session plan-cache hit rate {hit_rate:.3} is below the \
+             required {:.2}",
+            config.min_hit_rate
+        )),
+        None => failures.push("current bench JSON is missing overall.warm_hit_rate".into()),
+    }
+    for baseline_arm in baseline.get("arms").and_then(Json::as_arr).unwrap_or(empty) {
+        let key = baseline_arm
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        let Some(current_arm) = current_arms
+            .iter()
+            .find(|c| c.get("key").and_then(Json::as_str) == Some(key))
+        else {
+            failures.push(format!(
+                "{key}: present in the baseline but missing from the current bench output"
+            ));
+            continue;
+        };
+        let p50 = |arm: &Json| arm.get("p50_ms").and_then(Json::as_f64);
+        if let (Some(current_p50), Some(baseline_p50)) = (p50(current_arm), p50(baseline_arm)) {
+            let ceiling = (baseline_p50 * config.regression_factor).max(config.latency_floor_ms);
+            if current_p50 > ceiling {
+                failures.push(format!(
+                    "{key}: p50 latency {current_p50:.2} ms regressed past \
+                     {ceiling:.2} ms (baseline {baseline_p50:.2} ms, factor {:.1}x)",
+                    config.regression_factor
+                ));
+            } else {
+                report.push(format!(
+                    "{key}: p50 {current_p50:.2} ms (baseline {baseline_p50:.2} ms, \
+                     ceiling {ceiling:.2} ms) — ok"
+                ));
+            }
         }
     }
     if failures.is_empty() {

@@ -1,21 +1,38 @@
 //! The engine facade: an embeddable in-memory SQL database with UDF decorrelation.
 //!
-//! [`Database`] wires every subsystem together: the parser front end, the storage
-//! catalog, the function registry, the decorrelation rewriter, the cost-based strategy
-//! choice and the executor. A query submitted through [`Database::query`] goes through
-//! exactly the paper's pipeline: parse → algebraize & merge UDFs → remove Apply
-//! operators → (cost-based) choice between the iterative and the decorrelated plan →
-//! execute.
+//! The public API is split into two layers:
+//!
+//! * [`Engine`] — the shared, thread-safe process-wide state: the catalog and function
+//!   registry behind an epoch/snapshot swap, plus the plan cache, runtime feedback
+//!   store, cross-query UDF memo and persistent worker pool, all shared by every
+//!   client. An `Engine` is a cheap clonable handle (`Arc` inside).
+//! * [`Session`] — a cheap per-client handle onto an engine. Sessions carry only
+//!   per-client state (an executor-config override and a default execution strategy)
+//!   and expose the statement surface: [`Session::query`], [`Session::execute`],
+//!   [`Session::explain`], [`Session::explain_analyze`]. Sessions are `Clone` and can
+//!   be freely moved across threads; any number can run concurrently against one
+//!   engine.
+//!
+//! Reads never block writes: a query *pins* an immutable snapshot of the catalog and
+//! registry (two `Arc` clones) and runs entirely against it, while concurrent
+//! `INSERT`/`ANALYZE`/DDL build a new catalog copy-on-write (only touched tables are
+//! deep-cloned) and atomically swap it in as the next epoch.
+//!
+//! [`Database`] remains as a thin single-session facade over one private engine — the
+//! embedded, single-threaded entry point. A query submitted through
+//! [`Database::query`] goes through exactly the paper's pipeline: parse → algebraize &
+//! merge UDFs → remove Apply operators → (cost-based) choice between the iterative and
+//! the decorrelated plan → execute.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use decorr_algebra::display::explain;
 use decorr_algebra::RelExpr;
 use decorr_common::{Error, Result, Row, Schema, Value};
 use decorr_exec::{
-    CatalogProvider, Env, ExecConfig, Executor, UdfMemo, UdfMemoStats, UdfRuntimeHint, WorkerPool,
-    WorkerPoolStats,
+    CatalogProvider, Env, ExecConfig, Executor, MemoEpoch, UdfMemo, UdfMemoStats, UdfRuntimeHint,
+    WorkerPool, WorkerPoolStats,
 };
 use decorr_optimizer::{
     estimate_per_node, estimate_with, estimated_udf_invocation_cost, plan_fingerprint, CostParams,
@@ -140,7 +157,7 @@ impl QueryResult {
     }
 }
 
-/// Report produced by [`Database::rewrite_sql`] — the output of the paper's standalone
+/// Report produced by [`Session::rewrite_sql`] — the output of the paper's standalone
 /// rewrite tool: the rewritten SQL text plus any auxiliary aggregate definitions.
 #[derive(Debug, Clone)]
 pub struct RewriteReport {
@@ -166,40 +183,8 @@ pub enum ExecutionSummary {
     Analyzed {
         tables: Vec<String>,
     },
-    /// A SELECT executed through [`Database::execute`]; holds the number of rows.
+    /// A SELECT executed through [`Session::execute`]; holds the number of rows.
     QueryRows(usize),
-}
-
-/// An embeddable in-memory SQL engine with UDF decorrelation.
-///
-/// Every query routes through the optimizer's [`PassManager`] with a shared
-/// [`PlanCache`] attached: repeated query shapes skip the rewrite pipeline entirely.
-/// The cache key folds in the registry generation (bumped by `CREATE FUNCTION`) and
-/// the catalog DDL generation, so UDF redefinition and schema changes invalidate
-/// stale entries automatically.
-///
-/// The database also owns one persistent [`WorkerPool`]: every query's executor
-/// dispatches its morsel batches to it, so worker threads are reused across operators
-/// *and* across queries (thread spawns are a pool-lifecycle event, not a per-query
-/// cost). The catalog and registry are held behind `Arc`s so executors can hand
-/// `'static` jobs to those long-lived workers; mutation goes through
-/// [`Arc::make_mut`] (copy-on-write only if an in-flight query still holds the
-/// previous snapshot).
-#[derive(Debug)]
-pub struct Database {
-    catalog: Arc<Catalog>,
-    registry: Arc<FunctionRegistry>,
-    exec_config: ExecConfig,
-    plan_cache: Arc<PlanCache>,
-    worker_pool: Arc<WorkerPool>,
-    /// Runtime feedback: learned UDF invocation costs and recorded estimate-vs-actual
-    /// cardinalities, folded in after every query (see [`Database::run_plan`]).
-    feedback: Arc<FeedbackStore>,
-    /// Cross-query memo of pure-UDF results, shared by every query's executor and
-    /// invalidated whenever the registry or the catalog (schema *or* data) changes.
-    udf_memo: Arc<UdfMemo>,
-    /// Configuration `ANALYZE` runs with (sample size, bucket/MCV counts, seed).
-    analyze_config: AnalyzeConfig,
 }
 
 /// Default capacity (distinct argument tuples) of the cross-query pure-UDF memo.
@@ -210,76 +195,247 @@ const DEFAULT_UDF_MEMO_CAPACITY: usize = 8192;
 /// distinct argument tuples.
 const UDF_DEDUP_CAPACITY: usize = 65536;
 
-impl Clone for Database {
-    /// Clones the data and functions but gives the clone a **fresh, empty** plan cache
-    /// (same capacity) and its own worker pool (same size). Clones mutate their
-    /// registries and catalogs independently, so their generation counters diverge;
-    /// sharing one cache could cross-serve a plan optimized against the other clone's
-    /// definitions.
-    fn clone(&self) -> Database {
-        Database {
-            catalog: Arc::new((*self.catalog).clone()),
-            registry: Arc::new((*self.registry).clone()),
-            exec_config: self.exec_config.clone(),
-            plan_cache: Arc::new(PlanCache::with_capacity(self.plan_cache.capacity())),
-            worker_pool: Arc::new(WorkerPool::new(self.worker_pool.worker_count())),
-            // A fresh feedback store, like the fresh plan cache: the clone's workload
-            // diverges, so its measurements must not mix with the original's.
-            feedback: Arc::new(FeedbackStore::with_config(self.feedback.config().clone())),
-            // A fresh memo too: the clone's registry/catalog generations diverge from
-            // the original's, so shared entries could serve results across epochs.
-            udf_memo: Arc::new(UdfMemo::with_capacity(self.udf_memo.capacity())),
-            analyze_config: self.analyze_config.clone(),
-        }
+/// Lock helpers: a poisoned lock means another session panicked mid-operation; the
+/// protected state is swap-only (`Arc` replacement) or a plain config value, so it is
+/// never left torn — recover the guard instead of cascading the panic into every
+/// other session sharing the engine.
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The snapshot readers pin: catalog and registry swapped together so a query never
+/// observes a catalog from one epoch with a registry from another.
+#[derive(Debug, Clone)]
+struct SharedState {
+    catalog: Arc<Catalog>,
+    registry: Arc<FunctionRegistry>,
+}
+
+#[derive(Debug)]
+struct EngineInner {
+    /// Current catalog + registry epoch. Readers clone the two `Arc`s under the read
+    /// lock and run against that immutable snapshot; writers build the next epoch
+    /// outside the lock and swap it in.
+    state: RwLock<SharedState>,
+    /// Serializes writers (DDL/DML/ANALYZE/CREATE FUNCTION) so concurrent mutations
+    /// can't lose updates in the clone-mutate-swap cycle. Readers never touch it.
+    writer: Mutex<()>,
+    exec_config: RwLock<ExecConfig>,
+    plan_cache: RwLock<Arc<PlanCache>>,
+    worker_pool: RwLock<Arc<WorkerPool>>,
+    feedback: RwLock<Arc<FeedbackStore>>,
+    udf_memo: RwLock<Arc<UdfMemo>>,
+    analyze_config: RwLock<AnalyzeConfig>,
+}
+
+/// The shared, thread-safe core of the database: one per process (or per logical
+/// database), serving any number of concurrent [`Session`]s.
+///
+/// The engine owns the process-wide state every client shares:
+///
+/// * the **catalog** and **function registry**, behind an epoch swap — queries pin an
+///   immutable snapshot and never block writers (see [`Engine::mutate_catalog`]);
+/// * the **plan cache** — its key already folds in the registry generation, the DDL
+///   generation, the pipeline shape (including parallelism) and the feedback
+///   generation, so one cache safely serves every session: a plan warmed by session A
+///   is a hit for session B;
+/// * the **feedback store** — runtime cardinality and UDF-cost measurements from all
+///   sessions calibrate one shared cost model;
+/// * the **cross-query UDF memo** — entries are stamped with a per-UDF epoch (see
+///   [`Engine::analyze`] docs on invalidation), so sessions on different snapshots
+///   coexist in one cache;
+/// * the persistent **worker pool** — morsel workers are reused across operators,
+///   queries *and* sessions.
+///
+/// `Engine` is a cheap handle (`Arc` inside): clone it to share, use
+/// [`Engine::fork`] to create an independent engine with the same data but fresh
+/// caches.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
     }
 }
 
-impl Default for Database {
-    fn default() -> Database {
-        Database::new()
+impl Engine {
+    /// An empty engine with default configuration.
+    pub fn new() -> Engine {
+        Engine::builder().build()
     }
-}
 
-impl Database {
-    pub fn new() -> Database {
-        Database {
-            catalog: Arc::new(Catalog::new()),
-            registry: Arc::new(FunctionRegistry::new()),
-            exec_config: ExecConfig::default(),
-            plan_cache: Arc::new(PlanCache::new()),
-            worker_pool: Arc::new(WorkerPool::new(0)),
-            feedback: Arc::new(FeedbackStore::new()),
-            udf_memo: Arc::new(UdfMemo::with_capacity(DEFAULT_UDF_MEMO_CAPACITY)),
-            analyze_config: AnalyzeConfig::default(),
+    /// A builder for configuring parallelism, cache capacities and the
+    /// analyze/feedback configuration up front.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Opens a new session: a cheap per-client handle with its own config override
+    /// and default strategy. Any number of sessions may run concurrently.
+    pub fn session(&self) -> Session {
+        Session::new(self.clone())
+    }
+
+    /// An independent engine with the same data and functions but **fresh, empty**
+    /// caches (same capacities), its own worker pool and a fresh feedback store. The
+    /// fork's catalog shares table storage copy-on-write with the original: only
+    /// tables either side subsequently writes are deep-cloned.
+    pub fn fork(&self) -> Engine {
+        let state = read(&self.inner.state).clone();
+        Engine::builder()
+            .catalog((*state.catalog).clone())
+            .registry((*state.registry).clone())
+            .exec_config(self.exec_config())
+            .plan_cache_capacity(read(&self.inner.plan_cache).capacity())
+            .udf_memo_capacity(read(&self.inner.udf_memo).capacity())
+            .analyze_config(self.analyze_config())
+            .feedback_config(read(&self.inner.feedback).config().clone())
+            .build()
+    }
+
+    // ---- snapshot reads -------------------------------------------------------
+
+    /// The current catalog snapshot. The returned `Arc` pins this epoch: concurrent
+    /// writers swap in new epochs without disturbing it.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&read(&self.inner.state).catalog)
+    }
+
+    /// The current function-registry snapshot (see [`Engine::catalog`]).
+    pub fn registry(&self) -> Arc<FunctionRegistry> {
+        Arc::clone(&read(&self.inner.state).registry)
+    }
+
+    /// Pins one consistent snapshot of everything a query needs: catalog + registry
+    /// (one epoch), the shared caches, the worker pool and the resolved executor
+    /// configuration.
+    fn pin(&self, config_override: Option<&ExecConfig>) -> Pinned {
+        let state = read(&self.inner.state).clone();
+        let exec_config = match config_override {
+            Some(config) => config.clone(),
+            None => read(&self.inner.exec_config).clone(),
+        }
+        .normalized();
+        Pinned {
+            catalog: state.catalog,
+            registry: state.registry,
+            exec_config,
+            plan_cache: Arc::clone(&read(&self.inner.plan_cache)),
+            worker_pool: Arc::clone(&read(&self.inner.worker_pool)),
+            feedback: Arc::clone(&read(&self.inner.feedback)),
+            udf_memo: Arc::clone(&read(&self.inner.udf_memo)),
         }
     }
 
-    pub fn with_exec_config(exec_config: ExecConfig) -> Database {
-        let mut db = Database {
-            exec_config: exec_config.normalized(),
-            ..Database::new()
+    // ---- writes (clone-mutate-swap) -------------------------------------------
+
+    /// Runs a catalog mutation against a copy of the current epoch and atomically
+    /// swaps the result in as the next epoch. Concurrent queries keep reading their
+    /// pinned snapshots; they only contend on the brief `Arc` swap. Writers serialize
+    /// on an internal mutex. The clone is copy-on-write per table: only tables `f`
+    /// actually touches are deep-cloned.
+    ///
+    /// If `f` fails, no swap happens and the error is returned.
+    pub fn mutate_catalog<R>(&self, f: impl FnOnce(&mut Catalog) -> Result<R>) -> Result<R> {
+        let _writer = lock(&self.inner.writer);
+        let current = read(&self.inner.state).clone();
+        let mut catalog = (*current.catalog).clone();
+        let out = f(&mut catalog)?;
+        *write(&self.inner.state) = SharedState {
+            catalog: Arc::new(catalog),
+            registry: current.registry,
         };
-        db.rebuild_worker_pool();
-        db
+        Ok(out)
     }
 
-    /// Replaces the plan cache with an empty one holding at most `capacity` outcomes
-    /// (0 disables plan caching).
-    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
-        self.plan_cache = Arc::new(PlanCache::with_capacity(capacity));
+    /// Like [`Engine::mutate_catalog`], for the function registry.
+    pub fn mutate_registry<R>(&self, f: impl FnOnce(&mut FunctionRegistry) -> R) -> R {
+        let _writer = lock(&self.inner.writer);
+        let current = read(&self.inner.state).clone();
+        let mut registry = (*current.registry).clone();
+        let out = f(&mut registry);
+        *write(&self.inner.state) = SharedState {
+            catalog: current.catalog,
+            registry: Arc::new(registry),
+        };
+        out
     }
 
-    /// Replaces the cross-query pure-UDF memo with an empty one holding at most
-    /// `capacity` distinct argument tuples. `0` disables memoization entirely (the
-    /// per-query dedup cache controlled by `ExecConfig::udf_batching` is unaffected).
-    pub fn set_udf_memo_capacity(&mut self, capacity: usize) {
-        self.udf_memo = Arc::new(UdfMemo::with_capacity(capacity));
+    /// Registers a UDF from its `CREATE FUNCTION` source. The queries inside the body
+    /// are normalised (predicate pushdown etc.) so that iterative invocation executes
+    /// them with reasonable plans, just like a commercial system would.
+    pub fn register_function(&self, sql: &str) -> Result<()> {
+        let udf = decorr_parser::parse_function(sql)?;
+        self.register_udf_definition(udf);
+        Ok(())
     }
 
-    /// Counter snapshot of the cross-query pure-UDF memo
-    /// (hits/misses/insertions/evictions/invalidations/entries).
-    pub fn udf_memo_stats(&self) -> UdfMemoStats {
-        self.udf_memo.stats()
+    /// Registers an already-parsed UDF definition (normalising its body queries).
+    pub fn register_udf_definition(&self, udf: decorr_udf::UdfDefinition) {
+        // Normalize against the current snapshot before taking the writer lock:
+        // normalization is a best-effort plan cleanup, so racing with a concurrent
+        // DDL at worst misses an optimization opportunity, never correctness.
+        let normalized = self.pin(None).normalize_udf(udf);
+        self.mutate_registry(|r| r.register_udf(normalized));
+    }
+
+    /// Bulk-loads rows built programmatically (used by the TPC-H style generator).
+    pub fn load_rows(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        self.mutate_catalog(|c| c.insert_rows(table, rows))
+    }
+
+    /// Creates a hash index on `table(column)`.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<()> {
+        self.mutate_catalog(|c| c.create_index(table, column))
+    }
+
+    /// Runs a sampled `ANALYZE` over every table: builds histogram/MCV statistics the
+    /// cost model's range and equality selectivities consume. Bumps the catalog DDL
+    /// generation, so cached plans re-optimize against the fresh statistics. Returns
+    /// the analyzed table names.
+    pub fn analyze(&self) -> Vec<String> {
+        let config = self.analyze_config();
+        self.mutate_catalog(|c| Ok(c.analyze_all(&config)))
+            .expect("analyze_all is infallible")
+    }
+
+    /// Runs a sampled `ANALYZE` over one table (see [`Engine::analyze`]).
+    pub fn analyze_table(&self, name: &str) -> Result<()> {
+        let config = self.analyze_config();
+        self.mutate_catalog(|c| c.analyze_table(name, &config))
+    }
+
+    // ---- shared-component accessors and configuration --------------------------
+
+    /// The default executor configuration used by sessions without an override.
+    pub fn exec_config(&self) -> ExecConfig {
+        read(&self.inner.exec_config).clone()
+    }
+
+    /// Replaces the engine-wide default executor configuration and rebuilds the
+    /// worker pool if the parallelism changed.
+    pub fn set_exec_config(&self, config: ExecConfig) {
+        let _writer = lock(&self.inner.writer);
+        let normalized = config.normalized();
+        let parallelism = normalized.parallelism;
+        *write(&self.inner.exec_config) = normalized;
+        self.resize_worker_pool(parallelism);
+    }
+
+    /// The configured executor worker-pool size.
+    pub fn parallelism(&self) -> usize {
+        read(&self.inner.exec_config).parallelism
     }
 
     /// Sets the executor worker-pool size for subsequent queries. `1` (the default)
@@ -290,241 +446,210 @@ impl Database {
     /// with it, so cached decisions never cross pool sizes.
     ///
     /// Out-of-range values are clamped (`parallelism ≥ 1`), and the persistent worker
-    /// pool is rebuilt to the new size: growing spawns (and warms) the new workers up
-    /// front, shrinking retires the surplus threads. In-flight queries keep the
-    /// previous pool alive through their own handle until they finish.
-    pub fn set_parallelism(&mut self, parallelism: usize) {
-        self.exec_config.parallelism = parallelism.max(1);
-        self.exec_config = self.exec_config.clone().normalized();
-        self.rebuild_worker_pool();
+    /// pool is rebuilt to the new size. In-flight queries keep the previous pool
+    /// alive through their own pinned handle until they finish.
+    pub fn set_parallelism(&self, parallelism: usize) {
+        let _writer = lock(&self.inner.writer);
+        {
+            let mut config = write(&self.inner.exec_config);
+            config.parallelism = parallelism.max(1);
+            *config = config.clone().normalized();
+        }
+        self.resize_worker_pool(parallelism.max(1));
     }
 
-    /// Rebuilds the worker pool to match `exec_config.parallelism` (serial execution
-    /// keeps an empty pool — no idle threads).
-    fn rebuild_worker_pool(&mut self) {
-        let target = if self.exec_config.parallelism > 1 {
-            self.exec_config.parallelism
-        } else {
-            0
-        };
-        if self.worker_pool.worker_count() != target {
-            self.worker_pool = Arc::new(WorkerPool::new(target));
+    /// Rebuilds the worker pool to match the given parallelism (serial execution
+    /// keeps an empty pool — no idle threads). Caller holds the writer lock.
+    fn resize_worker_pool(&self, parallelism: usize) {
+        let target = if parallelism > 1 { parallelism } else { 0 };
+        let mut pool = write(&self.inner.worker_pool);
+        if pool.worker_count() != target {
+            *pool = Arc::new(WorkerPool::new(target));
         }
     }
 
-    /// The persistent worker pool shared by every query's executor. Exposed for
+    /// The persistent worker pool shared by every session's queries. Exposed for
     /// benches and diagnostics (spawn counters prove pool reuse across queries).
-    ///
-    /// A per-query `exec_config` override with a parallelism larger than the
-    /// configured pool grows the shared pool on demand, and the extra workers stay
-    /// parked (still reusable) until the next [`Database::set_parallelism`] rebuilds
-    /// the pool at its configured size — so `worker_pool_stats().workers` can exceed
-    /// [`Database::parallelism`] after such overrides.
-    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
-        &self.worker_pool
+    pub fn worker_pool(&self) -> Arc<WorkerPool> {
+        Arc::clone(&read(&self.inner.worker_pool))
     }
 
-    /// Lifecycle counters of the persistent worker pool (live workers, lifetime thread
-    /// spawns, batches executed).
+    /// Lifecycle counters of the persistent worker pool (live workers, lifetime
+    /// thread spawns, batches executed).
     pub fn worker_pool_stats(&self) -> WorkerPoolStats {
-        self.worker_pool.stats()
-    }
-
-    /// The configured executor worker-pool size.
-    pub fn parallelism(&self) -> usize {
-        self.exec_config.parallelism
-    }
-
-    /// The default executor configuration used by queries without a per-query override.
-    pub fn exec_config(&self) -> &ExecConfig {
-        &self.exec_config
+        read(&self.inner.worker_pool).stats()
     }
 
     /// The shared plan cache (for stats and explicit `clear`).
-    pub fn plan_cache(&self) -> &PlanCache {
-        &self.plan_cache
+    pub fn plan_cache(&self) -> Arc<PlanCache> {
+        Arc::clone(&read(&self.inner.plan_cache))
     }
 
     /// Snapshot of the plan-cache counters
     /// (hits/misses/evictions/invalidations/entries).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.plan_cache.stats()
+        read(&self.inner.plan_cache).stats()
+    }
+
+    /// Replaces the plan cache with an empty one holding at most `capacity` outcomes
+    /// (0 disables plan caching).
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        *write(&self.inner.plan_cache) = Arc::new(PlanCache::with_capacity(capacity));
     }
 
     /// The runtime feedback store (learned UDF costs, recorded q-errors).
-    pub fn feedback(&self) -> &FeedbackStore {
-        &self.feedback
+    pub fn feedback(&self) -> Arc<FeedbackStore> {
+        Arc::clone(&read(&self.inner.feedback))
     }
 
     /// Snapshot of the feedback counters.
     pub fn feedback_stats(&self) -> FeedbackStats {
-        self.feedback.stats()
+        read(&self.inner.feedback).stats()
     }
 
     /// Replaces the feedback store with a fresh one using `config` (thresholds, trust
     /// floors). Learned state is discarded.
-    pub fn set_feedback_config(&mut self, config: FeedbackConfig) {
-        self.feedback = Arc::new(FeedbackStore::with_config(config));
+    pub fn set_feedback_config(&self, config: FeedbackConfig) {
+        *write(&self.inner.feedback) = Arc::new(FeedbackStore::with_config(config));
+    }
+
+    /// Counter snapshot of the cross-query pure-UDF memo
+    /// (hits/misses/insertions/evictions/invalidations/entries).
+    pub fn udf_memo_stats(&self) -> UdfMemoStats {
+        read(&self.inner.udf_memo).stats()
+    }
+
+    /// Replaces the cross-query pure-UDF memo with an empty one holding at most
+    /// `capacity` distinct argument tuples. `0` disables memoization entirely (the
+    /// per-query dedup cache controlled by `ExecConfig::udf_batching` is unaffected).
+    pub fn set_udf_memo_capacity(&self, capacity: usize) {
+        *write(&self.inner.udf_memo) = Arc::new(UdfMemo::with_capacity(capacity));
     }
 
     /// The configuration `ANALYZE` runs with.
-    pub fn analyze_config(&self) -> &AnalyzeConfig {
-        &self.analyze_config
+    pub fn analyze_config(&self) -> AnalyzeConfig {
+        read(&self.inner.analyze_config).clone()
     }
 
     /// Replaces the `ANALYZE` configuration used by subsequent analyzes.
-    pub fn set_analyze_config(&mut self, config: AnalyzeConfig) {
+    pub fn set_analyze_config(&self, config: AnalyzeConfig) {
+        *write(&self.inner.analyze_config) = config;
+    }
+}
+
+/// Configures and builds an [`Engine`].
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    catalog: Catalog,
+    registry: FunctionRegistry,
+    exec_config: ExecConfig,
+    plan_cache_capacity: Option<usize>,
+    udf_memo_capacity: Option<usize>,
+    analyze_config: AnalyzeConfig,
+    feedback_config: Option<FeedbackConfig>,
+}
+
+impl EngineBuilder {
+    /// Seeds the engine with an existing catalog (used by [`Engine::fork`]).
+    pub fn catalog(mut self, catalog: Catalog) -> EngineBuilder {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Seeds the engine with an existing function registry.
+    pub fn registry(mut self, registry: FunctionRegistry) -> EngineBuilder {
+        self.registry = registry;
+        self
+    }
+
+    /// The engine-wide default executor configuration.
+    pub fn exec_config(mut self, config: ExecConfig) -> EngineBuilder {
+        self.exec_config = config;
+        self
+    }
+
+    /// Worker-pool size (clamped to ≥ 1; shorthand for setting it on the exec
+    /// config).
+    pub fn parallelism(mut self, parallelism: usize) -> EngineBuilder {
+        self.exec_config.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Plan-cache capacity in cached outcomes (0 disables plan caching).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.plan_cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Cross-query UDF memo capacity in distinct argument tuples (0 disables).
+    pub fn udf_memo_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.udf_memo_capacity = Some(capacity);
+        self
+    }
+
+    /// The configuration `ANALYZE` runs with (sample size, buckets, MCVs, seed).
+    pub fn analyze_config(mut self, config: AnalyzeConfig) -> EngineBuilder {
         self.analyze_config = config;
+        self
     }
 
-    /// Runs a sampled `ANALYZE` over every table: builds histogram/MCV statistics the
-    /// cost model's range and equality selectivities consume. Bumps the catalog DDL
-    /// generation, so cached plans re-optimize against the fresh statistics. Returns
-    /// the analyzed table names.
-    pub fn analyze(&mut self) -> Vec<String> {
-        let config = self.analyze_config.clone();
-        self.catalog_mut().analyze_all(&config)
+    /// The runtime-feedback configuration (q-error thresholds, trust floors).
+    pub fn feedback_config(mut self, config: FeedbackConfig) -> EngineBuilder {
+        self.feedback_config = Some(config);
+        self
     }
 
-    /// Runs a sampled `ANALYZE` over one table (see [`Database::analyze`]).
-    pub fn analyze_table(&mut self, name: &str) -> Result<()> {
-        let config = self.analyze_config.clone();
-        self.catalog_mut().analyze_table(name, &config)
-    }
-
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
-    }
-
-    /// Mutable access to the catalog. Copy-on-write: if an in-flight query on another
-    /// thread still holds the current snapshot, the catalog is cloned so that query
-    /// keeps reading its consistent state.
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        Arc::make_mut(&mut self.catalog)
-    }
-
-    pub fn registry(&self) -> &FunctionRegistry {
-        &self.registry
-    }
-
-    /// Mutable access to the function registry (copy-on-write like
-    /// [`Database::catalog_mut`]).
-    pub fn registry_mut(&mut self) -> &mut FunctionRegistry {
-        Arc::make_mut(&mut self.registry)
-    }
-
-    /// Executes one or more statements (DDL, DML, `CREATE FUNCTION`, or queries) and
-    /// returns a summary per statement.
-    pub fn execute(&mut self, sql: &str) -> Result<Vec<ExecutionSummary>> {
-        let statements = parse_statements(sql)?;
-        let mut out = vec![];
-        for stmt in statements {
-            out.push(self.execute_statement(stmt)?);
-        }
-        Ok(out)
-    }
-
-    fn execute_statement(&mut self, stmt: SqlStatement) -> Result<ExecutionSummary> {
-        match stmt {
-            SqlStatement::CreateTable { name, columns } => {
-                self.catalog_mut()
-                    .create_table(&name, Schema::new(columns))?;
-                Ok(ExecutionSummary::TableCreated(name))
-            }
-            SqlStatement::DropTable { name } => {
-                self.catalog_mut().drop_table(&name)?;
-                Ok(ExecutionSummary::TableDropped(name))
-            }
-            SqlStatement::CreateIndex { table, column } => {
-                self.catalog_mut().create_index(&table, &column)?;
-                Ok(ExecutionSummary::IndexCreated { table, column })
-            }
-            SqlStatement::Insert {
-                table,
-                columns,
-                rows,
-            } => {
-                let n = self.insert_parsed_rows(&table, columns.as_deref(), &rows)?;
-                Ok(ExecutionSummary::RowsInserted(n))
-            }
-            SqlStatement::CreateFunction(udf) => {
-                let name = udf.name.clone();
-                let normalized = self.normalize_udf(udf);
-                self.registry_mut().register_udf(normalized);
-                Ok(ExecutionSummary::FunctionCreated(name))
-            }
-            SqlStatement::Analyze { table } => {
-                let tables = match table {
-                    Some(name) => {
-                        self.analyze_table(&name)?;
-                        vec![name]
-                    }
-                    None => self.analyze(),
-                };
-                Ok(ExecutionSummary::Analyzed { tables })
-            }
-            SqlStatement::Query(select) => {
-                let plan = plan_select(&select)?;
-                let result = self.run_plan(&plan, &QueryOptions::default())?;
-                Ok(ExecutionSummary::QueryRows(result.rows.len()))
-            }
+    pub fn build(self) -> Engine {
+        let exec_config = self.exec_config.normalized();
+        let pool_size = if exec_config.parallelism > 1 {
+            exec_config.parallelism
+        } else {
+            0
+        };
+        let plan_cache = match self.plan_cache_capacity {
+            Some(capacity) => PlanCache::with_capacity(capacity),
+            None => PlanCache::new(),
+        };
+        let feedback = match self.feedback_config {
+            Some(config) => FeedbackStore::with_config(config),
+            None => FeedbackStore::new(),
+        };
+        let memo_capacity = self.udf_memo_capacity.unwrap_or(DEFAULT_UDF_MEMO_CAPACITY);
+        Engine {
+            inner: Arc::new(EngineInner {
+                state: RwLock::new(SharedState {
+                    catalog: Arc::new(self.catalog),
+                    registry: Arc::new(self.registry),
+                }),
+                writer: Mutex::new(()),
+                exec_config: RwLock::new(exec_config),
+                plan_cache: RwLock::new(Arc::new(plan_cache)),
+                worker_pool: RwLock::new(Arc::new(WorkerPool::new(pool_size))),
+                feedback: RwLock::new(Arc::new(feedback)),
+                udf_memo: RwLock::new(Arc::new(UdfMemo::with_capacity(memo_capacity))),
+                analyze_config: RwLock::new(self.analyze_config),
+            }),
         }
     }
+}
 
-    fn insert_parsed_rows(
-        &mut self,
-        table: &str,
-        columns: Option<&[String]>,
-        rows: &[Vec<decorr_algebra::ScalarExpr>],
-    ) -> Result<usize> {
-        let schema = self.catalog.table_schema(table)?;
-        let mut materialized = vec![];
-        {
-            // Evaluate the value expressions (constants and constant arithmetic).
-            let executor = Executor::with_config(
-                Arc::clone(&self.catalog),
-                Arc::clone(&self.registry),
-                self.exec_config.clone(),
-            );
-            let env = Env::root();
-            for row in rows {
-                let values: Result<Vec<Value>> =
-                    row.iter().map(|e| executor.eval_expr(e, &env)).collect();
-                let values = values?;
-                let full_row = match columns {
-                    None => Row::new(values),
-                    Some(cols) => {
-                        if cols.len() != values.len() {
-                            return Err(Error::Execution(format!(
-                                "INSERT provides {} values for {} columns",
-                                values.len(),
-                                cols.len()
-                            )));
-                        }
-                        let mut full = vec![Value::Null; schema.len()];
-                        for (c, v) in cols.iter().zip(values) {
-                            let idx = schema.index_of(None, c)?;
-                            full[idx] = v;
-                        }
-                        Row::new(full)
-                    }
-                };
-                materialized.push(full_row);
-            }
-        }
-        self.catalog_mut().insert_rows(table, materialized)
-    }
+/// One consistent snapshot of everything a single query needs. Pinning is a handful
+/// of `Arc` clones; the query then runs entirely against immutable state, so
+/// concurrent writers never block it (and it never blocks them).
+#[derive(Debug, Clone)]
+struct Pinned {
+    catalog: Arc<Catalog>,
+    registry: Arc<FunctionRegistry>,
+    /// Resolved (per-query override → session override → engine default) and
+    /// normalized executor configuration.
+    exec_config: ExecConfig,
+    plan_cache: Arc<PlanCache>,
+    worker_pool: Arc<WorkerPool>,
+    feedback: Arc<FeedbackStore>,
+    udf_memo: Arc<UdfMemo>,
+}
 
-    /// Registers a UDF from its `CREATE FUNCTION` source. The queries inside the body
-    /// are normalised (predicate pushdown etc.) so that iterative invocation executes
-    /// them with reasonable plans, just like a commercial system would.
-    pub fn register_function(&mut self, sql: &str) -> Result<()> {
-        let udf = decorr_parser::parse_function(sql)?;
-        let normalized = self.normalize_udf(udf);
-        self.registry_mut().register_udf(normalized);
-        Ok(())
-    }
-
+impl Pinned {
     /// Applies the cleanup/normalisation rules to a query plan through the optimizer's
     /// cleanup pipeline. Normalisation is best-effort: a (theoretically impossible)
     /// budget exhaustion in the cleanup rules keeps the plan as-is instead of failing.
@@ -549,7 +674,8 @@ impl Database {
 
     /// Runs the optimizer pipeline for the given strategy over an already-planned
     /// query, with the shared plan cache attached: a repeated plan under an unchanged
-    /// registry/schema skips the pipeline entirely.
+    /// registry/schema skips the pipeline entirely — including when a *different*
+    /// session warmed the cache.
     fn optimize_plan(
         &self,
         plan: &RelExpr,
@@ -558,7 +684,7 @@ impl Database {
         parallelism: usize,
     ) -> Result<OptimizeOutcome> {
         let provider = CatalogProvider::new(&self.catalog, &self.registry);
-        Database::pass_manager_for(strategy)
+        Pinned::pass_manager_for(strategy)
             .with_snapshots(capture_snapshots)
             .with_parallelism(parallelism)
             .with_plan_cache(Arc::clone(&self.plan_cache))
@@ -601,51 +727,61 @@ impl Database {
         udf
     }
 
-    /// Runs a `SELECT` query with the default (cost-based) strategy.
-    pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        self.query_with(sql, &QueryOptions::default())
+    /// Builds the per-UDF memo-epoch map for this snapshot. A memoized result is
+    /// served only while its epoch matches, i.e. while the registry generation, the
+    /// DDL generation and the relevant *data* version are unchanged. The data
+    /// component is per-table: a UDF whose body provably reads exactly one table is
+    /// keyed on that table's [`data_version`](decorr_storage::Table::data_version),
+    /// so inserts into unrelated tables don't evict its results. UDFs that read no
+    /// table, several tables, or whose read set is opaque (the body calls another
+    /// UDF) fall back to the catalog-wide data generation.
+    fn memo_epochs(&self) -> Arc<BTreeMap<String, MemoEpoch>> {
+        let registry_gen = self.registry.generation();
+        let ddl_gen = self.catalog.ddl_generation();
+        let catalog_wide = self.catalog.data_generation();
+        let mut map = BTreeMap::new();
+        for name in self.registry.udf_names() {
+            let Ok(udf) = self.registry.udf(&name) else {
+                continue;
+            };
+            let data = match decorr_udf::analysis::table_reads(&udf.body) {
+                Some(tables) if tables.len() == 1 => {
+                    let table = tables.iter().next().expect("len checked");
+                    match self.catalog.table(table) {
+                        Ok(table) => table.data_version(),
+                        Err(_) => catalog_wide,
+                    }
+                }
+                _ => catalog_wide,
+            };
+            map.insert(name, (registry_gen, ddl_gen, data));
+        }
+        Arc::new(map)
     }
 
-    /// Runs a `SELECT` query with explicit options.
-    pub fn query_with(&self, sql: &str, options: &QueryOptions) -> Result<QueryResult> {
-        let select = decorr_parser::parse_query(sql)?;
-        let plan = plan_select(&select)?;
-        self.run_plan(&plan, options)
-    }
-
-    /// Runs an already-planned query. Every strategy routes through the optimizer's
-    /// [`PassManager`]: the iterative strategy runs the normalisation pipeline only, the
-    /// other strategies run the full decorrelation pipeline (with the cost-based choice
-    /// for [`ExecutionStrategy::Auto`]).
-    pub fn run_plan(&self, plan: &RelExpr, options: &QueryOptions) -> Result<QueryResult> {
-        let config = options
-            .exec_config
-            .clone()
-            .unwrap_or_else(|| self.exec_config.clone())
-            .normalized();
-        let outcome = self.optimize_plan(
-            plan,
-            options.strategy,
-            options.capture_snapshots,
-            config.parallelism,
-        )?;
-        if options.strategy == ExecutionStrategy::Decorrelated && !outcome.decorrelated {
+    /// Runs an already-planned query against this snapshot. Every strategy routes
+    /// through the optimizer's [`PassManager`]: the iterative strategy runs the
+    /// normalisation pipeline only, the other strategies run the full decorrelation
+    /// pipeline (with the cost-based choice for [`ExecutionStrategy::Auto`]).
+    fn run_plan(
+        &self,
+        plan: &RelExpr,
+        strategy: ExecutionStrategy,
+        capture_snapshots: bool,
+    ) -> Result<QueryResult> {
+        let config = &self.exec_config;
+        let outcome = self.optimize_plan(plan, strategy, capture_snapshots, config.parallelism)?;
+        if strategy == ExecutionStrategy::Decorrelated && !outcome.decorrelated {
             return Err(Error::Rewrite(format!(
                 "query could not be decorrelated: {}",
                 outcome.notes.join("; ")
             )));
         }
-        // The memo epoch uses the *base* registry generation: the per-query aux
-        // aggregate clone below registers aggregates (bumping the clone's generation)
-        // without changing any scalar UDF a memoized result could depend on.
-        let memo_epoch = (
-            self.registry.generation(),
-            self.catalog.ddl_generation(),
-            self.catalog.data_generation(),
-        );
         // Register auxiliary aggregates in a per-query copy of the registry; plans
         // without auxiliary aggregates (the common case) share the engine's registry
-        // snapshot without copying it.
+        // snapshot without copying it. The memo epochs below use the *base* registry
+        // generation: the clone registers aggregates without changing any scalar UDF
+        // a memoized result could depend on.
         let effective_registry = if outcome.aux_aggregates.is_empty() {
             Arc::clone(&self.registry)
         } else {
@@ -655,7 +791,7 @@ impl Database {
             }
             Arc::new(registry)
         };
-        // Attach the database's persistent pool: worker threads outlive this query.
+        // Attach the engine's persistent pool: worker threads outlive this query.
         let mut executor = Executor::with_config(
             Arc::clone(&self.catalog),
             effective_registry,
@@ -663,8 +799,9 @@ impl Database {
         )
         .with_worker_pool(Arc::clone(&self.worker_pool));
         if config.udf_memoization && self.udf_memo.is_enabled() {
-            self.udf_memo.ensure_epoch(memo_epoch);
-            executor = executor.with_udf_memo(Arc::clone(&self.udf_memo));
+            executor = executor
+                .with_udf_memo(Arc::clone(&self.udf_memo))
+                .with_memo_epochs(self.memo_epochs());
         }
         if config.udf_batching {
             executor =
@@ -700,7 +837,7 @@ impl Database {
         Ok(QueryResult {
             schema: result_set.schema,
             rows: result_set.rows,
-            strategy: options.strategy,
+            strategy,
             used_decorrelated_plan: outcome.used_decorrelated_plan,
             rewrite_notes: outcome.notes,
             applied_rules: outcome.applied_rules,
@@ -714,11 +851,12 @@ impl Database {
         })
     }
 
-    /// Folds one execution's ground truth into the feedback store: the estimated vs
-    /// actual root cardinality and the measured per-UDF invocation wall-clocks. When
-    /// the observed q-error (cardinality or UDF cost) first crosses the configured
-    /// threshold for this plan fingerprint, the stale cost-based plan-cache entries
-    /// are invalidated so the next optimize re-decides with the calibrated numbers.
+    /// Folds one execution's ground truth into the shared feedback store: the
+    /// estimated vs actual root cardinality and the measured per-UDF invocation
+    /// wall-clocks. When the observed q-error (cardinality or UDF cost) first crosses
+    /// the configured threshold for this plan fingerprint, the stale cost-based
+    /// plan-cache entries are invalidated so the next optimize — from *any* session —
+    /// re-decides with the calibrated numbers.
     fn fold_feedback(
         &self,
         input_plan: &RelExpr,
@@ -779,18 +917,234 @@ impl Database {
         (estimated_rows, cardinality_q, udf_timings)
     }
 
-    /// Returns an EXPLAIN-style report: the original plan, the rewritten plan (if any),
-    /// the rules that fired, the per-pass timings and rule fire counts recorded by the
-    /// PassManager, and the cost-based decision.
+    /// Materializes the value rows of an `INSERT` (constants and constant
+    /// arithmetic) against this snapshot.
+    fn materialize_insert_rows(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<decorr_algebra::ScalarExpr>],
+    ) -> Result<Vec<Row>> {
+        let schema = self.catalog.table_schema(table)?;
+        let executor = Executor::with_config(
+            Arc::clone(&self.catalog),
+            Arc::clone(&self.registry),
+            self.exec_config.clone(),
+        );
+        let env = Env::root();
+        let mut materialized = vec![];
+        for row in rows {
+            let values: Result<Vec<Value>> =
+                row.iter().map(|e| executor.eval_expr(e, &env)).collect();
+            let values = values?;
+            let full_row = match columns {
+                None => Row::new(values),
+                Some(cols) => {
+                    if cols.len() != values.len() {
+                        return Err(Error::Execution(format!(
+                            "INSERT provides {} values for {} columns",
+                            values.len(),
+                            cols.len()
+                        )));
+                    }
+                    let mut full = vec![Value::Null; schema.len()];
+                    for (c, v) in cols.iter().zip(values) {
+                        let idx = schema.index_of(None, c)?;
+                        full[idx] = v;
+                    }
+                    Row::new(full)
+                }
+            };
+            materialized.push(full_row);
+        }
+        Ok(materialized)
+    }
+}
+
+/// A per-client handle onto a shared [`Engine`].
+///
+/// Sessions are cheap (`Clone` copies an `Arc` handle plus the per-session config)
+/// and carry only per-client state: an optional executor-config override and a
+/// default [`ExecutionStrategy`]. All data, functions, caches and feedback live in
+/// the engine and are shared across sessions.
+///
+/// Every statement a session executes pins a fresh consistent snapshot, so a session
+/// always sees its own earlier writes (and any writes other sessions have committed
+/// by then), while long-running queries are never torn by concurrent mutations.
+#[derive(Debug, Clone)]
+pub struct Session {
+    engine: Engine,
+    exec_config: Option<ExecConfig>,
+    strategy: ExecutionStrategy,
+}
+
+impl Session {
+    /// Opens a session on `engine` (equivalent to [`Engine::session`]).
+    pub fn new(engine: Engine) -> Session {
+        Session {
+            engine,
+            exec_config: None,
+            strategy: ExecutionStrategy::default(),
+        }
+    }
+
+    /// The shared engine this session runs against.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Sets this session's executor-config override (`None` uses the engine
+    /// default). Only this session is affected.
+    pub fn set_exec_config(&mut self, config: Option<ExecConfig>) {
+        self.exec_config = config.map(|c| c.normalized());
+    }
+
+    /// Builder-style [`Session::set_exec_config`].
+    pub fn with_exec_config(mut self, config: ExecConfig) -> Session {
+        self.set_exec_config(Some(config));
+        self
+    }
+
+    /// This session's executor-config override, if any.
+    pub fn exec_config(&self) -> Option<&ExecConfig> {
+        self.exec_config.as_ref()
+    }
+
+    /// Sets the default execution strategy used by [`Session::query`] (per-query
+    /// [`QueryOptions`] still win).
+    pub fn set_strategy(&mut self, strategy: ExecutionStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Builder-style [`Session::set_strategy`].
+    pub fn with_strategy(mut self, strategy: ExecutionStrategy) -> Session {
+        self.set_strategy(strategy);
+        self
+    }
+
+    pub fn strategy(&self) -> ExecutionStrategy {
+        self.strategy
+    }
+
+    /// Pins a snapshot using this session's config override (unless the per-query
+    /// options carry their own).
+    fn pin(&self, options: &QueryOptions) -> Pinned {
+        let config = options.exec_config.as_ref().or(self.exec_config.as_ref());
+        self.engine.pin(config)
+    }
+
+    /// Runs a `SELECT` query with this session's default strategy.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.query_with(
+            sql,
+            &QueryOptions {
+                strategy: self.strategy,
+                ..QueryOptions::default()
+            },
+        )
+    }
+
+    /// Runs a `SELECT` query with explicit options.
+    pub fn query_with(&self, sql: &str, options: &QueryOptions) -> Result<QueryResult> {
+        let select = decorr_parser::parse_query(sql)?;
+        let plan = plan_select(&select)?;
+        self.run_plan(&plan, options)
+    }
+
+    /// Runs an already-planned query against a freshly pinned snapshot.
+    pub fn run_plan(&self, plan: &RelExpr, options: &QueryOptions) -> Result<QueryResult> {
+        self.pin(options)
+            .run_plan(plan, options.strategy, options.capture_snapshots)
+    }
+
+    /// Executes one or more statements (DDL, DML, `CREATE FUNCTION`, or queries) and
+    /// returns a summary per statement. Statements run sequentially; each pins a
+    /// fresh snapshot, so later statements see earlier ones' effects.
+    pub fn execute(&self, sql: &str) -> Result<Vec<ExecutionSummary>> {
+        let statements = parse_statements(sql)?;
+        let mut out = vec![];
+        for stmt in statements {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    fn execute_statement(&self, stmt: SqlStatement) -> Result<ExecutionSummary> {
+        match stmt {
+            SqlStatement::CreateTable { name, columns } => {
+                self.engine
+                    .mutate_catalog(|c| c.create_table(&name, Schema::new(columns)))?;
+                Ok(ExecutionSummary::TableCreated(name))
+            }
+            SqlStatement::DropTable { name } => {
+                self.engine.mutate_catalog(|c| c.drop_table(&name))?;
+                Ok(ExecutionSummary::TableDropped(name))
+            }
+            SqlStatement::CreateIndex { table, column } => {
+                self.engine.create_index(&table, &column)?;
+                Ok(ExecutionSummary::IndexCreated { table, column })
+            }
+            SqlStatement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let pinned = self.pin(&QueryOptions::default());
+                let materialized =
+                    pinned.materialize_insert_rows(&table, columns.as_deref(), &rows)?;
+                let n = self
+                    .engine
+                    .mutate_catalog(|c| c.insert_rows(&table, materialized))?;
+                Ok(ExecutionSummary::RowsInserted(n))
+            }
+            SqlStatement::CreateFunction(udf) => {
+                let name = udf.name.clone();
+                self.engine.register_udf_definition(udf);
+                Ok(ExecutionSummary::FunctionCreated(name))
+            }
+            SqlStatement::Analyze { table } => {
+                let tables = match table {
+                    Some(name) => {
+                        self.engine.analyze_table(&name)?;
+                        vec![name]
+                    }
+                    None => self.engine.analyze(),
+                };
+                Ok(ExecutionSummary::Analyzed { tables })
+            }
+            SqlStatement::Query(select) => {
+                let plan = plan_select(&select)?;
+                let result = self.run_plan(
+                    &plan,
+                    &QueryOptions {
+                        strategy: self.strategy,
+                        ..QueryOptions::default()
+                    },
+                )?;
+                Ok(ExecutionSummary::QueryRows(result.rows.len()))
+            }
+        }
+    }
+
+    /// Registers a UDF from its `CREATE FUNCTION` source (see
+    /// [`Engine::register_function`]).
+    pub fn register_function(&self, sql: &str) -> Result<()> {
+        self.engine.register_function(sql)
+    }
+
+    /// Returns an EXPLAIN-style report: the original plan, the rewritten plan (if
+    /// any), the rules that fired, the per-pass timings and rule fire counts recorded
+    /// by the PassManager, and the cost-based decision.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let select = decorr_parser::parse_query(sql)?;
         let plan = plan_select(&select)?;
+        let pinned = self.pin(&QueryOptions::default());
         // EXPLAIN is the diagnostic entry point: always capture plan snapshots.
-        let outcome = self.optimize_plan(
+        let outcome = pinned.optimize_plan(
             &plan,
             ExecutionStrategy::Auto,
             true,
-            self.exec_config.parallelism,
+            pinned.exec_config.parallelism,
         )?;
         let mut out = String::new();
         out.push_str("== original (iterative) plan ==\n");
@@ -816,7 +1170,7 @@ impl Database {
         Ok(out)
     }
 
-    /// Like [`Database::explain`], but additionally *executes* the query and appends
+    /// Like [`Session::explain`], but additionally *executes* the query and appends
     /// the runtime side of the story: the executor counters, the per-operator
     /// execution trace (morsels dispatched, per-worker row spread, rows in/out,
     /// operator wall clock), the **estimated vs actual rows per plan operator** (the
@@ -826,26 +1180,23 @@ impl Database {
         let mut out = self.explain(sql)?;
         let select = decorr_parser::parse_query(sql)?;
         let plan = plan_select(&select)?;
+        let pinned = self.pin(&QueryOptions::default());
         // Resolve the plan that is about to execute *before* executing it: the
         // execution's own feedback can invalidate this shape and flip the next
         // optimize's decision, and the estimates table must describe the plan the
         // actuals were recorded for. `run_plan` below re-optimizes internally, but
         // nothing executes in between, so it is served this exact cached outcome.
-        let outcome = self.optimize_plan(
+        let outcome = pinned.optimize_plan(
             &plan,
             ExecutionStrategy::Auto,
             false,
-            self.exec_config.parallelism,
+            pinned.exec_config.parallelism,
         )?;
-        // Execute in diagnostic mode: per-node actual cardinalities are recorded,
-        // keyed by each node's structural fingerprint.
-        let mut config = self.exec_config.clone();
-        config.collect_cardinalities = true;
-        let options = QueryOptions {
-            exec_config: Some(config),
-            ..QueryOptions::default()
-        };
-        let result = self.run_plan(&plan, &options)?;
+        // Execute in diagnostic mode against the *same* pinned snapshot: per-node
+        // actual cardinalities are recorded, keyed by structural fingerprint.
+        let mut diagnostic = pinned.clone();
+        diagnostic.exec_config.collect_cardinalities = true;
+        let result = diagnostic.run_plan(&plan, ExecutionStrategy::Auto, false)?;
         out.push_str("\n== execution ==\n");
         out.push_str(&format!(
             "rows={} parallelism={} · scanned={} index-lookups={} udf-invocations={} \
@@ -853,7 +1204,7 @@ impl Database {
              subqueries={} hash-joins={} nl-joins={} morsels={} pipelined-ops={} \
              pool-spawns={}\n",
             result.rows.len(),
-            self.exec_config.parallelism,
+            pinned.exec_config.parallelism,
             result.exec_stats.rows_scanned,
             result.exec_stats.index_lookups,
             result.exec_stats.udf_invocations,
@@ -868,8 +1219,9 @@ impl Database {
             result.exec_stats.pool_spawns,
         ));
         // Estimated vs actual rows per operator of the executed plan.
-        let params = CostParams::new(self.exec_config.parallelism);
-        let estimates = estimate_per_node(&outcome.plan, &self.catalog, &self.registry, &params);
+        let params = CostParams::new(pinned.exec_config.parallelism);
+        let estimates =
+            estimate_per_node(&outcome.plan, &pinned.catalog, &pinned.registry, &params);
         out.push_str("\n== cardinalities (estimated vs actual) ==\n");
         out.push_str(&format!(
             "{:<24} {:>12} {:>12} {:>8} {:>8}\n",
@@ -911,7 +1263,7 @@ impl Database {
                 timing.mean().as_secs_f64() * 1e3,
             ));
         }
-        let feedback = self.feedback_stats();
+        let feedback = self.engine.feedback_stats();
         out.push_str(&format!(
             "feedback store: {} quer{} recorded, {} udf(s) tracked, \
              {} invalidation(s) flagged\n",
@@ -929,17 +1281,18 @@ impl Database {
         Ok(out)
     }
 
-    /// The standalone rewrite-tool entry point (Figure 9): returns the rewritten SQL text
-    /// and the auxiliary aggregate definitions, without executing anything.
+    /// The standalone rewrite-tool entry point (Figure 9): returns the rewritten SQL
+    /// text and the auxiliary aggregate definitions, without executing anything.
     pub fn rewrite_sql(&self, sql: &str) -> Result<RewriteReport> {
         let select = decorr_parser::parse_query(sql)?;
         let plan = plan_select(&select)?;
-        let provider = CatalogProvider::new(&self.catalog, &self.registry);
+        let pinned = self.pin(&QueryOptions::default());
+        let provider = CatalogProvider::new(&pinned.catalog, &pinned.registry);
         let outcome = PassManager::rewrite_pipeline().optimize(
             &plan,
-            &self.registry,
+            &pinned.registry,
             &provider,
-            Some(&self.catalog),
+            Some(pinned.catalog.as_ref()),
         )?;
         Ok(RewriteReport {
             decorrelated: outcome.decorrelated,
@@ -953,10 +1306,232 @@ impl Database {
             notes: outcome.notes,
         })
     }
+}
+
+/// An embeddable in-memory SQL engine with UDF decorrelation: a thin single-session
+/// facade over a private [`Engine`].
+///
+/// This is the convenience entry point for embedded, single-client use — examples,
+/// tests and benches. Multi-client serving should hold one [`Engine`] and open one
+/// [`Session`] per client instead; [`Database::engine`] exposes the engine behind an
+/// existing `Database` so the two styles compose.
+///
+/// The `&mut self` receivers on mutating methods are kept for API familiarity (and
+/// to make single-threaded ownership obvious); the engine underneath is fully
+/// thread-safe.
+#[derive(Debug)]
+pub struct Database {
+    engine: Engine,
+    session: Session,
+}
+
+impl Clone for Database {
+    /// Clones the data and functions but gives the clone a **fresh, empty** plan
+    /// cache (same capacity), its own worker pool, feedback store and UDF memo — see
+    /// [`Engine::fork`]. Clones mutate their catalogs independently (copy-on-write:
+    /// table storage is shared until written).
+    fn clone(&self) -> Database {
+        Database::from_engine(self.engine.fork())
+    }
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::from_engine(Engine::new())
+    }
+
+    pub fn with_exec_config(exec_config: ExecConfig) -> Database {
+        Database::from_engine(Engine::builder().exec_config(exec_config).build())
+    }
+
+    /// Wraps an existing engine in a single-session facade.
+    pub fn from_engine(engine: Engine) -> Database {
+        let session = engine.session();
+        Database { engine, session }
+    }
+
+    /// The shared engine underneath — open more sessions on it with
+    /// [`Engine::session`] to serve concurrent clients against this database.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The facade's own session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Replaces the plan cache with an empty one holding at most `capacity` outcomes
+    /// (0 disables plan caching).
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.engine.set_plan_cache_capacity(capacity);
+    }
+
+    /// Replaces the cross-query pure-UDF memo with an empty one holding at most
+    /// `capacity` distinct argument tuples. `0` disables memoization entirely (the
+    /// per-query dedup cache controlled by `ExecConfig::udf_batching` is unaffected).
+    pub fn set_udf_memo_capacity(&mut self, capacity: usize) {
+        self.engine.set_udf_memo_capacity(capacity);
+    }
+
+    /// Counter snapshot of the cross-query pure-UDF memo
+    /// (hits/misses/insertions/evictions/invalidations/entries).
+    pub fn udf_memo_stats(&self) -> UdfMemoStats {
+        self.engine.udf_memo_stats()
+    }
+
+    /// Sets the executor worker-pool size for subsequent queries (see
+    /// [`Engine::set_parallelism`]).
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.engine.set_parallelism(parallelism);
+    }
+
+    /// The persistent worker pool shared by every query's executor. Exposed for
+    /// benches and diagnostics (spawn counters prove pool reuse across queries).
+    pub fn worker_pool(&self) -> Arc<WorkerPool> {
+        self.engine.worker_pool()
+    }
+
+    /// Lifecycle counters of the persistent worker pool (live workers, lifetime
+    /// thread spawns, batches executed).
+    pub fn worker_pool_stats(&self) -> WorkerPoolStats {
+        self.engine.worker_pool_stats()
+    }
+
+    /// The configured executor worker-pool size.
+    pub fn parallelism(&self) -> usize {
+        self.engine.parallelism()
+    }
+
+    /// The default executor configuration used by queries without a per-query
+    /// override.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.engine.exec_config()
+    }
+
+    /// The shared plan cache (for stats and explicit `clear`).
+    pub fn plan_cache(&self) -> Arc<PlanCache> {
+        self.engine.plan_cache()
+    }
+
+    /// Snapshot of the plan-cache counters
+    /// (hits/misses/evictions/invalidations/entries).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.engine.plan_cache_stats()
+    }
+
+    /// The runtime feedback store (learned UDF costs, recorded q-errors).
+    pub fn feedback(&self) -> Arc<FeedbackStore> {
+        self.engine.feedback()
+    }
+
+    /// Snapshot of the feedback counters.
+    pub fn feedback_stats(&self) -> FeedbackStats {
+        self.engine.feedback_stats()
+    }
+
+    /// Replaces the feedback store with a fresh one using `config` (thresholds, trust
+    /// floors). Learned state is discarded.
+    pub fn set_feedback_config(&mut self, config: FeedbackConfig) {
+        self.engine.set_feedback_config(config);
+    }
+
+    /// The configuration `ANALYZE` runs with.
+    pub fn analyze_config(&self) -> AnalyzeConfig {
+        self.engine.analyze_config()
+    }
+
+    /// Replaces the `ANALYZE` configuration used by subsequent analyzes.
+    pub fn set_analyze_config(&mut self, config: AnalyzeConfig) {
+        self.engine.set_analyze_config(config);
+    }
+
+    /// Runs a sampled `ANALYZE` over every table (see [`Engine::analyze`]).
+    pub fn analyze(&mut self) -> Vec<String> {
+        self.engine.analyze()
+    }
+
+    /// Runs a sampled `ANALYZE` over one table (see [`Engine::analyze_table`]).
+    pub fn analyze_table(&mut self, name: &str) -> Result<()> {
+        self.engine.analyze_table(name)
+    }
+
+    /// The current catalog snapshot (pinned: concurrent writes build new epochs).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.engine.catalog()
+    }
+
+    /// The current function-registry snapshot.
+    pub fn registry(&self) -> Arc<FunctionRegistry> {
+        self.engine.registry()
+    }
+
+    /// Runs a catalog mutation (see [`Engine::mutate_catalog`]).
+    pub fn mutate_catalog<R>(&mut self, f: impl FnOnce(&mut Catalog) -> Result<R>) -> Result<R> {
+        self.engine.mutate_catalog(f)
+    }
+
+    /// Runs a registry mutation (see [`Engine::mutate_registry`]).
+    pub fn mutate_registry<R>(&mut self, f: impl FnOnce(&mut FunctionRegistry) -> R) -> R {
+        self.engine.mutate_registry(f)
+    }
+
+    /// Creates a hash index on `table(column)`.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
+        self.engine.create_index(table, column)
+    }
+
+    /// Executes one or more statements (DDL, DML, `CREATE FUNCTION`, or queries) and
+    /// returns a summary per statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Vec<ExecutionSummary>> {
+        self.session.execute(sql)
+    }
+
+    /// Registers a UDF from its `CREATE FUNCTION` source (see
+    /// [`Engine::register_function`]).
+    pub fn register_function(&mut self, sql: &str) -> Result<()> {
+        self.engine.register_function(sql)
+    }
+
+    /// Runs a `SELECT` query with the default (cost-based) strategy.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.session.query(sql)
+    }
+
+    /// Runs a `SELECT` query with explicit options.
+    pub fn query_with(&self, sql: &str, options: &QueryOptions) -> Result<QueryResult> {
+        self.session.query_with(sql, options)
+    }
+
+    /// Runs an already-planned query (see [`Session::run_plan`]).
+    pub fn run_plan(&self, plan: &RelExpr, options: &QueryOptions) -> Result<QueryResult> {
+        self.session.run_plan(plan, options)
+    }
+
+    /// Returns an EXPLAIN-style report (see [`Session::explain`]).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        self.session.explain(sql)
+    }
+
+    /// EXPLAIN plus execution diagnostics (see [`Session::explain_analyze`]).
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        self.session.explain_analyze(sql)
+    }
+
+    /// The standalone rewrite-tool entry point (see [`Session::rewrite_sql`]).
+    pub fn rewrite_sql(&self, sql: &str) -> Result<RewriteReport> {
+        self.session.rewrite_sql(sql)
+    }
 
     /// Bulk-loads rows built programmatically (used by the TPC-H style generator).
     pub fn load_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
-        self.catalog_mut().insert_rows(table, rows)
+        self.engine.load_rows(table, rows)
     }
 }
 
@@ -1143,6 +1718,120 @@ mod tests {
         assert_eq!(
             db.query("select * from missing").unwrap_err().kind(),
             "catalog"
+        );
+    }
+
+    #[test]
+    fn sessions_share_data_and_plan_cache() {
+        let db = sample_db();
+        let engine = db.engine().clone();
+        let sql = "select custkey, service_level(custkey) as level from customer";
+        let a = engine.session();
+        let b = engine.session();
+        // Warm the shape twice: the very first execution's runtime feedback can
+        // invalidate its own entry (cold statistics → q-error over threshold); the
+        // re-optimized entry is the stable one every session then shares.
+        let first = a.query(sql).unwrap();
+        a.query(sql).unwrap();
+        let before = engine.plan_cache_stats();
+        // Session B reuses the plan session A optimized: same cache, same key.
+        let second = b.query(sql).unwrap();
+        let after = engine.plan_cache_stats();
+        assert!(after.hits > before.hits, "{before:?} vs {after:?}");
+        assert_eq!(
+            first.canonical_projection(&["custkey", "level"]).unwrap(),
+            second.canonical_projection(&["custkey", "level"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn sessions_see_committed_writes_and_pinned_queries_do_not_tear() {
+        let engine = Engine::new();
+        let writer = engine.session();
+        writer
+            .execute("create table t(x int); insert into t values (1)")
+            .unwrap();
+        let reader = engine.session();
+        assert_eq!(reader.query("select x from t").unwrap().len(), 1);
+        // A pinned snapshot taken before a write keeps reading the old epoch.
+        let snapshot = engine.catalog();
+        writer.execute("insert into t values (2)").unwrap();
+        assert_eq!(snapshot.table("t").unwrap().row_count(), 1);
+        assert_eq!(reader.query("select x from t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn session_exec_config_override_only_affects_that_session() {
+        let db = sample_db();
+        let engine = db.engine().clone();
+        let mut config = engine.exec_config();
+        config.parallelism = 3;
+        let tuned = engine.session().with_exec_config(config);
+        let plain = engine.session();
+        let sql = "select custkey, service_level(custkey) as level from customer";
+        let tuned_result = tuned.query(sql).unwrap();
+        let plain_result = plain.query(sql).unwrap();
+        assert_eq!(tuned_result.rows, plain_result.rows);
+        assert_eq!(engine.parallelism(), 1);
+    }
+
+    #[test]
+    fn session_strategy_is_the_default_for_query() {
+        let db = sample_db();
+        let session = db
+            .engine()
+            .session()
+            .with_strategy(ExecutionStrategy::Iterative);
+        let sql = "select custkey, service_level(custkey) as level from customer";
+        let result = session.query(sql).unwrap();
+        assert!(!result.used_decorrelated_plan);
+        assert!(result.exec_stats.udf_invocations >= 20);
+    }
+
+    #[test]
+    fn builder_configures_capacities_and_parallelism() {
+        let engine = Engine::builder()
+            .parallelism(2)
+            .plan_cache_capacity(7)
+            .udf_memo_capacity(0)
+            .build();
+        assert_eq!(engine.parallelism(), 2);
+        assert_eq!(engine.plan_cache().capacity(), 7);
+        assert_eq!(engine.worker_pool_stats().workers, 2);
+        // Memo capacity 0 disables memoization.
+        assert_eq!(engine.udf_memo_stats().entries, 0);
+    }
+
+    #[test]
+    fn fork_is_independent_copy_on_write() {
+        let db = sample_db();
+        let fork = db.engine().fork();
+        fork.load_rows(
+            "customer",
+            vec![Row::new(vec![Value::Int(999), Value::str("Forked")])],
+        )
+        .unwrap();
+        assert_eq!(
+            fork.catalog().table("customer").unwrap().row_count(),
+            db.catalog().table("customer").unwrap().row_count() + 1
+        );
+        // The fork starts with cold caches.
+        assert_eq!(fork.plan_cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn database_facade_matches_direct_session() {
+        let db = sample_db();
+        let sql = "select custkey, service_level(custkey) as level from customer";
+        let via_facade = db.query(sql).unwrap();
+        let via_session = db.engine().session().query(sql).unwrap();
+        assert_eq!(
+            via_facade
+                .canonical_projection(&["custkey", "level"])
+                .unwrap(),
+            via_session
+                .canonical_projection(&["custkey", "level"])
+                .unwrap()
         );
     }
 }

@@ -19,7 +19,7 @@ use decorr_udf::FunctionRegistry;
 
 use crate::aggregate::BuiltinAccumulator;
 use crate::env::Env;
-use crate::memo::{fingerprint_invocation, UdfMemo};
+use crate::memo::{fingerprint_invocation, MemoEpoch, UdfMemo, NO_EPOCH};
 use crate::parallel::WorkerPool;
 use crate::stats::{
     AtomicExecStats, CardinalityCollector, ExecTrace, NodeCardinality, TraceCollector,
@@ -220,6 +220,10 @@ pub struct Executor {
     /// Learned per-UDF runtime profile (mean evaluation cost, observed predicate
     /// selectivity) used to order UDF conjuncts; from the engine's feedback store.
     pub(crate) udf_hints: Arc<BTreeMap<String, UdfRuntimeHint>>,
+    /// Per-UDF memo epochs for this query's pinned catalog/registry snapshot
+    /// (attached by the engine alongside the shared memo). A UDF absent from the map
+    /// uses [`NO_EPOCH`] — the standalone-executor case where nothing mutates.
+    pub(crate) memo_epochs: Arc<BTreeMap<String, MemoEpoch>>,
     /// The worker pool parallel operators dispatch to: the engine-attached shared pool
     /// (persistent across queries) when present, otherwise a pool created lazily for
     /// this executor and dropped with it.
@@ -258,6 +262,7 @@ impl Executor {
             memo: None,
             dedup: None,
             udf_hints: Arc::new(BTreeMap::new()),
+            memo_epochs: Arc::new(BTreeMap::new()),
             pool: OnceLock::new(),
         }
     }
@@ -270,12 +275,24 @@ impl Executor {
         self
     }
 
-    /// Attaches the database-owned cross-query memo cache (builder style). The engine
-    /// flushes the memo's epoch before attaching, so everything resident is valid for
-    /// the current registry/catalog state.
+    /// Attaches the engine-owned cross-query memo cache (builder style). Entries are
+    /// epoch-stamped, so pair this with [`with_memo_epochs`](Executor::with_memo_epochs)
+    /// when registry/catalog state can change between queries.
     pub fn with_udf_memo(mut self, memo: Arc<UdfMemo>) -> Executor {
         self.memo = Some(memo);
         self
+    }
+
+    /// Attaches the per-UDF memo epochs computed from this query's pinned
+    /// catalog/registry snapshot (builder style).
+    pub fn with_memo_epochs(mut self, epochs: Arc<BTreeMap<String, MemoEpoch>>) -> Executor {
+        self.memo_epochs = epochs;
+        self
+    }
+
+    /// The memo epoch to stamp/expect for one (normalized) UDF name.
+    pub(crate) fn memo_epoch(&self, key: &str) -> MemoEpoch {
+        self.memo_epochs.get(key).copied().unwrap_or(NO_EPOCH)
     }
 
     /// Attaches a per-query dedup cache (builder style): repeated pure-UDF argument
@@ -317,6 +334,7 @@ impl Executor {
             memo: self.memo.clone(),
             dedup: self.dedup.clone(),
             udf_hints: Arc::clone(&self.udf_hints),
+            memo_epochs: Arc::clone(&self.memo_epochs),
             pool: OnceLock::new(),
         }
     }
@@ -936,11 +954,11 @@ impl Executor {
                 let cached = self
                     .memo
                     .as_ref()
-                    .is_some_and(|m| m.peek_contains(&name, fp, &args))
+                    .is_some_and(|m| m.peek_contains(&name, fp, &args, self.memo_epoch(&name)))
                     || self
                         .dedup
                         .as_ref()
-                        .is_some_and(|d| d.peek_contains(&name, fp, &args));
+                        .is_some_and(|d| d.peek_contains(&name, fp, &args, NO_EPOCH));
                 if !cached {
                     pending.push((fp, name, args));
                 }

@@ -17,7 +17,7 @@ use decorr_udf::{Statement, UdfDefinition};
 
 use crate::env::Env;
 use crate::executor::{Executor, ResultSet};
-use crate::memo::{fingerprint_invocation, MemoValue};
+use crate::memo::{fingerprint_invocation, MemoValue, Reservation, NO_EPOCH};
 
 /// Result of executing a list of statements: either control flow ran off the end, or a
 /// `RETURN` was executed with the given value.
@@ -27,42 +27,65 @@ enum Flow {
 }
 
 impl Executor {
-    /// Checks the cross-query memo, then the per-query dedup cache, for a pure-UDF
-    /// result. A hit is counted in `ExecStats` and the timing collector's *hit*
-    /// column — never as an invocation, so learned per-UDF costs stay per-evaluation.
-    fn cached_udf_result(&self, name: &str, fingerprint: u64, args: &[Value]) -> Option<MemoValue> {
-        if let Some(memo) = &self.memo {
-            if let Some(value) = memo.get(name, fingerprint, args) {
-                self.stats.add_udf_memo_hits(1);
-                self.udf_timings.record_hit(name);
-                return Some(value);
-            }
-        }
-        if let Some(dedup) = &self.dedup {
-            if let Some(value) = dedup.get(name, fingerprint, args) {
-                self.stats.add_udf_dedup_hits(1);
-                self.udf_timings.record_hit(name);
-                return Some(value);
-            }
-        }
-        None
+    /// Checks the engine-owned cross-query memo for a pure-UDF result, using the
+    /// per-UDF epoch of this query's pinned snapshot. A hit is counted in `ExecStats`
+    /// and the timing collector's *hit* column — never as an invocation, so learned
+    /// per-UDF costs stay per-evaluation.
+    fn memo_udf_result(&self, name: &str, fingerprint: u64, args: &[Value]) -> Option<MemoValue> {
+        let memo = self.memo.as_ref()?;
+        let value = memo.get(name, fingerprint, args, self.memo_epoch(name))?;
+        self.stats.add_udf_memo_hits(1);
+        self.udf_timings.record_hit(name);
+        Some(value)
     }
 
     /// Stores an evaluated pure-UDF result into both caches (whichever are attached).
     fn store_udf_result(&self, name: &str, fingerprint: u64, args: &[Value], value: MemoValue) {
         if let Some(dedup) = &self.dedup {
-            dedup.insert(name, fingerprint, args, value.clone());
+            dedup.insert(name, fingerprint, args, value.clone(), NO_EPOCH);
         }
         if let Some(memo) = &self.memo {
-            memo.insert(name, fingerprint, args, value);
+            memo.insert(name, fingerprint, args, value, self.memo_epoch(name));
         }
     }
 
-    /// Invokes a scalar UDF with already-evaluated argument values. Every invocation's
-    /// wall clock is recorded into the executor's UDF timing collector — the engine's
-    /// feedback loop turns these measurements into learned invocation costs for the
-    /// strategy choice. Pure UDFs first consult the memo/dedup caches; only a miss
-    /// runs the body (and counts as an invocation).
+    /// Runs a scalar UDF body, counting the invocation and recording its wall clock.
+    fn eval_scalar_udf(&self, udf: &UdfDefinition, key: &str, args: &[Value]) -> Result<Value> {
+        self.stats.add_udf_invocations(1);
+        let started = std::time::Instant::now();
+        let mut env = self.udf_env(udf, args)?;
+        let result = match self.exec_statements(&udf.body, &mut env, &mut None)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Continue => Ok(Value::Null),
+        };
+        self.udf_timings.record(key, started.elapsed());
+        result
+    }
+
+    /// Runs a table-valued UDF body, counting the invocation and recording its wall
+    /// clock. Returns the rows inserted into its result table.
+    fn eval_table_udf(&self, udf: &UdfDefinition, key: &str, args: &[Value]) -> Result<Vec<Row>> {
+        self.stats.add_udf_invocations(1);
+        let started = std::time::Instant::now();
+        let mut env = self.udf_env(udf, args)?;
+        let mut buffer = Some(vec![]);
+        self.exec_statements(&udf.body, &mut env, &mut buffer)?;
+        self.udf_timings.record(key, started.elapsed());
+        Ok(buffer.unwrap_or_default())
+    }
+
+    /// Invokes a scalar UDF with already-evaluated argument values. Every evaluated
+    /// invocation's wall clock is recorded into the executor's UDF timing collector —
+    /// the engine's feedback loop turns these measurements into learned invocation
+    /// costs for the strategy choice.
+    ///
+    /// Pure UDFs first consult the cross-query memo, then *reserve* the argument
+    /// tuple in the per-query dedup cache: racing workers evaluating the same tuple
+    /// (the Apply path dispatches correlated calls row-at-a-time across the pool)
+    /// coalesce onto a single evaluation — one worker runs the body and publishes,
+    /// the rest wait for the published result. Cache hits are never counted as
+    /// invocations, so the invocation counter equals the number of distinct
+    /// evaluations even under races.
     pub fn call_udf(&self, name: &str, args: Vec<Value>) -> Result<Value> {
         let udf = self.registry.udf(name)?;
         if udf.is_table_valued() {
@@ -71,33 +94,50 @@ impl Executor {
             )));
         }
         let key = decorr_common::normalize_ident(name);
-        let fingerprint = if udf.pure && (self.memo.is_some() || self.dedup.is_some()) {
-            let fp = fingerprint_invocation(&key, &args);
-            if let Some(MemoValue::Scalar(v)) = self.cached_udf_result(&key, fp, &args) {
-                return Ok(v);
-            }
-            Some(fp)
-        } else {
-            None
-        };
-        self.stats.add_udf_invocations(1);
-        let started = std::time::Instant::now();
-        let mut env = self.udf_env(udf, &args)?;
-        let result = match self.exec_statements(&udf.body, &mut env, &mut None)? {
-            Flow::Return(v) => Ok(v),
-            Flow::Continue => Ok(Value::Null),
-        };
-        self.udf_timings.record(&key, started.elapsed());
-        if let (Some(fp), Ok(value)) = (fingerprint, &result) {
-            self.store_udf_result(&key, fp, &args, MemoValue::Scalar(value.clone()));
+        if !udf.pure || (self.memo.is_none() && self.dedup.is_none()) {
+            return self.eval_scalar_udf(udf, &key, &args);
         }
-        result
+        let fp = fingerprint_invocation(&key, &args);
+        if let Some(MemoValue::Scalar(v)) = self.memo_udf_result(&key, fp, &args) {
+            return Ok(v);
+        }
+        if let Some(dedup) = &self.dedup {
+            match dedup.reserve(&key, fp, &args, NO_EPOCH) {
+                Reservation::Hit(MemoValue::Scalar(v)) => {
+                    self.stats.add_udf_dedup_hits(1);
+                    self.udf_timings.record_hit(&key);
+                    return Ok(v);
+                }
+                Reservation::Hit(_) => {}
+                Reservation::Reserved(guard) => {
+                    // An evaluation error drops the guard, which abandons the
+                    // reservation and wakes any waiters to take over.
+                    let value = self.eval_scalar_udf(udf, &key, &args)?;
+                    guard.publish(&key, &args, MemoValue::Scalar(value.clone()), NO_EPOCH);
+                    if let Some(memo) = &self.memo {
+                        memo.insert(
+                            &key,
+                            fp,
+                            &args,
+                            MemoValue::Scalar(value.clone()),
+                            self.memo_epoch(&key),
+                        );
+                    }
+                    return Ok(value);
+                }
+                Reservation::Bypass => {}
+            }
+        }
+        let value = self.eval_scalar_udf(udf, &key, &args)?;
+        self.store_udf_result(&key, fp, &args, MemoValue::Scalar(value.clone()));
+        Ok(value)
     }
 
     /// Invokes a table-valued UDF, returning the rows inserted into its result table.
     /// Pure table-valued UDFs memoize their emitted rows the same way scalar UDFs
     /// memoize their return value (this is what deduplicates repeated correlated
-    /// `Apply` iterations over the same outer bindings).
+    /// `Apply` iterations over the same outer bindings), including the dedup cache's
+    /// reservation protocol under racing workers.
     pub fn call_table_udf(&self, name: &str, args: Vec<Value>) -> Result<ResultSet> {
         let udf = self.registry.udf(name)?;
         let schema = udf
@@ -105,25 +145,41 @@ impl Executor {
             .clone()
             .ok_or_else(|| Error::TypeError(format!("function '{name}' is not table-valued")))?;
         let key = decorr_common::normalize_ident(name);
-        let fingerprint = if udf.pure && (self.memo.is_some() || self.dedup.is_some()) {
-            let fp = fingerprint_invocation(&key, &args);
-            if let Some(MemoValue::Table(rows)) = self.cached_udf_result(&key, fp, &args) {
-                return Ok(ResultSet { schema, rows });
-            }
-            Some(fp)
-        } else {
-            None
-        };
-        self.stats.add_udf_invocations(1);
-        let started = std::time::Instant::now();
-        let mut env = self.udf_env(udf, &args)?;
-        let mut buffer = Some(vec![]);
-        self.exec_statements(&udf.body, &mut env, &mut buffer)?;
-        self.udf_timings.record(&key, started.elapsed());
-        let rows = buffer.unwrap_or_default();
-        if let Some(fp) = fingerprint {
-            self.store_udf_result(&key, fp, &args, MemoValue::Table(rows.clone()));
+        if !udf.pure || (self.memo.is_none() && self.dedup.is_none()) {
+            let rows = self.eval_table_udf(udf, &key, &args)?;
+            return Ok(ResultSet { schema, rows });
         }
+        let fp = fingerprint_invocation(&key, &args);
+        if let Some(MemoValue::Table(rows)) = self.memo_udf_result(&key, fp, &args) {
+            return Ok(ResultSet { schema, rows });
+        }
+        if let Some(dedup) = &self.dedup {
+            match dedup.reserve(&key, fp, &args, NO_EPOCH) {
+                Reservation::Hit(MemoValue::Table(rows)) => {
+                    self.stats.add_udf_dedup_hits(1);
+                    self.udf_timings.record_hit(&key);
+                    return Ok(ResultSet { schema, rows });
+                }
+                Reservation::Hit(_) => {}
+                Reservation::Reserved(guard) => {
+                    let rows = self.eval_table_udf(udf, &key, &args)?;
+                    guard.publish(&key, &args, MemoValue::Table(rows.clone()), NO_EPOCH);
+                    if let Some(memo) = &self.memo {
+                        memo.insert(
+                            &key,
+                            fp,
+                            &args,
+                            MemoValue::Table(rows.clone()),
+                            self.memo_epoch(&key),
+                        );
+                    }
+                    return Ok(ResultSet { schema, rows });
+                }
+                Reservation::Bypass => {}
+            }
+        }
+        let rows = self.eval_table_udf(udf, &key, &args)?;
+        self.store_udf_result(&key, fp, &args, MemoValue::Table(rows.clone()));
         Ok(ResultSet { schema, rows })
     }
 

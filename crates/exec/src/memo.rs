@@ -2,12 +2,18 @@
 //!
 //! Two instances of [`UdfMemo`] participate in the UDF invocation runtime:
 //!
-//! * the **database memo** — owned by the engine's `Database`, shared across queries,
-//!   and invalidated by epoch (function-registry generation + catalog DDL/data
-//!   generations) so a redefined UDF or changed data can never serve stale results;
+//! * the **engine memo** — owned by the shared `Engine`, shared across sessions and
+//!   queries; every entry is stamped with the [`MemoEpoch`] it was computed under
+//!   (function-registry generation + catalog DDL generation + per-table or
+//!   catalog-wide data version), so a redefined UDF or changed data can never serve
+//!   stale results, while concurrent queries pinned to *different* catalog snapshots
+//!   each read only entries matching their own epoch;
 //! * the **per-query dedup cache** — a fresh instance attached to each query's
 //!   executor, which deduplicates repeated argument tuples *within* one execution
-//!   (the argument-fingerprint dedup of the batched invocation path).
+//!   (the argument-fingerprint dedup of the batched invocation path). It also carries
+//!   the [`reservation`](UdfMemo::reserve) protocol: a racing worker that finds
+//!   another worker already evaluating the same argument tuple *waits* for the
+//!   published result instead of evaluating the UDF a second time.
 //!
 //! Keys are `(normalized name, argument tuple)`; the 64-bit FNV-1a fingerprint over
 //! both is the shard/slot index, and the full argument tuple is kept alongside the
@@ -22,7 +28,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::thread::ThreadId;
 
 use decorr_common::{FnvHasher, Row, Value};
 
@@ -31,10 +38,16 @@ use decorr_common::{FnvHasher, Row, Value};
 const SHARDS: usize = 8;
 
 /// Cache-coherence epoch: `(function-registry generation, DDL generation, data
-/// generation)`. Any component changing means previously memoized results may be
+/// version)`. Any component changing means previously memoized results may be
 /// stale — a UDF body was replaced, a table was created/dropped/analyzed, or rows
-/// were inserted (a pure UDF may read tables through embedded queries).
+/// were inserted (a pure UDF may read tables through embedded queries). The data
+/// component is the *per-table* data version when the engine can prove the UDF reads
+/// exactly one table, and the catalog-wide data generation otherwise.
 pub type MemoEpoch = (u64, u64, u64);
+
+/// The epoch used by per-query dedup caches, whose lifetime is one execution: no
+/// mutation can interleave, so entries never go stale.
+pub const NO_EPOCH: MemoEpoch = (0, 0, 0);
 
 /// A memoized UDF result: scalar UDFs cache the returned [`Value`], table-valued UDFs
 /// cache the emitted rows.
@@ -98,6 +111,7 @@ struct Entry {
     name: String,
     args: Vec<Value>,
     value: MemoValue,
+    epoch: MemoEpoch,
     tick: u64,
 }
 
@@ -110,6 +124,10 @@ struct Shard {
     /// LRU order: tick → fingerprint. Ticks are unique within a shard.
     lru: BTreeMap<u64, u64>,
     tick: u64,
+    /// Fingerprints currently being evaluated under a [`UdfMemo::reserve`]
+    /// reservation, and by which thread. Kept outside `entries` so pending markers
+    /// can never be evicted by LRU pressure.
+    pending: HashMap<u64, ThreadId>,
 }
 
 impl Shard {
@@ -122,6 +140,19 @@ impl Shard {
             self.lru.insert(tick, fingerprint);
         }
     }
+
+    fn remove(&mut self, fingerprint: u64) {
+        if let Some(entry) = self.entries.remove(&fingerprint) {
+            self.lru.remove(&entry.tick);
+        }
+    }
+}
+
+/// One shard plus the condition variable reservation waiters sleep on.
+#[derive(Debug, Default)]
+struct ShardSlot {
+    state: Mutex<Shard>,
+    published: Condvar,
 }
 
 /// Counter snapshot for diagnostics and EXPLAIN ANALYZE (see
@@ -132,8 +163,12 @@ pub struct UdfMemoStats {
     pub misses: u64,
     pub insertions: u64,
     pub evictions: u64,
-    /// Epoch changes that flushed the cache.
+    /// Stale entries dropped because a lookup's epoch differed from the entry's
+    /// (UDF redefined, schema changed, or a table the UDF reads gained rows).
     pub invalidations: u64,
+    /// Times a [`reserve`](UdfMemo::reserve) caller slept waiting for a racing
+    /// evaluation of the same argument tuple instead of re-evaluating it.
+    pub reservation_waits: u64,
     /// Entries currently resident.
     pub entries: u64,
     /// Configured capacity (0 = disabled).
@@ -143,15 +178,63 @@ pub struct UdfMemoStats {
 /// The bounded, sharded LRU memo cache (see the module docs).
 #[derive(Debug)]
 pub struct UdfMemo {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<ShardSlot>,
     capacity: usize,
     per_shard_capacity: usize,
-    epoch: Mutex<Option<MemoEpoch>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    reservation_waits: AtomicU64,
+}
+
+/// Outcome of [`UdfMemo::reserve`].
+#[derive(Debug)]
+pub enum Reservation<'a> {
+    /// A valid cached result (possibly published by a racing worker we waited for).
+    Hit(MemoValue),
+    /// The caller owns the evaluation: compute the result, then
+    /// [`publish`](ReservationGuard::publish) it. Dropping the guard without
+    /// publishing (evaluation error or panic) wakes waiters so one of them can take
+    /// over the reservation.
+    Reserved(ReservationGuard<'a>),
+    /// The cache is disabled, or this same thread already holds a reservation for
+    /// this fingerprint (a self-recursive UDF): evaluate without coordinating.
+    Bypass,
+}
+
+/// RAII ownership of an in-flight reservation (see [`UdfMemo::reserve`]).
+#[derive(Debug)]
+pub struct ReservationGuard<'a> {
+    memo: &'a UdfMemo,
+    fingerprint: u64,
+    done: bool,
+}
+
+impl ReservationGuard<'_> {
+    /// Publishes the computed result under the reservation and wakes all waiters.
+    pub fn publish(mut self, name: &str, args: &[Value], value: MemoValue, epoch: MemoEpoch) {
+        self.done = true;
+        let slot = self.memo.shard(self.fingerprint);
+        let mut shard = slot.state.lock().expect("memo shard poisoned");
+        shard.pending.remove(&self.fingerprint);
+        self.memo
+            .insert_locked(&mut shard, name, self.fingerprint, args, value, epoch);
+        slot.published.notify_all();
+    }
+}
+
+impl Drop for ReservationGuard<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        let slot = self.memo.shard(self.fingerprint);
+        let mut shard = slot.state.lock().expect("memo shard poisoned");
+        shard.pending.remove(&self.fingerprint);
+        slot.published.notify_all();
+    }
 }
 
 impl UdfMemo {
@@ -160,15 +243,15 @@ impl UdfMemo {
     /// every insert is dropped — "no memo", not "evict on every insert".
     pub fn with_capacity(capacity: usize) -> UdfMemo {
         UdfMemo {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..SHARDS).map(|_| ShardSlot::default()).collect(),
             capacity,
             per_shard_capacity: capacity.div_ceil(SHARDS),
-            epoch: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            reservation_waits: AtomicU64::new(0),
         }
     }
 
@@ -186,7 +269,7 @@ impl UdfMemo {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").entries.len())
+            .map(|s| s.state.lock().expect("memo shard poisoned").entries.len())
             .sum()
     }
 
@@ -194,55 +277,64 @@ impl UdfMemo {
         self.len() == 0
     }
 
-    fn shard(&self, fingerprint: u64) -> &Mutex<Shard> {
+    fn shard(&self, fingerprint: u64) -> &ShardSlot {
         &self.shards[(fingerprint as usize) % SHARDS]
     }
 
-    /// Flushes the cache if `epoch` differs from the epoch of the cached contents.
-    /// Called by the engine before attaching the memo to a query's executor.
-    pub fn ensure_epoch(&self, epoch: MemoEpoch) {
-        let mut current = self.epoch.lock().expect("memo epoch poisoned");
-        if *current == Some(epoch) {
-            return;
-        }
-        let stale = current.is_some();
-        *current = Some(epoch);
-        // Hold the epoch lock across the flush so a racing `ensure_epoch` cannot
-        // observe the new epoch with old entries still resident.
-        for shard in &self.shards {
-            let mut shard = shard.lock().expect("memo shard poisoned");
-            shard.entries.clear();
-            shard.lru.clear();
-        }
-        if stale {
-            self.invalidations.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Drops every entry (epoch is retained).
+    /// Drops every entry.
     pub fn clear(&self) {
-        for shard in &self.shards {
-            let mut shard = shard.lock().expect("memo shard poisoned");
+        for slot in &self.shards {
+            let mut shard = slot.state.lock().expect("memo shard poisoned");
             shard.entries.clear();
             shard.lru.clear();
         }
     }
 
-    /// Looks up a cached result. `fingerprint` must be
+    /// If the slot holds a matching entry stamped with a *different* epoch, drops it
+    /// and counts an invalidation. Returns the entry's value when it matches exactly.
+    fn lookup_locked(
+        &self,
+        shard: &mut Shard,
+        name: &str,
+        fingerprint: u64,
+        args: &[Value],
+        epoch: MemoEpoch,
+    ) -> Option<MemoValue> {
+        match shard.entries.get(&fingerprint) {
+            Some(entry) if entry.name == name && args_identical(&entry.args, args) => {
+                if entry.epoch == epoch {
+                    Some(entry.value.clone())
+                } else {
+                    shard.remove(fingerprint);
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up a cached result stamped with exactly `epoch`. `fingerprint` must be
     /// [`fingerprint_invocation`]`(name, args)`; the caller computes it once and
-    /// reuses it across `get`/`insert` and the dedup grouping.
-    pub fn get(&self, name: &str, fingerprint: u64, args: &[Value]) -> Option<MemoValue> {
+    /// reuses it across `get`/`insert` and the dedup grouping. A matching entry with
+    /// a *different* epoch is stale: it is dropped (counted as an invalidation) and
+    /// the lookup misses.
+    pub fn get(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        args: &[Value],
+        epoch: MemoEpoch,
+    ) -> Option<MemoValue> {
         if self.capacity == 0 {
             return None;
         }
-        let mut shard = self.shard(fingerprint).lock().expect("memo shard poisoned");
-        let found = match shard.entries.get(&fingerprint) {
-            Some(entry) if entry.name == name && args_identical(&entry.args, args) => {
-                Some(entry.value.clone())
-            }
-            _ => None,
-        };
-        match found {
+        let mut shard = self
+            .shard(fingerprint)
+            .state
+            .lock()
+            .expect("memo shard poisoned");
+        match self.lookup_locked(&mut shard, name, fingerprint, args, epoch) {
             Some(value) => {
                 shard.touch(fingerprint);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -255,31 +347,47 @@ impl UdfMemo {
         }
     }
 
-    /// Like [`get`](UdfMemo::get), but without touching the hit/miss counters or the
-    /// LRU order — used by the batch pre-pass to decide which distinct argument
-    /// tuples still need evaluation without skewing the cache diagnostics.
-    pub fn peek_contains(&self, name: &str, fingerprint: u64, args: &[Value]) -> bool {
+    /// Like [`get`](UdfMemo::get), but without touching the hit/miss counters, the
+    /// LRU order, or stale entries — used by the batch pre-pass to decide which
+    /// distinct argument tuples still need evaluation without skewing the cache
+    /// diagnostics.
+    pub fn peek_contains(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        args: &[Value],
+        epoch: MemoEpoch,
+    ) -> bool {
         if self.capacity == 0 {
             return false;
         }
-        let shard = self.shard(fingerprint).lock().expect("memo shard poisoned");
+        let shard = self
+            .shard(fingerprint)
+            .state
+            .lock()
+            .expect("memo shard poisoned");
         matches!(
             shard.entries.get(&fingerprint),
-            Some(entry) if entry.name == name && args_identical(&entry.args, args)
+            Some(entry) if entry.name == name
+                && args_identical(&entry.args, args)
+                && entry.epoch == epoch
         )
     }
 
-    /// Caches a result, evicting the least-recently-used entry of the target shard
-    /// when it is full. No-op when the cache is disabled.
-    pub fn insert(&self, name: &str, fingerprint: u64, args: &[Value], value: MemoValue) {
-        if self.capacity == 0 {
-            return;
-        }
-        let mut shard = self.shard(fingerprint).lock().expect("memo shard poisoned");
+    fn insert_locked(
+        &self,
+        shard: &mut Shard,
+        name: &str,
+        fingerprint: u64,
+        args: &[Value],
+        value: MemoValue,
+        epoch: MemoEpoch,
+    ) {
         if let Some(existing) = shard.entries.get_mut(&fingerprint) {
             existing.name = name.to_string();
             existing.args = args.to_vec();
             existing.value = value;
+            existing.epoch = epoch;
             shard.touch(fingerprint);
             return;
         }
@@ -299,10 +407,84 @@ impl UdfMemo {
                 name: name.to_string(),
                 args: args.to_vec(),
                 value,
+                epoch,
                 tick,
             },
         );
         self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Caches a result stamped with `epoch`, evicting the least-recently-used entry
+    /// of the target shard when it is full. No-op when the cache is disabled.
+    pub fn insert(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        args: &[Value],
+        value: MemoValue,
+        epoch: MemoEpoch,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut shard = self
+            .shard(fingerprint)
+            .state
+            .lock()
+            .expect("memo shard poisoned");
+        self.insert_locked(&mut shard, name, fingerprint, args, value, epoch);
+    }
+
+    /// Claims the evaluation of one argument tuple, coordinating racing workers:
+    ///
+    /// * a valid cached entry → [`Reservation::Hit`] (no evaluation needed);
+    /// * nobody evaluating → [`Reservation::Reserved`]: the caller computes the
+    ///   result and [`publish`](ReservationGuard::publish)es it;
+    /// * another *thread* already evaluating the same fingerprint → block until it
+    ///   publishes or abandons, then re-check (a publish becomes a `Hit`; an abandon
+    ///   lets this caller take over the reservation);
+    /// * the cache is disabled, or *this* thread already holds the reservation (a
+    ///   self-recursive UDF must not deadlock on itself) → [`Reservation::Bypass`]:
+    ///   evaluate without coordinating.
+    pub fn reserve(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        args: &[Value],
+        epoch: MemoEpoch,
+    ) -> Reservation<'_> {
+        if self.capacity == 0 {
+            return Reservation::Bypass;
+        }
+        let slot = self.shard(fingerprint);
+        let mut shard: MutexGuard<'_, Shard> = slot.state.lock().expect("memo shard poisoned");
+        loop {
+            if let Some(value) = self.lookup_locked(&mut shard, name, fingerprint, args, epoch) {
+                shard.touch(fingerprint);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Reservation::Hit(value);
+            }
+            match shard.pending.get(&fingerprint) {
+                Some(owner) if *owner == std::thread::current().id() => {
+                    return Reservation::Bypass;
+                }
+                Some(_) => {
+                    self.reservation_waits.fetch_add(1, Ordering::Relaxed);
+                    shard = slot.published.wait(shard).expect("memo shard poisoned");
+                }
+                None => {
+                    shard
+                        .pending
+                        .insert(fingerprint, std::thread::current().id());
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Reservation::Reserved(ReservationGuard {
+                        memo: self,
+                        fingerprint,
+                        done: false,
+                    });
+                }
+            }
+        }
     }
 
     /// Counter snapshot (cumulative since construction).
@@ -313,6 +495,7 @@ impl UdfMemo {
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            reservation_waits: self.reservation_waits.load(Ordering::Relaxed),
             entries: self.len() as u64,
             capacity: self.capacity as u64,
         }
@@ -332,9 +515,9 @@ mod tests {
         let memo = UdfMemo::with_capacity(64);
         let args = vec![Value::Int(7)];
         let fp = fingerprint_invocation("f", &args);
-        assert_eq!(memo.get("f", fp, &args), None);
-        memo.insert("f", fp, &args, scalar(14));
-        assert_eq!(memo.get("f", fp, &args), Some(scalar(14)));
+        assert_eq!(memo.get("f", fp, &args, NO_EPOCH), None);
+        memo.insert("f", fp, &args, scalar(14), NO_EPOCH);
+        assert_eq!(memo.get("f", fp, &args, NO_EPOCH), Some(scalar(14)));
         let stats = memo.stats();
         assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
         assert_eq!(stats.entries, 1);
@@ -351,13 +534,13 @@ mod tests {
             int_fp, float_fp,
             "type tag must separate Int(2) from Float(2.0)"
         );
-        memo.insert("f", int_fp, &int_args, scalar(1));
-        assert_eq!(memo.get("f", float_fp, &float_args), None);
+        memo.insert("f", int_fp, &int_args, scalar(1), NO_EPOCH);
+        assert_eq!(memo.get("f", float_fp, &float_args, NO_EPOCH), None);
         // A colliding fingerprint with different arguments reads a miss, not the
         // stored value.
-        assert_eq!(memo.get("f", int_fp, &float_args), None);
+        assert_eq!(memo.get("f", int_fp, &float_args, NO_EPOCH), None);
         // Same fingerprint, different name: also a miss.
-        assert_eq!(memo.get("g", int_fp, &int_args), None);
+        assert_eq!(memo.get("g", int_fp, &int_args, NO_EPOCH), None);
     }
 
     #[test]
@@ -366,9 +549,13 @@ mod tests {
         assert!(!memo.is_enabled());
         let args = vec![Value::Int(1)];
         let fp = fingerprint_invocation("f", &args);
-        memo.insert("f", fp, &args, scalar(1));
-        assert_eq!(memo.get("f", fp, &args), None);
+        memo.insert("f", fp, &args, scalar(1), NO_EPOCH);
+        assert_eq!(memo.get("f", fp, &args, NO_EPOCH), None);
         assert!(memo.is_empty());
+        assert!(matches!(
+            memo.reserve("f", fp, &args, NO_EPOCH),
+            Reservation::Bypass
+        ));
         let stats = memo.stats();
         assert_eq!(stats.insertions, 0);
         assert_eq!(stats.evictions, 0);
@@ -391,37 +578,43 @@ mod tests {
             }
         }
         let [(a, fa), (b, fb), (c, fc)] = <[_; 3]>::try_from(same_shard).unwrap();
-        memo.insert("f", fa, &a, scalar(1));
-        memo.insert("f", fb, &b, scalar(2));
+        memo.insert("f", fa, &a, scalar(1), NO_EPOCH);
+        memo.insert("f", fb, &b, scalar(2), NO_EPOCH);
         // `a` was evicted to make room for `b`.
-        assert_eq!(memo.get("f", fa, &a), None);
-        assert_eq!(memo.get("f", fb, &b), Some(scalar(2)));
+        assert_eq!(memo.get("f", fa, &a, NO_EPOCH), None);
+        assert_eq!(memo.get("f", fb, &b, NO_EPOCH), Some(scalar(2)));
         // Touch `b`, insert `c`: `b` is most-recent, so `c` replaces it anyway in a
         // one-slot shard — but after a re-insert of `b`, a get must still hit.
-        memo.insert("f", fc, &c, scalar(3));
-        assert_eq!(memo.get("f", fb, &b), None);
-        assert_eq!(memo.get("f", fc, &c), Some(scalar(3)));
+        memo.insert("f", fc, &c, scalar(3), NO_EPOCH);
+        assert_eq!(memo.get("f", fb, &b, NO_EPOCH), None);
+        assert_eq!(memo.get("f", fc, &c, NO_EPOCH), Some(scalar(3)));
         assert!(memo.stats().evictions >= 2);
     }
 
     #[test]
-    fn epoch_change_flushes_stale_results() {
+    fn epoch_mismatch_invalidates_stale_entries() {
         let memo = UdfMemo::with_capacity(64);
         let args = vec![Value::Int(1)];
         let fp = fingerprint_invocation("f", &args);
-        memo.ensure_epoch((1, 0, 0));
-        memo.insert("f", fp, &args, scalar(10));
-        // Same epoch: contents survive.
-        memo.ensure_epoch((1, 0, 0));
-        assert_eq!(memo.get("f", fp, &args), Some(scalar(10)));
-        // Registry generation bumped (UDF redefined): stale result unreachable.
-        memo.ensure_epoch((2, 0, 0));
-        assert_eq!(memo.get("f", fp, &args), None);
-        // Data generation bumped: also a flush.
-        memo.insert("f", fp, &args, scalar(20));
-        memo.ensure_epoch((2, 0, 1));
-        assert_eq!(memo.get("f", fp, &args), None);
+        memo.insert("f", fp, &args, scalar(10), (1, 0, 0));
+        // Same epoch: served.
+        assert_eq!(memo.get("f", fp, &args, (1, 0, 0)), Some(scalar(10)));
+        // Registry generation bumped (UDF redefined): stale entry dropped.
+        assert_eq!(memo.get("f", fp, &args, (2, 0, 0)), None);
+        assert_eq!(memo.stats().invalidations, 1);
+        assert!(memo.is_empty(), "stale entry must be evicted, not retained");
+        // Data version bumped: same.
+        memo.insert("f", fp, &args, scalar(20), (2, 0, 0));
+        assert_eq!(memo.get("f", fp, &args, (2, 0, 1)), None);
         assert_eq!(memo.stats().invalidations, 2);
+        // Entries under *different* epochs for different UDFs coexist: stamping is
+        // per entry, not a global flush.
+        let g_args = vec![Value::Int(2)];
+        let g_fp = fingerprint_invocation("g", &g_args);
+        memo.insert("f", fp, &args, scalar(30), (2, 0, 1));
+        memo.insert("g", g_fp, &g_args, scalar(40), (2, 0, 7));
+        assert_eq!(memo.get("f", fp, &args, (2, 0, 1)), Some(scalar(30)));
+        assert_eq!(memo.get("g", g_fp, &g_args, (2, 0, 7)), Some(scalar(40)));
     }
 
     #[test]
@@ -430,7 +623,98 @@ mod tests {
         let args = vec![Value::Str("x".into())];
         let fp = fingerprint_invocation("t", &args);
         let rows = vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])];
-        memo.insert("t", fp, &args, MemoValue::Table(rows.clone()));
-        assert_eq!(memo.get("t", fp, &args), Some(MemoValue::Table(rows)));
+        memo.insert("t", fp, &args, MemoValue::Table(rows.clone()), NO_EPOCH);
+        assert_eq!(
+            memo.get("t", fp, &args, NO_EPOCH),
+            Some(MemoValue::Table(rows))
+        );
+    }
+
+    #[test]
+    fn reservation_hit_miss_and_publish() {
+        let memo = UdfMemo::with_capacity(64);
+        let args = vec![Value::Int(5)];
+        let fp = fingerprint_invocation("f", &args);
+        // First reservation claims the evaluation.
+        let guard = match memo.reserve("f", fp, &args, NO_EPOCH) {
+            Reservation::Reserved(g) => g,
+            other => panic!("expected Reserved, got {other:?}"),
+        };
+        guard.publish("f", &args, scalar(10), NO_EPOCH);
+        // After publish, a second reservation is a Hit.
+        match memo.reserve("f", fp, &args, NO_EPOCH) {
+            Reservation::Hit(v) => assert_eq!(v, scalar(10)),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn abandoned_reservation_lets_the_next_caller_take_over() {
+        let memo = UdfMemo::with_capacity(64);
+        let args = vec![Value::Int(5)];
+        let fp = fingerprint_invocation("f", &args);
+        {
+            let _guard = match memo.reserve("f", fp, &args, NO_EPOCH) {
+                Reservation::Reserved(g) => g,
+                other => panic!("expected Reserved, got {other:?}"),
+            };
+            // Dropped without publish: evaluation failed.
+        }
+        assert!(matches!(
+            memo.reserve("f", fp, &args, NO_EPOCH),
+            Reservation::Reserved(_)
+        ));
+    }
+
+    #[test]
+    fn reentrant_reservation_bypasses_instead_of_deadlocking() {
+        let memo = UdfMemo::with_capacity(64);
+        let args = vec![Value::Int(5)];
+        let fp = fingerprint_invocation("f", &args);
+        let _guard = match memo.reserve("f", fp, &args, NO_EPOCH) {
+            Reservation::Reserved(g) => g,
+            other => panic!("expected Reserved, got {other:?}"),
+        };
+        // Same thread, same fingerprint (self-recursive UDF): must not block.
+        assert!(matches!(
+            memo.reserve("f", fp, &args, NO_EPOCH),
+            Reservation::Bypass
+        ));
+    }
+
+    #[test]
+    fn racing_reservations_coalesce_onto_one_evaluation() {
+        use std::sync::Arc;
+        let memo = Arc::new(UdfMemo::with_capacity(64));
+        let args = vec![Value::Int(9)];
+        let fp = fingerprint_invocation("f", &args);
+        let guard = match memo.reserve("f", fp, &args, NO_EPOCH) {
+            Reservation::Reserved(g) => g,
+            other => panic!("expected Reserved, got {other:?}"),
+        };
+        // Spawn waiters that race on the reserved fingerprint; they must block until
+        // the publish below and then all observe the published value.
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let memo = Arc::clone(&memo);
+                let args = args.clone();
+                std::thread::spawn(move || match memo.reserve("f", fp, &args, NO_EPOCH) {
+                    Reservation::Hit(v) => v,
+                    other => panic!("waiter expected Hit, got {other:?}"),
+                })
+            })
+            .collect();
+        // Give the waiters a moment to actually park on the condvar.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        guard.publish("f", &args, scalar(81), NO_EPOCH);
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), scalar(81));
+        }
+        let stats = memo.stats();
+        assert_eq!(stats.insertions, 1, "exactly one evaluation published");
+        assert_eq!(stats.hits, 4);
+        assert!(stats.reservation_waits >= 1);
     }
 }

@@ -1,6 +1,7 @@
 //! The catalog: a named collection of tables.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use decorr_common::{normalize_ident, Error, Result, Row, Schema};
 
@@ -16,9 +17,12 @@ use crate::table::Table;
 /// Inserts instead bump the separate [`data_generation`](Catalog::data_generation)
 /// counter, which consumers whose cached *results* (not plans) depend on table
 /// contents — like the engine's UDF memo cache — fold into their invalidation epoch.
+/// Tables are stored behind `Arc` so cloning a catalog (the engine's copy-on-write
+/// snapshot swap) is cheap: only tables a writer actually touches are deep-cloned, via
+/// [`Arc::make_mut`] in [`table_mut`](Catalog::table_mut).
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
     ddl_generation: u64,
     data_generation: u64,
 }
@@ -35,7 +39,8 @@ impl Catalog {
             return Err(Error::Catalog(format!("table '{name}' already exists")));
         }
         self.ddl_generation += 1;
-        self.tables.insert(key.clone(), Table::new(key, schema));
+        self.tables
+            .insert(key.clone(), Arc::new(Table::new(key, schema)));
         Ok(())
     }
 
@@ -67,12 +72,25 @@ impl Catalog {
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(&normalize_ident(name))
+            .map(|t| t.as_ref())
             .ok_or_else(|| Error::Catalog(format!("unknown table '{name}'")))
     }
 
+    /// Mutable access to a table. On a catalog cloned from a pinned snapshot the table
+    /// is still shared with the snapshot, so this copy-on-writes just that table.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(&normalize_ident(name))
+            .map(Arc::make_mut)
+            .ok_or_else(|| Error::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// The shared handle for a table — lets executors pin one table's data
+    /// independently of the catalog it came from.
+    pub fn table_arc(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(&normalize_ident(name))
+            .cloned()
             .ok_or_else(|| Error::Catalog(format!("unknown table '{name}'")))
     }
 
@@ -125,7 +143,7 @@ impl Catalog {
         let names = self.table_names();
         for name in &names {
             if let Some(table) = self.tables.get_mut(name) {
-                table.analyze(config.clone());
+                Arc::make_mut(table).analyze(config.clone());
             }
         }
         self.ddl_generation += 1;
@@ -185,6 +203,29 @@ mod tests {
         // A failed insert (unknown table) leaves the counter alone.
         assert!(c.insert_rows("nosuch", vec![]).is_err());
         assert_eq!(c.data_generation(), data + 1);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write_per_table() {
+        let mut c = Catalog::new();
+        c.create_table("a", schema()).unwrap();
+        c.create_table("b", schema()).unwrap();
+        let snapshot = c.clone();
+        c.insert_rows("a", vec![Row::new(vec![1.into(), "a".into()])])
+            .unwrap();
+        // The pinned snapshot still sees the old contents of the written table...
+        assert_eq!(snapshot.table("a").unwrap().row_count(), 0);
+        assert_eq!(c.table("a").unwrap().row_count(), 1);
+        assert_eq!(snapshot.data_generation() + 1, c.data_generation());
+        // ...while the untouched table is still physically shared, not deep-cloned.
+        assert!(Arc::ptr_eq(
+            &c.table_arc("b").unwrap(),
+            &snapshot.table_arc("b").unwrap()
+        ));
+        assert!(!Arc::ptr_eq(
+            &c.table_arc("a").unwrap(),
+            &snapshot.table_arc("a").unwrap()
+        ));
     }
 
     #[test]

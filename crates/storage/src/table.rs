@@ -30,6 +30,11 @@ pub struct Table {
     /// How many times statistics were (re)computed — the satellite regression metric:
     /// repeated optimizes against an unchanged table must not rescan it.
     stats_recomputes: AtomicU64,
+    /// Monotonic per-table data version: bumped by every insert and truncate. Result
+    /// caches (the engine's UDF memo) key on this instead of the catalog-wide data
+    /// generation when a UDF provably reads only this table, so writes to unrelated
+    /// tables don't flush its memoized results.
+    data_version: u64,
 }
 
 impl Clone for Table {
@@ -47,6 +52,7 @@ impl Clone for Table {
             ),
             analyze_config: self.analyze_config.clone(),
             stats_recomputes: AtomicU64::new(self.stats_recomputes.load(Ordering::Relaxed)),
+            data_version: self.data_version,
         }
     }
 }
@@ -65,6 +71,7 @@ impl Table {
             cached_stats: RwLock::new(None),
             analyze_config: None,
             stats_recomputes: AtomicU64::new(0),
+            data_version: 0,
         }
     }
 
@@ -117,6 +124,7 @@ impl Table {
             index.insert(&row, row_id);
         }
         self.rows.push(row);
+        self.data_version += 1;
         self.mark_stats_dirty();
         Ok(())
     }
@@ -215,6 +223,12 @@ impl Table {
         self.stats_recomputes.load(Ordering::Relaxed)
     }
 
+    /// Monotonic data version: bumped by every [`insert`](Table::insert) and
+    /// [`truncate`](Table::truncate). See the field docs for how result caches use it.
+    pub fn data_version(&self) -> u64 {
+        self.data_version
+    }
+
     /// Marks cached statistics dirty (cheap; the next `stats()` call recomputes).
     fn mark_stats_dirty(&mut self) {
         let cached = self.cached_stats.get_mut().expect("stats cache poisoned");
@@ -227,6 +241,7 @@ impl Table {
         for index in self.indexes.values_mut() {
             index.clear();
         }
+        self.data_version += 1;
         self.mark_stats_dirty();
     }
 }
@@ -348,6 +363,25 @@ mod tests {
         let refreshed = t.stats();
         assert!(refreshed.is_analyzed(), "re-analyze with remembered config");
         assert_eq!(refreshed.row_count(), 201);
+    }
+
+    #[test]
+    fn data_version_tracks_inserts_and_truncate() {
+        let mut t = orders_table();
+        assert_eq!(t.data_version(), 0);
+        t.insert(Row::new(vec![1.into(), 7.into(), 1.0.into()]))
+            .unwrap();
+        t.insert(Row::new(vec![2.into(), 8.into(), 2.0.into()]))
+            .unwrap();
+        assert_eq!(t.data_version(), 2);
+        // Read-only operations leave it alone.
+        let _ = t.stats();
+        t.create_index("custkey").unwrap();
+        assert_eq!(t.data_version(), 2);
+        t.truncate();
+        assert_eq!(t.data_version(), 3);
+        // Clones carry the version forward.
+        assert_eq!(t.clone().data_version(), 3);
     }
 
     #[test]

@@ -208,7 +208,7 @@ pub fn generate(config: &TpchConfig) -> Result<Database> {
         ("category_ancestors", "ancestor"),
         ("categorydiscount", "category"),
     ] {
-        db.catalog_mut().create_index(table, column)?;
+        db.create_index(table, column)?;
     }
     Ok(db)
 }

@@ -7,8 +7,8 @@
 //! aggregates, a cost-based optimizer that chooses between iterative and decorrelated
 //! plans, and benchmarks reproducing the paper's experiments.
 //!
-//! This top-level crate simply re-exports the public API of the member crates. Most
-//! users only need [`engine::Database`]:
+//! This top-level crate simply re-exports the public API of the member crates.
+//! Embedded single-client use goes through [`engine::Database`]:
 //!
 //! ```
 //! use udf_decorrelation::prelude::*;
@@ -20,6 +20,30 @@
 //!     .unwrap();
 //! let result = db.query("select x, double_y(y) as yy from t").unwrap();
 //! assert_eq!(result.rows.len(), 2);
+//! ```
+//!
+//! Concurrent multi-client serving holds one shared [`engine::Engine`] and opens one
+//! cheap [`engine::Session`] per client. Sessions running on different threads share
+//! the plan cache, the UDF memo, the runtime-feedback store and the worker pool, while
+//! each query pins an immutable catalog snapshot (writers swap in new epochs, readers
+//! never block):
+//!
+//! ```
+//! use udf_decorrelation::prelude::*;
+//!
+//! let engine = Engine::builder().parallelism(2).build();
+//! let admin = engine.session();
+//! admin.execute("create table t(x int)").unwrap();
+//! admin.execute("insert into t values (1), (2), (3)").unwrap();
+//! let handles: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let session = engine.session();
+//!         std::thread::spawn(move || session.query("select x from t").unwrap().len())
+//!     })
+//!     .collect();
+//! for handle in handles {
+//!     assert_eq!(handle.join().unwrap(), 3);
+//! }
 //! ```
 
 pub use decorr_algebra as algebra;
@@ -37,5 +61,7 @@ pub use decorr_udf as udf;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use decorr_common::{DataType, Error, Result, Row, Schema, Value};
-    pub use decorr_engine::{Database, ExecutionStrategy, QueryOptions, QueryResult};
+    pub use decorr_engine::{
+        Database, Engine, EngineBuilder, ExecutionStrategy, QueryOptions, QueryResult, Session,
+    };
 }

@@ -414,7 +414,7 @@ fn worker_pool_persists_across_queries() {
 fn panicked_batch_leaves_the_engine_pool_usable() {
     let mut db = parallel_db(300);
     db.set_parallelism(4);
-    let pool = std::sync::Arc::clone(db.worker_pool());
+    let pool = db.worker_pool();
     let err = pool
         .run_batch(4, 8, Box::new(|_, idx| assert!(idx != 5, "udf panic")))
         .unwrap_err();

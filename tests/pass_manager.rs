@@ -257,13 +257,15 @@ fn real_pipeline_respects_budget() {
 
     // Pathological budget: the pipeline errors out instead of silently degrading.
     let plan = udf_decorrelation::parser::parse_and_plan(&sql).unwrap();
-    let provider = udf_decorrelation::exec::CatalogProvider::new(db.catalog(), db.registry());
+    let catalog = db.catalog();
+    let registry = db.registry();
+    let provider = udf_decorrelation::exec::CatalogProvider::new(&catalog, &registry);
     let tiny = PassManager::rewrite_pipeline().with_options(PassManagerOptions {
         rule_fire_budget: 2,
         ..PassManagerOptions::default()
     });
     let err = tiny
-        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .optimize(&plan, &registry, &provider, Some(catalog.as_ref()))
         .expect_err("a 2-firing budget cannot fit the service-level rewrite");
     assert!(err.to_string().contains("budget exhausted"), "{err}");
 }
@@ -282,18 +284,20 @@ fn attached_plan_cache_memoizes_the_pipeline() {
     let mut db = generate(&TpchConfig::tiny()).unwrap();
     workload.install(&mut db).unwrap();
     let plan = udf_decorrelation::parser::parse_and_plan(&(workload.query)(10)).unwrap();
-    let provider = udf_decorrelation::exec::CatalogProvider::new(db.catalog(), db.registry());
+    let catalog = db.catalog();
+    let registry = db.registry();
+    let provider = udf_decorrelation::exec::CatalogProvider::new(&catalog, &registry);
 
     let cache = Arc::new(PlanCache::with_capacity(8));
     let manager = PassManager::decorrelation_pipeline().with_plan_cache(Arc::clone(&cache));
     let cold = manager
-        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .optimize(&plan, &registry, &provider, Some(catalog.as_ref()))
         .unwrap();
     assert!(!cold.report.cache.expect("activity recorded").hit);
     assert_eq!(cold.report.passes.len(), 5);
 
     let warm = manager
-        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .optimize(&plan, &registry, &provider, Some(catalog.as_ref()))
         .unwrap();
     let activity = warm.report.cache.expect("activity recorded");
     assert!(activity.hit);
@@ -314,7 +318,7 @@ fn attached_plan_cache_memoizes_the_pipeline() {
         manager.pipeline_fingerprint()
     );
     let other = forced
-        .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+        .optimize(&plan, &registry, &provider, Some(catalog.as_ref()))
         .unwrap();
     assert!(!other.report.cache.expect("activity recorded").hit);
 }

@@ -57,7 +57,8 @@ fn analyze_statement_builds_histogram_statistics() {
     assert!(!db.catalog().table("nums").unwrap().is_analyzed());
     let summaries = db.execute("analyze nums").unwrap();
     assert_eq!(summaries.len(), 1);
-    let table = db.catalog().table("nums").unwrap();
+    let catalog = db.catalog();
+    let table = catalog.table("nums").unwrap();
     assert!(table.is_analyzed());
     let stats = table.stats();
     assert!(stats.is_analyzed());
@@ -128,14 +129,15 @@ fn analyzed_estimates_stay_within_bounded_q_error_across_scales() {
             // executed plan is the *normalized* form, so run the same normalisation
             // pipeline the iterative strategy uses before estimating.
             let plan = udf_decorrelation::parser::parse_and_plan(&sql).unwrap();
-            let provider =
-                udf_decorrelation::exec::CatalogProvider::new(db.catalog(), db.registry());
+            let catalog = db.catalog();
+            let registry = db.registry();
+            let provider = udf_decorrelation::exec::CatalogProvider::new(&catalog, &registry);
             let normalized = udf_decorrelation::optimizer::PassManager::cleanup_pipeline()
-                .optimize(&plan, db.registry(), &provider, Some(db.catalog()))
+                .optimize(&plan, &registry, &provider, Some(catalog.as_ref()))
                 .unwrap()
                 .plan;
             let params = CostParams::default();
-            let estimates = estimate_per_node(&normalized, db.catalog(), db.registry(), &params);
+            let estimates = estimate_per_node(&normalized, &catalog, &registry, &params);
             let mut checked = 0;
             for estimate in &estimates {
                 let Some(actual) = result

@@ -200,6 +200,48 @@ fn data_changes_invalidate_memoized_udf_results() {
     }
 }
 
+/// Memo invalidation is per table: `group_score` provably reads only `items`, so
+/// its epoch is keyed on that table's data version. Inserting into the *unrelated*
+/// `probes` table must keep its memoized results servable.
+#[test]
+fn unrelated_table_inserts_do_not_invalidate_memoized_results() {
+    let mut db = scored_db(60, 3, 77);
+    let sql = "select grp, group_score(grp) as score from probes where id < 5";
+    let cold = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    // Insert into a table group_score never reads (bumps the catalog-wide data
+    // generation, but not items' data version).
+    db.execute("insert into probes values (10000, 1)").unwrap();
+    let warm = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    assert!(
+        warm.exec_stats.udf_memo_hits > 0,
+        "inserting into probes must not evict group_score(items) results: {:?}",
+        warm.exec_stats
+    );
+    for (row_cold, row_warm) in cold.rows.iter().zip(&warm.rows) {
+        assert_eq!(row_cold.get(1), row_warm.get(1));
+    }
+    // Inserting into items *does* invalidate, as the sibling test above drives.
+    db.execute("insert into items values (10001, 0, 5000.0)")
+        .unwrap();
+    let refreshed = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    assert!(
+        db.udf_memo_stats().invalidations >= 1,
+        "items' data-version bump must drop stale group_score entries: {:?}",
+        db.udf_memo_stats()
+    );
+    let stale_score = cold
+        .rows
+        .iter()
+        .find(|r| *r.get(0) == Value::Int(0))
+        .map(|r| r.get(1).clone());
+    let fresh_score = refreshed
+        .rows
+        .iter()
+        .find(|r| *r.get(0) == Value::Int(0))
+        .map(|r| r.get(1).clone());
+    assert_ne!(stale_score, fresh_score);
+}
+
 /// A `volatile` UDF opts out of both caches: every call evaluates the body.
 #[test]
 fn volatile_udfs_are_never_cached() {
