@@ -16,15 +16,16 @@
 //! * `--check`   — compare against a committed baseline JSON and exit non-zero when a
 //!   serial end-to-end time regressed more than the gate factor (default 2.0, override
 //!   with `BENCH_GATE_FACTOR`) or, on hosts with ≥ 4 cores, when no workload reaches a
-//!   1.5x parallel speedup at the bench's thread count.
+//!   1.5x parallel speedup at the bench's thread count or the 4-shard scan misses a
+//!   1.3x parallel speedup.
 
 use std::process::ExitCode;
 
 use decorr_bench::json::Json;
 use decorr_bench::{
     check_executor_against_baseline, executor_bench_json, executor_thread_sweep,
-    measure_executor_latency, measure_pipelining, measure_pool_reuse, ExecGateConfig,
-    ExecutorLatency,
+    measure_executor_latency, measure_pipelining, measure_pool_reuse, measure_sharding,
+    ExecGateConfig, ExecutorLatency, ShardingLatency,
 };
 use decorr_tpch::{experiment1, experiment2, experiment3};
 
@@ -166,7 +167,39 @@ fn main() -> ExitCode {
         pipelining.pipelined_operators,
     );
 
-    let doc = executor_bench_json(mode, cores, &latencies, &sweep, &pool_reuse, &pipelining);
+    // Sharded storage: scan/join throughput across shard fanouts plus the pruning
+    // hit rate of a 1%-selective range predicate.
+    let shard_rows = if args.smoke { 40_000 } else { 200_000 };
+    let sharding: Vec<ShardingLatency> = [1usize, 4, 8]
+        .iter()
+        .map(|&s| measure_sharding(s, shard_rows, args.threads, runs))
+        .collect();
+    println!("\nsharding ({shard_rows} rows, {} threads):", args.threads);
+    for s in &sharding {
+        println!(
+            "  {:>2} shard(s): scan {:>8.2} → {:>8.2} ms ({:>5.2}x) · join {:>8.2} → {:>8.2} ms \
+             ({:>5.2}x) · pruned {}/{} shards on the selective predicate",
+            s.shard_count,
+            s.scan_serial.as_secs_f64() * 1e3,
+            s.scan_parallel.as_secs_f64() * 1e3,
+            s.scan_speedup(),
+            s.join_serial.as_secs_f64() * 1e3,
+            s.join_parallel.as_secs_f64() * 1e3,
+            s.join_speedup(),
+            s.pruned_shards,
+            s.shard_count,
+        );
+    }
+
+    let doc = executor_bench_json(
+        mode,
+        cores,
+        &latencies,
+        &sweep,
+        &pool_reuse,
+        &pipelining,
+        &sharding,
+    );
     if let Err(e) = std::fs::write(&args.out, doc.render()) {
         eprintln!("executor_bench: cannot write {}: {e}", args.out);
         return ExitCode::from(2);

@@ -646,6 +646,134 @@ pub fn measure_pipelining(
     }
 }
 
+/// Scan and hash-join latency over one sharded table layout (serial vs parallel),
+/// plus the shard-pruning hit rate of a selective range predicate after `ANALYZE`.
+#[derive(Debug, Clone)]
+pub struct ShardingLatency {
+    pub shard_count: usize,
+    pub rows: usize,
+    /// Worker-pool size of the parallel arms.
+    pub threads: usize,
+    pub scan_serial: Duration,
+    pub scan_parallel: Duration,
+    pub join_serial: Duration,
+    pub join_parallel: Duration,
+    /// Shards skipped by the selective predicate (out of `shard_count`).
+    pub pruned_shards: u64,
+    pub runs: usize,
+}
+
+impl ShardingLatency {
+    pub fn scan_speedup(&self) -> f64 {
+        self.scan_serial.as_secs_f64() / self.scan_parallel.as_secs_f64().max(1e-9)
+    }
+
+    pub fn join_speedup(&self) -> f64 {
+        self.join_serial.as_secs_f64() / self.join_parallel.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of shards the selective predicate skipped (0.0 on a 1-shard table).
+    pub fn pruning_hit_rate(&self) -> f64 {
+        self.pruned_shards as f64 / self.shard_count.max(1) as f64
+    }
+}
+
+/// Times one query end-to-end on a session at the given parallelism, minimum over
+/// `runs`, returning the last run's result alongside.
+fn measure_sharded_arm(
+    session: &Session,
+    sql: &str,
+    parallelism: usize,
+    runs: usize,
+) -> (Duration, decorr_engine::QueryResult) {
+    let options = QueryOptions {
+        exec_config: Some(decorr_exec::ExecConfig {
+            parallelism,
+            ..decorr_exec::ExecConfig::default()
+        }),
+        ..QueryOptions::default()
+    };
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let r = session
+            .query_with(sql, &options)
+            .expect("sharding bench query");
+        best = best.min(start.elapsed());
+        result = Some(r);
+    }
+    (best, result.expect("at least one run"))
+}
+
+/// Measures scan and join throughput over a `shard_count`-way sharded fact table
+/// (serial vs `threads`-worker parallel, byte-identity asserted), and the pruning
+/// hit rate of a 1%-selective range predicate once the table is ANALYZEd.
+pub fn measure_sharding(
+    shard_count: usize,
+    rows: usize,
+    threads: usize,
+    runs: usize,
+) -> ShardingLatency {
+    let engine = Engine::builder()
+        .shard_count(shard_count)
+        .parallelism(threads)
+        .build();
+    let session = engine.session();
+    session
+        .execute(
+            "create table data(k int not null, g int, v float); \
+             create table dim(g int not null, w float)",
+        )
+        .expect("sharding bench schema");
+    let groups = 500usize;
+    let fact: Vec<Row> = (0..rows as i64)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % groups as i64),
+                Value::Float(i as f64 * 0.5),
+            ])
+        })
+        .collect();
+    engine.load_rows("data", fact).expect("fact rows");
+    let dim: Vec<Row> = (0..groups as i64)
+        .map(|g| Row::new(vec![Value::Int(g), Value::Float(g as f64)]))
+        .collect();
+    engine.load_rows("dim", dim).expect("dim rows");
+    session.execute("analyze data").expect("analyze");
+
+    let scan_sql = "select k, v from data where v >= 0.0";
+    let (scan_serial, serial_scan) = measure_sharded_arm(&session, scan_sql, 1, runs);
+    let (scan_parallel, parallel_scan) = measure_sharded_arm(&session, scan_sql, threads, runs);
+    assert_eq!(
+        serial_scan.rows, parallel_scan.rows,
+        "sharded parallel scan diverged from serial at {shard_count} shards"
+    );
+    let join_sql = "select d.k from data d join dim m on d.g = m.g where m.w >= 0.0";
+    let (join_serial, serial_join) = measure_sharded_arm(&session, join_sql, 1, runs);
+    let (join_parallel, parallel_join) = measure_sharded_arm(&session, join_sql, threads, runs);
+    assert_eq!(
+        serial_join.rows, parallel_join.rows,
+        "sharded parallel join diverged from serial at {shard_count} shards"
+    );
+    // 1%-selective range on the shard-ordered key: every shard but the first can
+    // prove itself out via its cached min/max once ANALYZE has run.
+    let selective = format!("select k from data where k <= {}", rows / 100);
+    let (_, pruned_result) = measure_sharded_arm(&session, &selective, 1, 1);
+    ShardingLatency {
+        shard_count,
+        rows,
+        threads,
+        scan_serial,
+        scan_parallel,
+        join_serial,
+        join_parallel,
+        pruned_shards: pruned_result.exec_stats.shards_pruned,
+        runs: runs.max(1),
+    }
+}
+
 /// Assembles the machine-readable `BENCH_executor.json` document.
 pub fn executor_bench_json(
     mode: &str,
@@ -654,6 +782,7 @@ pub fn executor_bench_json(
     sweep: &[(usize, Duration)],
     pool_reuse: &PoolReuse,
     pipelining: &PipelineComparison,
+    sharding: &[ShardingLatency],
 ) -> Json {
     let workloads = latencies
         .iter()
@@ -745,6 +874,42 @@ pub fn executor_bench_json(
                 ("runs", Json::num(pipelining.runs as f64)),
             ]),
         ),
+        (
+            "sharding",
+            Json::Arr(
+                sharding
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("shard_count", Json::num(s.shard_count as f64)),
+                            ("rows", Json::num(s.rows as f64)),
+                            ("threads", Json::num(s.threads as f64)),
+                            (
+                                "scan_serial_ms",
+                                Json::num(s.scan_serial.as_secs_f64() * 1e3),
+                            ),
+                            (
+                                "scan_parallel_ms",
+                                Json::num(s.scan_parallel.as_secs_f64() * 1e3),
+                            ),
+                            ("scan_speedup", Json::num(s.scan_speedup())),
+                            (
+                                "join_serial_ms",
+                                Json::num(s.join_serial.as_secs_f64() * 1e3),
+                            ),
+                            (
+                                "join_parallel_ms",
+                                Json::num(s.join_parallel.as_secs_f64() * 1e3),
+                            ),
+                            ("join_speedup", Json::num(s.join_speedup())),
+                            ("pruned_shards", Json::num(s.pruned_shards as f64)),
+                            ("pruning_hit_rate", Json::num(s.pruning_hit_rate())),
+                            ("runs", Json::num(s.runs as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -763,6 +928,10 @@ pub struct ExecGateConfig {
     /// physically cannot show a parallel speedup, so the (machine-dependent) speedup
     /// gate reports itself as skipped instead of failing spuriously.
     pub min_cores_for_speedup_gate: usize,
+    /// Fail when the sharded scan at 4 shards does not reach this parallel speedup at
+    /// the bench's thread count (skipped-with-note below the core floor, like the
+    /// workload speedup gate).
+    pub min_sharded_scan_speedup: f64,
 }
 
 impl Default for ExecGateConfig {
@@ -772,6 +941,7 @@ impl Default for ExecGateConfig {
             min_delta_ms: 1.0,
             min_parallel_speedup: 1.5,
             min_cores_for_speedup_gate: 4,
+            min_sharded_scan_speedup: 1.3,
         }
     }
 }
@@ -894,6 +1064,45 @@ pub fn check_executor_against_baseline(
              gate requires ≥ {} to be meaningful (best observed {best_speedup:.2}x)",
             config.min_cores_for_speedup_gate
         ));
+    }
+    // Sharded-scan gate: the 4-shard layout must not cost parallel scan throughput.
+    match current
+        .get("sharding")
+        .and_then(Json::as_arr)
+        .and_then(|entries| {
+            entries
+                .iter()
+                .find(|e| e.get("shard_count").and_then(Json::as_f64) == Some(4.0))
+        }) {
+        None => failures.push(
+            "sharding section has no 4-shard entry — the sharded scan gate cannot run".into(),
+        ),
+        Some(entry) => {
+            let speedup = entry
+                .get("scan_speedup")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            if host_cores >= config.min_cores_for_speedup_gate {
+                if speedup < config.min_sharded_scan_speedup {
+                    failures.push(format!(
+                        "sharded scan at 4 shards reached only {speedup:.2}x parallel \
+                         speedup (gate {:.1}x on a {host_cores}-core host)",
+                        config.min_sharded_scan_speedup
+                    ));
+                } else {
+                    report.push(format!(
+                        "sharded scan gate: 4 shards at {speedup:.2}x ≥ {:.1}x — ok",
+                        config.min_sharded_scan_speedup
+                    ));
+                }
+            } else {
+                report.push(format!(
+                    "sharded scan gate skipped: host has {host_cores} core(s), \
+                     gate requires ≥ {} (observed {speedup:.2}x)",
+                    config.min_cores_for_speedup_gate
+                ));
+            }
+        }
     }
     if failures.is_empty() {
         Ok(report)
@@ -2364,7 +2573,21 @@ mod tests {
             pipelining.pipelined_operators > 0,
             "fusion must engage on the iterative projection: {pipelining:?}"
         );
-        let doc = executor_bench_json("test", 1, &[latency], &sweep, &pool_reuse, &pipelining);
+        let sharding = [measure_sharding(4, 2000, 2, 2)];
+        assert!(
+            sharding[0].pruned_shards > 0,
+            "the selective predicate must prune shards: {:?}",
+            sharding[0]
+        );
+        let doc = executor_bench_json(
+            "test",
+            1,
+            &[latency],
+            &sweep,
+            &pool_reuse,
+            &pipelining,
+            &sharding,
+        );
         let parsed = Json::parse(&doc.render()).unwrap();
         let workload = &parsed.get("workloads").unwrap().as_arr().unwrap()[0];
         assert_eq!(
@@ -2392,11 +2615,15 @@ mod tests {
         let pipe = parsed.get("pipelining").unwrap();
         assert!(pipe.get("pipelined_ms").unwrap().as_f64().unwrap() > 0.0);
         assert!(pipe.get("pipelined_operators").unwrap().as_f64().unwrap() > 0.0);
+        let shard_entry = &parsed.get("sharding").unwrap().as_arr().unwrap()[0];
+        assert_eq!(shard_entry.get("shard_count").unwrap().as_f64(), Some(4.0));
+        assert!(shard_entry.get("scan_serial_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(shard_entry.get("pruned_shards").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]
     fn executor_gate_passes_clean_runs_and_fails_regressions() {
-        fn doc(host_cores: f64, serial_ms: f64, speedup: f64) -> Json {
+        fn doc_with_scan(host_cores: f64, serial_ms: f64, speedup: f64, scan_speedup: f64) -> Json {
             Json::obj(vec![
                 ("host_cores", Json::num(host_cores)),
                 (
@@ -2408,7 +2635,17 @@ mod tests {
                         ("best_speedup", Json::num(speedup)),
                     ])]),
                 ),
+                (
+                    "sharding",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("shard_count", Json::num(4.0)),
+                        ("scan_speedup", Json::num(scan_speedup)),
+                    ])]),
+                ),
             ])
+        }
+        fn doc(host_cores: f64, serial_ms: f64, speedup: f64) -> Json {
+            doc_with_scan(host_cores, serial_ms, speedup, 2.0)
         }
         let config = ExecGateConfig::default();
         let baseline = doc(4.0, 10.0, 2.0);
@@ -2426,6 +2663,51 @@ mod tests {
         let report =
             check_executor_against_baseline(&doc(1.0, 10.0, 0.9), &baseline, &config).unwrap();
         assert!(report.iter().any(|l| l.contains("skipped")), "{report:?}");
+        // Sharded scan below 1.3x on a 4-core host: fail; on 1 core: skipped.
+        let failures = check_executor_against_baseline(
+            &doc_with_scan(4.0, 10.0, 2.0, 1.05),
+            &baseline,
+            &config,
+        )
+        .unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("sharded scan")),
+            "{failures:?}"
+        );
+        let report = check_executor_against_baseline(
+            &doc_with_scan(1.0, 10.0, 2.0, 1.05),
+            &baseline,
+            &config,
+        )
+        .unwrap();
+        assert!(
+            report
+                .iter()
+                .any(|l| l.contains("sharded scan gate skipped")),
+            "{report:?}"
+        );
+        // A current run without a 4-shard sharding entry cannot run the gate: fail.
+        let failures = check_executor_against_baseline(
+            &Json::obj(vec![
+                ("host_cores", Json::num(4.0)),
+                (
+                    "workloads",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("key", Json::str("experiment2_sf1")),
+                        ("serial_iterative_ms", Json::num(10.0)),
+                        ("serial_decorrelated_ms", Json::num(10.0)),
+                        ("best_speedup", Json::num(2.0)),
+                    ])]),
+                ),
+            ]),
+            &baseline,
+            &config,
+        )
+        .unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("no 4-shard entry")),
+            "{failures:?}"
+        );
         // A workload that vanished from the current run fails the gate.
         let renamed = Json::obj(vec![
             ("host_cores", Json::num(4.0)),
@@ -2436,6 +2718,13 @@ mod tests {
                     ("serial_iterative_ms", Json::num(1.0)),
                     ("serial_decorrelated_ms", Json::num(1.0)),
                     ("best_speedup", Json::num(2.0)),
+                ])]),
+            ),
+            (
+                "sharding",
+                Json::Arr(vec![Json::obj(vec![
+                    ("shard_count", Json::num(4.0)),
+                    ("scan_speedup", Json::num(2.0)),
                 ])]),
             ),
         ]);

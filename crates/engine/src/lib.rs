@@ -547,6 +547,7 @@ pub struct EngineBuilder {
     udf_memo_capacity: Option<usize>,
     analyze_config: AnalyzeConfig,
     feedback_config: Option<FeedbackConfig>,
+    shard_count: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -599,7 +600,19 @@ impl EngineBuilder {
         self
     }
 
-    pub fn build(self) -> Engine {
+    /// Target shard fanout for tables created *after* the engine is built (clamped to
+    /// ≥ 1; existing tables in a seeded catalog keep their layout). More shards mean
+    /// finer COW inserts, finer incremental `ANALYZE`, and more min/max pruning
+    /// opportunities; the scan itself parallelizes by morsel either way.
+    pub fn shard_count(mut self, shard_count: usize) -> EngineBuilder {
+        self.shard_count = Some(shard_count.max(1));
+        self
+    }
+
+    pub fn build(mut self) -> Engine {
+        if let Some(shard_count) = self.shard_count {
+            self.catalog.set_default_shard_count(shard_count);
+        }
         let exec_config = self.exec_config.normalized();
         let pool_size = if exec_config.parallelism > 1 {
             exec_config.parallelism
@@ -1199,13 +1212,14 @@ impl Session {
         let result = diagnostic.run_plan(&plan, ExecutionStrategy::Auto, false)?;
         out.push_str("\n== execution ==\n");
         out.push_str(&format!(
-            "rows={} parallelism={} · scanned={} index-lookups={} udf-invocations={} \
-             udf-memo-hits={} udf-dedup-hits={} udf-batched={} \
+            "rows={} parallelism={} · scanned={} shards-pruned={} index-lookups={} \
+             udf-invocations={} udf-memo-hits={} udf-dedup-hits={} udf-batched={} \
              subqueries={} hash-joins={} nl-joins={} morsels={} pipelined-ops={} \
              pool-spawns={}\n",
             result.rows.len(),
             pinned.exec_config.parallelism,
             result.exec_stats.rows_scanned,
+            result.exec_stats.shards_pruned,
             result.exec_stats.index_lookups,
             result.exec_stats.udf_invocations,
             result.exec_stats.udf_memo_hits,

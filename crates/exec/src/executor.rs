@@ -14,7 +14,7 @@ use decorr_algebra::{
 use decorr_common::{
     normalize_ident, value::GroupKey, Column, DataType, Error, Result, Row, Schema, Value,
 };
-use decorr_storage::Catalog;
+use decorr_storage::{Catalog, ShardSet, Table};
 use decorr_udf::FunctionRegistry;
 
 use crate::aggregate::BuiltinAccumulator;
@@ -521,16 +521,16 @@ impl Executor {
         let len = t.row_count();
         let rows = if self.should_parallelize(len) {
             // Materialising a base table is a row-by-row deep copy (each Row owns its
-            // values); fan the copy out morsel-wise. Workers re-resolve the table
-            // through their catalog Arc — same snapshot, 'static job.
-            let name = table.to_string();
+            // values); fan the copy out morsel-wise. The job captures the table's
+            // shard set — shared `Arc` handles, no intermediate copy-out.
+            let set = t.shard_set();
             let chunks =
-                self.run_morsels(&format!("scan({table})"), 0, len, move |view, range| {
-                    Ok(view.catalog.table(&name)?.rows()[range].to_vec())
+                self.run_morsels(&format!("scan({table})"), 0, len, move |_view, range| {
+                    Ok(set.collect_range(range))
                 })?;
             concat_rows(chunks, len)
         } else {
-            t.rows().to_vec()
+            t.scan().collect_rows()
         };
         Ok(ResultSet { schema, rows })
     }
@@ -555,25 +555,44 @@ impl Executor {
                 }
             }
         }
-        let input_rs = self.execute_with_env(input, outer)?;
+        // σ over a base-table scan draws straight from the table's shard set instead
+        // of materializing the scan first, and drops shards whose cached min/max
+        // summary proves no row can pass the predicate's numeric bounds.
+        let (schema, source) = match input {
+            RelExpr::Scan { table, alias } => {
+                let t = self.catalog.table(table)?;
+                let schema = match alias {
+                    Some(a) => t.schema().with_qualifier(a),
+                    None => t.schema().clone(),
+                };
+                let (set, pruned) = self.pruned_scan_set(t, predicate, &schema);
+                if pruned > 0 {
+                    self.stats.add_shards_pruned(pruned);
+                }
+                self.stats.add_rows_scanned(set.len() as u64);
+                if self.config.collect_cardinalities {
+                    // The scan no longer runs as its own node; mirror the actual it
+                    // would have recorded (the kept shards' rows).
+                    self.cardinalities.record(input, set.len() as u64);
+                }
+                (schema, RowSource::Shards(set))
+            }
+            _ => {
+                let rs = self.execute_with_env(input, outer)?;
+                (rs.schema, RowSource::Rows(Arc::new(rs.rows)))
+            }
+        };
         let filter = self.prepare_filter(predicate);
-        if self.should_parallelize(input_rs.rows.len()) {
-            let schema = input_rs.schema.clone();
-            let source = Arc::new(input_rs.rows);
-            self.batch_eval_udf_calls(
-                &filter.strict_roots(),
-                BatchSource::Rows(Arc::clone(&source)),
-                &schema,
-                outer,
-            )?;
+        if self.should_parallelize(source.len()) {
+            self.batch_eval_udf_calls(&filter.strict_roots(), source.clone(), &schema, outer)?;
             let chunks = {
-                let source = Arc::clone(&source);
+                let source = source.clone();
                 let schema = schema.clone();
                 let outer = outer.clone();
                 self.run_morsels("filter", 0, source.len(), move |view, range| {
                     let mut kept = vec![];
                     let mut outcomes = filter.counters();
-                    for row in &source[range] {
+                    for row in source.iter_range(range) {
                         let env = Env::with_row(schema.clone(), row.clone()).nested_in(&outer);
                         if filter.eval(view, &env, &mut outcomes)? {
                             kept.push(row.clone());
@@ -590,17 +609,53 @@ impl Executor {
         }
         let mut rows = vec![];
         let mut outcomes = filter.counters();
-        for row in input_rs.rows {
-            let env = Env::with_row(input_rs.schema.clone(), row.clone()).nested_in(outer);
+        for row in source.iter() {
+            let env = Env::with_row(schema.clone(), row.clone()).nested_in(outer);
             if filter.eval(self, &env, &mut outcomes)? {
-                rows.push(row);
+                rows.push(row.clone());
             }
         }
         filter.flush(self, &outcomes);
-        Ok(ResultSet {
-            schema: input_rs.schema,
-            rows,
-        })
+        Ok(ResultSet { schema, rows })
+    }
+
+    /// The shard set a predicate-topped scan draws from: shards whose cached summary
+    /// proves no row can satisfy the predicate's numeric bounds are dropped, and the
+    /// second return is how many were. Purely an access-path optimization — dirty
+    /// shards (no cached summary) and non-prunable predicates keep every shard, so
+    /// the surviving rows are exactly the rows the full scan would have fed the
+    /// filter.
+    fn pruned_scan_set(
+        &self,
+        t: &Table,
+        predicate: &ScalarExpr,
+        schema: &Schema,
+    ) -> (ShardSet, u64) {
+        let bounds = shard_prune_bounds(predicate, schema);
+        if bounds.is_empty() {
+            return (t.shard_set(), 0);
+        }
+        let mut kept = Vec::with_capacity(t.shard_count());
+        let mut pruned = 0u64;
+        for shard in t.shards() {
+            if shard.is_empty() {
+                // Nothing to skip; keeping it costs nothing and keeps the counter
+                // meaningful (only shards with rows count as pruned).
+                kept.push(Arc::clone(shard));
+                continue;
+            }
+            let prunable = shard.cached_summary().is_some_and(|s| {
+                bounds
+                    .iter()
+                    .any(|(col, lo, hi)| !s.may_contain_in_range(col, *lo, *hi))
+            });
+            if prunable {
+                pruned += 1;
+            } else {
+                kept.push(Arc::clone(shard));
+            }
+        }
+        (ShardSet::new(kept), pruned)
     }
 
     /// Attempts to answer `σ_predicate(scan)` with a hash-index lookup. Returns
@@ -718,7 +773,7 @@ impl Executor {
             let roots: Vec<&ScalarExpr> = items.iter().map(|item| &item.expr).collect();
             self.batch_eval_udf_calls(
                 &roots,
-                BatchSource::Rows(Arc::clone(&source)),
+                RowSource::Rows(Arc::clone(&source)),
                 &input_schema,
                 outer,
             )?;
@@ -892,7 +947,7 @@ impl Executor {
     fn batch_eval_udf_calls(
         &self,
         roots: &[&ScalarExpr],
-        source: BatchSource,
+        source: RowSource,
         schema: &Schema,
         outer: &Env,
     ) -> Result<()> {
@@ -910,38 +965,24 @@ impl Executor {
             return Ok(());
         }
         // Pass 1: gather each morsel's distinct argument tuples per call site,
-        // deduplicated within the morsel by invocation fingerprint.
+        // deduplicated within the morsel by invocation fingerprint. Both source
+        // variants stream rows in place (shard sets map morsel ranges onto per-shard
+        // slices — no copy-out just to collect argument tuples).
         let sites = Arc::new(sites);
-        let chunks = match source {
-            BatchSource::Rows(rows) => {
-                let sites = Arc::clone(&sites);
-                let schema = schema.clone();
-                let outer = outer.clone();
-                self.run_morsels("udf-batch", 0, rows.len(), move |view, range| {
-                    Ok(collect_arg_tuples(
-                        view,
-                        &rows[range],
-                        &sites,
-                        &schema,
-                        &outer,
-                    ))
-                })?
-            }
-            BatchSource::Table(name, len) => {
-                let sites = Arc::clone(&sites);
-                let schema = schema.clone();
-                let outer = outer.clone();
-                self.run_morsels("udf-batch", 0, len, move |view, range| {
-                    let t = view.catalog.table(&name)?;
-                    Ok(collect_arg_tuples(
-                        view,
-                        &t.rows()[range],
-                        &sites,
-                        &schema,
-                        &outer,
-                    ))
-                })?
-            }
+        let chunks = {
+            let sites = Arc::clone(&sites);
+            let schema = schema.clone();
+            let outer = outer.clone();
+            let source = source.clone();
+            self.run_morsels("udf-batch", 0, source.len(), move |view, range| {
+                Ok(collect_arg_tuples(
+                    view,
+                    source.iter_range(range),
+                    &sites,
+                    &schema,
+                    &outer,
+                ))
+            })?
         };
         // Global dedup across morsels, skipping tuples a cache can already answer.
         let mut pending: Vec<(u64, String, Vec<Value>)> = vec![];
@@ -1031,16 +1072,23 @@ impl Executor {
                     }
                     None => {
                         let t = self.catalog.table(table)?;
-                        self.stats.add_rows_scanned(t.row_count() as u64);
                         let schema = match alias {
                             Some(a) => t.schema().with_qualifier(a),
                             None => t.schema().clone(),
                         };
-                        (
-                            format!("scan({table})"),
-                            schema,
-                            FusedSource::Table(table.to_string(), t.row_count()),
-                        )
+                        // A filter directly over the scan can skip shards whose
+                        // cached min/max proves the predicate cannot match.
+                        let (set, pruned) = match layers.first() {
+                            Some(FusedLayer::Filter(predicate)) => {
+                                self.pruned_scan_set(t, predicate, &schema)
+                            }
+                            _ => (t.shard_set(), 0),
+                        };
+                        if pruned > 0 {
+                            self.stats.add_shards_pruned(pruned);
+                        }
+                        self.stats.add_rows_scanned(set.len() as u64);
+                        (format!("scan({table})"), schema, FusedSource::Shards(set))
                     }
                 }
             }
@@ -1082,8 +1130,8 @@ impl Executor {
             // the layered serial execution).
             let mut rows = vec![];
             match &source {
-                FusedSource::Table(name, _) => {
-                    for row in self.catalog.table(name)?.rows() {
+                FusedSource::Shards(set) => {
+                    for row in set.iter() {
                         apply_fused_stages(self, row, &base_schema, &stages, outer, &mut rows)?;
                     }
                 }
@@ -1111,45 +1159,27 @@ impl Executor {
             None => vec![],
         };
         let stages = Arc::new(stages);
-        let chunks = match source {
-            FusedSource::Table(name, _) => {
-                self.batch_eval_udf_calls(
-                    &first_stage_roots.iter().collect::<Vec<_>>(),
-                    BatchSource::Table(name.clone(), len),
-                    &base_schema,
-                    outer,
-                )?;
-                let stages = Arc::clone(&stages);
-                let base_schema = base_schema.clone();
-                let outer = outer.clone();
-                self.run_morsels(&operator, depth, len, move |view, range| {
-                    let t = view.catalog.table(&name)?;
-                    let mut out = vec![];
-                    for row in &t.rows()[range] {
-                        apply_fused_stages(view, row, &base_schema, &stages, &outer, &mut out)?;
-                    }
-                    Ok(out)
-                })?
-            }
-            FusedSource::Rows(rows) => {
-                let source = Arc::new(rows);
-                self.batch_eval_udf_calls(
-                    &first_stage_roots.iter().collect::<Vec<_>>(),
-                    BatchSource::Rows(Arc::clone(&source)),
-                    &base_schema,
-                    outer,
-                )?;
-                let stages = Arc::clone(&stages);
-                let base_schema = base_schema.clone();
-                let outer = outer.clone();
-                self.run_morsels(&operator, depth, len, move |view, range| {
-                    let mut out = vec![];
-                    for row in &source[range] {
-                        apply_fused_stages(view, row, &base_schema, &stages, &outer, &mut out)?;
-                    }
-                    Ok(out)
-                })?
-            }
+        let source = match source {
+            FusedSource::Shards(set) => RowSource::Shards(set),
+            FusedSource::Rows(rows) => RowSource::Rows(Arc::new(rows)),
+        };
+        self.batch_eval_udf_calls(
+            &first_stage_roots.iter().collect::<Vec<_>>(),
+            source.clone(),
+            &base_schema,
+            outer,
+        )?;
+        let chunks = {
+            let stages = Arc::clone(&stages);
+            let base_schema = base_schema.clone();
+            let outer = outer.clone();
+            self.run_morsels(&operator, depth, len, move |view, range| {
+                let mut out = vec![];
+                for row in source.iter_range(range) {
+                    apply_fused_stages(view, row, &base_schema, &stages, &outer, &mut out)?;
+                }
+                Ok(out)
+            })?
         };
         Ok(ResultSet {
             schema: out_schema,
@@ -1405,6 +1435,27 @@ impl Executor {
 
     // -------------------------------------------------------------------------- joins
 
+    /// A join/Apply input: a bare base-table scan hands back its shard set directly
+    /// (the build/probe/apply morsels stream out of storage with no copy-out,
+    /// mirroring the scan's counters); anything else executes and materializes.
+    fn input_source(&self, plan: &RelExpr, outer: &Env) -> Result<(Schema, RowSource)> {
+        if let RelExpr::Scan { table, alias } = plan {
+            let t = self.catalog.table(table)?;
+            let schema = match alias {
+                Some(a) => t.schema().with_qualifier(a),
+                None => t.schema().clone(),
+            };
+            let set = t.shard_set();
+            self.stats.add_rows_scanned(set.len() as u64);
+            if self.config.collect_cardinalities {
+                self.cardinalities.record(plan, set.len() as u64);
+            }
+            return Ok((schema, RowSource::Shards(set)));
+        }
+        let rs = self.execute_with_env(plan, outer)?;
+        Ok((rs.schema, RowSource::Rows(Arc::new(rs.rows))))
+    }
+
     fn execute_join(
         &self,
         left: &RelExpr,
@@ -1413,22 +1464,21 @@ impl Executor {
         condition: Option<&ScalarExpr>,
         outer: &Env,
     ) -> Result<ResultSet> {
-        let left_rs = self.execute_with_env(left, outer)?;
-        let right_rs = self.execute_with_env(right, outer)?;
+        let (left_schema, left_src) = self.input_source(left, outer)?;
+        let (right_schema, right_src) = self.input_source(right, outer)?;
         let out_schema = match kind {
-            JoinKind::LeftSemi | JoinKind::LeftAnti => left_rs.schema.clone(),
-            JoinKind::LeftOuter => left_rs.schema.join(&right_rs.schema.as_nullable()),
-            _ => left_rs.schema.join(&right_rs.schema),
+            JoinKind::LeftSemi | JoinKind::LeftAnti => left_schema.clone(),
+            JoinKind::LeftOuter => left_schema.join(&right_schema.as_nullable()),
+            _ => left_schema.join(&right_schema),
         };
-        let combined_schema = left_rs.schema.join(&right_rs.schema);
+        let combined_schema = left_schema.join(&right_schema);
 
         // Try to extract hash-join keys from the condition.
         let (equi_keys, residual) = condition
-            .map(|c| split_equi_conjuncts(c, &left_rs.schema, &right_rs.schema))
+            .map(|c| split_equi_conjuncts(c, &left_schema, &right_schema))
             .unwrap_or((vec![], vec![]));
         let residual_pred = ScalarExpr::conjunction(residual);
-        let big_enough =
-            left_rs.rows.len() + right_rs.rows.len() >= self.config.hash_join_threshold;
+        let big_enough = left_src.len() + right_src.len() >= self.config.hash_join_threshold;
 
         let use_hash = !equi_keys.is_empty() && big_enough;
         if use_hash {
@@ -1440,8 +1490,10 @@ impl Executor {
         if use_hash {
             let rows = self.hash_join_rows(
                 kind,
-                left_rs,
-                right_rs,
+                &left_schema,
+                left_src,
+                &right_schema,
+                right_src,
                 combined_schema,
                 equi_keys,
                 residual_pred,
@@ -1453,25 +1505,25 @@ impl Executor {
             });
         }
 
-        let right_rs = Arc::new(right_rs);
-        let rows = if self.should_parallelize(left_rs.rows.len()) {
-            let source = Arc::new(left_rs.rows);
-            let right_rs = Arc::clone(&right_rs);
+        let right_width = right_schema.len();
+        let rows = if self.should_parallelize(left_src.len()) {
+            let src = left_src.clone();
+            let right_src = right_src.clone();
             let combined_schema = combined_schema.clone();
             let condition = condition.cloned();
             let outer = outer.clone();
-            let src = Arc::clone(&source);
             let chunks = self.run_morsels(
                 "nested-loop-join probe",
                 0,
-                source.len(),
+                left_src.len(),
                 move |view, range| {
                     let mut out = vec![];
-                    for lrow in &src[range] {
+                    for lrow in src.iter_range(range) {
                         nl_probe_row(
                             view,
                             lrow,
-                            &right_rs,
+                            &right_src,
+                            right_width,
                             &combined_schema,
                             kind,
                             condition.as_ref(),
@@ -1485,11 +1537,12 @@ impl Executor {
             concat_rows(chunks, 0)
         } else {
             let mut out = vec![];
-            for lrow in &left_rs.rows {
+            for lrow in left_src.iter() {
                 nl_probe_row(
                     self,
                     lrow,
-                    &right_rs,
+                    &right_src,
+                    right_width,
                     &combined_schema,
                     kind,
                     condition,
@@ -1534,44 +1587,56 @@ impl Executor {
     fn hash_join_rows(
         &self,
         kind: JoinKind,
-        left_rs: ResultSet,
-        right_rs: ResultSet,
+        left_schema: &Schema,
+        left_src: RowSource,
+        right_schema: &Schema,
+        right_src: RowSource,
         combined_schema: Schema,
         equi_keys: Vec<(ScalarExpr, ScalarExpr)>,
         residual_pred: ScalarExpr,
         outer: &Env,
     ) -> Result<Vec<Row>> {
-        let parallel_build = self.should_parallelize(right_rs.rows.len());
-        let parallel_probe = self.should_parallelize(left_rs.rows.len());
+        let parallel_build = self.should_parallelize(right_src.len());
+        let parallel_probe = self.should_parallelize(left_src.len());
         let nparts = if parallel_build || parallel_probe {
             self.config.parallelism.max(1)
         } else {
             1
         };
-        let right = Arc::new(right_rs);
+        let right_width = right_schema.len();
         let equi_keys = Arc::new(equi_keys);
 
         // Build phase: per-morsel key computation, pre-bucketed by partition.
         let build_chunks: Vec<BuildBuckets> = if parallel_build {
-            let right = Arc::clone(&right);
+            let right = right_src.clone();
+            let right_schema = right_schema.clone();
             let equi_keys = Arc::clone(&equi_keys);
             let outer_env = outer.clone();
             self.run_morsels(
                 "hash-join build keys",
                 0,
-                right.rows.len(),
+                right_src.len(),
                 move |view, range| {
-                    build_buckets(view, &right, &equi_keys, &outer_env, nparts, range)
+                    build_buckets(
+                        view,
+                        &right,
+                        &right_schema,
+                        &equi_keys,
+                        &outer_env,
+                        nparts,
+                        range,
+                    )
                 },
             )?
         } else {
             vec![build_buckets(
                 self,
-                &right,
+                &right_src,
+                right_schema,
                 &equi_keys,
                 outer,
                 nparts,
-                0..right.rows.len(),
+                0..right_src.len(),
             )?]
         };
         // Assemble one hash table per partition. Concatenating each partition's buckets
@@ -1581,7 +1646,7 @@ impl Executor {
         let build_chunks = Arc::new(build_chunks);
         let tables: Vec<HashMap<Vec<GroupKey>, Vec<usize>>> = if parallel_build && nparts > 1 {
             let chunks = Arc::clone(&build_chunks);
-            let weight = (right.rows.len() / nparts) as u64;
+            let weight = (right_src.len() / nparts) as u64;
             self.run_pool(
                 "hash-join build",
                 0,
@@ -1598,21 +1663,22 @@ impl Executor {
 
         // Probe phase.
         if parallel_probe {
-            let left_schema = left_rs.schema.clone();
-            let source = Arc::new(left_rs.rows);
-            let src = Arc::clone(&source);
+            let left_schema = left_schema.clone();
+            let src = left_src.clone();
+            let right = right_src.clone();
             let outer = outer.clone();
             let residual_pred = residual_pred.clone();
             let combined_schema = combined_schema.clone();
             let chunks =
-                self.run_morsels("hash-join probe", 0, source.len(), move |view, range| {
+                self.run_morsels("hash-join probe", 0, left_src.len(), move |view, range| {
                     let mut out = vec![];
-                    for lrow in &src[range] {
+                    for lrow in src.iter_range(range) {
                         hash_probe_row(
                             view,
                             lrow,
                             &left_schema,
                             &right,
+                            right_width,
                             &combined_schema,
                             &equi_keys,
                             &residual_pred,
@@ -1628,12 +1694,13 @@ impl Executor {
             Ok(concat_rows(chunks, 0))
         } else {
             let mut out = vec![];
-            for lrow in &left_rs.rows {
+            for lrow in left_src.iter() {
                 hash_probe_row(
                     self,
                     lrow,
-                    &left_rs.schema,
-                    &right,
+                    left_schema,
+                    &right_src,
+                    right_width,
                     &combined_schema,
                     &equi_keys,
                     &residual_pred,
@@ -1658,19 +1725,18 @@ impl Executor {
         bindings: &[decorr_algebra::plan::ParamBinding],
         outer: &Env,
     ) -> Result<ResultSet> {
-        let left_rs = self.execute_with_env(left, outer)?;
+        let (left_schema, left_src) = self.input_source(left, outer)?;
         let provider = self.provider();
         let right_schema = infer_schema(right, &provider).unwrap_or_else(|_| Schema::empty());
         let out_schema = match kind {
-            ApplyKind::LeftSemi | ApplyKind::LeftAnti => left_rs.schema.clone(),
-            ApplyKind::LeftOuter => left_rs.schema.join(&right_schema.as_nullable()),
-            ApplyKind::Cross => left_rs.schema.join(&right_schema),
+            ApplyKind::LeftSemi | ApplyKind::LeftAnti => left_schema.clone(),
+            ApplyKind::LeftOuter => left_schema.join(&right_schema.as_nullable()),
+            ApplyKind::Cross => left_schema.join(&right_schema),
         };
         // Correlated evaluation of the inner plan, once per outer row. Each outer row
         // is independent, so the Apply family is morsel-parallel over its left input —
         // this is what parallelises iterative (non-decorrelated) execution. The job
         // context owns a clone of the inner plan: the pool workers outlive this frame.
-        let left_schema = left_rs.schema.clone();
         let right_plan = right.clone();
         let bindings = bindings.to_vec();
         let outer_env = outer.clone();
@@ -1709,7 +1775,7 @@ impl Executor {
             }
             Ok(())
         };
-        let rows = self.for_each_left_row(left_rs.rows, "apply", apply_one)?;
+        let rows = self.for_each_left_row(left_src, "apply", apply_one)?;
         Ok(ResultSet {
             schema: out_schema,
             rows,
@@ -1719,16 +1785,15 @@ impl Executor {
     /// Runs `f` for every left row, morsel-parallel when the left input is large
     /// enough, and returns the per-row outputs concatenated in left-row order. `f` must
     /// own its captured context (`'static`): it may run on persistent pool workers.
-    fn for_each_left_row<F>(&self, left_rows: Vec<Row>, operator: &str, f: F) -> Result<Vec<Row>>
+    fn for_each_left_row<F>(&self, left: RowSource, operator: &str, f: F) -> Result<Vec<Row>>
     where
         F: Fn(&Executor, &Row, &mut Vec<Row>) -> Result<()> + Send + Sync + 'static,
     {
-        if self.should_parallelize(left_rows.len()) {
-            let source = Arc::new(left_rows);
-            let src = Arc::clone(&source);
-            let chunks = self.run_morsels(operator, 0, source.len(), move |view, range| {
+        if self.should_parallelize(left.len()) {
+            let src = left.clone();
+            let chunks = self.run_morsels(operator, 0, left.len(), move |view, range| {
                 let mut out = vec![];
-                for lrow in &src[range] {
+                for lrow in src.iter_range(range) {
                     f(view, lrow, &mut out)?;
                 }
                 Ok(out)
@@ -1736,7 +1801,7 @@ impl Executor {
             Ok(concat_rows(chunks, 0))
         } else {
             let mut out = vec![];
-            for lrow in &left_rows {
+            for lrow in left.iter() {
                 f(self, lrow, &mut out)?;
             }
             Ok(out)
@@ -1750,9 +1815,8 @@ impl Executor {
         assignments: &[decorr_algebra::plan::MergeAssignment],
         outer: &Env,
     ) -> Result<ResultSet> {
-        let left_rs = self.execute_with_env(left, outer)?;
-        let left_schema = left_rs.schema.clone();
-        let schema = left_rs.schema.clone();
+        let (left_schema, left_src) = self.input_source(left, outer)?;
+        let schema = left_schema.clone();
         let right_plan = right.clone();
         let assignments = assignments.to_vec();
         let outer_env = outer.clone();
@@ -1762,7 +1826,7 @@ impl Executor {
             rows.push(view.merge_row(lrow, &left_schema, &inner, &assignments)?);
             Ok(())
         };
-        let rows = self.for_each_left_row(left_rs.rows, "apply-merge", merge_one)?;
+        let rows = self.for_each_left_row(left_src, "apply-merge", merge_one)?;
         Ok(ResultSet { schema, rows })
     }
 
@@ -1775,9 +1839,8 @@ impl Executor {
         assignments: &[decorr_algebra::plan::MergeAssignment],
         outer: &Env,
     ) -> Result<ResultSet> {
-        let left_rs = self.execute_with_env(left, outer)?;
-        let left_schema = left_rs.schema.clone();
-        let schema = left_rs.schema.clone();
+        let (left_schema, left_src) = self.input_source(left, outer)?;
+        let schema = left_schema.clone();
         let predicate = predicate.clone();
         let then_plan = then_branch.clone();
         let else_plan = else_branch.clone();
@@ -1794,7 +1857,7 @@ impl Executor {
             rows.push(view.merge_row(lrow, &left_schema, &inner, &assignments)?);
             Ok(())
         };
-        let rows = self.for_each_left_row(left_rs.rows, "conditional-apply-merge", merge_one)?;
+        let rows = self.for_each_left_row(left_src, "conditional-apply-merge", merge_one)?;
         Ok(ResultSet { schema, rows })
     }
 
@@ -1856,9 +1919,9 @@ enum FusedStage {
 
 /// The base input a fused chain streams out of.
 enum FusedSource {
-    /// A base-table scan: workers read the catalog directly (no copy-out
-    /// materialization). Holds `(table name, row count)`.
-    Table(String, usize),
+    /// A base-table scan: workers stream straight out of the table's (possibly
+    /// pruned) shard set — no copy-out materialization.
+    Shards(ShardSet),
     /// Any other base: its materialized rows.
     Rows(Vec<Row>),
 }
@@ -1866,10 +1929,58 @@ enum FusedSource {
 impl FusedSource {
     fn len(&self) -> usize {
         match self {
-            FusedSource::Table(_, len) => *len,
+            FusedSource::Shards(set) => set.len(),
             FusedSource::Rows(rows) => rows.len(),
         }
     }
+}
+
+/// A numeric bound on one column extracted from a scan predicate's conjuncts, in the
+/// shape [`decorr_storage::ShardStatistics::may_contain_in_range`] consumes:
+/// `(column, lower, upper)` with each endpoint `(value, inclusive)`.
+type PruneBound = (String, Option<(f64, bool)>, Option<(f64, bool)>);
+
+/// Extracts shard-prunable bounds from `predicate`'s top-level conjuncts: every
+/// `column <op> literal` comparison (either operand order) over a column of `schema`
+/// whose literal is numeric contributes one bound. A shard must satisfy every
+/// conjunct, so each bound can prune independently; anything else (ORs, UDFs,
+/// non-numeric literals, column-to-column comparisons) simply contributes nothing.
+fn shard_prune_bounds(predicate: &ScalarExpr, schema: &Schema) -> Vec<PruneBound> {
+    let mut bounds = vec![];
+    for conjunct in predicate.split_conjuncts() {
+        let ScalarExpr::Binary { op, left, right } = &conjunct else {
+            continue;
+        };
+        for (col_side, lit_side, flipped) in [(left, right, false), (right, left, true)] {
+            let ScalarExpr::Column(c) = col_side.as_ref() else {
+                continue;
+            };
+            if schema.find(c.qualifier.as_deref(), &c.name).is_none() {
+                continue;
+            }
+            let ScalarExpr::Literal(v) = lit_side.as_ref() else {
+                continue;
+            };
+            let x = match v {
+                Value::Int(i) => *i as f64,
+                Value::Float(f) => *f,
+                _ => continue,
+            };
+            // Normalized to `column <op'> x` (a flipped `literal <op> column`
+            // mirrors the comparison).
+            let (lo, hi) = match (*op, flipped) {
+                (BinaryOp::Eq, _) => (Some((x, true)), Some((x, true))),
+                (BinaryOp::Lt, false) | (BinaryOp::Gt, true) => (None, Some((x, false))),
+                (BinaryOp::LtEq, false) | (BinaryOp::GtEq, true) => (None, Some((x, true))),
+                (BinaryOp::Gt, false) | (BinaryOp::Lt, true) => (Some((x, false)), None),
+                (BinaryOp::GtEq, false) | (BinaryOp::LtEq, true) => (Some((x, true)), None),
+                _ => continue,
+            };
+            bounds.push((c.name.clone(), lo, hi));
+            break;
+        }
+    }
+    bounds
 }
 
 /// Peels a chain of fusible layers (non-distinct projections and filters) off the top
@@ -1968,7 +2079,8 @@ fn finish_left_row(
 fn nl_probe_row(
     view: &Executor,
     lrow: &Row,
-    right_rs: &ResultSet,
+    right: &RowSource,
+    right_width: usize,
     combined_schema: &Schema,
     kind: JoinKind,
     condition: Option<&ScalarExpr>,
@@ -1976,7 +2088,7 @@ fn nl_probe_row(
     rows: &mut Vec<Row>,
 ) -> Result<()> {
     let mut matched = false;
-    for rrow in &right_rs.rows {
+    for rrow in right.iter() {
         let combined = lrow.concat(rrow);
         let env = Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
         let pass = match condition {
@@ -1991,24 +2103,26 @@ fn nl_probe_row(
             }
         }
     }
-    finish_left_row(kind, matched, lrow, right_rs.schema.len(), rows);
+    finish_left_row(kind, matched, lrow, right_width, rows);
     Ok(())
 }
 
 /// Computes one build morsel's `(key, right row index)` entries, bucketed by partition.
+#[allow(clippy::too_many_arguments)]
 fn build_buckets(
     view: &Executor,
-    right_rs: &ResultSet,
+    right: &RowSource,
+    right_schema: &Schema,
     equi_keys: &[(ScalarExpr, ScalarExpr)],
     outer: &Env,
     nparts: usize,
     range: std::ops::Range<usize>,
 ) -> Result<BuildBuckets> {
     let mut buckets: BuildBuckets = vec![vec![]; nparts];
-    for (offset, rrow) in right_rs.rows[range.clone()].iter().enumerate() {
+    for (offset, rrow) in right.iter_range(range.clone()).enumerate() {
         let key = view.join_key(
             rrow,
-            &right_rs.schema,
+            right_schema,
             equi_keys.iter().map(|(_, rk)| rk),
             outer,
         )?;
@@ -2041,7 +2155,8 @@ fn hash_probe_row(
     view: &Executor,
     lrow: &Row,
     left_schema: &Schema,
-    right_rs: &ResultSet,
+    right: &RowSource,
+    right_width: usize,
     combined_schema: &Schema,
     equi_keys: &[(ScalarExpr, ScalarExpr)],
     residual_pred: &ScalarExpr,
@@ -2061,7 +2176,7 @@ fn hash_probe_row(
     };
     let mut matched = false;
     for &ri in matches {
-        let combined = lrow.concat(&right_rs.rows[ri]);
+        let combined = lrow.concat(right.get(ri));
         let env = Env::with_row(combined_schema.clone(), combined.clone()).nested_in(outer);
         if view.eval_predicate(residual_pred, &env)? {
             matched = true;
@@ -2071,7 +2186,7 @@ fn hash_probe_row(
             }
         }
     }
-    finish_left_row(kind, matched, lrow, right_rs.schema.len(), rows);
+    finish_left_row(kind, matched, lrow, right_width, rows);
     Ok(())
 }
 
@@ -2196,24 +2311,49 @@ impl crate::parallel::OutputRows for ArgTuples {
     }
 }
 
-/// What the batch pre-pass reads its rows from: an already-materialized input, or a
-/// base table streamed straight out of the catalog (the fused chains' fast path —
-/// no copy-out just to collect argument tuples).
-enum BatchSource {
+/// A morsel-parallel row source the executor's `'static` pool jobs capture: either an
+/// already-materialized input, or a set of table shards streamed straight out of
+/// storage (no copy-out). Cloning is cheap — both variants hand out shared handles.
+#[derive(Clone)]
+enum RowSource {
     Rows(Arc<Vec<Row>>),
-    Table(String, usize),
+    Shards(ShardSet),
 }
 
-impl BatchSource {
+impl RowSource {
     fn len(&self) -> usize {
         match self {
-            BatchSource::Rows(rows) => rows.len(),
-            BatchSource::Table(_, len) => *len,
+            RowSource::Rows(rows) => rows.len(),
+            RowSource::Shards(set) => set.len(),
         }
     }
 
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The row at global position `i` (must be in bounds).
+    fn get(&self, i: usize) -> &Row {
+        match self {
+            RowSource::Rows(rows) => &rows[i],
+            RowSource::Shards(set) => set.get(i).expect("row index out of bounds"),
+        }
+    }
+
+    /// All rows, in source order.
+    fn iter(&self) -> Box<dyn Iterator<Item = &Row> + '_> {
+        match self {
+            RowSource::Rows(rows) => Box::new(rows.iter()),
+            RowSource::Shards(set) => Box::new(set.iter()),
+        }
+    }
+
+    /// The rows of one global range (a morsel), in source order.
+    fn iter_range(&self, range: std::ops::Range<usize>) -> Box<dyn Iterator<Item = &Row> + '_> {
+        match self {
+            RowSource::Rows(rows) => Box::new(rows[range].iter()),
+            RowSource::Shards(set) => Box::new(set.iter_range(range)),
+        }
     }
 }
 
@@ -2221,9 +2361,9 @@ impl BatchSource {
 /// argument tuple per row, deduplicating within the morsel by fingerprint.
 /// Argument-evaluation errors are skipped — the per-row pass re-evaluates and
 /// surfaces them in deterministic row order.
-fn collect_arg_tuples(
+fn collect_arg_tuples<'a>(
     view: &Executor,
-    rows: &[Row],
+    rows: impl Iterator<Item = &'a Row>,
     sites: &[BatchSite],
     schema: &Schema,
     outer: &Env,

@@ -53,13 +53,34 @@ impl Executor {
     fn eval_scalar_udf(&self, udf: &UdfDefinition, key: &str, args: &[Value]) -> Result<Value> {
         self.stats.add_udf_invocations(1);
         let started = std::time::Instant::now();
-        let mut env = self.udf_env(udf, args)?;
-        let result = match self.exec_statements(&udf.body, &mut env, &mut None)? {
-            Flow::Return(v) => Ok(v),
-            Flow::Continue => Ok(Value::Null),
-        };
+        let result = self.run_scalar_body(udf, args);
         self.udf_timings.record(key, started.elapsed());
         result
+    }
+
+    /// Runs a scalar UDF body *without* counting an invocation: the accounting for a
+    /// worker that lost a dedup reservation race (see
+    /// [`ReservationGuard::took_over`](crate::memo::ReservationGuard::took_over)) and
+    /// re-evaluates a tuple another worker already evaluated. The duplicate work is
+    /// correct, but counting it would make `udf_invocations` and the learned per-UDF
+    /// costs depend on scheduling — so it books as a hit instead.
+    fn eval_scalar_udf_as_hit(
+        &self,
+        udf: &UdfDefinition,
+        key: &str,
+        args: &[Value],
+    ) -> Result<Value> {
+        self.stats.add_udf_dedup_hits(1);
+        self.udf_timings.record_hit(key);
+        self.run_scalar_body(udf, args)
+    }
+
+    fn run_scalar_body(&self, udf: &UdfDefinition, args: &[Value]) -> Result<Value> {
+        let mut env = self.udf_env(udf, args)?;
+        match self.exec_statements(&udf.body, &mut env, &mut None)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Continue => Ok(Value::Null),
+        }
     }
 
     /// Runs a table-valued UDF body, counting the invocation and recording its wall
@@ -67,10 +88,27 @@ impl Executor {
     fn eval_table_udf(&self, udf: &UdfDefinition, key: &str, args: &[Value]) -> Result<Vec<Row>> {
         self.stats.add_udf_invocations(1);
         let started = std::time::Instant::now();
+        let result = self.run_table_body(udf, args);
+        self.udf_timings.record(key, started.elapsed());
+        result
+    }
+
+    /// Table-valued twin of [`eval_scalar_udf_as_hit`](Executor::eval_scalar_udf_as_hit).
+    fn eval_table_udf_as_hit(
+        &self,
+        udf: &UdfDefinition,
+        key: &str,
+        args: &[Value],
+    ) -> Result<Vec<Row>> {
+        self.stats.add_udf_dedup_hits(1);
+        self.udf_timings.record_hit(key);
+        self.run_table_body(udf, args)
+    }
+
+    fn run_table_body(&self, udf: &UdfDefinition, args: &[Value]) -> Result<Vec<Row>> {
         let mut env = self.udf_env(udf, args)?;
         let mut buffer = Some(vec![]);
         self.exec_statements(&udf.body, &mut env, &mut buffer)?;
-        self.udf_timings.record(key, started.elapsed());
         Ok(buffer.unwrap_or_default())
     }
 
@@ -111,8 +149,15 @@ impl Executor {
                 Reservation::Hit(_) => {}
                 Reservation::Reserved(guard) => {
                     // An evaluation error drops the guard, which abandons the
-                    // reservation and wakes any waiters to take over.
-                    let value = self.eval_scalar_udf(udf, &key, &args)?;
+                    // reservation and wakes any waiters to take over. A taken-over
+                    // reservation means another worker already evaluated this tuple
+                    // (and its entry was evicted before we woke) — re-evaluating is
+                    // correct but must not inflate the invocation counters.
+                    let value = if guard.took_over() {
+                        self.eval_scalar_udf_as_hit(udf, &key, &args)?
+                    } else {
+                        self.eval_scalar_udf(udf, &key, &args)?
+                    };
                     guard.publish(&key, &args, MemoValue::Scalar(value.clone()), NO_EPOCH);
                     if let Some(memo) = &self.memo {
                         memo.insert(
@@ -162,7 +207,11 @@ impl Executor {
                 }
                 Reservation::Hit(_) => {}
                 Reservation::Reserved(guard) => {
-                    let rows = self.eval_table_udf(udf, &key, &args)?;
+                    let rows = if guard.took_over() {
+                        self.eval_table_udf_as_hit(udf, &key, &args)?
+                    } else {
+                        self.eval_table_udf(udf, &key, &args)?
+                    };
                     guard.publish(&key, &args, MemoValue::Table(rows.clone()), NO_EPOCH);
                     if let Some(memo) = &self.memo {
                         memo.insert(

@@ -210,9 +210,19 @@ pub struct ReservationGuard<'a> {
     memo: &'a UdfMemo,
     fingerprint: u64,
     done: bool,
+    took_over: bool,
 }
 
 impl ReservationGuard<'_> {
+    /// True when this reservation was acquired only after sleeping on a racing
+    /// worker's reservation for the same tuple: that worker's result was published
+    /// then evicted (or the evaluation was abandoned) before this caller's wake-up
+    /// re-check. The caller's evaluation is then a *duplicate* from the counters'
+    /// point of view — callers use this to keep invocation counts race-free.
+    pub fn took_over(&self) -> bool {
+        self.took_over
+    }
+
     /// Publishes the computed result under the reservation and wakes all waiters.
     pub fn publish(mut self, name: &str, args: &[Value], value: MemoValue, epoch: MemoEpoch) {
         self.done = true;
@@ -458,6 +468,7 @@ impl UdfMemo {
         }
         let slot = self.shard(fingerprint);
         let mut shard: MutexGuard<'_, Shard> = slot.state.lock().expect("memo shard poisoned");
+        let mut waited = false;
         loop {
             if let Some(value) = self.lookup_locked(&mut shard, name, fingerprint, args, epoch) {
                 shard.touch(fingerprint);
@@ -470,6 +481,7 @@ impl UdfMemo {
                 }
                 Some(_) => {
                     self.reservation_waits.fetch_add(1, Ordering::Relaxed);
+                    waited = true;
                     shard = slot.published.wait(shard).expect("memo shard poisoned");
                 }
                 None => {
@@ -481,6 +493,7 @@ impl UdfMemo {
                         memo: self,
                         fingerprint,
                         done: false,
+                        took_over: waited,
                     });
                 }
             }
@@ -662,10 +675,51 @@ mod tests {
             };
             // Dropped without publish: evaluation failed.
         }
-        assert!(matches!(
-            memo.reserve("f", fp, &args, NO_EPOCH),
-            Reservation::Reserved(_)
-        ));
+        match memo.reserve("f", fp, &args, NO_EPOCH) {
+            Reservation::Reserved(g) => assert!(
+                !g.took_over(),
+                "same-thread re-reserve never waited, so it did not take over"
+            ),
+            other => panic!("expected Reserved, got {other:?}"),
+        };
+    }
+
+    /// A waiter that sleeps on another worker's reservation and wakes to find it
+    /// gone (abandoned here; evicted-after-publish is the other path) takes the
+    /// reservation over — and the guard reports it, so the interpreter can keep the
+    /// duplicate evaluation out of the invocation counters.
+    #[test]
+    fn waiter_that_takes_over_reports_it() {
+        use std::sync::Arc;
+        let memo = Arc::new(UdfMemo::with_capacity(64));
+        let args = vec![Value::Int(11)];
+        let fp = fingerprint_invocation("f", &args);
+        let guard = match memo.reserve("f", fp, &args, NO_EPOCH) {
+            Reservation::Reserved(g) => g,
+            other => panic!("expected Reserved, got {other:?}"),
+        };
+        assert!(!guard.took_over(), "the uncontended winner never waited");
+        let waiter = {
+            let memo = Arc::clone(&memo);
+            let args = args.clone();
+            std::thread::spawn(move || match memo.reserve("f", fp, &args, NO_EPOCH) {
+                Reservation::Reserved(g) => {
+                    let took_over = g.took_over();
+                    g.publish("f", &args, scalar(22), NO_EPOCH);
+                    took_over
+                }
+                other => panic!("expected to take over the reservation, got {other:?}"),
+            })
+        };
+        // Give the waiter time to block on the condvar, then abandon the
+        // reservation: the waiter must wake, take over, and know it did.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        drop(guard);
+        assert!(
+            waiter.join().unwrap(),
+            "a waiter that slept through an abandon must report took_over"
+        );
+        assert_eq!(memo.get("f", fp, &args, NO_EPOCH), Some(scalar(22)));
     }
 
     #[test]

@@ -242,9 +242,13 @@ pub fn estimate_with(
         RelExpr::Select { input, predicate } => {
             let input_est = estimate_with(input, catalog, registry, params);
             let selectivity = predicate_selectivity(predicate, input, catalog, params);
+            // The executor skips whole shards whose cached min/max disproves the
+            // predicate's numeric bounds; price that in for Select-over-Scan so
+            // pruning-friendly plans win on estimated cost too.
+            let unpruned = scan_unpruned_fraction(predicate, input, catalog);
             CostEstimate::new(
                 input_est.cardinality * selectivity,
-                input_est.cost + input_est.cardinality / par,
+                input_est.cost * unpruned + input_est.cardinality * unpruned / par,
             )
         }
         RelExpr::Project { input, items, .. } => {
@@ -527,6 +531,37 @@ fn predicate_selectivity(
     selectivity.clamp(0.000_001, 1.0)
 }
 
+/// Fraction of a base-table scan's rows that survive shard pruning under the
+/// predicate's numeric bound conjuncts: `1.0` when the input is not a bare scan,
+/// when no conjunct yields a bound, or when no shard summary is cached (dirty
+/// shards are never pruned at runtime either). Mirrors
+/// [`Table::pruned_shard_set`](decorr_storage::Table::pruned_shard_set) via
+/// [`Table::unpruned_row_fraction`](decorr_storage::Table::unpruned_row_fraction).
+fn scan_unpruned_fraction(predicate: &ScalarExpr, input: &RelExpr, catalog: &Catalog) -> f64 {
+    let RelExpr::Scan { table, .. } = input else {
+        return 1.0;
+    };
+    let Ok(t) = catalog.table(table) else {
+        return 1.0;
+    };
+    let mut fraction = 1.0f64;
+    for conjunct in predicate.split_conjuncts() {
+        let (column, lo, hi) = match classify_conjunct(&conjunct) {
+            ConjunctClass::Bound { column, lo, hi } => (column, lo, hi),
+            ConjunctClass::Equality {
+                column: Some(column),
+                value: Some(v),
+            } => {
+                let Ok(x) = v.as_float() else { continue };
+                (column, Some((x, true)), Some((x, true)))
+            }
+            _ => continue,
+        };
+        fraction = fraction.min(t.unpruned_row_fraction(&column, lo, hi));
+    }
+    fraction
+}
+
 fn base_table_of(plan: &RelExpr) -> Option<String> {
     match plan {
         RelExpr::Scan { table, .. } => Some(table.clone()),
@@ -687,6 +722,41 @@ mod tests {
                 .unwrap();
         let est = estimate_cardinality(&between, &catalog, &registry);
         assert!((est - 200.0).abs() < 50.0, "between estimate {est}");
+    }
+
+    #[test]
+    fn shard_pruning_discounts_scan_cost() {
+        let mut catalog = Catalog::new();
+        catalog.set_default_shard_count(8);
+        catalog
+            .create_table(
+                "orders",
+                Schema::new(vec![Column::new("orderkey", DataType::Int)]),
+            )
+            .unwrap();
+        catalog
+            .insert_rows(
+                "orders",
+                (0..1000i64)
+                    .map(|i| Row::new(vec![Value::Int(i)]))
+                    .collect(),
+            )
+            .unwrap();
+        let registry = FunctionRegistry::new();
+        catalog
+            .analyze_table("orders", &AnalyzeConfig::default())
+            .unwrap();
+        // Insertion order is contiguous per shard, so `orderkey <= 100` keeps one of
+        // the eight shards while `orderkey >= 0` keeps all of them — same plan shape,
+        // very different scan cost once pruning is priced in.
+        let narrow = parse_and_plan("select * from orders where orderkey <= 100").unwrap();
+        let wide = parse_and_plan("select * from orders where orderkey >= 0").unwrap();
+        let narrow_cost = estimate_cost(&narrow, &catalog, &registry);
+        let wide_cost = estimate_cost(&wide, &catalog, &registry);
+        assert!(
+            narrow_cost < wide_cost * 0.5,
+            "pruning-aware cost {narrow_cost} should undercut unpruned {wide_cost}"
+        );
     }
 
     #[test]

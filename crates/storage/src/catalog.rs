@@ -25,11 +25,25 @@ pub struct Catalog {
     tables: BTreeMap<String, Arc<Table>>,
     ddl_generation: u64,
     data_generation: u64,
+    /// Shard fanout newly created tables get (0/1 = single-shard, the pre-shard
+    /// layout). Configured through `Engine::builder().shard_count(..)`.
+    default_shard_count: usize,
 }
 
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Sets the shard fanout future [`create_table`](Catalog::create_table) calls use
+    /// (existing tables keep their layout). Values ≤ 1 mean single-shard.
+    pub fn set_default_shard_count(&mut self, shard_count: usize) {
+        self.default_shard_count = shard_count;
+    }
+
+    /// The shard fanout newly created tables get.
+    pub fn default_shard_count(&self) -> usize {
+        self.default_shard_count.max(1)
     }
 
     /// Creates a table. Fails if a table with the same name already exists.
@@ -39,8 +53,13 @@ impl Catalog {
             return Err(Error::Catalog(format!("table '{name}' already exists")));
         }
         self.ddl_generation += 1;
-        self.tables
-            .insert(key.clone(), Arc::new(Table::new(key, schema)));
+        let table = Table::with_shards(
+            key.clone(),
+            schema,
+            self.default_shard_count(),
+            crate::shard::ShardPolicy::AppendToLast,
+        );
+        self.tables.insert(key, Arc::new(table));
         Ok(())
     }
 
@@ -226,6 +245,22 @@ mod tests {
             &c.table_arc("a").unwrap(),
             &snapshot.table_arc("a").unwrap()
         ));
+    }
+
+    #[test]
+    fn default_shard_count_applies_to_new_tables_only() {
+        let mut c = Catalog::new();
+        c.create_table("single", schema()).unwrap();
+        c.set_default_shard_count(4);
+        assert_eq!(c.default_shard_count(), 4);
+        c.create_table("sharded", schema()).unwrap();
+        let rows: Vec<Row> = (0..1000)
+            .map(|i| Row::new(vec![i.into(), "x".into()]))
+            .collect();
+        c.insert_rows("single", rows.clone()).unwrap();
+        c.insert_rows("sharded", rows).unwrap();
+        assert_eq!(c.table("single").unwrap().shard_count(), 1);
+        assert_eq!(c.table("sharded").unwrap().shard_count(), 4);
     }
 
     #[test]

@@ -4,7 +4,12 @@ use std::collections::HashMap;
 
 use decorr_common::{value::GroupKey, Row, Value};
 
-/// An equality hash index: maps a column value to the ids of the rows holding it.
+/// Position of an indexed row inside a sharded table: `(shard index, offset within
+/// that shard)`. Rows never move between shards, so postings stay valid across
+/// inserts — index maintenance is strictly incremental, never a rebuild.
+pub type RowLocator = (usize, usize);
+
+/// An equality hash index: maps a column value to the locators of the rows holding it.
 ///
 /// NULL keys are not indexed (SQL equality never matches NULL), so lookups for NULL
 /// return no rows, matching predicate semantics.
@@ -12,7 +17,7 @@ use decorr_common::{value::GroupKey, Row, Value};
 pub struct HashIndex {
     column_name: String,
     column_idx: usize,
-    map: HashMap<GroupKey, Vec<usize>>,
+    map: HashMap<GroupKey, Vec<RowLocator>>,
 }
 
 impl HashIndex {
@@ -37,17 +42,20 @@ impl HashIndex {
         self.map.len()
     }
 
-    /// Adds a row (by id) to the index.
-    pub fn insert(&mut self, row: &Row, row_id: usize) {
+    /// Adds a row (by shard/offset locator) to the index.
+    pub fn insert(&mut self, row: &Row, shard: usize, offset: usize) {
         let key = &row.values[self.column_idx];
         if key.is_null() {
             return;
         }
-        self.map.entry(key.group_key()).or_default().push(row_id);
+        self.map
+            .entry(key.group_key())
+            .or_default()
+            .push((shard, offset));
     }
 
-    /// Row ids whose indexed column equals `value`.
-    pub fn lookup(&self, value: &Value) -> &[usize] {
+    /// Locators of rows whose indexed column equals `value`.
+    pub fn lookup(&self, value: &Value) -> &[RowLocator] {
         if value.is_null() {
             return &[];
         }
@@ -69,26 +77,26 @@ mod tests {
     #[test]
     fn lookup_by_key() {
         let mut idx = HashIndex::new("k", 0);
-        idx.insert(&Row::new(vec![Value::Int(1), "a".into()]), 0);
-        idx.insert(&Row::new(vec![Value::Int(2), "b".into()]), 1);
-        idx.insert(&Row::new(vec![Value::Int(1), "c".into()]), 2);
-        assert_eq!(idx.lookup(&Value::Int(1)), &[0, 2]);
-        assert_eq!(idx.lookup(&Value::Int(3)), &[] as &[usize]);
+        idx.insert(&Row::new(vec![Value::Int(1), "a".into()]), 0, 0);
+        idx.insert(&Row::new(vec![Value::Int(2), "b".into()]), 0, 1);
+        idx.insert(&Row::new(vec![Value::Int(1), "c".into()]), 1, 0);
+        assert_eq!(idx.lookup(&Value::Int(1)), &[(0, 0), (1, 0)]);
+        assert_eq!(idx.lookup(&Value::Int(3)), &[] as &[RowLocator]);
         assert_eq!(idx.distinct_keys(), 2);
     }
 
     #[test]
     fn null_keys_are_not_indexed() {
         let mut idx = HashIndex::new("k", 0);
-        idx.insert(&Row::new(vec![Value::Null]), 0);
-        assert_eq!(idx.lookup(&Value::Null), &[] as &[usize]);
+        idx.insert(&Row::new(vec![Value::Null]), 0, 0);
+        assert_eq!(idx.lookup(&Value::Null), &[] as &[RowLocator]);
         assert_eq!(idx.distinct_keys(), 0);
     }
 
     #[test]
     fn int_and_float_keys_unify() {
         let mut idx = HashIndex::new("k", 0);
-        idx.insert(&Row::new(vec![Value::Int(2)]), 0);
-        assert_eq!(idx.lookup(&Value::Float(2.0)), &[0]);
+        idx.insert(&Row::new(vec![Value::Int(2)]), 0, 0);
+        assert_eq!(idx.lookup(&Value::Float(2.0)), &[(0, 0)]);
     }
 }

@@ -8,10 +8,12 @@
 
 pub mod catalog;
 pub mod index;
+pub mod shard;
 pub mod stats;
 pub mod table;
 
 pub use catalog::Catalog;
-pub use index::HashIndex;
-pub use stats::{AnalyzeConfig, ColumnStatistics, Histogram, TableStats};
+pub use index::{HashIndex, RowLocator};
+pub use shard::{RowsView, Shard, ShardPolicy, ShardSet, ShardSlices};
+pub use stats::{AnalyzeConfig, ColumnStatistics, Histogram, ShardStatistics, TableStats};
 pub use table::Table;

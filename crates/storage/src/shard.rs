@@ -1,0 +1,414 @@
+//! Table shards: the unit of copy-on-write, statistics maintenance and pruning.
+//!
+//! A [`Table`](crate::table::Table) owns a fixed-fanout set of `Arc<Shard>`s. Writers
+//! copy-on-write one shard per insert instead of cloning the whole row vector, each
+//! shard caches its own [`ShardStatistics`] summary (so ANALYZE is incremental: only
+//! shards that changed re-sample), and the cached full-pass min/max lets scans prune
+//! shards whose value range provably misses a predicate.
+//!
+//! Two read-side views exist over a shard set:
+//!
+//! * [`RowsView`] borrows the table — the everyday replacement for the retired
+//!   contiguous `Table::rows()` slice;
+//! * [`ShardSet`] owns `Arc` handles plus prefix offsets — the `'static`,
+//!   cheaply-cloned form the executor's worker-pool jobs capture, mapping global
+//!   morsel ranges onto per-shard slices with no intermediate copy-out.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::{Arc, RwLock};
+
+use decorr_common::{Row, Schema};
+
+use crate::stats::{AnalyzeConfig, ShardStatistics};
+
+/// How a table routes inserted rows onto its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Rows append to the last open shard; new shards open as the table grows (up to
+    /// the configured fanout). Shards are contiguous insertion-order segments, so the
+    /// global scan order equals insertion order at *every* fanout — the invariant the
+    /// byte-identity contract across shard counts rests on.
+    AppendToLast,
+    /// Rows route by a hash of their values; all shards exist up front. Scan order
+    /// differs from insertion order, so this policy is for workloads that never
+    /// relied on it (and for exercising empty/skewed shards in tests).
+    Hash,
+}
+
+/// One shard: a contiguous run of rows plus a lazily-computed statistics summary.
+///
+/// The summary is cached under the same dirty-on-write discipline as table-level
+/// statistics: appending a row clears it, and the next statistics pass recomputes
+/// only the shards whose cache is empty (or was computed at the wrong tier).
+#[derive(Debug, Default)]
+pub struct Shard {
+    rows: Vec<Row>,
+    /// Cached summary; `None` marks it dirty. Interior mutability so lazily ensuring
+    /// summaries works through the shared references the executor holds.
+    summary: RwLock<Option<Arc<ShardStatistics>>>,
+}
+
+impl Clone for Shard {
+    fn clone(&self) -> Shard {
+        Shard {
+            rows: self.rows.clone(),
+            summary: RwLock::new(self.cached_summary()),
+        }
+    }
+}
+
+impl Shard {
+    pub fn new() -> Shard {
+        Shard::default()
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row and dirties the cached summary.
+    pub(crate) fn push(&mut self, row: Row) {
+        self.rows.push(row);
+        *self.summary.get_mut().expect("shard summary poisoned") = None;
+    }
+
+    /// The cached summary, if the shard is clean. Never computes — scan-time pruning
+    /// must not pay a statistics pass, so dirty shards simply decline to prune.
+    pub fn cached_summary(&self) -> Option<Arc<ShardStatistics>> {
+        self.summary.read().expect("shard summary poisoned").clone()
+    }
+
+    /// The shard's summary at the tier `config` implies, computing (and caching) it
+    /// only when the cache is dirty or was computed at the other tier. Every real
+    /// recompute bumps `recomputes` — the regression metric proving ANALYZE stays
+    /// incremental.
+    pub(crate) fn ensure_summary(
+        &self,
+        schema: &Schema,
+        config: Option<&AnalyzeConfig>,
+        shard_index: u64,
+        recomputes: &std::sync::atomic::AtomicU64,
+    ) -> Arc<ShardStatistics> {
+        let wanted_analyzed = config.is_some();
+        if let Some(cached) = self.cached_summary() {
+            if cached.analyzed == wanted_analyzed {
+                return cached;
+            }
+        }
+        // Double-checked under the write lock so concurrent readers that raced past
+        // the fast path compute (and count) the pass only once.
+        let mut slot = self.summary.write().expect("shard summary poisoned");
+        if let Some(cached) = slot.as_ref() {
+            if cached.analyzed == wanted_analyzed {
+                return Arc::clone(cached);
+            }
+        }
+        let computed = Arc::new(match config {
+            Some(c) => ShardStatistics::analyzed(schema, &self.rows, c, shard_index),
+            None => ShardStatistics::basic(schema, &self.rows),
+        });
+        recomputes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        *slot = Some(Arc::clone(&computed));
+        computed
+    }
+
+    /// Routing hash for [`ShardPolicy::Hash`]: a hash over the row's value group
+    /// keys (NULL-safe, Int/Float-unifying like every other value-keyed structure).
+    pub(crate) fn route_hash(row: &Row) -> u64 {
+        let mut h = DefaultHasher::new();
+        for v in &row.values {
+            v.group_key().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// A borrowed view over a table's shards — the replacement for the retired
+/// `Table::rows() -> &[Row]` contract. Iteration visits rows in global scan order;
+/// [`chunks`](RowsView::chunks) yields morsel-sized slices that never cross a shard
+/// boundary; [`collect_rows`](RowsView::collect_rows) is the explicit escape hatch
+/// for callers that genuinely need one contiguous vector.
+#[derive(Debug, Clone, Copy)]
+pub struct RowsView<'a> {
+    shards: &'a [Arc<Shard>],
+    len: usize,
+}
+
+impl<'a> RowsView<'a> {
+    pub(crate) fn new(shards: &'a [Arc<Shard>], len: usize) -> RowsView<'a> {
+        RowsView { shards, len }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All rows in global scan order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a Row> {
+        self.shards.iter().flat_map(|s| s.rows().iter())
+    }
+
+    /// Morsel-sized row slices, at most `size` rows each, never crossing a shard
+    /// boundary (each slice is contiguous in one shard's storage).
+    pub fn chunks(&self, size: usize) -> impl Iterator<Item = &'a [Row]> {
+        let size = size.max(1);
+        self.shards.iter().flat_map(move |s| s.rows().chunks(size))
+    }
+
+    /// The row at global position `i`, if in bounds.
+    pub fn get(&self, mut i: usize) -> Option<&'a Row> {
+        for shard in self.shards {
+            if i < shard.len() {
+                return Some(&shard.rows()[i]);
+            }
+            i -= shard.len();
+        }
+        None
+    }
+
+    /// Materializes every row into one contiguous vector — the explicit escape hatch
+    /// for consumers of the old contiguous-slice contract.
+    pub fn collect_rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.len);
+        for shard in self.shards {
+            out.extend_from_slice(shard.rows());
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for RowsView<'a> {
+    type Item = &'a Row;
+    type IntoIter = std::iter::FlatMap<
+        std::slice::Iter<'a, Arc<Shard>>,
+        std::slice::Iter<'a, Row>,
+        fn(&'a Arc<Shard>) -> std::slice::Iter<'a, Row>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.shards.iter().flat_map(|s| s.rows().iter())
+    }
+}
+
+/// An owned, cheaply-cloned handle onto a set of shards plus prefix offsets: the
+/// `'static` form of [`RowsView`] the executor's worker-pool jobs capture. A global
+/// row range (a morsel) maps onto per-shard sub-slices via [`slices`](ShardSet::slices)
+/// with no row copied.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSet {
+    shards: Vec<Arc<Shard>>,
+    /// Prefix sums: `offsets[i]` is the global position of shard `i`'s first row;
+    /// the final entry is the total row count.
+    offsets: Vec<usize>,
+}
+
+impl ShardSet {
+    pub fn new(shards: Vec<Arc<Shard>>) -> ShardSet {
+        let mut offsets = Vec::with_capacity(shards.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for shard in &shards {
+            total += shard.len();
+            offsets.push(total);
+        }
+        ShardSet { shards, offsets }
+    }
+
+    pub fn len(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The per-shard sub-slices covering the global row range — the zero-copy morsel
+    /// source. Empty intersections are skipped.
+    pub fn slices(&self, range: Range<usize>) -> ShardSlices<'_> {
+        let end = range.end.min(self.len());
+        let start = range.start.min(end);
+        // First shard whose span contains `start`.
+        let shard = self
+            .offsets
+            .partition_point(|&o| o <= start)
+            .saturating_sub(1);
+        ShardSlices {
+            set: self,
+            shard,
+            start,
+            end,
+        }
+    }
+
+    /// Rows of the global range, one at a time, in scan order.
+    pub fn iter_range(&self, range: Range<usize>) -> impl Iterator<Item = &Row> {
+        self.slices(range).flatten()
+    }
+
+    /// All rows, in scan order.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.shards.iter().flat_map(|s| s.rows().iter())
+    }
+
+    /// The row at global position `i`, if in bounds — a binary search over the prefix
+    /// offsets (the hash-join probe resolves build-side matches by global index).
+    pub fn get(&self, i: usize) -> Option<&Row> {
+        if i >= self.len() {
+            return None;
+        }
+        let shard = self.offsets.partition_point(|&o| o <= i) - 1;
+        Some(&self.shards[shard].rows()[i - self.offsets[shard]])
+    }
+
+    /// Materializes the global range into one vector (used where an operator's output
+    /// genuinely is a contiguous row vector, e.g. a scan result).
+    pub fn collect_range(&self, range: Range<usize>) -> Vec<Row> {
+        let end = range.end.min(self.len());
+        let start = range.start.min(end);
+        let mut out = Vec::with_capacity(end - start);
+        for slice in self.slices(start..end) {
+            out.extend_from_slice(slice);
+        }
+        out
+    }
+
+    /// Materializes every row.
+    pub fn collect_rows(&self) -> Vec<Row> {
+        self.collect_range(0..self.len())
+    }
+}
+
+/// Iterator of per-shard sub-slices covering a global row range (see
+/// [`ShardSet::slices`]).
+#[derive(Debug)]
+pub struct ShardSlices<'a> {
+    set: &'a ShardSet,
+    shard: usize,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> Iterator for ShardSlices<'a> {
+    type Item = &'a [Row];
+
+    fn next(&mut self) -> Option<&'a [Row]> {
+        while self.start < self.end && self.shard < self.set.shards.len() {
+            let lo = self.set.offsets[self.shard];
+            let hi = self.set.offsets[self.shard + 1];
+            if self.start >= hi {
+                self.shard += 1;
+                continue;
+            }
+            let begin = self.start - lo;
+            let stop = self.end.min(hi) - lo;
+            let slice = &self.set.shards[self.shard].rows()[begin..stop];
+            self.start = self.end.min(hi);
+            self.shard += 1;
+            if slice.is_empty() {
+                continue;
+            }
+            return Some(slice);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::Value;
+
+    fn shard_of(values: Range<i64>) -> Arc<Shard> {
+        let mut s = Shard::new();
+        for i in values {
+            s.push(Row::new(vec![Value::Int(i)]));
+        }
+        Arc::new(s)
+    }
+
+    fn ints(rows: Vec<Row>) -> Vec<i64> {
+        rows.iter()
+            .map(|r| match r.get(0) {
+                Value::Int(i) => *i,
+                other => panic!("unexpected value {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_set_maps_global_ranges_onto_shard_slices() {
+        let set = ShardSet::new(vec![shard_of(0..4), shard_of(4..4), shard_of(4..10)]);
+        assert_eq!(set.len(), 10);
+        assert_eq!(set.shard_count(), 3);
+        // A range inside one shard.
+        assert_eq!(ints(set.collect_range(1..3)), vec![1, 2]);
+        // A range crossing the (empty) middle shard.
+        assert_eq!(ints(set.collect_range(2..7)), vec![2, 3, 4, 5, 6]);
+        let slices: Vec<usize> = set.slices(2..7).map(<[Row]>::len).collect();
+        assert_eq!(slices, vec![2, 3], "two shard-local slices, no copy");
+        // Degenerate and clamped ranges.
+        assert!(set.collect_range(5..5).is_empty());
+        assert_eq!(ints(set.collect_range(8..usize::MAX)), vec![8, 9]);
+        // Point lookups by global index, across the empty middle shard.
+        assert_eq!(set.get(3), Some(&Row::new(vec![Value::Int(3)])));
+        assert_eq!(set.get(4), Some(&Row::new(vec![Value::Int(4)])));
+        assert_eq!(set.get(10), None);
+        // Full iteration order is global scan order.
+        assert_eq!(ints(set.collect_rows()), (0..10).collect::<Vec<_>>());
+        assert_eq!(set.iter_range(0..10).count(), 10);
+        assert_eq!(set.iter().count(), 10);
+    }
+
+    #[test]
+    fn empty_shard_set_is_sane() {
+        let set = ShardSet::new(vec![]);
+        assert_eq!(set.len(), 0);
+        assert!(set.is_empty());
+        assert!(set.slices(0..10).next().is_none());
+        assert!(set.collect_rows().is_empty());
+    }
+
+    #[test]
+    fn rows_view_chunks_never_cross_shard_boundaries() {
+        let shards = vec![shard_of(0..5), shard_of(5..8)];
+        let view = RowsView::new(&shards, 8);
+        assert_eq!(view.len(), 8);
+        let chunk_lens: Vec<usize> = view.chunks(4).map(<[Row]>::len).collect();
+        assert_eq!(
+            chunk_lens,
+            vec![4, 1, 3],
+            "shard 0 splits 4+1, shard 1 is whole"
+        );
+        assert_eq!(ints(view.collect_rows()), (0..8).collect::<Vec<_>>());
+        assert_eq!(view.get(5), Some(&Row::new(vec![Value::Int(5)])));
+        assert_eq!(view.get(8), None);
+        assert_eq!(view.iter().count(), 8);
+        let mut seen = 0;
+        for _row in view {
+            seen += 1;
+        }
+        assert_eq!(seen, 8);
+    }
+}

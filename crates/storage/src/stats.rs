@@ -10,7 +10,9 @@
 use decorr_common::Value;
 use decorr_stats::TableStatistics;
 
-pub use decorr_stats::{q_error, AnalyzeConfig, ColumnStatistics, Histogram};
+pub use decorr_stats::{
+    q_error, AnalyzeConfig, ColumnStatistics, Histogram, ShardColumnSummary, ShardStatistics,
+};
 
 /// Statistics the optimizer's cardinality estimator consumes. Wraps
 /// [`decorr_stats::TableStatistics`]; construct through [`TableStats::basic`] /
@@ -42,6 +44,21 @@ impl TableStats {
     /// Seed-compatible alias for [`TableStats::basic`].
     pub fn compute(schema: &decorr_common::Schema, rows: &[decorr_common::Row]) -> TableStats {
         TableStats::basic(schema, rows)
+    }
+
+    /// Table-level statistics merged from per-shard summaries (exact distinct-set
+    /// unions; per-shard stratified samples concatenated and re-capped). For a single
+    /// shard this is byte-identical to [`TableStats::basic`] / [`TableStats::analyzed`]
+    /// over the same rows — see [`ShardStatistics::merge`].
+    pub fn merged(
+        schema: &decorr_common::Schema,
+        summaries: &[std::sync::Arc<ShardStatistics>],
+        config: Option<&AnalyzeConfig>,
+    ) -> TableStats {
+        let refs: Vec<&ShardStatistics> = summaries.iter().map(|s| s.as_ref()).collect();
+        TableStats {
+            inner: ShardStatistics::merge(schema, &refs, config),
+        }
     }
 
     /// The underlying statistics document.

@@ -1,4 +1,4 @@
-//! In-memory row-store table with optional hash indexes and cached statistics.
+//! In-memory sharded row-store table with hash indexes and cached statistics.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -7,29 +7,49 @@ use std::sync::{Arc, RwLock};
 use decorr_common::{normalize_ident, Error, Result, Row, Schema, Value};
 
 use crate::index::HashIndex;
-use crate::stats::{AnalyzeConfig, TableStats};
+use crate::shard::{RowsView, Shard, ShardPolicy, ShardSet};
+use crate::stats::{AnalyzeConfig, ShardStatistics, TableStats};
 
-/// An in-memory table: a schema, a vector of rows, and hash indexes keyed by column name.
+/// Smallest shard a row-at-a-time insert stream fills before the table opens the next
+/// shard: prevents degenerate `1, 1, 1, N-3` splits when rows trickle in one by one.
+/// Bulk inserts ([`Table::insert_all`]) know their final size and balance exactly.
+const MIN_SHARD_FILL: usize = 256;
+
+/// An in-memory table: a schema, a fixed-fanout set of [`Shard`]s, and hash indexes
+/// keyed by column name.
 ///
-/// Statistics are cached: [`Table::stats`] computes them at most once per data change.
-/// Inserts and `truncate` set a dirty flag (by clearing the cached value); the next
-/// `stats` call recomputes — a table that was [`analyze`](Table::analyze)d re-runs the
-/// sampled ANALYZE with its remembered configuration, so histograms stay fresh without
-/// the caller re-issuing `ANALYZE` after every load.
+/// Rows live in `Arc<Shard>`s, so cloning a table (the engine's copy-on-write snapshot
+/// swap) shares every shard, and a subsequent insert deep-clones only the one shard it
+/// appends to. Each shard caches its own [`ShardStatistics`] summary; table-level
+/// statistics are the lazy merge of the per-shard summaries, so after an insert the
+/// next [`Table::stats`] re-samples only the dirty shard (incremental ANALYZE), and
+/// the cached full-pass min/max lets scans prune shards a range or equality predicate
+/// provably misses.
 #[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    shards: Vec<Arc<Shard>>,
+    /// Configured fanout (≥ 1). `AppendToLast` opens shards lazily up to this count;
+    /// `Hash` creates them all up front.
+    shard_target: usize,
+    shard_policy: ShardPolicy,
+    total_rows: usize,
     indexes: HashMap<String, HashIndex>,
-    /// Cached statistics; `None` marks them dirty. Interior mutability so `stats()`
-    /// works through the shared references the executor and optimizer hold.
+    /// Cached merged statistics; `None` marks them dirty. Interior mutability so
+    /// `stats()` works through the shared references the executor and optimizer hold.
     cached_stats: RwLock<Option<Arc<TableStats>>>,
     /// Remembered `ANALYZE` configuration; `None` until the first ANALYZE.
     analyze_config: Option<AnalyzeConfig>,
-    /// How many times statistics were (re)computed — the satellite regression metric:
+    /// How many times the table-level merge was (re)computed — the regression metric:
     /// repeated optimizes against an unchanged table must not rescan it.
     stats_recomputes: AtomicU64,
+    /// How many *per-shard* statistics passes ran — the incremental-ANALYZE metric:
+    /// after one insert, exactly one shard re-samples, not all of them.
+    shard_stat_recomputes: AtomicU64,
+    /// How many full index builds ran (one per `create_index` over existing rows).
+    /// Insert-path index maintenance is incremental and must never bump this.
+    index_rebuilds: AtomicU64,
     /// Monotonic per-table data version: bumped by every insert and truncate. Result
     /// caches (the engine's UDF memo) key on this instead of the catalog-wide data
     /// generation when a UDF provably reads only this table, so writes to unrelated
@@ -42,7 +62,11 @@ impl Clone for Table {
         Table {
             name: self.name.clone(),
             schema: self.schema.clone(),
-            rows: self.rows.clone(),
+            // Arc clones: shards are shared with the original until one is written.
+            shards: self.shards.clone(),
+            shard_target: self.shard_target,
+            shard_policy: self.shard_policy,
+            total_rows: self.total_rows,
             indexes: self.indexes.clone(),
             cached_stats: RwLock::new(
                 self.cached_stats
@@ -52,26 +76,56 @@ impl Clone for Table {
             ),
             analyze_config: self.analyze_config.clone(),
             stats_recomputes: AtomicU64::new(self.stats_recomputes.load(Ordering::Relaxed)),
+            shard_stat_recomputes: AtomicU64::new(
+                self.shard_stat_recomputes.load(Ordering::Relaxed),
+            ),
+            index_rebuilds: AtomicU64::new(self.index_rebuilds.load(Ordering::Relaxed)),
             data_version: self.data_version,
         }
     }
 }
 
 impl Table {
-    /// Creates an empty table. Column qualifiers in the supplied schema are replaced by
-    /// the table name so that scans produce properly qualified columns.
+    /// Creates an empty single-shard table — the default layout, indistinguishable
+    /// from the pre-shard storage. Column qualifiers in the supplied schema are
+    /// replaced by the table name so that scans produce properly qualified columns.
     pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table::with_shards(name, schema, 1, ShardPolicy::AppendToLast)
+    }
+
+    /// Creates an empty table with a fixed shard fanout and routing policy.
+    pub fn with_shards(
+        name: impl Into<String>,
+        schema: Schema,
+        shard_count: usize,
+        policy: ShardPolicy,
+    ) -> Table {
         let name = normalize_ident(&name.into());
         let schema = schema.with_qualifier(&name);
+        let shard_target = shard_count.max(1);
         Table {
             name,
             schema,
-            rows: Vec::new(),
+            shards: Table::initial_shards(shard_target, policy),
+            shard_target,
+            shard_policy: policy,
+            total_rows: 0,
             indexes: HashMap::new(),
             cached_stats: RwLock::new(None),
             analyze_config: None,
             stats_recomputes: AtomicU64::new(0),
+            shard_stat_recomputes: AtomicU64::new(0),
+            index_rebuilds: AtomicU64::new(0),
             data_version: 0,
+        }
+    }
+
+    fn initial_shards(shard_target: usize, policy: ShardPolicy) -> Vec<Arc<Shard>> {
+        match policy {
+            // Lazy growth: open shards as the table fills.
+            ShardPolicy::AppendToLast => vec![Arc::new(Shard::new())],
+            // Hash routing needs every shard to exist up front.
+            ShardPolicy::Hash => (0..shard_target).map(|_| Arc::new(Shard::new())).collect(),
         }
     }
 
@@ -83,16 +137,111 @@ impl Table {
         &self.schema
     }
 
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// Materialized copy of every row, in global scan order.
+    #[deprecated(
+        note = "the contiguous-slice contract is retired; use `Table::scan()` \
+                (or `scan().collect_rows()` for a materialized vector)"
+    )]
+    pub fn rows(&self) -> Vec<Row> {
+        self.scan().collect_rows()
+    }
+
+    /// A borrowed, shard-iterating view over the table's rows — the scan API.
+    pub fn scan(&self) -> RowsView<'_> {
+        RowsView::new(&self.shards, self.total_rows)
+    }
+
+    /// The table's shards (shared handles).
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// Current number of shards (≤ the configured fanout for `AppendToLast`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// An owned, `'static` handle over every shard — what the executor's worker-pool
+    /// jobs capture to map morsel ranges onto shard slices without copying rows out.
+    pub fn shard_set(&self) -> ShardSet {
+        ShardSet::new(self.shards.clone())
+    }
+
+    /// An owned shard handle excluding shards whose *cached* summary proves no row
+    /// can satisfy `lo <= column <= hi` (see [`ShardStatistics::may_contain_in_range`]).
+    /// Returns the kept set and the number of shards pruned. Never computes
+    /// statistics: dirty shards are conservatively kept, and empty shards are kept
+    /// without counting as pruned.
+    pub fn pruned_shard_set(
+        &self,
+        column: &str,
+        lo: Option<(f64, bool)>,
+        hi: Option<(f64, bool)>,
+    ) -> (ShardSet, usize) {
+        let mut kept = Vec::with_capacity(self.shards.len());
+        let mut pruned = 0usize;
+        for shard in &self.shards {
+            if shard.is_empty() {
+                kept.push(Arc::clone(shard));
+                continue;
+            }
+            match shard.cached_summary() {
+                Some(s) if !s.may_contain_in_range(column, lo, hi) => pruned += 1,
+                _ => kept.push(Arc::clone(shard)),
+            }
+        }
+        (ShardSet::new(kept), pruned)
+    }
+
+    /// Fraction of the table's rows in shards a scan with the given bound would keep
+    /// (1.0 when nothing can be pruned — unknown column, dirty summaries, …). The
+    /// cost model scales scan costs by this, pricing shard pruning.
+    pub fn unpruned_row_fraction(
+        &self,
+        column: &str,
+        lo: Option<(f64, bool)>,
+        hi: Option<(f64, bool)>,
+    ) -> f64 {
+        if self.total_rows == 0 {
+            return 1.0;
+        }
+        let mut kept = 0usize;
+        for shard in &self.shards {
+            match shard.cached_summary() {
+                Some(s) if !s.may_contain_in_range(column, lo, hi) => {}
+                _ => kept += shard.len(),
+            }
+        }
+        kept as f64 / self.total_rows as f64
     }
 
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.total_rows
     }
 
-    /// Validates and appends a row, maintaining all indexes.
+    /// Validates and appends a row, maintaining all indexes. Row-at-a-time streams
+    /// fill each shard to a minimum fill (256 rows) before opening the next.
     pub fn insert(&mut self, row: Row) -> Result<()> {
+        let target = (self.total_rows + 1)
+            .div_ceil(self.shard_target)
+            .max(MIN_SHARD_FILL);
+        self.insert_with_fill_target(row, target)
+    }
+
+    /// Bulk insert (used by the data generator). Rows are validated like
+    /// [`Table::insert`]; the batch's known final size balances rows evenly across
+    /// the configured fanout.
+    pub fn insert_all(&mut self, rows: Vec<Row>) -> Result<()> {
+        let target = (self.total_rows + rows.len())
+            .div_ceil(self.shard_target)
+            .max(1);
+        for row in rows {
+            self.insert_with_fill_target(row, target)?;
+        }
+        Ok(())
+    }
+
+    fn insert_with_fill_target(&mut self, row: Row, fill_target: usize) -> Result<()> {
         if row.len() != self.schema.len() {
             return Err(Error::Execution(format!(
                 "insert into '{}': expected {} values, got {}",
@@ -119,27 +268,31 @@ impl Table {
                 )));
             }
         }
-        let row_id = self.rows.len();
+        let shard_idx = match self.shard_policy {
+            ShardPolicy::Hash => (Shard::route_hash(&row) % self.shard_target as u64) as usize,
+            ShardPolicy::AppendToLast => {
+                let last = self.shards.len() - 1;
+                if self.shards.len() < self.shard_target && self.shards[last].len() >= fill_target {
+                    self.shards.push(Arc::new(Shard::new()));
+                }
+                self.shards.len() - 1
+            }
+        };
+        let offset = self.shards[shard_idx].len();
         for index in self.indexes.values_mut() {
-            index.insert(&row, row_id);
+            index.insert(&row, shard_idx, offset);
         }
-        self.rows.push(row);
+        // Copy-on-write: only the shard receiving the row is deep-cloned when shared.
+        Arc::make_mut(&mut self.shards[shard_idx]).push(row);
+        self.total_rows += 1;
         self.data_version += 1;
         self.mark_stats_dirty();
         Ok(())
     }
 
-    /// Bulk insert (used by the data generator). Rows are validated like [`Table::insert`].
-    pub fn insert_all(&mut self, rows: Vec<Row>) -> Result<()> {
-        self.rows.reserve(rows.len());
-        for row in rows {
-            self.insert(row)?;
-        }
-        Ok(())
-    }
-
-    /// Creates a hash index on `column` (no-op if one already exists). Existing rows are
-    /// indexed immediately.
+    /// Creates a hash index on `column` (no-op if one already exists). Existing rows
+    /// are indexed immediately — the one full build this index will ever run (see
+    /// [`Table::index_rebuilds`]); insert-path maintenance is incremental per row.
     pub fn create_index(&mut self, column: &str) -> Result<()> {
         let column = normalize_ident(column);
         if self.indexes.contains_key(&column) {
@@ -147,9 +300,12 @@ impl Table {
         }
         let col_idx = self.schema.index_of(None, &column)?;
         let mut index = HashIndex::new(&column, col_idx);
-        for (row_id, row) in self.rows.iter().enumerate() {
-            index.insert(row, row_id);
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            for (offset, row) in shard.rows().iter().enumerate() {
+                index.insert(row, shard_idx, offset);
+            }
         }
+        self.index_rebuilds.fetch_add(1, Ordering::Relaxed);
         self.indexes.insert(column, index);
         Ok(())
     }
@@ -166,15 +322,22 @@ impl Table {
         cols
     }
 
-    /// Looks up rows whose indexed `column` equals `value` using the hash index. Returns
-    /// `None` when no index exists on the column (caller should fall back to a scan).
+    /// Looks up rows whose indexed `column` equals `value` using the hash index.
+    /// Returns `None` when no index exists on the column (caller should fall back to
+    /// a scan).
     pub fn index_lookup(&self, column: &str, value: &Value) -> Option<Vec<&Row>> {
-        self.index_on(column)
-            .map(|idx| idx.lookup(value).iter().map(|&i| &self.rows[i]).collect())
+        self.index_on(column).map(|idx| {
+            idx.lookup(value)
+                .iter()
+                .map(|&(shard, offset)| &self.shards[shard].rows()[offset])
+                .collect()
+        })
     }
 
     /// Statistics for the cost model, computed lazily and cached until the next data
-    /// change. Unanalyzed tables get basic statistics (row count, exact distinct
+    /// change. The table-level document is the merge of per-shard summaries, and only
+    /// *dirty* shards recompute theirs — an insert re-samples one shard, not the
+    /// table. Unanalyzed tables get basic statistics (row count, exact distinct
     /// counts, null fractions); tables a sampled [`analyze`](Table::analyze) ran over
     /// additionally carry histograms and MCV lists, and *re-analyze themselves* with
     /// the remembered configuration when the cache is invalidated by new data.
@@ -188,24 +351,30 @@ impl Table {
             return cached;
         }
         // Double-checked under the write lock: concurrent readers that missed above
-        // must not each run the full-table pass (and each bump the recompute
-        // counter) — one computes, the rest wait and reuse it.
+        // must not each run the merge (and each bump the recompute counter) — one
+        // computes, the rest wait and reuse it.
         let mut slot = self.cached_stats.write().expect("stats cache poisoned");
         if let Some(cached) = slot.as_ref() {
             return Arc::clone(cached);
         }
-        let computed = Arc::new(match &self.analyze_config {
-            Some(config) => TableStats::analyzed(&self.schema, &self.rows, config),
-            None => TableStats::basic(&self.schema, &self.rows),
-        });
+        let config = self.analyze_config.as_ref();
+        let summaries: Vec<Arc<ShardStatistics>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                shard.ensure_summary(&self.schema, config, i as u64, &self.shard_stat_recomputes)
+            })
+            .collect();
+        let computed = Arc::new(TableStats::merged(&self.schema, &summaries, config));
         self.stats_recomputes.fetch_add(1, Ordering::Relaxed);
         *slot = Some(Arc::clone(&computed));
         computed
     }
 
-    /// Runs a sampled `ANALYZE` over the table: builds histogram/MCV statistics from a
-    /// reservoir sample and remembers `config` so later invalidations re-analyze
-    /// automatically. Returns the fresh statistics.
+    /// Runs a sampled `ANALYZE` over the table: builds histogram/MCV statistics from
+    /// per-shard reservoir samples and remembers `config` so later invalidations
+    /// re-analyze automatically (and incrementally). Returns the fresh statistics.
     pub fn analyze(&mut self, config: AnalyzeConfig) -> Arc<TableStats> {
         self.analyze_config = Some(config);
         self.mark_stats_dirty();
@@ -217,10 +386,24 @@ impl Table {
         self.analyze_config.is_some()
     }
 
-    /// Lifetime count of statistics (re)computations — the regression metric proving
-    /// that repeated `stats()` calls against unchanged data never rescan the table.
+    /// Lifetime count of table-level statistics merges — the regression metric
+    /// proving that repeated `stats()` calls against unchanged data never rescan the
+    /// table.
     pub fn stats_recomputes(&self) -> u64 {
         self.stats_recomputes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of per-shard statistics passes — the incremental-ANALYZE
+    /// metric: after an insert, the next `stats()` bumps this by the number of
+    /// *dirty* shards (usually 1), not the shard count.
+    pub fn shard_stat_recomputes(&self) -> u64 {
+        self.shard_stat_recomputes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of full index builds (one per `create_index` over existing
+    /// rows). Insert-path index maintenance is incremental and never bumps this.
+    pub fn index_rebuilds(&self) -> u64 {
+        self.index_rebuilds.load(Ordering::Relaxed)
     }
 
     /// Monotonic data version: bumped by every [`insert`](Table::insert) and
@@ -235,9 +418,11 @@ impl Table {
         *cached = None;
     }
 
-    /// Removes all rows (keeps schema, index definitions and the ANALYZE config).
+    /// Removes all rows (keeps schema, index definitions, the shard layout and the
+    /// ANALYZE config).
     pub fn truncate(&mut self) {
-        self.rows.clear();
+        self.shards = Table::initial_shards(self.shard_target, self.shard_policy);
+        self.total_rows = 0;
         for index in self.indexes.values_mut() {
             index.clear();
         }
@@ -262,6 +447,25 @@ mod tests {
         )
     }
 
+    fn sharded_orders(shard_count: usize) -> Table {
+        Table::with_shards(
+            "orders",
+            Schema::new(vec![
+                Column::new("orderkey", DataType::Int).not_null(),
+                Column::new("custkey", DataType::Int),
+                Column::new("totalprice", DataType::Float),
+            ]),
+            shard_count,
+            ShardPolicy::AppendToLast,
+        )
+    }
+
+    fn order_rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![i.into(), (i % 10).into(), (i as f64).into()]))
+            .collect()
+    }
+
     #[test]
     fn insert_and_scan() {
         let mut t = orders_table();
@@ -270,8 +474,19 @@ mod tests {
         t.insert(Row::new(vec![2.into(), 10.into(), 2.5.into()]))
             .unwrap();
         assert_eq!(t.row_count(), 2);
-        assert_eq!(t.rows()[1].get(2), &Value::Float(2.5));
+        assert_eq!(t.scan().get(1).unwrap().get(2), &Value::Float(2.5));
         assert_eq!(t.schema().column(0).qualifier.as_deref(), Some("orders"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_rows_shim_materializes_scan_order() {
+        let mut t = sharded_orders(4);
+        t.insert_all(order_rows(1000)).unwrap();
+        let materialized = t.rows();
+        assert_eq!(materialized.len(), 1000);
+        assert_eq!(materialized, t.scan().collect_rows());
+        assert_eq!(materialized[7].get(0), &Value::Int(7));
     }
 
     #[test]
@@ -292,6 +507,91 @@ mod tests {
     }
 
     #[test]
+    fn bulk_loads_balance_across_shards_and_keep_scan_order() {
+        let mut t = sharded_orders(4);
+        t.insert_all(order_rows(1000)).unwrap();
+        assert_eq!(t.shard_count(), 4);
+        let sizes: Vec<usize> = t.shards().iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![250, 250, 250, 250]);
+        // Global scan order is insertion order regardless of fanout.
+        let keys: Vec<i64> = t
+            .scan()
+            .iter()
+            .map(|r| match r.get(0) {
+                Value::Int(i) => *i,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+        // Appends after the fanout is reached go to the last shard.
+        t.insert(Row::new(vec![1000.into(), 0.into(), 0.0.into()]))
+            .unwrap();
+        assert_eq!(t.shard_count(), 4);
+        assert_eq!(t.shards()[3].len(), 251);
+    }
+
+    #[test]
+    fn row_at_a_time_streams_fill_shards_to_the_minimum_first() {
+        let mut t = sharded_orders(4);
+        for row in order_rows(600) {
+            t.insert(row).unwrap();
+        }
+        // 600 singleton inserts: each shard fills to MIN_SHARD_FILL before the next
+        // opens — no degenerate 1-row shards.
+        let sizes: Vec<usize> = t.shards().iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![256, 256, 88]);
+    }
+
+    #[test]
+    fn hash_policy_routes_rows_deterministically() {
+        let make = || {
+            let mut t = Table::with_shards(
+                "orders",
+                Schema::new(vec![
+                    Column::new("orderkey", DataType::Int).not_null(),
+                    Column::new("custkey", DataType::Int),
+                    Column::new("totalprice", DataType::Float),
+                ]),
+                4,
+                ShardPolicy::Hash,
+            );
+            t.insert_all(order_rows(400)).unwrap();
+            t
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.shard_count(), 4);
+        assert_eq!(a.row_count(), 400);
+        // Same rows, same routing.
+        let sizes = |t: &Table| t.shards().iter().map(|s| s.len()).collect::<Vec<_>>();
+        assert_eq!(sizes(&a), sizes(&b));
+        // Every shard's rows are found through the index after routing.
+        assert!(sizes(&a).iter().sum::<usize>() == 400);
+    }
+
+    #[test]
+    fn clone_shares_shards_until_written() {
+        let mut t = sharded_orders(4);
+        t.insert_all(order_rows(1000)).unwrap();
+        let snapshot = t.clone();
+        // All four shards are physically shared right after the clone.
+        for (a, b) in t.shards().iter().zip(snapshot.shards()) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        t.insert(Row::new(vec![1000.into(), 0.into(), 0.0.into()]))
+            .unwrap();
+        // The write deep-cloned only the shard it appended to.
+        let shared: Vec<bool> = t
+            .shards()
+            .iter()
+            .zip(snapshot.shards())
+            .map(|(a, b)| Arc::ptr_eq(a, b))
+            .collect();
+        assert_eq!(shared, vec![true, true, true, false]);
+        assert_eq!(snapshot.row_count(), 1000);
+        assert_eq!(t.row_count(), 1001);
+    }
+
+    #[test]
     fn index_lookup_finds_matching_rows() {
         let mut t = orders_table();
         for i in 0..100i64 {
@@ -309,6 +609,16 @@ mod tests {
     }
 
     #[test]
+    fn index_lookup_spans_shards() {
+        let mut t = sharded_orders(4);
+        t.insert_all(order_rows(1000)).unwrap();
+        t.create_index("custkey").unwrap();
+        let hits = t.index_lookup("custkey", &Value::Int(3)).unwrap();
+        assert_eq!(hits.len(), 100);
+        assert!(hits.iter().all(|r| r.get(1) == &Value::Int(3)));
+    }
+
+    #[test]
     fn index_created_after_inserts_sees_existing_rows() {
         let mut t = orders_table();
         t.insert(Row::new(vec![1.into(), 7.into(), 1.0.into()]))
@@ -318,6 +628,32 @@ mod tests {
             .unwrap();
         assert_eq!(t.index_lookup("custkey", &Value::Int(7)).unwrap().len(), 2);
         assert_eq!(t.indexed_columns(), vec!["custkey".to_string()]);
+    }
+
+    #[test]
+    fn index_maintenance_is_incremental_not_a_rebuild() {
+        let mut t = sharded_orders(4);
+        t.insert_all(order_rows(1000)).unwrap();
+        assert_eq!(t.index_rebuilds(), 0, "no index yet, no build");
+        t.create_index("custkey").unwrap();
+        assert_eq!(t.index_rebuilds(), 1, "one full build over existing rows");
+        // Creating it again is a no-op, not a rebuild.
+        t.create_index("custkey").unwrap();
+        assert_eq!(t.index_rebuilds(), 1);
+        // Inserts maintain the index per row without rebuilding it.
+        for row in order_rows(100) {
+            t.insert(Row::new(vec![
+                (2000 + row.get(0).as_int().unwrap()).into(),
+                row.get(1).clone(),
+                row.get(2).clone(),
+            ]))
+            .unwrap();
+        }
+        assert_eq!(t.index_rebuilds(), 1, "inserts never trigger a rebuild");
+        assert_eq!(
+            t.index_lookup("custkey", &Value::Int(3)).unwrap().len(),
+            110
+        );
     }
 
     #[test]
@@ -366,6 +702,61 @@ mod tests {
     }
 
     #[test]
+    fn incremental_analyze_resamples_only_dirty_shards() {
+        let mut t = sharded_orders(4);
+        t.insert_all(order_rows(1000)).unwrap();
+        t.analyze(crate::stats::AnalyzeConfig::default());
+        assert_eq!(t.stats_recomputes(), 1);
+        assert_eq!(t.shard_stat_recomputes(), 4, "all four shards sample once");
+        // Repeated reads touch nothing.
+        let _ = t.stats();
+        assert_eq!(t.shard_stat_recomputes(), 4);
+        // One insert dirties exactly one shard; the merge re-runs but only that
+        // shard re-samples.
+        t.insert(Row::new(vec![1000.into(), 0.into(), 0.0.into()]))
+            .unwrap();
+        let refreshed = t.stats();
+        assert!(refreshed.is_analyzed());
+        assert_eq!(refreshed.row_count(), 1001);
+        assert_eq!(t.stats_recomputes(), 2);
+        assert_eq!(
+            t.shard_stat_recomputes(),
+            5,
+            "only the dirty shard re-sampled"
+        );
+    }
+
+    #[test]
+    fn pruned_shard_sets_respect_cached_summaries() {
+        let mut t = sharded_orders(4);
+        t.insert_all(order_rows(1000)).unwrap();
+        // Before any statistics pass nothing can be pruned.
+        let (set, pruned) = t.pruned_shard_set("orderkey", Some((900.0, true)), None);
+        assert_eq!((set.len(), pruned), (1000, 0), "dirty shards never prune");
+        assert_eq!(
+            t.unpruned_row_fraction("orderkey", Some((900.0, true)), None),
+            1.0
+        );
+        t.analyze(crate::stats::AnalyzeConfig::default());
+        // orderkey >= 900 lives entirely in the last shard (rows 750..999).
+        let (set, pruned) = t.pruned_shard_set("orderkey", Some((900.0, true)), None);
+        assert_eq!(pruned, 3);
+        assert_eq!(set.len(), 250);
+        let frac = t.unpruned_row_fraction("orderkey", Some((900.0, true)), None);
+        assert!((frac - 0.25).abs() < 1e-9, "frac {frac}");
+        // Equality inside one shard's range keeps just that shard.
+        let (set, pruned) = t.pruned_shard_set("orderkey", Some((10.0, true)), Some((10.0, true)));
+        assert_eq!(pruned, 3);
+        assert_eq!(set.len(), 250);
+        // An unknown column prunes nothing.
+        let (_, pruned) = t.pruned_shard_set("nosuch", Some((900.0, true)), None);
+        assert_eq!(pruned, 0);
+        // custkey spans 0..9 in every shard: no pruning for custkey = 3.
+        let (set, pruned) = t.pruned_shard_set("custkey", Some((3.0, true)), Some((3.0, true)));
+        assert_eq!((set.len(), pruned), (1000, 0));
+    }
+
+    #[test]
     fn data_version_tracks_inserts_and_truncate() {
         let mut t = orders_table();
         assert_eq!(t.data_version(), 0);
@@ -393,5 +784,6 @@ mod tests {
         t.truncate();
         assert_eq!(t.row_count(), 0);
         assert_eq!(t.index_lookup("custkey", &Value::Int(7)).unwrap().len(), 0);
+        assert!(t.scan().is_empty());
     }
 }

@@ -1,0 +1,228 @@
+//! Sharded table storage, end to end: the scan/filter/join/aggregate/UDF surface
+//! must be **byte-identical** across shard counts and worker-pool sizes (cold and
+//! warm, and while a concurrent writer appends to an unrelated table), shard
+//! pruning must surface in `EXPLAIN ANALYZE`, `ANALYZE` must only re-sample dirty
+//! shards, and the UDF invocation counters must stay exact under racing workers.
+
+use std::thread;
+
+use udf_decorrelation::common::{Row, SmallRng, Value};
+use udf_decorrelation::engine::{Engine, QueryOptions, Session};
+
+const SERVICE_LEVEL_SQL: &str = "create function service_level(int ckey) returns varchar(10) as \
+     begin \
+       float totalbusiness; string level; \
+       select sum(totalprice) into :totalbusiness from orders where custkey = :ckey; \
+       if (totalbusiness > 200000) level = 'Platinum'; \
+       else if (totalbusiness > 50000) level = 'Gold'; \
+       else level = 'Regular'; \
+       return level; \
+     end";
+
+const CUSTOMERS: i64 = 50;
+const ORDERS_PER_CUSTOMER: i64 = 40;
+
+/// Seeded customer/orders data plus an `events` table only the racing writer
+/// touches. Identical for every (shard count, parallelism) configuration.
+fn build_engine(shards: usize, parallelism: usize) -> Engine {
+    let engine = Engine::builder()
+        .shard_count(shards)
+        .parallelism(parallelism)
+        .build();
+    let admin = engine.session();
+    admin
+        .execute(
+            "create table customer(custkey int not null, name varchar(25)); \
+             create table orders(orderkey int not null, custkey int, totalprice float); \
+             create table events(id int not null, amount float)",
+        )
+        .unwrap();
+    let customers: Vec<Row> = (1..=CUSTOMERS)
+        .map(|i| Row::new(vec![Value::Int(i), Value::str(format!("Customer#{i}"))]))
+        .collect();
+    engine.load_rows("customer", customers).unwrap();
+    let mut orders = vec![];
+    let mut orderkey = 0i64;
+    for i in 1..=CUSTOMERS {
+        for j in 0..ORDERS_PER_CUSTOMER {
+            orderkey += 1;
+            orders.push(Row::new(vec![
+                Value::Int(orderkey),
+                Value::Int(i),
+                Value::Float(500.0 * i as f64 + 13.0 * j as f64),
+            ]));
+        }
+    }
+    engine.load_rows("orders", orders).unwrap();
+    admin.register_function(SERVICE_LEVEL_SQL).unwrap();
+    engine
+}
+
+/// One pass of the seeded query battery; returns every result verbatim (no
+/// sorting — row *order* is part of the byte-identity contract).
+fn run_battery(session: &Session, seed: u64) -> Vec<String> {
+    let mut log = vec![];
+    let mut push = |sql: &str| {
+        let result = session.query(sql).unwrap();
+        let rows: Vec<String> = result.rows.iter().map(|r| format!("{r:?}")).collect();
+        log.push(format!("{sql} => {}", rows.join("|")));
+    };
+    push("select custkey, name from customer");
+    push("select orderkey, totalprice from orders where custkey = 7");
+    push("select orderkey from orders where totalprice >= 5000 and totalprice <= 9000");
+    push("select custkey, sum(totalprice) as total from orders group by custkey");
+    push("select o.orderkey from customer c join orders o on c.custkey = o.custkey where o.totalprice > 20000");
+    push("select custkey, service_level(custkey) as level from customer");
+    // Seeded random range scans: the shard-pruning fast path must never change
+    // which rows (or in what order) a filter returns.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..8 {
+        let lo = rng.gen_range_i64(1, 1500);
+        let hi = lo + rng.gen_range_i64(1, 500);
+        push(&format!(
+            "select orderkey, custkey from orders where orderkey >= {lo} and orderkey <= {hi}"
+        ));
+    }
+    log
+}
+
+/// The tentpole property: results are byte-identical across shard counts 1/2/4/8
+/// and parallelism 1/4, cold and warm, analyzed or not — including while another
+/// session races inserts into an unrelated table.
+#[test]
+fn results_are_byte_identical_across_shard_counts_and_parallelism() {
+    let reference_engine = build_engine(1, 1);
+    let reference_cold = run_battery(&reference_engine.session(), 42);
+    let reference_warm = run_battery(&reference_engine.session(), 42);
+    assert_eq!(
+        reference_cold, reference_warm,
+        "warm caches changed a result on the reference configuration"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        for parallelism in [1usize, 4] {
+            let engine = build_engine(shards, parallelism);
+            // Racing inserter: concurrent COW appends to `events` clone single
+            // shards while the battery scans customer/orders snapshots.
+            let writer = engine.session();
+            let inserter = thread::spawn(move || {
+                for i in 0..200 {
+                    writer
+                        .execute(&format!("insert into events values ({i}, {i}.5)"))
+                        .unwrap();
+                    if i == 100 {
+                        writer.execute("analyze events").unwrap();
+                    }
+                }
+            });
+            let cold = run_battery(&engine.session(), 42);
+            inserter.join().unwrap();
+            assert_eq!(
+                reference_cold, cold,
+                "cold run diverged at shards={shards} parallelism={parallelism}"
+            );
+            // ANALYZE caches per-shard summaries and enables pruning; the rows a
+            // query returns must not move by a byte.
+            engine.session().execute("analyze orders").unwrap();
+            let warm = run_battery(&engine.session(), 42);
+            assert_eq!(
+                reference_cold, warm,
+                "analyzed warm run diverged at shards={shards} parallelism={parallelism}"
+            );
+        }
+    }
+}
+
+/// Extracts the `shards-pruned=<n>` counter from an `EXPLAIN ANALYZE` report.
+fn shards_pruned(report: &str) -> u64 {
+    let tail = report
+        .split("shards-pruned=")
+        .nth(1)
+        .expect("explain analyze must report shards-pruned");
+    tail.split_whitespace().next().unwrap().parse().unwrap()
+}
+
+/// A selective range predicate over an ANALYZEd sharded table skips whole shards,
+/// and `EXPLAIN ANALYZE` says how many.
+#[test]
+fn explain_analyze_reports_pruned_shards() {
+    let engine = build_engine(8, 1);
+    let session = engine.session();
+    let sql = "select orderkey from orders where orderkey <= 100";
+    // Without cached summaries nothing can prove a shard empty of matches.
+    let cold = session.explain_analyze(sql).unwrap();
+    assert_eq!(shards_pruned(&cold), 0, "un-analyzed shards must not prune");
+    session.execute("analyze orders").unwrap();
+    // Orders were bulk-loaded in orderkey order, so `orderkey <= 100` lives in the
+    // first shard and the other seven prune on their cached min/max.
+    let analyzed = session.explain_analyze(sql).unwrap();
+    let pruned = shards_pruned(&analyzed);
+    assert!(pruned > 0, "expected pruned shards, report:\n{analyzed}");
+    let full = session
+        .explain_analyze("select orderkey from orders where orderkey >= 0")
+        .unwrap();
+    assert_eq!(
+        shards_pruned(&full),
+        0,
+        "a predicate matching every shard must prune nothing"
+    );
+}
+
+/// `ANALYZE` is incremental: re-running it only re-samples shards that changed
+/// since the last run, as counted by the per-table recompute counter.
+#[test]
+fn analyze_resamples_only_dirty_shards() {
+    let engine = build_engine(4, 1);
+    let session = engine.session();
+    session
+        .execute("create table t(k int not null, v float)")
+        .unwrap();
+    let rows: Vec<Row> = (0..1000i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Float(i as f64)]))
+        .collect();
+    engine.load_rows("t", rows).unwrap();
+    session.execute("analyze t").unwrap();
+    let after_first = engine.catalog().table("t").unwrap().shard_stat_recomputes();
+    assert_eq!(after_first, 4, "first ANALYZE samples every shard once");
+    session.execute("analyze t").unwrap();
+    let after_noop = engine.catalog().table("t").unwrap().shard_stat_recomputes();
+    assert_eq!(after_noop, 4, "a no-op ANALYZE must not re-sample anything");
+    // One appended row dirties exactly one shard.
+    session
+        .execute("insert into t values (1000, 1000.0)")
+        .unwrap();
+    session.execute("analyze t").unwrap();
+    let after_insert = engine.catalog().table("t").unwrap().shard_stat_recomputes();
+    assert_eq!(after_insert, 5, "only the dirty shard re-samples");
+}
+
+/// The regression for Apply-path counter inflation: at parallelism 8 racing
+/// workers may re-evaluate a tuple whose dedup reservation they lost, but the
+/// duplicate must book as a hit — `udf_invocations` equals the number of distinct
+/// argument tuples, every run.
+#[test]
+fn udf_invocation_counters_are_stable_under_racing_workers() {
+    let sql = "select orderkey, service_level(custkey) as level from orders";
+    let serial = build_engine(4, 1)
+        .session()
+        .query_with(sql, &QueryOptions::iterative())
+        .unwrap();
+    assert_eq!(
+        serial.exec_stats.udf_invocations, CUSTOMERS as u64,
+        "serial baseline: one evaluation per distinct custkey"
+    );
+    for round in 0..3 {
+        let engine = build_engine(4, 8);
+        let result = engine
+            .session()
+            .query_with(sql, &QueryOptions::iterative())
+            .unwrap();
+        assert_eq!(
+            result.rows.len(),
+            (CUSTOMERS * ORDERS_PER_CUSTOMER) as usize
+        );
+        assert_eq!(
+            result.exec_stats.udf_invocations, serial.exec_stats.udf_invocations,
+            "round {round}: parallel invocation count drifted from the serial baseline"
+        );
+    }
+}
