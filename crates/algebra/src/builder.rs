@@ -24,6 +24,7 @@ pub struct PlanBuilder {
 }
 
 impl PlanBuilder {
+    /// Wraps an existing plan for further composition.
     pub fn from_plan(plan: RelExpr) -> PlanBuilder {
         PlanBuilder { plan }
     }
@@ -35,24 +36,28 @@ impl PlanBuilder {
         }
     }
 
+    /// A base-table scan.
     pub fn scan(table: impl Into<String>) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::scan(table),
         }
     }
 
+    /// An aliased base-table scan.
     pub fn scan_as(table: impl Into<String>, alias: impl Into<String>) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::scan_as(table, alias),
         }
     }
 
+    /// An inline relation of literal rows.
     pub fn values(schema: Schema, rows: Vec<Vec<Value>>) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::Values { schema, rows },
         }
     }
 
+    /// Selection σ over the current plan.
     pub fn select(self, predicate: ScalarExpr) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::Select {
@@ -94,6 +99,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Group-by / aggregation over the current plan.
     pub fn aggregate(self, group_by: Vec<ScalarExpr>, aggregates: Vec<AggCall>) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::Aggregate {
@@ -104,6 +110,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Joins the current plan (as the left input) with `right`.
     pub fn join(
         self,
         right: PlanBuilder,
@@ -120,6 +127,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Bag (`all`) or set union with `right`.
     pub fn union(self, right: PlanBuilder, all: bool) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::Union {
@@ -130,6 +138,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Sorts by `(expression, ascending)` keys, major first.
     pub fn sort(self, keys: Vec<(ScalarExpr, bool)>) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::Sort {
@@ -142,6 +151,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Caps the row count.
     pub fn limit(self, limit: usize) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::Limit {
@@ -151,6 +161,7 @@ impl PlanBuilder {
         }
     }
 
+    /// Rename ρ: re-qualifies the output columns under `alias`.
     pub fn rename(self, alias: impl Into<String>) -> PlanBuilder {
         PlanBuilder {
             plan: RelExpr::Rename {
@@ -207,6 +218,7 @@ impl PlanBuilder {
         }
     }
 
+    /// The finished plan.
     pub fn build(self) -> RelExpr {
         self.plan
     }

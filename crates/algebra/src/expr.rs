@@ -9,11 +9,14 @@ use crate::plan::RelExpr;
 /// A (possibly qualified) reference to a column of some relation in scope.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnRef {
+    /// Optional relation qualifier (`orders` in `orders.custkey`).
     pub qualifier: Option<String>,
+    /// The column name, normalised.
     pub name: String,
 }
 
 impl ColumnRef {
+    /// An unqualified reference.
     pub fn new(name: impl Into<String>) -> ColumnRef {
         ColumnRef {
             qualifier: None,
@@ -21,6 +24,7 @@ impl ColumnRef {
         }
     }
 
+    /// A qualifier-scoped reference.
     pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> ColumnRef {
         ColumnRef {
             qualifier: Some(normalize_ident(&qualifier.into())),
@@ -41,19 +45,33 @@ impl fmt::Display for ColumnRef {
 /// Binary operators (arithmetic, comparison, logical, string concatenation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinaryOp {
+    /// `+`
     Add,
+    /// `-`
     Sub,
+    /// `*`
     Mul,
+    /// `/`
     Div,
+    /// `%`
     Mod,
+    /// `||`
     Concat,
+    /// `=`
     Eq,
+    /// `<>`
     NotEq,
+    /// `<`
     Lt,
+    /// `<=`
     LtEq,
+    /// `>`
     Gt,
+    /// `>=`
     GtEq,
+    /// `AND`
     And,
+    /// `OR`
     Or,
 }
 
@@ -106,9 +124,13 @@ impl fmt::Display for BinaryOp {
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnaryOp {
+    /// Logical negation.
     Not,
+    /// Arithmetic negation.
     Neg,
+    /// `IS NULL`.
     IsNull,
+    /// `IS NOT NULL`.
     IsNotNull,
 }
 
@@ -127,12 +149,17 @@ impl fmt::Display for UnaryOp {
 /// Built-in and user-defined aggregate functions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AggFunc {
+    /// `count(expr)` — non-null values.
     Count,
     /// `count(*)` — counts rows rather than non-null values.
     CountStar,
+    /// `sum(expr)`.
     Sum,
+    /// `min(expr)`.
     Min,
+    /// `max(expr)`.
     Max,
+    /// `avg(expr)`.
     Avg,
     /// A user-defined aggregate, looked up by name in the function registry. These are
     /// produced by the cursor-loop algebraization of Section VII (the paper's
@@ -141,6 +168,7 @@ pub enum AggFunc {
 }
 
 impl AggFunc {
+    /// The SQL name of the aggregate.
     pub fn name(&self) -> String {
         match self {
             AggFunc::Count => "count".into(),
@@ -176,16 +204,19 @@ impl fmt::Display for AggFunc {
 /// A single aggregate computation inside an [`RelExpr::Aggregate`] node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggCall {
+    /// The aggregate function.
     pub func: AggFunc,
     /// Argument expressions evaluated against the aggregate's input. Empty for
     /// `count(*)`; user-defined aggregates may take several arguments.
     pub args: Vec<ScalarExpr>,
+    /// `agg(distinct expr)` — deduplicate the argument values first.
     pub distinct: bool,
     /// Output column name.
     pub alias: String,
 }
 
 impl AggCall {
+    /// A non-distinct aggregate call.
     pub fn new(func: AggFunc, args: Vec<ScalarExpr>, alias: impl Into<String>) -> AggCall {
         AggCall {
             func,
@@ -233,20 +264,32 @@ pub enum ScalarExpr {
     Param(String),
     /// Binary operation.
     Binary {
+        /// The operator.
         op: BinaryOp,
+        /// Left operand.
         left: Box<ScalarExpr>,
+        /// Right operand.
         right: Box<ScalarExpr>,
     },
     /// Unary operation.
-    Unary { op: UnaryOp, expr: Box<ScalarExpr> },
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<ScalarExpr>,
+    },
     /// Conditional expression `(p1?e1 : p2?e2 : … : en)` — SQL `CASE WHEN`.
     Case {
+        /// `(condition, result)` pairs, tested in order.
         branches: Vec<(ScalarExpr, ScalarExpr)>,
+        /// Result when no branch matches (NULL when absent).
         else_expr: Option<Box<ScalarExpr>>,
     },
     /// Explicit cast.
     Cast {
+        /// The expression being cast.
         expr: Box<ScalarExpr>,
+        /// The target type.
         data_type: DataType,
     },
     /// `coalesce(e1, e2, …)` — first non-null argument.
@@ -257,37 +300,51 @@ pub enum ScalarExpr {
     Exists(Box<RelExpr>),
     /// `expr IN (select …)`.
     InSubquery {
+        /// The probe expression.
         expr: Box<ScalarExpr>,
+        /// The one-column subquery providing the membership set.
         subquery: Box<RelExpr>,
+        /// `NOT IN`.
         negated: bool,
     },
     /// Invocation of a scalar user-defined function. Evaluated by the interpreter when
     /// executed directly (the paper's iterative plan); removed by the decorrelation
     /// rewrite when possible.
-    UdfCall { name: String, args: Vec<ScalarExpr> },
+    UdfCall {
+        /// Registered UDF name, normalised.
+        name: String,
+        /// Argument expressions, in formal-parameter order.
+        args: Vec<ScalarExpr>,
+    },
 }
 
 impl ScalarExpr {
+    /// An unqualified column reference.
     pub fn column(name: impl Into<String>) -> ScalarExpr {
         ScalarExpr::Column(ColumnRef::new(name))
     }
 
+    /// A qualified column reference.
     pub fn qualified_column(q: impl Into<String>, name: impl Into<String>) -> ScalarExpr {
         ScalarExpr::Column(ColumnRef::qualified(q, name))
     }
 
+    /// A constant.
     pub fn literal(v: impl Into<Value>) -> ScalarExpr {
         ScalarExpr::Literal(v.into())
     }
 
+    /// A named parameter reference.
     pub fn param(name: impl Into<String>) -> ScalarExpr {
         ScalarExpr::Param(normalize_ident(&name.into()))
     }
 
+    /// The NULL literal.
     pub fn null() -> ScalarExpr {
         ScalarExpr::Literal(Value::Null)
     }
 
+    /// A binary operation.
     pub fn binary(op: BinaryOp, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
         ScalarExpr::Binary {
             op,
@@ -296,27 +353,33 @@ impl ScalarExpr {
         }
     }
 
+    /// `left = right`.
     pub fn eq(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
         ScalarExpr::binary(BinaryOp::Eq, left, right)
     }
 
+    /// `left > right`.
     pub fn gt(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
         ScalarExpr::binary(BinaryOp::Gt, left, right)
     }
 
+    /// `left < right`.
     pub fn lt(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
         ScalarExpr::binary(BinaryOp::Lt, left, right)
     }
 
+    /// `left AND right`.
     pub fn and(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
         ScalarExpr::binary(BinaryOp::And, left, right)
     }
 
+    /// `left OR right`.
     pub fn or(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
         ScalarExpr::binary(BinaryOp::Or, left, right)
     }
 
     #[allow(clippy::should_implement_trait)]
+    /// Logical negation.
     pub fn not(expr: ScalarExpr) -> ScalarExpr {
         ScalarExpr::Unary {
             op: UnaryOp::Not,
@@ -324,6 +387,7 @@ impl ScalarExpr {
         }
     }
 
+    /// A scalar UDF invocation.
     pub fn udf(name: impl Into<String>, args: Vec<ScalarExpr>) -> ScalarExpr {
         ScalarExpr::UdfCall {
             name: normalize_ident(&name.into()),
@@ -393,6 +457,39 @@ impl ScalarExpr {
             }
             ScalarExpr::InSubquery { expr, .. } => vec![expr],
             ScalarExpr::UdfCall { args, .. } => args.iter().collect(),
+        }
+    }
+
+    /// Calls `f` on each immediate child expression without allocating — the hot-path
+    /// form of [`ScalarExpr::children`] for traversals that run per plan node (the
+    /// static validator, free-variable analysis).
+    pub fn for_each_child<'a>(&'a self, f: &mut impl FnMut(&'a ScalarExpr)) {
+        match self {
+            ScalarExpr::Literal(_)
+            | ScalarExpr::Column(_)
+            | ScalarExpr::Param(_)
+            | ScalarExpr::ScalarSubquery(_)
+            | ScalarExpr::Exists(_) => {}
+            ScalarExpr::Binary { left, right, .. } => {
+                f(left);
+                f(right);
+            }
+            ScalarExpr::Unary { expr, .. } | ScalarExpr::Cast { expr, .. } => f(expr),
+            ScalarExpr::Coalesce(args) => args.iter().for_each(f),
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (p, e) in branches {
+                    f(p);
+                    f(e);
+                }
+                if let Some(e) = else_expr {
+                    f(e);
+                }
+            }
+            ScalarExpr::InSubquery { expr, .. } => f(expr),
+            ScalarExpr::UdfCall { args, .. } => args.iter().for_each(f),
         }
     }
 

@@ -17,6 +17,9 @@
 //! * [`display`] — indented EXPLAIN-style rendering of plans (the expression trees shown
 //!   in the paper's Figures 1–8).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod builder;
 pub mod display;
 pub mod expr;
@@ -26,5 +29,5 @@ pub mod visit;
 
 pub use builder::PlanBuilder;
 pub use expr::{AggCall, AggFunc, BinaryOp, ColumnRef, ScalarExpr, UnaryOp};
-pub use plan::{ApplyKind, JoinKind, ProjectItem, RelExpr, SortKey};
-pub use schema::{EmptyProvider, MapProvider, SchemaProvider};
+pub use plan::{ApplyKind, JoinKind, MergeAssignment, ParamBinding, ProjectItem, RelExpr, SortKey};
+pub use schema::{infer_schema, EmptyProvider, MapProvider, SchemaMemo, SchemaProvider};

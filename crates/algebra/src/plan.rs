@@ -10,10 +10,15 @@ use crate::expr::{AggCall, ColumnRef, ScalarExpr};
 /// antijoin annotations of the Apply operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinKind {
+    /// Inner join.
     Inner,
+    /// Left outer join.
     LeftOuter,
+    /// Left semijoin ⋉.
     LeftSemi,
+    /// Left antijoin.
     LeftAnti,
+    /// Cross product.
     Cross,
 }
 
@@ -42,9 +47,13 @@ impl fmt::Display for JoinKind {
 /// Galindo-Legaria & Joshi used by the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ApplyKind {
+    /// `A×` — cross-product annotation.
     Cross,
+    /// `A⟕` — left-outer annotation.
     LeftOuter,
+    /// `A⋉` — semijoin annotation.
     LeftSemi,
+    /// `A▷` — antijoin annotation.
     LeftAnti,
 }
 
@@ -60,6 +69,7 @@ impl ApplyKind {
         }
     }
 
+    /// True if the Apply only returns columns of its left input.
     pub fn left_only(&self) -> bool {
         matches!(self, ApplyKind::LeftSemi | ApplyKind::LeftAnti)
     }
@@ -80,15 +90,19 @@ impl fmt::Display for ApplyKind {
 /// One item of a generalized projection: an expression with an optional output alias.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProjectItem {
+    /// The projected expression.
     pub expr: ScalarExpr,
+    /// Output alias (`expr AS alias`).
     pub alias: Option<String>,
 }
 
 impl ProjectItem {
+    /// An unaliased item.
     pub fn new(expr: ScalarExpr) -> ProjectItem {
         ProjectItem { expr, alias: None }
     }
 
+    /// An aliased item.
     pub fn aliased(expr: ScalarExpr, alias: impl Into<String>) -> ProjectItem {
         ProjectItem {
             expr,
@@ -122,7 +136,9 @@ impl fmt::Display for ProjectItem {
 /// A sort key: expression plus direction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SortKey {
+    /// The key expression.
     pub expr: ScalarExpr,
+    /// `ASC` (true) or `DESC`.
     pub ascending: bool,
 }
 
@@ -130,11 +146,14 @@ pub struct SortKey {
 /// actual-argument expression evaluated against the outer (left) input.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParamBinding {
+    /// The formal parameter being bound.
     pub param: String,
+    /// The actual argument, evaluated against the outer tuple.
     pub value: ScalarExpr,
 }
 
 impl ParamBinding {
+    /// A binding `param=value`.
     pub fn new(param: impl Into<String>, value: ScalarExpr) -> ParamBinding {
         ParamBinding {
             param: normalize_ident(&param.into()),
@@ -159,6 +178,7 @@ pub struct MergeAssignment {
 }
 
 impl MergeAssignment {
+    /// An assignment `target=source`.
     pub fn new(target: impl Into<String>, source: impl Into<String>) -> MergeAssignment {
         MergeAssignment {
             target: normalize_ident(&target.into()),
@@ -181,62 +201,95 @@ pub enum RelExpr {
     Single,
     /// Base table scan, optionally aliased.
     Scan {
+        /// The stored table name.
         table: String,
+        /// Optional alias re-qualifying the output columns.
         alias: Option<String>,
     },
     /// An inline relation of literal rows (used for VALUES lists and unit tests).
     Values {
+        /// Column names and types of the literal relation.
         schema: Schema,
+        /// The literal rows; each must match the schema's arity.
         rows: Vec<Vec<Value>>,
     },
     /// Selection σ.
     Select {
+        /// The filtered input.
         input: Box<RelExpr>,
+        /// The filter predicate.
         predicate: ScalarExpr,
     },
     /// Generalized projection Π (`distinct = true`) / Πd (`distinct = false`,
     /// "projection without duplicate removal", Section III).
     Project {
+        /// The projected input.
         input: Box<RelExpr>,
+        /// The output expressions.
         items: Vec<ProjectItem>,
+        /// Whether duplicates are eliminated (Π vs Πd).
         distinct: bool,
     },
     /// Group-by / aggregation  `a1,…,an G f1(),…,fm()`.
     Aggregate {
+        /// The grouped input.
         input: Box<RelExpr>,
+        /// Grouping expressions (empty for a scalar aggregate).
         group_by: Vec<ScalarExpr>,
+        /// The aggregate computations.
         aggregates: Vec<AggCall>,
     },
     /// Join of two independent inputs.
     Join {
+        /// Left input.
         left: Box<RelExpr>,
+        /// Right input.
         right: Box<RelExpr>,
+        /// The join type.
         kind: JoinKind,
         /// Join predicate; `None` for a pure cross product.
         condition: Option<ScalarExpr>,
     },
     /// Bag or set union.
     Union {
+        /// Left input.
         left: Box<RelExpr>,
+        /// Right input (same arity, unifiable column types).
         right: Box<RelExpr>,
+        /// `UNION ALL` (bag) vs `UNION` (set).
         all: bool,
     },
     /// Sort.
     Sort {
+        /// The sorted input.
         input: Box<RelExpr>,
+        /// Sort keys, major first.
         keys: Vec<SortKey>,
     },
     /// Row limit (SQL `TOP n` / `LIMIT n`) — used by the experiments to vary the number
     /// of UDF invocations.
-    Limit { input: Box<RelExpr>, limit: usize },
+    Limit {
+        /// The limited input.
+        input: Box<RelExpr>,
+        /// Maximum number of rows returned.
+        limit: usize,
+    },
     /// Rename operator ρ: re-qualifies every output column with a new relation alias.
-    Rename { input: Box<RelExpr>, alias: String },
+    Rename {
+        /// The renamed input.
+        input: Box<RelExpr>,
+        /// The new relation alias.
+        alias: String,
+    },
     /// The Apply operator `E0 A⊗ E1` with the *bind* extension (Section III). For every
     /// tuple of `left` the `right` expression is evaluated with the tuple's attributes in
     /// scope and with each bind parameter set to its actual-argument value.
     Apply {
+        /// The outer input.
         left: Box<RelExpr>,
+        /// The parameterised inner expression.
         right: Box<RelExpr>,
+        /// The join annotation ⊗.
         kind: ApplyKind,
         /// Parameter bindings (`bind: p1=a1, …, pn=an`); empty for a plain Apply.
         bindings: Vec<ParamBinding>,
@@ -245,17 +298,24 @@ pub enum RelExpr {
     /// `right` per outer tuple and assigns selected result attributes back into the
     /// outer tuple. An empty assignment list means "merge all common attributes".
     ApplyMerge {
+        /// The outer input.
         left: Box<RelExpr>,
+        /// The single-tuple inner expression.
         right: Box<RelExpr>,
+        /// Explicit assignment list; empty means "merge all common attributes".
         assignments: Vec<MergeAssignment>,
     },
     /// Conditional Apply-Merge `r AMC(p, et, ef)` (Section III): models assignments
     /// inside if-then-else blocks. Evaluates `predicate` per outer tuple and merges the
     /// result of `then_branch` or `else_branch` accordingly.
     ConditionalApplyMerge {
+        /// The outer input.
         left: Box<RelExpr>,
+        /// The branch condition, evaluated per outer tuple.
         predicate: ScalarExpr,
+        /// Branch merged when the predicate holds.
         then_branch: Box<RelExpr>,
+        /// Branch merged otherwise.
         else_branch: Box<RelExpr>,
         /// Explicit assignment list; empty means "merge all common attributes".
         assignments: Vec<MergeAssignment>,
@@ -263,6 +323,7 @@ pub enum RelExpr {
 }
 
 impl RelExpr {
+    /// An unaliased base-table scan.
     pub fn scan(table: impl Into<String>) -> RelExpr {
         RelExpr::Scan {
             table: normalize_ident(&table.into()),
@@ -270,6 +331,7 @@ impl RelExpr {
         }
     }
 
+    /// An aliased base-table scan.
     pub fn scan_as(table: impl Into<String>, alias: impl Into<String>) -> RelExpr {
         RelExpr::Scan {
             table: normalize_ident(&table.into()),
@@ -383,6 +445,55 @@ impl RelExpr {
         }
     }
 
+    /// Calls `f` on each immediate relational child without allocating — the hot-path
+    /// form of [`RelExpr::children`] for traversals that run per node per validation.
+    pub fn for_each_child<'a>(&'a self, f: &mut impl FnMut(&'a RelExpr)) {
+        match self {
+            RelExpr::Single | RelExpr::Scan { .. } | RelExpr::Values { .. } => {}
+            RelExpr::Select { input, .. }
+            | RelExpr::Project { input, .. }
+            | RelExpr::Aggregate { input, .. }
+            | RelExpr::Sort { input, .. }
+            | RelExpr::Limit { input, .. }
+            | RelExpr::Rename { input, .. } => f(input),
+            RelExpr::Join { left, right, .. }
+            | RelExpr::Union { left, right, .. }
+            | RelExpr::Apply { left, right, .. }
+            | RelExpr::ApplyMerge { left, right, .. } => {
+                f(left);
+                f(right);
+            }
+            RelExpr::ConditionalApplyMerge {
+                left,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                f(left);
+                f(then_branch);
+                f(else_branch);
+            }
+        }
+    }
+
+    /// The operator's first relational child, without allocating a children vector.
+    pub fn first_child(&self) -> Option<&RelExpr> {
+        match self {
+            RelExpr::Single | RelExpr::Scan { .. } | RelExpr::Values { .. } => None,
+            RelExpr::Select { input, .. }
+            | RelExpr::Project { input, .. }
+            | RelExpr::Aggregate { input, .. }
+            | RelExpr::Sort { input, .. }
+            | RelExpr::Limit { input, .. }
+            | RelExpr::Rename { input, .. } => Some(input),
+            RelExpr::Join { left, .. }
+            | RelExpr::Union { left, .. }
+            | RelExpr::Apply { left, .. }
+            | RelExpr::ApplyMerge { left, .. }
+            | RelExpr::ConditionalApplyMerge { left, .. } => Some(left),
+        }
+    }
+
     /// Scalar expressions owned directly by this operator (predicates, projection items,
     /// bindings, …).
     pub fn expressions(&self) -> Vec<&ScalarExpr> {
@@ -405,6 +516,30 @@ impl RelExpr {
             RelExpr::Apply { bindings, .. } => bindings.iter().map(|b| &b.value).collect(),
             RelExpr::ConditionalApplyMerge { predicate, .. } => vec![predicate],
             _ => vec![],
+        }
+    }
+
+    /// Calls `f` on each directly-owned scalar expression without allocating — the
+    /// hot-path form of [`RelExpr::expressions`].
+    pub fn for_each_expr<'a>(&'a self, f: &mut impl FnMut(&'a ScalarExpr)) {
+        match self {
+            RelExpr::Select { predicate, .. }
+            | RelExpr::ConditionalApplyMerge { predicate, .. } => f(predicate),
+            RelExpr::Project { items, .. } => items.iter().for_each(|i| f(&i.expr)),
+            RelExpr::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                group_by.iter().for_each(&mut *f);
+                for a in aggregates {
+                    a.args.iter().for_each(&mut *f);
+                }
+            }
+            RelExpr::Join { condition, .. } => condition.iter().for_each(f),
+            RelExpr::Sort { keys, .. } => keys.iter().for_each(|k| f(&k.expr)),
+            RelExpr::Apply { bindings, .. } => bindings.iter().for_each(|b| f(&b.value)),
+            _ => {}
         }
     }
 

@@ -7,8 +7,9 @@
 //! once correlations are in scope.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
-use decorr_common::{normalize_ident, Column, DataType, Error, Result, Schema};
+use decorr_common::{normalize_ident, Column, DataType, Error, FnvBuildHasher, Result, Schema};
 
 use crate::expr::{AggFunc, BinaryOp, ScalarExpr, UnaryOp};
 use crate::plan::{ApplyKind, JoinKind, ProjectItem, RelExpr};
@@ -53,15 +54,18 @@ pub struct MapProvider {
 }
 
 impl MapProvider {
+    /// An empty provider.
     pub fn new() -> MapProvider {
         MapProvider::default()
     }
 
+    /// Registers a table schema (builder style).
     pub fn with_table(mut self, name: &str, schema: Schema) -> MapProvider {
         self.tables.insert(normalize_ident(name), schema);
         self
     }
 
+    /// Registers a scalar UDF return type (builder style).
     pub fn with_udf(mut self, name: &str, return_type: DataType) -> MapProvider {
         self.udf_types.insert(normalize_ident(name), return_type);
         self
@@ -84,105 +88,7 @@ impl SchemaProvider for MapProvider {
 /// Infers the type of a scalar expression against an input schema. Unresolvable
 /// references infer as [`DataType::Null`].
 pub fn expr_type(expr: &ScalarExpr, input: &Schema, provider: &dyn SchemaProvider) -> DataType {
-    match expr {
-        ScalarExpr::Literal(v) => v.data_type(),
-        ScalarExpr::Column(c) => input
-            .find(c.qualifier.as_deref(), &c.name)
-            .map(|i| input.column(i).data_type)
-            .unwrap_or(DataType::Null),
-        ScalarExpr::Param(_) => DataType::Null,
-        ScalarExpr::Binary { op, left, right } => {
-            if op.is_comparison() || op.is_logical() {
-                DataType::Bool
-            } else if matches!(op, BinaryOp::Concat) {
-                DataType::Str
-            } else {
-                let lt = expr_type(left, input, provider);
-                let rt = expr_type(right, input, provider);
-                lt.unify(rt).unwrap_or(DataType::Float)
-            }
-        }
-        ScalarExpr::Unary { op, expr } => match op {
-            UnaryOp::Not | UnaryOp::IsNull | UnaryOp::IsNotNull => DataType::Bool,
-            UnaryOp::Neg => expr_type(expr, input, provider),
-        },
-        ScalarExpr::Case {
-            branches,
-            else_expr,
-        } => {
-            let mut ty = DataType::Null;
-            for (_, e) in branches {
-                ty = ty
-                    .unify(expr_type(e, input, provider))
-                    .unwrap_or(DataType::Str);
-            }
-            if let Some(e) = else_expr {
-                ty = ty.unify(expr_type(e, input, provider)).unwrap_or(ty);
-            }
-            ty
-        }
-        ScalarExpr::Cast { data_type, .. } => *data_type,
-        ScalarExpr::Coalesce(args) => {
-            let mut ty = DataType::Null;
-            for a in args {
-                ty = ty.unify(expr_type(a, input, provider)).unwrap_or(ty);
-            }
-            ty
-        }
-        ScalarExpr::ScalarSubquery(q) => infer_schema(q, provider)
-            .ok()
-            .and_then(|s| s.columns.first().map(|c| c.data_type))
-            .unwrap_or(DataType::Null),
-        ScalarExpr::Exists(_) | ScalarExpr::InSubquery { .. } => DataType::Bool,
-        ScalarExpr::UdfCall { name, .. } => {
-            provider.udf_return_type(name).unwrap_or(DataType::Null)
-        }
-    }
-}
-
-fn agg_output_type(
-    func: &AggFunc,
-    args: &[ScalarExpr],
-    input: &Schema,
-    provider: &dyn SchemaProvider,
-) -> DataType {
-    match func {
-        AggFunc::Count | AggFunc::CountStar => DataType::Int,
-        AggFunc::Avg => DataType::Float,
-        AggFunc::Sum | AggFunc::Min | AggFunc::Max => args
-            .first()
-            .map(|a| expr_type(a, input, provider))
-            .unwrap_or(DataType::Null),
-        AggFunc::UserDefined(name) => provider.udf_return_type(name).unwrap_or(DataType::Null),
-    }
-}
-
-fn project_schema(items: &[ProjectItem], input: &Schema, provider: &dyn SchemaProvider) -> Schema {
-    let columns = items
-        .iter()
-        .enumerate()
-        .map(|(i, item)| {
-            let name = item.output_name(i);
-            let data_type = expr_type(&item.expr, input, provider);
-            // Plain unaliased column references keep their qualifier so later joins can
-            // still disambiguate them.
-            let qualifier = match (&item.alias, &item.expr) {
-                (None, ScalarExpr::Column(c)) => c.qualifier.clone().or_else(|| {
-                    input
-                        .find(None, &c.name)
-                        .and_then(|i| input.column(i).qualifier.clone())
-                }),
-                _ => None,
-            };
-            Column {
-                qualifier,
-                name,
-                data_type,
-                nullable: true,
-            }
-        })
-        .collect();
-    Schema::new(columns)
+    SchemaMemo::new().expr_type(expr, input, provider)
 }
 
 fn group_by_name(expr: &ScalarExpr, position: usize) -> (Option<String>, String) {
@@ -194,121 +100,276 @@ fn group_by_name(expr: &ScalarExpr, position: usize) -> (Option<String>, String)
 
 /// Infers the output schema of a logical plan.
 pub fn infer_schema(plan: &RelExpr, provider: &dyn SchemaProvider) -> Result<Schema> {
-    match plan {
-        RelExpr::Single => Ok(Schema::empty()),
-        RelExpr::Scan { table, alias } => {
-            let schema = provider.table_schema(table)?;
-            let qualifier = alias.clone().unwrap_or_else(|| table.clone());
-            Ok(schema.with_qualifier(&qualifier))
+    SchemaMemo::new()
+        .infer(plan, provider)
+        .map(|schema| (*schema).clone())
+}
+
+/// A per-plan-tree memo for repeated schema inference.
+///
+/// Schema inference recurses over the whole subtree, so callers that infer schemas at
+/// every level of a plan walk (like the static plan validator) pay quadratic work
+/// without one. The memo keys on node addresses and hands out [`Rc`]-shared schemas so
+/// repeated lookups cost a refcount bump, not a column-vector clone: use one instance
+/// per plan tree and drop it before the tree is mutated or freed.
+#[derive(Default)]
+pub struct SchemaMemo {
+    cache: HashMap<*const RelExpr, Result<Rc<Schema>>, FnvBuildHasher>,
+}
+
+impl SchemaMemo {
+    /// An empty memo.
+    pub fn new() -> SchemaMemo {
+        SchemaMemo::default()
+    }
+
+    /// Memoized [`expr_type`]: subquery schemas resolve through the memo, so typing
+    /// many expressions over the same tree does not re-walk shared subqueries.
+    pub fn expr_type(
+        &mut self,
+        expr: &ScalarExpr,
+        input: &Schema,
+        provider: &dyn SchemaProvider,
+    ) -> DataType {
+        match expr {
+            ScalarExpr::Literal(v) => v.data_type(),
+            ScalarExpr::Column(c) => input
+                .find(c.qualifier.as_deref(), &c.name)
+                .map(|i| input.column(i).data_type)
+                .unwrap_or(DataType::Null),
+            ScalarExpr::Param(_) => DataType::Null,
+            ScalarExpr::Binary { op, left, right } => {
+                if op.is_comparison() || op.is_logical() {
+                    DataType::Bool
+                } else if matches!(op, BinaryOp::Concat) {
+                    DataType::Str
+                } else {
+                    let lt = self.expr_type(left, input, provider);
+                    let rt = self.expr_type(right, input, provider);
+                    lt.unify(rt).unwrap_or(DataType::Float)
+                }
+            }
+            ScalarExpr::Unary { op, expr } => match op {
+                UnaryOp::Not | UnaryOp::IsNull | UnaryOp::IsNotNull => DataType::Bool,
+                UnaryOp::Neg => self.expr_type(expr, input, provider),
+            },
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                let mut ty = DataType::Null;
+                for (_, e) in branches {
+                    ty = ty
+                        .unify(self.expr_type(e, input, provider))
+                        .unwrap_or(DataType::Str);
+                }
+                if let Some(e) = else_expr {
+                    ty = ty.unify(self.expr_type(e, input, provider)).unwrap_or(ty);
+                }
+                ty
+            }
+            ScalarExpr::Cast { data_type, .. } => *data_type,
+            ScalarExpr::Coalesce(args) => {
+                let mut ty = DataType::Null;
+                for a in args {
+                    ty = ty.unify(self.expr_type(a, input, provider)).unwrap_or(ty);
+                }
+                ty
+            }
+            ScalarExpr::ScalarSubquery(q) => self
+                .infer(q, provider)
+                .ok()
+                .and_then(|s| s.columns.first().map(|c| c.data_type))
+                .unwrap_or(DataType::Null),
+            ScalarExpr::Exists(_) | ScalarExpr::InSubquery { .. } => DataType::Bool,
+            ScalarExpr::UdfCall { name, .. } => {
+                provider.udf_return_type(name).unwrap_or(DataType::Null)
+            }
         }
-        RelExpr::Values { schema, .. } => Ok(schema.clone()),
-        RelExpr::Select { input, .. }
-        | RelExpr::Sort { input, .. }
-        | RelExpr::Limit { input, .. } => infer_schema(input, provider),
-        RelExpr::Project { input, items, .. } => {
-            let input_schema = infer_schema(input, provider)?;
-            Ok(project_schema(items, &input_schema, provider))
+    }
+
+    fn agg_output_type(
+        &mut self,
+        func: &AggFunc,
+        args: &[ScalarExpr],
+        input: &Schema,
+        provider: &dyn SchemaProvider,
+    ) -> DataType {
+        match func {
+            AggFunc::Count | AggFunc::CountStar => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => args
+                .first()
+                .map(|a| self.expr_type(a, input, provider))
+                .unwrap_or(DataType::Null),
+            AggFunc::UserDefined(name) => provider.udf_return_type(name).unwrap_or(DataType::Null),
         }
-        RelExpr::Aggregate {
-            input,
-            group_by,
-            aggregates,
-        } => {
-            let input_schema = infer_schema(input, provider)?;
-            let mut columns = vec![];
-            for (i, g) in group_by.iter().enumerate() {
-                let (qualifier, name) = group_by_name(g, i);
-                columns.push(Column {
+    }
+
+    fn project_schema(
+        &mut self,
+        items: &[ProjectItem],
+        input: &Schema,
+        provider: &dyn SchemaProvider,
+    ) -> Schema {
+        let columns = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let name = item.output_name(i);
+                let data_type = self.expr_type(&item.expr, input, provider);
+                // Plain unaliased column references keep their qualifier so later joins can
+                // still disambiguate them.
+                let qualifier = match (&item.alias, &item.expr) {
+                    (None, ScalarExpr::Column(c)) => c.qualifier.clone().or_else(|| {
+                        input
+                            .find(None, &c.name)
+                            .and_then(|i| input.column(i).qualifier.clone())
+                    }),
+                    _ => None,
+                };
+                Column {
                     qualifier,
                     name,
-                    data_type: expr_type(g, &input_schema, provider),
+                    data_type,
                     nullable: true,
-                });
-            }
-            for a in aggregates {
-                columns.push(Column {
-                    qualifier: None,
-                    name: a.alias.clone(),
-                    data_type: agg_output_type(&a.func, &a.args, &input_schema, provider),
-                    nullable: true,
-                });
-            }
-            Ok(Schema::new(columns))
-        }
-        RelExpr::Join {
-            left, right, kind, ..
-        } => {
-            let l = infer_schema(left, provider)?;
-            if kind.left_only() {
-                return Ok(l);
-            }
-            let r = infer_schema(right, provider)?;
-            let r = if matches!(kind, JoinKind::LeftOuter) {
-                r.as_nullable()
-            } else {
-                r
-            };
-            Ok(l.join(&r))
-        }
-        RelExpr::Union { left, .. } => infer_schema(left, provider),
-        RelExpr::Rename { input, alias } => {
-            Ok(infer_schema(input, provider)?.with_qualifier(alias))
-        }
-        RelExpr::Apply {
-            left, right, kind, ..
-        } => {
-            let l = infer_schema(left, provider)?;
-            if kind.left_only() {
-                return Ok(l);
-            }
-            let r = infer_schema(right, provider)?;
-            let r = if matches!(kind, ApplyKind::LeftOuter) {
-                r.as_nullable()
-            } else {
-                r
-            };
-            Ok(l.join(&r))
-        }
-        RelExpr::ApplyMerge {
-            left,
-            right,
-            assignments,
-        } => {
-            // The output schema is the left schema; assigned attributes take the type of
-            // their source attribute in the right schema when it can be resolved.
-            let mut l = infer_schema(left, provider)?;
-            let r = infer_schema(right, provider)?;
-            let assignments = if assignments.is_empty() {
-                // Default: merge all attributes common to both sides.
-                r.columns
-                    .iter()
-                    .filter(|rc| l.find(None, &rc.name).is_some())
-                    .map(|rc| crate::plan::MergeAssignment::new(rc.name.clone(), rc.name.clone()))
-                    .collect()
-            } else {
-                assignments.clone()
-            };
-            for a in &assignments {
-                if let (Some(li), Some(ri)) = (l.find(None, &a.target), r.find(None, &a.source)) {
-                    l.columns[li].data_type = r.column(ri).data_type;
                 }
-            }
-            Ok(l)
+            })
+            .collect();
+        Schema::new(columns)
+    }
+
+    /// Memoized [`infer_schema`]: each distinct node of the tree is inferred once.
+    pub fn infer(&mut self, plan: &RelExpr, provider: &dyn SchemaProvider) -> Result<Rc<Schema>> {
+        let key = plan as *const RelExpr;
+        if let Some(cached) = self.cache.get(&key) {
+            return cached.clone();
         }
-        RelExpr::ConditionalApplyMerge {
-            left, then_branch, ..
-        } => {
-            // Same shape as ApplyMerge: the outer schema, with merged attribute types
-            // taken from the then-branch when resolvable.
-            let mut l = infer_schema(left, provider)?;
-            if let Ok(t) = infer_schema(then_branch, provider) {
-                for tc in &t.columns {
-                    if let Some(li) = l.find(None, &tc.name) {
-                        l.columns[li].data_type = tc.data_type;
+        let result = self.infer_node(plan, provider);
+        self.cache.insert(key, result.clone());
+        result
+    }
+
+    fn infer_node(&mut self, plan: &RelExpr, provider: &dyn SchemaProvider) -> Result<Rc<Schema>> {
+        match plan {
+            RelExpr::Single => Ok(Rc::new(Schema::empty())),
+            RelExpr::Scan { table, alias } => {
+                let schema = provider.table_schema(table)?;
+                let qualifier = alias.clone().unwrap_or_else(|| table.clone());
+                Ok(Rc::new(schema.with_qualifier(&qualifier)))
+            }
+            RelExpr::Values { schema, .. } => Ok(Rc::new(schema.clone())),
+            RelExpr::Select { input, .. }
+            | RelExpr::Sort { input, .. }
+            | RelExpr::Limit { input, .. } => self.infer(input, provider),
+            RelExpr::Project { input, items, .. } => {
+                let input_schema = self.infer(input, provider)?;
+                Ok(Rc::new(self.project_schema(items, &input_schema, provider)))
+            }
+            RelExpr::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let input_schema = self.infer(input, provider)?;
+                let mut columns = vec![];
+                for (i, g) in group_by.iter().enumerate() {
+                    let (qualifier, name) = group_by_name(g, i);
+                    columns.push(Column {
+                        qualifier,
+                        name,
+                        data_type: self.expr_type(g, &input_schema, provider),
+                        nullable: true,
+                    });
+                }
+                for a in aggregates {
+                    columns.push(Column {
+                        qualifier: None,
+                        name: a.alias.clone(),
+                        data_type: self.agg_output_type(&a.func, &a.args, &input_schema, provider),
+                        nullable: true,
+                    });
+                }
+                Ok(Rc::new(Schema::new(columns)))
+            }
+            RelExpr::Join {
+                left, right, kind, ..
+            } => {
+                let l = self.infer(left, provider)?;
+                if kind.left_only() {
+                    return Ok(l);
+                }
+                let r = self.infer(right, provider)?;
+                let r = if matches!(kind, JoinKind::LeftOuter) {
+                    Rc::new(r.as_nullable())
+                } else {
+                    r
+                };
+                Ok(Rc::new(l.join(&r)))
+            }
+            RelExpr::Union { left, .. } => self.infer(left, provider),
+            RelExpr::Rename { input, alias } => {
+                Ok(Rc::new(self.infer(input, provider)?.with_qualifier(alias)))
+            }
+            RelExpr::Apply {
+                left, right, kind, ..
+            } => {
+                let l = self.infer(left, provider)?;
+                if kind.left_only() {
+                    return Ok(l);
+                }
+                let r = self.infer(right, provider)?;
+                let r = if matches!(kind, ApplyKind::LeftOuter) {
+                    Rc::new(r.as_nullable())
+                } else {
+                    r
+                };
+                Ok(Rc::new(l.join(&r)))
+            }
+            RelExpr::ApplyMerge {
+                left,
+                right,
+                assignments,
+            } => {
+                // The output schema is the left schema; assigned attributes take the type of
+                // their source attribute in the right schema when it can be resolved.
+                let mut l = (*self.infer(left, provider)?).clone();
+                let r = self.infer(right, provider)?;
+                let assignments = if assignments.is_empty() {
+                    // Default: merge all attributes common to both sides.
+                    r.columns
+                        .iter()
+                        .filter(|rc| l.find(None, &rc.name).is_some())
+                        .map(|rc| {
+                            crate::plan::MergeAssignment::new(rc.name.clone(), rc.name.clone())
+                        })
+                        .collect()
+                } else {
+                    assignments.clone()
+                };
+                for a in &assignments {
+                    if let (Some(li), Some(ri)) = (l.find(None, &a.target), r.find(None, &a.source))
+                    {
+                        l.columns[li].data_type = r.column(ri).data_type;
                     }
                 }
+                Ok(Rc::new(l))
             }
-            Ok(l)
+            RelExpr::ConditionalApplyMerge {
+                left, then_branch, ..
+            } => {
+                // Same shape as ApplyMerge: the outer schema, with merged attribute types
+                // taken from the then-branch when resolvable.
+                let mut l = (*self.infer(left, provider)?).clone();
+                if let Ok(t) = self.infer(then_branch, provider) {
+                    for tc in &t.columns {
+                        if let Some(li) = l.find(None, &tc.name) {
+                            l.columns[li].data_type = tc.data_type;
+                        }
+                    }
+                }
+                Ok(Rc::new(l))
+            }
         }
     }
 }

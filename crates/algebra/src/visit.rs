@@ -350,9 +350,7 @@ pub fn free_params(plan: &RelExpr) -> Vec<String> {
 
 fn collect_free_params(plan: &RelExpr, bound: &HashSet<String>, out: &mut Vec<String>) {
     // Parameters in this node's own expressions.
-    for e in plan.expressions() {
-        collect_expr_free_params(e, bound, out);
-    }
+    plan.for_each_expr(&mut |e| collect_expr_free_params(e, bound, out));
     match plan {
         RelExpr::Apply {
             left,
@@ -368,9 +366,7 @@ fn collect_free_params(plan: &RelExpr, bound: &HashSet<String>, out: &mut Vec<St
             collect_free_params(right, &inner, out);
         }
         other => {
-            for c in other.children() {
-                collect_free_params(c, bound, out);
-            }
+            other.for_each_child(&mut |c| collect_free_params(c, bound, out));
         }
     }
 }
@@ -388,9 +384,7 @@ fn collect_expr_free_params(expr: &ScalarExpr, bound: &HashSet<String>, out: &mu
             collect_free_params(subquery, bound, out);
         }
         other => {
-            for c in other.children() {
-                collect_expr_free_params(c, bound, out);
-            }
+            other.for_each_child(&mut |c| collect_expr_free_params(c, bound, out));
         }
     }
 }

@@ -18,8 +18,8 @@ use std::process::ExitCode;
 
 use decorr_bench::json::Json;
 use decorr_bench::{
-    check_against_baseline, measure_optimizer_latency, optimizer_bench_json, run_cache_pressure,
-    GateConfig, OptimizerLatency,
+    check_against_baseline, measure_optimizer_latency, measure_validator_overhead,
+    optimizer_bench_json, run_cache_pressure, GateConfig, OptimizerLatency, ValidatorOverhead,
 };
 use decorr_tpch::{experiment1, experiment2, experiment3};
 
@@ -91,6 +91,57 @@ fn main() -> ExitCode {
     })
     .collect();
 
+    // Validator overhead: per-pass static validation must stay a rounding error next
+    // to the pipeline it guards. Gated below at <10% of cold optimize latency, with a
+    // noise floor — sub-quarter-millisecond deltas are timer jitter, not cost.
+    const VALIDATOR_OVERHEAD_LIMIT: f64 = 0.10;
+    const VALIDATOR_NOISE_FLOOR_MS: f64 = 0.25;
+    println!();
+    let overheads: Vec<ValidatorOverhead> = [
+        ("experiment1", experiment1()),
+        ("experiment2", experiment2()),
+        ("experiment3", experiment3()),
+    ]
+    .iter()
+    .map(|(key, workload)| {
+        let n = if *key == "experiment3" {
+            invocations.min(50)
+        } else {
+            invocations
+        };
+        // The overhead is a ~10-microsecond difference between two fractions of a
+        // millisecond: minima over the latency section's repetition count still carry
+        // tens of microseconds of jitter, so this measurement runs 4x as many
+        // interleaved repetitions to converge both arms to their floors.
+        let overhead = measure_validator_overhead(key, workload, scale, n, runs * 4);
+        println!(
+            "validator overhead {:<12} off {:>8.3} ms · on {:>8.3} ms · +{:.3} ms ({:.1}%)",
+            overhead.key,
+            overhead.cold_off.as_secs_f64() * 1e3,
+            overhead.cold_on.as_secs_f64() * 1e3,
+            overhead.overhead_ms(),
+            overhead.overhead_fraction() * 100.0,
+        );
+        overhead
+    })
+    .collect();
+    let mut validator_failures = vec![];
+    for overhead in &overheads {
+        if overhead.overhead_fraction() > VALIDATOR_OVERHEAD_LIMIT
+            && overhead.overhead_ms() > VALIDATOR_NOISE_FLOOR_MS
+        {
+            validator_failures.push(format!(
+                "{}: validation adds {:.3} ms ({:.1}%) to a {:.3} ms cold optimize \
+                 (limit {:.0}%)",
+                overhead.key,
+                overhead.overhead_ms(),
+                overhead.overhead_fraction() * 100.0,
+                overhead.cold_off.as_secs_f64() * 1e3,
+                VALIDATOR_OVERHEAD_LIMIT * 100.0,
+            ));
+        }
+    }
+
     let (capacity, distinct, rounds) = if args.smoke { (4, 8, 2) } else { (8, 24, 3) };
     let pressure = run_cache_pressure(&experiment2(), scale.min(400), capacity, distinct, rounds);
     println!(
@@ -106,7 +157,7 @@ fn main() -> ExitCode {
         pressure.stats.hit_rate() * 100.0,
     );
 
-    let doc = optimizer_bench_json(mode, &latencies, &pressure);
+    let doc = optimizer_bench_json(mode, &latencies, &pressure, &overheads);
     if let Err(e) = std::fs::write(&args.out, doc.render()) {
         eprintln!("optimizer_bench: cannot write {}: {e}", args.out);
         return ExitCode::from(2);
@@ -157,5 +208,15 @@ fn main() -> ExitCode {
             }
         }
     }
+    if !validator_failures.is_empty() {
+        for line in &validator_failures {
+            eprintln!("VALIDATOR GATE FAILURE: {line}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "validator gate passed: overhead under {:.0}% on every workload",
+        VALIDATOR_OVERHEAD_LIMIT * 100.0
+    );
     ExitCode::SUCCESS
 }

@@ -245,6 +245,80 @@ pub fn measure_optimizer_latency(
     }
 }
 
+/// Cold-optimize cost of per-pass static plan validation: the same pipeline driven
+/// with validation off vs on, minima over repeated runs.
+#[derive(Debug, Clone)]
+pub struct ValidatorOverhead {
+    /// Stable workload key ("experiment2").
+    pub key: String,
+    /// Best cold optimize time with validation off.
+    pub cold_off: Duration,
+    /// Best cold optimize time with per-pass validation on.
+    pub cold_on: Duration,
+    /// Repetitions each point is a minimum over.
+    pub runs: usize,
+}
+
+impl ValidatorOverhead {
+    /// Relative cost of validation: `(on - off) / off`, clamped at 0 (noise can make
+    /// the validated arm *measure* faster).
+    pub fn overhead_fraction(&self) -> f64 {
+        let off = self.cold_off.as_secs_f64().max(1e-9);
+        ((self.cold_on.as_secs_f64() - off) / off).max(0.0)
+    }
+
+    /// Absolute cost of validation in milliseconds (clamped at 0).
+    pub fn overhead_ms(&self) -> f64 {
+        (self.cold_on.as_secs_f64() - self.cold_off.as_secs_f64()).max(0.0) * 1e3
+    }
+}
+
+/// Measures the cold-optimize overhead of per-pass plan validation for one workload
+/// query shape. Both arms are the engine's full cold rewrite phase — plan cache
+/// cleared before every run, timed as `rewrite_report.total_duration()` — i.e. the
+/// same "cold optimize" that [`measure_optimizer_latency`] reports and that the
+/// bench gate's 10% bound is a fraction *of*. Validation is forced off vs on per
+/// query through [`QueryOptions::validate_plans`]; the arms are interleaved so
+/// machine drift hits both alike, and each point is a minimum over `runs`.
+pub fn measure_validator_overhead(
+    key: &str,
+    workload: &Workload,
+    customers: usize,
+    invocations: usize,
+    runs: usize,
+) -> ValidatorOverhead {
+    let db = setup(workload, customers);
+    let sql = (workload.query)(invocations);
+    let mut cold_off = Duration::MAX;
+    let mut cold_on = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        for validate in [false, true] {
+            db.plan_cache().clear();
+            let options = QueryOptions {
+                validate_plans: Some(validate),
+                ..QueryOptions::default()
+            };
+            let result = db.query_with(&sql, &options).expect("cold execution");
+            assert!(
+                !result.rewrite_report.cache.expect("cache attached").hit,
+                "execution after a cache clear must be a cache miss"
+            );
+            let elapsed = result.rewrite_report.total_duration();
+            if validate {
+                cold_on = cold_on.min(elapsed);
+            } else {
+                cold_off = cold_off.min(elapsed);
+            }
+        }
+    }
+    ValidatorOverhead {
+        key: key.to_string(),
+        cold_off,
+        cold_on,
+        runs: runs.max(1),
+    }
+}
+
 /// Plan-cache behaviour under capacity pressure: more distinct query shapes than cache
 /// slots, cycled for several rounds, plus one hot query re-issued between every other
 /// query (the shape an LRU must keep resident).
@@ -305,6 +379,7 @@ pub fn optimizer_bench_json(
     mode: &str,
     latencies: &[OptimizerLatency],
     pressure: &CachePressure,
+    overheads: &[ValidatorOverhead],
 ) -> Json {
     let workloads = latencies
         .iter()
@@ -329,10 +404,24 @@ pub fn optimizer_bench_json(
             ])
         })
         .collect();
+    let validator = overheads
+        .iter()
+        .map(|o| {
+            Json::obj(vec![
+                ("key", Json::str(&o.key)),
+                ("cold_off_ms", Json::num(o.cold_off.as_secs_f64() * 1e3)),
+                ("cold_on_ms", Json::num(o.cold_on.as_secs_f64() * 1e3)),
+                ("overhead_ms", Json::num(o.overhead_ms())),
+                ("overhead_fraction", Json::num(o.overhead_fraction())),
+                ("runs", Json::num(o.runs as f64)),
+            ])
+        })
+        .collect();
     Json::obj(vec![
         ("schema_version", Json::num(1.0)),
         ("mode", Json::str(mode)),
         ("workloads", Json::Arr(workloads)),
+        ("validator_overhead", Json::Arr(validator)),
         (
             "capacity_pressure",
             Json::obj(vec![
@@ -2464,12 +2553,18 @@ mod tests {
             pressure.stats
         );
         // The emitted JSON round-trips and carries the gate's required fields.
-        let doc = optimizer_bench_json("test", &[latency], &pressure);
+        let overhead = measure_validator_overhead("experiment2", &experiment2(), 60, 20, 3);
+        assert!(overhead.cold_off > Duration::ZERO);
+        assert!(overhead.overhead_fraction() >= 0.0);
+        let doc = optimizer_bench_json("test", &[latency], &pressure, &[overhead]);
         let parsed = Json::parse(&doc.render()).unwrap();
         let workload = &parsed.get("workloads").unwrap().as_arr().unwrap()[0];
         assert_eq!(workload.get("key").unwrap().as_str(), Some("experiment2"));
         assert!(workload.get("cold_optimize_ms").unwrap().as_f64().unwrap() > 0.0);
         assert!(workload.get("warm_speedup").unwrap().as_f64().unwrap() > 1.0);
+        let validator = &parsed.get("validator_overhead").unwrap().as_arr().unwrap()[0];
+        assert_eq!(validator.get("key").unwrap().as_str(), Some("experiment2"));
+        assert!(validator.get("cold_off_ms").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]

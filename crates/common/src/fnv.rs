@@ -19,10 +19,12 @@ impl FnvHasher {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
+    /// A hasher initialised with the FNV offset basis.
     pub fn new() -> FnvHasher {
         FnvHasher(Self::OFFSET)
     }
 
+    /// Folds raw bytes into the hash.
     pub fn write_bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
@@ -30,10 +32,12 @@ impl FnvHasher {
         }
     }
 
+    /// Folds a `u64` into the hash (little-endian byte order).
     pub fn write_u64(&mut self, v: u64) {
         self.write_bytes(&v.to_le_bytes());
     }
 
+    /// The accumulated 64-bit hash.
     pub fn finish(&self) -> u64 {
         self.0
     }
@@ -43,6 +47,30 @@ impl std::fmt::Write for FnvHasher {
     fn write_str(&mut self, s: &str) -> std::fmt::Result {
         self.write_bytes(s.as_bytes());
         Ok(())
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.write_bytes(bytes);
+    }
+}
+
+/// A `BuildHasher` producing [`FnvHasher`]s, for hash maps keyed by small or
+/// pointer-like keys where SipHash's DoS resistance is unnecessary overhead
+/// (e.g. the schema-inference memo keyed by plan-node addresses).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::new()
     }
 }
 

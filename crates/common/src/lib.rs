@@ -5,6 +5,9 @@
 //! [`Error`] type. It deliberately has no dependencies so that every other crate —
 //! storage, algebra, parser, rewrite engine, executor — can share one vocabulary.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod fnv;
 pub mod rng;
@@ -13,7 +16,7 @@ pub mod schema;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use fnv::FnvHasher;
+pub use fnv::{FnvBuildHasher, FnvHasher};
 pub use rng::SmallRng;
 pub use row::Row;
 pub use schema::{Column, Schema};

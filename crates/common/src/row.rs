@@ -8,10 +8,12 @@ use crate::{Schema, Value};
 /// gives names and types to the positions.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Row {
+    /// The field values, in schema position order.
     pub values: Vec<Value>,
 }
 
 impl Row {
+    /// A row over the given values.
     pub fn new(values: Vec<Value>) -> Row {
         Row { values }
     }
@@ -21,14 +23,17 @@ impl Row {
         Row { values: vec![] }
     }
 
+    /// Number of fields.
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// True for the zero-column row.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
+    /// The value at position `idx` (panics out of range).
     pub fn get(&self, idx: usize) -> &Value {
         &self.values[idx]
     }

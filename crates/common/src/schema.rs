@@ -87,10 +87,12 @@ impl fmt::Display for Column {
 /// layout of a stored table.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Schema {
+    /// The columns, in output position order.
     pub columns: Vec<Column>,
 }
 
 impl Schema {
+    /// A schema over the given columns.
     pub fn new(columns: Vec<Column>) -> Schema {
         Schema { columns }
     }
@@ -101,10 +103,12 @@ impl Schema {
         Schema { columns: vec![] }
     }
 
+    /// Number of columns.
     pub fn len(&self) -> usize {
         self.columns.len()
     }
 
+    /// True for the zero-column schema.
     pub fn is_empty(&self) -> bool {
         self.columns.is_empty()
     }

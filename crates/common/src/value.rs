@@ -79,10 +79,15 @@ impl fmt::Display for DataType {
 /// used for sorting and grouping, where NULLs sort first and compare equal to each other.
 #[derive(Debug, Clone)]
 pub enum Value {
+    /// SQL NULL.
     Null,
+    /// A boolean.
     Bool(bool),
+    /// A 64-bit integer.
     Int(i64),
+    /// A 64-bit float.
     Float(f64),
+    /// A UTF-8 string.
     Str(String),
 }
 
@@ -103,6 +108,7 @@ impl Value {
         }
     }
 
+    /// True for SQL NULL.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
@@ -323,11 +329,14 @@ impl Value {
 /// Hashable/equatable key form of a [`Value`], used for hash joins and hash aggregation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GroupKey {
+    /// SQL NULL (all NULLs land in one group).
     Null,
+    /// A boolean key.
     Bool(bool),
     /// Numeric values are normalised to the bit pattern of their f64 representation so
     /// that `Int(2)` and `Float(2.0)` collide.
     Float(u64),
+    /// A string key.
     Str(String),
 }
 

@@ -69,6 +69,12 @@ pub struct QueryOptions {
     /// default: snapshot rendering costs string work per optimizer pass; `EXPLAIN`
     /// always captures them).
     pub capture_snapshots: bool,
+    /// Override per-pass static plan validation for this query. `None` keeps the
+    /// compile-profile default (on in debug builds, off in release unless the
+    /// `DECORR_VALIDATE_PLANS` environment variable opts in); `Some(v)` forces it.
+    /// The plan cache fingerprints the flag, so validated and unvalidated runs of
+    /// the same query shape never serve each other's cached pipelines.
+    pub validate_plans: Option<bool>,
 }
 
 impl QueryOptions {
@@ -377,17 +383,41 @@ impl Engine {
     /// them with reasonable plans, just like a commercial system would.
     pub fn register_function(&self, sql: &str) -> Result<()> {
         let udf = decorr_parser::parse_function(sql)?;
-        self.register_udf_definition(udf);
-        Ok(())
+        self.register_udf_definition(udf)
     }
 
     /// Registers an already-parsed UDF definition (normalising its body queries).
-    pub fn register_udf_definition(&self, udf: decorr_udf::UdfDefinition) {
+    ///
+    /// The body is statically analysed first: a UDF *explicitly declared*
+    /// `DETERMINISTIC` whose body (transitively) calls a volatile UDF is rejected,
+    /// since memoizing it would serve stale results. A UDF that merely inherited the
+    /// pure-by-default contract is silently downgraded to volatile instead.
+    pub fn register_udf_definition(&self, udf: decorr_udf::UdfDefinition) -> Result<()> {
         // Normalize against the current snapshot before taking the writer lock:
         // normalization is a best-effort plan cleanup, so racing with a concurrent
         // DDL at worst misses an optimization opportunity, never correctness.
-        let normalized = self.pin(None).normalize_udf(udf);
+        let pinned = self.pin(None);
+        let mut normalized = pinned.normalize_udf(udf);
+        let facts = decorr_analysis::analyze_body(&normalized, &pinned.registry);
+        if facts.purity == decorr_analysis::Purity::Volatile && normalized.pure {
+            if normalized.purity_declared {
+                let witness = facts
+                    .volatile_calls
+                    .first()
+                    .map(String::as_str)
+                    .unwrap_or("<unknown>");
+                return Err(Error::Binding(format!(
+                    "function '{}' is declared DETERMINISTIC but its body calls the \
+                     volatile function '{witness}'; drop the DETERMINISTIC clause or \
+                     declare it VOLATILE",
+                    normalized.name,
+                )));
+            }
+            // Default contract, not a promise: infer volatility instead of rejecting.
+            normalized.pure = false;
+        }
         self.mutate_registry(|r| r.register_udf(normalized));
+        Ok(())
     }
 
     /// Bulk-loads rows built programmatically (used by the TPC-H style generator).
@@ -668,7 +698,13 @@ impl Pinned {
     /// budget exhaustion in the cleanup rules keeps the plan as-is instead of failing.
     fn normalize_plan(&self, plan: &RelExpr) -> RelExpr {
         let provider = CatalogProvider::new(&self.catalog, &self.registry);
+        // Validation is off here by design: these are UDF *body* fragments whose
+        // local variables and formal parameters appear as free columns/params until
+        // the interpreter (or the algebraizer) binds them, so the plan validator
+        // would flag them. Body soundness is covered by `decorr_analysis::analyze_body`
+        // at registration instead.
         PassManager::cleanup_pipeline()
+            .with_validation(false)
             .optimize(plan, &self.registry, &provider, Some(self.catalog.as_ref()))
             .map(|o| o.plan)
             .unwrap_or_else(|_| plan.clone())
@@ -695,14 +731,18 @@ impl Pinned {
         strategy: ExecutionStrategy,
         capture_snapshots: bool,
         parallelism: usize,
+        validate_plans: Option<bool>,
     ) -> Result<OptimizeOutcome> {
         let provider = CatalogProvider::new(&self.catalog, &self.registry);
-        Pinned::pass_manager_for(strategy)
+        let mut manager = Pinned::pass_manager_for(strategy)
             .with_snapshots(capture_snapshots)
             .with_parallelism(parallelism)
             .with_plan_cache(Arc::clone(&self.plan_cache))
-            .with_feedback(Arc::clone(&self.feedback))
-            .optimize(plan, &self.registry, &provider, Some(self.catalog.as_ref()))
+            .with_feedback(Arc::clone(&self.feedback));
+        if let Some(validate) = validate_plans {
+            manager = manager.with_validation(validate);
+        }
+        manager.optimize(plan, &self.registry, &provider, Some(self.catalog.as_ref()))
     }
 
     /// Normalises every query embedded in a UDF body.
@@ -743,11 +783,12 @@ impl Pinned {
     /// Builds the per-UDF memo-epoch map for this snapshot. A memoized result is
     /// served only while its epoch matches, i.e. while the registry generation, the
     /// DDL generation and the relevant *data* version are unchanged. The data
-    /// component is per-table: a UDF whose body provably reads exactly one table is
-    /// keyed on that table's [`data_version`](decorr_storage::Table::data_version),
-    /// so inserts into unrelated tables don't evict its results. UDFs that read no
-    /// table, several tables, or whose read set is opaque (the body calls another
-    /// UDF) fall back to the catalog-wide data generation.
+    /// component covers the UDF's full (transitive) read set as inferred by
+    /// [`decorr_analysis::analyze_body`]: a body that reads no table gets a constant,
+    /// a body with an exact read set gets a fingerprint of the sorted
+    /// `(table, data_version)` pairs — so inserts into tables *outside* that set
+    /// don't evict its results — and an opaque read set (the body calls an
+    /// unregistered function) falls back to the catalog-wide data generation.
     fn memo_epochs(&self) -> Arc<BTreeMap<String, MemoEpoch>> {
         let registry_gen = self.registry.generation();
         let ddl_gen = self.catalog.ddl_generation();
@@ -757,15 +798,30 @@ impl Pinned {
             let Ok(udf) = self.registry.udf(&name) else {
                 continue;
             };
-            let data = match decorr_udf::analysis::table_reads(&udf.body) {
-                Some(tables) if tables.len() == 1 => {
-                    let table = tables.iter().next().expect("len checked");
+            let facts = decorr_analysis::analyze_body(udf, &self.registry);
+            let data = if !facts.reads_exact {
+                catalog_wide
+            } else if facts.table_reads.is_empty() {
+                0
+            } else {
+                let mut hasher = decorr_common::FnvHasher::default();
+                let mut opaque = false;
+                for table in &facts.table_reads {
                     match self.catalog.table(table) {
-                        Ok(table) => table.data_version(),
-                        Err(_) => catalog_wide,
+                        Ok(t) => {
+                            hasher.write_bytes(table.as_bytes());
+                            hasher.write_u64(t.data_version());
+                        }
+                        // A read of a table the catalog no longer (or doesn't yet)
+                        // know: be conservative and key catalog-wide.
+                        Err(_) => opaque = true,
                     }
                 }
-                _ => catalog_wide,
+                if opaque {
+                    catalog_wide
+                } else {
+                    hasher.finish()
+                }
             };
             map.insert(name, (registry_gen, ddl_gen, data));
         }
@@ -781,9 +837,16 @@ impl Pinned {
         plan: &RelExpr,
         strategy: ExecutionStrategy,
         capture_snapshots: bool,
+        validate_plans: Option<bool>,
     ) -> Result<QueryResult> {
         let config = &self.exec_config;
-        let outcome = self.optimize_plan(plan, strategy, capture_snapshots, config.parallelism)?;
+        let outcome = self.optimize_plan(
+            plan,
+            strategy,
+            capture_snapshots,
+            config.parallelism,
+            validate_plans,
+        )?;
         if strategy == ExecutionStrategy::Decorrelated && !outcome.decorrelated {
             return Err(Error::Rewrite(format!(
                 "query could not be decorrelated: {}",
@@ -1066,8 +1129,12 @@ impl Session {
 
     /// Runs an already-planned query against a freshly pinned snapshot.
     pub fn run_plan(&self, plan: &RelExpr, options: &QueryOptions) -> Result<QueryResult> {
-        self.pin(options)
-            .run_plan(plan, options.strategy, options.capture_snapshots)
+        self.pin(options).run_plan(
+            plan,
+            options.strategy,
+            options.capture_snapshots,
+            options.validate_plans,
+        )
     }
 
     /// Executes one or more statements (DDL, DML, `CREATE FUNCTION`, or queries) and
@@ -1112,7 +1179,7 @@ impl Session {
             }
             SqlStatement::CreateFunction(udf) => {
                 let name = udf.name.clone();
-                self.engine.register_udf_definition(udf);
+                self.engine.register_udf_definition(udf)?;
                 Ok(ExecutionSummary::FunctionCreated(name))
             }
             SqlStatement::Analyze { table } => {
@@ -1158,6 +1225,7 @@ impl Session {
             ExecutionStrategy::Auto,
             true,
             pinned.exec_config.parallelism,
+            None,
         )?;
         let mut out = String::new();
         out.push_str("== original (iterative) plan ==\n");
@@ -1204,12 +1272,13 @@ impl Session {
             ExecutionStrategy::Auto,
             false,
             pinned.exec_config.parallelism,
+            None,
         )?;
         // Execute in diagnostic mode against the *same* pinned snapshot: per-node
         // actual cardinalities are recorded, keyed by structural fingerprint.
         let mut diagnostic = pinned.clone();
         diagnostic.exec_config.collect_cardinalities = true;
-        let result = diagnostic.run_plan(&plan, ExecutionStrategy::Auto, false)?;
+        let result = diagnostic.run_plan(&plan, ExecutionStrategy::Auto, false, None)?;
         out.push_str("\n== execution ==\n");
         out.push_str(&format!(
             "rows={} parallelism={} · scanned={} shards-pruned={} index-lookups={} \

@@ -22,6 +22,11 @@
 //!   threshold);
 //! * [`strategy`] — the cost-based choice between the original (iterative) plan and the
 //!   decorrelated plan produced by `decorr-rewrite`.
+//!
+//! Behind [`PassManagerOptions::validate_plans`] (default on in debug builds, opt-in
+//! via `DECORR_VALIDATE_PLANS=1` in release) the pipeline re-validates the plan with
+//! `decorr_analysis` after every pass, so a buggy rewrite rule fails loudly with a
+//! named-pass, named-violation error instead of producing a malformed plan.
 
 pub mod cache;
 pub mod cost;
@@ -43,3 +48,5 @@ pub use pass::{
     PassManagerOptions, PassTrace, PipelineReport,
 };
 pub use strategy::{choose_strategy, choose_strategy_with, StrategyChoice, StrategyDecision};
+
+pub use decorr_analysis::{validate_plan, ValidationReport, Violation};

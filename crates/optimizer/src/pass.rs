@@ -64,6 +64,26 @@ pub struct PassManagerOptions {
     /// accounts for morsel-parallel scans/joins/aggregates. Part of the pipeline
     /// fingerprint: a cached decision made for one pool size must not serve another.
     pub parallelism: usize,
+    /// Re-validate the plan with `decorr_analysis::validate_plan` after **every**
+    /// pass: any structural violation (dangling column reference, unconsumed Apply
+    /// binding, unknown function, …) fails the pipeline with a named-pass,
+    /// named-violation error instead of letting a buggy rule produce a silently
+    /// wrong plan. Defaults to on in debug builds (so every test run self-checks)
+    /// and off in release; the `DECORR_VALIDATE_PLANS` environment variable
+    /// (`1`/`true`/`on` vs `0`/`false`/`off`) overrides the default either way.
+    pub validate_plans: bool,
+}
+
+/// Compile-profile default for [`PassManagerOptions::validate_plans`], overridable
+/// through the `DECORR_VALIDATE_PLANS` environment variable.
+fn default_validate_plans() -> bool {
+    match std::env::var("DECORR_VALIDATE_PLANS") {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "on" | "yes"
+        ),
+        Err(_) => cfg!(debug_assertions),
+    }
 }
 
 impl Default for PassManagerOptions {
@@ -75,6 +95,7 @@ impl Default for PassManagerOptions {
             mode: OptimizeMode::CostBased,
             capture_snapshots: false,
             parallelism: 1,
+            validate_plans: default_validate_plans(),
         }
     }
 }
@@ -214,6 +235,10 @@ pub struct PassTrace {
     pub plan_before: Option<String>,
     pub plan_after: Option<String>,
     pub notes: Vec<String>,
+    /// Number of structural-invariant checks the per-pass plan validator performed
+    /// on this pass's output plan (`None` when validation was off). A recorded pass
+    /// always validated clean — violations abort the pipeline instead.
+    pub validation_checks: Option<u64>,
 }
 
 impl PassTrace {
@@ -278,6 +303,21 @@ impl PipelineReport {
                     .map(|i| i.to_string())
                     .unwrap_or_else(|| "-".into()),
                 pass.notes.join("; ")
+            ));
+        }
+        let validated: Vec<&PassTrace> = self
+            .passes
+            .iter()
+            .filter(|p| p.validation_checks.is_some())
+            .collect();
+        if !validated.is_empty() {
+            let rendered: Vec<String> = validated
+                .iter()
+                .map(|p| format!("{} ×{}", p.name, p.validation_checks.unwrap_or(0)))
+                .collect();
+            out.push_str(&format!(
+                "plan validation: {} — all passes clean\n",
+                rendered.join(", ")
             ));
         }
         let counts = self.rule_fire_counts();
@@ -647,6 +687,14 @@ impl PassManager {
         self
     }
 
+    /// Forces per-pass plan validation on or off, overriding the build-profile
+    /// default and the `DECORR_VALIDATE_PLANS` environment variable (see
+    /// [`PassManagerOptions::validate_plans`]).
+    pub fn with_validation(mut self, validate_plans: bool) -> PassManager {
+        self.options.validate_plans = validate_plans;
+        self
+    }
+
     /// Attaches a shared [`PlanCache`]: `optimize` probes it before running any pass
     /// and stores the outcome on a miss. The cache key folds in the registry and
     /// catalog-DDL generations plus this pipeline's
@@ -714,6 +762,7 @@ impl PassManager {
         });
         hasher.write_u64(u64::from(self.options.capture_snapshots));
         hasher.write_u64(self.options.parallelism as u64);
+        hasher.write_u64(u64::from(self.options.validate_plans));
         hasher.finish()
     }
 
@@ -766,6 +815,7 @@ impl PassManager {
                     plan_before: None,
                     plan_after: None,
                     notes: vec!["cache hit — optimizer pipeline skipped".into()],
+                    validation_checks: None,
                 }],
                 cache: Some(CacheActivity {
                     hit: true,
@@ -811,6 +861,14 @@ impl PassManager {
         let mut report = PipelineReport::default();
         let mut applied_rules: Vec<String> = vec![];
         let mut notes: Vec<String> = vec![];
+        // The validator guards against *rule* bugs: plans that were well-formed
+        // becoming malformed mid-pipeline. A plan that arrives already dirty (an
+        // unknown table, an unresolvable column) is a user error — whether the input
+        // was dirty is only decided lazily, on the error path, so the happy path
+        // never pays for validating the input twice.
+        let mut validate_plans = self.options.validate_plans;
+        // Check count of the last validated plan; `None` until the first validation.
+        let mut last_checks: Option<u64> = None;
         for pass in &self.passes {
             let plan_before = self.options.capture_snapshots.then(|| explain(&current));
             let start = Instant::now();
@@ -819,6 +877,52 @@ impl PassManager {
             })?;
             let duration = start.elapsed();
             let changed = effect.plan != current;
+            // An unchanged pass cannot have introduced a violation: the plan is
+            // byte-identical to the last validated one, so its check count is
+            // carried over instead of re-walking the tree.
+            let validation_checks = match (validate_plans, last_checks) {
+                (true, Some(checks)) if !changed => Some(checks),
+                (true, _) => {
+                    // Validate against the same layered view the rewrite passes infer
+                    // schemas with, so auxiliary aggregates synthesised mid-pipeline
+                    // resolve like any registered function.
+                    let layered = AuxAggregateProvider {
+                        inner: provider,
+                        aggregates: &ctx.aux_aggregates,
+                    };
+                    let validation =
+                        decorr_analysis::validate_plan(&effect.plan, &layered, registry);
+                    match validation.violations.first() {
+                        Some(violation)
+                            if decorr_analysis::validate_plan(plan, provider, registry)
+                                .is_clean() =>
+                        {
+                            let rule = effect
+                                .fired
+                                .last()
+                                .map(|r| format!(" (last rule fired: '{r}')"))
+                                .unwrap_or_default();
+                            return Err(Error::Rewrite(format!(
+                                "plan validation failed after pass '{}'{rule}: [{}] {violation}",
+                                pass.name(),
+                                violation.name(),
+                            )));
+                        }
+                        Some(_) => {
+                            // The violation was already present in the input plan: a
+                            // user error, not a rule bug. Disarm validation so the
+                            // binder/executor surfaces its properly-kinded error.
+                            validate_plans = false;
+                            None
+                        }
+                        None => {
+                            last_checks = Some(validation.checks);
+                            Some(validation.checks)
+                        }
+                    }
+                }
+                (false, _) => None,
+            };
             let plan_after =
                 (self.options.capture_snapshots && changed).then(|| explain(&effect.plan));
             applied_rules.extend(effect.fired.iter().cloned());
@@ -834,8 +938,21 @@ impl PassManager {
                 plan_before,
                 plan_after,
                 notes: effect.notes,
+                validation_checks,
             });
             current = effect.plan;
+        }
+        if validate_plans && ctx.decorrelated {
+            // The pipeline claims full decorrelation: the rewritten plan (and the
+            // final plan when it *is* the rewritten one) must carry no residual
+            // Apply-family operator — guards a later pass reintroducing one.
+            let candidate = ctx.rewritten_plan.as_ref().unwrap_or(&current);
+            if let Some(violation) = decorr_analysis::check_decorrelated(candidate).first() {
+                return Err(Error::Rewrite(format!(
+                    "plan validation failed after pipeline: [{}] {violation}",
+                    violation.name(),
+                )));
+            }
         }
         let iterative_plan = ctx.baseline_plan.clone().unwrap_or_else(|| current.clone());
         let rewritten_plan = ctx.rewritten_plan.clone().or_else(|| {

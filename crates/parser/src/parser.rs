@@ -919,11 +919,14 @@ impl Parser {
         // Optional volatility clause before AS: `VOLATILE` opts out of the executor's
         // dedup/memo machinery, `DETERMINISTIC` spells out the default.
         let mut pure = true;
+        let mut purity_declared = false;
         loop {
             if self.eat_keyword("volatile") {
                 pure = false;
+                purity_declared = true;
             } else if self.eat_keyword("deterministic") {
                 pure = true;
+                purity_declared = true;
             } else {
                 break;
             }
@@ -938,6 +941,7 @@ impl Parser {
         let mut udf = UdfDefinition::new(name, params, return_type, body);
         udf.returns_table = returns_table;
         udf.pure = pure;
+        udf.purity_declared = purity_declared;
         Ok(SqlStatement::CreateFunction(udf))
     }
 

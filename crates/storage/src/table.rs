@@ -137,15 +137,6 @@ impl Table {
         &self.schema
     }
 
-    /// Materialized copy of every row, in global scan order.
-    #[deprecated(
-        note = "the contiguous-slice contract is retired; use `Table::scan()` \
-                (or `scan().collect_rows()` for a materialized vector)"
-    )]
-    pub fn rows(&self) -> Vec<Row> {
-        self.scan().collect_rows()
-    }
-
     /// A borrowed, shard-iterating view over the table's rows — the scan API.
     pub fn scan(&self) -> RowsView<'_> {
         RowsView::new(&self.shards, self.total_rows)
@@ -479,14 +470,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_rows_shim_materializes_scan_order() {
+    fn scan_materializes_rows_in_global_order() {
         let mut t = sharded_orders(4);
         t.insert_all(order_rows(1000)).unwrap();
-        let materialized = t.rows();
+        let materialized = t.scan().collect_rows();
         assert_eq!(materialized.len(), 1000);
-        assert_eq!(materialized, t.scan().collect_rows());
         assert_eq!(materialized[7].get(0), &Value::Int(7));
+        assert_eq!(materialized[999].get(0), &Value::Int(999));
     }
 
     #[test]

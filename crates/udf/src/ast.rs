@@ -188,6 +188,11 @@ pub struct UdfDefinition {
     /// over catalog tables) is deterministic, so UDFs default to pure; declare
     /// `VOLATILE` in `CREATE FUNCTION` to opt out and force one evaluation per row.
     pub pure: bool,
+    /// True when the registration spelled out a volatility clause (`VOLATILE` or
+    /// `DETERMINISTIC`) rather than inheriting the default. An *explicit*
+    /// `DETERMINISTIC` that contradicts the body's inferred volatility is rejected at
+    /// registration; an inherited default is silently downgraded instead.
+    pub purity_declared: bool,
 }
 
 impl UdfDefinition {
@@ -205,6 +210,7 @@ impl UdfDefinition {
             body,
             source: None,
             pure: true,
+            purity_declared: false,
         }
     }
 

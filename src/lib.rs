@@ -47,6 +47,7 @@
 //! ```
 
 pub use decorr_algebra as algebra;
+pub use decorr_analysis as analysis;
 pub use decorr_common as common;
 pub use decorr_engine as engine;
 pub use decorr_exec as exec;

@@ -284,3 +284,86 @@ fn filter_selectivity_feedback_is_recorded() {
         .expect("dedup fraction should be trusted after 200 calls");
     assert!(fraction < 0.5, "12 groups over 200 rows: {fraction}");
 }
+
+/// ROADMAP follow-up: the memo epoch covers a UDF's *full* read set, not just
+/// single-table bodies. A UDF reading two tables is keyed on a fingerprint of both
+/// data versions, so inserts into an unrelated third table keep its memoized results
+/// servable — while an insert into either read table still evicts them.
+#[test]
+fn two_table_udf_memo_survives_inserts_into_unrelated_table() {
+    let mut db = Database::new();
+    db.execute(
+        "create table items(grp int, val float); \
+         create table rates(grp int, rate float); \
+         create table probes(id int not null, grp int)",
+    )
+    .unwrap();
+    db.load_rows(
+        "items",
+        (0..30)
+            .map(|i| Row::new(vec![Value::Int(i % 3), Value::Float(10.0 + i as f64)]))
+            .collect(),
+    )
+    .unwrap();
+    db.load_rows(
+        "rates",
+        (0..3)
+            .map(|g| Row::new(vec![Value::Int(g), Value::Float(1.0 + g as f64)]))
+            .collect(),
+    )
+    .unwrap();
+    db.load_rows(
+        "probes",
+        (0..20)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 3)]))
+            .collect(),
+    )
+    .unwrap();
+    db.register_function(
+        "create function scaled_score(int g) returns float as \
+         begin \
+           float total; float r; \
+           select sum(val) into :total from items where grp = :g; \
+           select max(rate) into :r from rates where grp = :g; \
+           return total * r; \
+         end",
+    )
+    .unwrap();
+    let sql = "select grp, scaled_score(grp) as score from probes where id < 6";
+    let cold = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    // Insert into the table scaled_score never reads: bumps the catalog-wide data
+    // generation, but neither items' nor rates' data version.
+    db.execute("insert into probes values (1000, 1)").unwrap();
+    let warm = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    assert!(
+        warm.exec_stats.udf_memo_hits > 0,
+        "inserting into probes must not evict scaled_score(items, rates) results: {:?}",
+        warm.exec_stats
+    );
+    for (row_cold, row_warm) in cold.rows.iter().zip(&warm.rows) {
+        assert_eq!(row_cold.get(1), row_warm.get(1));
+    }
+    // Inserting into *either* read table invalidates: rates is the second table of
+    // the read set, exactly the case a single-table epoch key would miss.
+    db.execute("insert into rates values (0, 100.0)").unwrap();
+    let refreshed = db.query_with(sql, &QueryOptions::iterative()).unwrap();
+    assert!(
+        db.udf_memo_stats().invalidations >= 1,
+        "rates' data-version bump must drop stale scaled_score entries: {:?}",
+        db.udf_memo_stats()
+    );
+    let stale = cold
+        .rows
+        .iter()
+        .find(|r| *r.get(0) == Value::Int(0))
+        .map(|r| r.get(1).clone());
+    let fresh = refreshed
+        .rows
+        .iter()
+        .find(|r| *r.get(0) == Value::Int(0))
+        .map(|r| r.get(1).clone());
+    assert_ne!(
+        stale, fresh,
+        "max(rate) for group 0 changed from 1.0 to 100.0"
+    );
+}
