@@ -35,6 +35,102 @@ pub fn transform_plan_up(plan: &RelExpr, f: &mut dyn FnMut(RelExpr) -> RelExpr) 
     f(rebuilt)
 }
 
+/// Applies `plan_f` bottom-up to every operator in the plan — including the plans of
+/// scalar subqueries nested inside expressions — and `expr_f` bottom-up to every scalar
+/// expression node along the way. Unlike [`transform_plan_up`], which stops at subquery
+/// boundaries, this rewrites the entire reachable tree; the UDF-merge pass uses it to
+/// re-qualify inlined UDF bodies.
+pub fn transform_plan_deep(
+    plan: &RelExpr,
+    plan_f: &mut dyn FnMut(RelExpr) -> RelExpr,
+    expr_f: &mut dyn FnMut(ScalarExpr) -> ScalarExpr,
+) -> RelExpr {
+    let new_children: Vec<RelExpr> = plan
+        .children()
+        .into_iter()
+        .map(|c| transform_plan_deep(c, plan_f, expr_f))
+        .collect();
+    let node = if new_children.is_empty() {
+        plan.clone()
+    } else {
+        plan.with_new_children(new_children)
+    };
+    let node = map_own_exprs(&node, &mut |e| {
+        let with_subqueries = transform_expr_deep(e, plan_f, expr_f);
+        transform_expr_up(&with_subqueries, expr_f)
+    });
+    plan_f(node)
+}
+
+/// Rewrites subquery plans nested inside a scalar expression using
+/// [`transform_plan_deep`].
+fn transform_expr_deep(
+    expr: &ScalarExpr,
+    plan_f: &mut dyn FnMut(RelExpr) -> RelExpr,
+    expr_f: &mut dyn FnMut(ScalarExpr) -> ScalarExpr,
+) -> ScalarExpr {
+    match expr {
+        ScalarExpr::ScalarSubquery(q) => {
+            ScalarExpr::ScalarSubquery(Box::new(transform_plan_deep(q, plan_f, expr_f)))
+        }
+        ScalarExpr::Exists(q) => {
+            ScalarExpr::Exists(Box::new(transform_plan_deep(q, plan_f, expr_f)))
+        }
+        ScalarExpr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => ScalarExpr::InSubquery {
+            expr: Box::new(transform_expr_deep(expr, plan_f, expr_f)),
+            subquery: Box::new(transform_plan_deep(subquery, plan_f, expr_f)),
+            negated: *negated,
+        },
+        ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
+            op: *op,
+            left: Box::new(transform_expr_deep(left, plan_f, expr_f)),
+            right: Box::new(transform_expr_deep(right, plan_f, expr_f)),
+        },
+        ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+            op: *op,
+            expr: Box::new(transform_expr_deep(expr, plan_f, expr_f)),
+        },
+        ScalarExpr::Case {
+            branches,
+            else_expr,
+        } => ScalarExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(p, e)| {
+                    (
+                        transform_expr_deep(p, plan_f, expr_f),
+                        transform_expr_deep(e, plan_f, expr_f),
+                    )
+                })
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(transform_expr_deep(e, plan_f, expr_f))),
+        },
+        ScalarExpr::Coalesce(args) => ScalarExpr::Coalesce(
+            args.iter()
+                .map(|a| transform_expr_deep(a, plan_f, expr_f))
+                .collect(),
+        ),
+        ScalarExpr::Cast { expr, data_type } => ScalarExpr::Cast {
+            expr: Box::new(transform_expr_deep(expr, plan_f, expr_f)),
+            data_type: *data_type,
+        },
+        ScalarExpr::UdfCall { name, args } => ScalarExpr::UdfCall {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| transform_expr_deep(a, plan_f, expr_f))
+                .collect(),
+        },
+        leaf => leaf.clone(),
+    }
+}
+
 /// Applies `f` bottom-up to every node of a scalar expression. Does not descend into
 /// subquery plans (use [`map_plan_exprs`] / `transform_expr_with_subqueries` for that).
 pub fn transform_expr_up(

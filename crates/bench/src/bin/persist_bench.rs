@@ -1,0 +1,140 @@
+//! Durability bench: WAL append overhead on a serving-style mixed workload (identical
+//! seeded op sequence with and without a `data_dir`), checkpoint latency and snapshot
+//! size, and cold-open restore time with a byte-equivalence check against the
+//! pre-restart engine. Emits the machine-readable `BENCH_persist.json` that CI's
+//! `persist-bench-smoke` job uploads and gates on.
+//!
+//! ```text
+//! cargo run --release -p decorr-bench --bin persist_bench -- \
+//!     [--smoke] [--out BENCH_persist.json] [--check crates/bench/BENCH_persist_baseline.json]
+//! ```
+//!
+//! * `--smoke`  — reduced op count for CI;
+//! * `--out`    — where to write the JSON document (default `BENCH_persist.json`);
+//! * `--check`  — compare against a committed baseline and exit non-zero when the
+//!   restored engine's rows diverge (machine-independent), the WAL overhead exceeds
+//!   15% past a 25 ms noise floor, or checkpoint/reopen latency regressed past the
+//!   lenient ceiling (factor 3.0 with a 25 ms floor, override the factor with
+//!   `BENCH_GATE_FACTOR`).
+
+use std::process::ExitCode;
+
+use decorr_bench::json::Json;
+use decorr_bench::{
+    check_persist_against_baseline, measure_persist, persist_bench_json, PersistGateConfig,
+};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_persist.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().ok_or("--out requires a path")?,
+            "--check" => args.check = Some(it.next().ok_or("--check requires a path")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("persist_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (ops, customers) = if args.smoke { (400, 25) } else { (4_000, 100) };
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!("persist bench ({mode}): WAL overhead, checkpoint and cold-open restore\n");
+    let m = measure_persist(ops, customers);
+    println!(
+        "mixed phase   plain {:>8.2} ms · durable {:>8.2} ms · WAL overhead {:>5.1}% \
+         ({} records, {} bytes)",
+        m.plain.as_secs_f64() * 1e3,
+        m.durable.as_secs_f64() * 1e3,
+        m.wal_overhead_pct(),
+        m.wal_records_appended,
+        m.wal_bytes_appended,
+    );
+    println!(
+        "checkpoint    {:>8.2} ms ({} snapshot bytes)",
+        m.checkpoint.as_secs_f64() * 1e3,
+        m.snapshot_bytes,
+    );
+    println!(
+        "cold reopen   {:>8.2} ms ({} WAL records replayed) · restore match: {}",
+        m.reopen.as_secs_f64() * 1e3,
+        m.wal_records_replayed,
+        m.restore_match,
+    );
+    if !m.restore_match {
+        eprintln!("persist_bench: restored engine diverged from the reference rows");
+        return ExitCode::FAILURE;
+    }
+
+    let doc = persist_bench_json(mode, &m);
+    if let Err(e) = std::fs::write(&args.out, doc.render()) {
+        eprintln!("persist_bench: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("\nwrote {}", args.out);
+
+    if let Some(baseline_path) = &args.check {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("persist_bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Json::parse(&baseline_text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("persist_bench: malformed baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut config = PersistGateConfig::default();
+        if let Ok(factor) = std::env::var("BENCH_GATE_FACTOR") {
+            match factor.parse::<f64>() {
+                Ok(f) if f > 0.0 => config.regression_factor = f,
+                _ => {
+                    eprintln!("persist_bench: invalid BENCH_GATE_FACTOR '{factor}'");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        println!(
+            "\ndurability gate vs {baseline_path} (factor {:.1}x, overhead cap {:.0}%):",
+            config.regression_factor, config.max_overhead_pct
+        );
+        match check_persist_against_baseline(&doc, &baseline, &config) {
+            Ok(report) => {
+                for line in report {
+                    println!("  {line}");
+                }
+                println!("  durability gate passed");
+            }
+            Err(failures) => {
+                for line in failures {
+                    eprintln!("  GATE FAILURE: {line}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

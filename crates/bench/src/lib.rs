@@ -2509,6 +2509,354 @@ pub fn check_serving_against_baseline(
     }
 }
 
+/// One full persist-bench run: the same seeded serving-style write/read mix is driven
+/// through a plain in-memory [`Engine`] and through one opened with a `data_dir` (WAL
+/// on), then the durable engine is checkpointed, dropped and cold-opened again.
+#[derive(Debug, Clone)]
+pub struct PersistMeasurement {
+    /// Operations in the measured mixed phase (inserts + queries + analyzes).
+    pub ops: usize,
+    /// Wall-clock of the mixed phase without durability.
+    pub plain: Duration,
+    /// Wall-clock of the identical mixed phase with WAL logging on.
+    pub durable: Duration,
+    /// WAL bytes appended during the durable mixed phase.
+    pub wal_bytes_appended: u64,
+    /// WAL records appended during the durable mixed phase.
+    pub wal_records_appended: u64,
+    /// Wall-clock of `Engine::checkpoint` over the populated catalog.
+    pub checkpoint: Duration,
+    /// Size of the snapshot the checkpoint wrote.
+    pub snapshot_bytes: u64,
+    /// Wall-clock of the cold open (snapshot load + WAL replay).
+    pub reopen: Duration,
+    /// WAL records replayed by the cold open (writes landed after the checkpoint).
+    pub wal_records_replayed: u64,
+    /// The reopened engine answered the reference queries byte-identically.
+    pub restore_match: bool,
+}
+
+impl PersistMeasurement {
+    /// WAL overhead of the mixed phase, in percent of the plain run.
+    pub fn wal_overhead_pct(&self) -> f64 {
+        let plain = self.plain.as_secs_f64().max(1e-9);
+        (self.durable.as_secs_f64() - plain) / plain * 100.0
+    }
+}
+
+/// A self-cleaning scratch directory for the durable arms.
+struct BenchDir(std::path::PathBuf);
+
+impl BenchDir {
+    fn new(tag: &str) -> BenchDir {
+        let dir =
+            std::env::temp_dir().join(format!("decorr-persist-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("bench scratch dir");
+        BenchDir(dir)
+    }
+}
+
+impl Drop for BenchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn persist_schema(engine: &Engine) {
+    let session = engine.session();
+    session
+        .execute(
+            "create table customer(custkey int not null, name varchar(25)); \
+             create table orders(orderkey int not null, custkey int, totalprice float); \
+             create index on orders(custkey)",
+        )
+        .expect("persist bench schema");
+    session
+        .register_function(
+            "create function total_business(int ckey) returns float as \
+             begin return select sum(totalprice) from orders where custkey = :ckey; end",
+        )
+        .expect("persist bench udf");
+}
+
+/// The seeded mixed phase: ~70% single-row order inserts, ~25% UDF/point queries,
+/// ~5% ANALYZE. Identical op sequence for every engine (same seed), so the plain and
+/// durable runs do exactly the same work apart from WAL appends.
+fn persist_mixed_phase(engine: &Engine, ops: usize, customers: i64) -> Duration {
+    let session = engine.session();
+    let mut rng = SmallRng::seed_from_u64(0x9E125_7001);
+    let mut orderkey = 0i64;
+    let start = Instant::now();
+    for _ in 0..ops {
+        let roll = rng.gen_range_i64(0, 100);
+        let ckey = 1 + rng.gen_range_i64(0, customers);
+        if roll < 70 {
+            orderkey += 1;
+            let price = 250.0 * (1 + orderkey % 37) as f64;
+            session
+                .execute(&format!(
+                    "insert into orders values ({orderkey}, {ckey}, {price:?})"
+                ))
+                .expect("bench insert");
+        } else if roll < 95 {
+            session
+                .query(&format!(
+                    "select custkey, total_business(custkey) as t from customer \
+                     where custkey = {ckey}"
+                ))
+                .expect("bench query");
+        } else {
+            session.execute("analyze orders").expect("bench analyze");
+        }
+    }
+    start.elapsed()
+}
+
+/// Reference rows the restored engine must reproduce byte-for-byte.
+fn persist_reference(engine: &Engine) -> Vec<String> {
+    let session = engine.session();
+    let mut out = vec![];
+    for sql in [
+        "select custkey, total_business(custkey) as t from customer",
+        "select orderkey, custkey, totalprice from orders",
+    ] {
+        let result = session.query(sql).expect("reference query");
+        out.extend(result.rows.iter().map(|r| format!("{r:?}")));
+    }
+    out
+}
+
+/// Runs the full persist bench: plain vs durable mixed phase, checkpoint, post-
+/// checkpoint writes, cold reopen with WAL replay and byte-equivalence check.
+pub fn measure_persist(ops: usize, customers: i64) -> PersistMeasurement {
+    let seed_customers = |engine: &Engine| {
+        let rows: Vec<Row> = (1..=customers)
+            .map(|i| Row::new(vec![Value::Int(i), Value::str(format!("Customer#{i}"))]))
+            .collect();
+        engine.load_rows("customer", rows).expect("customer rows");
+    };
+
+    // Arm 1: no durability.
+    let plain_engine = Engine::builder().parallelism(1).build();
+    persist_schema(&plain_engine);
+    seed_customers(&plain_engine);
+    let plain = persist_mixed_phase(&plain_engine, ops, customers);
+
+    // Arm 2: identical ops with the WAL on.
+    let dir = BenchDir::new("wal");
+    let durable_engine = Engine::builder().parallelism(1).data_dir(&dir.0).build();
+    persist_schema(&durable_engine);
+    seed_customers(&durable_engine);
+    let durable = persist_mixed_phase(&durable_engine, ops, customers);
+    let mid = durable_engine.persist_stats();
+
+    // Checkpoint the populated catalog, then land a few more writes so the cold open
+    // exercises WAL replay on top of the snapshot.
+    let checkpoint_start = Instant::now();
+    let after_checkpoint = durable_engine.checkpoint().expect("checkpoint");
+    let checkpoint = checkpoint_start.elapsed();
+    let tail_writes = (ops / 20).max(3);
+    let session = durable_engine.session();
+    for i in 0..tail_writes {
+        session
+            .execute(&format!(
+                "insert into orders values ({}, {}, 99.5)",
+                1_000_000 + i as i64,
+                1 + i as i64 % customers
+            ))
+            .expect("tail insert");
+    }
+    let reference = persist_reference(&durable_engine);
+    drop(session);
+    drop(durable_engine);
+
+    let reopen_start = Instant::now();
+    let reopened = Engine::builder()
+        .parallelism(1)
+        .data_dir(&dir.0)
+        .try_build()
+        .expect("cold open");
+    let reopen = reopen_start.elapsed();
+    let restored = reopened.persist_stats();
+    let restore_match = persist_reference(&reopened) == reference;
+
+    PersistMeasurement {
+        ops,
+        plain,
+        durable,
+        wal_bytes_appended: mid.wal_bytes_appended,
+        wal_records_appended: mid.wal_records_appended,
+        checkpoint,
+        snapshot_bytes: after_checkpoint.snapshot_bytes,
+        reopen,
+        wal_records_replayed: restored.wal_records_replayed,
+        restore_match,
+    }
+}
+
+/// Renders the machine-readable `BENCH_persist.json` document.
+pub fn persist_bench_json(mode: &str, m: &PersistMeasurement) -> Json {
+    Json::obj(vec![
+        ("schema_version", Json::num(1.0)),
+        ("mode", Json::str(mode)),
+        (
+            "wal",
+            Json::obj(vec![
+                ("ops", Json::num(m.ops as f64)),
+                ("plain_ms", Json::num(m.plain.as_secs_f64() * 1e3)),
+                ("durable_ms", Json::num(m.durable.as_secs_f64() * 1e3)),
+                ("overhead_pct", Json::num(m.wal_overhead_pct())),
+                ("records_appended", Json::num(m.wal_records_appended as f64)),
+                ("bytes_appended", Json::num(m.wal_bytes_appended as f64)),
+            ]),
+        ),
+        (
+            "checkpoint",
+            Json::obj(vec![
+                ("duration_ms", Json::num(m.checkpoint.as_secs_f64() * 1e3)),
+                ("snapshot_bytes", Json::num(m.snapshot_bytes as f64)),
+            ]),
+        ),
+        (
+            "restore",
+            Json::obj(vec![
+                ("duration_ms", Json::num(m.reopen.as_secs_f64() * 1e3)),
+                (
+                    "wal_records_replayed",
+                    Json::num(m.wal_records_replayed as f64),
+                ),
+                ("restore_match", Json::Bool(m.restore_match)),
+            ]),
+        ),
+        (
+            "overall",
+            Json::obj(vec![
+                ("restore_match", Json::Bool(m.restore_match)),
+                ("wal_overhead_pct", Json::num(m.wal_overhead_pct())),
+            ]),
+        ),
+    ])
+}
+
+/// Thresholds for [`check_persist_against_baseline`].
+#[derive(Debug, Clone)]
+pub struct PersistGateConfig {
+    /// Maximum WAL overhead over the plain run, in percent.
+    pub max_overhead_pct: f64,
+    /// Ignore overhead when the absolute plain/durable delta is below this many
+    /// milliseconds — percentage gates on sub-floor runs are scheduler noise.
+    pub overhead_floor_ms: f64,
+    /// Fail when checkpoint or reopen latency exceeds `baseline * factor` (and the
+    /// floor).
+    pub regression_factor: f64,
+    /// Ignore latency regressions below this many milliseconds.
+    pub latency_floor_ms: f64,
+}
+
+impl Default for PersistGateConfig {
+    fn default() -> Self {
+        PersistGateConfig {
+            max_overhead_pct: 15.0,
+            overhead_floor_ms: 25.0,
+            regression_factor: 3.0,
+            latency_floor_ms: 25.0,
+        }
+    }
+}
+
+/// Compares a fresh `BENCH_persist.json` against the committed baseline. The
+/// machine-independent leg comes first: the cold-opened engine must have answered the
+/// reference queries byte-identically. The WAL-overhead gate is a percentage with an
+/// absolute noise floor; checkpoint/reopen latency use the lenient factor + floor
+/// scheme the other benches use (tunable via `BENCH_GATE_FACTOR`).
+pub fn check_persist_against_baseline(
+    current: &Json,
+    baseline: &Json,
+    config: &PersistGateConfig,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut report = vec![];
+    let mut failures = vec![];
+    let current_mode = current.get("mode").and_then(Json::as_str);
+    let baseline_mode = baseline.get("mode").and_then(Json::as_str);
+    if let (Some(current_mode), Some(baseline_mode)) = (current_mode, baseline_mode) {
+        if current_mode != baseline_mode {
+            failures.push(format!(
+                "bench mode mismatch: current run is '{current_mode}' but the baseline \
+                 is '{baseline_mode}' — regenerate the baseline in the same mode"
+            ));
+        }
+    }
+    match current
+        .get("overall")
+        .and_then(|o| o.get("restore_match"))
+        .and_then(Json::as_bool)
+    {
+        Some(true) => report.push("cold reopen reproduced the reference rows — ok".into()),
+        _ => failures.push(
+            "cold reopen diverged from the pre-restart reference rows (or the field \
+             is missing from the bench output)"
+                .into(),
+        ),
+    }
+    let wal_ms = |doc: &Json, field: &str| {
+        doc.get("wal")
+            .and_then(|w| w.get(field))
+            .and_then(Json::as_f64)
+    };
+    match (wal_ms(current, "plain_ms"), wal_ms(current, "durable_ms")) {
+        (Some(plain), Some(durable)) => {
+            let delta = durable - plain;
+            let overhead_pct = delta / plain.max(1e-9) * 100.0;
+            if delta < config.overhead_floor_ms {
+                report.push(format!(
+                    "WAL overhead {delta:.2} ms is below the {:.0} ms noise floor — ok",
+                    config.overhead_floor_ms
+                ));
+            } else if overhead_pct <= config.max_overhead_pct {
+                report.push(format!(
+                    "WAL overhead {overhead_pct:.1}% (allowed {:.0}%) — ok",
+                    config.max_overhead_pct
+                ));
+            } else {
+                failures.push(format!(
+                    "WAL overhead {overhead_pct:.1}% exceeds the allowed {:.0}% \
+                     (plain {plain:.2} ms, durable {durable:.2} ms)",
+                    config.max_overhead_pct
+                ));
+            }
+        }
+        _ => failures.push("current bench JSON is missing wal.plain_ms/durable_ms".into()),
+    }
+    for (section, field) in [("checkpoint", "duration_ms"), ("restore", "duration_ms")] {
+        let ms = |doc: &Json| {
+            doc.get(section)
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_f64)
+        };
+        if let (Some(current_ms), Some(baseline_ms)) = (ms(current), ms(baseline)) {
+            let ceiling = (baseline_ms * config.regression_factor).max(config.latency_floor_ms);
+            if current_ms > ceiling {
+                failures.push(format!(
+                    "{section} latency {current_ms:.2} ms regressed past {ceiling:.2} ms \
+                     (baseline {baseline_ms:.2} ms, factor {:.1}x)",
+                    config.regression_factor
+                ));
+            } else {
+                report.push(format!(
+                    "{section} {current_ms:.2} ms (baseline {baseline_ms:.2} ms, \
+                     ceiling {ceiling:.2} ms) — ok"
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

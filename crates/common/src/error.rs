@@ -27,6 +27,9 @@ pub enum Error {
     Unsupported(String),
     /// Internal invariant violation — indicates a bug in the engine itself.
     Internal(String),
+    /// Durability errors: a corrupt or truncated snapshot, a WAL that cannot be
+    /// appended, or a `data_dir` that cannot be opened.
+    Persist(String),
 }
 
 impl Error {
@@ -41,6 +44,7 @@ impl Error {
             Error::Execution(_) => "execution",
             Error::Unsupported(_) => "unsupported",
             Error::Internal(_) => "internal",
+            Error::Persist(_) => "persist",
         }
     }
 }
@@ -56,6 +60,7 @@ impl fmt::Display for Error {
             Error::Execution(m) => write!(f, "execution error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::Persist(m) => write!(f, "persistence error: {m}"),
         }
     }
 }

@@ -394,6 +394,120 @@ impl FeedbackStore {
     }
 }
 
+/// Serializable learned state of one UDF — the persisted form of the store's
+/// private per-UDF entry (all counters, trust flags included, so a restored store
+/// neither re-bumps its generation for already-flagged UDFs nor forgets a flag).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfFeedbackState {
+    /// Normalized UDF name.
+    pub name: String,
+    /// Body evaluations measured so far.
+    pub invocations: u64,
+    /// Total measured wall-clock, in nanoseconds (`Duration` is not portably
+    /// serializable; nanos round-trip exactly for any realistic total).
+    pub total_nanos: u64,
+    /// Static per-invocation estimate (row-op units) last reported to the store.
+    pub static_units: f64,
+    /// Whether the learned cost already contributed a generation bump.
+    pub flagged: bool,
+    /// Memo/dedup cache hits observed.
+    pub cache_hits: u64,
+    /// Whether the learned dedup fraction already contributed a generation bump.
+    pub dedup_flagged: bool,
+    /// Rows this UDF's predicate was evaluated for.
+    pub predicate_evaluated: u64,
+    /// How many of those evaluations passed.
+    pub predicate_passed: u64,
+}
+
+/// The full serializable state of a [`FeedbackStore`] — what a snapshot persists so
+/// learned UDF costs, dedup fractions and predicate selectivities (and the strategy
+/// flips they cause) survive a restart without re-execution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeedbackState {
+    /// Store generation at export time (≥ 1 for any live store).
+    pub generation: u64,
+    /// Lifetime count of recorded query executions.
+    pub queries_recorded: u64,
+    /// Lifetime count of plan-cache invalidation flags.
+    pub invalidations_flagged: u64,
+    /// Per-fingerprint cardinality feedback, sorted by fingerprint for a
+    /// deterministic encoding.
+    pub queries: Vec<QueryFeedback>,
+    /// Per-UDF learned state, sorted by name.
+    pub udfs: Vec<UdfFeedbackState>,
+}
+
+impl FeedbackStore {
+    /// Exports the store's complete learned state in deterministic order.
+    pub fn export_state(&self) -> FeedbackState {
+        let queries_map = self.queries.read().expect("feedback store poisoned");
+        let mut queries: Vec<QueryFeedback> = queries_map.values().cloned().collect();
+        queries.sort_by_key(|q| q.fingerprint);
+        drop(queries_map);
+        let udfs = self
+            .udfs
+            .read()
+            .expect("feedback store poisoned")
+            .iter()
+            .map(|(name, e)| UdfFeedbackState {
+                name: name.clone(),
+                invocations: e.invocations,
+                total_nanos: e.total.as_nanos().min(u64::MAX as u128) as u64,
+                static_units: e.static_units,
+                flagged: e.flagged,
+                cache_hits: e.cache_hits,
+                dedup_flagged: e.dedup_flagged,
+                predicate_evaluated: e.predicate_evaluated,
+                predicate_passed: e.predicate_passed,
+            })
+            .collect();
+        FeedbackState {
+            generation: self.generation(),
+            queries_recorded: self.queries_recorded.load(Ordering::Relaxed),
+            invalidations_flagged: self.invalidations_flagged.load(Ordering::Relaxed),
+            queries,
+            udfs,
+        }
+    }
+
+    /// Replaces the store's learned state wholesale (the snapshot-restore path).
+    /// The imported generation is clamped to ≥ 1, the floor every live store starts
+    /// at, so plan-cache keys derived from it stay well-formed.
+    pub fn import_state(&self, state: FeedbackState) {
+        let mut queries = self.queries.write().expect("feedback store poisoned");
+        queries.clear();
+        for q in state.queries {
+            queries.insert(q.fingerprint, q);
+        }
+        drop(queries);
+        let mut udfs = self.udfs.write().expect("feedback store poisoned");
+        udfs.clear();
+        for u in state.udfs {
+            udfs.insert(
+                normalize_ident(&u.name),
+                UdfEntry {
+                    invocations: u.invocations,
+                    total: Duration::from_nanos(u.total_nanos),
+                    static_units: u.static_units,
+                    flagged: u.flagged,
+                    cache_hits: u.cache_hits,
+                    dedup_flagged: u.dedup_flagged,
+                    predicate_evaluated: u.predicate_evaluated,
+                    predicate_passed: u.predicate_passed,
+                },
+            );
+        }
+        drop(udfs);
+        self.generation
+            .store(state.generation.max(1), Ordering::Relaxed);
+        self.queries_recorded
+            .store(state.queries_recorded, Ordering::Relaxed);
+        self.invalidations_flagged
+            .store(state.invalidations_flagged, Ordering::Relaxed);
+    }
+}
+
 /// Measured mean wall-clock per invocation converted to abstract row-op units.
 fn learned_units(entry: &UdfEntry, row_op_seconds: f64) -> f64 {
     let mean_seconds = entry.total.as_secs_f64() / entry.invocations.max(1) as f64;
@@ -524,6 +638,61 @@ mod tests {
         store.record_udf_timing("g", 2, Duration::from_millis(8), None, 1e-6);
         let means = store.udf_mean_seconds();
         assert!((means["g"] - 4e-3).abs() < 1e-9, "{means:?}");
+    }
+
+    #[test]
+    fn exported_state_round_trips_into_a_fresh_store() {
+        let store = FeedbackStore::new();
+        let row_op = 1e-6;
+        store.record_query(42, 1000.0, 10);
+        store.record_query(7, 10.0, 9);
+        assert!(store.flag_for_invalidation(42, 100.0));
+        store.record_udf_timing(
+            "expensive",
+            10,
+            Duration::from_millis(10),
+            Some(5.0),
+            row_op,
+        );
+        store.record_udf_dedup("expensive", 0, 90);
+        store.record_udf_predicate("expensive", 100, 25);
+        let state = store.export_state();
+        assert!(state.generation > 1);
+        assert_eq!(state.queries.len(), 2);
+        assert_eq!(
+            state.queries[0].fingerprint, 7,
+            "queries export sorted by fingerprint"
+        );
+
+        let restored = FeedbackStore::new();
+        restored.import_state(state.clone());
+        assert_eq!(restored.generation(), store.generation());
+        assert_eq!(restored.stats(), store.stats());
+        assert_eq!(
+            restored.udf_cost_overrides(row_op),
+            store.udf_cost_overrides(row_op),
+            "learned costs survive without re-execution"
+        );
+        assert_eq!(restored.udf_dedup_fractions(), store.udf_dedup_fractions());
+        assert_eq!(restored.udf_selectivities(), store.udf_selectivities());
+        assert_eq!(restored.query_feedback(42), store.query_feedback(42));
+        // Export is deterministic: re-exporting unchanged state is identical.
+        assert_eq!(restored.export_state(), state);
+        // Trust flags survive: re-recording the same mispriced measurements must not
+        // re-bump the restored generation.
+        let generation = restored.generation();
+        restored.record_udf_timing(
+            "expensive",
+            10,
+            Duration::from_millis(10),
+            Some(5.0),
+            row_op,
+        );
+        assert_eq!(restored.generation(), generation);
+        // An empty/default state clamps the generation to the live floor.
+        let blank = FeedbackStore::new();
+        blank.import_state(FeedbackState::default());
+        assert_eq!(blank.generation(), 1);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub use cost::{
     estimate_cardinality, estimate_cost, estimate_per_node, estimate_with,
     estimated_udf_invocation_cost, CostEstimate, CostParams, NodeEstimate,
 };
-pub use feedback::{FeedbackConfig, FeedbackStats, FeedbackStore, QueryFeedback, UdfCostFeedback};
+pub use feedback::{
+    FeedbackConfig, FeedbackState, FeedbackStats, FeedbackStore, QueryFeedback, UdfCostFeedback,
+    UdfFeedbackState,
+};
 pub use pass::{
     OptimizeMode, OptimizeOutcome, OptimizerPass, PassContext, PassEffect, PassManager,
     PassManagerOptions, PassTrace, PipelineReport,

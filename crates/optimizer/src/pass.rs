@@ -1119,8 +1119,14 @@ mod tests {
             outcome.applied_rules, outcome.notes
         );
         assert!(text.contains("Join(left outer)"), "plan:\n{text}");
+        // The inlined body scans `orders` under a fresh invocation-unique alias so its
+        // columns can never collide with same-named outer columns.
         assert!(
-            text.contains("Aggregate group_by=[orders.custkey]"),
+            text.contains("Aggregate group_by=[__udf0_orders.custkey]"),
+            "plan:\n{text}"
+        );
+        assert!(
+            text.contains("Scan orders as __udf0_orders"),
             "plan:\n{text}"
         );
         assert!(text.contains("'Platinum'"), "plan:\n{text}");

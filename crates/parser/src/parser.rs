@@ -30,9 +30,43 @@ pub fn parse_statements(sql: &str) -> Result<Vec<SqlStatement>> {
         if parser.at_eof() {
             break;
         }
-        out.push(parser.parse_top_level()?);
+        let start = parser.pos;
+        let mut stmt = parser.parse_top_level()?;
+        // Stamp `CREATE FUNCTION` statements with replayable source text, whichever
+        // entry point parsed them: durable engines re-register functions by feeding
+        // this string back through the parser.
+        if let SqlStatement::CreateFunction(udf) = &mut stmt {
+            if udf.source.is_none() {
+                udf.source = Some(render_tokens(&parser.tokens[start..parser.pos]));
+            }
+        }
+        out.push(stmt);
     }
     Ok(out)
+}
+
+/// Renders a token slice back to parseable SQL (statement sources are recorded this
+/// way when the original text spans several statements). String literals re-escape
+/// embedded quotes; everything else round-trips through `Token`'s display form.
+fn render_tokens(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match token {
+            Token::Str(s) => {
+                out.push('\'');
+                out.push_str(&s.replace('\'', "''"));
+                out.push('\'');
+            }
+            other => {
+                use std::fmt::Write;
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
+    out
 }
 
 /// Parses a `SELECT` query.

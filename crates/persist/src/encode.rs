@@ -1,0 +1,372 @@
+//! Little-endian byte codec shared by snapshots and the WAL.
+//!
+//! The format is deliberately dumb: fixed-width little-endian integers, IEEE-754 bit
+//! patterns for floats (so `-0.0`, subnormals and every NaN payload round-trip
+//! byte-identically), and length-prefixed strings/sequences. Every read is
+//! bounds-checked and returns [`Error::Persist`] instead of panicking — the reader is
+//! the first thing hostile bytes meet, and the fuzz harness drives it directly.
+
+use decorr_common::{DataType, Error, Result, Row, Value};
+
+/// Append-only encoder over a byte vector.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the on-disk format is width-independent).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends an `Option` as a presence byte plus, when present, the payload.
+    pub fn put_option<T>(&mut self, v: Option<&T>, mut put: impl FnMut(&mut ByteWriter, &T)) {
+        match v {
+            None => self.put_bool(false),
+            Some(inner) => {
+                self.put_bool(true);
+                put(self, inner);
+            }
+        }
+    }
+
+    /// Appends one [`Value`] as a tag byte plus payload.
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.put_u8(0),
+            Value::Bool(b) => {
+                self.put_u8(1);
+                self.put_bool(*b);
+            }
+            Value::Int(i) => {
+                self.put_u8(2);
+                self.put_i64(*i);
+            }
+            Value::Float(f) => {
+                self.put_u8(3);
+                self.put_f64(*f);
+            }
+            Value::Str(s) => {
+                self.put_u8(4);
+                self.put_str(s);
+            }
+        }
+    }
+
+    /// Appends one [`Row`]: a value count plus each value.
+    pub fn put_row(&mut self, row: &Row) {
+        self.put_u32(row.values.len() as u32);
+        for v in &row.values {
+            self.put_value(v);
+        }
+    }
+
+    /// Appends a [`DataType`] tag byte.
+    pub fn put_data_type(&mut self, t: DataType) {
+        self.put_u8(match t {
+            DataType::Int => 0,
+            DataType::Float => 1,
+            DataType::Str => 2,
+            DataType::Bool => 3,
+            DataType::Null => 4,
+        });
+    }
+}
+
+/// Bounds-checked decoder over a byte slice. Every accessor returns
+/// [`Error::Persist`] on truncation or a malformed payload — never panics.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Persist(format!(
+                "truncated record: wanted {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; anything other than 0/1 is malformed.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::Persist(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn get_usize(&mut self) -> Result<usize> {
+        usize::try_from(self.get_u64()?)
+            .map_err(|_| Error::Persist("length does not fit in usize".into()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Persist("string is not valid UTF-8".into()))
+    }
+
+    /// Reads an `Option` written by [`ByteWriter::put_option`].
+    pub fn get_option<T>(
+        &mut self,
+        mut get: impl FnMut(&mut ByteReader<'a>) -> Result<T>,
+    ) -> Result<Option<T>> {
+        if self.get_bool()? {
+            Ok(Some(get(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads one [`Value`].
+    pub fn get_value(&mut self) -> Result<Value> {
+        match self.get_u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(self.get_bool()?)),
+            2 => Ok(Value::Int(self.get_i64()?)),
+            3 => Ok(Value::Float(self.get_f64()?)),
+            4 => Ok(Value::Str(self.get_str()?)),
+            tag => Err(Error::Persist(format!("invalid value tag {tag}"))),
+        }
+    }
+
+    /// Reads one [`Row`].
+    pub fn get_row(&mut self) -> Result<Row> {
+        let n = self.get_u32()? as usize;
+        // A value is at least one tag byte: cap the pre-allocation by what the
+        // buffer could possibly hold, so a corrupt length cannot balloon memory.
+        let mut values = Vec::with_capacity(n.min(self.remaining()));
+        for _ in 0..n {
+            values.push(self.get_value()?);
+        }
+        Ok(Row::new(values))
+    }
+
+    /// Reads a [`DataType`] tag byte.
+    pub fn get_data_type(&mut self) -> Result<DataType> {
+        match self.get_u8()? {
+            0 => Ok(DataType::Int),
+            1 => Ok(DataType::Float),
+            2 => Ok(DataType::Str),
+            3 => Ok(DataType::Bool),
+            4 => Ok(DataType::Null),
+            tag => Err(Error::Persist(format!("invalid data-type tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip_exactly() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i64(i64::MIN);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("héllo");
+        w.put_option(Some(&5i64), |w, v| w.put_i64(*v));
+        w.put_option::<i64>(None, |w, v| w.put_i64(*v));
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), i64::MIN);
+        // -0.0 and NaN survive as bit patterns.
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_option(|r| r.get_i64()).unwrap(), Some(5));
+        assert_eq!(r.get_option(|r| r.get_i64()).unwrap(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn values_and_rows_round_trip() {
+        let row = Row::new(vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Float(3.5),
+            Value::Str("x".into()),
+        ]);
+        let mut w = ByteWriter::new();
+        w.put_row(&row);
+        for t in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Bool,
+            DataType::Null,
+        ] {
+            w.put_data_type(t);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_row().unwrap(), row);
+        assert_eq!(r.get_data_type().unwrap(), DataType::Int);
+        assert_eq!(r.get_data_type().unwrap(), DataType::Float);
+        assert_eq!(r.get_data_type().unwrap(), DataType::Str);
+        assert_eq!(r.get_data_type().unwrap(), DataType::Bool);
+        assert_eq!(r.get_data_type().unwrap(), DataType::Null);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_named_errors_not_panics() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.get_u64().unwrap_err().kind(), "persist");
+        // Invalid tags.
+        assert_eq!(
+            ByteReader::new(&[9]).get_value().unwrap_err().kind(),
+            "persist"
+        );
+        assert_eq!(
+            ByteReader::new(&[9]).get_data_type().unwrap_err().kind(),
+            "persist"
+        );
+        assert_eq!(
+            ByteReader::new(&[2]).get_bool().unwrap_err().kind(),
+            "persist"
+        );
+        // A row claiming a billion values cannot out-allocate the buffer.
+        let mut w = ByteWriter::new();
+        w.put_u32(1_000_000_000);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            ByteReader::new(&bytes).get_row().unwrap_err().kind(),
+            "persist"
+        );
+        // Invalid UTF-8 in a string.
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_u8(0xFF);
+        w.put_u8(0xFE);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            ByteReader::new(&bytes).get_str().unwrap_err().kind(),
+            "persist"
+        );
+    }
+}

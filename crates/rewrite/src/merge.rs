@@ -6,7 +6,10 @@
 //! formal parameters to the actual-argument expressions (rule K6 + the bind extension of
 //! Section III).
 
+use std::collections::HashMap;
+
 use decorr_algebra::plan::ParamBinding;
+use decorr_algebra::visit::transform_plan_deep;
 use decorr_algebra::{ApplyKind, ProjectItem, RelExpr, ScalarExpr, SchemaProvider};
 use decorr_common::{Error, Result};
 use decorr_udf::{AggregateDefinition, FunctionRegistry};
@@ -150,11 +153,12 @@ fn replace_udf_calls(
                     state.merged_calls += 1;
                     state.aux_aggregates.extend(algebraized.aux_aggregates);
                     let alias = format!("__udf{}", state.counter);
+                    let body = uniquify_body_qualifiers(&algebraized.plan, state.counter);
                     state.counter += 1;
                     // Π_{retval as __udfN}(E_udf): keeps each invocation's output name
                     // unique when a query invokes several UDFs.
                     let right = RelExpr::Project {
-                        input: Box::new(algebraized.plan),
+                        input: Box::new(body),
                         items: vec![ProjectItem::aliased(
                             ScalarExpr::column("retval"),
                             alias.clone(),
@@ -224,6 +228,66 @@ fn replace_udf_calls(
         other => other.clone(),
     };
     Ok(rewritten)
+}
+
+/// Re-qualifies every relation introduced inside an inlined UDF body (base-table scans
+/// and ρ renames) with a fresh, invocation-unique alias, rewriting the body's own column
+/// references to match. Without this, a UDF body that reads the same table as the
+/// calling query emits colliding qualifiers: after Apply-bind removal substitutes the
+/// outer argument, the correlation predicate `t.k = :k` degenerates into the tautology
+/// `t.k = t.k` and the correlation is silently lost.
+fn uniquify_body_qualifiers(body: &RelExpr, invocation: usize) -> RelExpr {
+    let mut renames: HashMap<String, String> = HashMap::new();
+    transform_plan_deep(
+        body,
+        &mut |node| {
+            let qualifier = match &node {
+                RelExpr::Scan { table, alias } => {
+                    Some(alias.clone().unwrap_or_else(|| table.clone()))
+                }
+                RelExpr::Rename { alias, .. } => Some(alias.clone()),
+                _ => None,
+            };
+            if let Some(q) = qualifier {
+                renames
+                    .entry(q.clone())
+                    .or_insert_with(|| format!("__udf{invocation}_{q}"));
+            }
+            node
+        },
+        &mut |e| e,
+    );
+    if renames.is_empty() {
+        return body.clone();
+    }
+    transform_plan_deep(
+        body,
+        &mut |node| match node {
+            RelExpr::Scan { table, alias } => {
+                let q = alias.as_deref().unwrap_or(&table);
+                let fresh = renames.get(q).cloned().or(alias);
+                RelExpr::Scan {
+                    table,
+                    alias: fresh,
+                }
+            }
+            RelExpr::Rename { input, alias } => {
+                let fresh = renames.get(&alias).cloned().unwrap_or(alias);
+                RelExpr::Rename {
+                    input,
+                    alias: fresh,
+                }
+            }
+            other => other,
+        },
+        &mut |e| match e {
+            ScalarExpr::Column(c) => match c.qualifier.as_ref().and_then(|q| renames.get(q)) {
+                Some(fresh) => ScalarExpr::qualified_column(fresh.clone(), c.name.clone()),
+                None => ScalarExpr::Column(c),
+            },
+            other => other,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -309,5 +373,27 @@ mod tests {
         let text = explain(&outcome.plan);
         assert!(text.contains("retval as __udf0"));
         assert!(text.contains("retval as __udf1"));
+    }
+
+    #[test]
+    fn body_scans_of_the_calling_table_get_fresh_aliases() {
+        let mut registry = FunctionRegistry::new();
+        registry.register_udf(
+            parse_function(
+                "create function grp_total(int k) returns float as \
+                 begin return select sum(totalprice) from orders where custkey = :k; end",
+            )
+            .unwrap(),
+        );
+        let plan = parse_and_plan("select custkey, grp_total(custkey) from orders").unwrap();
+        let outcome = merge_udf_calls(&plan, &registry, &decorr_algebra::EmptyProvider).unwrap();
+        assert_eq!(outcome.merged_calls, 1);
+        let text = explain(&outcome.plan);
+        // The inlined body must scan `orders` under a fresh alias so its columns cannot
+        // collide with the outer query's `orders` columns once :k is substituted.
+        assert!(
+            text.contains("Scan orders as __udf0_orders"),
+            "body scan not re-aliased:\n{text}"
+        );
     }
 }

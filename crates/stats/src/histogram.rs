@@ -64,16 +64,72 @@ impl Histogram {
         })
     }
 
+    /// Reassembles a histogram from its raw parts (the inverse of
+    /// [`bounds`](Histogram::bounds)/[`counts`](Histogram::counts)/
+    /// [`distinct_counts`](Histogram::distinct_counts)/[`total`](Histogram::total) —
+    /// the decode half of snapshot persistence). Returns `None` when the parts
+    /// violate the structural invariants (`bounds.len() == counts.len() + 1`,
+    /// ascending finite bounds, per-bucket counts summing to `total`).
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        distinct: Vec<u64>,
+        total: u64,
+    ) -> Option<Histogram> {
+        if counts.is_empty() || bounds.len() != counts.len() + 1 || distinct.len() != counts.len() {
+            return None;
+        }
+        if bounds.iter().any(|b| !b.is_finite()) {
+            return None;
+        }
+        if bounds.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        if counts.iter().sum::<u64>() != total || total == 0 {
+            return None;
+        }
+        if counts.iter().zip(&distinct).any(|(&c, &d)| d == 0 || d > c) {
+            return None;
+        }
+        Some(Histogram {
+            bounds,
+            counts,
+            distinct,
+            total,
+        })
+    }
+
+    /// Bucket boundaries, ascending (`buckets() + 1` entries).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Sampled values per bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Distinct sampled values per bucket.
+    pub fn distinct_counts(&self) -> &[u64] {
+        &self.distinct
+    }
+
+    /// Total sampled values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
     /// Number of buckets.
     pub fn buckets(&self) -> usize {
         self.counts.len()
     }
 
-    /// Smallest and largest sampled values.
+    /// Smallest sampled value.
     pub fn min(&self) -> f64 {
         self.bounds[0]
     }
 
+    /// Largest sampled value.
     pub fn max(&self) -> f64 {
         self.bounds[self.bounds.len() - 1]
     }
@@ -204,6 +260,37 @@ mod tests {
         assert!(zero_fraction > 0.5, "eq(0) = {zero_fraction}");
         let tail = h.selectivity_interval(Some((50.0, false)), None);
         assert!((tail - 0.05).abs() < 0.03, "tail {tail}");
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_invalid_parts() {
+        let h = Histogram::equi_depth(uniform(1000), 32).unwrap();
+        let rebuilt = Histogram::from_parts(
+            h.bounds().to_vec(),
+            h.counts().to_vec(),
+            h.distinct_counts().to_vec(),
+            h.total(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, h, "decode(encode(h)) must be identity");
+        // Structural violations are rejected instead of producing a torn histogram.
+        assert!(Histogram::from_parts(vec![0.0], vec![], vec![], 0).is_none());
+        assert!(
+            Histogram::from_parts(vec![0.0, 1.0], vec![5], vec![2], 4).is_none(),
+            "counts must sum to total"
+        );
+        assert!(
+            Histogram::from_parts(vec![1.0, 0.0], vec![5], vec![2], 5).is_none(),
+            "bounds must ascend"
+        );
+        assert!(
+            Histogram::from_parts(vec![0.0, f64::NAN], vec![5], vec![2], 5).is_none(),
+            "bounds must be finite"
+        );
+        assert!(
+            Histogram::from_parts(vec![0.0, 1.0], vec![2], vec![5], 2).is_none(),
+            "distinct cannot exceed count"
+        );
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! measure (Moerkotte et al., "Preventing bad plans by bounding the impact of
 //! cardinality estimation errors").
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod histogram;
 
 pub use histogram::Histogram;
@@ -70,13 +73,15 @@ impl Default for AnalyzeConfig {
 /// Statistics for one column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStatistics {
+    /// Column name (unqualified).
     pub name: String,
     /// Exact distinct (non-NULL) value count, from the full-table pass.
     pub distinct_count: usize,
     /// Fraction of rows where the column is NULL.
     pub null_fraction: f64,
-    /// Smallest/largest sampled numeric value (`None` for non-numeric or all-NULL).
+    /// Smallest sampled numeric value (`None` for non-numeric or all-NULL).
     pub min: Option<f64>,
+    /// Largest sampled numeric value (`None` for non-numeric or all-NULL).
     pub max: Option<f64>,
     /// Most common sampled values with their frequency among *all* sampled rows
     /// (NULLs included in the denominator), descending. Empty without `ANALYZE`.
@@ -134,7 +139,9 @@ impl ColumnStatistics {
 /// Full statistics for one table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableStatistics {
+    /// Exact number of rows in the table when statistics were computed.
     pub row_count: usize,
+    /// Per-column statistics, in schema order.
     pub columns: Vec<ColumnStatistics>,
     /// True when histograms/MCVs were built by a sampled `ANALYZE`.
     pub analyzed: bool,
@@ -264,15 +271,18 @@ fn fill_sampled_column(
 /// Per-column summary of one table shard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardColumnSummary {
+    /// Column name (unqualified).
     pub name: String,
     /// Exact distinct (non-NULL) group keys in this shard — kept as the set (not a
     /// count) so table-level merges stay exact under arbitrary value overlap.
     pub distinct: HashSet<GroupKey>,
+    /// Exact number of NULL values in this shard's column.
     pub null_count: usize,
     /// Full-pass numeric min/max (`None` for non-numeric columns or no numeric
     /// values). Unlike the sampled min/max in [`ColumnStatistics`], these bound
     /// *every* row of the shard, so they are safe to prune scans with.
     pub min: Option<f64>,
+    /// Full-pass numeric maximum; see [`min`](ShardColumnSummary::min).
     pub max: Option<f64>,
 }
 
@@ -286,7 +296,9 @@ pub struct ShardColumnSummary {
 /// before building table-level MCVs and histograms.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardStatistics {
+    /// Exact number of rows in the shard when the summary was computed.
     pub row_count: usize,
+    /// Per-column summaries, in schema order.
     pub columns: Vec<ShardColumnSummary>,
     /// Reservoir sample of this shard's rows (empty without ANALYZE).
     pub sample: Vec<Row>,

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use decorr_common::{normalize_ident, Error, Result, Row, Schema};
 
+use crate::shard::ShardPolicy;
 use crate::table::Table;
 
 /// The database catalog. Owns every table; the executor reads through shared references
@@ -28,9 +29,13 @@ pub struct Catalog {
     /// Shard fanout newly created tables get (0/1 = single-shard, the pre-shard
     /// layout). Configured through `Engine::builder().shard_count(..)`.
     default_shard_count: usize,
+    /// Row-routing policy newly created tables get. Configured through
+    /// `Engine::builder().default_placement(..)`; defaults to `AppendToLast`.
+    default_placement: ShardPolicy,
 }
 
 impl Catalog {
+    /// An empty catalog with single-shard `AppendToLast` defaults.
     pub fn new() -> Catalog {
         Catalog::default()
     }
@@ -46,6 +51,49 @@ impl Catalog {
         self.default_shard_count.max(1)
     }
 
+    /// Sets the row-routing policy future [`create_table`](Catalog::create_table)
+    /// calls use (existing tables keep theirs).
+    pub fn set_default_placement(&mut self, policy: ShardPolicy) {
+        self.default_placement = policy;
+    }
+
+    /// The row-routing policy newly created tables get.
+    pub fn default_placement(&self) -> ShardPolicy {
+        self.default_placement
+    }
+
+    /// Switches one table's row-routing policy, re-routing its existing rows (see
+    /// [`Table::set_placement`]). Bumps the DDL generation: `Hash` scan order differs
+    /// from insertion order, so cached plans and their cost-based shard-pruning
+    /// choices must re-optimize against the new layout.
+    pub fn set_table_placement(&mut self, name: &str, policy: ShardPolicy) -> Result<()> {
+        self.table_mut(name)?.set_placement(policy)?;
+        self.ddl_generation += 1;
+        Ok(())
+    }
+
+    /// Installs a fully-built table (the snapshot-restore path). Fails if a table
+    /// with the same name already exists. Does *not* bump generations — restore sets
+    /// them wholesale via [`set_generations`](Catalog::set_generations).
+    pub fn restore_table(&mut self, table: Table) -> Result<()> {
+        let key = table.name().to_string();
+        if self.tables.contains_key(&key) {
+            return Err(Error::Persist(format!(
+                "restore: table '{key}' already exists"
+            )));
+        }
+        self.tables.insert(key, Arc::new(table));
+        Ok(())
+    }
+
+    /// Overwrites both generation counters — the snapshot-restore path, so counters
+    /// (and everything keyed on them, like plan-cache entries) continue exactly where
+    /// the checkpointed engine left off.
+    pub fn set_generations(&mut self, ddl: u64, data: u64) {
+        self.ddl_generation = ddl;
+        self.data_generation = data;
+    }
+
     /// Creates a table. Fails if a table with the same name already exists.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
         let key = normalize_ident(name);
@@ -57,7 +105,7 @@ impl Catalog {
             key.clone(),
             schema,
             self.default_shard_count(),
-            crate::shard::ShardPolicy::AppendToLast,
+            self.default_placement,
         );
         self.tables.insert(key, Arc::new(table));
         Ok(())
@@ -88,6 +136,7 @@ impl Catalog {
         self.data_generation
     }
 
+    /// Shared access to a table by (case-insensitive) name.
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(&normalize_ident(name))
@@ -113,6 +162,7 @@ impl Catalog {
             .ok_or_else(|| Error::Catalog(format!("unknown table '{name}'")))
     }
 
+    /// True when a table with the given (case-insensitive) name exists.
     pub fn has_table(&self, name: &str) -> bool {
         self.tables.contains_key(&normalize_ident(name))
     }
@@ -261,6 +311,52 @@ mod tests {
         c.insert_rows("sharded", rows).unwrap();
         assert_eq!(c.table("single").unwrap().shard_count(), 1);
         assert_eq!(c.table("sharded").unwrap().shard_count(), 4);
+    }
+
+    #[test]
+    fn placement_defaults_and_per_table_switch() {
+        use crate::shard::ShardPolicy;
+        let mut c = Catalog::new();
+        assert_eq!(c.default_placement(), ShardPolicy::AppendToLast);
+        c.set_default_shard_count(4);
+        c.set_default_placement(ShardPolicy::Hash);
+        c.create_table("hashed", schema()).unwrap();
+        assert_eq!(c.table("hashed").unwrap().shard_policy(), ShardPolicy::Hash);
+        assert_eq!(
+            c.table("hashed").unwrap().shard_count(),
+            4,
+            "hash placement opens all shards up front"
+        );
+        // Per-table switch bumps the DDL generation (plans must re-optimize).
+        c.set_default_placement(ShardPolicy::AppendToLast);
+        c.create_table("t", schema()).unwrap();
+        let rows: Vec<Row> = (0..100)
+            .map(|i| Row::new(vec![i.into(), "x".into()]))
+            .collect();
+        c.insert_rows("t", rows).unwrap();
+        let ddl = c.ddl_generation();
+        c.set_table_placement("t", ShardPolicy::Hash).unwrap();
+        assert_eq!(c.ddl_generation(), ddl + 1);
+        assert_eq!(c.table("t").unwrap().shard_policy(), ShardPolicy::Hash);
+        assert_eq!(c.table("t").unwrap().row_count(), 100);
+        assert_eq!(
+            c.set_table_placement("nosuch", ShardPolicy::Hash)
+                .unwrap_err()
+                .kind(),
+            "catalog"
+        );
+    }
+
+    #[test]
+    fn generations_can_be_restored_wholesale() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        c.set_generations(41, 17);
+        assert_eq!(c.ddl_generation(), 41);
+        assert_eq!(c.data_generation(), 17);
+        // Restore refuses to clobber an existing table.
+        let dup = Table::new("t", schema());
+        assert_eq!(c.restore_table(dup).unwrap_err().kind(), "persist");
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub struct HashIndex {
 }
 
 impl HashIndex {
+    /// An empty index over the named column at position `column_idx` in the schema.
     pub fn new(column_name: &str, column_idx: usize) -> HashIndex {
         HashIndex {
             column_name: column_name.to_string(),
@@ -29,10 +30,12 @@ impl HashIndex {
         }
     }
 
+    /// The indexed column's (normalized) name.
     pub fn column_name(&self) -> &str {
         &self.column_name
     }
 
+    /// The indexed column's position in the table schema.
     pub fn column_idx(&self) -> usize {
         self.column_idx
     }
@@ -65,6 +68,7 @@ impl HashIndex {
             .unwrap_or(&[])
     }
 
+    /// Removes every posting (used by `truncate` and placement changes).
     pub fn clear(&mut self) {
         self.map.clear();
     }

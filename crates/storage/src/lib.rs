@@ -6,6 +6,9 @@
 //! baseline (the per-invocation lookups inside UDF bodies) and for index-nested-loop
 //! joins, plus simple per-table statistics for the cost model.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod catalog;
 pub mod index;
 pub mod shard;

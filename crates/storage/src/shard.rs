@@ -24,12 +24,13 @@ use decorr_common::{Row, Schema};
 use crate::stats::{AnalyzeConfig, ShardStatistics};
 
 /// How a table routes inserted rows onto its shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ShardPolicy {
     /// Rows append to the last open shard; new shards open as the table grows (up to
     /// the configured fanout). Shards are contiguous insertion-order segments, so the
     /// global scan order equals insertion order at *every* fanout — the invariant the
     /// byte-identity contract across shard counts rests on.
+    #[default]
     AppendToLast,
     /// Rows route by a hash of their values; all shards exist up front. Scan order
     /// differs from insertion order, so this policy is for workloads that never
@@ -60,18 +61,31 @@ impl Clone for Shard {
 }
 
 impl Shard {
+    /// An empty shard with no cached summary.
     pub fn new() -> Shard {
         Shard::default()
     }
 
+    /// Rebuilds a shard around an exact row vector — the snapshot-restore
+    /// constructor. The summary starts dirty; statistics recompute lazily.
+    pub fn from_rows(rows: Vec<Row>) -> Shard {
+        Shard {
+            rows,
+            summary: RwLock::new(None),
+        }
+    }
+
+    /// The shard's rows, in insertion order.
     pub fn rows(&self) -> &[Row] {
         &self.rows
     }
 
+    /// Number of rows in the shard.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
+    /// True when the shard holds no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
@@ -149,10 +163,12 @@ impl<'a> RowsView<'a> {
         RowsView { shards, len }
     }
 
+    /// Total number of rows across all shards.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// True when the view covers no rows.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -217,6 +233,7 @@ pub struct ShardSet {
 }
 
 impl ShardSet {
+    /// Wraps a set of shard handles, computing the prefix offsets.
     pub fn new(shards: Vec<Arc<Shard>>) -> ShardSet {
         let mut offsets = Vec::with_capacity(shards.len() + 1);
         let mut total = 0usize;
@@ -228,18 +245,22 @@ impl ShardSet {
         ShardSet { shards, offsets }
     }
 
+    /// Total number of rows across all shards.
     pub fn len(&self) -> usize {
         *self.offsets.last().unwrap_or(&0)
     }
 
+    /// True when the set covers no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// Number of shards in the set.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
+    /// The underlying shard handles.
     pub fn shards(&self) -> &[Arc<Shard>] {
         &self.shards
     }

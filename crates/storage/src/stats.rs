@@ -61,11 +61,18 @@ impl TableStats {
         }
     }
 
+    /// Rewraps a statistics document — the snapshot-restore constructor, the inverse
+    /// of persisting [`inner`](TableStats::inner).
+    pub fn from_statistics(inner: TableStatistics) -> TableStats {
+        TableStats { inner }
+    }
+
     /// The underlying statistics document.
     pub fn inner(&self) -> &TableStatistics {
         &self.inner
     }
 
+    /// Number of rows in the table when statistics were computed.
     pub fn row_count(&self) -> usize {
         self.inner.row_count
     }

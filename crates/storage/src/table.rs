@@ -129,12 +129,111 @@ impl Table {
         }
     }
 
+    /// The (normalized) table name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// The table's schema, with columns qualified by the table name.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The configured shard fanout (≥ 1), whether or not every shard is open yet.
+    pub fn shard_target(&self) -> usize {
+        self.shard_target
+    }
+
+    /// The row-routing policy in effect.
+    pub fn shard_policy(&self) -> ShardPolicy {
+        self.shard_policy
+    }
+
+    /// The remembered `ANALYZE` configuration (`None` until the first ANALYZE).
+    pub fn analyze_config(&self) -> Option<&AnalyzeConfig> {
+        self.analyze_config.as_ref()
+    }
+
+    /// Switches the row-routing policy, re-routing every existing row into fresh
+    /// shards under the new policy and rebuilding indexes incrementally. A no-op when
+    /// the policy is unchanged. Bumps [`data_version`](Table::data_version) (scan
+    /// order changes under `Hash`, so result caches keyed on the old layout must not
+    /// serve) and dirties cached statistics.
+    pub fn set_placement(&mut self, policy: ShardPolicy) -> Result<()> {
+        if policy == self.shard_policy {
+            return Ok(());
+        }
+        let rows = self.scan().collect_rows();
+        self.shard_policy = policy;
+        self.shards = Table::initial_shards(self.shard_target, policy);
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+        self.total_rows = 0;
+        let target = rows.len().div_ceil(self.shard_target).max(1);
+        for row in rows {
+            self.insert_with_fill_target(row, target)?;
+        }
+        self.data_version += 1;
+        self.mark_stats_dirty();
+        Ok(())
+    }
+
+    /// Rebuilds a table from its persisted parts — the snapshot-restore constructor.
+    /// `shard_rows` must match the persisted shard layout exactly (scan order is the
+    /// concatenation), `indexed_columns` are rebuilt from the restored rows, and
+    /// `stats`, when present, re-seeds the merged statistics cache so the first
+    /// optimize after a cold open needs no rescan. Rows are arity-checked against the
+    /// schema; deeper corruption is the snapshot checksum's job.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        name: impl Into<String>,
+        schema: Schema,
+        shard_target: usize,
+        policy: ShardPolicy,
+        shard_rows: Vec<Vec<Row>>,
+        indexed_columns: &[String],
+        analyze_config: Option<AnalyzeConfig>,
+        stats: Option<TableStats>,
+        data_version: u64,
+    ) -> Result<Table> {
+        let name = normalize_ident(&name.into());
+        let schema = schema.with_qualifier(&name);
+        let width = schema.len();
+        for rows in &shard_rows {
+            if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+                return Err(Error::Persist(format!(
+                    "table '{}': restored row has {} values, schema has {}",
+                    name,
+                    bad.len(),
+                    width
+                )));
+            }
+        }
+        let total_rows = shard_rows.iter().map(Vec::len).sum();
+        let shards: Vec<Arc<Shard>> = shard_rows
+            .into_iter()
+            .map(|rows| Arc::new(Shard::from_rows(rows)))
+            .collect();
+        let mut table = Table {
+            name,
+            schema,
+            shards,
+            shard_target: shard_target.max(1),
+            shard_policy: policy,
+            total_rows,
+            indexes: HashMap::new(),
+            cached_stats: RwLock::new(stats.map(Arc::new)),
+            analyze_config,
+            stats_recomputes: AtomicU64::new(0),
+            shard_stat_recomputes: AtomicU64::new(0),
+            index_rebuilds: AtomicU64::new(0),
+            data_version,
+        };
+        for column in indexed_columns {
+            table.create_index(column)?;
+        }
+        Ok(table)
     }
 
     /// A borrowed, shard-iterating view over the table's rows — the scan API.
@@ -206,6 +305,7 @@ impl Table {
         kept as f64 / self.total_rows as f64
     }
 
+    /// Total number of rows across all shards.
     pub fn row_count(&self) -> usize {
         self.total_rows
     }
@@ -763,6 +863,114 @@ mod tests {
         assert_eq!(t.data_version(), 3);
         // Clones carry the version forward.
         assert_eq!(t.clone().data_version(), 3);
+    }
+
+    #[test]
+    fn set_placement_reroutes_rows_and_maintains_indexes() {
+        let mut t = sharded_orders(4);
+        t.insert_all(order_rows(400)).unwrap();
+        t.create_index("custkey").unwrap();
+        let version_before = t.data_version();
+        t.set_placement(ShardPolicy::Hash).unwrap();
+        assert_eq!(t.shard_policy(), ShardPolicy::Hash);
+        assert_eq!(t.shard_count(), 4, "hash placement opens every shard");
+        assert_eq!(t.row_count(), 400);
+        assert!(t.data_version() > version_before);
+        // Same rows, different order: compare as sorted multisets.
+        let mut keys: Vec<i64> = t
+            .scan()
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..400).collect::<Vec<_>>());
+        // Indexes were rebuilt against the new locators.
+        let hits = t.index_lookup("custkey", &Value::Int(3)).unwrap();
+        assert_eq!(hits.len(), 40);
+        assert!(hits.iter().all(|r| r.get(1) == &Value::Int(3)));
+        // Routing matches a table built under Hash from scratch.
+        let mut fresh = Table::with_shards(
+            "orders",
+            Schema::new(vec![
+                Column::new("orderkey", DataType::Int).not_null(),
+                Column::new("custkey", DataType::Int),
+                Column::new("totalprice", DataType::Float),
+            ]),
+            4,
+            ShardPolicy::Hash,
+        );
+        fresh.insert_all(order_rows(400)).unwrap();
+        let sizes = |t: &Table| t.shards().iter().map(|s| s.len()).collect::<Vec<_>>();
+        assert_eq!(sizes(&t), sizes(&fresh));
+        // Switching to the same policy is a no-op.
+        let v = t.data_version();
+        t.set_placement(ShardPolicy::Hash).unwrap();
+        assert_eq!(t.data_version(), v);
+    }
+
+    #[test]
+    fn restore_rebuilds_exact_layout_and_indexes() {
+        let mut original = sharded_orders(4);
+        original.insert_all(order_rows(1000)).unwrap();
+        original.create_index("custkey").unwrap();
+        let analyzed = original.analyze(AnalyzeConfig::default());
+        let shard_rows: Vec<Vec<Row>> = original
+            .shards()
+            .iter()
+            .map(|s| s.rows().to_vec())
+            .collect();
+        let restored = Table::restore(
+            "orders",
+            Schema::new(vec![
+                Column::new("orderkey", DataType::Int).not_null(),
+                Column::new("custkey", DataType::Int),
+                Column::new("totalprice", DataType::Float),
+            ]),
+            original.shard_target(),
+            original.shard_policy(),
+            shard_rows,
+            &original.indexed_columns(),
+            original.analyze_config().cloned(),
+            Some(analyzed.as_ref().clone()),
+            original.data_version(),
+        )
+        .unwrap();
+        assert_eq!(restored.row_count(), 1000);
+        assert_eq!(restored.shard_count(), original.shard_count());
+        assert_eq!(restored.data_version(), original.data_version());
+        assert_eq!(
+            restored.scan().collect_rows(),
+            original.scan().collect_rows(),
+            "scan order is byte-identical"
+        );
+        assert_eq!(
+            restored
+                .index_lookup("custkey", &Value::Int(3))
+                .unwrap()
+                .len(),
+            100
+        );
+        // The restored stats cache serves without a rescan.
+        assert_eq!(restored.stats_recomputes(), 0);
+        let stats = restored.stats();
+        assert!(stats.is_analyzed());
+        assert_eq!(stats.row_count(), 1000);
+        assert_eq!(restored.stats_recomputes(), 0, "cache restored, no rescan");
+        assert!(restored.is_analyzed());
+        // Arity mismatches are rejected with a persist error, not a panic.
+        let err = Table::restore(
+            "bad",
+            Schema::new(vec![Column::new("k", DataType::Int)]),
+            1,
+            ShardPolicy::AppendToLast,
+            vec![vec![Row::new(vec![1.into(), 2.into()])]],
+            &[],
+            None,
+            None,
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "persist");
     }
 
     #[test]

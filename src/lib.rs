@@ -53,6 +53,7 @@ pub use decorr_engine as engine;
 pub use decorr_exec as exec;
 pub use decorr_optimizer as optimizer;
 pub use decorr_parser as parser;
+pub use decorr_persist as persist;
 pub use decorr_rewrite as rewrite;
 pub use decorr_stats as stats;
 pub use decorr_storage as storage;
@@ -65,4 +66,6 @@ pub mod prelude {
     pub use decorr_engine::{
         Database, Engine, EngineBuilder, ExecutionStrategy, QueryOptions, QueryResult, Session,
     };
+    pub use decorr_persist::PersistStats;
+    pub use decorr_storage::ShardPolicy;
 }

@@ -1,0 +1,342 @@
+//! Seeded grammar-based fuzzing of the whole pipeline — parser → optimizer →
+//! executor → snapshot/restore — plus the durability layer's hostile-bytes front
+//! door. Deterministic (in-repo `SmallRng`, fixed base seed) so a failure is a
+//! replayable regression, not a flake. `DECORR_FUZZ_ITERS` scales the iteration
+//! count (default 60; CI's fuzz-smoke step runs 500).
+//!
+//! Three properties, asserted every iteration:
+//!  1. nothing panics — generated statements may fail, but as `Err`, and serial
+//!     and parallel engines must fail identically;
+//!  2. serial and parallel executions agree byte-for-byte on every query;
+//!  3. an engine checkpointed (or WAL-recovered), dropped and reopened answers
+//!     the same queries byte-identically.
+
+use std::path::{Path, PathBuf};
+
+use udf_decorrelation::common::{DataType, SmallRng};
+use udf_decorrelation::engine::{Engine, Session};
+use udf_decorrelation::persist::Snapshot;
+
+fn fuzz_iters() -> u64 {
+    std::env::var("DECORR_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+/// A unique throwaway data directory, removed when dropped.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "decorr_fuzz_{}_{tag}_{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The generated schema the query grammar draws from.
+struct FuzzTable {
+    name: String,
+    /// (column name, type); `c0` is always a non-null int.
+    columns: Vec<(String, DataType)>,
+    /// Name of a registered UDF keyed on `c0`, if one was generated.
+    udf: Option<String>,
+}
+
+impl FuzzTable {
+    fn columns_of(&self, ty: DataType) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+fn gen_literal(rng: &mut SmallRng, ty: DataType) -> String {
+    match ty {
+        DataType::Int => rng.gen_range_i64(-100, 100).to_string(),
+        DataType::Float => match rng.gen_range_usize(0, 8) {
+            0 => "-0.0".to_string(),
+            1 => "0.0".to_string(),
+            _ => format!("{:.3}", rng.gen_range_f64(-1e4, 1e4)),
+        },
+        _ => {
+            let len = rng.gen_range_usize(0, 5);
+            let s: String = (0..len)
+                .map(|_| (b'a' + rng.gen_range_usize(0, 26) as u8) as char)
+                .collect();
+            format!("'{s}'")
+        }
+    }
+}
+
+/// Generates the DDL/DML statement stream for one iteration. Every statement is a
+/// plain SQL string so the identical stream drives every engine under test.
+fn gen_statements(rng: &mut SmallRng) -> (Vec<FuzzTable>, Vec<String>) {
+    let mut tables = vec![];
+    let mut statements = vec![];
+    let n_tables = rng.gen_range_usize(1, 3);
+    for t in 0..n_tables {
+        let mut columns = vec![("c0".to_string(), DataType::Int)];
+        let mut decls = vec!["c0 int not null".to_string()];
+        for c in 1..=rng.gen_range_usize(1, 4) {
+            let (ty, decl) = match rng.gen_range_usize(0, 3) {
+                0 => (DataType::Int, "int"),
+                1 => (DataType::Float, "float"),
+                _ => (DataType::Str, "varchar(8)"),
+            };
+            columns.push((format!("c{c}"), ty));
+            decls.push(format!("c{c} {decl}"));
+        }
+        let name = format!("t{t}");
+        statements.push(format!("create table {name}({})", decls.join(", ")));
+        // Insert batches; c0 values overlap across tables so joins hit.
+        for _ in 0..rng.gen_range_usize(1, 4) {
+            let rows: Vec<String> = (0..rng.gen_range_usize(1, 16))
+                .map(|_| {
+                    let vals: Vec<String> = columns
+                        .iter()
+                        .map(|(_, ty)| gen_literal(rng, *ty))
+                        .collect();
+                    format!("({})", vals.join(", "))
+                })
+                .collect();
+            statements.push(format!("insert into {name} values {}", rows.join(", ")));
+        }
+        if rng.gen_bool() {
+            statements.push(format!("create index on {name}(c0)"));
+        }
+        let mut table = FuzzTable {
+            name,
+            columns,
+            udf: None,
+        };
+        // A correlated-aggregate UDF over this table, when it has a float column.
+        if let Some(fcol) = table.columns_of(DataType::Float).first() {
+            if rng.gen_bool() {
+                let fname = format!("f{t}");
+                statements.push(format!(
+                    "create function {fname}(int k) returns float as \
+                     begin return select sum({fcol}) from {} where c0 = :k; end",
+                    table.name,
+                ));
+                table.udf = Some(fname);
+            }
+        }
+        tables.push(table);
+    }
+    if rng.gen_bool() {
+        statements.push("analyze".to_string());
+    }
+    (tables, statements)
+}
+
+/// Generates the query battery for one iteration.
+fn gen_queries(rng: &mut SmallRng, tables: &[FuzzTable]) -> Vec<String> {
+    let mut queries = vec![];
+    for _ in 0..rng.gen_range_usize(4, 9) {
+        let table = &tables[rng.gen_range_usize(0, tables.len())];
+        let sql = match rng.gen_range_usize(0, 5) {
+            // Projection, optionally filtered.
+            0 => {
+                let n = rng.gen_range_usize(1, table.columns.len() + 1);
+                let cols: Vec<&str> = table
+                    .columns
+                    .iter()
+                    .take(n)
+                    .map(|(c, _)| c.as_str())
+                    .collect();
+                let mut sql = format!("select {} from {}", cols.join(", "), table.name);
+                if rng.gen_bool() {
+                    let (col, ty) = &table.columns[rng.gen_range_usize(0, table.columns.len())];
+                    let op = ["=", ">=", "<=", "<>"][rng.gen_range_usize(0, 4)];
+                    sql.push_str(&format!(" where {col} {op} {}", gen_literal(rng, *ty)));
+                }
+                sql
+            }
+            // Star scan with a range predicate on the key.
+            1 => format!(
+                "select * from {} where c0 >= {} and c0 <= {}",
+                table.name,
+                rng.gen_range_i64(-100, 0),
+                rng.gen_range_i64(0, 100),
+            ),
+            // Grouped aggregate over a float column, else a count-ish fallback.
+            2 => match table.columns_of(DataType::Float).first() {
+                Some(fcol) => format!(
+                    "select c0, sum({fcol}) as s from {} group by c0",
+                    table.name
+                ),
+                None => format!("select c0 from {} where c0 <> 0", table.name),
+            },
+            // Self/cross join on the shared key domain.
+            3 => {
+                let right = &tables[rng.gen_range_usize(0, tables.len())];
+                format!(
+                    "select a.c0 from {} a join {} b on a.c0 = b.c0",
+                    table.name, right.name,
+                )
+            }
+            // UDF invocation when one exists — the decorrelation front door.
+            _ => match &table.udf {
+                Some(f) => format!("select c0, {f}(c0) as v from {}", table.name),
+                None => format!("select c0 from {}", table.name),
+            },
+        };
+        queries.push(sql);
+    }
+    queries
+}
+
+/// Executes one statement, folding success and failure into a comparable outcome.
+fn apply(session: &Session, sql: &str) -> String {
+    match session.execute(sql) {
+        Ok(_) => "ok".to_string(),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// Runs one query verbatim (row order included), folding errors into the outcome.
+fn run(session: &Session, sql: &str) -> String {
+    match session.query(sql) {
+        Ok(r) => {
+            let rows: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+            rows.join("|")
+        }
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// The pipeline property: for every seed, serial, parallel and restored engines
+/// agree byte-for-byte on every generated statement and query outcome.
+#[test]
+fn generated_workloads_agree_serial_parallel_and_restored() {
+    let iters = fuzz_iters();
+    for i in 0..iters {
+        let mut rng = SmallRng::seed_from_u64(0xF0CC_5EED ^ (i.wrapping_mul(0x9E37_79B9)));
+        let (tables, statements) = gen_statements(&mut rng);
+        let queries = gen_queries(&mut rng, &tables);
+        let shards = rng.gen_range_usize(1, 9);
+        let dir = TempDir::new(&format!("iter{i}"));
+
+        let serial = Engine::builder()
+            .shard_count(shards)
+            .parallelism(1)
+            .data_dir(dir.path())
+            .build();
+        let parallel = Engine::builder().shard_count(shards).parallelism(4).build();
+        let serial_session = serial.session();
+        let parallel_session = parallel.session();
+        for sql in &statements {
+            let a = apply(&serial_session, sql);
+            let b = apply(&parallel_session, sql);
+            assert_eq!(a, b, "iter {i}: statement outcome diverged for `{sql}`");
+        }
+        let mut expected = vec![];
+        for sql in &queries {
+            let a = run(&serial_session, sql);
+            let b = run(&parallel_session, sql);
+            assert_eq!(
+                a,
+                b,
+                "iter {i}: serial/parallel diverged for `{sql}`\nworkload:\n  {}",
+                statements.join(";\n  ")
+            );
+            expected.push(a);
+        }
+        // Half the iterations checkpoint (restore from snapshot), half rely on WAL
+        // replay alone — both recovery paths stay fuzzed.
+        if rng.gen_bool() {
+            serial.checkpoint().unwrap();
+        }
+        drop(serial);
+
+        let restored = Engine::builder()
+            .parallelism(1)
+            .data_dir(dir.path())
+            .build();
+        let restored_session = restored.session();
+        for (sql, want) in queries.iter().zip(&expected) {
+            let got = run(&restored_session, sql);
+            assert_eq!(&got, want, "iter {i}: restored engine diverged for `{sql}`");
+        }
+    }
+}
+
+/// The front-door property: hostile bytes — random mutations and truncations of a
+/// real snapshot, and raw garbage in both durability files — produce `Ok`/`Err`,
+/// never a panic, and never a successfully "restored" corrupt engine.
+#[test]
+fn hostile_bytes_never_panic_the_durability_front_door() {
+    let dir = TempDir::new("hostile");
+    {
+        let engine = Engine::builder().data_dir(dir.path()).build();
+        engine
+            .session()
+            .execute(
+                "create table t(x int not null, y float, z varchar(8)); \
+                 insert into t values (1, 1.5, 'ab'), (2, -0.0, ''), (3, 9.75, 'xyz')",
+            )
+            .unwrap();
+        engine.checkpoint().unwrap();
+    }
+    let snapshot_path = dir.path().join(udf_decorrelation::persist::SNAPSHOT_FILE);
+    let wal_path = dir.path().join(udf_decorrelation::persist::WAL_FILE);
+    let good = std::fs::read(&snapshot_path).unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(0xBAD_B17E5);
+    let iters = fuzz_iters();
+    for i in 0..iters {
+        // Mutate: up to 4 byte-flips plus an optional truncation.
+        let mut bytes = good.clone();
+        for _ in 0..rng.gen_range_usize(1, 5) {
+            let pos = rng.gen_range_usize(0, bytes.len());
+            bytes[pos] ^= (rng.next_u64() % 255 + 1) as u8;
+        }
+        if rng.gen_bool() {
+            bytes.truncate(rng.gen_range_usize(0, bytes.len() + 1));
+        }
+        // Direct decode of hostile bytes: must return, not panic.
+        let _ = Snapshot::decode(&bytes);
+        // Full open with the hostile snapshot (and, sometimes, garbage WAL).
+        std::fs::write(&snapshot_path, &bytes).unwrap();
+        if rng.gen_bool() {
+            let garbage: Vec<u8> = (0..rng.gen_range_usize(0, 128))
+                .map(|_| (rng.next_u64() & 0xFF) as u8)
+                .collect();
+            std::fs::write(&wal_path, &garbage).unwrap();
+        } else {
+            let _ = std::fs::remove_file(&wal_path);
+        }
+        match Engine::builder().data_dir(dir.path()).try_build() {
+            // A mutated-but-accepted snapshot must still be the original content
+            // (e.g. a flip confined to bytes a truncation then removed is fine
+            // only if the checksum still held — verify by querying).
+            Ok(engine) => {
+                let r = engine.session().query("select x from t").unwrap();
+                assert_eq!(r.rows.len(), 3, "iter {i}: corrupt state slipped through");
+            }
+            Err(e) => assert_eq!(e.kind(), "persist", "iter {i}: unexpected error kind"),
+        }
+    }
+    // Leave the good bytes behind so the TempDir drop isn't hiding a poisoned dir.
+    std::fs::write(&snapshot_path, &good).unwrap();
+    let _ = std::fs::remove_file(&wal_path);
+    Engine::builder().data_dir(dir.path()).try_build().unwrap();
+}

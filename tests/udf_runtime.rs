@@ -367,3 +367,52 @@ fn two_table_udf_memo_survives_inserts_into_unrelated_table() {
         "max(rate) for group 0 changed from 1.0 to 100.0"
     );
 }
+
+/// Regression: a UDF whose body reads the *same table* as the calling query must
+/// decorrelate correctly. The inlined body's scan used to keep the outer query's
+/// qualifier, so the correlation predicate `t.k = :k` collapsed into the tautology
+/// `t.k = t.k` after parameter substitution and every row silently received the
+/// whole-table aggregate.
+#[test]
+fn self_table_udf_decorrelates_to_the_same_answer_as_iteration() {
+    let setup = |db: &mut Database| {
+        db.execute("create table t0(c0 int not null, c1 float)")
+            .unwrap();
+        db.execute("insert into t0 values (1, 10.0), (1, 5.0), (2, 7.0), (3, 100.0)")
+            .unwrap();
+        db.register_function(
+            "create function f0(int k) returns float as \
+             begin return select sum(c1) from t0 where c0 = :k; end",
+        )
+        .unwrap();
+    };
+    let query = "select c0, f0(c0) as v from t0";
+
+    let mut iterative = Database::new();
+    setup(&mut iterative);
+    let baseline = iterative
+        .query_with(query, &QueryOptions::iterative())
+        .unwrap();
+
+    let mut decorrelated = Database::new();
+    setup(&mut decorrelated);
+    let result = decorrelated
+        .query_with(query, &QueryOptions::decorrelated())
+        .unwrap();
+    assert_eq!(
+        baseline.rows, result.rows,
+        "decorrelated plan must match per-key iterative results"
+    );
+    // Groups 1/2/3 sum to 15, 7 and 100 — distinct values prove per-key correlation.
+    assert_eq!(result.rows.len(), 4);
+    let distinct: std::collections::HashSet<String> = result
+        .rows
+        .iter()
+        .map(|r| format!("{:?}", r.get(1)))
+        .collect();
+    assert_eq!(
+        distinct.len(),
+        3,
+        "every row got the same (whole-table) sum"
+    );
+}
